@@ -1,0 +1,496 @@
+// Command frappe-bench regenerates every table and figure of the
+// paper's evaluation (§5) against the synthetic kernel, using the
+// paper's own protocol for Table 5: each query runs ten times with a
+// cold page cache and ten times warm, reporting min/avg/max and the
+// result count.
+//
+//	frappe-bench                      # all experiments at default scale
+//	frappe-bench -experiment table5   # one experiment
+//	frappe-bench -scale 4             # larger synthetic kernel
+//	frappe-bench -runs 10 -timeout 15s
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+
+	"frappe/internal/core"
+	"frappe/internal/graph"
+	"frappe/internal/kernelgen"
+	"frappe/internal/model"
+	"frappe/internal/query"
+	"frappe/internal/store"
+	"frappe/internal/temporal"
+	"frappe/internal/traversal"
+)
+
+var (
+	scale      = flag.Int("scale", 1, "synthetic kernel scale factor")
+	runs       = flag.Int("runs", 10, "cold and warm runs per query (paper: 10)")
+	timeout    = flag.Duration("timeout", 15*time.Second, "comprehension-query abort deadline (paper: 15 min)")
+	experiment = flag.String("experiment", "all", "comma list: table3,table4,table5,figure7,table6,ablations,temporal")
+	keep       = flag.String("db", "", "store directory to (re)use; default: temp dir")
+)
+
+func main() {
+	flag.Parse()
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "frappe-bench: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+type bench struct {
+	workload *kernelgen.Workload
+	mem      *core.Engine
+	disk     *core.Engine
+	dbDir    string
+	genTime  time.Duration
+	extTime  time.Duration
+	saveTime time.Duration
+}
+
+func run() error {
+	want := map[string]bool{}
+	for _, e := range strings.Split(*experiment, ",") {
+		want[strings.TrimSpace(e)] = true
+	}
+	all := want["all"]
+
+	b, err := setup()
+	if err != nil {
+		return err
+	}
+	defer b.disk.Close()
+
+	if all || want["table3"] {
+		b.table3()
+	}
+	if all || want["table4"] {
+		if err := b.table4(); err != nil {
+			return err
+		}
+	}
+	if all || want["table5"] {
+		if err := b.table5(); err != nil {
+			return err
+		}
+	}
+	if all || want["figure7"] {
+		b.figure7()
+	}
+	if all || want["table6"] {
+		if err := b.table6(); err != nil {
+			return err
+		}
+	}
+	if all || want["ablations"] {
+		if err := b.ablations(); err != nil {
+			return err
+		}
+	}
+	if all || want["temporal"] {
+		if err := b.temporal(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func setup() (*bench, error) {
+	b := &bench{}
+	start := time.Now()
+	b.workload = kernelgen.Generate(kernelgen.Scaled(*scale))
+	b.genTime = time.Since(start)
+
+	start = time.Now()
+	eng, errs, err := core.Index(b.workload.Build, b.workload.ExtractOptions())
+	if err != nil {
+		return nil, err
+	}
+	if len(errs) > 0 {
+		return nil, fmt.Errorf("extraction diagnostics: %v", errs[0])
+	}
+	b.extTime = time.Since(start)
+	b.mem = eng
+
+	b.dbDir = *keep
+	if b.dbDir == "" {
+		dir, err := os.MkdirTemp("", "frappe-bench-")
+		if err != nil {
+			return nil, err
+		}
+		b.dbDir = filepath.Join(dir, "db")
+	}
+	start = time.Now()
+	if err := eng.Save(b.dbDir); err != nil {
+		return nil, err
+	}
+	b.saveTime = time.Since(start)
+	disk, err := core.Open(b.dbDir)
+	if err != nil {
+		return nil, err
+	}
+	b.disk = disk
+
+	fmt.Printf("== Setup ==\n")
+	fmt.Printf("synthetic kernel: scale %d, %d files, %d lines of C\n",
+		*scale, len(b.workload.FS), b.workload.LineCount())
+	fmt.Printf("generate %v | extract %v | persist %v -> %s\n\n",
+		b.genTime.Round(time.Millisecond), b.extTime.Round(time.Millisecond),
+		b.saveTime.Round(time.Millisecond), b.dbDir)
+	return b, nil
+}
+
+// --- Table 3 ---
+
+func (b *bench) table3() {
+	m := b.mem.Stats()
+	fmt.Println("== Table 3: Graph metrics ==")
+	fmt.Printf("%-12s %-12s %-10s\n", "Node count", "Edge count", "Density")
+	fmt.Printf("%-12d %-12d 1:%.1f\n\n", m.Nodes, m.Edges, m.Density)
+}
+
+// --- Table 4 ---
+
+func (b *bench) table4() error {
+	s, err := store.Sizes(b.dbDir)
+	if err != nil {
+		return err
+	}
+	fmt.Println("== Table 4: Database size (MB) ==")
+	fmt.Printf("%-12s %-8s %-14s %-9s %-8s\n", "Properties", "Nodes", "Relationships", "Indexes", "Total")
+	fmt.Printf("%-12.2f %-8.2f %-14.2f %-9.2f %-8.2f\n\n",
+		store.MB(s.Properties), store.MB(s.Nodes), store.MB(s.Relationships),
+		store.MB(s.Indexes), store.MB(s.Total))
+	return nil
+}
+
+// --- Table 5 ---
+
+type timing struct {
+	min, max, total time.Duration
+	n               int
+}
+
+func (t *timing) add(d time.Duration) {
+	if t.n == 0 || d < t.min {
+		t.min = d
+	}
+	if d > t.max {
+		t.max = d
+	}
+	t.total += d
+	t.n++
+}
+
+func (t *timing) avg() time.Duration {
+	if t.n == 0 {
+		return 0
+	}
+	return t.total / time.Duration(t.n)
+}
+
+func ms(d time.Duration) string { return fmt.Sprintf("%.2f", float64(d.Microseconds())/1000) }
+
+func (b *bench) runQuery(text string, cold bool) (timing, int, error) {
+	var t timing
+	count := 0
+	for i := 0; i < *runs; i++ {
+		if cold {
+			b.disk.DropCaches()
+		}
+		start := time.Now()
+		res, err := b.disk.Query(context.Background(), text)
+		if err != nil {
+			return t, 0, err
+		}
+		t.add(time.Since(start))
+		count = res.Count()
+	}
+	return t, count, nil
+}
+
+func (b *bench) table5() error {
+	fig4 := b.figure4Query()
+	fmt.Println("== Table 5: Query performance (ms, cold/warm over", *runs, "runs) ==")
+	fmt.Printf("%-22s %-12s %-12s %-12s %-12s\n", "Use case", "Min", "Avg", "Max", "Result count")
+
+	cases := []struct {
+		name string
+		text string
+	}{
+		{"Code search (Fig.3)", figure3Query},
+		{"X-referencing (Fig.4)", fig4},
+		{"Debugging (Fig.5)", figure5Query},
+	}
+	for _, c := range cases {
+		coldT, count, err := b.runQuery(c.text, true)
+		if err != nil {
+			return fmt.Errorf("%s: %w", c.name, err)
+		}
+		warmT, _, err := b.runQuery(c.text, false)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-22s %-12s %-12s %-12s %d\n", c.name,
+			ms(coldT.min)+" / "+ms(warmT.min),
+			ms(coldT.avg())+" / "+ms(warmT.avg()),
+			ms(coldT.max)+" / "+ms(warmT.max),
+			count)
+	}
+
+	// Comprehension via Cypher: expected to blow up; abort at -timeout.
+	b.disk.DropCaches()
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	start := time.Now()
+	_, err := b.disk.Query(ctx, figure6Query)
+	cancel()
+	if err != nil {
+		fmt.Printf("%-22s > %v, aborted (Cypher path enumeration)\n", "Comprehension (Fig.6)", time.Since(start).Round(time.Millisecond))
+	} else {
+		fmt.Printf("%-22s completed in %v (graph too small to explode)\n", "Comprehension (Fig.6)", time.Since(start).Round(time.Millisecond))
+	}
+
+	// The paper's footnote: the same closure via the embedded API.
+	ids, err := b.disk.Source().Lookup("TYPE: function AND short_name: pci_read_bases")
+	if err != nil || len(ids) == 0 {
+		return fmt.Errorf("pci_read_bases lookup failed")
+	}
+	var t timing
+	n := 0
+	for i := 0; i < *runs; i++ {
+		start := time.Now()
+		closure := traversal.TransitiveClosure(b.disk.Source(), ids[0], traversal.Options{
+			Direction: traversal.Out,
+			Types:     traversal.Types(model.EdgeCalls),
+		})
+		t.add(time.Since(start))
+		n = len(closure)
+	}
+	fmt.Printf("%-22s %s ms avg, %d results (embedded traversal API)\n\n",
+		"  ... embedded", ms(t.avg()), n)
+	return nil
+}
+
+func (b *bench) figure4Query() string {
+	fid, _ := b.mem.FileIDOf("drivers/scsi/sr.c")
+	return fmt.Sprintf(`
+START n=node:node_auto_index('short_name: get_sectorsize')
+WHERE (n) <-[{NAME_FILE_ID: %d, NAME_START_LINE: 236, NAME_START_COL: 9}]- ()
+RETURN n`, fid)
+}
+
+// --- Figure 7 ---
+
+func (b *bench) figure7() {
+	fmt.Println("== Figure 7: Node degree distribution (log-binned) ==")
+	dist := graph.DegreeDistribution(b.mem.Source())
+	// Log-spaced bins over degree.
+	bins := map[int]int64{}
+	for _, p := range dist {
+		bin := 0
+		for d := p.Degree; d > 1; d /= 2 {
+			bin++
+		}
+		bins[bin] += p.Count
+	}
+	var keys []int
+	for k := range bins {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	fmt.Printf("%-18s %-12s %s\n", "Degree range", "Node count", "")
+	for _, k := range keys {
+		// bin k holds degrees [2^k, 2^(k+1)-1]; bin 0 holds 0 and 1.
+		lo, hi := 1<<k, 1<<(k+1)-1
+		if k == 0 {
+			lo = 0
+		}
+		bar := strings.Repeat("#", barLen(bins[k]))
+		fmt.Printf("%-18s %-12d %s\n", fmt.Sprintf("%d..%d", lo, hi), bins[k], bar)
+	}
+	fmt.Println("\ntop-degree hubs (paper: int ~79K, NULL ~19K):")
+	for _, h := range graph.TopDegreeNodes(b.mem.Source(), 8) {
+		fmt.Printf("  %-14s %-24s degree %d\n", h.Type, h.Name, h.Degree)
+	}
+	fmt.Println()
+}
+
+func barLen(n int64) int {
+	l := 0
+	for n > 0 {
+		l++
+		n /= 2
+	}
+	return l * 2
+}
+
+// --- Table 6 ---
+
+func (b *bench) table6() error {
+	fmt.Println("== Table 6: Cypher 1.x index syntax vs 2.x labels ==")
+	q1 := `START n=node:node_auto_index('(TYPE: struct TYPE: union TYPE: enum_def) AND SHORT_NAME: packet_command') RETURN n`
+	q2 := `MATCH (n:container:type{short_name: "packet_command"}) RETURN n`
+	for _, c := range []struct{ name, q string }{{"Cypher 1.x (index)", q1}, {"Cypher 2.x (labels)", q2}} {
+		t, count, err := b.runQuery(c.q, false)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-22s avg %s ms, %d results\n", c.name, ms(t.avg()), count)
+	}
+	fmt.Println()
+	return nil
+}
+
+// --- Ablations ---
+
+func (b *bench) ablations() error {
+	fmt.Println("== Ablations ==")
+	src := b.mem.Source()
+	ids, _ := src.Lookup("TYPE: function AND short_name: pci_read_bases")
+	if len(ids) == 0 {
+		return fmt.Errorf("pci_read_bases missing")
+	}
+
+	// A1: bounded closure, Cypher vs embedded.
+	var ct timing
+	for i := 0; i < *runs; i++ {
+		start := time.Now()
+		if _, err := query.Run(context.Background(), src, `
+START n=node:node_auto_index('short_name: pci_read_bases')
+MATCH n -[:calls*..4]-> m
+RETURN distinct m`); err != nil {
+			return err
+		}
+		ct.add(time.Since(start))
+	}
+	var et timing
+	for i := 0; i < *runs; i++ {
+		start := time.Now()
+		traversal.TransitiveClosure(src, ids[0], traversal.Options{
+			Direction: traversal.Out, Types: traversal.Types(model.EdgeCalls), MaxDepth: 4,
+		})
+		et.add(time.Since(start))
+	}
+	fmt.Printf("A1 closure depth<=4:    Cypher %s ms vs embedded %s ms (avg)\n", ms(ct.avg()), ms(et.avg()))
+
+	// A4: index lookup vs full scan.
+	var it, st timing
+	for i := 0; i < *runs; i++ {
+		start := time.Now()
+		if _, err := src.Lookup("short_name: sr_media_change"); err != nil {
+			return err
+		}
+		it.add(time.Since(start))
+		start = time.Now()
+		graph.FindNode(src, model.PropShortName, "sr_media_change")
+		st.add(time.Since(start))
+	}
+	fmt.Printf("A4 name lookup:         index %s ms vs scan %s ms (avg)\n", ms(it.avg()), ms(st.avg()))
+
+	// A5: page cache sweep on a property-scan query whose working set
+	// exceeds the small caches (every node's properties).
+	scanQuery := `START n=node(*) WHERE n.short_name = 'no_such_name' RETURN count(*)`
+	for _, pages := range []int{16, 256, 8192} {
+		db, err := store.OpenOptions(b.dbDir, store.Options{CachePages: pages})
+		if err != nil {
+			return err
+		}
+		// One warm-up pass, then measured passes: small caches keep
+		// missing, large ones serve from memory.
+		if _, err := query.Run(context.Background(), db, scanQuery); err != nil {
+			db.Close()
+			return err
+		}
+		var t timing
+		for i := 0; i < *runs; i++ {
+			start := time.Now()
+			if _, err := query.Run(context.Background(), db, scanQuery); err != nil {
+				db.Close()
+				return err
+			}
+			t.add(time.Since(start))
+		}
+		stats := db.Stats()
+		var hits, misses, evict int64
+		for _, s := range stats {
+			hits += s.Hits
+			misses += s.Misses
+			evict += s.Evictions
+		}
+		db.Close()
+		fmt.Printf("A5 cache %5d pages:   full prop scan avg %s ms (hits %d / misses %d / evictions %d)\n",
+			pages, ms(t.avg()), hits, misses, evict)
+	}
+	fmt.Println()
+	return nil
+}
+
+// --- Temporal (A3 / §6.3) ---
+
+func (b *bench) temporal() error {
+	fmt.Println("== Temporal storage (paper §6.3) ==")
+	w1 := kernelgen.Generate(kernelgen.Tiny())
+	r1, err := w1.Extract()
+	if err != nil {
+		return err
+	}
+	s := temporal.New()
+	s.AddVersion("v1", r1.Graph)
+	// Five small evolutions: append one function per version.
+	prev := w1
+	for v := 2; v <= 6; v++ {
+		next := kernelgen.Generate(kernelgen.Tiny())
+		next.FS["drivers/scsi/sr.c"] = prev.FS["drivers/scsi/sr.c"] +
+			fmt.Sprintf("\nint sr_patch_%d(int v)\n{\n\treturn v + %d;\n}\n", v, v)
+		rn, err := next.Extract()
+		if err != nil {
+			return err
+		}
+		s.AddVersion(fmt.Sprintf("v%d", v), rn.Graph)
+		prev = next
+	}
+	st := s.Stats()
+	fmt.Printf("%-10s %-14s %-14s\n", "Version", "Full (bytes)", "Delta (bytes)")
+	for i := range st.FullBytes {
+		fmt.Printf("v%-9d %-14d %-14d\n", i+1, st.FullBytes[i], st.DeltaBytes[i])
+	}
+	fmt.Printf("total: full copies %d bytes vs delta chain %d bytes (%.1fx saving)\n",
+		st.TotalFull, st.TotalDelta+st.FullBytes[0],
+		float64(st.TotalFull)/float64(st.TotalDelta+st.FullBytes[0]))
+	impact, err := s.ImpactOfChange(0, 5)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("change impact v1->v6: %d functions affected\n\n", len(impact))
+	return nil
+}
+
+const figure3Query = `
+START m=node:node_auto_index('short_name: wakeup.elf')
+MATCH m -[:compiled_from|linked_from*]-> f
+WITH distinct f
+MATCH f -[:file_contains]-> (n:field{short_name: 'id'})
+RETURN distinct n`
+
+const figure5Query = `
+START from=node:node_auto_index('short_name: sr_media_change'),
+      to=node:node_auto_index('short_name: get_sectorsize'),
+      b=node:node_auto_index('short_name: packet_command')
+MATCH writer -[write:writes_member]-> ({SHORT_NAME:'cmd'}) <-[:contains]- b
+WITH to, from, writer, write
+MATCH direct <-[s:calls]- from -[r:calls{use_start_line: 236}]-> to
+WHERE r.use_start_line >= s.use_start_line AND direct -[:calls*]-> writer
+RETURN distinct writer, write.use_start_line`
+
+const figure6Query = `
+START n=node:node_auto_index('short_name: pci_read_bases')
+MATCH n -[:calls*]-> m
+RETURN distinct m`

@@ -1,0 +1,139 @@
+// Command frappe-cc is the compiler-wrapper half of Frappé's extractor
+// integration (§2 of the paper): a drop-in replacement for cc/gcc/clang
+// command lines that records what the build does, so `frappe index
+// -cc-log` can replay it through the extractor. The paper's wrappers
+// also exec the native compiler; set FRAPPE_CC_PASSTHROUGH to a compiler
+// path to do the same here.
+//
+// Usage (as a CC substitute):
+//
+//	FRAPPE_CC_LOG=build.json frappe-cc -c foo.c -o foo.o
+//	FRAPPE_CC_LOG=build.json frappe-cc -o prog main.o foo.o -lm
+//
+// Every invocation appends one JSON record to $FRAPPE_CC_LOG:
+//
+//	{"kind":"compile","source":"foo.c","object":"foo.o"}
+//	{"kind":"link","output":"prog","objects":["main.o","foo.o"],"libs":["libm"]}
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"os/exec"
+	"strings"
+)
+
+type record struct {
+	Kind    string   `json:"kind"`
+	Source  string   `json:"source,omitempty"`
+	Object  string   `json:"object,omitempty"`
+	Output  string   `json:"output,omitempty"`
+	Objects []string `json:"objects,omitempty"`
+	Libs    []string `json:"libs,omitempty"`
+}
+
+func main() {
+	recs, err := parseArgs(os.Args[1:])
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "frappe-cc: %v\n", err)
+		os.Exit(2)
+	}
+	logPath := os.Getenv("FRAPPE_CC_LOG")
+	if logPath == "" {
+		logPath = "frappe-cc.json"
+	}
+	for _, rec := range recs {
+		if err := appendRecord(logPath, rec); err != nil {
+			fmt.Fprintf(os.Stderr, "frappe-cc: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	// Optionally exec the real compiler so the build still produces
+	// artifacts (the paper's wrappers always do).
+	if cc := os.Getenv("FRAPPE_CC_PASSTHROUGH"); cc != "" {
+		cmd := exec.Command(cc, os.Args[1:]...)
+		cmd.Stdout, cmd.Stderr, cmd.Stdin = os.Stdout, os.Stderr, os.Stdin
+		if err := cmd.Run(); err != nil {
+			if xe, ok := err.(*exec.ExitError); ok {
+				os.Exit(xe.ExitCode())
+			}
+			fmt.Fprintf(os.Stderr, "frappe-cc: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// parseArgs classifies a cc-style command line as a compile, a link, or
+// (for `cc main.c foo.o -o prog`) implicit compiles plus a link.
+func parseArgs(args []string) ([]record, error) {
+	var (
+		compile bool
+		output  string
+		sources []string
+		objects []string
+		libs    []string
+	)
+	for i := 0; i < len(args); i++ {
+		a := args[i]
+		switch {
+		case a == "-c":
+			compile = true
+		case a == "-o" && i+1 < len(args):
+			i++
+			output = args[i]
+		case strings.HasPrefix(a, "-l"):
+			libs = append(libs, "lib"+strings.TrimPrefix(a, "-l"))
+		case strings.HasPrefix(a, "-"):
+			// Flags (-O2, -I..., -D..., -W...) are irrelevant to the
+			// dependency capture; -I/-D with separate operands consume it.
+			if (a == "-I" || a == "-D" || a == "-include" || a == "-MF") && i+1 < len(args) {
+				i++
+			}
+		case strings.HasSuffix(a, ".c"):
+			sources = append(sources, a)
+		case strings.HasSuffix(a, ".o") || strings.HasSuffix(a, ".a"):
+			if strings.HasSuffix(a, ".a") {
+				libs = append(libs, a)
+			} else {
+				objects = append(objects, a)
+			}
+		}
+	}
+	switch {
+	case compile && len(sources) == 1:
+		obj := output
+		if obj == "" {
+			obj = strings.TrimSuffix(sources[0], ".c") + ".o"
+		}
+		return []record{{Kind: "compile", Source: sources[0], Object: obj}}, nil
+	case compile && len(sources) > 1:
+		return nil, fmt.Errorf("-c with %d sources; one at a time", len(sources))
+	case len(objects) > 0 || len(sources) > 0:
+		if output == "" {
+			output = "a.out"
+		}
+		// Direct source-to-binary invocations imply per-source compiles
+		// before the link, as in the paper's Figure 2
+		// (`gcc main.c foo.o -o prog`).
+		var recs []record
+		link := record{Kind: "link", Output: output, Objects: objects, Libs: libs}
+		for _, s := range sources {
+			obj := strings.TrimSuffix(s, ".c") + ".o"
+			recs = append(recs, record{Kind: "compile", Source: s, Object: obj})
+			link.Objects = append(link.Objects, obj)
+		}
+		return append(recs, link), nil
+	}
+	return nil, nil // e.g. `frappe-cc --version`: nothing to record
+}
+
+func appendRecord(path string, rec record) error {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	return enc.Encode(rec)
+}

@@ -1,0 +1,88 @@
+package main
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestParseCompile(t *testing.T) {
+	recs, err := parseArgs([]string{"-O2", "-Iinclude", "-DDEBUG=1", "-c", "drivers/scsi/sr.c", "-o", "drivers/scsi/sr.o"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []record{{Kind: "compile", Source: "drivers/scsi/sr.c", Object: "drivers/scsi/sr.o"}}
+	if !reflect.DeepEqual(recs, want) {
+		t.Fatalf("recs = %+v", recs)
+	}
+}
+
+func TestParseCompileDefaultObject(t *testing.T) {
+	recs, err := parseArgs([]string{"-c", "foo.c"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if recs[0].Object != "foo.o" {
+		t.Fatalf("object = %q", recs[0].Object)
+	}
+}
+
+func TestParseLink(t *testing.T) {
+	recs, err := parseArgs([]string{"-o", "prog", "main.o", "foo.o", "-lm", "util.a"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || recs[0].Kind != "link" {
+		t.Fatalf("recs = %+v", recs)
+	}
+	r := recs[0]
+	if r.Output != "prog" || !reflect.DeepEqual(r.Objects, []string{"main.o", "foo.o"}) {
+		t.Fatalf("link = %+v", r)
+	}
+	if !reflect.DeepEqual(r.Libs, []string{"libm", "util.a"}) {
+		t.Fatalf("libs = %+v", r.Libs)
+	}
+}
+
+func TestParseFigure2MixedLink(t *testing.T) {
+	// The paper's `gcc main.c foo.o -o prog`.
+	recs, err := parseArgs([]string{"main.c", "foo.o", "-o", "prog"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("recs = %+v", recs)
+	}
+	if recs[0].Kind != "compile" || recs[0].Source != "main.c" || recs[0].Object != "main.o" {
+		t.Fatalf("implicit compile = %+v", recs[0])
+	}
+	link := recs[1]
+	if link.Kind != "link" || link.Output != "prog" {
+		t.Fatalf("link = %+v", link)
+	}
+	if !reflect.DeepEqual(link.Objects, []string{"foo.o", "main.o"}) {
+		t.Fatalf("link objects = %+v", link.Objects)
+	}
+}
+
+func TestParseNothingToRecord(t *testing.T) {
+	recs, err := parseArgs([]string{"--version"})
+	if err != nil || recs != nil {
+		t.Fatalf("recs = %+v, err = %v", recs, err)
+	}
+}
+
+func TestParseMultiSourceCompileRejected(t *testing.T) {
+	if _, err := parseArgs([]string{"-c", "a.c", "b.c"}); err == nil {
+		t.Fatal("want error")
+	}
+}
+
+func TestSeparateOperandFlags(t *testing.T) {
+	recs, err := parseArgs([]string{"-I", "include", "-D", "X=1", "-c", "a.c", "-o", "a.o"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || recs[0].Source != "a.c" {
+		t.Fatalf("recs = %+v", recs)
+	}
+}

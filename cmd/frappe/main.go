@@ -1,0 +1,413 @@
+// Command frappe is the Frappé CLI: index a codebase into a graph store,
+// then run the paper's use cases against it — Cypher queries, code
+// search, go-to-definition, find-references, program slices, statistics
+// and code-map rendering.
+//
+//	frappe index   -gen [-scale N] -db DIR        index the synthetic kernel
+//	frappe index   -src DIR [-cc-log FILE] -db DIR  index a real C tree
+//	frappe query   -db DIR 'CYPHER...'            run a Cypher query
+//	frappe search  -db DIR -pattern P [-type T] [-module M] [-dir D]
+//	frappe def     -db DIR -name N -file F -line L -col C
+//	frappe refs    -db DIR -name N [-type T]
+//	frappe slice   -db DIR -fn NAME [-forward] [-depth N]
+//	frappe stats   -db DIR
+//	frappe map     -db DIR -out FILE.svg [-highlight NAME]
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"net/http"
+
+	"frappe/internal/codemap"
+	"frappe/internal/core"
+	"frappe/internal/cpp"
+	"frappe/internal/extract"
+	"frappe/internal/graph"
+	"frappe/internal/kernelgen"
+	"frappe/internal/model"
+	"frappe/internal/server"
+	"frappe/internal/traversal"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	var err error
+	switch cmd {
+	case "index":
+		err = cmdIndex(args)
+	case "query":
+		err = cmdQuery(args)
+	case "search":
+		err = cmdSearch(args)
+	case "def":
+		err = cmdDef(args)
+	case "refs":
+		err = cmdRefs(args)
+	case "slice":
+		err = cmdSlice(args)
+	case "stats":
+		err = cmdStats(args)
+	case "map":
+		err = cmdMap(args)
+	case "serve":
+		err = cmdServe(args)
+	case "help", "-h", "--help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "frappe: unknown command %q\n", cmd)
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "frappe: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprint(os.Stderr, `usage: frappe <command> [flags]
+
+commands:
+  index    build a graph store from source (or the synthetic kernel)
+  query    run a Cypher query against a store
+  search   code search by name/type/module/directory
+  def      go to definition of a symbol reference
+  refs     find references to a symbol
+  slice    backward/forward program slice over the call graph
+  stats    graph metrics and degree hubs
+  map      render the cartographic code map as SVG
+  serve    HTTP API + query console over a store
+`)
+}
+
+func openDB(db string) (*core.Engine, error) {
+	if db == "" {
+		return nil, fmt.Errorf("missing -db")
+	}
+	return core.Open(db)
+}
+
+func cmdIndex(args []string) error {
+	fl := flag.NewFlagSet("index", flag.ExitOnError)
+	gen := fl.Bool("gen", false, "index the synthetic Linux-shaped kernel instead of real sources")
+	scale := fl.Int("scale", 1, "synthetic kernel scale factor")
+	src := fl.String("src", "", "source tree root (real-code mode)")
+	ccLog := fl.String("cc-log", "", "frappe-cc build capture (JSON lines); default: compile every .c and link one module")
+	includes := fl.String("I", "include", "comma-separated include paths (relative to -src)")
+	db := fl.String("db", "frappe.db", "output store directory")
+	fl.Parse(args)
+
+	var build extract.Build
+	var opts extract.Options
+	start := time.Now()
+	switch {
+	case *gen:
+		w := kernelgen.Generate(kernelgen.Scaled(*scale))
+		build, opts = w.Build, w.ExtractOptions()
+		fmt.Printf("generated synthetic kernel: %d files, %d lines\n", len(w.FS), w.LineCount())
+	case *src != "":
+		fsys := cpp.DirFS{Root: *src}
+		opts = extract.Options{FS: fsys, IncludePaths: strings.Split(*includes, ",")}
+		var err error
+		build, err = buildFromTree(*src, *ccLog)
+		if err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("index needs -gen or -src")
+	}
+
+	eng, errs, err := core.Index(build, opts)
+	if err != nil {
+		return err
+	}
+	for i, e := range errs {
+		if i >= 10 {
+			fmt.Fprintf(os.Stderr, "... and %d more diagnostics\n", len(errs)-10)
+			break
+		}
+		fmt.Fprintf(os.Stderr, "warning: %v\n", e)
+	}
+	if err := eng.Save(*db); err != nil {
+		return err
+	}
+	m := eng.Stats()
+	fmt.Printf("indexed in %v: %d nodes, %d edges (%.2f edges/node) -> %s\n",
+		time.Since(start).Round(time.Millisecond), m.Nodes, m.Edges, m.Density, *db)
+	return nil
+}
+
+// ccRecord is one line of a frappe-cc capture.
+type ccRecord struct {
+	Kind    string   `json:"kind"` // "compile" | "link"
+	Source  string   `json:"source,omitempty"`
+	Object  string   `json:"object,omitempty"`
+	Output  string   `json:"output,omitempty"`
+	Objects []string `json:"objects,omitempty"`
+	Libs    []string `json:"libs,omitempty"`
+}
+
+func buildFromTree(root, ccLog string) (extract.Build, error) {
+	var build extract.Build
+	if ccLog != "" {
+		f, err := os.Open(ccLog)
+		if err != nil {
+			return build, err
+		}
+		defer f.Close()
+		dec := json.NewDecoder(f)
+		for dec.More() {
+			var r ccRecord
+			if err := dec.Decode(&r); err != nil {
+				return build, fmt.Errorf("cc-log: %w", err)
+			}
+			switch r.Kind {
+			case "compile":
+				build.Units = append(build.Units, extract.CompileUnit{Source: r.Source, Object: r.Object})
+			case "link":
+				build.Modules = append(build.Modules, extract.Module{Name: r.Output, Objects: r.Objects, Libs: r.Libs})
+			}
+		}
+		return build, nil
+	}
+	// No capture: compile every .c under root, link everything into one
+	// module named after the directory.
+	var objects []string
+	err := filepath.WalkDir(root, func(p string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() || !strings.HasSuffix(p, ".c") {
+			return err
+		}
+		rel, err := filepath.Rel(root, p)
+		if err != nil {
+			return err
+		}
+		rel = filepath.ToSlash(rel)
+		obj := strings.TrimSuffix(rel, ".c") + ".o"
+		build.Units = append(build.Units, extract.CompileUnit{Source: rel, Object: obj})
+		objects = append(objects, obj)
+		return nil
+	})
+	if err != nil {
+		return build, err
+	}
+	if len(build.Units) == 0 {
+		return build, fmt.Errorf("no .c files under %s", root)
+	}
+	build.Modules = []extract.Module{{Name: filepath.Base(root) + ".elf", Objects: objects}}
+	return build, nil
+}
+
+func cmdQuery(args []string) error {
+	fl := flag.NewFlagSet("query", flag.ExitOnError)
+	db := fl.String("db", "frappe.db", "store directory")
+	timeout := fl.Duration("timeout", 30*time.Second, "query deadline")
+	fl.Parse(args)
+	if fl.NArg() != 1 {
+		return fmt.Errorf("query needs exactly one Cypher string argument")
+	}
+	eng, err := openDB(*db)
+	if err != nil {
+		return err
+	}
+	defer eng.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+	start := time.Now()
+	res, err := eng.Query(ctx, fl.Arg(0))
+	if err != nil {
+		return err
+	}
+	fmt.Print(res.Format(eng.Source()))
+	fmt.Printf("%d rows in %v\n", res.Count(), time.Since(start).Round(time.Microsecond))
+	return nil
+}
+
+func cmdSearch(args []string) error {
+	fl := flag.NewFlagSet("search", flag.ExitOnError)
+	db := fl.String("db", "frappe.db", "store directory")
+	pattern := fl.String("pattern", "", "SHORT_NAME pattern (* and ? wildcards)")
+	typ := fl.String("type", "", "node type filter (function, struct, macro, ...)")
+	module := fl.String("module", "", "restrict to a module (Figure 3)")
+	dir := fl.String("dir", "", "restrict to a directory")
+	limit := fl.Int("limit", 50, "max results")
+	fl.Parse(args)
+	eng, err := openDB(*db)
+	if err != nil {
+		return err
+	}
+	defer eng.Close()
+	opts := core.SearchOptions{Pattern: *pattern, Module: *module, Dir: *dir, Limit: *limit}
+	if *typ != "" {
+		opts.Types = []model.NodeType{model.NodeType(*typ)}
+	}
+	syms, err := eng.Search(context.Background(), opts)
+	if err != nil {
+		return err
+	}
+	for _, s := range syms {
+		fmt.Println(core.FormatSymbol(s))
+	}
+	fmt.Printf("%d results\n", len(syms))
+	return nil
+}
+
+func cmdDef(args []string) error {
+	fl := flag.NewFlagSet("def", flag.ExitOnError)
+	db := fl.String("db", "frappe.db", "store directory")
+	name := fl.String("name", "", "symbol under the cursor")
+	file := fl.String("file", "", "file of the reference")
+	line := fl.Int("line", 0, "line of the reference")
+	col := fl.Int("col", 0, "column of the reference")
+	fl.Parse(args)
+	eng, err := openDB(*db)
+	if err != nil {
+		return err
+	}
+	defer eng.Close()
+	sym, ok, err := eng.GoToDefinition(context.Background(), *name, *file, *line, *col)
+	if err != nil {
+		return err
+	}
+	if !ok {
+		fmt.Println("no definition found at that position")
+		return nil
+	}
+	fmt.Println(core.FormatSymbol(sym))
+	return nil
+}
+
+func cmdRefs(args []string) error {
+	fl := flag.NewFlagSet("refs", flag.ExitOnError)
+	db := fl.String("db", "frappe.db", "store directory")
+	name := fl.String("name", "", "symbol name")
+	typ := fl.String("type", "", "node type disambiguator")
+	fl.Parse(args)
+	eng, err := openDB(*db)
+	if err != nil {
+		return err
+	}
+	defer eng.Close()
+	id, err := eng.MustLookupOne(*name, model.NodeType(*typ))
+	if err != nil {
+		return err
+	}
+	refs, err := eng.FindReferences(context.Background(), id)
+	if err != nil {
+		return err
+	}
+	for _, r := range refs {
+		fmt.Printf("%-22s %s:%d:%d  (from %s)\n", r.Kind, r.File, r.Line, r.Col, r.From.ShortName)
+	}
+	fmt.Printf("%d references\n", len(refs))
+	return nil
+}
+
+func cmdSlice(args []string) error {
+	fl := flag.NewFlagSet("slice", flag.ExitOnError)
+	db := fl.String("db", "frappe.db", "store directory")
+	fn := fl.String("fn", "", "seed function")
+	forward := fl.Bool("forward", false, "forward slice (callers) instead of backward (callees)")
+	depth := fl.Int("depth", 0, "max depth (0 = unbounded)")
+	fl.Parse(args)
+	eng, err := openDB(*db)
+	if err != nil {
+		return err
+	}
+	defer eng.Close()
+	id, err := eng.MustLookupOne(*fn, model.NodeFunction)
+	if err != nil {
+		return err
+	}
+	var syms []core.Symbol
+	if *forward {
+		syms = eng.ForwardSlice(id, *depth)
+	} else {
+		syms = eng.BackwardSlice(id, *depth)
+	}
+	for _, s := range syms {
+		fmt.Println(core.FormatSymbol(s))
+	}
+	fmt.Printf("%d functions in slice\n", len(syms))
+	return nil
+}
+
+func cmdStats(args []string) error {
+	fl := flag.NewFlagSet("stats", flag.ExitOnError)
+	db := fl.String("db", "frappe.db", "store directory")
+	top := fl.Int("top", 10, "top-degree nodes to list")
+	fl.Parse(args)
+	eng, err := openDB(*db)
+	if err != nil {
+		return err
+	}
+	defer eng.Close()
+	m := eng.Stats()
+	fmt.Printf("nodes: %d\nedges: %d\ndensity: %.2f edges/node\n", m.Nodes, m.Edges, m.Density)
+	fmt.Println("\ntop-degree nodes (Figure 7 hubs):")
+	for _, h := range graph.TopDegreeNodes(eng.Source(), *top) {
+		fmt.Printf("  %-14s %-24s degree %d\n", h.Type, h.Name, h.Degree)
+	}
+	return nil
+}
+
+func cmdServe(args []string) error {
+	fl := flag.NewFlagSet("serve", flag.ExitOnError)
+	db := fl.String("db", "frappe.db", "store directory")
+	addr := fl.String("addr", "127.0.0.1:7474", "listen address")
+	fl.Parse(args)
+	eng, err := openDB(*db)
+	if err != nil {
+		return err
+	}
+	defer eng.Close()
+	fmt.Printf("frappe: serving %s on http://%s\n", *db, *addr)
+	return http.ListenAndServe(*addr, server.New(eng))
+}
+
+func cmdMap(args []string) error {
+	fl := flag.NewFlagSet("map", flag.ExitOnError)
+	db := fl.String("db", "frappe.db", "store directory")
+	out := fl.String("out", "codemap.svg", "output SVG path")
+	highlight := fl.String("highlight", "", "function whose backward slice to highlight")
+	width := fl.Int("width", 1280, "map width")
+	height := fl.Int("height", 900, "map height")
+	fl.Parse(args)
+	eng, err := openDB(*db)
+	if err != nil {
+		return err
+	}
+	defer eng.Close()
+	m := codemap.Build(eng.Source())
+	opts := codemap.RenderOptions{Width: float64(*width), Height: float64(*height), Title: "Frappé code map"}
+	if *highlight != "" {
+		id, err := eng.MustLookupOne(*highlight, model.NodeFunction)
+		if err != nil {
+			return err
+		}
+		opts.Highlight = traversal.TransitiveClosure(eng.Source(), id, traversal.Options{
+			Direction: traversal.Out,
+			Types:     traversal.Types(model.EdgeCalls),
+		})
+		opts.Highlight = append(opts.Highlight, id)
+		opts.Title = fmt.Sprintf("Backward slice of %s", *highlight)
+	}
+	svg := m.SVG(opts)
+	if err := os.WriteFile(*out, []byte(svg), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (%d bytes)\n", *out, len(svg))
+	return nil
+}

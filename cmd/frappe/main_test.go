@@ -1,0 +1,112 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeTree(t *testing.T, files map[string]string) string {
+	t.Helper()
+	root := t.TempDir()
+	for p, src := range files {
+		full := filepath.Join(root, filepath.FromSlash(p))
+		if err := os.MkdirAll(filepath.Dir(full), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(full, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return root
+}
+
+func TestBuildFromTreeGlob(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"src/a.c":  "int a(void) { return 0; }\n",
+		"src/b.c":  "int b(void) { return 1; }\n",
+		"inc/x.h":  "int x;\n",
+		"README.m": "not C\n",
+	})
+	build, err := buildFromTree(root, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(build.Units) != 2 {
+		t.Fatalf("units = %+v", build.Units)
+	}
+	if len(build.Modules) != 1 || len(build.Modules[0].Objects) != 2 {
+		t.Fatalf("modules = %+v", build.Modules)
+	}
+	for _, u := range build.Units {
+		if filepath.IsAbs(u.Source) {
+			t.Fatalf("unit source not relative: %q", u.Source)
+		}
+	}
+}
+
+func TestBuildFromTreeEmpty(t *testing.T) {
+	if _, err := buildFromTree(t.TempDir(), ""); err == nil {
+		t.Fatal("empty tree should fail")
+	}
+}
+
+func TestBuildFromCCLog(t *testing.T) {
+	root := t.TempDir()
+	log := filepath.Join(root, "build.json")
+	content := `{"kind":"compile","source":"foo.c","object":"foo.o"}
+{"kind":"compile","source":"main.c","object":"main.o"}
+{"kind":"link","output":"prog","objects":["main.o","foo.o"],"libs":["libm"]}
+`
+	if err := os.WriteFile(log, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	build, err := buildFromTree(root, log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(build.Units) != 2 || len(build.Modules) != 1 {
+		t.Fatalf("build = %+v", build)
+	}
+	if build.Modules[0].Name != "prog" || build.Modules[0].Libs[0] != "libm" {
+		t.Fatalf("module = %+v", build.Modules[0])
+	}
+}
+
+func TestBuildFromCCLogMalformed(t *testing.T) {
+	root := t.TempDir()
+	log := filepath.Join(root, "bad.json")
+	if err := os.WriteFile(log, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := buildFromTree(root, log); err == nil {
+		t.Fatal("malformed log should fail")
+	}
+}
+
+// TestIndexAndQueryRealTree drives the index command machinery against a
+// real on-disk tree through the same paths the CLI uses.
+func TestIndexAndQueryRealTree(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"util.h": "#ifndef UTIL_H\n#define UTIL_H\nint add(int, int);\n#endif\n",
+		"util.c": "#include \"util.h\"\nint add(int a, int b) { return a + b; }\n",
+		"app.c":  "#include \"util.h\"\nint run(void) { return add(1, 2); }\n",
+	})
+	if err := cmdIndex([]string{"-src", root, "-db", filepath.Join(root, "db")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdQuery([]string{"-db", filepath.Join(root, "db"),
+		`MATCH (f:function) -[:calls]-> (g:function) RETURN f.short_name, g.short_name`}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdStats([]string{"-db", filepath.Join(root, "db")}); err != nil {
+		t.Fatal(err)
+	}
+	out := filepath.Join(root, "map.svg")
+	if err := cmdMap([]string{"-db", filepath.Join(root, "db"), "-out", out}); err != nil {
+		t.Fatal(err)
+	}
+	if st, err := os.Stat(out); err != nil || st.Size() == 0 {
+		t.Fatalf("map.svg: %v", err)
+	}
+}

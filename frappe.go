@@ -1,0 +1,86 @@
+// Package frappe is the public API of Frappé, a source-code querying and
+// visualisation system for large C codebases, reproducing "Frappé:
+// Querying the Linux Kernel Dependency Graph" (Hawes, Barham, Cifuentes;
+// GRADES'15).
+//
+// The pipeline mirrors the paper's four components:
+//
+//   - Extractor: a from-scratch C preprocessor + parser + linker model
+//     turns a build (compile units + link steps) into a property graph
+//     following the paper's Table 1/2 model.
+//   - Repository: the graph lives in memory or in Neo4j-style record
+//     store files behind an LRU page cache (Save/Open).
+//   - Query processor: a Cypher-subset engine (Query) plus an embedded
+//     traversal API for the operations Cypher handles poorly.
+//   - Interface: use-case operations (Search, GoToDefinition,
+//     FindReferences, slices, MacroImpact, CallPath) and a cartographic
+//     code map renderer (internal/codemap).
+//
+// Quick start:
+//
+//	eng, errs, err := frappe.Index(build, frappe.ExtractOptions{FS: fs})
+//	...
+//	res, err := eng.Query(ctx, `START n=node:node_auto_index('short_name: pci_read_bases')
+//	                            MATCH n -[:calls*]-> m RETURN distinct m`)
+//
+// See examples/ for runnable programs and DESIGN.md for the system map.
+package frappe
+
+import (
+	"context"
+
+	"frappe/internal/core"
+	"frappe/internal/extract"
+	"frappe/internal/graph"
+	"frappe/internal/query"
+)
+
+// Engine is an opened Frappé database (in-memory or disk-backed).
+type Engine = core.Engine
+
+// Symbol is a materialised graph node.
+type Symbol = core.Symbol
+
+// Reference is one use of a symbol.
+type Reference = core.Reference
+
+// SearchOptions constrain a code search (§4.1 of the paper).
+type SearchOptions = core.SearchOptions
+
+// Build describes a captured build: compile units and link steps.
+type Build = extract.Build
+
+// CompileUnit is one captured compiler invocation.
+type CompileUnit = extract.CompileUnit
+
+// Module is one captured linker invocation.
+type Module = extract.Module
+
+// ExtractOptions configure extraction (file system, include paths,
+// predefined macros).
+type ExtractOptions = extract.Options
+
+// QueryResult is a Cypher result table.
+type QueryResult = query.Result
+
+// NodeID identifies a graph node.
+type NodeID = graph.NodeID
+
+// Index extracts a build into an in-memory engine. The returned error
+// slice carries per-file extraction diagnostics; the final error is
+// fatal.
+func Index(build Build, opts ExtractOptions) (*Engine, []error, error) {
+	return core.Index(build, opts)
+}
+
+// Open opens a store directory previously written with Engine.Save.
+func Open(dir string) (*Engine, error) { return core.Open(dir) }
+
+// Query parses and runs a Cypher query on any engine (convenience
+// wrapper over Engine.Query).
+func Query(ctx context.Context, e *Engine, text string) (*QueryResult, error) {
+	return e.Query(ctx, text)
+}
+
+// FormatSymbol renders a symbol for terminal output.
+func FormatSymbol(s Symbol) string { return core.FormatSymbol(s) }

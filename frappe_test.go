@@ -1,0 +1,94 @@
+package frappe
+
+import (
+	"context"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"frappe/internal/cpp"
+	"frappe/internal/kernelgen"
+	"frappe/internal/model"
+)
+
+// TestFacadeQuickstart exercises the public API exactly as the
+// quickstart example and README do.
+func TestFacadeQuickstart(t *testing.T) {
+	fs := cpp.MapFS{
+		"foo.h":  "int bar(int);\n",
+		"foo.c":  "#include \"foo.h\"\nint bar(int input) {\n\treturn input;\n}\n",
+		"main.c": "#include \"foo.h\"\nint main(int argc, char **argv) {\n\treturn bar(argc);\n}\n",
+	}
+	build := Build{
+		Units: []CompileUnit{
+			{Source: "foo.c", Object: "foo.o"},
+			{Source: "main.c", Object: "main.o"},
+		},
+		Modules: []Module{{Name: "prog", Objects: []string{"main.o", "foo.o"}}},
+	}
+	eng, diags, err := Index(build, ExtractOptions{FS: fs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 0 {
+		t.Fatalf("diagnostics: %v", diags)
+	}
+	ctx := context.Background()
+
+	res, err := Query(ctx, eng, `MATCH (f:function) -[:calls]-> (g:function) RETURN f.short_name, g.short_name`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Count() != 1 || res.Rows[0][0].Scalar.AsString() != "main" {
+		t.Fatalf("calls = %+v", res.Rows)
+	}
+
+	sym, ok, err := eng.GoToDefinition(ctx, "bar", "main.c", 3, 9)
+	if err != nil || !ok {
+		t.Fatalf("go-to-def: %v %v", ok, err)
+	}
+	if sym.File != "foo.c" || sym.Type != model.NodeFunction {
+		t.Fatalf("definition = %+v", sym)
+	}
+	if out := FormatSymbol(sym); !strings.Contains(out, "bar(int)") {
+		t.Fatalf("FormatSymbol = %q", out)
+	}
+
+	// Round-trip through a store directory.
+	dir := filepath.Join(t.TempDir(), "db")
+	if err := eng.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	disk, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer disk.Close()
+	res2, err := disk.Query(ctx, `MATCH (f:function) -[:calls]-> (g:function) RETURN count(*)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Rows[0][0].Scalar.AsInt() != 1 {
+		t.Fatalf("disk count = %+v", res2.Rows)
+	}
+}
+
+// TestFacadeSearchOnKernel runs the Figure 3 search through the facade.
+func TestFacadeSearchOnKernel(t *testing.T) {
+	w := kernelgen.Generate(kernelgen.Tiny())
+	eng, _, err := Index(w.Build, w.ExtractOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	syms, err := eng.Search(context.Background(), SearchOptions{
+		Pattern: "id",
+		Types:   []model.NodeType{model.NodeField},
+		Module:  "wakeup.elf",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(syms) != 2 {
+		t.Fatalf("module search = %d results", len(syms))
+	}
+}

@@ -1,0 +1,3 @@
+module frappe
+
+go 1.22

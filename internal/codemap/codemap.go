@@ -1,0 +1,268 @@
+// Package codemap implements Frappé's interface component: a zoomable 2D
+// spatial visualisation of the codebase using the cartographic map
+// metaphor of the paper (§2) — the continent/country/city hierarchy maps
+// to directories/files/functions. Query results are overlaid on the map
+// so "the location, locality, structure, and quantity of results" are
+// visible at a glance.
+//
+// The layout is a squarified treemap (Bruls, Huizing, van Wijk) over the
+// dir_contains/file_contains hierarchy, with each leaf sized by its
+// graph degree (a busy function is a big city). Rendering targets SVG.
+package codemap
+
+import (
+	"sort"
+
+	"frappe/internal/graph"
+	"frappe/internal/model"
+)
+
+// Region is one map region: a directory (continent), file (country) or
+// code entity (city).
+type Region struct {
+	Node     graph.NodeID
+	Kind     model.NodeType
+	Name     string
+	Size     float64 // layout weight (sum of children for inner regions)
+	Children []*Region
+
+	// Layout rectangle, valid after Layout.
+	X, Y, W, H float64
+}
+
+// Map is a laid-out code map.
+type Map struct {
+	Root   *Region
+	byNode map[graph.NodeID]*Region
+}
+
+// Build constructs the region hierarchy from a graph: directories via
+// dir_contains, files via file_contains; only symbol/type entities large
+// enough to label are kept as cities (functions, structs, globals,
+// macros).
+func Build(src graph.Source) *Map {
+	m := &Map{byNode: map[graph.NodeID]*Region{}}
+
+	regionFor := func(id graph.NodeID) *Region {
+		if r, ok := m.byNode[id]; ok {
+			return r
+		}
+		name := ""
+		if v, ok := src.NodeProp(id, model.PropShortName); ok {
+			name = v.AsString()
+		}
+		r := &Region{Node: id, Kind: src.NodeType(id), Name: name}
+		m.byNode[id] = r
+		return r
+	}
+
+	cityKinds := map[model.NodeType]bool{
+		model.NodeFunction: true, model.NodeStruct: true,
+		model.NodeUnion: true, model.NodeEnumDef: true,
+		model.NodeGlobal: true, model.NodeMacro: true,
+		model.NodeTypedef: true,
+	}
+
+	hasParent := map[graph.NodeID]bool{}
+	n := src.EdgeCount()
+	for eid := graph.EdgeID(0); eid < graph.EdgeID(n); eid++ {
+		from, to, t := src.EdgeEnds(eid)
+		switch t {
+		case model.EdgeDirContains:
+			p, c := regionFor(from), regionFor(to)
+			p.Children = append(p.Children, c)
+			hasParent[to] = true
+		case model.EdgeFileContains:
+			if !cityKinds[src.NodeType(to)] {
+				continue
+			}
+			if _, dup := m.byNode[to]; dup {
+				continue // a shared header symbol keeps its first home
+			}
+			p, c := regionFor(from), regionFor(to)
+			p.Children = append(p.Children, c)
+			hasParent[to] = true
+		}
+	}
+
+	// Root: a synthetic region over all parentless directories.
+	root := &Region{Node: graph.InvalidID, Kind: model.NodeDirectory, Name: "/"}
+	var rootIDs []graph.NodeID
+	for id, r := range m.byNode {
+		if (r.Kind == model.NodeDirectory || r.Kind == model.NodeFile) && !hasParent[id] {
+			rootIDs = append(rootIDs, id)
+		}
+	}
+	sort.Slice(rootIDs, func(i, j int) bool { return rootIDs[i] < rootIDs[j] })
+	for _, id := range rootIDs {
+		root.Children = append(root.Children, m.byNode[id])
+	}
+	m.Root = root
+
+	// Weights: leaves by degree, inner regions by children sum.
+	var weigh func(r *Region) float64
+	weigh = func(r *Region) float64 {
+		if len(r.Children) == 0 {
+			d := 1.0
+			if r.Node != graph.InvalidID {
+				d += float64(graph.Degree(src, r.Node))
+			}
+			r.Size = d
+			return d
+		}
+		sort.Slice(r.Children, func(i, j int) bool { return r.Children[i].Node < r.Children[j].Node })
+		total := 0.0
+		for _, c := range r.Children {
+			total += weigh(c)
+		}
+		r.Size = total
+		return total
+	}
+	weigh(root)
+	return m
+}
+
+// Region looks up the region of a node, if it appears on the map.
+func (m *Map) Region(id graph.NodeID) (*Region, bool) {
+	r, ok := m.byNode[id]
+	return r, ok
+}
+
+// Layout assigns rectangles with a squarified treemap within (0,0,w,h).
+func (m *Map) Layout(w, h float64) {
+	m.Root.X, m.Root.Y, m.Root.W, m.Root.H = 0, 0, w, h
+	layoutRegion(m.Root)
+}
+
+// inset shrinks child areas so region borders stay visible.
+const inset = 1.0
+
+func layoutRegion(r *Region) {
+	if len(r.Children) == 0 {
+		return
+	}
+	x, y, w, h := r.X+inset, r.Y+inset, r.W-2*inset, r.H-2*inset
+	if w <= 0 || h <= 0 {
+		for _, c := range r.Children {
+			c.X, c.Y, c.W, c.H = r.X, r.Y, 0, 0
+			layoutRegion(c)
+		}
+		return
+	}
+	// Sort descending by size (squarify requirement).
+	kids := append([]*Region(nil), r.Children...)
+	sort.SliceStable(kids, func(i, j int) bool { return kids[i].Size > kids[j].Size })
+	total := 0.0
+	for _, c := range kids {
+		total += c.Size
+	}
+	if total <= 0 {
+		total = 1
+	}
+	scale := w * h / total
+	squarify(kids, scale, x, y, w, h)
+	for _, c := range r.Children {
+		layoutRegion(c)
+	}
+}
+
+// squarify lays out kids (descending by size) into (x,y,w,h); each
+// child's area is child.Size*scale.
+func squarify(kids []*Region, scale, x, y, w, h float64) {
+	row := kids[:0:0]
+	rowArea := 0.0
+	for i := 0; i < len(kids); {
+		c := kids[i]
+		area := c.Size * scale
+		newRow := append(row, c)
+		short := min64(w, h)
+		if len(row) == 0 || worst(newRow, rowArea+area, scale, short) <= worst(row, rowArea, scale, short) {
+			row = newRow
+			rowArea += area
+			i++
+			continue
+		}
+		x, y, w, h = placeRow(row, rowArea, x, y, w, h)
+		row = kids[i:i:cap(kids)]
+		rowArea = 0
+	}
+	if len(row) > 0 {
+		placeRow(row, rowArea, x, y, w, h)
+	}
+}
+
+// worst computes the worst aspect ratio of a row with total area laid
+// along the short side of length short.
+func worst(row []*Region, rowArea, scale, short float64) float64 {
+	if len(row) == 0 || rowArea <= 0 {
+		return 1e18
+	}
+	maxA, minA := 0.0, 1e18
+	for _, c := range row {
+		a := c.Size * scale
+		if a > maxA {
+			maxA = a
+		}
+		if a < minA {
+			minA = a
+		}
+	}
+	if minA <= 0 {
+		minA = 1e-9
+	}
+	s2 := short * short
+	r1 := s2 * maxA / (rowArea * rowArea)
+	r2 := rowArea * rowArea / (s2 * minA)
+	if r1 > r2 {
+		return r1
+	}
+	return r2
+}
+
+// placeRow lays row along the short side and returns the remaining rect.
+func placeRow(row []*Region, rowArea float64, x, y, w, h float64) (nx, ny, nw, nh float64) {
+	if rowArea <= 0 || w <= 0 || h <= 0 {
+		for _, c := range row {
+			c.X, c.Y, c.W, c.H = x, y, 0, 0
+		}
+		return x, y, w, h
+	}
+	if w >= h {
+		// Row is a vertical strip on the left.
+		strip := rowArea / h
+		cy := y
+		for _, c := range row {
+			height := h * (c.Size / sumSizes(row))
+			c.X, c.Y, c.W, c.H = x, cy, strip, height
+			cy += height
+		}
+		return x + strip, y, w - strip, h
+	}
+	// Row is a horizontal strip on top.
+	strip := rowArea / w
+	cx := x
+	for _, c := range row {
+		width := w * (c.Size / sumSizes(row))
+		c.X, c.Y, c.W, c.H = cx, y, width, strip
+		cx += width
+	}
+	return x, y + strip, w, h - strip
+}
+
+func sumSizes(row []*Region) float64 {
+	t := 0.0
+	for _, c := range row {
+		t += c.Size
+	}
+	if t <= 0 {
+		return 1
+	}
+	return t
+}
+
+func min64(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}

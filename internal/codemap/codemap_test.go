@@ -1,0 +1,202 @@
+package codemap
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"frappe/internal/graph"
+	"frappe/internal/kernelgen"
+	"frappe/internal/model"
+	"frappe/internal/traversal"
+)
+
+func tinyMapAndGraph(t *testing.T) (*Map, *graph.Graph) {
+	t.Helper()
+	w := kernelgen.Generate(kernelgen.Tiny())
+	res, err := w.Extract()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Build(res.Graph), res.Graph
+}
+
+func TestBuildHierarchy(t *testing.T) {
+	m, g := tinyMapAndGraph(t)
+	if len(m.Root.Children) == 0 {
+		t.Fatal("empty root")
+	}
+	// Every function of the graph that lives in a file must have a region.
+	found := 0
+	for id := graph.NodeID(0); id < graph.NodeID(g.NodeCount()); id++ {
+		if g.NodeType(id) == model.NodeFunction {
+			if _, ok := m.Region(id); ok {
+				found++
+			}
+		}
+	}
+	if found < 10 {
+		t.Fatalf("functions on map = %d", found)
+	}
+	// Weights: every inner region's size is the sum of its children.
+	var check func(r *Region)
+	check = func(r *Region) {
+		if len(r.Children) == 0 {
+			if r.Size <= 0 {
+				t.Fatalf("leaf %s has size %v", r.Name, r.Size)
+			}
+			return
+		}
+		sum := 0.0
+		for _, c := range r.Children {
+			sum += c.Size
+			check(c)
+		}
+		if math.Abs(sum-r.Size) > 1e-6 {
+			t.Fatalf("region %s size %v != children sum %v", r.Name, r.Size, sum)
+		}
+	}
+	check(m.Root)
+}
+
+// TestLayoutInvariants: children stay inside parents (modulo the border
+// inset), siblings don't overlap, and areas are proportional to sizes.
+func TestLayoutInvariants(t *testing.T) {
+	m, _ := tinyMapAndGraph(t)
+	m.Layout(1024, 768)
+
+	var walk func(r *Region)
+	walk = func(r *Region) {
+		const eps = 0.01
+		for _, c := range r.Children {
+			if c.W < 0 || c.H < 0 {
+				t.Fatalf("negative rect for %s: %+v", c.Name, c)
+			}
+			if c.X < r.X-eps || c.Y < r.Y-eps ||
+				c.X+c.W > r.X+r.W+eps || c.Y+c.H > r.Y+r.H+eps {
+				t.Fatalf("child %s (%.1f,%.1f,%.1f,%.1f) escapes parent %s (%.1f,%.1f,%.1f,%.1f)",
+					c.Name, c.X, c.Y, c.W, c.H, r.Name, r.X, r.Y, r.W, r.H)
+			}
+			walk(c)
+		}
+		// Pairwise overlap among siblings.
+		for i := 0; i < len(r.Children); i++ {
+			for j := i + 1; j < len(r.Children); j++ {
+				a, b := r.Children[i], r.Children[j]
+				if a.X+a.W-eps > b.X+eps && b.X+b.W-eps > a.X+eps &&
+					a.Y+a.H-eps > b.Y+eps && b.Y+b.H-eps > a.Y+eps {
+					// Tolerate degenerate zero-area rects.
+					if a.W*a.H > 1 && b.W*b.H > 1 {
+						t.Fatalf("siblings %s and %s overlap: %+v vs %+v",
+							a.Name, b.Name, [4]float64{a.X, a.Y, a.W, a.H}, [4]float64{b.X, b.Y, b.W, b.H})
+					}
+				}
+			}
+		}
+	}
+	walk(m.Root)
+}
+
+func TestLayoutAreaProportionality(t *testing.T) {
+	m, _ := tinyMapAndGraph(t)
+	m.Layout(1000, 1000)
+	r := m.Root
+	if len(r.Children) < 2 {
+		t.Skip("need multiple top regions")
+	}
+	total := 0.0
+	for _, c := range r.Children {
+		total += c.W * c.H
+	}
+	for _, c := range r.Children {
+		wantFrac := c.Size / r.Size
+		gotFrac := (c.W * c.H) / total
+		if math.Abs(wantFrac-gotFrac) > 0.02 {
+			t.Fatalf("region %s: area fraction %.3f, want %.3f", c.Name, gotFrac, wantFrac)
+		}
+	}
+}
+
+func TestSVGRendering(t *testing.T) {
+	m, g := tinyMapAndGraph(t)
+	pci := graph.FindNode(g, model.PropShortName, "pci_read_bases")
+	closure := traversal.TransitiveClosure(g, pci, traversal.Options{
+		Direction: traversal.Out, Types: traversal.Types(model.EdgeCalls),
+	})
+	svg := m.SVG(RenderOptions{
+		Width: 800, Height: 600,
+		Title:     "pci_read_bases backward slice",
+		Highlight: closure,
+	})
+	if !strings.HasPrefix(svg, "<svg") || !strings.HasSuffix(strings.TrimSpace(svg), "</svg>") {
+		t.Fatal("not an SVG document")
+	}
+	if !strings.Contains(svg, "#e94f37") {
+		t.Fatal("no highlighted regions")
+	}
+	if !strings.Contains(svg, "drivers") {
+		t.Fatal("directory labels missing")
+	}
+	if strings.Count(svg, "<rect") < 50 {
+		t.Fatalf("suspiciously few rects: %d", strings.Count(svg, "<rect"))
+	}
+}
+
+func TestSVGPathOverlay(t *testing.T) {
+	m, g := tinyMapAndGraph(t)
+	lookup := func(name string) graph.NodeID {
+		ids, err := g.Lookup("TYPE: function AND short_name: " + name)
+		if err != nil || len(ids) == 0 {
+			t.Fatalf("lookup %s: %v %v", name, ids, err)
+		}
+		return ids[0]
+	}
+	from := lookup("sr_media_change")
+	to := lookup("write_cmd")
+	p, ok := traversal.ShortestPath(g, from, to, traversal.Options{
+		Direction: traversal.Out, Types: traversal.Types(model.EdgeCalls),
+	})
+	if !ok {
+		t.Fatal("no path")
+	}
+	svg := m.SVG(RenderOptions{Width: 640, Height: 480, Paths: []traversal.Path{p}})
+	if !strings.Contains(svg, "<polyline") {
+		t.Fatal("path overlay missing")
+	}
+}
+
+func TestEscapeXML(t *testing.T) {
+	if got := escapeXML(`a<b>&"c"`); got != "a&lt;b&gt;&amp;&quot;c&quot;" {
+		t.Fatalf("escapeXML = %q", got)
+	}
+}
+
+func TestFocusZoom(t *testing.T) {
+	m, g := tinyMapAndGraph(t)
+	// Find the drivers directory node to zoom onto.
+	var dirNode graph.NodeID = graph.InvalidID
+	for id := graph.NodeID(0); id < graph.NodeID(g.NodeCount()); id++ {
+		if g.NodeType(id) == model.NodeDirectory {
+			if v, _ := g.NodeProp(id, model.PropName); v.AsString() == "drivers" {
+				dirNode = id
+			}
+		}
+	}
+	if dirNode == graph.InvalidID {
+		t.Fatal("drivers directory missing")
+	}
+	zoomed := m.SVG(RenderOptions{Width: 800, Height: 600, Focus: dirNode})
+	// The focused region fills the viewport (checked before the next
+	// render re-lays the map out).
+	r, _ := m.Region(dirNode)
+	if r.W != 800 || r.H != 600 {
+		t.Fatalf("focus rect = %vx%v", r.W, r.H)
+	}
+	full := m.SVG(RenderOptions{Width: 800, Height: 600})
+	if len(zoomed) >= len(full) {
+		t.Fatalf("zoomed map (%d bytes) should draw fewer regions than full (%d)", len(zoomed), len(full))
+	}
+	if !strings.Contains(zoomed, "scsi") {
+		t.Fatal("zoomed map should still show drivers/scsi")
+	}
+}

@@ -1,0 +1,126 @@
+package codemap
+
+import (
+	"fmt"
+	"strings"
+
+	"frappe/internal/graph"
+	"frappe/internal/model"
+	"frappe/internal/traversal"
+)
+
+// RenderOptions control SVG output.
+type RenderOptions struct {
+	Width, Height float64
+	Title         string
+	// Highlight marks query-result nodes on the map (the paper's result
+	// overlay).
+	Highlight []graph.NodeID
+	// Paths draws polylines through region centres (e.g. a shortest call
+	// path from an entry point).
+	Paths []traversal.Path
+	// MaxDepth limits drawn nesting (0 = everything).
+	MaxDepth int
+	// Focus zooms the map onto one region's subtree (the "zoomable"
+	// behaviour of the paper's map): when set to a node on the map, only
+	// that region is laid out, filling the whole viewport.
+	Focus graph.NodeID
+}
+
+// Cartographic palette: directories get terrain-like hues by depth,
+// files a lighter parchment, cities small darker marks.
+var depthFills = []string{"#cfe3c2", "#dcd4b8", "#e8e3cd", "#f2efe0", "#faf8ee"}
+
+// fillFor picks a fill colour.
+func fillFor(kind model.NodeType, depth int) string {
+	switch kind {
+	case model.NodeDirectory:
+		return depthFills[depth%len(depthFills)]
+	case model.NodeFile:
+		return "#f6f3e4"
+	default:
+		return "#b8c4d8"
+	}
+}
+
+// SVG renders the laid-out map.
+func (m *Map) SVG(opts RenderOptions) string {
+	if opts.Width <= 0 {
+		opts.Width = 1024
+	}
+	if opts.Height <= 0 {
+		opts.Height = 768
+	}
+	root := m.Root
+	if opts.Focus != 0 && opts.Focus != graph.InvalidID {
+		if r, ok := m.Region(opts.Focus); ok {
+			root = r
+		}
+	}
+	root.X, root.Y, root.W, root.H = 0, 0, opts.Width, opts.Height
+	layoutRegion(root)
+
+	hl := map[graph.NodeID]bool{}
+	for _, id := range opts.Highlight {
+		hl[id] = true
+	}
+
+	var sb strings.Builder
+	fmt.Fprintf(&sb, `<svg xmlns="http://www.w3.org/2000/svg" width="%.0f" height="%.0f" viewBox="0 0 %.0f %.0f">`+"\n",
+		opts.Width, opts.Height, opts.Width, opts.Height)
+	fmt.Fprintf(&sb, `<rect x="0" y="0" width="%.0f" height="%.0f" fill="#a6c3dd"/>`+"\n", opts.Width, opts.Height)
+	if opts.Title != "" {
+		fmt.Fprintf(&sb, `<title>%s</title>`+"\n", escapeXML(opts.Title))
+	}
+
+	var draw func(r *Region, depth int)
+	draw = func(r *Region, depth int) {
+		if opts.MaxDepth > 0 && depth > opts.MaxDepth {
+			return
+		}
+		if r.W <= 0.5 || r.H <= 0.5 {
+			return
+		}
+		if r.Node != graph.InvalidID {
+			fill := fillFor(r.Kind, depth)
+			stroke := "#8a8a7a"
+			sw := 0.5
+			if hl[r.Node] {
+				fill = "#e94f37"
+				stroke = "#7a1f12"
+				sw = 1.5
+			}
+			fmt.Fprintf(&sb, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="%s" stroke="%s" stroke-width="%.1f"><title>%s %s</title></rect>`+"\n",
+				r.X, r.Y, r.W, r.H, fill, stroke, sw, r.Kind, escapeXML(r.Name))
+			if r.W > 60 && r.H > 14 && (r.Kind == model.NodeDirectory || r.Kind == model.NodeFile) {
+				fmt.Fprintf(&sb, `<text x="%.1f" y="%.1f" font-size="10" font-family="sans-serif" fill="#44443a">%s</text>`+"\n",
+					r.X+3, r.Y+11, escapeXML(r.Name))
+			}
+		}
+		for _, c := range r.Children {
+			draw(c, depth+1)
+		}
+	}
+	draw(root, 0)
+
+	// Path overlays.
+	for _, p := range opts.Paths {
+		pts := make([]string, 0, p.Len()+1)
+		for _, n := range p.Nodes() {
+			if r, ok := m.byNode[n]; ok {
+				pts = append(pts, fmt.Sprintf("%.1f,%.1f", r.X+r.W/2, r.Y+r.H/2))
+			}
+		}
+		if len(pts) >= 2 {
+			fmt.Fprintf(&sb, `<polyline points="%s" fill="none" stroke="#1d3557" stroke-width="2" stroke-dasharray="5,3" opacity="0.85"/>`+"\n",
+				strings.Join(pts, " "))
+		}
+	}
+	sb.WriteString("</svg>\n")
+	return sb.String()
+}
+
+func escapeXML(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}

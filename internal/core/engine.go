@@ -1,0 +1,561 @@
+// Package core is Frappé itself: the engine tying together the
+// extractor, the graph repository (in-memory or disk-backed with a page
+// cache), the Cypher query processor and the embedded traversal API, and
+// exposing the paper's §4 use cases as first-class operations — code
+// search, cross-referencing (go-to-definition / find-references),
+// debugging path queries, and code comprehension (program slices over
+// the call graph, change impact, shortest paths).
+package core
+
+import (
+	"context"
+	"fmt"
+	"strings"
+
+	"frappe/internal/cpp"
+	"frappe/internal/extract"
+	"frappe/internal/graph"
+	"frappe/internal/model"
+	"frappe/internal/query"
+	"frappe/internal/store"
+	"frappe/internal/traversal"
+)
+
+// Engine is an opened Frappé database. It wraps either a freshly
+// extracted in-memory graph or a disk-backed store.
+type Engine struct {
+	src graph.Source
+	g   *graph.Graph // non-nil when in-memory
+	db  *store.DB    // non-nil when disk-backed
+
+	fileIDByPath map[string]int64
+	fileNodeByID map[int64]graph.NodeID
+}
+
+// Index runs the extractor over a build and returns an in-memory engine.
+func Index(build extract.Build, opts extract.Options) (*Engine, []error, error) {
+	res, err := extract.Run(build, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	e := fromGraph(res.Graph)
+	return e, res.Errors, nil
+}
+
+// FromGraph wraps an existing extracted graph.
+func FromGraph(g *graph.Graph) *Engine { return fromGraph(g) }
+
+func fromGraph(g *graph.Graph) *Engine {
+	e := &Engine{src: g, g: g}
+	e.buildFileMaps()
+	return e
+}
+
+// Open opens a previously saved Frappé store directory.
+func Open(dir string) (*Engine, error) {
+	db, err := store.Open(dir)
+	if err != nil {
+		return nil, err
+	}
+	e := &Engine{src: db, db: db}
+	e.buildFileMaps()
+	return e, nil
+}
+
+// Save persists an in-memory engine to dir (Neo4j-style store files).
+func (e *Engine) Save(dir string) error {
+	if e.g == nil {
+		return fmt.Errorf("core: engine is disk-backed; nothing to save")
+	}
+	return store.Write(dir, e.g)
+}
+
+// Close releases resources for disk-backed engines.
+func (e *Engine) Close() error {
+	if e.db != nil {
+		return e.db.Close()
+	}
+	return nil
+}
+
+// Source exposes the underlying graph for traversal and query use.
+func (e *Engine) Source() graph.Source { return e.src }
+
+// DropCaches empties the page caches of a disk-backed engine (cold-run
+// benchmarking); it is a no-op for in-memory engines.
+func (e *Engine) DropCaches() {
+	if e.db != nil {
+		e.db.DropCaches()
+	}
+}
+
+// buildFileMaps indexes file nodes by path and FILE_ID.
+func (e *Engine) buildFileMaps() {
+	e.fileIDByPath = map[string]int64{}
+	e.fileNodeByID = map[int64]graph.NodeID{}
+	n := e.src.NodeCount()
+	for id := graph.NodeID(0); id < graph.NodeID(n); id++ {
+		if e.src.NodeType(id) != model.NodeFile {
+			continue
+		}
+		p, _ := e.src.NodeProp(id, model.PropName)
+		fid, ok := e.src.NodeProp(id, "FILE_ID")
+		if !ok {
+			continue
+		}
+		e.fileIDByPath[p.AsString()] = fid.AsInt()
+		e.fileNodeByID[fid.AsInt()] = id
+	}
+}
+
+// FileNodeByID resolves a USE_FILE_ID/NAME_FILE_ID value to a file node.
+func (e *Engine) FileNodeByID(fid int64) (graph.NodeID, bool) {
+	n, ok := e.fileNodeByID[fid]
+	return n, ok
+}
+
+// FileIDOf returns the extraction FILE_ID recorded for a path, for
+// building position-anchored queries like the paper's Figure 4.
+func (e *Engine) FileIDOf(path string) (int64, bool) {
+	v, ok := e.fileIDByPath[path]
+	return v, ok
+}
+
+// Query parses and runs a Cypher query against the engine's graph.
+func (e *Engine) Query(ctx context.Context, text string) (*query.Result, error) {
+	return query.Run(ctx, e.src, text)
+}
+
+// Symbol is a materialised view of a graph node for API consumers.
+type Symbol struct {
+	ID        graph.NodeID
+	Type      model.NodeType
+	ShortName string
+	Name      string
+	LongName  string
+	File      string // defining file path ("" if not recorded)
+	Line      int
+	Col       int
+}
+
+// Symbol materialises a node.
+func (e *Engine) Symbol(id graph.NodeID) Symbol {
+	s := Symbol{ID: id, Type: e.src.NodeType(id)}
+	if v, ok := e.src.NodeProp(id, model.PropShortName); ok {
+		s.ShortName = v.AsString()
+	}
+	if v, ok := e.src.NodeProp(id, model.PropName); ok {
+		s.Name = v.AsString()
+	}
+	if v, ok := e.src.NodeProp(id, model.PropLongName); ok {
+		s.LongName = v.AsString()
+	}
+	// Definition location: the incoming file_contains edge.
+	for _, eid := range e.src.In(id) {
+		from, _, t := e.src.EdgeEnds(eid)
+		if t != model.EdgeFileContains {
+			continue
+		}
+		if v, ok := e.src.NodeProp(from, model.PropName); ok {
+			s.File = v.AsString()
+		}
+		if v, ok := e.src.EdgeProp(eid, model.PropNameStartLine); ok {
+			s.Line = int(v.AsInt())
+		}
+		if v, ok := e.src.EdgeProp(eid, model.PropNameStartCol); ok {
+			s.Col = int(v.AsInt())
+		}
+		break
+	}
+	return s
+}
+
+// Symbols materialises a node list.
+func (e *Engine) Symbols(ids []graph.NodeID) []Symbol {
+	out := make([]Symbol, len(ids))
+	for i, id := range ids {
+		out[i] = e.Symbol(id)
+	}
+	return out
+}
+
+// --- §4.1 code search ---
+
+// SearchOptions constrain a code search.
+type SearchOptions struct {
+	// Pattern matches SHORT_NAME; '*' and '?' wildcards allowed.
+	Pattern string
+	// Types restricts results to these node types (nil = any).
+	Types []model.NodeType
+	// Label restricts to a grouped label (symbol, type, container...).
+	Label string
+	// Module restricts results to entities reachable from the named
+	// module via compiled_from/linked_from, as in the paper's Figure 3.
+	Module string
+	// Dir restricts results to entities under the directory path.
+	Dir string
+	// Limit caps the result count (0 = unlimited).
+	Limit int
+}
+
+// Search implements the paper's code-search use case (§4.1).
+func (e *Engine) Search(ctx context.Context, opts SearchOptions) ([]Symbol, error) {
+	if opts.Pattern == "" {
+		return nil, fmt.Errorf("core: empty search pattern")
+	}
+	ids, err := e.src.Lookup("short_name: \"" + opts.Pattern + "\"")
+	if err != nil {
+		return nil, err
+	}
+
+	var typeFilter map[model.NodeType]bool
+	if len(opts.Types) > 0 {
+		typeFilter = map[model.NodeType]bool{}
+		for _, t := range opts.Types {
+			typeFilter[t] = true
+		}
+	}
+
+	var fileSet map[graph.NodeID]bool
+	if opts.Module != "" {
+		fileSet, err = e.moduleFiles(opts.Module)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if opts.Dir != "" {
+		dirFiles, err := e.dirFiles(opts.Dir)
+		if err != nil {
+			return nil, err
+		}
+		if fileSet == nil {
+			fileSet = dirFiles
+		} else {
+			for f := range fileSet {
+				if !dirFiles[f] {
+					delete(fileSet, f)
+				}
+			}
+		}
+	}
+
+	var out []Symbol
+	for _, id := range ids {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		if typeFilter != nil && !typeFilter[e.src.NodeType(id)] {
+			continue
+		}
+		if opts.Label != "" && !e.src.NodeHasLabel(id, opts.Label) {
+			continue
+		}
+		if fileSet != nil && !e.containedInAny(id, fileSet) {
+			continue
+		}
+		out = append(out, e.Symbol(id))
+		if opts.Limit > 0 && len(out) >= opts.Limit {
+			break
+		}
+	}
+	return out, nil
+}
+
+// moduleFiles computes the transitive closure of compiled_from and
+// linked_from edges from the named module (Figure 3's first MATCH).
+func (e *Engine) moduleFiles(name string) (map[graph.NodeID]bool, error) {
+	mods, err := e.src.Lookup("short_name: \"" + name + "\"")
+	if err != nil {
+		return nil, err
+	}
+	files := map[graph.NodeID]bool{}
+	for _, m := range mods {
+		if e.src.NodeType(m) != model.NodeModule {
+			continue
+		}
+		reach := traversal.TransitiveClosure(e.src, m, traversal.Options{
+			Direction: traversal.Out,
+			Types:     traversal.Types(model.EdgeCompiledFrom, model.EdgeLinkedFrom, model.EdgeLinkedFromLib),
+		})
+		for _, f := range reach {
+			if e.src.NodeType(f) == model.NodeFile {
+				files[f] = true
+			}
+		}
+	}
+	return files, nil
+}
+
+// dirFiles collects files under a directory path via dir_contains.
+func (e *Engine) dirFiles(dir string) (map[graph.NodeID]bool, error) {
+	var dn graph.NodeID = graph.InvalidID
+	n := e.src.NodeCount()
+	for id := graph.NodeID(0); id < graph.NodeID(n); id++ {
+		if e.src.NodeType(id) != model.NodeDirectory {
+			continue
+		}
+		if v, ok := e.src.NodeProp(id, model.PropName); ok && v.AsString() == dir {
+			dn = id
+			break
+		}
+	}
+	if dn == graph.InvalidID {
+		return nil, fmt.Errorf("core: no directory %q", dir)
+	}
+	files := map[graph.NodeID]bool{}
+	for _, f := range traversal.TransitiveClosure(e.src, dn, traversal.Options{
+		Direction: traversal.Out,
+		Types:     traversal.Types(model.EdgeDirContains),
+	}) {
+		if e.src.NodeType(f) == model.NodeFile {
+			files[f] = true
+		}
+	}
+	return files, nil
+}
+
+func (e *Engine) containedInAny(id graph.NodeID, files map[graph.NodeID]bool) bool {
+	for _, eid := range e.src.In(id) {
+		from, _, t := e.src.EdgeEnds(eid)
+		if t == model.EdgeFileContains && files[from] {
+			return true
+		}
+	}
+	return false
+}
+
+// --- §4.2 cross referencing ---
+
+// GoToDefinition resolves the symbol named name referenced at the given
+// source position to its definition (the paper's Figure 4 query, plus
+// declaration→definition resolution).
+func (e *Engine) GoToDefinition(ctx context.Context, name, file string, line, col int) (Symbol, bool, error) {
+	fid, ok := e.fileIDByPath[file]
+	if !ok {
+		return Symbol{}, false, fmt.Errorf("core: unknown file %q", file)
+	}
+	ids, err := e.src.Lookup("short_name: \"" + name + "\"")
+	if err != nil {
+		return Symbol{}, false, err
+	}
+	for _, id := range ids {
+		if err := ctx.Err(); err != nil {
+			return Symbol{}, false, err
+		}
+		for _, eid := range e.src.In(id) {
+			if f, ok := e.src.EdgeProp(eid, model.PropNameFileID); !ok || f.AsInt() != fid {
+				continue
+			}
+			if l, ok := e.src.EdgeProp(eid, model.PropNameStartLine); !ok || l.AsInt() != int64(line) {
+				continue
+			}
+			if c, ok := e.src.EdgeProp(eid, model.PropNameStartCol); !ok || c.AsInt() != int64(col) {
+				continue
+			}
+			return e.Symbol(e.resolveToDefinition(id)), true, nil
+		}
+	}
+	return Symbol{}, false, nil
+}
+
+// resolveToDefinition follows declares/link_matches from a declaration.
+func (e *Engine) resolveToDefinition(id graph.NodeID) graph.NodeID {
+	if !model.IsDecl(e.src.NodeType(id)) {
+		return id
+	}
+	for _, eid := range e.src.Out(id) {
+		_, to, t := e.src.EdgeEnds(eid)
+		if t == model.EdgeDeclares || t == model.EdgeLinkMatches {
+			return to
+		}
+	}
+	return id
+}
+
+// Reference is one use of a symbol.
+type Reference struct {
+	From Symbol
+	Kind model.EdgeType
+	File string
+	Line int
+	Col  int
+}
+
+// FindReferences lists every reference to the symbol (and to its
+// declarations), the paper's find-references action.
+func (e *Engine) FindReferences(ctx context.Context, id graph.NodeID) ([]Reference, error) {
+	targets := []graph.NodeID{id}
+	// Include declaration nodes that resolve to this definition.
+	for _, eid := range e.src.In(id) {
+		from, _, t := e.src.EdgeEnds(eid)
+		if t == model.EdgeDeclares || t == model.EdgeLinkMatches {
+			targets = append(targets, from)
+		}
+	}
+	var out []Reference
+	for _, target := range targets {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		for _, eid := range e.src.In(target) {
+			from, _, t := e.src.EdgeEnds(eid)
+			if !model.ReferenceEdges[t] || t == model.EdgeIsaType {
+				continue
+			}
+			ref := Reference{From: e.Symbol(from), Kind: t}
+			if v, ok := e.src.EdgeProp(eid, model.PropUseFileID); ok {
+				if fn, ok := e.fileNodeByID[v.AsInt()]; ok {
+					if p, ok := e.src.NodeProp(fn, model.PropName); ok {
+						ref.File = p.AsString()
+					}
+				}
+			}
+			if v, ok := e.src.EdgeProp(eid, model.PropUseStartLine); ok {
+				ref.Line = int(v.AsInt())
+			}
+			if v, ok := e.src.EdgeProp(eid, model.PropUseStartCol); ok {
+				ref.Col = int(v.AsInt())
+			}
+			out = append(out, ref)
+		}
+	}
+	return out, nil
+}
+
+// --- §4.4 code comprehension ---
+
+// BackwardSlice returns every function the seed function transitively
+// calls (Figure 6: the code that can alter the seed's behaviour).
+func (e *Engine) BackwardSlice(seed graph.NodeID, maxDepth int) []Symbol {
+	return e.Symbols(traversal.TransitiveClosure(e.src, seed, traversal.Options{
+		Direction: traversal.Out,
+		Types:     traversal.Types(model.EdgeCalls),
+		MaxDepth:  maxDepth,
+	}))
+}
+
+// ForwardSlice returns every function that transitively calls the seed
+// (the code affected if the seed changes).
+func (e *Engine) ForwardSlice(seed graph.NodeID, maxDepth int) []Symbol {
+	return e.Symbols(traversal.TransitiveClosure(e.src, seed, traversal.Options{
+		Direction: traversal.In,
+		Types:     traversal.Types(model.EdgeCalls),
+		MaxDepth:  maxDepth,
+	}))
+}
+
+// MacroImpact answers "how much code could be affected if I change this
+// macro?": the functions and files that expand or interrogate it, plus
+// the transitive callers of those functions.
+func (e *Engine) MacroImpact(macro graph.NodeID) []Symbol {
+	direct := map[graph.NodeID]bool{}
+	for _, eid := range e.src.In(macro) {
+		from, _, t := e.src.EdgeEnds(eid)
+		if t == model.EdgeExpandsMacro || t == model.EdgeInterrogatesMacro {
+			direct[from] = true
+		}
+	}
+	seen := map[graph.NodeID]bool{}
+	var out []graph.NodeID
+	for d := range direct {
+		if !seen[d] {
+			seen[d] = true
+			out = append(out, d)
+		}
+		for _, up := range traversal.TransitiveClosure(e.src, d, traversal.Options{
+			Direction: traversal.In,
+			Types:     traversal.Types(model.EdgeCalls),
+		}) {
+			if !seen[up] {
+				seen[up] = true
+				out = append(out, up)
+			}
+		}
+	}
+	return e.Symbols(out)
+}
+
+// IncludeImpact returns every file that transitively includes the given
+// file — the rebuild set when a header changes.
+func (e *Engine) IncludeImpact(file graph.NodeID) []Symbol {
+	return e.Symbols(traversal.TransitiveClosure(e.src, file, traversal.Options{
+		Direction: traversal.In,
+		Types:     traversal.Types(model.EdgeIncludes),
+	}))
+}
+
+// CallPath finds a shortest calls path between two functions — the
+// "how might execution reach this code" exploration of §4.4.
+func (e *Engine) CallPath(from, to graph.NodeID) (traversal.Path, bool) {
+	return traversal.ShortestPath(e.src, from, to, traversal.Options{
+		Direction: traversal.Out,
+		Types:     traversal.Types(model.EdgeCalls),
+	})
+}
+
+// LookupNamed finds nodes by SHORT_NAME (optionally filtered by type),
+// a convenience for examples and the CLI.
+func (e *Engine) LookupNamed(name string, typ model.NodeType) ([]graph.NodeID, error) {
+	q := "short_name: \"" + name + "\""
+	if typ != "" {
+		q = "TYPE: " + string(typ) + " AND " + q
+	}
+	return e.src.Lookup(q)
+}
+
+// MustLookupOne returns the unique node with the given name/type or an
+// error naming the ambiguity.
+func (e *Engine) MustLookupOne(name string, typ model.NodeType) (graph.NodeID, error) {
+	ids, err := e.LookupNamed(name, typ)
+	if err != nil {
+		return graph.InvalidID, err
+	}
+	switch len(ids) {
+	case 0:
+		return graph.InvalidID, fmt.Errorf("core: no %s named %q", orAny(typ), name)
+	case 1:
+		return ids[0], nil
+	}
+	return graph.InvalidID, fmt.Errorf("core: %d nodes named %q", len(ids), name)
+}
+
+func orAny(t model.NodeType) string {
+	if t == "" {
+		return "node"
+	}
+	return string(t)
+}
+
+// Stats bundles the graph metrics of the paper's Table 3.
+func (e *Engine) Stats() graph.Metrics { return graph.ComputeMetrics(e.src) }
+
+// FormatSymbol renders a symbol for terminal output.
+func FormatSymbol(s Symbol) string {
+	loc := ""
+	if s.File != "" {
+		loc = fmt.Sprintf("  %s:%d:%d", s.File, s.Line, s.Col)
+	}
+	name := s.ShortName
+	if s.LongName != "" {
+		name = s.LongName
+	}
+	return fmt.Sprintf("%-14s %s%s", s.Type, name, loc)
+}
+
+// FilePathOf resolves a FILE_ID to its path, "" when unknown.
+func (e *Engine) FilePathOf(fid cpp.FileID) string {
+	if n, ok := e.fileNodeByID[int64(fid)]; ok {
+		if v, ok := e.src.NodeProp(n, model.PropName); ok {
+			return v.AsString()
+		}
+	}
+	return ""
+}
+
+// DirOf trims a path to its directory for display grouping.
+func DirOf(p string) string {
+	if i := strings.LastIndexByte(p, '/'); i >= 0 {
+		return p[:i]
+	}
+	return ""
+}

@@ -1,0 +1,351 @@
+package core
+
+import (
+	"context"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"frappe/internal/graph"
+	"frappe/internal/kernelgen"
+	"frappe/internal/model"
+)
+
+var ctx = context.Background()
+
+// tinyEngine indexes the tiny synthetic kernel once per test binary.
+func tinyEngine(t *testing.T) *Engine {
+	t.Helper()
+	w := kernelgen.Generate(kernelgen.Tiny())
+	e, errs, err := Index(w.Build, w.ExtractOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range errs {
+		t.Fatalf("extract error: %v", x)
+	}
+	return e
+}
+
+func TestSearchByNameAndType(t *testing.T) {
+	e := tinyEngine(t)
+	syms, err := e.Search(ctx, SearchOptions{Pattern: "packet_command", Types: []model.NodeType{model.NodeStruct}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(syms) != 1 || syms[0].Type != model.NodeStruct {
+		t.Fatalf("search = %+v", syms)
+	}
+	if syms[0].File != "drivers/scsi/sr.h" {
+		t.Fatalf("definition file = %q", syms[0].File)
+	}
+	if syms[0].Line == 0 {
+		t.Fatal("definition line missing")
+	}
+}
+
+func TestSearchWildcardAndLimit(t *testing.T) {
+	e := tinyEngine(t)
+	all, err := e.Search(ctx, SearchOptions{Pattern: "sr_*"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) < 2 {
+		t.Fatalf("wildcard hits = %d", len(all))
+	}
+	limited, err := e.Search(ctx, SearchOptions{Pattern: "sr_*", Limit: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(limited) != 1 {
+		t.Fatalf("limit ignored: %d", len(limited))
+	}
+}
+
+func TestSearchModuleConstraintFigure3(t *testing.T) {
+	e := tinyEngine(t)
+	inModule, err := e.Search(ctx, SearchOptions{
+		Pattern: "id",
+		Types:   []model.NodeType{model.NodeField},
+		Module:  "wakeup.elf",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(inModule) != 2 { // wakeup_source.id + wakeup_event.id
+		t.Fatalf("module-constrained = %d, want 2: %+v", len(inModule), inModule)
+	}
+	everywhere, err := e.Search(ctx, SearchOptions{Pattern: "id", Types: []model.NodeType{model.NodeField}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(everywhere) <= len(inModule) {
+		t.Fatalf("constraint had no effect: %d vs %d", len(everywhere), len(inModule))
+	}
+}
+
+func TestSearchDirConstraint(t *testing.T) {
+	e := tinyEngine(t)
+	syms, err := e.Search(ctx, SearchOptions{Pattern: "*", Dir: "drivers/scsi", Label: model.LabelSymbol})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(syms) == 0 {
+		t.Fatal("no symbols under drivers/scsi")
+	}
+	for _, s := range syms {
+		if !strings.HasPrefix(s.File, "drivers/scsi/") {
+			t.Fatalf("leaked symbol %+v", s)
+		}
+	}
+}
+
+func TestGoToDefinition(t *testing.T) {
+	e := tinyEngine(t)
+	// Find the call to get_sectorsize at sr.c:236 and jump to its
+	// definition.
+	// Column: "\tret += get_sectorsize(dev);" — name starts at col 9.
+	sym, ok, err := e.GoToDefinition(ctx, "get_sectorsize", "drivers/scsi/sr.c", 236, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("definition not found")
+	}
+	if sym.Type != model.NodeFunction || sym.ShortName != "get_sectorsize" {
+		t.Fatalf("sym = %+v", sym)
+	}
+	if sym.File != "drivers/scsi/sr.c" {
+		t.Fatalf("def file = %q", sym.File)
+	}
+	// A miss returns ok=false, not an error.
+	_, ok, err = e.GoToDefinition(ctx, "get_sectorsize", "drivers/scsi/sr.c", 1, 1)
+	if err != nil || ok {
+		t.Fatalf("miss = %v, %v", ok, err)
+	}
+}
+
+func TestGoToDefinitionResolvesDeclToDef(t *testing.T) {
+	e := tinyEngine(t)
+	// printk is declared in kernel.h and defined in kernel/printk.c; a
+	// reference's NAME position should resolve to the definition. Find a
+	// real reference position first.
+	id, err := e.MustLookupOne("printk", model.NodeFunction)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refs, err := e.FindReferences(ctx, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(refs) == 0 {
+		t.Fatal("printk unreferenced?")
+	}
+	if refs[0].File == "" || refs[0].Line == 0 {
+		t.Fatalf("reference location empty: %+v", refs[0])
+	}
+}
+
+func TestFindReferences(t *testing.T) {
+	e := tinyEngine(t)
+	id, err := e.MustLookupOne("get_sectorsize", model.NodeFunction)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refs, err := e.FindReferences(ctx, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(refs) != 1 {
+		t.Fatalf("refs = %+v", refs)
+	}
+	r := refs[0]
+	if r.Kind != model.EdgeCalls || r.From.ShortName != "sr_media_change" || r.Line != 236 {
+		t.Fatalf("ref = %+v", r)
+	}
+}
+
+func TestSlices(t *testing.T) {
+	e := tinyEngine(t)
+	pci, err := e.MustLookupOne("pci_read_bases", model.NodeFunction)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back := e.BackwardSlice(pci, 0)
+	if len(back) < 36 {
+		t.Fatalf("backward slice = %d", len(back))
+	}
+	printk, err := e.MustLookupOne("printk", model.NodeFunction)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fwd := e.ForwardSlice(printk, 0)
+	if len(fwd) < 10 {
+		t.Fatalf("forward slice of printk = %d", len(fwd))
+	}
+	// Depth-limited slice is a subset.
+	lim := e.BackwardSlice(pci, 1)
+	if len(lim) >= len(back) {
+		t.Fatalf("depth limit had no effect: %d vs %d", len(lim), len(back))
+	}
+}
+
+func TestMacroImpact(t *testing.T) {
+	e := tinyEngine(t)
+	null, err := e.MustLookupOne("NULL", model.NodeMacro)
+	if err != nil {
+		t.Fatal(err)
+	}
+	impact := e.MacroImpact(null)
+	if len(impact) < 5 {
+		t.Fatalf("NULL impact = %d", len(impact))
+	}
+}
+
+func TestIncludeImpact(t *testing.T) {
+	e := tinyEngine(t)
+	ids, err := e.LookupNamed("types.h", model.NodeFile)
+	if err != nil || len(ids) != 1 {
+		t.Fatalf("types.h lookup: %v %v", ids, err)
+	}
+	impact := e.IncludeImpact(ids[0])
+	if len(impact) < 4 {
+		t.Fatalf("types.h include impact = %d", len(impact))
+	}
+}
+
+func TestCallPath(t *testing.T) {
+	e := tinyEngine(t)
+	from, err := e.MustLookupOne("sr_media_change", model.NodeFunction)
+	if err != nil {
+		t.Fatal(err)
+	}
+	to, err := e.MustLookupOne("write_cmd", model.NodeFunction)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, ok := e.CallPath(from, to)
+	if !ok || p.Len() < 2 {
+		t.Fatalf("path = %+v ok=%v", p, ok)
+	}
+	if p.Start != from || p.End() != to {
+		t.Fatalf("path endpoints wrong")
+	}
+}
+
+func TestSaveOpenParity(t *testing.T) {
+	e := tinyEngine(t)
+	dir := filepath.Join(t.TempDir(), "db")
+	if err := e.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	disk, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer disk.Close()
+
+	// Same stats.
+	if e.Stats() != disk.Stats() {
+		t.Fatalf("stats differ: %+v vs %+v", e.Stats(), disk.Stats())
+	}
+	// Same search results.
+	a, err := e.Search(ctx, SearchOptions{Pattern: "id", Types: []model.NodeType{model.NodeField}, Module: "wakeup.elf"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := disk.Search(ctx, SearchOptions{Pattern: "id", Types: []model.NodeType{model.NodeField}, Module: "wakeup.elf"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("search parity: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].ID != b[i].ID || a[i].File != b[i].File {
+			t.Fatalf("result %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	// Cold run agrees too.
+	disk.DropCaches()
+	c, err := disk.Search(ctx, SearchOptions{Pattern: "id", Types: []model.NodeType{model.NodeField}, Module: "wakeup.elf"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c) != len(a) {
+		t.Fatalf("cold parity: %d vs %d", len(c), len(a))
+	}
+	// Save on a disk-backed engine is refused.
+	if err := disk.Save(t.TempDir()); err == nil {
+		t.Fatal("Save on disk-backed engine should fail")
+	}
+}
+
+func TestQueryThroughEngine(t *testing.T) {
+	e := tinyEngine(t)
+	res, err := e.Query(ctx, `MATCH (n:module) RETURN n.short_name ORDER BY n.short_name`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Count() < 3 {
+		t.Fatalf("modules = %d", res.Count())
+	}
+}
+
+func TestSearchErrors(t *testing.T) {
+	e := tinyEngine(t)
+	if _, err := e.Search(ctx, SearchOptions{}); err == nil {
+		t.Fatal("empty pattern should fail")
+	}
+	if _, err := e.Search(ctx, SearchOptions{Pattern: "x", Dir: "no/such/dir"}); err == nil {
+		t.Fatal("unknown dir should fail")
+	}
+	if _, _, err := e.GoToDefinition(ctx, "x", "no/such/file.c", 1, 1); err == nil {
+		t.Fatal("unknown file should fail")
+	}
+	if _, err := e.MustLookupOne("definitely_not_there", model.NodeFunction); err == nil {
+		t.Fatal("missing symbol should fail")
+	}
+	if _, err := e.MustLookupOne("id", model.NodeField); err == nil {
+		t.Fatal("ambiguous symbol should fail")
+	}
+}
+
+func TestSymbolMaterialisation(t *testing.T) {
+	e := tinyEngine(t)
+	id, err := e.MustLookupOne("sr_media_change", model.NodeFunction)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := e.Symbol(id)
+	if s.LongName != "sr_media_change(int)" {
+		t.Fatalf("LONG_NAME = %q", s.LongName)
+	}
+	out := FormatSymbol(s)
+	if !strings.Contains(out, "sr_media_change(int)") || !strings.Contains(out, "drivers/scsi/sr.c:") {
+		t.Fatalf("FormatSymbol = %q", out)
+	}
+}
+
+func TestFileMapsAndIDs(t *testing.T) {
+	e := tinyEngine(t)
+	var found bool
+	n := e.src.NodeCount()
+	for id := graph.NodeID(0); id < graph.NodeID(n); id++ {
+		if e.src.NodeType(id) != model.NodeFile {
+			continue
+		}
+		fid, ok := e.src.NodeProp(id, "FILE_ID")
+		if !ok {
+			t.Fatalf("file node %d missing FILE_ID", id)
+		}
+		got, ok := e.FileNodeByID(fid.AsInt())
+		if !ok || got != id {
+			t.Fatalf("FileNodeByID(%d) = %d, %v", fid.AsInt(), got, ok)
+		}
+		found = true
+	}
+	if !found {
+		t.Fatal("no file nodes")
+	}
+}

@@ -1,0 +1,544 @@
+// Package cparse parses preprocessed C token streams (from internal/cpp)
+// into an abstract syntax tree, with enough semantic typing to let the
+// extractor resolve member accesses, call targets and type uses — the
+// role a modified Clang plays in the paper's extractor.
+//
+// The supported language is the C dialect large kernel codebases are
+// written in: functions, globals, statics, struct/union/enum and typedef
+// declarations with full declarator syntax (pointers, arrays, function
+// pointers, qualifiers, bit-fields), designated initialisers, and the
+// complete statement and expression grammar. The "lexer hack" (typedef
+// name feedback) resolves the declaration/expression ambiguity.
+package cparse
+
+import (
+	"fmt"
+	"strings"
+
+	"frappe/internal/cpp"
+)
+
+// TypeKind classifies semantic types.
+type TypeKind uint8
+
+// Semantic type kinds.
+const (
+	TPrimitive TypeKind = iota // int, unsigned long, void, double, ...
+	TStruct
+	TUnion
+	TEnum
+	TTypedef // reference to a typedef name
+	TPointer
+	TArray
+	TFunc
+)
+
+// Type is a semantic C type. Struct/union/enum types reference their tag;
+// the extractor resolves tags against the translation unit's record
+// definitions. Types are trees, not interned, and safe to share.
+type Type struct {
+	Kind     TypeKind
+	Name     string // primitive spelling, tag, or typedef name
+	Elem     *Type  // pointer/array element
+	ArrayLen int64  // TArray: -1 if unspecified
+	Ret      *Type  // TFunc
+	Params   []*Type
+	Variadic bool
+	// Quals are the type qualifiers applying at this level, coded per the
+	// paper's QUALIFIERS property: c=const, v=volatile, r=restrict.
+	Quals string
+}
+
+// Void, used where a type is absent.
+var Void = &Type{Kind: TPrimitive, Name: "void"}
+
+// IsVoid reports whether t is the void primitive.
+func (t *Type) IsVoid() bool { return t != nil && t.Kind == TPrimitive && t.Name == "void" }
+
+// String renders a readable form of the type (not valid C for function
+// pointers; diagnostic use only).
+func (t *Type) String() string {
+	if t == nil {
+		return "<nil>"
+	}
+	switch t.Kind {
+	case TPrimitive:
+		return t.Name
+	case TStruct:
+		return "struct " + t.Name
+	case TUnion:
+		return "union " + t.Name
+	case TEnum:
+		return "enum " + t.Name
+	case TTypedef:
+		return t.Name
+	case TPointer:
+		return t.Elem.String() + "*"
+	case TArray:
+		if t.ArrayLen >= 0 {
+			return fmt.Sprintf("%s[%d]", t.Elem.String(), t.ArrayLen)
+		}
+		return t.Elem.String() + "[]"
+	case TFunc:
+		parts := make([]string, len(t.Params))
+		for i, p := range t.Params {
+			parts[i] = p.String()
+		}
+		if t.Variadic {
+			parts = append(parts, "...")
+		}
+		return t.Ret.String() + "(" + strings.Join(parts, ", ") + ")"
+	}
+	return "?"
+}
+
+// QualCode computes the paper's coded qualifier string for a declared
+// type, in "spoken order": ']' for array, '*' for pointer, then c/v/r.
+// Example: `const char **argv` → "**c" read as "pointer to pointer to
+// const char".
+func (t *Type) QualCode() string {
+	var sb strings.Builder
+	cur := t
+	for cur != nil {
+		switch cur.Kind {
+		case TArray:
+			sb.WriteByte(']')
+			cur = cur.Elem
+		case TPointer:
+			sb.WriteByte('*')
+			for _, q := range cur.Quals {
+				sb.WriteRune(q)
+			}
+			cur = cur.Elem
+		default:
+			sb.WriteString(cur.Quals)
+			return sb.String()
+		}
+	}
+	return sb.String()
+}
+
+// Base returns the innermost non-derived type (stripping pointers and
+// arrays), which is what an isa_type edge targets.
+func (t *Type) Base() *Type {
+	cur := t
+	for cur != nil && (cur.Kind == TPointer || cur.Kind == TArray) {
+		cur = cur.Elem
+	}
+	return cur
+}
+
+// ArrayLens returns the constant dimensions of nested arrays outermost
+// first (the paper's ARRAY_LENGTHS property).
+func (t *Type) ArrayLens() []int64 {
+	var out []int64
+	for cur := t; cur != nil && cur.Kind == TArray; cur = cur.Elem {
+		out = append(out, cur.ArrayLen)
+	}
+	return out
+}
+
+// --- declarations ---
+
+// Node is any AST node with a source range.
+type Node interface {
+	Span() cpp.Range
+}
+
+// TranslationUnit is one parsed .c file after preprocessing.
+type TranslationUnit struct {
+	Decls   []Decl
+	Records []*RecordDecl // all struct/union definitions, including nested
+	Enums   []*EnumDecl
+	Errors  []error
+}
+
+// Decl is a top-level or block-level declaration.
+type Decl interface {
+	Node
+	declNode()
+}
+
+// FuncDecl is a function definition (Body != nil) or declaration.
+type FuncDecl struct {
+	Name     cpp.Token
+	Type     *Type // TFunc
+	Params   []*ParamDecl
+	Body     *BlockStmt // nil for a pure declaration
+	Static   bool
+	Inline   bool
+	Variadic bool
+	Start    cpp.Pos
+	End      cpp.Pos
+}
+
+// ParamDecl is one formal parameter.
+type ParamDecl struct {
+	Name  cpp.Token // may be empty (abstract)
+	Type  *Type
+	Index int
+}
+
+// VarDecl is a global, file-static, local or static-local variable.
+type VarDecl struct {
+	Name   cpp.Token
+	Type   *Type
+	Static bool
+	Extern bool
+	Init   Expr // nil if none
+	Start  cpp.Pos
+	End    cpp.Pos
+}
+
+// TypedefDecl introduces a typedef name.
+type TypedefDecl struct {
+	Name  cpp.Token
+	Type  *Type
+	Start cpp.Pos
+	End   cpp.Pos
+}
+
+// RecordDecl is a struct or union definition (with body) or forward
+// declaration (Fields == nil, Complete == false).
+type RecordDecl struct {
+	Union    bool
+	Tag      string // source tag or generated anonymous tag
+	TagTok   cpp.Token
+	Fields   []*FieldDecl
+	Complete bool
+	Start    cpp.Pos
+	End      cpp.Pos
+}
+
+// FieldDecl is one struct/union member.
+type FieldDecl struct {
+	Name     cpp.Token
+	Type     *Type
+	BitWidth int64 // -1 when not a bit-field
+	Start    cpp.Pos
+	End      cpp.Pos
+}
+
+// EnumDecl is an enum definition or forward declaration.
+type EnumDecl struct {
+	Tag         string
+	TagTok      cpp.Token
+	Enumerators []*Enumerator
+	Complete    bool
+	Start       cpp.Pos
+	End         cpp.Pos
+}
+
+// Enumerator is one enum constant with its resolved value.
+type Enumerator struct {
+	Name  cpp.Token
+	Expr  Expr // nil for implicit values
+	Value int64
+}
+
+func (*FuncDecl) declNode()    {}
+func (*VarDecl) declNode()     {}
+func (*TypedefDecl) declNode() {}
+func (*RecordDecl) declNode()  {}
+func (*EnumDecl) declNode()    {}
+
+// Span implementations.
+func (d *FuncDecl) Span() cpp.Range    { return cpp.Range{Start: d.Start, End: d.End} }
+func (d *VarDecl) Span() cpp.Range     { return cpp.Range{Start: d.Start, End: d.End} }
+func (d *TypedefDecl) Span() cpp.Range { return cpp.Range{Start: d.Start, End: d.End} }
+func (d *RecordDecl) Span() cpp.Range  { return cpp.Range{Start: d.Start, End: d.End} }
+func (d *EnumDecl) Span() cpp.Range    { return cpp.Range{Start: d.Start, End: d.End} }
+
+// --- statements ---
+
+// Stmt is a statement.
+type Stmt interface {
+	Node
+	stmtNode()
+}
+
+// BlockStmt is { ... }.
+type BlockStmt struct {
+	Items []Stmt
+	Start cpp.Pos
+	End   cpp.Pos
+}
+
+// DeclStmt wraps block-level declarations.
+type DeclStmt struct {
+	Decls []Decl
+	Start cpp.Pos
+	End   cpp.Pos
+}
+
+// ExprStmt is an expression statement (Expr may be nil for ';').
+type ExprStmt struct {
+	X     Expr
+	Start cpp.Pos
+	End   cpp.Pos
+}
+
+// IfStmt is if/else.
+type IfStmt struct {
+	Cond       Expr
+	Then, Else Stmt
+	Start      cpp.Pos
+	End        cpp.Pos
+}
+
+// WhileStmt is while or do-while (DoWhile set).
+type WhileStmt struct {
+	Cond    Expr
+	Body    Stmt
+	DoWhile bool
+	Start   cpp.Pos
+	End     cpp.Pos
+}
+
+// ForStmt is a for loop; Init may be a DeclStmt or ExprStmt.
+type ForStmt struct {
+	Init       Stmt
+	Cond, Post Expr
+	Body       Stmt
+	Start      cpp.Pos
+	End        cpp.Pos
+}
+
+// SwitchStmt is switch.
+type SwitchStmt struct {
+	Tag   Expr
+	Body  Stmt
+	Start cpp.Pos
+	End   cpp.Pos
+}
+
+// CaseStmt is `case X:` or `default:` (X nil).
+type CaseStmt struct {
+	Value Expr
+	Body  []Stmt
+	Start cpp.Pos
+	End   cpp.Pos
+}
+
+// ReturnStmt is return.
+type ReturnStmt struct {
+	X     Expr // may be nil
+	Start cpp.Pos
+	End   cpp.Pos
+}
+
+// BranchStmt is break/continue/goto.
+type BranchStmt struct {
+	Kind  string // "break", "continue", "goto"
+	Label cpp.Token
+	Start cpp.Pos
+	End   cpp.Pos
+}
+
+// LabelStmt is `name: stmt`.
+type LabelStmt struct {
+	Name  cpp.Token
+	Stmt  Stmt
+	Start cpp.Pos
+	End   cpp.Pos
+}
+
+func (*BlockStmt) stmtNode()  {}
+func (*DeclStmt) stmtNode()   {}
+func (*ExprStmt) stmtNode()   {}
+func (*IfStmt) stmtNode()     {}
+func (*WhileStmt) stmtNode()  {}
+func (*ForStmt) stmtNode()    {}
+func (*SwitchStmt) stmtNode() {}
+func (*CaseStmt) stmtNode()   {}
+func (*ReturnStmt) stmtNode() {}
+func (*BranchStmt) stmtNode() {}
+func (*LabelStmt) stmtNode()  {}
+
+func (s *BlockStmt) Span() cpp.Range  { return cpp.Range{Start: s.Start, End: s.End} }
+func (s *DeclStmt) Span() cpp.Range   { return cpp.Range{Start: s.Start, End: s.End} }
+func (s *ExprStmt) Span() cpp.Range   { return cpp.Range{Start: s.Start, End: s.End} }
+func (s *IfStmt) Span() cpp.Range     { return cpp.Range{Start: s.Start, End: s.End} }
+func (s *WhileStmt) Span() cpp.Range  { return cpp.Range{Start: s.Start, End: s.End} }
+func (s *ForStmt) Span() cpp.Range    { return cpp.Range{Start: s.Start, End: s.End} }
+func (s *SwitchStmt) Span() cpp.Range { return cpp.Range{Start: s.Start, End: s.End} }
+func (s *CaseStmt) Span() cpp.Range   { return cpp.Range{Start: s.Start, End: s.End} }
+func (s *ReturnStmt) Span() cpp.Range { return cpp.Range{Start: s.Start, End: s.End} }
+func (s *BranchStmt) Span() cpp.Range { return cpp.Range{Start: s.Start, End: s.End} }
+func (s *LabelStmt) Span() cpp.Range  { return cpp.Range{Start: s.Start, End: s.End} }
+
+// --- expressions ---
+
+// Expr is an expression.
+type Expr interface {
+	Node
+	exprNode()
+}
+
+// Ident is a name use.
+type Ident struct {
+	Tok cpp.Token
+}
+
+// IntLit is an integer literal with its parsed value.
+type IntLit struct {
+	Tok   cpp.Token
+	Value int64
+}
+
+// StrLit is a string literal (adjacent literals merged).
+type StrLit struct {
+	Toks []cpp.Token
+}
+
+// CharLit is a character literal.
+type CharLit struct {
+	Tok   cpp.Token
+	Value int64
+}
+
+// CallExpr is a function call.
+type CallExpr struct {
+	Fun   Expr
+	Args  []Expr
+	Start cpp.Pos
+	End   cpp.Pos
+}
+
+// MemberExpr is base.name or base->name (Arrow).
+type MemberExpr struct {
+	Base  Expr
+	Name  cpp.Token
+	Arrow bool
+	End   cpp.Pos
+}
+
+// IndexExpr is base[idx].
+type IndexExpr struct {
+	Base, Idx Expr
+	End       cpp.Pos
+}
+
+// UnaryExpr covers prefix (&x, *x, -x, !x, ~x, ++x, --x) and postfix
+// (x++, x--) unary operators.
+type UnaryExpr struct {
+	Op      string
+	X       Expr
+	Postfix bool
+	Start   cpp.Pos
+	End     cpp.Pos
+}
+
+// BinaryExpr is a binary operator application.
+type BinaryExpr struct {
+	Op   string
+	L, R Expr
+}
+
+// AssignExpr is =, +=, etc.
+type AssignExpr struct {
+	Op   string // "=", "+=", ...
+	L, R Expr
+}
+
+// CondExpr is c ? t : f.
+type CondExpr struct {
+	C, T, F Expr
+}
+
+// CastExpr is (type) x.
+type CastExpr struct {
+	Type  *Type
+	X     Expr
+	Start cpp.Pos
+}
+
+// SizeofExpr is sizeof x / sizeof(type) / _Alignof(type).
+type SizeofExpr struct {
+	AlignOf bool
+	X       Expr  // nil when of a type
+	Type    *Type // nil when of an expression
+	Start   cpp.Pos
+	End     cpp.Pos
+}
+
+// CommaExpr is a, b.
+type CommaExpr struct {
+	L, R Expr
+}
+
+// StmtExpr is the GNU statement expression ({ stmts; value }) that
+// kernel macros like min()/max() use pervasively.
+type StmtExpr struct {
+	Block *BlockStmt
+	Start cpp.Pos
+	End   cpp.Pos
+}
+
+// InitList is { ... } with optional designators.
+type InitList struct {
+	Items []InitItem
+	Start cpp.Pos
+	End   cpp.Pos
+}
+
+// InitItem is one initialiser, possibly designated (.field = x).
+type InitItem struct {
+	Designator cpp.Token // field name; zero token when positional
+	Value      Expr
+}
+
+func (*Ident) exprNode()      {}
+func (*IntLit) exprNode()     {}
+func (*StrLit) exprNode()     {}
+func (*CharLit) exprNode()    {}
+func (*CallExpr) exprNode()   {}
+func (*MemberExpr) exprNode() {}
+func (*IndexExpr) exprNode()  {}
+func (*UnaryExpr) exprNode()  {}
+func (*BinaryExpr) exprNode() {}
+func (*AssignExpr) exprNode() {}
+func (*CondExpr) exprNode()   {}
+func (*CastExpr) exprNode()   {}
+func (*SizeofExpr) exprNode() {}
+func (*CommaExpr) exprNode()  {}
+func (*StmtExpr) exprNode()   {}
+func (*InitList) exprNode()   {}
+
+// Span implementations for expressions.
+func (e *Ident) Span() cpp.Range {
+	return cpp.Range{Start: e.Tok.Pos, End: e.Tok.End()}
+}
+func (e *IntLit) Span() cpp.Range { return cpp.Range{Start: e.Tok.Pos, End: e.Tok.End()} }
+func (e *StrLit) Span() cpp.Range {
+	return cpp.Range{Start: e.Toks[0].Pos, End: e.Toks[len(e.Toks)-1].End()}
+}
+func (e *CharLit) Span() cpp.Range { return cpp.Range{Start: e.Tok.Pos, End: e.Tok.End()} }
+func (e *CallExpr) Span() cpp.Range {
+	return cpp.Range{Start: e.Start, End: e.End}
+}
+func (e *MemberExpr) Span() cpp.Range {
+	return cpp.Range{Start: e.Base.Span().Start, End: e.End}
+}
+func (e *IndexExpr) Span() cpp.Range {
+	return cpp.Range{Start: e.Base.Span().Start, End: e.End}
+}
+func (e *UnaryExpr) Span() cpp.Range { return cpp.Range{Start: e.Start, End: e.End} }
+func (e *BinaryExpr) Span() cpp.Range {
+	return cpp.Range{Start: e.L.Span().Start, End: e.R.Span().End}
+}
+func (e *AssignExpr) Span() cpp.Range {
+	return cpp.Range{Start: e.L.Span().Start, End: e.R.Span().End}
+}
+func (e *CondExpr) Span() cpp.Range {
+	return cpp.Range{Start: e.C.Span().Start, End: e.F.Span().End}
+}
+func (e *CastExpr) Span() cpp.Range {
+	return cpp.Range{Start: e.Start, End: e.X.Span().End}
+}
+func (e *SizeofExpr) Span() cpp.Range { return cpp.Range{Start: e.Start, End: e.End} }
+func (e *CommaExpr) Span() cpp.Range {
+	return cpp.Range{Start: e.L.Span().Start, End: e.R.Span().End}
+}
+func (e *StmtExpr) Span() cpp.Range { return cpp.Range{Start: e.Start, End: e.End} }
+func (e *InitList) Span() cpp.Range { return cpp.Range{Start: e.Start, End: e.End} }

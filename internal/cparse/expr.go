@@ -1,0 +1,328 @@
+package cparse
+
+import (
+	"frappe/internal/cpp"
+)
+
+// parseExpr parses a full expression including the comma operator.
+func (p *parser) parseExpr() (Expr, error) {
+	l, err := p.parseAssignExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.cur().IsPunct(",") {
+		p.pos++
+		r, err := p.parseAssignExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = &CommaExpr{L: l, R: r}
+	}
+	return l, nil
+}
+
+var assignOps = map[string]bool{
+	"=": true, "+=": true, "-=": true, "*=": true, "/=": true, "%=": true,
+	"<<=": true, ">>=": true, "&=": true, "^=": true, "|=": true,
+}
+
+func (p *parser) parseAssignExpr() (Expr, error) {
+	l, err := p.parseConditionalExpr()
+	if err != nil {
+		return nil, err
+	}
+	t := p.cur()
+	if t.Kind == cpp.TokPunct && assignOps[t.Text] {
+		p.pos++
+		r, err := p.parseAssignExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &AssignExpr{Op: t.Text, L: l, R: r}, nil
+	}
+	return l, nil
+}
+
+func (p *parser) parseConditionalExpr() (Expr, error) {
+	c, err := p.parseBinary(0)
+	if err != nil {
+		return nil, err
+	}
+	if !p.acceptPunct("?") {
+		return c, nil
+	}
+	// GNU ?: elision (a ?: b) appears in kernel code.
+	var thenE Expr
+	if p.cur().IsPunct(":") {
+		thenE = c
+	} else {
+		thenE, err = p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+	}
+	if _, err := p.expectPunct(":"); err != nil {
+		return nil, err
+	}
+	elseE, err := p.parseConditionalExpr()
+	if err != nil {
+		return nil, err
+	}
+	return &CondExpr{C: c, T: thenE, F: elseE}, nil
+}
+
+// Binary precedence levels, loosest first.
+var binLevels = [][]string{
+	{"||"}, {"&&"}, {"|"}, {"^"}, {"&"},
+	{"==", "!="}, {"<", "<=", ">", ">="},
+	{"<<", ">>"}, {"+", "-"}, {"*", "/", "%"},
+}
+
+func (p *parser) parseBinary(level int) (Expr, error) {
+	if level >= len(binLevels) {
+		return p.parseCastExpr()
+	}
+	l, err := p.parseBinary(level + 1)
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.cur()
+		matched := ""
+		if t.Kind == cpp.TokPunct {
+			for _, op := range binLevels[level] {
+				if t.Text == op {
+					matched = op
+					break
+				}
+			}
+		}
+		if matched == "" {
+			return l, nil
+		}
+		p.pos++
+		r, err := p.parseBinary(level + 1)
+		if err != nil {
+			return nil, err
+		}
+		l = &BinaryExpr{Op: matched, L: l, R: r}
+	}
+}
+
+// parseCastExpr handles (type) casts and compound literals.
+func (p *parser) parseCastExpr() (Expr, error) {
+	t := p.cur()
+	if t.IsPunct("(") && p.startsDeclSpec(p.peek(1)) {
+		p.pos++
+		typ, err := p.parseTypeName()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		if p.cur().IsPunct("{") {
+			// Compound literal.
+			init, err := p.parseInitializer()
+			if err != nil {
+				return nil, err
+			}
+			return &CastExpr{Type: typ, X: init, Start: t.Pos}, nil
+		}
+		x, err := p.parseCastExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &CastExpr{Type: typ, X: x, Start: t.Pos}, nil
+	}
+	return p.parseUnaryExpr()
+}
+
+// parseTypeName parses a type-name (specifiers plus abstract declarator).
+func (p *parser) parseTypeName() (*Type, error) {
+	info, err := p.parseDeclSpecifiers()
+	if err != nil {
+		return nil, err
+	}
+	_, typ, _, err := p.parseDeclarator(info.base, true)
+	return typ, err
+}
+
+func (p *parser) parseUnaryExpr() (Expr, error) {
+	t := p.cur()
+	switch {
+	case t.IsPunct("&"), t.IsPunct("*"), t.IsPunct("-"), t.IsPunct("+"),
+		t.IsPunct("!"), t.IsPunct("~"):
+		p.pos++
+		x, err := p.parseCastExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &UnaryExpr{Op: t.Text, X: x, Start: t.Pos, End: x.Span().End}, nil
+	case t.IsPunct("++"), t.IsPunct("--"):
+		p.pos++
+		x, err := p.parseUnaryExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &UnaryExpr{Op: t.Text, X: x, Start: t.Pos, End: x.Span().End}, nil
+	case t.IsIdent("sizeof"), t.IsIdent("_Alignof"), t.IsIdent("__alignof__"), t.IsIdent("__alignof"):
+		p.pos++
+		alignof := t.Text != "sizeof"
+		if p.cur().IsPunct("(") && p.startsDeclSpec(p.peek(1)) {
+			p.pos++
+			typ, err := p.parseTypeName()
+			if err != nil {
+				return nil, err
+			}
+			close, err := p.expectPunct(")")
+			if err != nil {
+				return nil, err
+			}
+			return &SizeofExpr{AlignOf: alignof, Type: typ, Start: t.Pos, End: close.End()}, nil
+		}
+		x, err := p.parseUnaryExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &SizeofExpr{AlignOf: alignof, X: x, Start: t.Pos, End: x.Span().End}, nil
+	}
+	return p.parsePostfixExpr()
+}
+
+func (p *parser) parsePostfixExpr() (Expr, error) {
+	e, err := p.parsePrimaryExpr()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.cur()
+		switch {
+		case t.IsPunct("("):
+			p.pos++
+			call := &CallExpr{Fun: e, Start: e.Span().Start}
+			for !p.cur().IsPunct(")") && p.cur().Kind != cpp.TokEOF {
+				a, err := p.parseAssignExpr()
+				if err != nil {
+					return nil, err
+				}
+				call.Args = append(call.Args, a)
+				if !p.acceptPunct(",") {
+					break
+				}
+			}
+			close, err := p.expectPunct(")")
+			if err != nil {
+				return nil, err
+			}
+			call.End = close.End()
+			e = call
+		case t.IsPunct("["):
+			p.pos++
+			idx, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			close, err := p.expectPunct("]")
+			if err != nil {
+				return nil, err
+			}
+			e = &IndexExpr{Base: e, Idx: idx, End: close.End()}
+		case t.IsPunct("."), t.IsPunct("->"):
+			p.pos++
+			name := p.next()
+			if name.Kind != cpp.TokIdent {
+				return nil, p.errf(name, "expected member name after %q", t.Text)
+			}
+			e = &MemberExpr{Base: e, Name: name, Arrow: t.Text == "->", End: name.End()}
+		case t.IsPunct("++"), t.IsPunct("--"):
+			p.pos++
+			e = &UnaryExpr{Op: t.Text, X: e, Postfix: true, Start: e.Span().Start, End: t.End()}
+		default:
+			return e, nil
+		}
+	}
+}
+
+func (p *parser) parsePrimaryExpr() (Expr, error) {
+	t := p.cur()
+	switch t.Kind {
+	case cpp.TokIdent:
+		p.pos++
+		return &Ident{Tok: t}, nil
+	case cpp.TokNumber:
+		p.pos++
+		v, err := cpp.ParseIntLiteral(t.Text)
+		if err != nil {
+			// Float literal: value 0 is fine for the dependency graph.
+			v = 0
+		}
+		return &IntLit{Tok: t, Value: v}, nil
+	case cpp.TokString:
+		toks := []cpp.Token{t}
+		p.pos++
+		for p.cur().Kind == cpp.TokString {
+			toks = append(toks, p.next())
+		}
+		return &StrLit{Toks: toks}, nil
+	case cpp.TokChar:
+		p.pos++
+		return &CharLit{Tok: t, Value: charLitValue(t.Text)}, nil
+	case cpp.TokPunct:
+		if t.Text == "(" {
+			// GNU statement expression: ({ ... }).
+			if p.peek(1).IsPunct("{") {
+				p.pos++
+				block, err := p.parseBlock()
+				if err != nil {
+					return nil, err
+				}
+				close, err := p.expectPunct(")")
+				if err != nil {
+					return nil, err
+				}
+				return &StmtExpr{Block: block, Start: t.Pos, End: close.End()}, nil
+			}
+			p.pos++
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expectPunct(")"); err != nil {
+				return nil, err
+			}
+			return e, nil
+		}
+	}
+	return nil, p.errf(t, "expected an expression, found %q", t.Text)
+}
+
+func charLitValue(lit string) int64 {
+	s := lit
+	if len(s) >= 2 && s[0] == '\'' {
+		s = s[1:]
+		if len(s) > 0 && s[len(s)-1] == '\'' {
+			s = s[:len(s)-1]
+		}
+	}
+	if s == "" {
+		return 0
+	}
+	if s[0] != '\\' {
+		return int64(s[0])
+	}
+	if len(s) < 2 {
+		return '\\'
+	}
+	switch s[1] {
+	case 'n':
+		return '\n'
+	case 't':
+		return '\t'
+	case 'r':
+		return '\r'
+	case '0':
+		return 0
+	}
+	return int64(s[1])
+}

@@ -1,0 +1,970 @@
+package cparse
+
+import (
+	"fmt"
+	"strings"
+
+	"frappe/internal/cpp"
+)
+
+// Parse parses a preprocessed token stream into a translation unit.
+// extraTypedefs seeds the typedef-name table (for names defined by
+// headers outside the parsed set, e.g. compiler built-ins like
+// __builtin_va_list or size_t when <stddef.h> is not modelled).
+// Parse never fails outright: syntax errors are recorded in the returned
+// unit's Errors and parsing recovers at the next top-level boundary.
+func Parse(toks []cpp.Token, extraTypedefs []string) *TranslationUnit {
+	p := &parser{toks: toks, typedefs: map[string]bool{
+		"__builtin_va_list": true,
+	}}
+	for _, t := range extraTypedefs {
+		p.typedefs[t] = true
+	}
+	p.tu = &TranslationUnit{}
+	p.enumVals = map[string]int64{}
+	p.parseTU()
+	p.tu.Errors = p.errs
+	return p.tu
+}
+
+type parser struct {
+	toks     []cpp.Token
+	pos      int
+	typedefs map[string]bool
+	enumVals map[string]int64
+	tu       *TranslationUnit
+	errs     []error
+	anonSeq  int
+}
+
+var eofToken = cpp.Token{Kind: cpp.TokEOF}
+
+func (p *parser) cur() cpp.Token {
+	if p.pos >= len(p.toks) {
+		return eofToken
+	}
+	return p.toks[p.pos]
+}
+
+func (p *parser) peek(i int) cpp.Token {
+	if p.pos+i >= len(p.toks) {
+		return eofToken
+	}
+	return p.toks[p.pos+i]
+}
+
+func (p *parser) next() cpp.Token {
+	t := p.cur()
+	if p.pos < len(p.toks) {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) acceptPunct(s string) bool {
+	if p.cur().IsPunct(s) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) acceptIdent(s string) bool {
+	if p.cur().IsIdent(s) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectPunct(s string) (cpp.Token, error) {
+	t := p.cur()
+	if !t.IsPunct(s) {
+		return t, p.errf(t, "expected %q, found %q", s, t.Text)
+	}
+	p.pos++
+	return t, nil
+}
+
+func (p *parser) errf(at cpp.Token, format string, args ...any) error {
+	return fmt.Errorf("cparse: %s at %d:%d:%d", fmt.Sprintf(format, args...), at.Pos.File, at.Pos.Line, at.Pos.Col)
+}
+
+// recoverTo skips to the next ';' (at any depth — an unclosed brace in
+// the bad region must not swallow the rest of the file) or to a '}' that
+// closes the current nesting, so parsing can continue.
+func (p *parser) recoverTo() {
+	depth := 0
+	for {
+		t := p.next()
+		switch {
+		case t.Kind == cpp.TokEOF:
+			return
+		case t.IsPunct(";"):
+			return
+		case t.IsPunct("{"):
+			depth++
+		case t.IsPunct("}"):
+			depth--
+			if depth <= 0 {
+				return
+			}
+		}
+	}
+}
+
+// --- declaration specifiers ---
+
+// specInfo is the result of parsing declaration specifiers.
+type specInfo struct {
+	base    *Type
+	typedef bool
+	static  bool
+	extern  bool
+	inline  bool
+}
+
+var typeKeywords = map[string]bool{
+	"void": true, "char": true, "short": true, "int": true, "long": true,
+	"float": true, "double": true, "signed": true, "unsigned": true,
+	"_Bool": true, "struct": true, "union": true, "enum": true,
+}
+
+var storageKeywords = map[string]bool{
+	"typedef": true, "extern": true, "static": true, "register": true,
+	"auto": true, "inline": true, "__inline": true, "__inline__": true,
+}
+
+var qualKeywords = map[string]string{
+	"const": "c", "volatile": "v", "restrict": "r",
+	"__const": "c", "__restrict": "r", "__restrict__": "r", "_Atomic": "",
+}
+
+// startsDeclSpec reports whether the token can begin declaration
+// specifiers (used for the declaration/statement split and cast
+// detection).
+func (p *parser) startsDeclSpec(t cpp.Token) bool {
+	if t.Kind != cpp.TokIdent {
+		return false
+	}
+	if typeKeywords[t.Text] || storageKeywords[t.Text] {
+		return true
+	}
+	if t.Text == "typeof" || t.Text == "__typeof__" || t.Text == "__typeof" {
+		return true
+	}
+	if _, ok := qualKeywords[t.Text]; ok {
+		return true
+	}
+	return p.typedefs[t.Text]
+}
+
+// parseDeclSpecifiers consumes storage classes, qualifiers and type
+// specifiers, returning the resolved base type and flags.
+func (p *parser) parseDeclSpecifiers() (*specInfo, error) {
+	info := &specInfo{}
+	var quals string
+	var prim []string // primitive specifier words
+	sawType := false
+
+	for {
+		t := p.cur()
+		if t.Kind != cpp.TokIdent {
+			break
+		}
+		switch {
+		case t.Text == "typedef":
+			info.typedef = true
+			p.pos++
+		case t.Text == "extern":
+			info.extern = true
+			p.pos++
+		case t.Text == "static":
+			info.static = true
+			p.pos++
+		case t.Text == "register" || t.Text == "auto":
+			p.pos++
+		case t.Text == "inline" || t.Text == "__inline" || t.Text == "__inline__":
+			info.inline = true
+			p.pos++
+		case t.Text == "__attribute__" || t.Text == "__attribute":
+			p.pos++
+			p.skipBalancedParens()
+		case t.Text == "__extension__":
+			p.pos++
+		case (t.Text == "typeof" || t.Text == "__typeof__" || t.Text == "__typeof") && !sawType:
+			// GNU typeof(expr): the operand's type is opaque to the
+			// dependency graph; model it as an unresolved typedef so the
+			// declaration still parses and later member accesses degrade
+			// gracefully rather than failing.
+			p.pos++
+			p.skipBalancedParens()
+			info.base = &Type{Kind: TTypedef, Name: "__typeof__"}
+			sawType = true
+		case qualKeywords[t.Text] != "" || t.Text == "_Atomic":
+			quals = addQual(quals, qualKeywords[t.Text])
+			p.pos++
+		case t.Text == "struct" || t.Text == "union":
+			if sawType {
+				goto done
+			}
+			typ, err := p.parseRecordSpec(t.Text == "union")
+			if err != nil {
+				return nil, err
+			}
+			info.base = typ
+			sawType = true
+		case t.Text == "enum":
+			if sawType {
+				goto done
+			}
+			typ, err := p.parseEnumSpec()
+			if err != nil {
+				return nil, err
+			}
+			info.base = typ
+			sawType = true
+		case typeKeywords[t.Text]:
+			prim = append(prim, t.Text)
+			sawType = true
+			p.pos++
+		case p.typedefs[t.Text] && !sawType:
+			info.base = &Type{Kind: TTypedef, Name: t.Text}
+			sawType = true
+			p.pos++
+		default:
+			goto done
+		}
+	}
+done:
+	if len(prim) > 0 {
+		info.base = &Type{Kind: TPrimitive, Name: canonicalPrimitive(prim)}
+	}
+	if info.base == nil {
+		if !sawType {
+			// Implicit int (K&R style declarations).
+			info.base = &Type{Kind: TPrimitive, Name: "int"}
+		}
+	}
+	if quals != "" {
+		// Copy before mutating: base types of records are shared.
+		b := *info.base
+		b.Quals = addQuals(b.Quals, quals)
+		info.base = &b
+	}
+	return info, nil
+}
+
+func addQual(quals string, q string) string {
+	if q == "" || strings.Contains(quals, q) {
+		return quals
+	}
+	return quals + q
+}
+
+func addQuals(quals, more string) string {
+	for _, c := range more {
+		quals = addQual(quals, string(c))
+	}
+	return quals
+}
+
+// canonicalPrimitive normalises primitive specifier multisets to a
+// canonical spelling ("unsigned long", "long long", ...).
+func canonicalPrimitive(words []string) string {
+	var signed, unsigned bool
+	longs, shorts := 0, 0
+	base := ""
+	for _, w := range words {
+		switch w {
+		case "signed":
+			signed = true
+		case "unsigned":
+			unsigned = true
+		case "long":
+			longs++
+		case "short":
+			shorts++
+		default:
+			base = w
+		}
+	}
+	var parts []string
+	if unsigned {
+		parts = append(parts, "unsigned")
+	} else if signed && base == "char" {
+		parts = append(parts, "signed")
+	}
+	if shorts > 0 {
+		parts = append(parts, "short")
+	}
+	for i := 0; i < longs; i++ {
+		parts = append(parts, "long")
+	}
+	if base != "" && !(base == "int" && (longs > 0 || shorts > 0)) {
+		parts = append(parts, base)
+	}
+	if len(parts) == 0 {
+		parts = []string{"int"}
+	}
+	if len(parts) == 1 && (parts[0] == "unsigned" || parts[0] == "signed") {
+		parts = append(parts, "int")
+	}
+	return strings.Join(parts, " ")
+}
+
+func (p *parser) skipBalancedParens() {
+	if !p.cur().IsPunct("(") {
+		return
+	}
+	depth := 0
+	for {
+		t := p.next()
+		switch {
+		case t.Kind == cpp.TokEOF:
+			return
+		case t.IsPunct("("):
+			depth++
+		case t.IsPunct(")"):
+			depth--
+			if depth == 0 {
+				return
+			}
+		}
+	}
+}
+
+func (p *parser) anonTag(kw string, at cpp.Pos) string {
+	p.anonSeq++
+	return fmt.Sprintf("<anon-%s-%d@%d:%d>", kw, p.anonSeq, at.File, at.Line)
+}
+
+// parseRecordSpec parses struct/union specifiers, recording definitions
+// on the translation unit.
+func (p *parser) parseRecordSpec(isUnion bool) (*Type, error) {
+	kw := p.next() // struct|union
+	kind := TStruct
+	kwName := "struct"
+	if isUnion {
+		kind = TUnion
+		kwName = "union"
+	}
+	var tagTok cpp.Token
+	tag := ""
+	if p.cur().Kind == cpp.TokIdent && !p.cur().IsPunct("{") && !typeKeywords[p.cur().Text] {
+		tagTok = p.next()
+		tag = tagTok.Text
+	}
+	if !p.cur().IsPunct("{") {
+		if tag == "" {
+			return nil, p.errf(kw, "%s without tag or body", kwName)
+		}
+		return &Type{Kind: kind, Name: tag}, nil
+	}
+	if tag == "" {
+		tag = p.anonTag(kwName, kw.Pos)
+	}
+	open := p.next() // '{'
+	rec := &RecordDecl{Union: isUnion, Tag: tag, TagTok: tagTok, Complete: true, Start: kw.Pos}
+	_ = open
+	for !p.cur().IsPunct("}") && p.cur().Kind != cpp.TokEOF {
+		if err := p.parseFieldDecl(rec); err != nil {
+			p.errs = append(p.errs, err)
+			p.recoverTo()
+		}
+	}
+	close, err := p.expectPunct("}")
+	if err != nil {
+		return nil, err
+	}
+	rec.End = close.End()
+	p.tu.Records = append(p.tu.Records, rec)
+	return &Type{Kind: kind, Name: tag}, nil
+}
+
+func (p *parser) parseFieldDecl(rec *RecordDecl) error {
+	start := p.cur().Pos
+	info, err := p.parseDeclSpecifiers()
+	if err != nil {
+		return err
+	}
+	// Anonymous struct/union member: specifiers followed directly by ';'.
+	if p.acceptPunct(";") {
+		rec.Fields = append(rec.Fields, &FieldDecl{Type: info.base, BitWidth: -1, Start: start, End: p.cur().Pos})
+		return nil
+	}
+	for {
+		var fd FieldDecl
+		fd.BitWidth = -1
+		fd.Start = start
+		if !p.cur().IsPunct(":") {
+			name, typ, _, err := p.parseDeclarator(info.base, false)
+			if err != nil {
+				return err
+			}
+			fd.Name = name
+			fd.Type = typ
+		} else {
+			fd.Type = info.base
+		}
+		if p.acceptPunct(":") {
+			w, err := p.parseConditionalExpr()
+			if err != nil {
+				return err
+			}
+			if v, ok := p.evalConst(w); ok {
+				fd.BitWidth = v
+			} else {
+				fd.BitWidth = 0
+			}
+		}
+		p.skipAttributes()
+		fd.End = p.cur().Pos
+		rec.Fields = append(rec.Fields, &fd)
+		if p.acceptPunct(",") {
+			continue
+		}
+		_, err := p.expectPunct(";")
+		return err
+	}
+}
+
+func (p *parser) skipAttributes() {
+	for p.cur().IsIdent("__attribute__") || p.cur().IsIdent("__attribute") {
+		p.pos++
+		p.skipBalancedParens()
+	}
+}
+
+// parseEnumSpec parses enum specifiers.
+func (p *parser) parseEnumSpec() (*Type, error) {
+	kw := p.next() // enum
+	var tagTok cpp.Token
+	tag := ""
+	if p.cur().Kind == cpp.TokIdent {
+		tagTok = p.next()
+		tag = tagTok.Text
+	}
+	if !p.cur().IsPunct("{") {
+		if tag == "" {
+			return nil, p.errf(kw, "enum without tag or body")
+		}
+		return &Type{Kind: TEnum, Name: tag}, nil
+	}
+	if tag == "" {
+		tag = p.anonTag("enum", kw.Pos)
+	}
+	p.next() // '{'
+	ed := &EnumDecl{Tag: tag, TagTok: tagTok, Complete: true, Start: kw.Pos}
+	nextVal := int64(0)
+	for !p.cur().IsPunct("}") && p.cur().Kind != cpp.TokEOF {
+		name := p.cur()
+		if name.Kind != cpp.TokIdent {
+			return nil, p.errf(name, "expected enumerator name")
+		}
+		p.pos++
+		en := &Enumerator{Name: name}
+		if p.acceptPunct("=") {
+			e, err := p.parseConditionalExpr()
+			if err != nil {
+				return nil, err
+			}
+			en.Expr = e
+			if v, ok := p.evalConst(e); ok {
+				nextVal = v
+			}
+		}
+		en.Value = nextVal
+		p.enumVals[name.Text] = nextVal
+		nextVal++
+		ed.Enumerators = append(ed.Enumerators, en)
+		if !p.acceptPunct(",") {
+			break
+		}
+	}
+	close, err := p.expectPunct("}")
+	if err != nil {
+		return nil, err
+	}
+	ed.End = close.End()
+	p.tu.Enums = append(p.tu.Enums, ed)
+	return &Type{Kind: TEnum, Name: tag}, nil
+}
+
+// --- declarators ---
+
+// typeSuffix is one array or function derivation read left-to-right.
+type typeSuffix struct {
+	isFunc   bool
+	arrayLen int64
+	params   []*ParamDecl
+	variadic bool
+}
+
+// parseDeclarator parses a (possibly abstract) declarator over base and
+// returns the declared name (zero token when abstract), the full type,
+// and the parameter declarations when the named direct declarator is a
+// function.
+func (p *parser) parseDeclarator(base *Type, abstract bool) (cpp.Token, *Type, []*ParamDecl, error) {
+	t := base
+	// Pointers apply innermost: consume them, wrapping the base.
+	for p.cur().IsPunct("*") {
+		p.pos++
+		quals := ""
+		for {
+			if q, ok := qualKeywords[p.cur().Text]; ok && p.cur().Kind == cpp.TokIdent {
+				quals = addQual(quals, q)
+				p.pos++
+				continue
+			}
+			break
+		}
+		t = &Type{Kind: TPointer, Elem: t, Quals: quals}
+	}
+	p.skipAttributes()
+
+	var name cpp.Token
+	var innerBuild func(*Type) (*Type, error)
+	grouped := false
+
+	switch {
+	case p.cur().Kind == cpp.TokIdent && !p.startsDeclSpec(p.cur()):
+		name = p.next()
+	case p.cur().IsPunct("("):
+		// '(' begins a grouped declarator only if its content looks like a
+		// declarator (pointer, grouped, or identifier); otherwise it is a
+		// function-parameter suffix of an abstract declarator.
+		nxt := p.peek(1)
+		isGroup := nxt.IsPunct("*") || nxt.IsPunct("(") ||
+			(nxt.Kind == cpp.TokIdent && !p.startsDeclSpec(nxt))
+		if isGroup {
+			grouped = true
+			p.pos++
+			// Parse the inner declarator against a placeholder; we re-apply
+			// it after reading the suffixes.
+			innerName, innerType, innerParams, err := p.parseDeclarator(&Type{Kind: TPrimitive, Name: "\x00hole"}, abstract)
+			if err != nil {
+				return name, nil, nil, err
+			}
+			name = innerName
+			_ = innerParams
+			if _, err := p.expectPunct(")"); err != nil {
+				return name, nil, nil, err
+			}
+			innerBuild = func(outer *Type) (*Type, error) {
+				return substituteHole(innerType, outer)
+			}
+		}
+	}
+
+	suffixes, params, err := p.parseTypeSuffixes()
+	if err != nil {
+		return name, nil, nil, err
+	}
+	// Apply suffixes right-to-left around the pointer-wrapped base.
+	for i := len(suffixes) - 1; i >= 0; i-- {
+		s := suffixes[i]
+		if s.isFunc {
+			ptypes := make([]*Type, len(s.params))
+			for j, pd := range s.params {
+				ptypes[j] = pd.Type
+			}
+			t = &Type{Kind: TFunc, Ret: t, Params: ptypes, Variadic: s.variadic}
+		} else {
+			t = &Type{Kind: TArray, Elem: t, ArrayLen: s.arrayLen}
+		}
+	}
+	if grouped && innerBuild != nil {
+		t2, err := innerBuild(t)
+		if err != nil {
+			return name, nil, nil, err
+		}
+		t = t2
+		params = nil // parameters belong to the inner declarator shape
+	}
+	p.skipAttributes()
+	return name, t, params, nil
+}
+
+// substituteHole replaces the placeholder base inside a grouped
+// declarator's type with the outer type.
+func substituteHole(t *Type, outer *Type) (*Type, error) {
+	if t == nil {
+		return nil, fmt.Errorf("cparse: empty grouped declarator")
+	}
+	if t.Kind == TPrimitive && t.Name == "\x00hole" {
+		return outer, nil
+	}
+	cp := *t
+	switch t.Kind {
+	case TPointer, TArray:
+		e, err := substituteHole(t.Elem, outer)
+		if err != nil {
+			return nil, err
+		}
+		cp.Elem = e
+	case TFunc:
+		r, err := substituteHole(t.Ret, outer)
+		if err != nil {
+			return nil, err
+		}
+		cp.Ret = r
+	default:
+		return nil, fmt.Errorf("cparse: grouped declarator without hole")
+	}
+	return &cp, nil
+}
+
+// parseTypeSuffixes reads [n] and (params) derivations; it returns the
+// parameter declarations of the first function suffix (the declared
+// function's own parameters).
+func (p *parser) parseTypeSuffixes() ([]typeSuffix, []*ParamDecl, error) {
+	var out []typeSuffix
+	var firstParams []*ParamDecl
+	for {
+		switch {
+		case p.cur().IsPunct("["):
+			p.pos++
+			s := typeSuffix{arrayLen: -1}
+			if !p.cur().IsPunct("]") {
+				e, err := p.parseAssignExpr()
+				if err != nil {
+					return nil, nil, err
+				}
+				if v, ok := p.evalConst(e); ok {
+					s.arrayLen = v
+				}
+			}
+			if _, err := p.expectPunct("]"); err != nil {
+				return nil, nil, err
+			}
+			out = append(out, s)
+		case p.cur().IsPunct("("):
+			p.pos++
+			s := typeSuffix{isFunc: true}
+			var err error
+			s.params, s.variadic, err = p.parseParamList()
+			if err != nil {
+				return nil, nil, err
+			}
+			if firstParams == nil {
+				firstParams = s.params
+				if firstParams == nil {
+					firstParams = []*ParamDecl{}
+				}
+			}
+			out = append(out, s)
+		default:
+			return out, firstParams, nil
+		}
+	}
+}
+
+// parseParamList parses up to the closing ')'.
+func (p *parser) parseParamList() ([]*ParamDecl, bool, error) {
+	if p.acceptPunct(")") {
+		return nil, false, nil // unspecified parameters: f()
+	}
+	// f(void)
+	if p.cur().IsIdent("void") && p.peek(1).IsPunct(")") {
+		p.pos += 2
+		return []*ParamDecl{}, false, nil
+	}
+	var params []*ParamDecl
+	variadic := false
+	for {
+		if p.acceptPunct("...") {
+			variadic = true
+			break
+		}
+		info, err := p.parseDeclSpecifiers()
+		if err != nil {
+			return nil, false, err
+		}
+		name, typ, _, err := p.parseDeclarator(info.base, true)
+		if err != nil {
+			return nil, false, err
+		}
+		// Array parameters adjust to pointers (C11 6.7.6.3p7).
+		if typ.Kind == TArray {
+			typ = &Type{Kind: TPointer, Elem: typ.Elem}
+		}
+		params = append(params, &ParamDecl{Name: name, Type: typ, Index: len(params)})
+		if !p.acceptPunct(",") {
+			break
+		}
+	}
+	if _, err := p.expectPunct(")"); err != nil {
+		return nil, false, err
+	}
+	if params == nil {
+		params = []*ParamDecl{}
+	}
+	return params, variadic, nil
+}
+
+// --- top level ---
+
+func (p *parser) parseTU() {
+	for p.cur().Kind != cpp.TokEOF {
+		if p.acceptPunct(";") {
+			continue
+		}
+		if err := p.parseExternalDecl(); err != nil {
+			p.errs = append(p.errs, err)
+			p.recoverTo()
+		}
+	}
+}
+
+func (p *parser) parseExternalDecl() error {
+	start := p.cur().Pos
+	info, err := p.parseDeclSpecifiers()
+	if err != nil {
+		return err
+	}
+	// Bare record/enum declaration: `struct foo { ... };`
+	if p.cur().IsPunct(";") {
+		p.pos++
+		return nil
+	}
+	first := true
+	for {
+		name, typ, params, err := p.parseDeclarator(info.base, false)
+		if err != nil {
+			return err
+		}
+		if name.Kind != cpp.TokIdent {
+			return p.errf(p.cur(), "expected a declared name")
+		}
+		switch {
+		case info.typedef:
+			p.typedefs[name.Text] = true
+			end := p.cur().End()
+			p.tu.Decls = append(p.tu.Decls, &TypedefDecl{Name: name, Type: typ, Start: start, End: end})
+		case typ.Kind == TFunc:
+			fd := &FuncDecl{
+				Name: name, Type: typ, Params: params,
+				Static: info.static, Inline: info.inline,
+				Variadic: typ.Variadic, Start: start, End: p.cur().End(),
+			}
+			if first && p.cur().IsPunct("{") {
+				body, err := p.parseBlock()
+				if err != nil {
+					return err
+				}
+				fd.Body = body
+				fd.End = body.End
+				p.tu.Decls = append(p.tu.Decls, fd)
+				return nil
+			}
+			p.tu.Decls = append(p.tu.Decls, fd)
+		default:
+			vd := &VarDecl{
+				Name: name, Type: typ,
+				Static: info.static, Extern: info.extern,
+				Start: start,
+			}
+			if p.acceptPunct("=") {
+				init, err := p.parseInitializer()
+				if err != nil {
+					return err
+				}
+				vd.Init = init
+			}
+			vd.End = p.cur().End()
+			p.tu.Decls = append(p.tu.Decls, vd)
+		}
+		first = false
+		if p.acceptPunct(",") {
+			continue
+		}
+		_, err = p.expectPunct(";")
+		return err
+	}
+}
+
+// parseBlockDecl parses a block-level declaration into Decl nodes.
+func (p *parser) parseBlockDecl() ([]Decl, error) {
+	start := p.cur().Pos
+	info, err := p.parseDeclSpecifiers()
+	if err != nil {
+		return nil, err
+	}
+	if p.acceptPunct(";") {
+		return nil, nil // local struct/enum definition only
+	}
+	var out []Decl
+	for {
+		name, typ, _, err := p.parseDeclarator(info.base, false)
+		if err != nil {
+			return nil, err
+		}
+		if name.Kind != cpp.TokIdent {
+			return nil, p.errf(p.cur(), "expected a declared local name")
+		}
+		if info.typedef {
+			p.typedefs[name.Text] = true
+			out = append(out, &TypedefDecl{Name: name, Type: typ, Start: start, End: p.cur().End()})
+		} else if typ.Kind == TFunc {
+			out = append(out, &FuncDecl{Name: name, Type: typ, Start: start, End: p.cur().End()})
+		} else {
+			vd := &VarDecl{Name: name, Type: typ, Static: info.static, Extern: info.extern, Start: start}
+			if p.acceptPunct("=") {
+				init, err := p.parseInitializer()
+				if err != nil {
+					return nil, err
+				}
+				vd.Init = init
+			}
+			vd.End = p.cur().End()
+			out = append(out, vd)
+		}
+		if p.acceptPunct(",") {
+			continue
+		}
+		if _, err := p.expectPunct(";"); err != nil {
+			return nil, err
+		}
+		return out, nil
+	}
+}
+
+func (p *parser) parseInitializer() (Expr, error) {
+	if !p.cur().IsPunct("{") {
+		return p.parseAssignExpr()
+	}
+	open := p.next()
+	il := &InitList{Start: open.Pos}
+	for !p.cur().IsPunct("}") && p.cur().Kind != cpp.TokEOF {
+		var item InitItem
+		if p.cur().IsPunct(".") && p.peek(1).Kind == cpp.TokIdent {
+			p.pos++
+			item.Designator = p.next()
+			if _, err := p.expectPunct("="); err != nil {
+				return nil, err
+			}
+		} else if p.cur().IsPunct("[") {
+			// Array designator: [idx] = value; the index is parsed and
+			// dropped (no field reference).
+			p.pos++
+			if _, err := p.parseConditionalExpr(); err != nil {
+				return nil, err
+			}
+			if _, err := p.expectPunct("]"); err != nil {
+				return nil, err
+			}
+			if _, err := p.expectPunct("="); err != nil {
+				return nil, err
+			}
+		}
+		v, err := p.parseInitializer()
+		if err != nil {
+			return nil, err
+		}
+		item.Value = v
+		il.Items = append(il.Items, item)
+		if !p.acceptPunct(",") {
+			break
+		}
+	}
+	close, err := p.expectPunct("}")
+	if err != nil {
+		return nil, err
+	}
+	il.End = close.End()
+	return il, nil
+}
+
+// --- constant evaluation (enum values, array sizes, bit widths) ---
+
+func (p *parser) evalConst(e Expr) (int64, bool) {
+	switch t := e.(type) {
+	case *IntLit:
+		return t.Value, true
+	case *CharLit:
+		return t.Value, true
+	case *Ident:
+		v, ok := p.enumVals[t.Tok.Text]
+		return v, ok
+	case *UnaryExpr:
+		v, ok := p.evalConst(t.X)
+		if !ok {
+			return 0, false
+		}
+		switch t.Op {
+		case "-":
+			return -v, true
+		case "+":
+			return v, true
+		case "~":
+			return ^v, true
+		case "!":
+			if v == 0 {
+				return 1, true
+			}
+			return 0, true
+		}
+		return 0, false
+	case *BinaryExpr:
+		l, ok := p.evalConst(t.L)
+		if !ok {
+			return 0, false
+		}
+		r, ok := p.evalConst(t.R)
+		if !ok {
+			return 0, false
+		}
+		switch t.Op {
+		case "+":
+			return l + r, true
+		case "-":
+			return l - r, true
+		case "*":
+			return l * r, true
+		case "/":
+			if r == 0 {
+				return 0, false
+			}
+			return l / r, true
+		case "%":
+			if r == 0 {
+				return 0, false
+			}
+			return l % r, true
+		case "<<":
+			if r < 0 || r > 63 {
+				return 0, false
+			}
+			return l << uint(r), true
+		case ">>":
+			if r < 0 || r > 63 {
+				return 0, false
+			}
+			return l >> uint(r), true
+		case "&":
+			return l & r, true
+		case "|":
+			return l | r, true
+		case "^":
+			return l ^ r, true
+		}
+		return 0, false
+	case *CondExpr:
+		c, ok := p.evalConst(t.C)
+		if !ok {
+			return 0, false
+		}
+		if c != 0 {
+			return p.evalConst(t.T)
+		}
+		return p.evalConst(t.F)
+	case *CastExpr:
+		return p.evalConst(t.X)
+	case *SizeofExpr:
+		// A plausible constant keeps array sizes sane; exact layout is out
+		// of scope for the dependency graph.
+		return 8, true
+	}
+	return 0, false
+}

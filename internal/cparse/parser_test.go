@@ -1,0 +1,508 @@
+package cparse
+
+import (
+	"testing"
+
+	"frappe/internal/cpp"
+)
+
+// parseSrc preprocesses and parses a single in-memory file.
+func parseSrc(t *testing.T, src string) *TranslationUnit {
+	t.Helper()
+	pp := cpp.New(cpp.MapFS{"t.c": src}, nil, nil)
+	res, err := pp.Preprocess("t.c")
+	if err != nil {
+		t.Fatalf("preprocess: %v", err)
+	}
+	for _, e := range res.Errors {
+		t.Fatalf("preprocess error: %v", e)
+	}
+	tu := Parse(res.Tokens, nil)
+	for _, e := range tu.Errors {
+		t.Fatalf("parse error: %v", e)
+	}
+	return tu
+}
+
+func TestSimpleFunction(t *testing.T) {
+	tu := parseSrc(t, `
+int bar(int input) { return input; }
+int main(int argc, char **argv) { return bar(argc); }
+`)
+	if len(tu.Decls) != 2 {
+		t.Fatalf("decls = %d", len(tu.Decls))
+	}
+	bar := tu.Decls[0].(*FuncDecl)
+	if bar.Name.Text != "bar" || bar.Body == nil || len(bar.Params) != 1 {
+		t.Fatalf("bar = %+v", bar)
+	}
+	if bar.Params[0].Name.Text != "input" || bar.Params[0].Type.String() != "int" {
+		t.Fatalf("param = %+v", bar.Params[0])
+	}
+	main := tu.Decls[1].(*FuncDecl)
+	if main.Params[1].Type.String() != "char**" {
+		t.Fatalf("argv type = %s", main.Params[1].Type)
+	}
+	if main.Params[1].Type.QualCode() != "**" {
+		t.Fatalf("argv qualcode = %q", main.Params[1].Type.QualCode())
+	}
+	if main.Params[1].Type.Base().Name != "char" {
+		t.Fatalf("argv base = %s", main.Params[1].Type.Base())
+	}
+}
+
+func TestDeclaratorZoo(t *testing.T) {
+	tu := parseSrc(t, `
+int *a[10];
+int (*fp)(int, char **);
+const char *msg;
+volatile unsigned long jiffies;
+int matrix[2][3];
+char buf[];
+int (*handlers[4])(void);
+`)
+	get := func(i int) *VarDecl { return tu.Decls[i].(*VarDecl) }
+
+	if got := get(0).Type.String(); got != "int*[10]" {
+		t.Fatalf("a: %s", got)
+	}
+	if got := get(0).Type.QualCode(); got != "]*" {
+		t.Fatalf("a qualcode: %q", got)
+	}
+	fp := get(1).Type
+	if fp.Kind != TPointer || fp.Elem.Kind != TFunc {
+		t.Fatalf("fp: %s", fp)
+	}
+	if len(fp.Elem.Params) != 2 || fp.Elem.Params[1].String() != "char**" {
+		t.Fatalf("fp params: %v", fp.Elem.Params)
+	}
+	msg := get(2).Type
+	if msg.Kind != TPointer || msg.Elem.Quals != "c" || msg.Elem.Name != "char" {
+		t.Fatalf("msg: %s quals=%q", msg, msg.Elem.Quals)
+	}
+	jf := get(3).Type
+	if jf.Name != "unsigned long" || jf.Quals != "v" {
+		t.Fatalf("jiffies: %s quals=%q", jf, jf.Quals)
+	}
+	m := get(4).Type
+	if lens := m.ArrayLens(); len(lens) != 2 || lens[0] != 2 || lens[1] != 3 {
+		t.Fatalf("matrix lens: %v", m.ArrayLens())
+	}
+	if got := get(5).Type; got.Kind != TArray || got.ArrayLen != -1 {
+		t.Fatalf("buf: %s", got)
+	}
+	h := get(6).Type
+	if h.Kind != TArray || h.Elem.Kind != TPointer || h.Elem.Elem.Kind != TFunc {
+		t.Fatalf("handlers: %s", h)
+	}
+}
+
+func TestStructUnionEnum(t *testing.T) {
+	tu := parseSrc(t, `
+struct packet_command {
+	unsigned char cmd[12];
+	int quiet : 1;
+	int timeout;
+	union { int a; char b; } u;
+};
+enum sr_state { SR_IDLE, SR_BUSY = 5, SR_DONE };
+union event { int i; char c; };
+`)
+	if len(tu.Records) != 3 {
+		t.Fatalf("records = %d", len(tu.Records))
+	}
+	var pkt *RecordDecl
+	for _, r := range tu.Records {
+		if r.Tag == "packet_command" {
+			pkt = r
+		}
+	}
+	if pkt == nil || len(pkt.Fields) != 4 {
+		t.Fatalf("pkt = %+v", pkt)
+	}
+	if pkt.Fields[0].Name.Text != "cmd" || pkt.Fields[0].Type.Kind != TArray {
+		t.Fatalf("cmd field = %+v", pkt.Fields[0])
+	}
+	if pkt.Fields[1].BitWidth != 1 {
+		t.Fatalf("quiet bitwidth = %d", pkt.Fields[1].BitWidth)
+	}
+	if pkt.Fields[2].BitWidth != -1 {
+		t.Fatalf("timeout bitwidth = %d", pkt.Fields[2].BitWidth)
+	}
+	if pkt.Fields[3].Type.Kind != TUnion {
+		t.Fatalf("u field = %s", pkt.Fields[3].Type)
+	}
+	if len(tu.Enums) != 1 {
+		t.Fatalf("enums = %d", len(tu.Enums))
+	}
+	en := tu.Enums[0]
+	if en.Enumerators[0].Value != 0 || en.Enumerators[1].Value != 5 || en.Enumerators[2].Value != 6 {
+		t.Fatalf("enum values = %d %d %d", en.Enumerators[0].Value, en.Enumerators[1].Value, en.Enumerators[2].Value)
+	}
+}
+
+func TestTypedefLexerHack(t *testing.T) {
+	tu := parseSrc(t, `
+typedef unsigned long size_t;
+typedef struct request req_t;
+size_t total;
+req_t *queue;
+int f(void) { req_t *local; return 0; }
+`)
+	td := tu.Decls[0].(*TypedefDecl)
+	if td.Name.Text != "size_t" || td.Type.Name != "unsigned long" {
+		t.Fatalf("typedef = %+v", td)
+	}
+	v := tu.Decls[2].(*VarDecl)
+	if v.Type.Kind != TTypedef || v.Type.Name != "size_t" {
+		t.Fatalf("total type = %s", v.Type)
+	}
+	q := tu.Decls[3].(*VarDecl)
+	if q.Type.Kind != TPointer || q.Type.Elem.Name != "req_t" {
+		t.Fatalf("queue type = %s", q.Type)
+	}
+	f := tu.Decls[4].(*FuncDecl)
+	ds := f.Body.Items[0].(*DeclStmt)
+	if ds.Decls[0].(*VarDecl).Type.Elem.Name != "req_t" {
+		t.Fatalf("local type = %s", ds.Decls[0].(*VarDecl).Type)
+	}
+}
+
+func TestStatements(t *testing.T) {
+	tu := parseSrc(t, `
+int f(int n) {
+	int i, sum = 0;
+	static int cache;
+	for (i = 0; i < n; i++) {
+		if (i % 2 == 0) { sum += i; } else sum -= i;
+	}
+	while (sum > 100) sum /= 2;
+	do { sum++; } while (sum < 10);
+	switch (n) {
+	case 0: return 0;
+	case 1: break;
+	default: sum = -1;
+	}
+	goto out;
+out:
+	return sum;
+}
+`)
+	f := tu.Decls[0].(*FuncDecl)
+	if f.Body == nil {
+		t.Fatal("no body")
+	}
+	kinds := make([]string, 0)
+	for _, it := range f.Body.Items {
+		switch it.(type) {
+		case *DeclStmt:
+			kinds = append(kinds, "decl")
+		case *ForStmt:
+			kinds = append(kinds, "for")
+		case *WhileStmt:
+			kinds = append(kinds, "while")
+		case *SwitchStmt:
+			kinds = append(kinds, "switch")
+		case *BranchStmt:
+			kinds = append(kinds, "branch")
+		case *LabelStmt:
+			kinds = append(kinds, "label")
+		default:
+			kinds = append(kinds, "other")
+		}
+	}
+	want := []string{"decl", "decl", "for", "while", "while", "switch", "branch", "label"}
+	if len(kinds) != len(want) {
+		t.Fatalf("kinds = %v", kinds)
+	}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Fatalf("kinds = %v, want %v", kinds, want)
+		}
+	}
+	// The first DeclStmt declared two variables.
+	if ds := f.Body.Items[0].(*DeclStmt); len(ds.Decls) != 2 {
+		t.Fatalf("multi decl = %d", len(ds.Decls))
+	}
+}
+
+func TestExpressions(t *testing.T) {
+	tu := parseSrc(t, `
+struct dev { int id; struct dev *next; };
+int g(struct dev *d, int arr[]) {
+	int x = d->id + arr[3] * 2;
+	d->next->id = (int)x;
+	x = sizeof(struct dev) + sizeof x;
+	x = d ? d->id : -1;
+	x = (x & 0xff) << 2 | (x >> 8);
+	(&*d)->id++, x--;
+	return !x;
+}
+`)
+	g := tu.Decls[0].(*FuncDecl) // the bare struct produces no Decl node
+	if g.Body == nil || len(g.Body.Items) != 7 {
+		t.Fatalf("items = %d", len(g.Body.Items))
+	}
+	// x = d->id + arr[3] * 2
+	ds := g.Body.Items[0].(*DeclStmt)
+	init := ds.Decls[0].(*VarDecl).Init.(*BinaryExpr)
+	if init.Op != "+" {
+		t.Fatalf("init op = %s", init.Op)
+	}
+	mem := init.L.(*MemberExpr)
+	if mem.Name.Text != "id" || !mem.Arrow {
+		t.Fatalf("member = %+v", mem)
+	}
+	mul := init.R.(*BinaryExpr)
+	if mul.Op != "*" {
+		t.Fatalf("mul = %+v", mul)
+	}
+	if _, ok := mul.L.(*IndexExpr); !ok {
+		t.Fatalf("index = %T", mul.L)
+	}
+	// d->next->id = (int)x
+	asg := g.Body.Items[1].(*ExprStmt).X.(*AssignExpr)
+	chain := asg.L.(*MemberExpr)
+	if chain.Name.Text != "id" {
+		t.Fatalf("chain = %+v", chain)
+	}
+	if _, ok := chain.Base.(*MemberExpr); !ok {
+		t.Fatalf("chain base = %T", chain.Base)
+	}
+	if _, ok := asg.R.(*CastExpr); !ok {
+		t.Fatalf("cast = %T", asg.R)
+	}
+	// sizeof both forms
+	sz := g.Body.Items[2].(*ExprStmt).X.(*AssignExpr).R.(*BinaryExpr)
+	if sz.L.(*SizeofExpr).Type == nil || sz.R.(*SizeofExpr).X == nil {
+		t.Fatal("sizeof forms wrong")
+	}
+	// ternary
+	if _, ok := g.Body.Items[3].(*ExprStmt).X.(*AssignExpr).R.(*CondExpr); !ok {
+		t.Fatal("ternary missing")
+	}
+	// comma expr
+	if _, ok := g.Body.Items[5].(*ExprStmt).X.(*CommaExpr); !ok {
+		t.Fatalf("comma = %T", g.Body.Items[5].(*ExprStmt).X)
+	}
+}
+
+func TestDesignatedInitializers(t *testing.T) {
+	tu := parseSrc(t, `
+struct ops { int (*open)(void); int (*close)(void); };
+int my_open(void);
+int my_close(void);
+struct ops fops = { .open = my_open, .close = my_close };
+int table[4] = { [0] = 1, [2] = 3 };
+`)
+	fops := tu.Decls[2].(*VarDecl)
+	il := fops.Init.(*InitList)
+	if len(il.Items) != 2 || il.Items[0].Designator.Text != "open" || il.Items[1].Designator.Text != "close" {
+		t.Fatalf("designators = %+v", il.Items)
+	}
+	tbl := tu.Decls[3].(*VarDecl)
+	if len(tbl.Init.(*InitList).Items) != 2 {
+		t.Fatalf("table init = %+v", tbl.Init)
+	}
+}
+
+func TestStaticAndExtern(t *testing.T) {
+	tu := parseSrc(t, `
+static int counter;
+extern int external_thing;
+static int helper(void) { return counter; }
+int public_fn(void);
+`)
+	if !tu.Decls[0].(*VarDecl).Static {
+		t.Fatal("counter not static")
+	}
+	if !tu.Decls[1].(*VarDecl).Extern {
+		t.Fatal("external_thing not extern")
+	}
+	h := tu.Decls[2].(*FuncDecl)
+	if !h.Static || h.Body == nil {
+		t.Fatalf("helper = %+v", h)
+	}
+	pf := tu.Decls[3].(*FuncDecl)
+	if pf.Static || pf.Body != nil {
+		t.Fatalf("public_fn = %+v", pf)
+	}
+}
+
+func TestVariadicFunction(t *testing.T) {
+	tu := parseSrc(t, `int printk(const char *fmt, ...);`)
+	f := tu.Decls[0].(*FuncDecl)
+	if !f.Variadic {
+		t.Fatal("printk not variadic")
+	}
+	if len(f.Params) != 1 {
+		t.Fatalf("params = %d", len(f.Params))
+	}
+}
+
+func TestAttributesSkipped(t *testing.T) {
+	tu := parseSrc(t, `
+static int __attribute__((unused)) quiet_var;
+int noisy(void) __attribute__((section(".init.text")));
+`)
+	if len(tu.Decls) != 2 {
+		t.Fatalf("decls = %d", len(tu.Decls))
+	}
+	if tu.Decls[0].(*VarDecl).Name.Text != "quiet_var" {
+		t.Fatalf("decl 0 = %+v", tu.Decls[0])
+	}
+}
+
+func TestAnonymousRecordMembers(t *testing.T) {
+	tu := parseSrc(t, `
+struct outer {
+	int tag;
+	union {
+		int as_int;
+		char as_bytes[4];
+	};
+};
+`)
+	rec := tu.Records[1] // outer comes after the nested union in emission order? check both
+	var outer *RecordDecl
+	for _, r := range tu.Records {
+		if r.Tag == "outer" {
+			outer = r
+		}
+	}
+	if outer == nil || len(outer.Fields) != 2 {
+		t.Fatalf("outer = %+v", outer)
+	}
+	if outer.Fields[1].Name.Text != "" || outer.Fields[1].Type.Kind != TUnion {
+		t.Fatalf("anon member = %+v", outer.Fields[1])
+	}
+	_ = rec
+}
+
+func TestParseErrorRecovery(t *testing.T) {
+	pp := cpp.New(cpp.MapFS{"t.c": `
+int good1(void) { return 1; }
+int bad( { nonsense ;;;
+int good2(void) { return 2; }
+`}, nil, nil)
+	res, err := pp.Preprocess("t.c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tu := Parse(res.Tokens, nil)
+	if len(tu.Errors) == 0 {
+		t.Fatal("expected parse errors")
+	}
+	names := map[string]bool{}
+	for _, d := range tu.Decls {
+		if f, ok := d.(*FuncDecl); ok {
+			names[f.Name.Text] = true
+		}
+	}
+	if !names["good1"] || !names["good2"] {
+		t.Fatalf("recovery lost functions: %v", names)
+	}
+}
+
+func TestFunctionBodySpanAndPositions(t *testing.T) {
+	tu := parseSrc(t, "int f(void)\n{\n  return 0;\n}\n")
+	f := tu.Decls[0].(*FuncDecl)
+	if f.Name.Pos.Line != 1 || f.Name.Pos.Col != 5 {
+		t.Fatalf("name pos = %+v", f.Name.Pos)
+	}
+	sp := f.Span()
+	if sp.Start.Line != 1 || sp.End.Line != 4 {
+		t.Fatalf("span = %+v", sp)
+	}
+}
+
+func TestExtraTypedefsSeed(t *testing.T) {
+	pp := cpp.New(cpp.MapFS{"t.c": "u32 reg;\n"}, nil, nil)
+	res, _ := pp.Preprocess("t.c")
+	tu := Parse(res.Tokens, []string{"u32"})
+	if len(tu.Errors) != 0 {
+		t.Fatalf("errors = %v", tu.Errors)
+	}
+	if tu.Decls[0].(*VarDecl).Type.Name != "u32" {
+		t.Fatalf("reg type = %s", tu.Decls[0].(*VarDecl).Type)
+	}
+}
+
+func TestCanonicalPrimitives(t *testing.T) {
+	cases := map[string]string{
+		"unsigned x;":           "unsigned int",
+		"unsigned long long y;": "unsigned long long",
+		"long int z;":           "long",
+		"short w;":              "short",
+		"signed char c;":        "signed char",
+		"long double d;":        "long double",
+	}
+	for src, want := range cases {
+		tu := parseSrc(t, src)
+		got := tu.Decls[0].(*VarDecl).Type.Name
+		if got != want {
+			t.Errorf("%q: type = %q, want %q", src, got, want)
+		}
+	}
+}
+
+func TestFunctionPointerTypedefAndUse(t *testing.T) {
+	tu := parseSrc(t, `
+typedef int (*handler_t)(int);
+handler_t table[8];
+int dispatch(handler_t h, int v) { return h(v); }
+`)
+	td := tu.Decls[0].(*TypedefDecl)
+	if td.Type.Kind != TPointer || td.Type.Elem.Kind != TFunc {
+		t.Fatalf("handler_t = %s", td.Type)
+	}
+	d := tu.Decls[2].(*FuncDecl)
+	call := d.Body.Items[0].(*ReturnStmt).X.(*CallExpr)
+	if call.Fun.(*Ident).Tok.Text != "h" {
+		t.Fatalf("call fun = %+v", call.Fun)
+	}
+}
+
+func TestGnuTernaryElision(t *testing.T) {
+	tu := parseSrc(t, "int f(int a, int b) { return a ?: b; }")
+	ret := tu.Decls[0].(*FuncDecl).Body.Items[0].(*ReturnStmt)
+	if _, ok := ret.X.(*CondExpr); !ok {
+		t.Fatalf("elision = %T", ret.X)
+	}
+}
+
+func TestGnuStatementExpression(t *testing.T) {
+	tu := parseSrc(t, `
+#define min_t(x, y) ({ int _a = (x); int _b = (y); _a < _b ? _a : _b; })
+int f(int a, int b) { return min_t(a, b); }
+`)
+	f := tu.Decls[0].(*FuncDecl)
+	se, ok := f.Body.Items[0].(*ReturnStmt).X.(*StmtExpr)
+	if !ok {
+		t.Fatalf("return expr = %T", f.Body.Items[0].(*ReturnStmt).X)
+	}
+	if len(se.Block.Items) != 3 {
+		t.Fatalf("stmt expr items = %d", len(se.Block.Items))
+	}
+}
+
+func TestTypeof(t *testing.T) {
+	tu := parseSrc(t, `
+int counter;
+int f(void) {
+	typeof(counter) copy = counter;
+	__typeof__(counter) *ptr = &counter;
+	return copy + *ptr;
+}
+`)
+	f := tu.Decls[1].(*FuncDecl)
+	ds := f.Body.Items[0].(*DeclStmt)
+	vd := ds.Decls[0].(*VarDecl)
+	if vd.Name.Text != "copy" || vd.Type.Kind != TTypedef || vd.Type.Name != "__typeof__" {
+		t.Fatalf("copy = %+v type %s", vd.Name.Text, vd.Type)
+	}
+	ds2 := f.Body.Items[1].(*DeclStmt)
+	if ds2.Decls[0].(*VarDecl).Type.Kind != TPointer {
+		t.Fatalf("ptr type = %s", ds2.Decls[0].(*VarDecl).Type)
+	}
+}

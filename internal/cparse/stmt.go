@@ -1,0 +1,261 @@
+package cparse
+
+import "frappe/internal/cpp"
+
+func (p *parser) parseBlock() (*BlockStmt, error) {
+	open, err := p.expectPunct("{")
+	if err != nil {
+		return nil, err
+	}
+	b := &BlockStmt{Start: open.Pos}
+	for !p.cur().IsPunct("}") && p.cur().Kind != cpp.TokEOF {
+		item, err := p.parseBlockItem()
+		if err != nil {
+			p.errs = append(p.errs, err)
+			p.recoverTo()
+			continue
+		}
+		if item != nil {
+			b.Items = append(b.Items, item)
+		}
+	}
+	close, err := p.expectPunct("}")
+	if err != nil {
+		return nil, err
+	}
+	b.End = close.End()
+	return b, nil
+}
+
+func (p *parser) parseBlockItem() (Stmt, error) {
+	t := p.cur()
+	if p.startsDeclSpec(t) {
+		// `x * y;` with typedef x is a declaration (lexer hack); labels
+		// like `foo:` are not declarations even if foo were a typedef.
+		if !(t.Kind == cpp.TokIdent && p.peek(1).IsPunct(":")) {
+			start := t.Pos
+			decls, err := p.parseBlockDecl()
+			if err != nil {
+				return nil, err
+			}
+			if decls == nil {
+				return nil, nil
+			}
+			return &DeclStmt{Decls: decls, Start: start, End: p.cur().Pos}, nil
+		}
+	}
+	return p.parseStmt()
+}
+
+func (p *parser) parseStmt() (Stmt, error) {
+	t := p.cur()
+	switch {
+	case t.IsPunct("{"):
+		return p.parseBlock()
+	case t.IsPunct(";"):
+		p.pos++
+		return &ExprStmt{Start: t.Pos, End: t.End()}, nil
+	case t.IsIdent("if"):
+		p.pos++
+		if _, err := p.expectPunct("("); err != nil {
+			return nil, err
+		}
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		then, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		st := &IfStmt{Cond: cond, Then: then, Start: t.Pos, End: then.Span().End}
+		if p.acceptIdent("else") {
+			els, err := p.parseStmt()
+			if err != nil {
+				return nil, err
+			}
+			st.Else = els
+			st.End = els.Span().End
+		}
+		return st, nil
+	case t.IsIdent("while"):
+		p.pos++
+		if _, err := p.expectPunct("("); err != nil {
+			return nil, err
+		}
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		body, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		return &WhileStmt{Cond: cond, Body: body, Start: t.Pos, End: body.Span().End}, nil
+	case t.IsIdent("do"):
+		p.pos++
+		body, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		if !p.acceptIdent("while") {
+			return nil, p.errf(p.cur(), "expected while after do body")
+		}
+		if _, err := p.expectPunct("("); err != nil {
+			return nil, err
+		}
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		end, err := p.expectPunct(";")
+		if err != nil {
+			return nil, err
+		}
+		return &WhileStmt{Cond: cond, Body: body, DoWhile: true, Start: t.Pos, End: end.End()}, nil
+	case t.IsIdent("for"):
+		p.pos++
+		if _, err := p.expectPunct("("); err != nil {
+			return nil, err
+		}
+		st := &ForStmt{Start: t.Pos}
+		if !p.cur().IsPunct(";") {
+			if p.startsDeclSpec(p.cur()) {
+				declStart := p.cur().Pos
+				decls, err := p.parseBlockDecl() // consumes ';'
+				if err != nil {
+					return nil, err
+				}
+				st.Init = &DeclStmt{Decls: decls, Start: declStart, End: p.cur().Pos}
+			} else {
+				e, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				st.Init = &ExprStmt{X: e, Start: e.Span().Start, End: e.Span().End}
+				if _, err := p.expectPunct(";"); err != nil {
+					return nil, err
+				}
+			}
+		} else {
+			p.pos++
+		}
+		if !p.cur().IsPunct(";") {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			st.Cond = e
+		}
+		if _, err := p.expectPunct(";"); err != nil {
+			return nil, err
+		}
+		if !p.cur().IsPunct(")") {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			st.Post = e
+		}
+		if _, err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		body, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		st.Body = body
+		st.End = body.Span().End
+		return st, nil
+	case t.IsIdent("switch"):
+		p.pos++
+		if _, err := p.expectPunct("("); err != nil {
+			return nil, err
+		}
+		tag, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		body, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		return &SwitchStmt{Tag: tag, Body: body, Start: t.Pos, End: body.Span().End}, nil
+	case t.IsIdent("case"):
+		p.pos++
+		v, err := p.parseConditionalExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expectPunct(":"); err != nil {
+			return nil, err
+		}
+		return &CaseStmt{Value: v, Start: t.Pos, End: p.cur().Pos}, nil
+	case t.IsIdent("default"):
+		p.pos++
+		if _, err := p.expectPunct(":"); err != nil {
+			return nil, err
+		}
+		return &CaseStmt{Start: t.Pos, End: p.cur().Pos}, nil
+	case t.IsIdent("return"):
+		p.pos++
+		st := &ReturnStmt{Start: t.Pos}
+		if !p.cur().IsPunct(";") {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			st.X = e
+		}
+		end, err := p.expectPunct(";")
+		if err != nil {
+			return nil, err
+		}
+		st.End = end.End()
+		return st, nil
+	case t.IsIdent("break"), t.IsIdent("continue"):
+		p.pos++
+		end, err := p.expectPunct(";")
+		if err != nil {
+			return nil, err
+		}
+		return &BranchStmt{Kind: t.Text, Start: t.Pos, End: end.End()}, nil
+	case t.IsIdent("goto"):
+		p.pos++
+		label := p.next()
+		end, err := p.expectPunct(";")
+		if err != nil {
+			return nil, err
+		}
+		return &BranchStmt{Kind: "goto", Label: label, Start: t.Pos, End: end.End()}, nil
+	case t.Kind == cpp.TokIdent && p.peek(1).IsPunct(":") && !t.IsIdent("default"):
+		p.pos += 2
+		inner, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		return &LabelStmt{Name: t, Stmt: inner, Start: t.Pos, End: inner.Span().End}, nil
+	default:
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		end, err := p.expectPunct(";")
+		if err != nil {
+			return nil, err
+		}
+		return &ExprStmt{X: e, Start: e.Span().Start, End: end.End()}, nil
+	}
+}

@@ -1,0 +1,297 @@
+package cpp
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// evalConstExpr evaluates a preprocessor constant expression (C11
+// 6.10.1): integer arithmetic, comparisons, bitwise and logical
+// operators, and the conditional operator. Identifiers that survive macro
+// expansion evaluate to 0.
+func evalConstExpr(toks []Token) (int64, error) {
+	p := &condParser{toks: toks}
+	v, err := p.ternary()
+	if err != nil {
+		return 0, err
+	}
+	if p.pos != len(p.toks) {
+		return 0, fmt.Errorf("trailing tokens in constant expression: %v", p.toks[p.pos:])
+	}
+	return v, nil
+}
+
+type condParser struct {
+	toks []Token
+	pos  int
+}
+
+func (p *condParser) peek() (Token, bool) {
+	if p.pos >= len(p.toks) {
+		return Token{}, false
+	}
+	return p.toks[p.pos], true
+}
+
+func (p *condParser) accept(punct string) bool {
+	if t, ok := p.peek(); ok && t.IsPunct(punct) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *condParser) ternary() (int64, error) {
+	c, err := p.logicalOr()
+	if err != nil {
+		return 0, err
+	}
+	if !p.accept("?") {
+		return c, nil
+	}
+	a, err := p.ternary()
+	if err != nil {
+		return 0, err
+	}
+	if !p.accept(":") {
+		return 0, fmt.Errorf("expected ':' in conditional expression")
+	}
+	b, err := p.ternary()
+	if err != nil {
+		return 0, err
+	}
+	if c != 0 {
+		return a, nil
+	}
+	return b, nil
+}
+
+// binary level table, loosest first.
+var condLevels = [][]string{
+	{"||"}, {"&&"}, {"|"}, {"^"}, {"&"},
+	{"==", "!="}, {"<", "<=", ">", ">="},
+	{"<<", ">>"}, {"+", "-"}, {"*", "/", "%"},
+}
+
+func (p *condParser) logicalOr() (int64, error) { return p.binary(0) }
+
+func (p *condParser) binary(level int) (int64, error) {
+	if level >= len(condLevels) {
+		return p.unary()
+	}
+	l, err := p.binary(level + 1)
+	if err != nil {
+		return 0, err
+	}
+	for {
+		matched := ""
+		for _, op := range condLevels[level] {
+			if t, ok := p.peek(); ok && t.IsPunct(op) {
+				matched = op
+				break
+			}
+		}
+		if matched == "" {
+			return l, nil
+		}
+		p.pos++
+		// Short-circuit for logical operators.
+		if matched == "||" && l != 0 {
+			if _, err := p.binary(level + 1); err != nil {
+				return 0, err
+			}
+			l = 1
+			continue
+		}
+		if matched == "&&" && l == 0 {
+			if _, err := p.binary(level + 1); err != nil {
+				return 0, err
+			}
+			l = 0
+			continue
+		}
+		r, err := p.binary(level + 1)
+		if err != nil {
+			return 0, err
+		}
+		l, err = applyCondOp(matched, l, r)
+		if err != nil {
+			return 0, err
+		}
+	}
+}
+
+func applyCondOp(op string, l, r int64) (int64, error) {
+	b2i := func(b bool) int64 {
+		if b {
+			return 1
+		}
+		return 0
+	}
+	switch op {
+	case "||":
+		return b2i(l != 0 || r != 0), nil
+	case "&&":
+		return b2i(l != 0 && r != 0), nil
+	case "|":
+		return l | r, nil
+	case "^":
+		return l ^ r, nil
+	case "&":
+		return l & r, nil
+	case "==":
+		return b2i(l == r), nil
+	case "!=":
+		return b2i(l != r), nil
+	case "<":
+		return b2i(l < r), nil
+	case "<=":
+		return b2i(l <= r), nil
+	case ">":
+		return b2i(l > r), nil
+	case ">=":
+		return b2i(l >= r), nil
+	case "<<":
+		if r < 0 || r > 63 {
+			return 0, nil
+		}
+		return l << uint(r), nil
+	case ">>":
+		if r < 0 || r > 63 {
+			return 0, nil
+		}
+		return l >> uint(r), nil
+	case "+":
+		return l + r, nil
+	case "-":
+		return l - r, nil
+	case "*":
+		return l * r, nil
+	case "/":
+		if r == 0 {
+			// Division by zero in a (possibly short-circuited) branch
+			// evaluates to 0 rather than failing the directive.
+			return 0, nil
+		}
+		return l / r, nil
+	case "%":
+		if r == 0 {
+			return 0, nil
+		}
+		return l % r, nil
+	}
+	return 0, fmt.Errorf("unknown operator %q", op)
+}
+
+func (p *condParser) unary() (int64, error) {
+	t, ok := p.peek()
+	if !ok {
+		return 0, fmt.Errorf("unexpected end of constant expression")
+	}
+	switch {
+	case t.IsPunct("!"):
+		p.pos++
+		v, err := p.unary()
+		if err != nil {
+			return 0, err
+		}
+		if v == 0 {
+			return 1, nil
+		}
+		return 0, nil
+	case t.IsPunct("~"):
+		p.pos++
+		v, err := p.unary()
+		return ^v, err
+	case t.IsPunct("-"):
+		p.pos++
+		v, err := p.unary()
+		return -v, err
+	case t.IsPunct("+"):
+		p.pos++
+		return p.unary()
+	case t.IsPunct("("):
+		p.pos++
+		v, err := p.ternary()
+		if err != nil {
+			return 0, err
+		}
+		if !p.accept(")") {
+			return 0, fmt.Errorf("missing ')' in constant expression")
+		}
+		return v, nil
+	case t.Kind == TokNumber:
+		p.pos++
+		return ParseIntLiteral(t.Text)
+	case t.Kind == TokChar:
+		p.pos++
+		return charValue(t.Text), nil
+	case t.Kind == TokIdent:
+		// Undefined identifier (including 'true'/'false' in C90 mode).
+		p.pos++
+		if t.Text == "true" {
+			return 1, nil
+		}
+		return 0, nil
+	}
+	return 0, fmt.Errorf("unexpected token %q in constant expression", t.Text)
+}
+
+// ParseIntLiteral parses a C integer literal (decimal, hex, octal,
+// binary) ignoring U/L suffixes.
+func ParseIntLiteral(s string) (int64, error) {
+	s = strings.TrimRight(s, "uUlL")
+	if s == "" {
+		return 0, fmt.Errorf("empty integer literal")
+	}
+	base := 10
+	switch {
+	case strings.HasPrefix(s, "0x") || strings.HasPrefix(s, "0X"):
+		base = 16
+		s = s[2:]
+	case strings.HasPrefix(s, "0b") || strings.HasPrefix(s, "0B"):
+		base = 2
+		s = s[2:]
+	case len(s) > 1 && s[0] == '0':
+		base = 8
+		s = s[1:]
+	}
+	if s == "" {
+		return 0, nil
+	}
+	v, err := strconv.ParseUint(s, base, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad integer literal %q", s)
+	}
+	return int64(v), nil
+}
+
+// charValue evaluates a character literal like 'a' or '\n'.
+func charValue(lit string) int64 {
+	s := strings.Trim(lit, "'")
+	if s == "" {
+		return 0
+	}
+	if s[0] != '\\' {
+		return int64(s[0])
+	}
+	if len(s) < 2 {
+		return '\\'
+	}
+	switch s[1] {
+	case 'n':
+		return '\n'
+	case 't':
+		return '\t'
+	case 'r':
+		return '\r'
+	case '0':
+		return 0
+	case '\\':
+		return '\\'
+	case '\'':
+		return '\''
+	}
+	return int64(s[1])
+}

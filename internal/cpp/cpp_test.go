@@ -1,0 +1,353 @@
+package cpp
+
+import (
+	"strings"
+	"testing"
+)
+
+func preprocess(t *testing.T, fs MapFS, main string, includes ...string) *Result {
+	t.Helper()
+	pp := New(fs, includes, nil)
+	res, err := pp.Preprocess(main)
+	if err != nil {
+		t.Fatalf("Preprocess: %v", err)
+	}
+	for _, e := range res.Errors {
+		t.Fatalf("preprocess error: %v", e)
+	}
+	return res
+}
+
+func spell(toks []Token) string {
+	parts := make([]string, len(toks))
+	for i, t := range toks {
+		parts[i] = t.Text
+	}
+	return strings.Join(parts, " ")
+}
+
+func TestObjectMacro(t *testing.T) {
+	res := preprocess(t, MapFS{"a.c": "#define N 42\nint x = N;\n"}, "a.c")
+	if got := spell(res.Tokens); got != "int x = 42 ;" {
+		t.Fatalf("tokens = %q", got)
+	}
+	if len(res.MacroDefs) != 1 || res.MacroDefs[0].Name != "N" || res.MacroDefs[0].FuncLike {
+		t.Fatalf("defs = %+v", res.MacroDefs)
+	}
+	if len(res.Expansions) != 1 || res.Expansions[0].Macro != "N" {
+		t.Fatalf("expansions = %+v", res.Expansions)
+	}
+	if res.Expansions[0].Use.Start.Line != 2 {
+		t.Fatalf("expansion line = %d", res.Expansions[0].Use.Start.Line)
+	}
+}
+
+func TestFunctionMacro(t *testing.T) {
+	res := preprocess(t, MapFS{"a.c": "#define ADD(a, b) ((a) + (b))\nint x = ADD(1, 2);\n"}, "a.c")
+	if got := spell(res.Tokens); got != "int x = ( ( 1 ) + ( 2 ) ) ;" {
+		t.Fatalf("tokens = %q", got)
+	}
+}
+
+func TestFunctionMacroWithoutParensIsIdent(t *testing.T) {
+	res := preprocess(t, MapFS{"a.c": "#define F(x) x\nint F;\n"}, "a.c")
+	if got := spell(res.Tokens); got != "int F ;" {
+		t.Fatalf("tokens = %q", got)
+	}
+	if len(res.Expansions) != 0 {
+		t.Fatalf("expansions = %+v", res.Expansions)
+	}
+}
+
+func TestObjectVsFunctionLikeBySpace(t *testing.T) {
+	// '#define A (x)' is object-like with body '(x)'.
+	res := preprocess(t, MapFS{"a.c": "#define A (5)\nint x = A;\n"}, "a.c")
+	if got := spell(res.Tokens); got != "int x = ( 5 ) ;" {
+		t.Fatalf("tokens = %q", got)
+	}
+}
+
+func TestNestedExpansionAndRecursionGuard(t *testing.T) {
+	res := preprocess(t, MapFS{"a.c": "#define A B\n#define B A\nint x = A;\n"}, "a.c")
+	// A -> B -> A (blocked) leaves the ident A.
+	if got := spell(res.Tokens); got != "int x = A ;" {
+		t.Fatalf("tokens = %q", got)
+	}
+}
+
+func TestStringize(t *testing.T) {
+	res := preprocess(t, MapFS{"a.c": "#define S(x) #x\nchar *p = S(hello world);\n"}, "a.c")
+	if got := spell(res.Tokens); got != `char * p = "hello world" ;` {
+		t.Fatalf("tokens = %q", got)
+	}
+}
+
+func TestTokenPasting(t *testing.T) {
+	res := preprocess(t, MapFS{"a.c": "#define GLUE(a, b) a##b\nint GLUE(foo, bar) = 1;\n"}, "a.c")
+	if got := spell(res.Tokens); got != "int foobar = 1 ;" {
+		t.Fatalf("tokens = %q", got)
+	}
+	res = preprocess(t, MapFS{"a.c": "#define T(n) type_##n##_t\nT(dev) x;\n"}, "a.c")
+	if got := spell(res.Tokens); got != "type_dev_t x ;" {
+		t.Fatalf("chain paste = %q", got)
+	}
+}
+
+func TestVariadicMacro(t *testing.T) {
+	res := preprocess(t, MapFS{"a.c": "#define LOG(fmt, ...) printf(fmt, __VA_ARGS__)\nLOG(\"%d %d\", 1, 2);\n"}, "a.c")
+	if got := spell(res.Tokens); got != `printf ( "%d %d" , 1 , 2 ) ;` {
+		t.Fatalf("tokens = %q", got)
+	}
+}
+
+func TestConditionals(t *testing.T) {
+	src := `
+#define CONFIG_X 1
+#if CONFIG_X
+int a;
+#else
+int b;
+#endif
+#ifdef CONFIG_Y
+int c;
+#elif defined(CONFIG_X) && CONFIG_X > 0
+int d;
+#else
+int e;
+#endif
+#ifndef CONFIG_Z
+int f;
+#endif
+`
+	res := preprocess(t, MapFS{"a.c": src}, "a.c")
+	if got := spell(res.Tokens); got != "int a ; int d ; int f ;" {
+		t.Fatalf("tokens = %q", got)
+	}
+	// Interrogations: CONFIG_Y (#ifdef), CONFIG_X (defined), CONFIG_Z (#ifndef).
+	var names []string
+	for _, r := range res.Interrogations {
+		names = append(names, r.Macro)
+	}
+	want := "CONFIG_Y,CONFIG_X,CONFIG_Z"
+	if strings.Join(names, ",") != want {
+		t.Fatalf("interrogations = %v, want %s", names, want)
+	}
+}
+
+func TestNestedInactiveConditionals(t *testing.T) {
+	src := `
+#if 0
+#if 1
+int dead;
+#endif
+#else
+int live;
+#endif
+`
+	res := preprocess(t, MapFS{"a.c": src}, "a.c")
+	if got := spell(res.Tokens); got != "int live ;" {
+		t.Fatalf("tokens = %q", got)
+	}
+}
+
+func TestIfExpressionOperators(t *testing.T) {
+	cases := []struct {
+		cond string
+		live bool
+	}{
+		{"1 + 1 == 2", true},
+		{"(1 << 4) == 16", true},
+		{"0x10 == 16", true},
+		{"010 == 8", true},
+		{"'A' == 65", true},
+		{"5 / 2 == 2 && 5 % 2 == 1", true},
+		{"!defined(NOPE)", true},
+		{"UNDEFINED_IDENT", false},
+		{"1 ? 0 : 1", false},
+		{"~0 == -1", true},
+		{"1 || UNDEF/0", true}, // short-circuit must not divide by zero
+	}
+	for _, c := range cases {
+		src := "#if " + c.cond + "\nint live;\n#endif\n"
+		res := preprocess(t, MapFS{"a.c": src}, "a.c")
+		got := spell(res.Tokens) == "int live ;"
+		if got != c.live {
+			t.Errorf("#if %s: live=%v, want %v", c.cond, got, c.live)
+		}
+	}
+}
+
+func TestInclude(t *testing.T) {
+	fs := MapFS{
+		"src/a.c":        "#include \"a.h\"\n#include <lib/util.h>\nint x = FOO + BAR;\n",
+		"src/a.h":        "#define FOO 1\n",
+		"inc/lib/util.h": "#define BAR 2\n",
+	}
+	res := preprocess(t, fs, "src/a.c", "inc")
+	if got := spell(res.Tokens); got != "int x = 1 + 2 ;" {
+		t.Fatalf("tokens = %q", got)
+	}
+	if len(res.Includes) != 2 {
+		t.Fatalf("includes = %+v", res.Includes)
+	}
+	pp := New(fs, []string{"inc"}, nil)
+	r2, err := pp.Preprocess("src/a.c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ft := pp.Files
+	if ft.Path(r2.Includes[0].To) != "src/a.h" {
+		t.Fatalf("include 0 to %q", ft.Path(r2.Includes[0].To))
+	}
+	if ft.Path(r2.Includes[1].To) != "inc/lib/util.h" {
+		t.Fatalf("include 1 to %q", ft.Path(r2.Includes[1].To))
+	}
+}
+
+func TestIncludeGuardAndPragmaOnce(t *testing.T) {
+	fs := MapFS{
+		"a.c": "#include \"g.h\"\n#include \"g.h\"\n#include \"p.h\"\n#include \"p.h\"\n",
+		"g.h": "#ifndef G_H\n#define G_H\nint g;\n#endif\n",
+		"p.h": "#pragma once\nint p;\n",
+	}
+	res := preprocess(t, fs, "a.c")
+	if got := spell(res.Tokens); got != "int g ; int p ;" {
+		t.Fatalf("tokens = %q", got)
+	}
+	// All four include records exist (one edge occurrence per #include),
+	// even though guarded/once'd bodies were emitted only once.
+	if len(res.Includes) != 4 {
+		t.Fatalf("includes = %d, want 4", len(res.Includes))
+	}
+}
+
+func TestMissingIncludeIsError(t *testing.T) {
+	pp := New(MapFS{"a.c": "#include \"nope.h\"\n"}, nil, nil)
+	res, err := pp.Preprocess("a.c")
+	if err != nil {
+		t.Fatalf("hard error: %v", err)
+	}
+	if len(res.Errors) == 0 {
+		t.Fatal("missing include not reported")
+	}
+}
+
+func TestErrorDirective(t *testing.T) {
+	res := preprocess(t, MapFS{"a.c": "#if 0\n#error never\n#endif\nint x;\n"}, "a.c")
+	if got := spell(res.Tokens); got != "int x ;" {
+		t.Fatalf("tokens = %q", got)
+	}
+	pp := New(MapFS{"a.c": "#error boom\n"}, nil, nil)
+	r, _ := pp.Preprocess("a.c")
+	if len(r.Errors) != 1 || !strings.Contains(r.Errors[0].Error(), "boom") {
+		t.Fatalf("errors = %v", r.Errors)
+	}
+}
+
+func TestLineContinuation(t *testing.T) {
+	res := preprocess(t, MapFS{"a.c": "#define LONG(a) \\\n  ((a) * 2)\nint x = LONG(3);\n"}, "a.c")
+	if got := spell(res.Tokens); got != "int x = ( ( 3 ) * 2 ) ;" {
+		t.Fatalf("tokens = %q", got)
+	}
+}
+
+func TestPredefine(t *testing.T) {
+	pp := New(MapFS{"a.c": "#ifdef __KERNEL__\nint k;\n#endif\n"}, nil, nil)
+	pp.Define("__KERNEL__", "1")
+	res, err := pp.Preprocess("a.c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := spell(res.Tokens); got != "int k ;" {
+		t.Fatalf("tokens = %q", got)
+	}
+}
+
+func TestUndef(t *testing.T) {
+	res := preprocess(t, MapFS{"a.c": "#define X 1\n#undef X\n#ifdef X\nint a;\n#else\nint b;\n#endif\n"}, "a.c")
+	if got := spell(res.Tokens); got != "int b ;" {
+		t.Fatalf("tokens = %q", got)
+	}
+}
+
+func TestLineAndFileMacros(t *testing.T) {
+	res := preprocess(t, MapFS{"dir/a.c": "int l = __LINE__;\nchar *f = __FILE__;\n"}, "dir/a.c")
+	got := spell(res.Tokens)
+	if got != `int l = 1 ; char * f = "dir/a.c" ;` {
+		t.Fatalf("tokens = %q", got)
+	}
+}
+
+func TestMacroTokenPositionsPointAtUseSite(t *testing.T) {
+	res := preprocess(t, MapFS{"a.c": "#define CALLIT helper()\nvoid f(void) { CALLIT; }\n"}, "a.c")
+	for _, tok := range res.Tokens {
+		if tok.FromMacro == "CALLIT" {
+			if tok.Pos.Line != 2 {
+				t.Fatalf("macro token %q at line %d, want 2", tok.Text, tok.Pos.Line)
+			}
+		}
+	}
+	var helper *Token
+	for i := range res.Tokens {
+		if res.Tokens[i].Text == "helper" {
+			helper = &res.Tokens[i]
+		}
+	}
+	if helper == nil || helper.FromMacro != "CALLIT" {
+		t.Fatalf("helper token = %+v", helper)
+	}
+}
+
+func TestDirectiveOnlyAtLineStart(t *testing.T) {
+	res := preprocess(t, MapFS{"a.c": "int x = 1 # 2;\n"}, "a.c")
+	// '#' mid-line is a plain punct, not a directive (and would be a
+	// syntax error for the parser, but the preprocessor passes it on).
+	if got := spell(res.Tokens); got != "int x = 1 # 2 ;" {
+		t.Fatalf("tokens = %q", got)
+	}
+}
+
+func TestCommentStripping(t *testing.T) {
+	res := preprocess(t, MapFS{"a.c": "int /* comment */ x; // trailing\nint y;\n"}, "a.c")
+	if got := spell(res.Tokens); got != "int x ; int y ;" {
+		t.Fatalf("tokens = %q", got)
+	}
+}
+
+func TestFileTableStableAcrossTUs(t *testing.T) {
+	fs := MapFS{
+		"a.c":      "#include \"shared.h\"\n",
+		"b.c":      "#include \"shared.h\"\n",
+		"shared.h": "int s;\n",
+	}
+	ft := NewFileTable()
+	ppA := New(fs, nil, ft)
+	ppB := New(fs, nil, ft)
+	ra, err := ppA.Preprocess("a.c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := ppB.Preprocess("b.c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ra.Includes[0].To != rb.Includes[0].To {
+		t.Fatalf("shared.h has two IDs: %d vs %d", ra.Includes[0].To, rb.Includes[0].To)
+	}
+}
+
+func TestParseIntLiteral(t *testing.T) {
+	cases := map[string]int64{
+		"42": 42, "0x2A": 42, "052": 42, "0b101010": 42,
+		"42UL": 42, "0": 0, "0xffffffffffffffff": -1,
+	}
+	for s, want := range cases {
+		got, err := ParseIntLiteral(s)
+		if err != nil || got != want {
+			t.Errorf("ParseIntLiteral(%q) = %d, %v; want %d", s, got, err, want)
+		}
+	}
+	if _, err := ParseIntLiteral("0xZZ"); err == nil {
+		t.Error("bad literal accepted")
+	}
+}

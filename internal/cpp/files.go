@@ -1,0 +1,154 @@
+// Package cpp implements the C preprocessor half of Frappé's extractor:
+// tokenisation, #include resolution, object- and function-like macros
+// with # and ## operators, conditional compilation with full constant
+// expression evaluation, and — crucially for the graph model — the
+// bookkeeping the paper's Table 1/2 requires: include edges, macro
+// definitions, macro expansion records with source ranges (expands_macro)
+// and conditional interrogations (interrogates_macro), plus an IN_MACRO
+// marker on every token produced by an expansion.
+package cpp
+
+import (
+	"fmt"
+	"os"
+	"path"
+	"sort"
+	"strings"
+)
+
+// FileProvider supplies source text. Implementations: MapFS for in-memory
+// trees (tests, the workload generator) and DirFS over a real directory.
+type FileProvider interface {
+	// ReadFile returns the contents of the file at a slash-separated path.
+	ReadFile(path string) (string, error)
+	// Exists reports whether a file exists at the path.
+	Exists(path string) bool
+}
+
+// MapFS is an in-memory FileProvider.
+type MapFS map[string]string
+
+// ReadFile implements FileProvider.
+func (m MapFS) ReadFile(p string) (string, error) {
+	if s, ok := m[path.Clean(p)]; ok {
+		return s, nil
+	}
+	return "", fmt.Errorf("cpp: no such file %q", p)
+}
+
+// Exists implements FileProvider.
+func (m MapFS) Exists(p string) bool {
+	_, ok := m[path.Clean(p)]
+	return ok
+}
+
+// Paths returns all file paths in sorted order.
+func (m MapFS) Paths() []string {
+	out := make([]string, 0, len(m))
+	for p := range m {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// DirFS reads from a directory on disk.
+type DirFS struct{ Root string }
+
+// ReadFile implements FileProvider.
+func (d DirFS) ReadFile(p string) (string, error) {
+	b, err := os.ReadFile(path.Join(d.Root, p))
+	if err != nil {
+		return "", err
+	}
+	return string(b), nil
+}
+
+// Exists implements FileProvider.
+func (d DirFS) Exists(p string) bool {
+	st, err := os.Stat(path.Join(d.Root, p))
+	return err == nil && !st.IsDir()
+}
+
+// FileID identifies a source file within one extraction run; it is the
+// value stored in USE_FILE_ID / NAME_FILE_ID edge properties.
+type FileID int32
+
+// NoFile marks an absent file reference.
+const NoFile FileID = -1
+
+// FileTable interns file paths to stable IDs.
+type FileTable struct {
+	byPath map[string]FileID
+	paths  []string
+}
+
+// NewFileTable returns an empty table.
+func NewFileTable() *FileTable {
+	return &FileTable{byPath: make(map[string]FileID)}
+}
+
+// Intern returns the ID for a path, assigning one if new.
+func (t *FileTable) Intern(p string) FileID {
+	p = path.Clean(p)
+	if id, ok := t.byPath[p]; ok {
+		return id
+	}
+	id := FileID(len(t.paths))
+	t.byPath[p] = id
+	t.paths = append(t.paths, p)
+	return id
+}
+
+// Path returns the path for an ID.
+func (t *FileTable) Path(id FileID) string {
+	if id < 0 || int(id) >= len(t.paths) {
+		return ""
+	}
+	return t.paths[id]
+}
+
+// Len returns the number of interned files.
+func (t *FileTable) Len() int { return len(t.paths) }
+
+// Paths returns all interned paths indexed by FileID.
+func (t *FileTable) Paths() []string { return t.paths }
+
+// Pos is a source position (1-based line and column).
+type Pos struct {
+	File FileID
+	Line int32
+	Col  int32
+}
+
+// IsValid reports whether the position refers to a real location.
+func (p Pos) IsValid() bool { return p.File >= 0 && p.Line > 0 }
+
+// String renders file-relative positions for diagnostics.
+func (p Pos) String() string { return fmt.Sprintf("%d:%d:%d", p.File, p.Line, p.Col) }
+
+// Range is a half-open source range [Start, End).
+type Range struct {
+	Start Pos
+	End   Pos
+}
+
+// Dir returns the directory component of a slash path ("" for none).
+func Dir(p string) string {
+	d := path.Dir(p)
+	if d == "." {
+		return ""
+	}
+	return d
+}
+
+// Join joins slash path segments, cleaning the result.
+func Join(parts ...string) string {
+	var nonEmpty []string
+	for _, p := range parts {
+		if p != "" {
+			nonEmpty = append(nonEmpty, p)
+		}
+	}
+	return path.Clean(strings.Join(nonEmpty, "/"))
+}

@@ -1,0 +1,147 @@
+package cpp
+
+import "strings"
+
+// Macro is a preprocessor macro definition.
+type Macro struct {
+	Name     string
+	FuncLike bool
+	Params   []string
+	Variadic bool
+	Body     []Token
+	DefPos   Pos
+	DefEnd   Pos
+}
+
+// paramIndex returns the parameter position of an identifier, or -1.
+func (m *Macro) paramIndex(name string) int {
+	for i, p := range m.Params {
+		if p == name {
+			return i
+		}
+	}
+	if m.Variadic && name == "__VA_ARGS__" {
+		return len(m.Params)
+	}
+	return -1
+}
+
+// substitute produces the replacement token list for an invocation:
+// parameters are replaced by (pre-expanded) argument tokens, '#' makes
+// string literals from raw arguments, and '##' pastes adjacent tokens.
+// All produced tokens take the position of the invocation site and carry
+// the macro's name, so downstream source ranges point at the use site —
+// the behaviour Table 2 of the paper specifies for macro-produced edges.
+func (pp *Preprocessor) substitute(m *Macro, site Token, rawArgs [][]Token, expArgs [][]Token) []Token {
+	var out []Token
+	body := m.Body
+	hide := unionHide(site.hide, []string{m.Name})
+	for i := 0; i < len(body); i++ {
+		t := body[i]
+		// '#' param → stringize the raw argument.
+		if t.IsPunct("#") && i+1 < len(body) && body[i+1].Kind == TokIdent {
+			if pi := m.paramIndex(body[i+1].Text); pi >= 0 && pi < len(rawArgs) {
+				out = append(out, pp.siteToken(site, m, hide, Token{
+					Kind: TokString,
+					Text: `"` + escapeString(spellTokens(rawArgs[pi])) + `"`,
+				}))
+				i++
+				continue
+			}
+		}
+		// token ## token → paste.
+		if i+2 < len(body) && body[i+1].IsPunct("##") {
+			left := pp.substOne(m, site, t, rawArgs)
+			// Collect a full pasting chain a ## b ## c.
+			j := i
+			for j+2 < len(body) && body[j+1].IsPunct("##") {
+				right := pp.substOne(m, site, body[j+2], rawArgs)
+				left = pasteTokens(left, right)
+				j += 2
+			}
+			for _, lt := range left {
+				out = append(out, pp.siteToken(site, m, hide, lt))
+			}
+			i = j
+			continue
+		}
+		if t.Kind == TokIdent {
+			if pi := m.paramIndex(t.Text); pi >= 0 && pi < len(expArgs) {
+				for _, at := range expArgs[pi] {
+					out = append(out, pp.siteToken(site, m, hide, at))
+				}
+				continue
+			}
+		}
+		out = append(out, pp.siteToken(site, m, hide, t))
+	}
+	return out
+}
+
+// substOne substitutes a single body token for pasting purposes (raw
+// arguments, per C11 6.10.3.3).
+func (pp *Preprocessor) substOne(m *Macro, site Token, t Token, rawArgs [][]Token) []Token {
+	if t.Kind == TokIdent {
+		if pi := m.paramIndex(t.Text); pi >= 0 && pi < len(rawArgs) {
+			return append([]Token(nil), rawArgs[pi]...)
+		}
+	}
+	return []Token{t}
+}
+
+// siteToken stamps a produced token with the invocation site position,
+// the macro name, and the hide set that prevents recursive re-expansion.
+func (pp *Preprocessor) siteToken(site Token, m *Macro, hide []string, t Token) Token {
+	t.Pos = site.Pos
+	t.EndCol = site.EndCol
+	if t.FromMacro == "" {
+		t.FromMacro = m.Name
+	}
+	t.hide = unionHide(t.hide, hide)
+	return t
+}
+
+// pasteTokens concatenates the last token of left with the first token of
+// right and re-lexes the result.
+func pasteTokens(left, right []Token) []Token {
+	if len(left) == 0 {
+		return right
+	}
+	if len(right) == 0 {
+		return left
+	}
+	l := left[len(left)-1]
+	r := right[0]
+	glued := LexAll(l.Text+r.Text, l.Pos.File)
+	var out []Token
+	out = append(out, left[:len(left)-1]...)
+	for _, g := range glued {
+		g.Pos = l.Pos
+		g.EndCol = l.EndCol
+		g.FromMacro = l.FromMacro
+		out = append(out, g)
+	}
+	out = append(out, right[1:]...)
+	return out
+}
+
+// spellTokens renders tokens as source text with single spaces.
+func spellTokens(toks []Token) string {
+	parts := make([]string, len(toks))
+	for i, t := range toks {
+		parts[i] = t.Text
+	}
+	return strings.Join(parts, " ")
+}
+
+func escapeString(s string) string {
+	var sb strings.Builder
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '"', '\\':
+			sb.WriteByte('\\')
+		}
+		sb.WriteByte(s[i])
+	}
+	return sb.String()
+}

@@ -1,0 +1,558 @@
+package cpp
+
+import (
+	"fmt"
+	"strings"
+)
+
+// IncludeRecord is one #include occurrence (the includes edge).
+type IncludeRecord struct {
+	From FileID
+	To   FileID
+	Use  Range
+}
+
+// ExpansionRecord is one top-level macro expansion in source text (the
+// expands_macro edge); Use covers the macro name token at the use site.
+type ExpansionRecord struct {
+	Macro string
+	Use   Range
+}
+
+// InterrogationRecord is one #ifdef/#ifndef/defined() test (the
+// interrogates_macro edge).
+type InterrogationRecord struct {
+	Macro string
+	Use   Range
+}
+
+// MacroDefRecord is one #define (a macro node).
+type MacroDefRecord struct {
+	Name     string
+	FuncLike bool
+	Pos      Pos
+	End      Pos
+	File     FileID
+}
+
+// Result is the output of preprocessing one translation unit.
+type Result struct {
+	Tokens         []Token
+	Includes       []IncludeRecord
+	Expansions     []ExpansionRecord
+	Interrogations []InterrogationRecord
+	MacroDefs      []MacroDefRecord
+	Errors         []error
+}
+
+// Preprocessor preprocesses translation units. Create one per extraction
+// run; Preprocess may be called once per TU and macro state resets
+// between calls, while the FileTable accumulates across calls so FileIDs
+// are stable run-wide.
+type Preprocessor struct {
+	FS           FileProvider
+	IncludePaths []string
+	Files        *FileTable
+
+	predef map[string]*Macro
+
+	// per-run state
+	macros     map[string]*Macro
+	pragmaOnce map[FileID]bool
+	res        *Result
+	maxDepth   int
+}
+
+// New creates a preprocessor over fs with the given include search paths.
+// The FileTable may be shared across preprocessor instances.
+func New(fs FileProvider, includePaths []string, files *FileTable) *Preprocessor {
+	if files == nil {
+		files = NewFileTable()
+	}
+	return &Preprocessor{
+		FS:           fs,
+		IncludePaths: includePaths,
+		Files:        files,
+		predef:       make(map[string]*Macro),
+		maxDepth:     200,
+	}
+}
+
+// Define adds a predefined object-like macro (as -D on a compiler command
+// line). value may be empty.
+func (pp *Preprocessor) Define(name, value string) {
+	pp.predef[name] = &Macro{Name: name, Body: LexAll(value, NoFile)}
+}
+
+// Preprocess runs the preprocessor over one translation unit.
+func (pp *Preprocessor) Preprocess(path string) (*Result, error) {
+	pp.macros = make(map[string]*Macro, len(pp.predef)+16)
+	for k, v := range pp.predef {
+		pp.macros[k] = v
+	}
+	pp.pragmaOnce = make(map[FileID]bool)
+	pp.res = &Result{}
+	if err := pp.processFile(path, 0); err != nil {
+		return nil, err
+	}
+	res := pp.res
+	pp.res = nil
+	return res, nil
+}
+
+// condState tracks one level of conditional nesting.
+type condState struct {
+	parentActive bool // the enclosing group was active
+	active       bool // this branch is being emitted
+	taken        bool // some branch at this level already evaluated true
+	seenElse     bool
+}
+
+// fileState is the per-file processing state.
+type fileState struct {
+	lex     *lexer
+	pending []Token // macro-expansion output awaiting rescanning
+	file    FileID
+	conds   []condState
+}
+
+func (fs *fileState) active() bool {
+	for _, c := range fs.conds {
+		if !c.active {
+			return false
+		}
+	}
+	return true
+}
+
+func (pp *Preprocessor) processFile(path string, depth int) error {
+	if depth > pp.maxDepth {
+		return fmt.Errorf("cpp: include depth exceeds %d at %q", pp.maxDepth, path)
+	}
+	src, err := pp.FS.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	id := pp.Files.Intern(path)
+	if pp.pragmaOnce[id] {
+		return nil
+	}
+	st := &fileState{lex: newLexer(src, id), file: id}
+	for {
+		t := pp.nextToken(st)
+		if t.Kind == TokEOF {
+			break
+		}
+		if t.Kind == TokDirective {
+			if err := pp.directive(st, t, path, depth); err != nil {
+				pp.res.Errors = append(pp.res.Errors, err)
+			}
+			continue
+		}
+		if !st.active() {
+			continue
+		}
+		if t.Kind == TokIdent {
+			if pp.maybeExpand(st, t) {
+				continue
+			}
+		}
+		pp.res.Tokens = append(pp.res.Tokens, t)
+	}
+	if len(st.conds) > 0 {
+		pp.res.Errors = append(pp.res.Errors, fmt.Errorf("cpp: %s: unterminated conditional", path))
+	}
+	return nil
+}
+
+// nextToken pulls from the rescan queue first, then the lexer.
+func (pp *Preprocessor) nextToken(st *fileState) Token {
+	if len(st.pending) > 0 {
+		t := st.pending[0]
+		st.pending = st.pending[1:]
+		return t
+	}
+	return st.lex.next(false)
+}
+
+// peekToken looks ahead one token without consuming.
+func (pp *Preprocessor) peekToken(st *fileState) Token {
+	t := pp.nextToken(st)
+	if t.Kind != TokEOF {
+		st.pending = append([]Token{t}, st.pending...)
+	}
+	return t
+}
+
+// maybeExpand expands the identifier if it names a macro; returns true if
+// an expansion happened (replacement tokens queued for rescanning).
+func (pp *Preprocessor) maybeExpand(st *fileState, t Token) bool {
+	switch t.Text {
+	case "__LINE__":
+		st.pending = append([]Token{{Kind: TokNumber, Text: fmt.Sprint(t.Pos.Line), Pos: t.Pos, EndCol: t.EndCol, FromMacro: "__LINE__"}}, st.pending...)
+		return true
+	case "__FILE__":
+		st.pending = append([]Token{{Kind: TokString, Text: `"` + escapeString(pp.Files.Path(t.Pos.File)) + `"`, Pos: t.Pos, EndCol: t.EndCol, FromMacro: "__FILE__"}}, st.pending...)
+		return true
+	}
+	m, ok := pp.macros[t.Text]
+	if !ok || t.hidden(t.Text) {
+		return false
+	}
+	var rawArgs, expArgs [][]Token
+	if m.FuncLike {
+		nxt := pp.peekToken(st)
+		if !nxt.IsPunct("(") {
+			return false // function-like macro without arguments: plain ident
+		}
+		pp.nextToken(st) // consume '('
+		rawArgs = pp.collectArgs(st, m)
+		expArgs = make([][]Token, len(rawArgs))
+		for i, a := range rawArgs {
+			expArgs[i] = pp.expandList(a)
+		}
+	}
+	if t.FromMacro == "" {
+		pp.res.Expansions = append(pp.res.Expansions, ExpansionRecord{
+			Macro: m.Name,
+			Use:   Range{Start: t.Pos, End: t.End()},
+		})
+	}
+	sub := pp.substitute(m, t, rawArgs, expArgs)
+	st.pending = append(append([]Token(nil), sub...), st.pending...)
+	return true
+}
+
+// collectArgs reads macro arguments up to the matching ')', splitting on
+// top-level commas (the '(' has been consumed).
+func (pp *Preprocessor) collectArgs(st *fileState, m *Macro) [][]Token {
+	var args [][]Token
+	var cur []Token
+	depth := 1
+	for {
+		t := pp.nextToken(st)
+		if t.Kind == TokEOF {
+			break
+		}
+		switch {
+		case t.IsPunct("("):
+			depth++
+		case t.IsPunct(")"):
+			depth--
+			if depth == 0 {
+				args = append(args, cur)
+				// Adjust: zero args for a zero-param macro invoked as M().
+				if len(args) == 1 && len(args[0]) == 0 && len(m.Params) == 0 && !m.Variadic {
+					return nil
+				}
+				// Variadic: fold extra args into __VA_ARGS__.
+				if m.Variadic && len(args) > len(m.Params)+1 {
+					va := args[len(m.Params)]
+					for _, extra := range args[len(m.Params)+1:] {
+						va = append(va, Token{Kind: TokPunct, Text: ",", Pos: t.Pos, EndCol: t.EndCol})
+						va = append(va, extra...)
+					}
+					args = append(args[:len(m.Params)], va)
+				}
+				return args
+			}
+		case t.IsPunct(",") && depth == 1:
+			args = append(args, cur)
+			cur = nil
+			continue
+		}
+		cur = append(cur, t)
+	}
+	return append(args, cur)
+}
+
+// expandList fully macro-expands a token list (for argument
+// pre-expansion and #if conditions).
+func (pp *Preprocessor) expandList(toks []Token) []Token {
+	st := &fileState{lex: newLexer("", NoFile), pending: append([]Token(nil), toks...)}
+	var out []Token
+	for {
+		t := pp.nextToken(st)
+		if t.Kind == TokEOF {
+			return out
+		}
+		if t.Kind == TokIdent && pp.maybeExpand(st, t) {
+			continue
+		}
+		out = append(out, t)
+	}
+}
+
+// readDirectiveLine reads the remaining tokens of a directive line.
+func (pp *Preprocessor) readDirectiveLine(st *fileState) []Token {
+	var out []Token
+	for {
+		t := st.lex.next(true)
+		if t.Kind == TokNewline || t.Kind == TokEOF {
+			return out
+		}
+		out = append(out, t)
+	}
+}
+
+func (pp *Preprocessor) directive(st *fileState, d Token, path string, depth int) error {
+	name := d.Text
+	switch name {
+	case "if", "ifdef", "ifndef":
+		line := pp.readDirectiveLine(st)
+		active := st.active()
+		val := false
+		if active {
+			var err error
+			val, err = pp.evalCondition(name, line, d)
+			if err != nil {
+				return err
+			}
+		}
+		st.conds = append(st.conds, condState{parentActive: active, active: active && val, taken: val})
+		return nil
+	case "elif":
+		line := pp.readDirectiveLine(st)
+		if len(st.conds) == 0 {
+			return fmt.Errorf("cpp: %s: #elif without #if", path)
+		}
+		c := &st.conds[len(st.conds)-1]
+		if c.seenElse {
+			return fmt.Errorf("cpp: %s: #elif after #else", path)
+		}
+		if !c.parentActive || c.taken {
+			c.active = false
+			return nil
+		}
+		val, err := pp.evalCondition("if", line, d)
+		if err != nil {
+			return err
+		}
+		c.active = val
+		c.taken = val
+		return nil
+	case "else":
+		pp.readDirectiveLine(st)
+		if len(st.conds) == 0 {
+			return fmt.Errorf("cpp: %s: #else without #if", path)
+		}
+		c := &st.conds[len(st.conds)-1]
+		if c.seenElse {
+			return fmt.Errorf("cpp: %s: duplicate #else", path)
+		}
+		c.seenElse = true
+		c.active = c.parentActive && !c.taken
+		c.taken = true
+		return nil
+	case "endif":
+		pp.readDirectiveLine(st)
+		if len(st.conds) == 0 {
+			return fmt.Errorf("cpp: %s: #endif without #if", path)
+		}
+		st.conds = st.conds[:len(st.conds)-1]
+		return nil
+	}
+
+	if !st.active() {
+		pp.readDirectiveLine(st)
+		return nil
+	}
+
+	switch name {
+	case "define":
+		return pp.handleDefine(st, d)
+	case "undef":
+		line := pp.readDirectiveLine(st)
+		if len(line) > 0 && line[0].Kind == TokIdent {
+			delete(pp.macros, line[0].Text)
+		}
+		return nil
+	case "include", "include_next":
+		return pp.handleInclude(st, d, path, depth)
+	case "pragma":
+		line := pp.readDirectiveLine(st)
+		if len(line) > 0 && line[0].IsIdent("once") {
+			pp.pragmaOnce[st.file] = true
+		}
+		return nil
+	case "error":
+		line := pp.readDirectiveLine(st)
+		return fmt.Errorf("cpp: %s:%d: #error %s", path, d.Pos.Line, spellTokens(line))
+	case "warning", "line", "ident":
+		pp.readDirectiveLine(st)
+		return nil
+	case "":
+		// Null directive (# alone).
+		pp.readDirectiveLine(st)
+		return nil
+	}
+	pp.readDirectiveLine(st)
+	return fmt.Errorf("cpp: %s:%d: unknown directive #%s", path, d.Pos.Line, name)
+}
+
+func (pp *Preprocessor) handleDefine(st *fileState, d Token) error {
+	// Read the name; function-likeness depends on '(' immediately after.
+	nameTok := st.lex.next(true)
+	if nameTok.Kind != TokIdent {
+		pp.readDirectiveLine(st)
+		return fmt.Errorf("cpp: #define without a name at %s", d.Pos)
+	}
+	m := &Macro{Name: nameTok.Text, DefPos: nameTok.Pos, DefEnd: nameTok.End()}
+	rest := pp.readDirectiveLine(st)
+	i := 0
+	if len(rest) > 0 && rest[0].IsPunct("(") &&
+		rest[0].Pos.Line == nameTok.Pos.Line && rest[0].Pos.Col == nameTok.EndCol {
+		m.FuncLike = true
+		i = 1
+		for i < len(rest) && !rest[i].IsPunct(")") {
+			switch {
+			case rest[i].Kind == TokIdent:
+				m.Params = append(m.Params, rest[i].Text)
+			case rest[i].IsPunct("..."):
+				m.Variadic = true
+			case rest[i].IsPunct(","):
+			}
+			i++
+		}
+		if i < len(rest) {
+			i++ // ')'
+		}
+	}
+	m.Body = rest[i:]
+	if len(m.Body) > 0 {
+		last := m.Body[len(m.Body)-1]
+		m.DefEnd = last.End()
+	}
+	pp.macros[m.Name] = m
+	pp.res.MacroDefs = append(pp.res.MacroDefs, MacroDefRecord{
+		Name: m.Name, FuncLike: m.FuncLike, Pos: m.DefPos, End: m.DefEnd, File: st.file,
+	})
+	return nil
+}
+
+func (pp *Preprocessor) handleInclude(st *fileState, d Token, path string, depth int) error {
+	line := pp.readDirectiveLine(st)
+	if len(line) == 0 {
+		return fmt.Errorf("cpp: %s:%d: empty #include", path, d.Pos.Line)
+	}
+	var target string
+	var system bool
+	switch {
+	case line[0].Kind == TokString:
+		target = strings.Trim(line[0].Text, `"`)
+	case line[0].IsPunct("<"):
+		var sb strings.Builder
+		for _, t := range line[1:] {
+			if t.IsPunct(">") {
+				break
+			}
+			sb.WriteString(t.Text)
+		}
+		target = sb.String()
+		system = true
+	default:
+		// Macro-expanded include target.
+		exp := pp.expandList(line)
+		if len(exp) > 0 && exp[0].Kind == TokString {
+			target = strings.Trim(exp[0].Text, `"`)
+		} else {
+			return fmt.Errorf("cpp: %s:%d: malformed #include", path, d.Pos.Line)
+		}
+	}
+	resolved, ok := pp.resolveInclude(target, path, system)
+	if !ok {
+		return fmt.Errorf("cpp: %s:%d: include %q not found", path, d.Pos.Line, target)
+	}
+	end := d.End()
+	if len(line) > 0 {
+		end = line[len(line)-1].End()
+	}
+	pp.res.Includes = append(pp.res.Includes, IncludeRecord{
+		From: st.file,
+		To:   pp.Files.Intern(resolved),
+		Use:  Range{Start: d.Pos, End: end},
+	})
+	return pp.processFile(resolved, depth+1)
+}
+
+func (pp *Preprocessor) resolveInclude(target, from string, system bool) (string, bool) {
+	if !system {
+		cand := Join(Dir(from), target)
+		if pp.FS.Exists(cand) {
+			return cand, true
+		}
+	}
+	for _, dir := range pp.IncludePaths {
+		cand := Join(dir, target)
+		if pp.FS.Exists(cand) {
+			return cand, true
+		}
+	}
+	if pp.FS.Exists(target) {
+		return target, true
+	}
+	return "", false
+}
+
+func (pp *Preprocessor) evalCondition(kind string, line []Token, d Token) (bool, error) {
+	switch kind {
+	case "ifdef", "ifndef":
+		if len(line) == 0 || line[0].Kind != TokIdent {
+			return false, fmt.Errorf("cpp: #%s without a name at %s", kind, d.Pos)
+		}
+		name := line[0].Text
+		pp.res.Interrogations = append(pp.res.Interrogations, InterrogationRecord{
+			Macro: name,
+			Use:   Range{Start: line[0].Pos, End: line[0].End()},
+		})
+		_, defined := pp.macros[name]
+		if kind == "ifndef" {
+			return !defined, nil
+		}
+		return defined, nil
+	}
+	// #if: record defined() interrogations, replace them with 0/1, expand
+	// the rest, then evaluate the constant expression.
+	var prepared []Token
+	for i := 0; i < len(line); i++ {
+		t := line[i]
+		if t.IsIdent("defined") {
+			var nameTok Token
+			j := i + 1
+			if j < len(line) && line[j].IsPunct("(") {
+				j++
+				if j < len(line) && line[j].Kind == TokIdent {
+					nameTok = line[j]
+					j++
+				}
+				if j < len(line) && line[j].IsPunct(")") {
+					j++
+				}
+			} else if j < len(line) && line[j].Kind == TokIdent {
+				nameTok = line[j]
+				j++
+			}
+			if nameTok.Kind != TokIdent {
+				return false, fmt.Errorf("cpp: malformed defined() at %s", t.Pos)
+			}
+			pp.res.Interrogations = append(pp.res.Interrogations, InterrogationRecord{
+				Macro: nameTok.Text,
+				Use:   Range{Start: nameTok.Pos, End: nameTok.End()},
+			})
+			val := "0"
+			if _, ok := pp.macros[nameTok.Text]; ok {
+				val = "1"
+			}
+			prepared = append(prepared, Token{Kind: TokNumber, Text: val, Pos: t.Pos, EndCol: t.EndCol})
+			i = j - 1
+			continue
+		}
+		prepared = append(prepared, t)
+	}
+	expanded := pp.expandList(prepared)
+	v, err := evalConstExpr(expanded)
+	if err != nil {
+		return false, fmt.Errorf("cpp: #if at %s: %w", d.Pos, err)
+	}
+	return v != 0, nil
+}

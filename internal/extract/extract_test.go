@@ -1,0 +1,755 @@
+package extract
+
+import (
+	"strings"
+	"testing"
+
+	"frappe/internal/cpp"
+	"frappe/internal/graph"
+	"frappe/internal/model"
+)
+
+// runExtract runs the full pipeline over an in-memory tree.
+func runExtract(t *testing.T, fs cpp.MapFS, build Build, opts ...func(*Options)) *Result {
+	t.Helper()
+	o := Options{FS: fs}
+	for _, f := range opts {
+		f(&o)
+	}
+	res, err := Run(build, o)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	for _, e := range res.Errors {
+		t.Errorf("extract error: %v", e)
+	}
+	return res
+}
+
+// findNode locates a node by type and SHORT_NAME; fails if absent.
+func findNode(t *testing.T, g *graph.Graph, typ model.NodeType, short string) graph.NodeID {
+	t.Helper()
+	n := g.NodeCount()
+	for id := graph.NodeID(0); id < graph.NodeID(n); id++ {
+		if g.NodeType(id) != typ {
+			continue
+		}
+		if v, _ := g.NodeProp(id, model.PropShortName); v.AsString() == short {
+			return id
+		}
+	}
+	t.Fatalf("no %s node named %q", typ, short)
+	return graph.InvalidID
+}
+
+// hasEdge reports whether from -type-> to exists.
+func hasEdge(g *graph.Graph, from, to graph.NodeID, typ model.EdgeType) bool {
+	for _, e := range g.Out(from) {
+		f, tt, et := g.EdgeEnds(e)
+		_ = f
+		if tt == to && et == typ {
+			return true
+		}
+	}
+	return false
+}
+
+func edgeBetween(g *graph.Graph, from, to graph.NodeID, typ model.EdgeType) (graph.EdgeID, bool) {
+	for _, e := range g.Out(from) {
+		_, tt, et := g.EdgeEnds(e)
+		if tt == to && et == typ {
+			return e, true
+		}
+	}
+	return 0, false
+}
+
+// figure2FS reproduces the paper's Figure 2 example program.
+func figure2FS() cpp.MapFS {
+	return cpp.MapFS{
+		"foo.h":  "int bar(int);\n",
+		"foo.c":  "#include \"foo.h\"\nint bar(int input) {\n\treturn input;\n}\n",
+		"main.c": "#include \"foo.h\"\nint main(int argc, char **argv) {\n\treturn bar(argc);\n}\n",
+	}
+}
+
+func figure2Build() Build {
+	return Build{
+		Units: []CompileUnit{
+			{Source: "foo.c", Object: "foo.o"},
+			{Source: "main.c", Object: "main.o"},
+		},
+		Modules: []Module{
+			{Name: "prog", Objects: []string{"main.o", "foo.o"}},
+		},
+	}
+}
+
+// TestFigure2ExampleGraph checks the worked example of the paper: the
+// node set and the key edges of the foo.c/main.c/prog dependency graph.
+func TestFigure2ExampleGraph(t *testing.T) {
+	res := runExtract(t, figure2FS(), figure2Build())
+	g := res.Graph
+
+	prog := findNode(t, g, model.NodeModule, "prog")
+	fooO := findNode(t, g, model.NodeObjectFile, "foo.o")
+	mainO := findNode(t, g, model.NodeObjectFile, "main.o")
+	fooC := findNode(t, g, model.NodeFile, "foo.c")
+	fooH := findNode(t, g, model.NodeFile, "foo.h")
+	mainC := findNode(t, g, model.NodeFile, "main.c")
+	mainFn := findNode(t, g, model.NodeFunction, "main")
+	barFn := findNode(t, g, model.NodeFunction, "bar")
+	barDecl := findNode(t, g, model.NodeFunctionDecl, "bar")
+	argv := findNode(t, g, model.NodeParameter, "argv")
+	argc := findNode(t, g, model.NodeParameter, "argc")
+	input := findNode(t, g, model.NodeParameter, "input")
+	charT := findNode(t, g, model.NodePrimitive, "char")
+	intT := findNode(t, g, model.NodePrimitive, "int")
+
+	// Build structure.
+	if !hasEdge(g, prog, fooO, model.EdgeLinkedFrom) || !hasEdge(g, prog, mainO, model.EdgeLinkedFrom) {
+		t.Error("prog missing linked_from edges")
+	}
+	if e, ok := edgeBetween(g, prog, mainO, model.EdgeLinkedFrom); ok {
+		if v, _ := g.EdgeProp(e, model.PropLinkOrder); v.AsInt() != 0 {
+			t.Errorf("main.o link order = %v", v)
+		}
+	}
+	if !hasEdge(g, fooO, fooC, model.EdgeCompiledFrom) || !hasEdge(g, mainO, mainC, model.EdgeCompiledFrom) {
+		t.Error("compiled_from missing")
+	}
+	if !hasEdge(g, fooO, fooH, model.EdgeCompiledFrom) {
+		t.Error("compiled_from should reach headers folded into the TU")
+	}
+	if !hasEdge(g, fooC, fooH, model.EdgeIncludes) || !hasEdge(g, mainC, fooH, model.EdgeIncludes) {
+		t.Error("includes missing")
+	}
+
+	// Containment.
+	if !hasEdge(g, mainC, mainFn, model.EdgeFileContains) {
+		t.Error("main.c file_contains main missing")
+	}
+	if !hasEdge(g, fooC, barFn, model.EdgeFileContains) {
+		t.Error("foo.c file_contains bar missing")
+	}
+	if !hasEdge(g, fooH, barDecl, model.EdgeFileContains) {
+		t.Error("foo.h file_contains bar decl missing")
+	}
+
+	// Cross-linked call: main calls the *definition* of bar.
+	if !hasEdge(g, mainFn, barFn, model.EdgeCalls) {
+		t.Error("main -calls-> bar (definition) missing")
+	}
+	// Declaration wiring.
+	if !hasEdge(g, barDecl, barFn, model.EdgeDeclares) {
+		t.Error("bar decl -declares-> bar missing")
+	}
+
+	// Parameters and types: argv isa_type char with QUALIFIER **.
+	if !hasEdge(g, mainFn, argv, model.EdgeHasParam) || !hasEdge(g, mainFn, argc, model.EdgeHasParam) {
+		t.Error("has_param missing")
+	}
+	if !hasEdge(g, barFn, input, model.EdgeHasParam) {
+		t.Error("bar has_param input missing")
+	}
+	e, ok := edgeBetween(g, argv, charT, model.EdgeIsaType)
+	if !ok {
+		t.Fatal("argv isa_type char missing")
+	}
+	if v, _ := g.EdgeProp(e, model.PropQualifiers); v.AsString() != "**" {
+		t.Errorf("argv QUALIFIERS = %q, want \"**\"", v.AsString())
+	}
+	if !hasEdge(g, argc, intT, model.EdgeIsaType) {
+		t.Error("argc isa_type int missing")
+	}
+	// main reads its argc parameter when calling bar(argc).
+	if !hasEdge(g, mainFn, argc, model.EdgeReads) {
+		t.Error("main reads argc missing")
+	}
+	// Return types.
+	if !hasEdge(g, mainFn, intT, model.EdgeHasRetType) || !hasEdge(g, barFn, intT, model.EdgeHasRetType) {
+		t.Error("has_ret_type missing")
+	}
+	// bar reads its parameter.
+	if !hasEdge(g, barFn, input, model.EdgeReads) {
+		t.Error("bar reads input missing")
+	}
+}
+
+func TestCallEdgeSourceRanges(t *testing.T) {
+	res := runExtract(t, figure2FS(), figure2Build())
+	g := res.Graph
+	mainFn := findNode(t, g, model.NodeFunction, "main")
+	barFn := findNode(t, g, model.NodeFunction, "bar")
+	e, ok := edgeBetween(g, mainFn, barFn, model.EdgeCalls)
+	if !ok {
+		t.Fatal("no call edge")
+	}
+	use, _ := g.EdgeProp(e, model.PropUseStartLine)
+	if use.AsInt() != 3 {
+		t.Errorf("USE_START_LINE = %d, want 3", use.AsInt())
+	}
+	nameCol, _ := g.EdgeProp(e, model.PropNameStartCol)
+	if nameCol.AsInt() != 9 { // "\treturn bar(argc);" — bar at col 9
+		t.Errorf("NAME_START_COL = %d, want 9", nameCol.AsInt())
+	}
+	fid, _ := g.EdgeProp(e, model.PropUseFileID)
+	if res.Files.Path(cpp.FileID(fid.AsInt())) != "main.c" {
+		t.Errorf("USE_FILE_ID resolves to %q", res.Files.Path(cpp.FileID(fid.AsInt())))
+	}
+}
+
+func TestMembersAndWrites(t *testing.T) {
+	fs := cpp.MapFS{
+		"dev.h": `
+struct packet_command {
+	unsigned char cmd[12];
+	int timeout;
+};
+typedef struct packet_command pc_t;
+`,
+		"sr.c": `
+#include "dev.h"
+static struct packet_command global_pc;
+void fill(struct packet_command *pc, int t) {
+	pc->timeout = t;
+	pc->timeout += 1;
+	global_pc.timeout = pc->timeout;
+}
+int peek(pc_t *p) { return p->timeout; }
+`,
+	}
+	build := Build{Units: []CompileUnit{{Source: "sr.c", Object: "sr.o"}},
+		Modules: []Module{{Name: "sr.ko", Objects: []string{"sr.o"}}}}
+	res := runExtract(t, fs, build)
+	g := res.Graph
+
+	pkt := findNode(t, g, model.NodeStruct, "packet_command")
+	timeout := findNode(t, g, model.NodeField, "timeout")
+	cmd := findNode(t, g, model.NodeField, "cmd")
+	fill := findNode(t, g, model.NodeFunction, "fill")
+	peek := findNode(t, g, model.NodeFunction, "peek")
+	gpc := findNode(t, g, model.NodeGlobal, "global_pc")
+
+	if !hasEdge(g, pkt, timeout, model.EdgeContains) || !hasEdge(g, pkt, cmd, model.EdgeContains) {
+		t.Error("struct contains fields missing")
+	}
+	if !hasEdge(g, fill, timeout, model.EdgeWritesMember) {
+		t.Error("fill writes_member timeout missing")
+	}
+	if !hasEdge(g, fill, timeout, model.EdgeReadsMember) {
+		t.Error("fill reads_member timeout (compound assign / rhs) missing")
+	}
+	// Through a typedef'd pointer.
+	if !hasEdge(g, peek, timeout, model.EdgeReadsMember) {
+		t.Error("peek reads_member through typedef missing")
+	}
+	// Writing a member of a global struct writes into the global (dot
+	// access) and the member.
+	if !hasEdge(g, fill, gpc, model.EdgeWrites) {
+		t.Error("fill writes global_pc missing")
+	}
+	// cmd field type: array of unsigned char with ARRAY_LENGTHS 12.
+	uchar := findNode(t, g, model.NodePrimitive, "unsigned char")
+	e, ok := edgeBetween(g, cmd, uchar, model.EdgeIsaType)
+	if !ok {
+		t.Fatal("cmd isa_type missing")
+	}
+	if v, _ := g.EdgeProp(e, model.PropArrayLengths); v.AsString() != "12" {
+		t.Errorf("ARRAY_LENGTHS = %q", v.AsString())
+	}
+}
+
+func TestMacroEdges(t *testing.T) {
+	fs := cpp.MapFS{
+		"cfg.h": "#define MAX_SECTORS 255\n#define CHECK(x) ((x) > MAX_SECTORS)\n",
+		"a.c": `
+#include "cfg.h"
+#ifdef MAX_SECTORS
+int limit = MAX_SECTORS;
+#endif
+int clamp(int v) {
+	if (CHECK(v)) return MAX_SECTORS;
+	return v;
+}
+`,
+	}
+	res := runExtract(t, fs, Build{Units: []CompileUnit{{Source: "a.c", Object: "a.o"}}})
+	g := res.Graph
+	maxS := findNode(t, g, model.NodeMacro, "MAX_SECTORS")
+	check := findNode(t, g, model.NodeMacro, "CHECK")
+	clamp := findNode(t, g, model.NodeFunction, "clamp")
+	aC := findNode(t, g, model.NodeFile, "a.c")
+
+	if !hasEdge(g, clamp, maxS, model.EdgeExpandsMacro) {
+		t.Error("clamp expands_macro MAX_SECTORS missing")
+	}
+	if !hasEdge(g, clamp, check, model.EdgeExpandsMacro) {
+		t.Error("clamp expands_macro CHECK missing")
+	}
+	// File-scope expansion attributes to the file.
+	if !hasEdge(g, aC, maxS, model.EdgeExpandsMacro) {
+		t.Error("file-scope expansion missing")
+	}
+	// #ifdef interrogation attributes to the file.
+	if !hasEdge(g, aC, maxS, model.EdgeInterrogatesMacro) {
+		t.Error("interrogates_macro missing")
+	}
+}
+
+func TestEnumeratorsAndSizeof(t *testing.T) {
+	fs := cpp.MapFS{
+		"a.c": `
+enum sr_state { SR_IDLE, SR_BUSY = 5 };
+struct buf { char data[64]; };
+int f(void) {
+	int x = SR_BUSY;
+	unsigned long n = sizeof(struct buf);
+	unsigned long a = _Alignof(struct buf);
+	char c = (char)x;
+	return x + (int)n + (int)a + c;
+}
+`,
+	}
+	res := runExtract(t, fs, Build{Units: []CompileUnit{{Source: "a.c", Object: "a.o"}}})
+	g := res.Graph
+	f := findNode(t, g, model.NodeFunction, "f")
+	busy := findNode(t, g, model.NodeEnumerator, "SR_BUSY")
+	bufT := findNode(t, g, model.NodeStruct, "buf")
+	charT := findNode(t, g, model.NodePrimitive, "char")
+	enumT := findNode(t, g, model.NodeEnumDef, "sr_state")
+
+	if v, _ := g.NodeProp(busy, model.PropValue); v.AsInt() != 5 {
+		t.Errorf("SR_BUSY VALUE = %v", v)
+	}
+	if !hasEdge(g, enumT, busy, model.EdgeContains) {
+		t.Error("enum contains enumerator missing")
+	}
+	if !hasEdge(g, f, busy, model.EdgeUsesEnumerator) {
+		t.Error("uses_enumerator missing")
+	}
+	if !hasEdge(g, f, bufT, model.EdgeGetsSizeOf) {
+		t.Error("gets_size_of missing")
+	}
+	if !hasEdge(g, f, bufT, model.EdgeGetsAlignOf) {
+		t.Error("gets_align_of missing")
+	}
+	if !hasEdge(g, f, charT, model.EdgeCastsTo) {
+		t.Error("casts_to missing")
+	}
+}
+
+func TestStaticsAndLocals(t *testing.T) {
+	fs := cpp.MapFS{
+		"a.c": `
+static int counter;
+static int bump(void) {
+	static int calls;
+	int delta = 1;
+	calls++;
+	counter += delta;
+	return counter;
+}
+int use(void) { return bump(); }
+`,
+		"b.c": `
+static int counter;
+int other(void) { return counter; }
+`,
+	}
+	res := runExtract(t, fs, Build{Units: []CompileUnit{
+		{Source: "a.c", Object: "a.o"}, {Source: "b.c", Object: "b.o"},
+	}})
+	g := res.Graph
+
+	// Two distinct static 'counter' globals.
+	count := 0
+	for id := graph.NodeID(0); id < graph.NodeID(g.NodeCount()); id++ {
+		if g.NodeType(id) == model.NodeGlobal {
+			if v, _ := g.NodeProp(id, model.PropShortName); v.AsString() == "counter" {
+				count++
+			}
+		}
+	}
+	if count != 2 {
+		t.Errorf("static counter nodes = %d, want 2", count)
+	}
+
+	bump := findNode(t, g, model.NodeFunction, "bump")
+	calls := findNode(t, g, model.NodeStaticLocal, "calls")
+	delta := findNode(t, g, model.NodeLocal, "delta")
+	use := findNode(t, g, model.NodeFunction, "use")
+
+	if !hasEdge(g, bump, calls, model.EdgeHasLocal) || !hasEdge(g, bump, delta, model.EdgeHasLocal) {
+		t.Error("has_local missing")
+	}
+	if !hasEdge(g, bump, calls, model.EdgeWrites) || !hasEdge(g, bump, calls, model.EdgeReads) {
+		t.Error("static local read/write (calls++) missing")
+	}
+	if !hasEdge(g, use, bump, model.EdgeCalls) {
+		t.Error("use calls bump missing")
+	}
+	// NAME property of the local is qualified.
+	if v, _ := g.NodeProp(delta, model.PropName); v.AsString() != "bump::delta" {
+		t.Errorf("delta NAME = %q", v.AsString())
+	}
+}
+
+func TestLinkDeclaresAndMatches(t *testing.T) {
+	fs := cpp.MapFS{
+		"api.h": "int shared_fn(int);\nextern int shared_var;\n",
+		"user.c": `
+#include "api.h"
+int use(void) { return shared_fn(shared_var); }
+`,
+		"impl.c": `
+#include "api.h"
+int shared_var;
+int shared_fn(int x) { return x; }
+`,
+	}
+	build := Build{
+		Units: []CompileUnit{
+			{Source: "user.c", Object: "user.o"},
+			{Source: "impl.c", Object: "impl.o"},
+		},
+		Modules: []Module{{Name: "mod.elf", Objects: []string{"user.o", "impl.o"}, Libs: []string{"libc.a"}}},
+	}
+	res := runExtract(t, fs, build)
+	g := res.Graph
+
+	userO := findNode(t, g, model.NodeObjectFile, "user.o")
+	declFn := findNode(t, g, model.NodeFunctionDecl, "shared_fn")
+	declVar := findNode(t, g, model.NodeGlobalDecl, "shared_var")
+	defFn := findNode(t, g, model.NodeFunction, "shared_fn")
+	defVar := findNode(t, g, model.NodeGlobal, "shared_var")
+	lib := findNode(t, g, model.NodeLibrary, "libc.a")
+	mod := findNode(t, g, model.NodeModule, "mod.elf")
+
+	if !hasEdge(g, userO, declFn, model.EdgeLinkDeclares) {
+		t.Error("user.o link_declares shared_fn missing")
+	}
+	if !hasEdge(g, userO, declVar, model.EdgeLinkDeclares) {
+		t.Error("user.o link_declares shared_var missing")
+	}
+	if !hasEdge(g, declFn, defFn, model.EdgeLinkMatches) {
+		t.Error("shared_fn decl link_matches def missing")
+	}
+	if !hasEdge(g, declVar, defVar, model.EdgeLinkMatches) {
+		t.Error("shared_var decl link_matches def missing")
+	}
+	if !hasEdge(g, mod, lib, model.EdgeLinkedFromLib) {
+		t.Error("linked_from_lib missing")
+	}
+	// Cross-TU calls resolve to the definition.
+	use := findNode(t, g, model.NodeFunction, "use")
+	if !hasEdge(g, use, defFn, model.EdgeCalls) {
+		t.Error("use calls shared_fn definition missing")
+	}
+	if !hasEdge(g, use, defVar, model.EdgeReads) {
+		t.Error("use reads shared_var definition missing")
+	}
+}
+
+func TestFunctionPointerTable(t *testing.T) {
+	fs := cpp.MapFS{
+		"a.c": `
+struct ops { int (*open)(void); int (*close)(void); };
+static int my_open(void) { return 0; }
+static int my_close(void) { return 1; }
+static struct ops fops = { .open = my_open, .close = my_close };
+int dispatch(void) { return fops.open(); }
+`,
+	}
+	res := runExtract(t, fs, Build{Units: []CompileUnit{{Source: "a.c", Object: "a.o"}}})
+	g := res.Graph
+	fops := findNode(t, g, model.NodeGlobal, "fops")
+	myOpen := findNode(t, g, model.NodeFunction, "my_open")
+	openF := findNode(t, g, model.NodeField, "open")
+	dispatch := findNode(t, g, model.NodeFunction, "dispatch")
+
+	// Designated initialisers write the fields and take function addresses.
+	if !hasEdge(g, fops, openF, model.EdgeWritesMember) {
+		t.Error("fops init writes_member open missing")
+	}
+	if !hasEdge(g, fops, myOpen, model.EdgeTakesAddressOf) {
+		t.Error("fops takes_address_of my_open missing")
+	}
+	// Calling through the table reads the member and the global.
+	if !hasEdge(g, dispatch, openF, model.EdgeReadsMember) {
+		t.Error("dispatch reads_member open missing")
+	}
+	// The field's type is a function_type node.
+	ftFound := false
+	for _, e := range g.Out(openF) {
+		_, to, et := g.EdgeEnds(e)
+		if et == model.EdgeIsaType && g.NodeType(to) == model.NodeFunctionType {
+			ftFound = true
+		}
+	}
+	if !ftFound {
+		t.Error("open field isa_type function_type missing")
+	}
+}
+
+func TestAddressAndDereference(t *testing.T) {
+	fs := cpp.MapFS{
+		"a.c": `
+int target;
+int *take(void) { return &target; }
+int load(int *p) { return *p; }
+int indirect(void) { int *p = &target; return *p + load(p); }
+`,
+	}
+	res := runExtract(t, fs, Build{Units: []CompileUnit{{Source: "a.c", Object: "a.o"}}})
+	g := res.Graph
+	target := findNode(t, g, model.NodeGlobal, "target")
+	take := findNode(t, g, model.NodeFunction, "take")
+	load := findNode(t, g, model.NodeFunction, "load")
+	indirect := findNode(t, g, model.NodeFunction, "indirect")
+
+	if !hasEdge(g, take, target, model.EdgeTakesAddressOf) {
+		t.Error("takes_address_of missing")
+	}
+	pParam := findNode(t, g, model.NodeParameter, "p")
+	if !hasEdge(g, load, pParam, model.EdgeDereferences) {
+		t.Error("dereferences missing")
+	}
+	if !hasEdge(g, indirect, target, model.EdgeTakesAddressOf) {
+		t.Error("indirect takes_address_of missing")
+	}
+}
+
+func TestDirectoryTree(t *testing.T) {
+	fs := cpp.MapFS{
+		"drivers/scsi/sr.c": "#include \"../../include/sr.h\"\nint sr_fn(void) { return SR; }\n",
+		"include/sr.h":      "#define SR 1\n",
+	}
+	res := runExtract(t, fs, Build{Units: []CompileUnit{{Source: "drivers/scsi/sr.c", Object: "drivers/scsi/sr.o"}}})
+	g := res.Graph
+	drivers := findNode(t, g, model.NodeDirectory, "drivers")
+	scsi := findNode(t, g, model.NodeDirectory, "scsi")
+	include := findNode(t, g, model.NodeDirectory, "include")
+	srC := findNode(t, g, model.NodeFile, "sr.c")
+	srH := findNode(t, g, model.NodeFile, "sr.h")
+
+	if !hasEdge(g, drivers, scsi, model.EdgeDirContains) {
+		t.Error("drivers dir_contains scsi missing")
+	}
+	if !hasEdge(g, scsi, srC, model.EdgeDirContains) {
+		t.Error("scsi dir_contains sr.c missing")
+	}
+	if !hasEdge(g, include, srH, model.EdgeDirContains) {
+		t.Error("include dir_contains sr.h missing")
+	}
+}
+
+func TestHeaderDefinedInlineSharedAcrossTUs(t *testing.T) {
+	fs := cpp.MapFS{
+		"util.h": `
+#ifndef UTIL_H
+#define UTIL_H
+static inline int util_min(int a, int b) { return a < b ? a : b; }
+#endif
+`,
+		"a.c": "#include \"util.h\"\nint fa(void) { return util_min(1, 2); }\n",
+		"b.c": "#include \"util.h\"\nint fb(void) { return util_min(3, 4); }\n",
+	}
+	res := runExtract(t, fs, Build{Units: []CompileUnit{
+		{Source: "a.c", Object: "a.o"}, {Source: "b.c", Object: "b.o"},
+	}})
+	g := res.Graph
+	// Exactly one util_min function node despite two TUs parsing it.
+	count := 0
+	var um graph.NodeID
+	for id := graph.NodeID(0); id < graph.NodeID(g.NodeCount()); id++ {
+		if g.NodeType(id) == model.NodeFunction {
+			if v, _ := g.NodeProp(id, model.PropShortName); v.AsString() == "util_min" {
+				count++
+				um = id
+			}
+		}
+	}
+	if count != 1 {
+		t.Fatalf("util_min nodes = %d, want 1", count)
+	}
+	fa := findNode(t, g, model.NodeFunction, "fa")
+	fb := findNode(t, g, model.NodeFunction, "fb")
+	if !hasEdge(g, fa, um, model.EdgeCalls) || !hasEdge(g, fb, um, model.EdgeCalls) {
+		t.Error("both TUs should call the shared inline")
+	}
+}
+
+func TestVariadicAndLongName(t *testing.T) {
+	fs := cpp.MapFS{"a.c": "int printk(const char *fmt, ...);\nint f(void) { return printk(\"x\"); }\n"}
+	res := runExtract(t, fs, Build{Units: []CompileUnit{{Source: "a.c", Object: "a.o"}}})
+	g := res.Graph
+	pk := findNode(t, g, model.NodeFunctionDecl, "printk")
+	if v, _ := g.NodeProp(pk, model.PropLongName); !strings.Contains(v.AsString(), "...") {
+		t.Errorf("printk LONG_NAME = %q", v.AsString())
+	}
+	f := findNode(t, g, model.NodeFunction, "f")
+	if !hasEdge(g, f, pk, model.EdgeCalls) {
+		t.Error("call to undefined extern should target the decl")
+	}
+}
+
+func TestMacroGeneratedCallHasInMacroRange(t *testing.T) {
+	fs := cpp.MapFS{
+		"a.c": `
+int helper(void);
+#define DO_IT() helper()
+int f(void) { return DO_IT(); }
+`,
+	}
+	res := runExtract(t, fs, Build{Units: []CompileUnit{{Source: "a.c", Object: "a.o"}}})
+	g := res.Graph
+	f := findNode(t, g, model.NodeFunction, "f")
+	helper := findNode(t, g, model.NodeFunctionDecl, "helper")
+	e, ok := edgeBetween(g, f, helper, model.EdgeCalls)
+	if !ok {
+		t.Fatal("macro-generated call missing")
+	}
+	// The call edge's range points at the DO_IT() use site (line 4).
+	if v, _ := g.EdgeProp(e, model.PropUseStartLine); v.AsInt() != 4 {
+		t.Errorf("macro call USE_START_LINE = %d, want 4", v.AsInt())
+	}
+}
+
+func TestMetricsShapeOnFigure2(t *testing.T) {
+	res := runExtract(t, figure2FS(), figure2Build())
+	m := graph.ComputeMetrics(res.Graph)
+	if m.Nodes < 10 || m.Edges < 15 {
+		t.Errorf("unexpectedly small graph: %+v", m)
+	}
+	if m.Density < 1 {
+		t.Errorf("density %v < 1", m.Density)
+	}
+}
+
+func TestStatementExpressionReferences(t *testing.T) {
+	fs := cpp.MapFS{
+		"a.c": `
+#define min(x, y) ({ int _x = (x); int _y = (y); _x < _y ? _x : _y; })
+int helper(int v) { return v; }
+int f(int a) { return min(helper(a), 10); }
+`,
+	}
+	res := runExtract(t, fs, Build{Units: []CompileUnit{{Source: "a.c", Object: "a.o"}}})
+	g := res.Graph
+	f := findNode(t, g, model.NodeFunction, "f")
+	helper := findNode(t, g, model.NodeFunction, "helper")
+	minM := findNode(t, g, model.NodeMacro, "min")
+	if !hasEdge(g, f, helper, model.EdgeCalls) {
+		t.Error("call inside statement expression missing")
+	}
+	if !hasEdge(g, f, minM, model.EdgeExpandsMacro) {
+		t.Error("expands_macro for min missing")
+	}
+}
+
+func TestSwitchCaseEnumeratorUse(t *testing.T) {
+	fs := cpp.MapFS{
+		"a.c": `
+enum state { ST_IDLE, ST_RUN, ST_DONE };
+int dispatch(int s) {
+	switch (s) {
+	case ST_IDLE: return 0;
+	case ST_RUN: return 1;
+	default: return 2;
+	}
+}
+`,
+	}
+	res := runExtract(t, fs, Build{Units: []CompileUnit{{Source: "a.c", Object: "a.o"}}})
+	g := res.Graph
+	d := findNode(t, g, model.NodeFunction, "dispatch")
+	idle := findNode(t, g, model.NodeEnumerator, "ST_IDLE")
+	run := findNode(t, g, model.NodeEnumerator, "ST_RUN")
+	if !hasEdge(g, d, idle, model.EdgeUsesEnumerator) || !hasEdge(g, d, run, model.EdgeUsesEnumerator) {
+		t.Error("case-label enumerator uses missing")
+	}
+}
+
+func TestNestedAnonymousMemberChain(t *testing.T) {
+	fs := cpp.MapFS{
+		"a.c": `
+struct msg {
+	int tag;
+	union {
+		struct { int code; int detail; } err;
+		int raw;
+	};
+};
+int read_code(struct msg *m) { return m->err.code + m->raw; }
+`,
+	}
+	res := runExtract(t, fs, Build{Units: []CompileUnit{{Source: "a.c", Object: "a.o"}}})
+	g := res.Graph
+	rc := findNode(t, g, model.NodeFunction, "read_code")
+	code := findNode(t, g, model.NodeField, "code")
+	raw := findNode(t, g, model.NodeField, "raw")
+	if !hasEdge(g, rc, code, model.EdgeReadsMember) {
+		t.Error("read through nested anonymous member missing")
+	}
+	if !hasEdge(g, rc, raw, model.EdgeReadsMember) {
+		t.Error("read of anonymous union member missing")
+	}
+}
+
+func TestFunctionPointerCallWithArgs(t *testing.T) {
+	fs := cpp.MapFS{
+		"a.c": `
+struct ops { int (*ioctl)(int, int); };
+static int do_ioctl(int a, int b) { return a + b; }
+static struct ops dev_ops = { .ioctl = do_ioctl };
+int g1;
+int run(void) { return dev_ops.ioctl(g1, 2); }
+`,
+	}
+	res := runExtract(t, fs, Build{Units: []CompileUnit{{Source: "a.c", Object: "a.o"}}})
+	g := res.Graph
+	runFn := findNode(t, g, model.NodeFunction, "run")
+	ioctlF := findNode(t, g, model.NodeField, "ioctl")
+	g1 := findNode(t, g, model.NodeGlobal, "g1")
+	if !hasEdge(g, runFn, ioctlF, model.EdgeReadsMember) {
+		t.Error("indirect call should read the pointer field")
+	}
+	// The argument is still a read.
+	if !hasEdge(g, runFn, g1, model.EdgeReads) {
+		t.Error("argument read missing")
+	}
+}
+
+func TestCommaDeclaredPointers(t *testing.T) {
+	fs := cpp.MapFS{
+		"a.c": "int a, *b, c[4], (*d)(void);\n",
+	}
+	res := runExtract(t, fs, Build{Units: []CompileUnit{{Source: "a.c", Object: "a.o"}}})
+	g := res.Graph
+	findNode(t, g, model.NodeGlobal, "a")
+	bN := findNode(t, g, model.NodeGlobal, "b")
+	cN := findNode(t, g, model.NodeGlobal, "c")
+	dN := findNode(t, g, model.NodeGlobal, "d")
+	intT := findNode(t, g, model.NodePrimitive, "int")
+	if e, ok := edgeBetween(g, bN, intT, model.EdgeIsaType); !ok {
+		t.Error("b isa_type int missing")
+	} else if v, _ := g.EdgeProp(e, model.PropQualifiers); v.AsString() != "*" {
+		t.Errorf("b QUALIFIERS = %q", v.AsString())
+	}
+	if e, ok := edgeBetween(g, cN, intT, model.EdgeIsaType); !ok {
+		t.Error("c isa_type int missing")
+	} else if v, _ := g.EdgeProp(e, model.PropArrayLengths); v.AsString() != "4" {
+		t.Errorf("c ARRAY_LENGTHS = %q", v.AsString())
+	}
+	// d is pointer-to-function: its isa_type target is a function_type.
+	found := false
+	for _, e := range g.Out(dN) {
+		if _, to, et := g.EdgeEnds(e); et == model.EdgeIsaType && g.NodeType(to) == model.NodeFunctionType {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("d isa_type function_type missing")
+	}
+}

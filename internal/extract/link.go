@@ -1,0 +1,109 @@
+package extract
+
+import (
+	"path"
+
+	"frappe/internal/graph"
+	"frappe/internal/model"
+)
+
+// link is extraction phase three: model the build's compile and link
+// steps as graph structure, exactly as Figure 2 of the paper shows for
+// the foo.c/main.c example:
+//
+//	object -compiled_from-> source file (and every header folded into the
+//	                        translation unit, so Figure 3's
+//	                        module-[:compiled_from|linked_from*]->file
+//	                        closure reaches header-defined entities too)
+//	module -linked_from-> object          (property LINK_ORDER)
+//	module -linked_from_lib-> library
+//	object -link_declares-> declaration   (the object's undefined symbols)
+//	declaration -link_matches-> definition (resolved at link time)
+func (ex *extractor) link(modules []Module) {
+	for _, tu := range ex.tus {
+		obj := ex.ensureObjNode(tu.unit.Object)
+		tu.objNode = obj
+		// compiled_from: the root source plus every distinct included file.
+		ex.g.AddEdge(obj, ex.ensureFileNode(tu.rootFile), model.EdgeCompiledFrom, nil)
+		seen := map[graph.NodeID]bool{}
+		for _, inc := range tu.pp.Includes {
+			fn := ex.ensureFileNode(inc.To)
+			if seen[fn] {
+				continue
+			}
+			seen[fn] = true
+			ex.g.AddEdge(obj, fn, model.EdgeCompiledFrom, nil)
+		}
+		for _, decl := range tu.referencedExterns {
+			ex.g.AddEdge(obj, decl, model.EdgeLinkDeclares, nil)
+		}
+	}
+
+	objTU := map[string]*tuData{}
+	for _, tu := range ex.tus {
+		objTU[tu.unit.Object] = tu
+	}
+
+	matched := map[[2]graph.NodeID]bool{}
+	for _, m := range modules {
+		mn := ex.g.AddNode(model.NodeModule, graph.P(
+			model.PropShortName, path.Base(m.Name),
+			model.PropName, m.Name,
+		))
+		for i, o := range m.Objects {
+			ex.g.AddEdge(mn, ex.ensureObjNode(o), model.EdgeLinkedFrom, graph.P(model.PropLinkOrder, i))
+		}
+		for _, lib := range m.Libs {
+			ex.g.AddEdge(mn, ex.ensureLibNode(lib), model.EdgeLinkedFromLib, nil)
+		}
+		// Resolve each member object's undefined symbols against the
+		// program's definitions (as the real linker does for this link).
+		for _, o := range m.Objects {
+			tu := objTU[o]
+			if tu == nil {
+				continue
+			}
+			for name, decl := range tu.referencedExterns {
+				var def *symInfo
+				if d, ok := ex.funcs[name]; ok {
+					def = d
+				} else if d, ok := ex.globals[name]; ok {
+					def = d
+				}
+				if def == nil {
+					continue
+				}
+				key := [2]graph.NodeID{decl, def.node}
+				if matched[key] {
+					continue
+				}
+				matched[key] = true
+				ex.g.AddEdge(decl, def.node, model.EdgeLinkMatches, nil)
+			}
+		}
+	}
+}
+
+func (ex *extractor) ensureObjNode(p string) graph.NodeID {
+	if n, ok := ex.objNodes[p]; ok {
+		return n
+	}
+	n := ex.g.AddNode(model.NodeObjectFile, graph.P(
+		model.PropShortName, path.Base(p),
+		model.PropName, p,
+	))
+	ex.objNodes[p] = n
+	return n
+}
+
+func (ex *extractor) ensureLibNode(p string) graph.NodeID {
+	if n, ok := ex.libNodes[p]; ok {
+		return n
+	}
+	n := ex.g.AddNode(model.NodeLibrary, graph.P(
+		model.PropShortName, path.Base(p),
+		model.PropName, p,
+	))
+	ex.libNodes[p] = n
+	return n
+}

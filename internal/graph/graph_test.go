@@ -1,0 +1,371 @@
+package graph
+
+import (
+	"testing"
+	"testing/quick"
+
+	"frappe/internal/model"
+)
+
+func TestAddNodeAndEdge(t *testing.T) {
+	g := New()
+	f := g.AddNode(model.NodeFunction, P(model.PropShortName, "main", model.PropName, "main"))
+	b := g.AddNode(model.NodeFunction, P(model.PropShortName, "bar"))
+	e := g.AddEdge(f, b, model.EdgeCalls, P(model.PropUseStartLine, 3))
+
+	if g.NodeCount() != 2 || g.EdgeCount() != 1 {
+		t.Fatalf("counts = %d nodes, %d edges; want 2, 1", g.NodeCount(), g.EdgeCount())
+	}
+	from, to, typ := g.EdgeEnds(e)
+	if from != f || to != b || typ != model.EdgeCalls {
+		t.Fatalf("EdgeEnds = (%d, %d, %s)", from, to, typ)
+	}
+	if got := g.Out(f); len(got) != 1 || got[0] != e {
+		t.Fatalf("Out(main) = %v", got)
+	}
+	if got := g.In(b); len(got) != 1 || got[0] != e {
+		t.Fatalf("In(bar) = %v", got)
+	}
+	if got := g.Out(b); len(got) != 0 {
+		t.Fatalf("Out(bar) = %v, want empty", got)
+	}
+	if v, ok := g.EdgeProp(e, "use_start_line"); !ok || v.AsInt() != 3 {
+		t.Fatalf("EdgeProp(use_start_line) = %v, %v", v, ok)
+	}
+}
+
+func TestNodePropTypePseudoProperty(t *testing.T) {
+	g := New()
+	id := g.AddNode(model.NodeStruct, P(model.PropShortName, "packet_command"))
+	v, ok := g.NodeProp(id, "TYPE")
+	if !ok || v.AsString() != "struct" {
+		t.Fatalf("TYPE = %v, %v", v, ok)
+	}
+	if v, ok = g.NodeProp(id, "type"); !ok || v.AsString() != "struct" {
+		t.Fatalf("case-insensitive TYPE = %v, %v", v, ok)
+	}
+}
+
+func TestLabels(t *testing.T) {
+	cases := []struct {
+		typ   model.NodeType
+		label string
+		want  bool
+	}{
+		{model.NodeFunction, "function", true},
+		{model.NodeFunction, "symbol", true},
+		{model.NodeFunction, "container", true},
+		{model.NodeFunction, "type", false},
+		{model.NodeStruct, "type", true},
+		{model.NodeStruct, "container", true},
+		{model.NodeStruct, "symbol", false},
+		{model.NodePrimitive, "type", true},
+		{model.NodeField, "symbol", true},
+		{model.NodeField, "value", true},
+		{model.NodeFunctionDecl, "decl", true},
+		{model.NodeMacro, "symbol", true},
+		{model.NodeModule, "container", true},
+	}
+	for _, c := range cases {
+		if got := HasLabel(c.typ, c.label); got != c.want {
+			t.Errorf("HasLabel(%s, %s) = %v, want %v", c.typ, c.label, got, c.want)
+		}
+	}
+}
+
+func TestSetNodePropReindexes(t *testing.T) {
+	g := New()
+	id := g.AddNode(model.NodeGlobal, P(model.PropShortName, "old_name"))
+	g.SetNodeProp(id, model.PropShortName, Str("new_name"))
+
+	got, err := g.Lookup("short_name: old_name")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("stale index entry: %v", got)
+	}
+	got, err = g.Lookup("short_name: new_name")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0] != id {
+		t.Fatalf("Lookup(new_name) = %v, want [%d]", got, id)
+	}
+}
+
+func TestFindNode(t *testing.T) {
+	g := New()
+	g.AddNode(model.NodeFunction, P(model.PropShortName, "a"))
+	want := g.AddNode(model.NodeFunction, P(model.PropShortName, "b"))
+	if got := FindNode(g, "SHORT_NAME", "b"); got != want {
+		t.Fatalf("FindNode = %d, want %d", got, want)
+	}
+	if got := FindNode(g, "SHORT_NAME", "zzz"); got != InvalidID {
+		t.Fatalf("FindNode(zzz) = %d, want InvalidID", got)
+	}
+}
+
+func TestValueCompare(t *testing.T) {
+	if c, ok := Int(3).Compare(Int(5)); !ok || c != -1 {
+		t.Fatalf("3 vs 5 = %d, %v", c, ok)
+	}
+	if c, ok := Str("b").Compare(Str("a")); !ok || c != 1 {
+		t.Fatalf("b vs a = %d, %v", c, ok)
+	}
+	if _, ok := Int(3).Compare(Str("3")); ok {
+		t.Fatal("int vs string should be incomparable")
+	}
+	if c, ok := Bool(true).Compare(Int(1)); !ok || c != 0 {
+		t.Fatalf("true vs 1 = %d, %v", c, ok)
+	}
+}
+
+func TestValueEqual(t *testing.T) {
+	if !Int(7).Equal(Int(7)) || Int(7).Equal(Int(8)) {
+		t.Fatal("int equality broken")
+	}
+	if !Str("x").Equal(Str("x")) || Str("x").Equal(Str("y")) {
+		t.Fatal("string equality broken")
+	}
+	if Int(1).Equal(Bool(true)) {
+		t.Fatal("int should not equal bool")
+	}
+	if !Nil().Equal(Nil()) {
+		t.Fatal("nil should equal nil")
+	}
+}
+
+func TestPropsSetGetClone(t *testing.T) {
+	ps := P("A", 1, "B", "two")
+	if ps.GetInt("a") != 1 || ps.GetString("b") != "two" {
+		t.Fatalf("get failed: %v", ps)
+	}
+	c := ps.Clone()
+	c = c.Set("A", Int(9))
+	if ps.GetInt("A") != 1 {
+		t.Fatal("Clone aliases original")
+	}
+	if c.GetInt("A") != 9 {
+		t.Fatal("Set on clone failed")
+	}
+	c = c.Set("NEW", Str("v"))
+	if c.GetString("new") != "v" {
+		t.Fatal("Set append failed")
+	}
+}
+
+func TestMetrics(t *testing.T) {
+	g := New()
+	a := g.AddNode(model.NodeFunction, nil)
+	b := g.AddNode(model.NodeFunction, nil)
+	g.AddEdge(a, b, model.EdgeCalls, nil)
+	g.AddEdge(a, b, model.EdgeCalls, nil)
+	m := ComputeMetrics(g)
+	if m.Nodes != 2 || m.Edges != 2 || m.Density != 1.0 {
+		t.Fatalf("metrics = %+v", m)
+	}
+}
+
+func TestDegreeDistribution(t *testing.T) {
+	g := New()
+	hub := g.AddNode(model.NodePrimitive, P(model.PropShortName, "int"))
+	for i := 0; i < 5; i++ {
+		n := g.AddNode(model.NodeGlobal, nil)
+		g.AddEdge(n, hub, model.EdgeIsaType, nil)
+	}
+	dist := DegreeDistribution(g)
+	// 5 nodes of degree 1, 1 node of degree 5.
+	if len(dist) != 2 || dist[0] != (DegreePoint{1, 5}) || dist[1] != (DegreePoint{5, 1}) {
+		t.Fatalf("dist = %v", dist)
+	}
+	top := TopDegreeNodes(g, 1)
+	if len(top) != 1 || top[0].ID != hub || top[0].Name != "int" || top[0].Degree != 5 {
+		t.Fatalf("top = %+v", top)
+	}
+}
+
+func TestCountByType(t *testing.T) {
+	g := New()
+	a := g.AddNode(model.NodeFunction, nil)
+	b := g.AddNode(model.NodeFunction, nil)
+	c := g.AddNode(model.NodeGlobal, nil)
+	g.AddEdge(a, b, model.EdgeCalls, nil)
+	g.AddEdge(a, c, model.EdgeWrites, nil)
+	g.AddEdge(b, c, model.EdgeReads, nil)
+	nt := CountByNodeType(g)
+	if nt[model.NodeFunction] != 2 || nt[model.NodeGlobal] != 1 {
+		t.Fatalf("node counts = %v", nt)
+	}
+	et := CountByEdgeType(g)
+	if et[model.EdgeCalls] != 1 || et[model.EdgeWrites] != 1 || et[model.EdgeReads] != 1 {
+		t.Fatalf("edge counts = %v", et)
+	}
+}
+
+func TestConvertRefsToNodes(t *testing.T) {
+	g := New()
+	file := g.AddNode(model.NodeFile, P(model.PropShortName, "a.c"))
+	foo := g.AddNode(model.NodeFunction, P(model.PropShortName, "foo"))
+	bar := g.AddNode(model.NodeFunction, P(model.PropShortName, "bar"))
+	g.AddEdge(file, foo, model.EdgeFileContains, nil)
+	g.AddEdge(file, bar, model.EdgeFileContains, nil)
+	g.AddEdge(foo, bar, model.EdgeCalls, P(model.PropUseFileID, 7))
+
+	conv := ConvertRefsToNodes(g, map[int64]NodeID{7: file})
+	// 3 original nodes + 1 ref site.
+	if conv.NodeCount() != 4 {
+		t.Fatalf("node count = %d", conv.NodeCount())
+	}
+	// 2 file_contains + 2 half calls + 1 contains.
+	if conv.EdgeCount() != 5 {
+		t.Fatalf("edge count = %d", conv.EdgeCount())
+	}
+	// foo -calls-> site -calls-> bar must hold.
+	var site NodeID = InvalidID
+	for _, e := range conv.Out(foo) {
+		_, to, typ := conv.EdgeEnds(e)
+		if typ == model.EdgeCalls {
+			site = to
+		}
+	}
+	if site == InvalidID || conv.NodeType(site) != RefSiteType {
+		t.Fatalf("no ref site from foo (site=%d)", site)
+	}
+	foundBar, foundFile := false, false
+	for _, e := range conv.Out(site) {
+		if _, to, typ := conv.EdgeEnds(e); typ == model.EdgeCalls && to == bar {
+			foundBar = true
+		}
+	}
+	for _, e := range conv.In(site) {
+		if from, _, typ := conv.EdgeEnds(e); typ == model.EdgeContains && from == file {
+			foundFile = true
+		}
+	}
+	if !foundBar || !foundFile {
+		t.Fatalf("site edges wrong: bar=%v file=%v", foundBar, foundFile)
+	}
+}
+
+// Property: wildcard match must agree with a simple recursive oracle.
+func TestWildcardMatchQuick(t *testing.T) {
+	var oracle func(p, v string) bool
+	oracle = func(p, v string) bool {
+		if p == "" {
+			return v == ""
+		}
+		switch p[0] {
+		case '*':
+			for i := 0; i <= len(v); i++ {
+				if oracle(p[1:], v[i:]) {
+					return true
+				}
+			}
+			return false
+		case '?':
+			return v != "" && oracle(p[1:], v[1:])
+		default:
+			return v != "" && v[0] == p[0] && oracle(p[1:], v[1:])
+		}
+	}
+	alphabet := []byte("ab*?")
+	gen := func(n int, seed int64) string {
+		s := make([]byte, n)
+		x := uint64(seed)
+		for i := range s {
+			x = x*6364136223846793005 + 1442695040888963407
+			s[i] = alphabet[(x>>33)%uint64(len(alphabet))]
+		}
+		return string(s)
+	}
+	for seed := int64(0); seed < 400; seed++ {
+		p := gen(int(seed%6), seed*2+1)
+		v := gen(int(seed%7), seed*3+5)
+		// values should not contain wildcards
+		vb := []byte(v)
+		for i := range vb {
+			if vb[i] == '*' || vb[i] == '?' {
+				vb[i] = 'a'
+			}
+		}
+		v = string(vb)
+		if got, want := WildcardMatch(p, v), oracle(p, v); got != want {
+			t.Fatalf("WildcardMatch(%q, %q) = %v, want %v", p, v, got, want)
+		}
+	}
+}
+
+func TestWildcardMatchBasics(t *testing.T) {
+	cases := []struct {
+		p, v string
+		want bool
+	}{
+		{"pci_*", "pci_read_bases", true},
+		{"pci_*", "pcie", false},
+		{"*", "", true},
+		{"", "", true},
+		{"?", "", false},
+		{"a?c", "abc", true},
+		{"a?c", "ac", false},
+		{"*_t", "size_t", true},
+		{"*bar*", "foobarbaz", true},
+	}
+	for _, c := range cases {
+		if got := WildcardMatch(c.p, c.v); got != c.want {
+			t.Errorf("WildcardMatch(%q, %q) = %v, want %v", c.p, c.v, got, c.want)
+		}
+	}
+}
+
+// Property: union and intersect of sorted sets behave like set ops.
+func TestSetOpsQuick(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 200}
+	norm := func(xs []uint8) []NodeID {
+		seen := make(map[NodeID]bool)
+		var out []NodeID
+		for _, x := range xs {
+			seen[NodeID(x%32)] = true
+		}
+		for i := NodeID(0); i < 32; i++ {
+			if seen[i] {
+				out = append(out, i)
+			}
+		}
+		return out
+	}
+	err := quick.Check(func(as, bs []uint8) bool {
+		a, b := norm(as), norm(bs)
+		inA := make(map[NodeID]bool)
+		inB := make(map[NodeID]bool)
+		for _, x := range a {
+			inA[x] = true
+		}
+		for _, x := range b {
+			inB[x] = true
+		}
+		for _, x := range intersectIDs(a, b) {
+			if !inA[x] || !inB[x] {
+				return false
+			}
+		}
+		u := unionIDs(a, b)
+		if len(u) != len(inA)+len(inB)-len(intersectIDs(a, b)) {
+			return false
+		}
+		for i := 1; i < len(u); i++ {
+			if u[i-1] >= u[i] {
+				return false
+			}
+		}
+		for _, x := range subtractIDs(a, b) {
+			if !inA[x] || inB[x] {
+				return false
+			}
+		}
+		return true
+	}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,168 @@
+package graph
+
+import (
+	"reflect"
+	"testing"
+
+	"frappe/internal/model"
+)
+
+func buildIndexedGraph(t *testing.T) (*Graph, map[string]NodeID) {
+	t.Helper()
+	g := New()
+	ids := make(map[string]NodeID)
+	add := func(name string, typ model.NodeType) {
+		ids[name+"/"+string(typ)] = g.AddNode(typ, P(
+			model.PropShortName, name,
+			model.PropName, name,
+			model.PropLongName, "kernel::"+name,
+		))
+	}
+	add("foo", model.NodeStruct)
+	add("foo", model.NodeUnion)
+	add("foo", model.NodeFunction)
+	add("bar", model.NodeFunction)
+	add("wakeup.elf", model.NodeModule)
+	add("pci_read_bases", model.NodeFunction)
+	add("pci_write_config", model.NodeFunction)
+	return g, ids
+}
+
+func TestLookupExact(t *testing.T) {
+	g, ids := buildIndexedGraph(t)
+	got, err := g.Lookup("short_name: wakeup.elf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []NodeID{ids["wakeup.elf/module"]}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+}
+
+func TestLookupWildcard(t *testing.T) {
+	g, ids := buildIndexedGraph(t)
+	got, err := g.Lookup("short_name: pci_*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []NodeID{ids["pci_read_bases/function"], ids["pci_write_config/function"]}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+}
+
+func TestLookupBooleanTable6(t *testing.T) {
+	g, ids := buildIndexedGraph(t)
+	// The Cypher 1.x style query from Table 6 of the paper: implicit OR
+	// between TYPE terms, AND with the NAME term.
+	got, err := g.Lookup("(TYPE: struct TYPE: union TYPE: enum_def) AND NAME: foo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []NodeID{ids["foo/struct"], ids["foo/union"]}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+}
+
+func TestLookupExplicitOr(t *testing.T) {
+	g, ids := buildIndexedGraph(t)
+	got, err := g.Lookup("short_name: bar OR short_name: wakeup.elf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []NodeID{ids["bar/function"], ids["wakeup.elf/module"]}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+}
+
+func TestLookupAndNot(t *testing.T) {
+	g, ids := buildIndexedGraph(t)
+	got, err := g.Lookup("name: foo AND NOT TYPE: function")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []NodeID{ids["foo/struct"], ids["foo/union"]}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+}
+
+func TestLookupQuotedValue(t *testing.T) {
+	g := New()
+	id := g.AddNode(model.NodeFile, P(model.PropShortName, "my file.c"))
+	got, err := g.Lookup(`short_name: "my file.c"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0] != id {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestLookupErrors(t *testing.T) {
+	g, _ := buildIndexedGraph(t)
+	for _, q := range []string{"", "name foo", "(name: foo", "name:", ": foo", "name: foo ) x"} {
+		if _, err := g.Lookup(q); err == nil {
+			t.Errorf("Lookup(%q) succeeded, want error", q)
+		}
+	}
+}
+
+func TestLookupUnknownKeyAndValue(t *testing.T) {
+	g, _ := buildIndexedGraph(t)
+	got, err := g.Lookup("bogus_key: foo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("got %v, want empty", got)
+	}
+	got, err = g.Lookup("short_name: does_not_exist")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("got %v, want empty", got)
+	}
+}
+
+func TestIndexTermsAndEntries(t *testing.T) {
+	g, _ := buildIndexedGraph(t)
+	ix := g.Index()
+	if ix.Terms() == 0 {
+		t.Fatal("no index terms")
+	}
+	seen := 0
+	var lastKey, lastVal string
+	ix.Entries(func(key, value string, ids []NodeID) {
+		if key < lastKey || (key == lastKey && value <= lastVal) {
+			t.Fatalf("entries out of order: (%s,%s) after (%s,%s)", key, value, lastKey, lastVal)
+		}
+		lastKey, lastVal = key, value
+		if len(ids) == 0 {
+			t.Fatalf("empty posting list for %s=%s", key, value)
+		}
+		seen++
+	})
+	if seen != ix.Terms() {
+		t.Fatalf("Entries visited %d, Terms() = %d", seen, ix.Terms())
+	}
+}
+
+func TestParseIndexQueryShapes(t *testing.T) {
+	q, err := ParseIndexQuery("a: x AND b: y OR c: z")
+	if err != nil {
+		t.Fatal(err)
+	}
+	or, ok := q.(*IndexBool)
+	if !ok || or.Op != IndexOr || len(or.Clauses) != 2 {
+		t.Fatalf("top = %#v", q)
+	}
+	and, ok := or.Clauses[0].(*IndexBool)
+	if !ok || and.Op != IndexAnd || len(and.Clauses) != 2 {
+		t.Fatalf("left = %#v", or.Clauses[0])
+	}
+}

@@ -1,0 +1,93 @@
+package graph
+
+import (
+	"sort"
+	"strings"
+)
+
+// Prop is a single key/value property. Keys follow the paper's Table 2
+// (upper-case, e.g. SHORT_NAME) but all lookups are case-insensitive to
+// match Cypher's forgiving treatment in the paper's figures, which mix
+// SHORT_NAME and short_name freely.
+type Prop struct {
+	Key string
+	Val Value
+}
+
+// Props is an ordered set of properties. The ordering is insertion order;
+// Get is linear, which is the right trade-off for the graph model's small
+// property sets (≤ a dozen keys per element).
+type Props []Prop
+
+// P builds a Props list from alternating key, value pairs. Values may be
+// int, int64, string, bool or Value. It panics on an odd-length or
+// non-string-keyed argument list; it is meant for literal construction.
+func P(kv ...any) Props {
+	if len(kv)%2 != 0 {
+		panic("graph.P: odd number of arguments")
+	}
+	ps := make(Props, 0, len(kv)/2)
+	for i := 0; i < len(kv); i += 2 {
+		k, ok := kv[i].(string)
+		if !ok {
+			panic("graph.P: key must be a string")
+		}
+		ps = append(ps, Prop{Key: k, Val: ValueOf(kv[i+1])})
+	}
+	return ps
+}
+
+// Get returns the value for key (case-insensitive) and whether it exists.
+func (ps Props) Get(key string) (Value, bool) {
+	for _, p := range ps {
+		if strings.EqualFold(p.Key, key) {
+			return p.Val, true
+		}
+	}
+	return Value{}, false
+}
+
+// GetString returns the string payload for key, or "" if absent or not a
+// string.
+func (ps Props) GetString(key string) string {
+	v, ok := ps.Get(key)
+	if !ok || v.Kind() != KindString {
+		return ""
+	}
+	return v.AsString()
+}
+
+// GetInt returns the integer payload for key, or 0 if absent.
+func (ps Props) GetInt(key string) int64 {
+	v, ok := ps.Get(key)
+	if !ok {
+		return 0
+	}
+	return v.AsInt()
+}
+
+// Set replaces the value for key (case-insensitive), appending if absent,
+// and returns the possibly-grown slice.
+func (ps Props) Set(key string, v Value) Props {
+	for i, p := range ps {
+		if strings.EqualFold(p.Key, key) {
+			ps[i].Val = v
+			return ps
+		}
+	}
+	return append(ps, Prop{Key: key, Val: v})
+}
+
+// Clone returns an independent copy.
+func (ps Props) Clone() Props {
+	out := make(Props, len(ps))
+	copy(out, ps)
+	return out
+}
+
+// Sorted returns a copy sorted by key, for deterministic serialisation.
+func (ps Props) Sorted() Props {
+	out := ps.Clone()
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}

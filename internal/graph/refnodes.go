@@ -1,0 +1,54 @@
+package graph
+
+import "frappe/internal/model"
+
+// This file implements the "references as nodes" alternative model the
+// paper weighs in §6.2 as a workaround for Neo4j's lack of hyper-edges:
+//
+//	foo -[:calls]-> bar
+//
+// becomes
+//
+//	foo -[:calls]-> <callsite> -[:calls]-> bar
+//	file -[:contains]-> <callsite>
+//
+// so the file a reference occurs in is a first-class edge rather than the
+// USE_FILE_ID property. ConvertRefsToNodes builds that model from the
+// standard one; the ablation bench A2 compares per-file reference lookup
+// on both.
+
+// RefSiteType is the node type given to materialised reference sites.
+const RefSiteType model.NodeType = "ref_site"
+
+// ConvertRefsToNodes returns a new graph in which every reference edge
+// (per model.ReferenceEdges, except isa_type which is a pure type use) is
+// replaced by a reference-site node with two half-edges of the original
+// type, and a contains edge from the file recorded in USE_FILE_ID. The
+// fileByID map resolves USE_FILE_ID property values to file node IDs of
+// the source graph; IDs of the source graph are preserved for all
+// original nodes (reference sites are appended after them).
+func ConvertRefsToNodes(s Source, fileByID map[int64]NodeID) *Graph {
+	g := New()
+	n := s.NodeCount()
+	for id := NodeID(0); id < NodeID(n); id++ {
+		g.AddNode(s.NodeType(id), s.NodeProps(id).Clone())
+	}
+	e := s.EdgeCount()
+	for id := EdgeID(0); id < EdgeID(e); id++ {
+		from, to, t := s.EdgeEnds(id)
+		props := s.EdgeProps(id)
+		if !model.ReferenceEdges[t] || t == model.EdgeIsaType {
+			g.AddEdge(from, to, t, props.Clone())
+			continue
+		}
+		site := g.AddNode(RefSiteType, props.Clone())
+		g.AddEdge(from, site, t, nil)
+		g.AddEdge(site, to, t, nil)
+		if fid, ok := props.Get(model.PropUseFileID); ok {
+			if fnode, ok := fileByID[fid.AsInt()]; ok {
+				g.AddEdge(fnode, site, model.EdgeContains, nil)
+			}
+		}
+	}
+	return g
+}

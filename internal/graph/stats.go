@@ -1,0 +1,105 @@
+package graph
+
+import (
+	"sort"
+
+	"frappe/internal/model"
+)
+
+// Metrics summarises a graph as in Table 3 of the paper: node count, edge
+// count, and density expressed as the node:edge ratio (the paper reports
+// "1:8" for just over half a million nodes and close to four million
+// edges).
+type Metrics struct {
+	Nodes   int64
+	Edges   int64
+	Density float64 // edges per node
+}
+
+// ComputeMetrics derives Table 3's metrics from any Source.
+func ComputeMetrics(s Source) Metrics {
+	m := Metrics{Nodes: s.NodeCount(), Edges: s.EdgeCount()}
+	if m.Nodes > 0 {
+		m.Density = float64(m.Edges) / float64(m.Nodes)
+	}
+	return m
+}
+
+// DegreePoint is one point of Figure 7: how many nodes have a given
+// (in+out) degree.
+type DegreePoint struct {
+	Degree int
+	Count  int64
+}
+
+// DegreeDistribution computes Figure 7's series: for each occurring
+// degree, the number of nodes with that degree, ascending by degree.
+func DegreeDistribution(s Source) []DegreePoint {
+	counts := make(map[int]int64)
+	n := s.NodeCount()
+	for id := NodeID(0); id < NodeID(n); id++ {
+		counts[Degree(s, id)]++
+	}
+	degrees := make([]int, 0, len(counts))
+	for d := range counts {
+		degrees = append(degrees, d)
+	}
+	sort.Ints(degrees)
+	out := make([]DegreePoint, len(degrees))
+	for i, d := range degrees {
+		out[i] = DegreePoint{Degree: d, Count: counts[d]}
+	}
+	return out
+}
+
+// HighDegreeNode names one of the hub nodes the paper calls out under
+// Figure 7 (primitives like int, constants like NULL).
+type HighDegreeNode struct {
+	ID     NodeID
+	Type   model.NodeType
+	Name   string
+	Degree int
+}
+
+// TopDegreeNodes returns the k highest-degree nodes, descending.
+func TopDegreeNodes(s Source, k int) []HighDegreeNode {
+	n := s.NodeCount()
+	all := make([]HighDegreeNode, 0, k+1)
+	for id := NodeID(0); id < NodeID(n); id++ {
+		d := Degree(s, id)
+		if len(all) == k && d <= all[len(all)-1].Degree {
+			continue
+		}
+		name := ""
+		if v, ok := s.NodeProp(id, model.PropShortName); ok {
+			name = v.AsString()
+		}
+		all = append(all, HighDegreeNode{ID: id, Type: s.NodeType(id), Name: name, Degree: d})
+		sort.Slice(all, func(i, j int) bool { return all[i].Degree > all[j].Degree })
+		if len(all) > k {
+			all = all[:k]
+		}
+	}
+	return all
+}
+
+// CountByNodeType tallies nodes per concrete type.
+func CountByNodeType(s Source) map[model.NodeType]int64 {
+	out := make(map[model.NodeType]int64)
+	n := s.NodeCount()
+	for id := NodeID(0); id < NodeID(n); id++ {
+		out[s.NodeType(id)]++
+	}
+	return out
+}
+
+// CountByEdgeType tallies edges per type.
+func CountByEdgeType(s Source) map[model.EdgeType]int64 {
+	out := make(map[model.EdgeType]int64)
+	n := s.EdgeCount()
+	for id := EdgeID(0); id < EdgeID(n); id++ {
+		_, _, t := s.EdgeEnds(id)
+		out[t]++
+	}
+	return out
+}

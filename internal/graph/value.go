@@ -1,0 +1,163 @@
+// Package graph implements Frappé's in-memory property graph: typed nodes
+// and directed typed edges, both carrying key/value properties, plus the
+// inverted "auto index" used by START clauses and graph-level statistics.
+//
+// The package also defines the Source interface through which the query
+// engine (internal/query) and the traversal API (internal/traversal)
+// access graph data, so that the on-disk store (internal/store) can be
+// queried identically to the in-memory graph.
+package graph
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Kind discriminates the dynamic type of a property Value.
+type Kind uint8
+
+// Property value kinds.
+const (
+	KindNil Kind = iota
+	KindInt
+	KindString
+	KindBool
+)
+
+// Value is a property value: nil, int64, string or bool. The zero Value is
+// nil. Values are small immutable value types, safe to copy and compare.
+type Value struct {
+	kind Kind
+	i    int64
+	s    string
+}
+
+// Int returns an integer Value.
+func Int(v int64) Value { return Value{kind: KindInt, i: v} }
+
+// Str returns a string Value.
+func Str(s string) Value { return Value{kind: KindString, s: s} }
+
+// Bool returns a boolean Value.
+func Bool(b bool) Value {
+	var i int64
+	if b {
+		i = 1
+	}
+	return Value{kind: KindBool, i: i}
+}
+
+// Nil returns the nil Value (also the zero value of the type).
+func Nil() Value { return Value{} }
+
+// Kind reports the value's dynamic kind.
+func (v Value) Kind() Kind { return v.kind }
+
+// IsNil reports whether the value is nil.
+func (v Value) IsNil() bool { return v.kind == KindNil }
+
+// AsInt returns the integer payload; it is 0 unless Kind is KindInt or
+// KindBool.
+func (v Value) AsInt() int64 { return v.i }
+
+// AsString returns the string payload; it is "" unless Kind is KindString.
+func (v Value) AsString() string { return v.s }
+
+// AsBool returns the boolean payload.
+func (v Value) AsBool() bool { return v.kind != KindNil && v.i != 0 }
+
+// Equal reports deep equality of two values. Ints never equal strings;
+// bools equal bools only.
+func (v Value) Equal(o Value) bool {
+	if v.kind != o.kind {
+		return false
+	}
+	switch v.kind {
+	case KindNil:
+		return true
+	case KindString:
+		return v.s == o.s
+	default:
+		return v.i == o.i
+	}
+}
+
+// Compare orders two values. It returns (-1|0|1, true) when the values are
+// comparable (same kind, or both numeric), and (0, false) otherwise.
+func (v Value) Compare(o Value) (int, bool) {
+	switch {
+	case v.kind == KindString && o.kind == KindString:
+		switch {
+		case v.s < o.s:
+			return -1, true
+		case v.s > o.s:
+			return 1, true
+		}
+		return 0, true
+	case (v.kind == KindInt || v.kind == KindBool) && (o.kind == KindInt || o.kind == KindBool):
+		switch {
+		case v.i < o.i:
+			return -1, true
+		case v.i > o.i:
+			return 1, true
+		}
+		return 0, true
+	}
+	return 0, false
+}
+
+// String renders the value for display and index tokenisation.
+func (v Value) String() string {
+	switch v.kind {
+	case KindNil:
+		return "<nil>"
+	case KindInt:
+		return strconv.FormatInt(v.i, 10)
+	case KindBool:
+		if v.i != 0 {
+			return "true"
+		}
+		return "false"
+	default:
+		return v.s
+	}
+}
+
+// GoString implements fmt.GoStringer for test diagnostics.
+func (v Value) GoString() string {
+	switch v.kind {
+	case KindNil:
+		return "graph.Nil()"
+	case KindInt:
+		return fmt.Sprintf("graph.Int(%d)", v.i)
+	case KindBool:
+		return fmt.Sprintf("graph.Bool(%v)", v.i != 0)
+	default:
+		return fmt.Sprintf("graph.Str(%q)", v.s)
+	}
+}
+
+// ValueOf converts a Go value of a supported type (int, int64, string,
+// bool, Value) to a Value. It panics on unsupported types; it is intended
+// for literal construction in extractors, generators and tests.
+func ValueOf(x any) Value {
+	switch t := x.(type) {
+	case Value:
+		return t
+	case int:
+		return Int(int64(t))
+	case int32:
+		return Int(int64(t))
+	case int64:
+		return Int(t)
+	case uint32:
+		return Int(int64(t))
+	case string:
+		return Str(t)
+	case bool:
+		return Bool(t)
+	case nil:
+		return Nil()
+	}
+	panic(fmt.Sprintf("graph.ValueOf: unsupported type %T", x))
+}

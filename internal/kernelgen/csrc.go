@@ -1,0 +1,420 @@
+package kernelgen
+
+import (
+	"fmt"
+	"strings"
+)
+
+// coreHeaders writes the shared kernel headers every TU pulls in.
+func (g *generator) coreHeaders() {
+	g.addFile("include/linux/types.h", `#ifndef _LINUX_TYPES_H
+#define _LINUX_TYPES_H
+typedef unsigned char u8;
+typedef unsigned short u16;
+typedef unsigned int u32;
+typedef unsigned long long u64;
+typedef signed char s8;
+typedef short s16;
+typedef int s32;
+typedef long long s64;
+typedef unsigned long size_t;
+typedef _Bool bool;
+#define NULL ((void *)0)
+#define BITS_PER_LONG 64
+#define true 1
+#define false 0
+#endif
+`)
+
+	// autoconf.h: CONFIG_* switches; roughly half the subsystems get a
+	// DEBUG config so #ifdef blocks split both ways.
+	var sb strings.Builder
+	sb.WriteString("#ifndef _LINUX_AUTOCONF_H\n#define _LINUX_AUTOCONF_H\n")
+	for i, s := range g.subs {
+		sb.WriteString(fmt.Sprintf("#define CONFIG_%s 1\n", strings.ToUpper(s.name)))
+		if i%2 == 0 {
+			sb.WriteString(fmt.Sprintf("#define CONFIG_%s_DEBUG 1\n", strings.ToUpper(s.name)))
+		}
+	}
+	sb.WriteString("#define CONFIG_PCI 1\n#define CONFIG_SCSI 1\n#define CONFIG_ACPI 1\n")
+	sb.WriteString("#endif\n")
+	g.addFile("include/linux/autoconf.h", sb.String())
+
+	g.addFile("include/linux/kernel.h", `#ifndef _LINUX_KERNEL_H
+#define _LINUX_KERNEL_H
+#include <linux/types.h>
+#include <linux/autoconf.h>
+#define KERN_INFO "<6>"
+#define KERN_ERR "<3>"
+#define min(a, b) ((a) < (b) ? (a) : (b))
+#define max(a, b) ((a) > (b) ? (a) : (b))
+#define min_t(a, b) ({ int __a = (a); int __b = (b); __a < __b ? __a : __b; })
+#define ARRAY_SIZE(a) ((int)(sizeof(a) / sizeof((a)[0])))
+#define BUG_ON(cond) do { if (cond) panic("BUG"); } while (0)
+#define WARN_ON(cond) ((cond) ? printk(KERN_ERR "warn\n") : 0)
+int printk(const char *fmt, ...);
+void panic(const char *msg);
+int snprintf(char *buf, size_t n, const char *fmt, ...);
+#endif
+`)
+
+	g.addFile("include/linux/slab.h", `#ifndef _LINUX_SLAB_H
+#define _LINUX_SLAB_H
+#include <linux/types.h>
+void *kmalloc(size_t size);
+void *kzalloc(size_t size);
+void kfree(void *ptr);
+#endif
+`)
+
+	g.addFile("include/linux/string.h", `#ifndef _LINUX_STRING_H
+#define _LINUX_STRING_H
+#include <linux/types.h>
+void *memcpy(void *dst, const void *src, size_t n);
+void *memset(void *s, int c, size_t n);
+size_t strlen(const char *s);
+int strcmp(const char *a, const char *b);
+#endif
+`)
+}
+
+// libSources defines the hot utility functions; every subsystem calls
+// into these, making printk/kmalloc the call-graph hubs of Figure 7.
+func (g *generator) libSources() {
+	g.addFile("kernel/printk.c", `#include <linux/kernel.h>
+static char log_buf[4096];
+static int log_end;
+int printk(const char *fmt, ...)
+{
+	size_t n = strlen_local(fmt);
+	if (fmt == NULL)
+		return -1;
+	log_end = (log_end + (int)n) % (int)sizeof(log_buf);
+	log_buf[log_end] = fmt[0];
+	return (int)n;
+}
+void panic(const char *msg)
+{
+	printk(msg);
+	for (;;)
+		;
+}
+int snprintf(char *buf, size_t n, const char *fmt, ...)
+{
+	if (buf == NULL || n == 0)
+		return 0;
+	buf[0] = fmt[0];
+	return 1;
+}
+size_t strlen_local(const char *s)
+{
+	size_t n = 0;
+	while (s[n])
+		n++;
+	return n;
+}
+`)
+	// strlen_local is used before its definition; declare it first.
+	g.fs["kernel/printk.c"] = "#include <linux/kernel.h>\nsize_t strlen_local(const char *s);\n" + strings.TrimPrefix(g.fs["kernel/printk.c"], "#include <linux/kernel.h>\n")
+	g.addUnit("kernel/printk.c", "vmlinux")
+
+	g.addFile("lib/string.c", `#include <linux/string.h>
+void *memcpy(void *dst, const void *src, size_t n)
+{
+	char *d = (char *)dst;
+	const char *s = (const char *)src;
+	size_t i;
+	for (i = 0; i < n; i++)
+		d[i] = s[i];
+	return dst;
+}
+void *memset(void *s, int c, size_t n)
+{
+	char *p = (char *)s;
+	size_t i;
+	for (i = 0; i < n; i++)
+		p[i] = (char)c;
+	return s;
+}
+size_t strlen(const char *s)
+{
+	size_t n = 0;
+	while (s[n])
+		n++;
+	return n;
+}
+int strcmp(const char *a, const char *b)
+{
+	size_t i = 0;
+	while (a[i] && a[i] == b[i])
+		i++;
+	return a[i] - b[i];
+}
+`)
+	g.addUnit("lib/string.c", "vmlinux")
+
+	g.addFile("mm/slab.c", `#include <linux/slab.h>
+#include <linux/kernel.h>
+#include <linux/string.h>
+static char slab_pool[1 << 16];
+static size_t slab_top;
+void *kmalloc(size_t size)
+{
+	void *p;
+	if (slab_top + size > sizeof(slab_pool)) {
+		printk(KERN_ERR "kmalloc: out of memory\n");
+		return NULL;
+	}
+	p = &slab_pool[slab_top];
+	slab_top += size;
+	return p;
+}
+void *kzalloc(size_t size)
+{
+	void *p = kmalloc(size);
+	if (p != NULL)
+		memset(p, 0, size);
+	return p;
+}
+void kfree(void *ptr)
+{
+	if (ptr == NULL)
+		printk(KERN_ERR "kfree(NULL)\n");
+}
+`)
+	g.addUnit("mm/slab.c", "vmlinux")
+}
+
+// utility call targets with zipf-ish hotness (printk hottest); all are
+// int-valued expressions usable in `ret += ...;`.
+var utilCalls = []string{
+	"printk(KERN_INFO \"op %d\\n\", ret)",
+	"printk(KERN_INFO \"dev %d\\n\", arg)",
+	"(int)strlen(dev->name)",
+	"strcmp(dev->name, \"probe\")",
+	"snprintf(dev->name, sizeof(dev->name), \"d%d\", ret)",
+}
+
+func upper(s string) string { return strings.ToUpper(s) }
+
+// pubName is the deterministic public function name for (subsystem,
+// file, op).
+func pubName(sub string, file, op int) string {
+	return fmt.Sprintf("%s_f%d_op%d", sub, file, op)
+}
+
+func (g *generator) pubsPerFile() int {
+	n := g.cfg.FuncsPerFile / 3
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// subsystemHeader writes include/linux/<name>.h.
+func (g *generator) subsystemHeader(i int) {
+	s := &g.subs[i]
+	n, N := s.name, upper(s.name)
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "#ifndef _LINUX_%s_H\n#define _LINUX_%s_H\n", N, N)
+	sb.WriteString("#include <linux/types.h>\n#include <linux/autoconf.h>\n")
+	fmt.Fprintf(&sb, "#define %s_MAX_DEVS 16\n", N)
+	fmt.Fprintf(&sb, "#define %s_FLAG_READY 0x1\n", N)
+	fmt.Fprintf(&sb, "#define %s_FLAG_BUSY 0x2\n", N)
+	fmt.Fprintf(&sb, "#define %s_EINVAL 22\n", N)
+	fmt.Fprintf(&sb, "#define %s_PENDING(dev) (((dev)->flags & %s_FLAG_BUSY) != 0)\n", N, N)
+	fmt.Fprintf(&sb, "enum %s_state { %s_IDLE, %s_ACTIVE, %s_FAILED = 16 };\n", n, N, N, N)
+	fmt.Fprintf(&sb, "struct %s_dev {\n", n)
+	sb.WriteString("\tu32 id;\n\tu32 flags;\n")
+	fmt.Fprintf(&sb, "\tenum %s_state state;\n", n)
+	fmt.Fprintf(&sb, "\tstruct %s_dev *next;\n", n)
+	sb.WriteString("\tchar name[32];\n\tvoid *priv;\n\tint refcnt : 8;\n};\n")
+	fmt.Fprintf(&sb, "typedef struct %s_dev %s_dev_t;\n", n, n)
+	fmt.Fprintf(&sb, "extern int %s_debug;\n", n)
+	fmt.Fprintf(&sb, "#ifdef CONFIG_%s_DEBUG\n#define %s_TRACE(dev) printk(\"%s: %%d\\n\", (dev)->id)\n#else\n#define %s_TRACE(dev) do { } while (0)\n#endif\n", N, N, n, N)
+	// Public prototypes.
+	for k := 0; k < g.cfg.FilesPerSubsystem; k++ {
+		for j := 0; j < g.pubsPerFile(); j++ {
+			fn := pubName(n, k, j)
+			fmt.Fprintf(&sb, "int %s(int arg);\n", fn)
+			s.pubFns = append(s.pubFns, fn)
+		}
+	}
+	// <name>_init is declared but kept out of pubFns: generated call
+	// sites pass an int argument, which init's (void) signature forbids.
+	fmt.Fprintf(&sb, "int %s_init(void);\n", n)
+	sb.WriteString("#endif\n")
+	g.addFile(s.header, sb.String())
+}
+
+// subsystemSources writes the .c files of one subsystem.
+func (g *generator) subsystemSources(i int) {
+	s := g.subs[i]
+	for k := 0; k < g.cfg.FilesPerSubsystem; k++ {
+		path := fmt.Sprintf("%s/%s_f%d.c", s.dir, s.name, k)
+		g.addFile(path, g.sourceFile(i, k))
+		g.addUnit(path, s.module)
+	}
+}
+
+// friendSubsystems picks the other subsystems this file may call into,
+// zipf-weighted so low-index (core) subsystems become hubs.
+func (g *generator) friendSubsystems(self int) []int {
+	var friends []int
+	for len(friends) < 2 && len(g.subs) > 1 {
+		f := g.r.zipf(len(g.subs))
+		if f == self {
+			continue
+		}
+		dup := false
+		for _, x := range friends {
+			if x == f {
+				dup = true
+			}
+		}
+		if !dup {
+			friends = append(friends, f)
+		}
+	}
+	return friends
+}
+
+func (g *generator) sourceFile(si, k int) string {
+	s := g.subs[si]
+	n, N := s.name, upper(s.name)
+	friends := g.friendSubsystems(si)
+
+	var sb strings.Builder
+	sb.WriteString("#include <linux/kernel.h>\n#include <linux/slab.h>\n#include <linux/string.h>\n")
+	fmt.Fprintf(&sb, "#include <linux/%s.h>\n", n)
+	for _, f := range friends {
+		fmt.Fprintf(&sb, "#include <linux/%s.h>\n", g.subs[f].name)
+	}
+	sb.WriteString("\n")
+	if k == 0 {
+		fmt.Fprintf(&sb, "int %s_debug;\n", n)
+	}
+	fmt.Fprintf(&sb, "static struct %s_dev %s_f%d_devs[%s_MAX_DEVS];\n", n, n, k, N)
+	fmt.Fprintf(&sb, "static int %s_f%d_count;\n\n", n, k)
+
+	pubs := g.pubsPerFile()
+	helpers := g.cfg.FuncsPerFile - pubs
+	if helpers < 1 {
+		helpers = 1
+	}
+
+	// Static helpers first (callable by later functions in this file).
+	var prevFns []string // callable earlier functions in this file (helpers)
+	for j := 0; j < helpers; j++ {
+		fn := fmt.Sprintf("%s_f%d_helper%d", n, k, j)
+		fmt.Fprintf(&sb, "static int %s(struct %s_dev *dev, int arg)\n", fn, n)
+		sb.WriteString(g.functionBody(si, k, prevFns, friends, true))
+		sb.WriteString("\n")
+		prevFns = append(prevFns, fn)
+	}
+	for j := 0; j < pubs; j++ {
+		fn := pubName(n, k, j)
+		fmt.Fprintf(&sb, "int %s(int arg)\n", fn)
+		sb.WriteString(g.functionBodyPublic(si, k, prevFns, friends))
+		sb.WriteString("\n")
+	}
+	if k == 0 {
+		fmt.Fprintf(&sb, "int %s_init(void)\n{\n", n)
+		fmt.Fprintf(&sb, "\tmemset(%s_f0_devs, 0, sizeof(%s_f0_devs));\n", n, n)
+		fmt.Fprintf(&sb, "\t%s_f0_count = 0;\n", n)
+		fmt.Fprintf(&sb, "\t%s_debug = 0;\n", n)
+		fmt.Fprintf(&sb, "\treturn %s_f0_op0(0);\n}\n", n)
+	}
+	return sb.String()
+}
+
+// functionBody emits a helper body: takes (dev, arg).
+func (g *generator) functionBody(si, k int, prevFns []string, friends []int, hasDevParam bool) string {
+	s := g.subs[si]
+	n, N := s.name, upper(s.name)
+	var sb strings.Builder
+	sb.WriteString("{\n\tint ret = 0;\n")
+	if !hasDevParam {
+		fmt.Fprintf(&sb, "\tstruct %s_dev *dev = &%s_f%d_devs[arg & (%s_MAX_DEVS - 1)];\n", n, n, k, N)
+	}
+	sb.WriteString("\tif (dev == NULL)\n")
+	fmt.Fprintf(&sb, "\t\treturn -%s_EINVAL;\n", N)
+	if g.r.chance(70) {
+		fmt.Fprintf(&sb, "\tif (dev->flags & %s_FLAG_READY) {\n", N)
+		fmt.Fprintf(&sb, "\t\tdev->state = %s_ACTIVE;\n", N)
+		fmt.Fprintf(&sb, "\t\tret = arg + (int)dev->id;\n")
+		sb.WriteString("\t}\n")
+	}
+	if g.r.chance(40) {
+		fmt.Fprintf(&sb, "\tif (%s_PENDING(dev))\n\t\tdev->state = %s_FAILED;\n", N, N)
+	}
+	if g.r.chance(30) {
+		fmt.Fprintf(&sb, "\t%s_f%d_count++;\n", n, k)
+	}
+	g.emitCalls(&sb, si, k, prevFns, friends, true)
+	if g.r.chance(35) {
+		fmt.Fprintf(&sb, "\tif (%s_debug)\n\t\tprintk(KERN_INFO \"%s: ret=%%d\\n\", ret);\n", n, n)
+	}
+	if g.r.chance(25) {
+		fmt.Fprintf(&sb, "\tret += (int)sizeof(struct %s_dev);\n", n)
+	}
+	if g.r.chance(20) {
+		fmt.Fprintf(&sb, "\t%s_TRACE(dev);\n", N)
+	}
+	sb.WriteString("\treturn ret;\n}\n")
+	return sb.String()
+}
+
+// functionBodyPublic emits a public op body: takes (arg) and declares its
+// own dev.
+func (g *generator) functionBodyPublic(si, k int, prevFns []string, friends []int) string {
+	s := g.subs[si]
+	n, N := s.name, upper(s.name)
+	var sb strings.Builder
+	sb.WriteString("{\n\tint ret = 0;\n")
+	fmt.Fprintf(&sb, "\tstruct %s_dev *dev = &%s_f%d_devs[arg & (%s_MAX_DEVS - 1)];\n", n, n, k, N)
+	if g.r.chance(50) {
+		fmt.Fprintf(&sb, "\tif (dev->next == NULL) {\n")
+		fmt.Fprintf(&sb, "\t\tdev->next = (struct %s_dev *)kmalloc(sizeof(struct %s_dev));\n", n, n)
+		fmt.Fprintf(&sb, "\t\tBUG_ON(dev->next == NULL);\n")
+		sb.WriteString("\t}\n")
+	}
+	if g.r.chance(40) {
+		fmt.Fprintf(&sb, "\tdev->id = (u32)arg;\n")
+	}
+	g.emitCalls(&sb, si, k, prevFns, friends, false)
+	if g.r.chance(30) {
+		fmt.Fprintf(&sb, "\tret = min(ret, 4096);\n")
+	}
+	if g.r.chance(20) {
+		// GNU statement expression, kernel style.
+		fmt.Fprintf(&sb, "\tret = min_t(ret, 8192);\n")
+	}
+	sb.WriteString("\treturn ret;\n}\n")
+	return sb.String()
+}
+
+// emitCalls appends 1-4 call statements: intra-file helpers, own-module
+// public ops, friend-subsystem public ops, and hot utilities.
+func (g *generator) emitCalls(sb *strings.Builder, si, k int, prevFns []string, friends []int, fromHelper bool) {
+	calls := 1 + g.r.intn(4)
+	s := g.subs[si]
+	for c := 0; c < calls; c++ {
+		switch pick := g.r.intn(100); {
+		case pick < 30 && len(prevFns) > 0:
+			fn := prevFns[g.r.zipf(len(prevFns))]
+			fmt.Fprintf(sb, "\tret += %s(dev, ret);\n", fn)
+		case pick < 50 && len(s.pubFns) > 0:
+			fn := s.pubFns[g.r.zipf(len(s.pubFns))]
+			fmt.Fprintf(sb, "\tret += %s(ret + %d);\n", fn, c)
+		case pick < 75 && len(friends) > 0:
+			fr := g.subs[friends[g.r.intn(len(friends))]]
+			if len(fr.pubFns) > 0 {
+				fn := fr.pubFns[g.r.zipf(len(fr.pubFns))]
+				fmt.Fprintf(sb, "\tret += %s(ret);\n", fn)
+			}
+		default:
+			fmt.Fprintf(sb, "\tret += %s;\n", utilCalls[g.r.zipf(len(utilCalls))])
+		}
+	}
+}

@@ -1,0 +1,207 @@
+package kernelgen
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"frappe/internal/graph"
+	"frappe/internal/model"
+	"frappe/internal/query"
+	"frappe/internal/traversal"
+)
+
+func TestDeterminism(t *testing.T) {
+	a := Generate(Tiny())
+	b := Generate(Tiny())
+	if len(a.FS) != len(b.FS) {
+		t.Fatalf("file counts differ: %d vs %d", len(a.FS), len(b.FS))
+	}
+	for p, src := range a.FS {
+		if b.FS[p] != src {
+			t.Fatalf("file %s differs between runs", p)
+		}
+	}
+	if len(a.Build.Units) != len(b.Build.Units) || len(a.Build.Modules) != len(b.Build.Modules) {
+		t.Fatal("build descriptions differ")
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	c1 := Tiny()
+	c2 := Tiny()
+	c2.Seed = 99
+	a, b := Generate(c1), Generate(c2)
+	same := true
+	for p, src := range a.FS {
+		if b.FS[p] != src {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical output")
+	}
+}
+
+func TestSrLine236(t *testing.T) {
+	w := Generate(Tiny())
+	src := w.FS["drivers/scsi/sr.c"]
+	lines := strings.Split(src, "\n")
+	if len(lines) < 237 {
+		t.Fatalf("sr.c has %d lines", len(lines))
+	}
+	if got := strings.TrimSpace(lines[235]); got != "ret += get_sectorsize(dev);" {
+		t.Fatalf("line 236 = %q", got)
+	}
+}
+
+func TestExtractTinyCleanly(t *testing.T) {
+	w := Generate(Tiny())
+	res, err := w.Extract()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range res.Errors {
+		t.Errorf("extract error: %v", e)
+	}
+	m := graph.ComputeMetrics(res.Graph)
+	if m.Nodes < 100 || m.Edges < 400 {
+		t.Fatalf("tiny graph too small: %+v", m)
+	}
+	t.Logf("tiny kernel: %d lines, %d nodes, %d edges, density %.2f",
+		w.LineCount(), m.Nodes, m.Edges, m.Density)
+}
+
+// TestPaperQueriesRunOnGeneratedKernel is the end-to-end check that the
+// paper's Figures 3, 5 and 6 find their seed entities in the generated
+// codebase.
+func TestPaperQueriesRunOnGeneratedKernel(t *testing.T) {
+	w := Generate(Tiny())
+	res, err := w.Extract()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range res.Errors {
+		t.Fatalf("extract error: %v", e)
+	}
+	g := res.Graph
+	ctx := context.Background()
+
+	// Figure 3: fields named id inside module wakeup.elf.
+	fig3, err := query.Run(ctx, g, `
+START m=node:node_auto_index('short_name: wakeup.elf')
+MATCH m -[:compiled_from|linked_from*]-> f
+WITH distinct f
+MATCH f -[:file_contains]-> (n:field{short_name: 'id'})
+RETURN distinct n`)
+	if err != nil {
+		t.Fatalf("figure 3: %v", err)
+	}
+	// wakeup_source.id and wakeup_event.id live in include/linux/wakeup.h,
+	// which is folded into wakeup.elf's only TU.
+	if fig3.Count() != 2 {
+		t.Fatalf("figure 3 results = %d, want 2", fig3.Count())
+	}
+	// Fields named id in other subsystems must exist but not match.
+	all, err := query.Run(ctx, g, `MATCH (n:field{short_name: 'id'}) RETURN n`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if all.Count() <= fig3.Count() {
+		t.Fatalf("id fields: %d total vs %d in module — search constraint has no effect", all.Count(), fig3.Count())
+	}
+
+	// Figure 5: the debugging query returns exactly write_cmd.
+	fig5, err := query.Run(ctx, g, `
+START from=node:node_auto_index('short_name: sr_media_change'),
+      to=node:node_auto_index('short_name: get_sectorsize'),
+      b=node:node_auto_index('short_name: packet_command')
+MATCH writer -[write:writes_member]-> ({SHORT_NAME:'cmd'}) <-[:contains]- b
+WITH to, from, writer, write
+MATCH direct <-[s:calls]- from -[r:calls{use_start_line: 236}]-> to
+WHERE r.use_start_line >= s.use_start_line AND direct -[:calls*]-> writer
+RETURN distinct writer, write.use_start_line`)
+	if err != nil {
+		t.Fatalf("figure 5: %v", err)
+	}
+	if fig5.Count() != 1 {
+		t.Fatalf("figure 5 results = %d, want 1 (write_cmd only)", fig5.Count())
+	}
+	writer := fig5.Rows[0][0]
+	if v, _ := g.NodeProp(writer.Node, model.PropShortName); v.AsString() != "write_cmd" {
+		t.Fatalf("figure 5 writer = %s", v.AsString())
+	}
+
+	// Figure 6 (embedded form): closure of pci_read_bases covers the
+	// whole generated DAG: 12 layers × 3 + printk's subtree.
+	pci := graph.FindNode(g, model.PropShortName, "pci_read_bases")
+	if pci == graph.InvalidID {
+		t.Fatal("pci_read_bases missing")
+	}
+	closure := traversal.TransitiveClosure(g, pci, traversal.Options{
+		Direction: traversal.Out,
+		Types:     traversal.Types(model.EdgeCalls),
+	})
+	if len(closure) < 36 {
+		t.Fatalf("pci closure = %d, want >= 36", len(closure))
+	}
+}
+
+func TestDegreeShape(t *testing.T) {
+	w := Generate(Tiny())
+	res, err := w.Extract()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := res.Graph
+	top := graph.TopDegreeNodes(g, 8)
+	// The hubs must include the primitives/utilities the paper names
+	// under Figure 7 (int with ~79K, NULL with ~19K degree in UEK).
+	names := map[string]bool{}
+	for _, h := range top {
+		names[h.Name] = true
+	}
+	if !names["int"] {
+		t.Errorf("int not a hub; top = %+v", top)
+	}
+	// Heavy tail: max degree far above the median.
+	dist := graph.DegreeDistribution(g)
+	maxDeg := dist[len(dist)-1].Degree
+	if maxDeg < 50 {
+		t.Errorf("max degree = %d, no heavy tail", maxDeg)
+	}
+}
+
+func TestModulesAndVmlinux(t *testing.T) {
+	w := Generate(Tiny())
+	seen := map[string]bool{}
+	for _, m := range w.Build.Modules {
+		seen[m.Name] = true
+	}
+	if !seen["vmlinux"] || !seen["drivers/acpi/wakeup.elf"] || !seen["drivers/scsi/sr.elf"] {
+		t.Fatalf("modules = %v", seen)
+	}
+	// Every unit's object appears in exactly one module.
+	count := map[string]int{}
+	for _, m := range w.Build.Modules {
+		for _, o := range m.Objects {
+			count[o]++
+		}
+	}
+	for _, u := range w.Build.Units {
+		if count[u.Object] != 1 {
+			t.Fatalf("object %s in %d modules", u.Object, count[u.Object])
+		}
+	}
+}
+
+func TestScaledGrows(t *testing.T) {
+	small := Generate(Tiny())
+	cfg := Tiny()
+	cfg.Subsystems *= 3
+	big := Generate(cfg)
+	if big.LineCount() <= small.LineCount() {
+		t.Fatalf("scaling did not grow the tree: %d vs %d", big.LineCount(), small.LineCount())
+	}
+}

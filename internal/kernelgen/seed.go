@@ -1,0 +1,184 @@
+package kernelgen
+
+import (
+	"fmt"
+	"strings"
+)
+
+// seedFiles writes the handcrafted sources carrying the paper's named
+// entities, so Figures 3-6 run verbatim against the generated kernel:
+//
+//   - drivers/acpi/wakeup.c, linked into module wakeup.elf, whose structs
+//     carry fields named "id" (Figure 3's code search);
+//   - drivers/scsi/sr.c with sr_media_change calling sr_do_ioctl (before
+//     line 236) and get_sectorsize at exactly line 236 (the literal the
+//     paper's Figure 5 query hardcodes), struct packet_command with field
+//     cmd, and a write path reaching write_cmd;
+//   - drivers/pci/probe.c with pci_read_bases atop a deep, diamond-rich
+//     callee tree (Figure 6's transitive closure).
+func (g *generator) seedFiles() {
+	g.wakeupModule()
+	g.scsiSr()
+	g.pciProbe()
+}
+
+func (g *generator) wakeupModule() {
+	g.addFile("include/linux/wakeup.h", `#ifndef _LINUX_WAKEUP_H
+#define _LINUX_WAKEUP_H
+#include <linux/types.h>
+struct wakeup_source {
+	u32 id;
+	u32 event_count;
+	char name[32];
+};
+struct wakeup_event {
+	u32 id;
+	u64 timestamp;
+};
+int wakeup_source_register(struct wakeup_source *ws);
+int wakeup_report(struct wakeup_event *ev);
+#endif
+`)
+	g.addFile("drivers/acpi/wakeup.c", `#include <linux/kernel.h>
+#include <linux/wakeup.h>
+static struct wakeup_source wakeup_sources[8];
+static int wakeup_count;
+int wakeup_source_register(struct wakeup_source *ws)
+{
+	if (ws == NULL)
+		return -1;
+	ws->id = (u32)wakeup_count;
+	wakeup_sources[wakeup_count & 7] = *ws;
+	wakeup_count++;
+	return (int)ws->id;
+}
+int wakeup_report(struct wakeup_event *ev)
+{
+	if (ev == NULL)
+		return -1;
+	printk(KERN_INFO "wakeup event %d\n", (int)ev->id);
+	return (int)ev->id;
+}
+`)
+	g.addUnit("drivers/acpi/wakeup.c", "drivers/acpi/wakeup.elf")
+}
+
+// scsiSr writes drivers/scsi/sr.c, padding so that the get_sectorsize
+// call lands exactly on line 236 — the literal in Figure 5.
+func (g *generator) scsiSr() {
+	g.addFile("drivers/scsi/sr.h", `#ifndef _SCSI_SR_H
+#define _SCSI_SR_H
+#include <linux/types.h>
+struct packet_command {
+	unsigned char cmd[12];
+	int quiet : 1;
+	int timeout;
+	void *buffer;
+};
+int sr_media_change(int dev);
+#endif
+`)
+
+	header := `#include <linux/kernel.h>
+#include <linux/slab.h>
+#include <linux/string.h>
+#include "sr.h"
+
+static int sr_status;
+
+static void write_cmd(struct packet_command *cgc)
+{
+	cgc->cmd[0] = 0x25;
+	cgc->timeout = 30;
+}
+
+static void late_write_cmd(struct packet_command *cgc)
+{
+	cgc->cmd[0] = 0x1b;
+}
+
+static int sr_do_ioctl(struct packet_command *cgc)
+{
+	if (cgc == NULL)
+		return -1;
+	write_cmd(cgc);
+	sr_status = (int)cgc->cmd[0];
+	return sr_status;
+}
+
+static int get_sectorsize(int dev)
+{
+	struct packet_command cgc;
+	memset(&cgc, 0, sizeof(cgc));
+	cgc.timeout = dev;
+	return sr_do_ioctl(&cgc) + 2048;
+}
+
+static int sr_late_check(int dev)
+{
+	struct packet_command cgc;
+	late_write_cmd(&cgc);
+	return dev + (int)cgc.cmd[0];
+}
+
+int sr_media_change(int dev)
+{
+	struct packet_command cgc;
+	int ret;
+	memset(&cgc, 0, sizeof(cgc));
+	ret = sr_do_ioctl(&cgc);
+`
+	lines := strings.Split(header, "\n")
+	// lines currently holds everything up to (and including) the
+	// sr_do_ioctl call; pad with comments so the next statement falls on
+	// line 236.
+	const targetLine = 236
+	cur := len(lines) // next written line number is len(lines) (1-based: last element is "")
+	var sb strings.Builder
+	sb.WriteString(header)
+	for i := cur; i < targetLine; i++ {
+		sb.WriteString("\t/* rev history padding */\n")
+	}
+	sb.WriteString("\tret += get_sectorsize(dev);\n") // line 236
+	sb.WriteString("\tret += sr_late_check(dev);\n")  // line 237: after 236, filtered out by Figure 5
+	sb.WriteString("\treturn ret;\n}\n")
+	g.addFile("drivers/scsi/sr.c", sb.String())
+	g.addUnit("drivers/scsi/sr.c", "drivers/scsi/sr.elf")
+}
+
+// pciProbe builds pci_read_bases with a layered callee DAG. Parallel
+// paths through the layers make Cypher's path-enumerating closure
+// explode combinatorially while the embedded traversal stays linear —
+// the paper's §6.1 contrast.
+func (g *generator) pciProbe() {
+	// 3^17 ≈ 129M distinct paths: Cypher's path-enumerating closure
+	// cannot finish within any reasonable deadline (the paper aborted at
+	// 15 minutes), while the embedded traversal visits just
+	// layers*width+2 nodes.
+	const layers = 17
+	const width = 3
+	var sb strings.Builder
+	sb.WriteString("#include <linux/kernel.h>\n\n")
+	// Bottom layer.
+	for w := 0; w < width; w++ {
+		fmt.Fprintf(&sb, "static int pci_l%d_n%d(int v)\n{\n\treturn v + %d;\n}\n\n", layers-1, w, w)
+	}
+	// Middle layers: each function calls every function one layer below.
+	for l := layers - 2; l >= 0; l-- {
+		for w := 0; w < width; w++ {
+			fmt.Fprintf(&sb, "static int pci_l%d_n%d(int v)\n{\n\tint r = 0;\n", l, w)
+			for t := 0; t < width; t++ {
+				fmt.Fprintf(&sb, "\tr += pci_l%d_n%d(v + r);\n", l+1, t)
+			}
+			sb.WriteString("\treturn r;\n}\n\n")
+		}
+	}
+	sb.WriteString("int pci_read_bases(int dev)\n{\n\tint r = 0;\n")
+	for w := 0; w < width; w++ {
+		fmt.Fprintf(&sb, "\tr += pci_l0_n%d(dev);\n", w)
+	}
+	sb.WriteString("\tif (r < 0)\n\t\tprintk(KERN_ERR \"pci: bad bases\\n\");\n")
+	sb.WriteString("\treturn r;\n}\n")
+	g.addFile("drivers/pci/probe.c", sb.String())
+	g.addUnit("drivers/pci/probe.c", "vmlinux")
+}

@@ -1,0 +1,240 @@
+// Package model defines the Frappé graph-model vocabulary: the node and
+// edge types of Table 1 of the paper, the node and edge property keys of
+// Table 2, and the grouped labels discussed in §6.2 (Table 6).
+//
+// The model package is deliberately free of behaviour beyond small pure
+// helpers; every other package (graph store, query engine, extractor,
+// workload generator) shares this vocabulary so that the paper's queries
+// can be written verbatim against any of them.
+package model
+
+// NodeType is the concrete type of a graph node (Table 1, "Nodes").
+type NodeType string
+
+// Node types from Table 1 of the paper.
+const (
+	NodeDirectory    NodeType = "directory"
+	NodeEnumDef      NodeType = "enum_def"
+	NodeEnumerator   NodeType = "enumerator"
+	NodeField        NodeType = "field"
+	NodeFile         NodeType = "file"
+	NodeFunction     NodeType = "function"
+	NodeFunctionDecl NodeType = "function_decl"
+	NodeFunctionType NodeType = "function_type"
+	NodeGlobal       NodeType = "global"
+	NodeGlobalDecl   NodeType = "global_decl"
+	NodeLocal        NodeType = "local"
+	NodeMacro        NodeType = "macro"
+	NodeModule       NodeType = "module"
+	NodeParameter    NodeType = "parameter"
+	NodePrimitive    NodeType = "primitive"
+	NodeStaticLocal  NodeType = "static_local"
+	NodeStruct       NodeType = "struct"
+	NodeStructDecl   NodeType = "struct_decl"
+	NodeTypedef      NodeType = "typedef"
+	NodeUnion        NodeType = "union"
+	NodeUnionDecl    NodeType = "union_decl"
+
+	// NodeObjectFile and NodeLibrary are not named in Table 1 (the paper
+	// folds them into the prose around Figure 2, where foo.o is a node);
+	// they are required to express compiled_from / linked_from chains.
+	NodeObjectFile NodeType = "object_file"
+	NodeLibrary    NodeType = "library"
+)
+
+// AllNodeTypes lists every node type in a stable order.
+var AllNodeTypes = []NodeType{
+	NodeDirectory, NodeEnumDef, NodeEnumerator, NodeField, NodeFile,
+	NodeFunction, NodeFunctionDecl, NodeFunctionType, NodeGlobal,
+	NodeGlobalDecl, NodeLocal, NodeMacro, NodeModule, NodeParameter,
+	NodePrimitive, NodeStaticLocal, NodeStruct, NodeStructDecl,
+	NodeTypedef, NodeUnion, NodeUnionDecl, NodeObjectFile, NodeLibrary,
+}
+
+// EdgeType is the type of a directed edge (Table 1, "Edges").
+type EdgeType string
+
+// Edge types from Table 1 of the paper.
+const (
+	EdgeCalls                EdgeType = "calls"
+	EdgeCastsTo              EdgeType = "casts_to"
+	EdgeCompiledFrom         EdgeType = "compiled_from"
+	EdgeContains             EdgeType = "contains"
+	EdgeDeclares             EdgeType = "declares"
+	EdgeDereferences         EdgeType = "dereferences"
+	EdgeDereferencesMember   EdgeType = "dereferences_member"
+	EdgeDirContains          EdgeType = "dir_contains"
+	EdgeExpandsMacro         EdgeType = "expands_macro"
+	EdgeFileContains         EdgeType = "file_contains"
+	EdgeGetsAlignOf          EdgeType = "gets_align_of"
+	EdgeGetsSizeOf           EdgeType = "gets_size_of"
+	EdgeHasLocal             EdgeType = "has_local"
+	EdgeHasParam             EdgeType = "has_param"
+	EdgeHasParamType         EdgeType = "has_param_type"
+	EdgeHasRetType           EdgeType = "has_ret_type"
+	EdgeIncludes             EdgeType = "includes"
+	EdgeInterrogatesMacro    EdgeType = "interrogates_macro"
+	EdgeIsaType              EdgeType = "isa_type"
+	EdgeLinkDeclares         EdgeType = "link_declares"
+	EdgeLinkMatches          EdgeType = "link_matches"
+	EdgeLinkedFrom           EdgeType = "linked_from"
+	EdgeLinkedFromLib        EdgeType = "linked_from_lib"
+	EdgeReads                EdgeType = "reads"
+	EdgeReadsMember          EdgeType = "reads_member"
+	EdgeTakesAddressOf       EdgeType = "takes_address_of"
+	EdgeTakesAddressOfMember EdgeType = "takes_address_of_member"
+	EdgeUsesEnumerator       EdgeType = "uses_enumerator"
+	EdgeWrites               EdgeType = "writes"
+	EdgeWritesMember         EdgeType = "writes_member"
+)
+
+// AllEdgeTypes lists every edge type in a stable order.
+var AllEdgeTypes = []EdgeType{
+	EdgeCalls, EdgeCastsTo, EdgeCompiledFrom, EdgeContains, EdgeDeclares,
+	EdgeDereferences, EdgeDereferencesMember, EdgeDirContains,
+	EdgeExpandsMacro, EdgeFileContains, EdgeGetsAlignOf, EdgeGetsSizeOf,
+	EdgeHasLocal, EdgeHasParam, EdgeHasParamType, EdgeHasRetType,
+	EdgeIncludes, EdgeInterrogatesMacro, EdgeIsaType, EdgeLinkDeclares,
+	EdgeLinkMatches, EdgeLinkedFrom, EdgeLinkedFromLib, EdgeReads,
+	EdgeReadsMember, EdgeTakesAddressOf, EdgeTakesAddressOfMember,
+	EdgeUsesEnumerator, EdgeWrites, EdgeWritesMember,
+}
+
+// Node property keys (Table 2, "Node property").
+const (
+	PropType      = "TYPE"
+	PropShortName = "SHORT_NAME"
+	PropName      = "NAME"
+	PropLongName  = "LONG_NAME"
+	PropValue     = "VALUE"    // enumerator integer value
+	PropVariadic  = "VARIADIC" // present if the function is variadic
+	PropVirtual   = "VIRTUAL"  // present if the function is virtual
+	PropInMacro   = "IN_MACRO" // present if produced by a macro expansion
+)
+
+// Edge property keys (Table 2, "Edge property").
+const (
+	PropUseFileID     = "USE_FILE_ID"
+	PropUseStartLine  = "USE_START_LINE"
+	PropUseStartCol   = "USE_START_COL"
+	PropUseEndLine    = "USE_END_LINE"
+	PropUseEndCol     = "USE_END_COL"
+	PropNameFileID    = "NAME_FILE_ID"
+	PropNameStartLine = "NAME_START_LINE"
+	PropNameStartCol  = "NAME_START_COL"
+	PropNameEndLine   = "NAME_END_LINE"
+	PropNameEndCol    = "NAME_END_COL"
+	PropArrayLengths  = "ARRAY_LENGTHS"
+	PropBitWidth      = "BIT_WIDTH"
+	PropQualifiers    = "QUALIFIERS"
+	PropIndex         = "INDEX"
+	PropLinkOrder     = "LINK_ORDER"
+)
+
+// Grouped node labels (§6.2 / Table 6 of the paper). Nodes carry their
+// concrete TYPE label plus any group labels that apply, so Cypher 2.x
+// queries like MATCH (n:container:symbol{name:"foo"}) work.
+const (
+	LabelSymbol    = "symbol"
+	LabelType      = "type"
+	LabelContainer = "container"
+	LabelValue     = "value"
+	LabelDecl      = "decl"
+)
+
+// Grouped edge categories (§6.2; Neo4j lacks edge labels, so these exist
+// only as a Go-level classification used by traversals and the code map).
+type EdgeGroup string
+
+const (
+	GroupLink         EdgeGroup = "link"
+	GroupPreprocessor EdgeGroup = "preprocessor"
+	GroupContainment  EdgeGroup = "containment"
+	GroupReference    EdgeGroup = "reference"
+	GroupTypeUse      EdgeGroup = "type_use"
+)
+
+// GroupOf reports the grouped category of an edge type.
+func GroupOf(t EdgeType) EdgeGroup {
+	switch t {
+	case EdgeCompiledFrom, EdgeLinkedFrom, EdgeLinkedFromLib, EdgeLinkDeclares, EdgeLinkMatches:
+		return GroupLink
+	case EdgeExpandsMacro, EdgeInterrogatesMacro, EdgeIncludes:
+		return GroupPreprocessor
+	case EdgeContains, EdgeDirContains, EdgeFileContains, EdgeHasLocal, EdgeHasParam:
+		return GroupContainment
+	case EdgeIsaType, EdgeHasRetType, EdgeHasParamType, EdgeCastsTo, EdgeGetsSizeOf, EdgeGetsAlignOf:
+		return GroupTypeUse
+	default:
+		return GroupReference
+	}
+}
+
+// LabelsFor returns the grouped labels for a node type, excluding the
+// concrete type label itself (which is always present).
+func LabelsFor(t NodeType) []string {
+	var ls []string
+	switch t {
+	case NodeFunction, NodeFunctionDecl, NodeGlobal, NodeGlobalDecl,
+		NodeLocal, NodeStaticLocal, NodeParameter, NodeField,
+		NodeEnumerator, NodeMacro:
+		ls = append(ls, LabelSymbol)
+	}
+	switch t {
+	case NodeStruct, NodeStructDecl, NodeUnion, NodeUnionDecl,
+		NodeEnumDef, NodeTypedef, NodePrimitive, NodeFunctionType:
+		ls = append(ls, LabelType)
+	}
+	switch t {
+	case NodeStruct, NodeUnion, NodeEnumDef, NodeFile, NodeDirectory,
+		NodeModule, NodeFunction:
+		ls = append(ls, LabelContainer)
+	}
+	switch t {
+	case NodeGlobal, NodeLocal, NodeStaticLocal, NodeParameter, NodeField:
+		ls = append(ls, LabelValue)
+	}
+	switch t {
+	case NodeFunctionDecl, NodeGlobalDecl, NodeStructDecl, NodeUnionDecl:
+		ls = append(ls, LabelDecl)
+	}
+	return ls
+}
+
+// IsDecl reports whether the node type is a declaration (as opposed to a
+// definition) flavour of a symbol.
+func IsDecl(t NodeType) bool {
+	switch t {
+	case NodeFunctionDecl, NodeGlobalDecl, NodeStructDecl, NodeUnionDecl:
+		return true
+	}
+	return false
+}
+
+// DefinitionFor maps a declaration node type to the node type of the
+// definition it declares; ok is false for non-declaration types.
+func DefinitionFor(t NodeType) (NodeType, bool) {
+	switch t {
+	case NodeFunctionDecl:
+		return NodeFunction, true
+	case NodeGlobalDecl:
+		return NodeGlobal, true
+	case NodeStructDecl:
+		return NodeStruct, true
+	case NodeUnionDecl:
+		return NodeUnion, true
+	}
+	return "", false
+}
+
+// ReferenceEdges are the edge types that represent a use of one symbol in
+// the body of another and therefore carry USE_*/NAME_* source ranges.
+var ReferenceEdges = map[EdgeType]bool{
+	EdgeCalls: true, EdgeReads: true, EdgeWrites: true,
+	EdgeReadsMember: true, EdgeWritesMember: true,
+	EdgeDereferences: true, EdgeDereferencesMember: true,
+	EdgeTakesAddressOf: true, EdgeTakesAddressOfMember: true,
+	EdgeUsesEnumerator: true, EdgeExpandsMacro: true,
+	EdgeInterrogatesMacro: true, EdgeGetsSizeOf: true,
+	EdgeGetsAlignOf: true, EdgeCastsTo: true, EdgeIsaType: true,
+}

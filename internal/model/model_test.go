@@ -1,0 +1,128 @@
+package model
+
+import "testing"
+
+func TestVocabularyComplete(t *testing.T) {
+	// Table 1 of the paper lists 21 node types; the build model adds
+	// object_file and library.
+	if len(AllNodeTypes) != 23 {
+		t.Fatalf("node types = %d, want 23", len(AllNodeTypes))
+	}
+	// Table 1 lists 30 edge types.
+	if len(AllEdgeTypes) != 30 {
+		t.Fatalf("edge types = %d, want 30", len(AllEdgeTypes))
+	}
+	seen := map[NodeType]bool{}
+	for _, n := range AllNodeTypes {
+		if seen[n] {
+			t.Fatalf("duplicate node type %s", n)
+		}
+		seen[n] = true
+	}
+	seenE := map[EdgeType]bool{}
+	for _, e := range AllEdgeTypes {
+		if seenE[e] {
+			t.Fatalf("duplicate edge type %s", e)
+		}
+		seenE[e] = true
+	}
+}
+
+func TestGroupOf(t *testing.T) {
+	cases := map[EdgeType]EdgeGroup{
+		EdgeCompiledFrom:   GroupLink,
+		EdgeLinkedFrom:     GroupLink,
+		EdgeLinkMatches:    GroupLink,
+		EdgeExpandsMacro:   GroupPreprocessor,
+		EdgeIncludes:       GroupPreprocessor,
+		EdgeContains:       GroupContainment,
+		EdgeFileContains:   GroupContainment,
+		EdgeHasParam:       GroupContainment,
+		EdgeIsaType:        GroupTypeUse,
+		EdgeCastsTo:        GroupTypeUse,
+		EdgeGetsSizeOf:     GroupTypeUse,
+		EdgeCalls:          GroupReference,
+		EdgeWritesMember:   GroupReference,
+		EdgeUsesEnumerator: GroupReference,
+	}
+	for et, want := range cases {
+		if got := GroupOf(et); got != want {
+			t.Errorf("GroupOf(%s) = %s, want %s", et, got, want)
+		}
+	}
+}
+
+func TestLabelsForCoverEveryType(t *testing.T) {
+	// Every node type maps to a deterministic (possibly empty) label set,
+	// and the grouped labels partition sensibly.
+	for _, nt := range AllNodeTypes {
+		ls := LabelsFor(nt)
+		seen := map[string]bool{}
+		for _, l := range ls {
+			if seen[l] {
+				t.Errorf("%s: duplicate label %s", nt, l)
+			}
+			seen[l] = true
+		}
+	}
+	// Spot checks from the paper's §6.2 examples.
+	has := func(nt NodeType, label string) bool {
+		for _, l := range LabelsFor(nt) {
+			if l == label {
+				return true
+			}
+		}
+		return false
+	}
+	if !has(NodeStruct, LabelContainer) || !has(NodeStruct, LabelType) {
+		t.Error("struct must be container and type")
+	}
+	if !has(NodeFunction, LabelSymbol) {
+		t.Error("function must be a symbol")
+	}
+	if has(NodePrimitive, LabelSymbol) {
+		t.Error("primitive must not be a symbol")
+	}
+}
+
+func TestDeclMappings(t *testing.T) {
+	pairs := map[NodeType]NodeType{
+		NodeFunctionDecl: NodeFunction,
+		NodeGlobalDecl:   NodeGlobal,
+		NodeStructDecl:   NodeStruct,
+		NodeUnionDecl:    NodeUnion,
+	}
+	for decl, def := range pairs {
+		if !IsDecl(decl) {
+			t.Errorf("IsDecl(%s) = false", decl)
+		}
+		got, ok := DefinitionFor(decl)
+		if !ok || got != def {
+			t.Errorf("DefinitionFor(%s) = %s, %v", decl, got, ok)
+		}
+	}
+	if IsDecl(NodeFunction) {
+		t.Error("IsDecl(function) = true")
+	}
+	if _, ok := DefinitionFor(NodeFunction); ok {
+		t.Error("DefinitionFor(function) should fail")
+	}
+}
+
+func TestReferenceEdgesSubset(t *testing.T) {
+	all := map[EdgeType]bool{}
+	for _, e := range AllEdgeTypes {
+		all[e] = true
+	}
+	for e := range ReferenceEdges {
+		if !all[e] {
+			t.Errorf("ReferenceEdges contains unknown type %s", e)
+		}
+	}
+	// Structural edges must not be reference edges.
+	for _, e := range []EdgeType{EdgeDirContains, EdgeFileContains, EdgeLinkedFrom, EdgeHasParam} {
+		if ReferenceEdges[e] {
+			t.Errorf("%s misclassified as a reference edge", e)
+		}
+	}
+}

@@ -1,0 +1,639 @@
+package query
+
+import (
+	"context"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"frappe/internal/graph"
+	"frappe/internal/model"
+	"frappe/internal/store"
+)
+
+// fixture builds a micro-kernel graph containing everything the paper's
+// Figures 3-6 queries need.
+type fixture struct {
+	g     *graph.Graph
+	names map[string]graph.NodeID
+}
+
+func newFixture() *fixture {
+	f := &fixture{g: graph.New(), names: map[string]graph.NodeID{}}
+	return f
+}
+
+func (f *fixture) node(key string, typ model.NodeType, short string, extra ...any) graph.NodeID {
+	props := graph.P(model.PropShortName, short, model.PropName, short)
+	props = append(props, graph.P(extra...)...)
+	id := f.g.AddNode(typ, props)
+	f.names[key] = id
+	return id
+}
+
+func (f *fixture) edge(from, to string, typ model.EdgeType, props ...any) graph.EdgeID {
+	return f.g.AddEdge(f.names[from], f.names[to], typ, graph.P(props...))
+}
+
+func buildFixture() *fixture {
+	f := newFixture()
+
+	// --- Figure 3 material: module -> objects -> files -> fields ---
+	f.node("mod", model.NodeModule, "wakeup.elf")
+	f.node("wake.o", model.NodeObjectFile, "wake.o")
+	f.node("wake.c", model.NodeFile, "wake.c")
+	f.node("other.c", model.NodeFile, "other.c")
+	f.node("id1", model.NodeField, "id")  // inside the module
+	f.node("id2", model.NodeField, "id")  // outside the module
+	f.node("idg", model.NodeGlobal, "id") // same name, different type
+	f.edge("mod", "wake.o", model.EdgeLinkedFrom, model.PropLinkOrder, 0)
+	f.edge("wake.o", "wake.c", model.EdgeCompiledFrom)
+	f.edge("wake.c", "id1", model.EdgeFileContains)
+	f.edge("other.c", "id2", model.EdgeFileContains)
+	f.edge("wake.c", "idg", model.EdgeFileContains)
+
+	// --- Figure 4 material: a reference edge with NAME_* position ---
+	f.node("user_fn", model.NodeFunction, "ref_user")
+	f.edge("user_fn", "id1", model.EdgeReadsMember,
+		model.PropNameFileID, 3,
+		model.PropNameStartLine, 104,
+		model.PropNameStartCol, 16,
+		model.PropNameEndLine, 104,
+		model.PropNameEndCol, 18,
+	)
+
+	// --- Figure 5 material ---
+	f.node("pkt", model.NodeStruct, "packet_command")
+	f.node("cmd", model.NodeField, "cmd")
+	f.edge("pkt", "cmd", model.EdgeContains)
+	f.node("from", model.NodeFunction, "sr_media_change")
+	f.node("to", model.NodeFunction, "get_sectorsize")
+	f.node("direct", model.NodeFunction, "sr_do_ioctl")
+	f.node("late", model.NodeFunction, "sr_late_helper")
+	f.node("writer", model.NodeFunction, "write_cmd")
+	f.node("other_writer", model.NodeFunction, "never_called_writer")
+	f.edge("from", "direct", model.EdgeCalls, model.PropUseStartLine, 230, model.PropUseFileID, 7)
+	f.edge("from", "to", model.EdgeCalls, model.PropUseStartLine, 236, model.PropUseFileID, 7)
+	// A call after line 236 must be excluded by the WHERE comparison.
+	f.edge("from", "late", model.EdgeCalls, model.PropUseStartLine, 240, model.PropUseFileID, 7)
+	f.edge("direct", "writer", model.EdgeCalls, model.PropUseStartLine, 310)
+	f.edge("late", "writer", model.EdgeCalls, model.PropUseStartLine, 410)
+	f.edge("writer", "cmd", model.EdgeWritesMember, model.PropUseStartLine, 50, model.PropUseFileID, 9)
+	f.edge("other_writer", "cmd", model.EdgeWritesMember, model.PropUseStartLine, 60)
+
+	// --- Figure 6 material ---
+	f.node("pci", model.NodeFunction, "pci_read_bases")
+	f.node("ca", model.NodeFunction, "closure_a")
+	f.node("cb", model.NodeFunction, "closure_b")
+	f.node("cc", model.NodeFunction, "closure_c")
+	f.edge("pci", "ca", model.EdgeCalls, model.PropUseStartLine, 1)
+	f.edge("ca", "cb", model.EdgeCalls, model.PropUseStartLine, 2)
+	f.edge("ca", "cc", model.EdgeCalls, model.PropUseStartLine, 3)
+	f.edge("cc", "cb", model.EdgeCalls, model.PropUseStartLine, 4)
+
+	// --- Table 6 material: struct/union/enum_def named foo ---
+	f.node("foo_s", model.NodeStruct, "foo")
+	f.node("foo_u", model.NodeUnion, "foo")
+	f.node("foo_e", model.NodeEnumDef, "foo")
+	f.node("foo_f", model.NodeFunction, "foo") // function: symbol+container, not type
+
+	return f
+}
+
+func run(t *testing.T, src graph.Source, text string) *Result {
+	t.Helper()
+	res, err := Run(context.Background(), src, text)
+	if err != nil {
+		t.Fatalf("Run(%q): %v", text, err)
+	}
+	return res
+}
+
+// nodeCol extracts node IDs from a single-column result, sorted.
+func nodeCol(t *testing.T, res *Result, col int) []graph.NodeID {
+	t.Helper()
+	var out []graph.NodeID
+	for _, row := range res.Rows {
+		v := row[col]
+		if v.Kind != ValNode {
+			t.Fatalf("column %d is %v, not a node", col, v.Kind)
+		}
+		out = append(out, v.Node)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func wantNodes(t *testing.T, f *fixture, got []graph.NodeID, keys ...string) {
+	t.Helper()
+	var want []graph.NodeID
+	for _, k := range keys {
+		want = append(want, f.names[k])
+	}
+	sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+const figure3Query = `
+START m=node:node_auto_index('short_name: wakeup.elf')
+MATCH m -[:compiled_from|linked_from*]-> f
+WITH distinct f
+MATCH f -[:file_contains]-> (n:field{short_name: 'id'})
+RETURN n`
+
+const figure4Query = `
+START n=node:node_auto_index('short_name: id')
+WHERE (n) <-[{NAME_FILE_ID: 3, NAME_START_LINE: 104, NAME_START_COL: 16}]- ()
+RETURN n`
+
+const figure5Query = `
+START from=node:node_auto_index('short_name: sr_media_change'),
+      to=node:node_auto_index('short_name: get_sectorsize'),
+      b=node:node_auto_index('short_name: packet_command')
+MATCH writer -[write:writes_member]-> ({SHORT_NAME:'cmd'}) <-[:contains]- b
+WITH to, from, writer, write
+MATCH direct <-[s:calls]- from -[r:calls{use_start_line: 236}]-> to
+WHERE r.use_start_line >= s.use_start_line AND direct -[:calls*]-> writer
+RETURN distinct writer, write.use_start_line`
+
+const figure6Query = `
+START n=node:node_auto_index('short_name: pci_read_bases')
+MATCH n -[:calls*]-> m
+RETURN distinct m`
+
+func TestFigure3CodeSearch(t *testing.T) {
+	f := buildFixture()
+	res := run(t, f.g, figure3Query)
+	wantNodes(t, f, nodeCol(t, res, 0), "id1")
+}
+
+func TestFigure4GoToDefinition(t *testing.T) {
+	f := buildFixture()
+	res := run(t, f.g, figure4Query)
+	wantNodes(t, f, nodeCol(t, res, 0), "id1")
+}
+
+func TestFigure5Debugging(t *testing.T) {
+	f := buildFixture()
+	res := run(t, f.g, figure5Query)
+	if len(res.Rows) != 1 {
+		t.Fatalf("rows = %d: %+v", len(res.Rows), res.Rows)
+	}
+	row := res.Rows[0]
+	if row[0].Node != f.names["writer"] {
+		t.Fatalf("writer = %v, want %d", row[0], f.names["writer"])
+	}
+	if row[1].Scalar.AsInt() != 50 {
+		t.Fatalf("use_start_line = %v, want 50", row[1])
+	}
+	if res.Columns[1] != "write.use_start_line" {
+		t.Fatalf("column name = %q", res.Columns[1])
+	}
+}
+
+func TestFigure6Comprehension(t *testing.T) {
+	f := buildFixture()
+	res := run(t, f.g, figure6Query)
+	wantNodes(t, f, nodeCol(t, res, 0), "ca", "cb", "cc")
+}
+
+func TestTable6SyntaxEquivalence(t *testing.T) {
+	f := buildFixture()
+	// Cypher 1.x: index query with grouped TYPE terms.
+	res1 := run(t, f.g, `
+START n=node:node_auto_index('(TYPE: struct TYPE: union TYPE: enum_def) AND NAME: foo')
+RETURN n`)
+	// Cypher 2.x: grouped labels. struct/union/enum_def are the types
+	// that are both containers and types.
+	res2 := run(t, f.g, `MATCH (n:container:type{name: "foo"}) RETURN n`)
+	got1 := nodeCol(t, res1, 0)
+	got2 := nodeCol(t, res2, 0)
+	wantNodes(t, f, got1, "foo_s", "foo_u", "foo_e")
+	wantNodes(t, f, got2, "foo_s", "foo_u", "foo_e")
+}
+
+// TestMemoryDiskParity runs every benchmark query against both the
+// in-memory graph and the disk store and demands identical results.
+func TestMemoryDiskParity(t *testing.T) {
+	f := buildFixture()
+	dir := filepath.Join(t.TempDir(), "db")
+	if err := store.Write(dir, f.g); err != nil {
+		t.Fatal(err)
+	}
+	db, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+
+	queries := []string{
+		figure3Query,
+		figure4Query,
+		figure5Query,
+		figure6Query,
+		`MATCH (n:container:type{name: "foo"}) RETURN n`,
+		`MATCH (n:function) RETURN count(*)`,
+		`START n=node(*) RETURN n.short_name ORDER BY n.short_name LIMIT 5`,
+	}
+	for _, q := range queries {
+		mem := run(t, f.g, q)
+		disk := run(t, db, q)
+		if keyOf(mem) != keyOf(disk) {
+			t.Errorf("parity failure for %q:\nmem:  %s\ndisk: %s", q, keyOf(mem), keyOf(disk))
+		}
+		// Cold results must equal warm results.
+		db.DropCaches()
+		cold := run(t, db, q)
+		if keyOf(disk) != keyOf(cold) {
+			t.Errorf("cold/warm mismatch for %q", q)
+		}
+	}
+}
+
+func keyOf(r *Result) string {
+	var sb strings.Builder
+	sb.WriteString(strings.Join(r.Columns, ","))
+	sb.WriteByte('\n')
+	lines := make([]string, len(r.Rows))
+	for i, row := range r.Rows {
+		var rb strings.Builder
+		for _, v := range row {
+			v.key(&rb)
+			rb.WriteByte('|')
+		}
+		lines[i] = rb.String()
+	}
+	sort.Strings(lines)
+	sb.WriteString(strings.Join(lines, "\n"))
+	return sb.String()
+}
+
+func TestAggregationGrouping(t *testing.T) {
+	f := buildFixture()
+	// Count calls per caller.
+	res := run(t, f.g, `
+MATCH (n:function) -[:calls]-> m
+RETURN n.short_name AS caller, count(m) AS callees
+ORDER BY callees DESC, caller`)
+	if len(res.Rows) == 0 {
+		t.Fatal("no rows")
+	}
+	top := res.Rows[0]
+	if top[0].Scalar.AsString() != "sr_media_change" || top[1].Scalar.AsInt() != 3 {
+		t.Fatalf("top = %v %v", top[0], top[1])
+	}
+	// Groups must be exhaustive: total = number of calls edges.
+	var total int64
+	for _, row := range res.Rows {
+		total += row[1].Scalar.AsInt()
+	}
+	want := graph.ComputeMetrics(f.g)
+	_ = want
+	calls := graph.CountByEdgeType(f.g)[model.EdgeCalls]
+	if total != calls {
+		t.Fatalf("sum of group counts = %d, want %d", total, calls)
+	}
+}
+
+func TestAggregatesOverEmptyInput(t *testing.T) {
+	f := buildFixture()
+	res := run(t, f.g, `MATCH (n:function{short_name: 'does_not_exist'}) RETURN count(n)`)
+	if len(res.Rows) != 1 || res.Rows[0][0].Scalar.AsInt() != 0 {
+		t.Fatalf("count over empty = %+v", res.Rows)
+	}
+}
+
+func TestMinMaxSumAvgCollect(t *testing.T) {
+	f := buildFixture()
+	res := run(t, f.g, `
+MATCH (n{short_name: 'sr_media_change'}) -[r:calls]-> m
+RETURN min(r.use_start_line), max(r.use_start_line), sum(r.use_start_line), avg(r.use_start_line), collect(m.short_name)`)
+	row := res.Rows[0]
+	if row[0].Scalar.AsInt() != 230 || row[1].Scalar.AsInt() != 240 {
+		t.Fatalf("min/max = %v/%v", row[0], row[1])
+	}
+	if row[2].Scalar.AsInt() != 230+236+240 {
+		t.Fatalf("sum = %v", row[2])
+	}
+	if row[3].Scalar.AsInt() != (230+236+240)/3 {
+		t.Fatalf("avg = %v", row[3])
+	}
+	if row[4].Kind != ValList || len(row[4].List) != 3 {
+		t.Fatalf("collect = %v", row[4])
+	}
+}
+
+func TestOptionalMatch(t *testing.T) {
+	f := buildFixture()
+	res := run(t, f.g, `
+START n=node:node_auto_index('short_name: closure_b')
+OPTIONAL MATCH n -[:calls]-> m
+RETURN n, m`)
+	if len(res.Rows) != 1 {
+		t.Fatalf("rows = %+v", res.Rows)
+	}
+	if !res.Rows[0][1].IsNull() {
+		t.Fatalf("m should be null, got %v", res.Rows[0][1])
+	}
+}
+
+func TestWhereNullSemantics(t *testing.T) {
+	f := buildFixture()
+	// closure_b has no outgoing calls; property of missing prop is null;
+	// null comparisons must filter out, not error.
+	res := run(t, f.g, `
+MATCH (n:function)
+WHERE n.no_such_prop = 3
+RETURN n`)
+	if len(res.Rows) != 0 {
+		t.Fatalf("null comparison produced rows: %+v", res.Rows)
+	}
+	res = run(t, f.g, `
+MATCH (n:function{short_name:'foo'})
+WHERE NOT has(n.no_such_prop)
+RETURN n`)
+	if len(res.Rows) != 1 {
+		t.Fatalf("has() rows = %d", len(res.Rows))
+	}
+}
+
+func TestSkipLimitOrder(t *testing.T) {
+	f := buildFixture()
+	all := run(t, f.g, `MATCH (n:function) RETURN n.short_name AS s ORDER BY s`)
+	limited := run(t, f.g, `MATCH (n:function) RETURN n.short_name AS s ORDER BY s SKIP 1 LIMIT 2`)
+	if len(limited.Rows) != 2 {
+		t.Fatalf("limit rows = %d", len(limited.Rows))
+	}
+	if limited.Rows[0][0].Scalar.AsString() != all.Rows[1][0].Scalar.AsString() {
+		t.Fatalf("skip mismatch: %v vs %v", limited.Rows[0][0], all.Rows[1][0])
+	}
+	// Descending order reverses.
+	desc := run(t, f.g, `MATCH (n:function) RETURN n.short_name AS s ORDER BY s DESC LIMIT 1`)
+	if desc.Rows[0][0].Scalar.AsString() != all.Rows[len(all.Rows)-1][0].Scalar.AsString() {
+		t.Fatalf("desc top = %v", desc.Rows[0][0])
+	}
+}
+
+func TestFunctions(t *testing.T) {
+	f := buildFixture()
+	res := run(t, f.g, `
+START n=node:node_auto_index('short_name: pci_read_bases')
+MATCH n -[r:calls]-> m
+RETURN id(n), type(r), labels(m), length(collect(m)), coalesce(n.zzz, 'dflt')`)
+	row := res.Rows[0]
+	if row[0].Scalar.AsInt() != int64(f.names["pci"]) {
+		t.Fatalf("id() = %v", row[0])
+	}
+	if row[1].Scalar.AsString() != "calls" {
+		t.Fatalf("type() = %v", row[1])
+	}
+	if row[2].Kind != ValList || row[2].List[0].Scalar.AsString() != "function" {
+		t.Fatalf("labels() = %v", row[2])
+	}
+	if row[3].Scalar.AsInt() != 1 {
+		t.Fatalf("length(collect) = %v", row[3])
+	}
+	if row[4].Scalar.AsString() != "dflt" {
+		t.Fatalf("coalesce = %v", row[4])
+	}
+}
+
+func TestVarLengthBoundsExecution(t *testing.T) {
+	f := buildFixture()
+	// Exactly 2 hops from pci: ca->cb and ca->cc give {cb, cc}.
+	res := run(t, f.g, `
+START n=node:node_auto_index('short_name: pci_read_bases')
+MATCH n -[:calls*2]-> m
+RETURN distinct m`)
+	wantNodes(t, f, nodeCol(t, res, 0), "cb", "cc")
+
+	// 0.. includes the start node itself.
+	res = run(t, f.g, `
+START n=node:node_auto_index('short_name: pci_read_bases')
+MATCH n -[:calls*0..1]-> m
+RETURN distinct m`)
+	wantNodes(t, f, nodeCol(t, res, 0), "pci", "ca")
+}
+
+func TestUndirectedAndIncomingMatch(t *testing.T) {
+	f := buildFixture()
+	res := run(t, f.g, `
+START n=node:node_auto_index('short_name: closure_b')
+MATCH n <-[:calls]- m
+RETURN distinct m`)
+	wantNodes(t, f, nodeCol(t, res, 0), "ca", "cc")
+
+	res = run(t, f.g, `
+START n=node:node_auto_index('short_name: closure_c')
+MATCH n -[:calls]- m
+RETURN distinct m`)
+	wantNodes(t, f, nodeCol(t, res, 0), "ca", "cb")
+}
+
+func TestRelationshipUniquenessWithinMatch(t *testing.T) {
+	// A diamond a->b->c, a->c: path a-[*]->c enumerations must not reuse
+	// edges, so the count of paths is exactly 2.
+	g := graph.New()
+	a := g.AddNode(model.NodeFunction, graph.P(model.PropShortName, "a"))
+	b := g.AddNode(model.NodeFunction, graph.P(model.PropShortName, "b"))
+	c := g.AddNode(model.NodeFunction, graph.P(model.PropShortName, "c"))
+	g.AddEdge(a, b, model.EdgeCalls, nil)
+	g.AddEdge(b, c, model.EdgeCalls, nil)
+	g.AddEdge(a, c, model.EdgeCalls, nil)
+	res := run(t, g, `
+START n=node:node_auto_index('short_name: a')
+MATCH n -[:calls*]-> (m{short_name: 'c'})
+RETURN m`)
+	if len(res.Rows) != 2 {
+		t.Fatalf("paths = %d, want 2", len(res.Rows))
+	}
+}
+
+func TestContextDeadlineAbortsExplosion(t *testing.T) {
+	// A ladder graph with parallel rungs has exponentially many paths;
+	// the query must abort on deadline rather than hang — reproducing the
+	// paper's ">15 minutes, aborted" Figure 6 run in miniature.
+	g := graph.New()
+	const layers = 24
+	prev := g.AddNode(model.NodeFunction, graph.P(model.PropShortName, "entry"))
+	for i := 0; i < layers; i++ {
+		next := g.AddNode(model.NodeFunction, nil)
+		g.AddEdge(prev, next, model.EdgeCalls, nil)
+		g.AddEdge(prev, next, model.EdgeCalls, nil) // parallel edge: 2^layers paths
+		prev = next
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := Run(ctx, g, `
+START n=node:node_auto_index('short_name: entry')
+MATCH n -[:calls*]-> m
+RETURN distinct m`)
+	if err == nil {
+		t.Fatal("expected deadline error")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("abort took %v", elapsed)
+	}
+}
+
+func TestExecErrors(t *testing.T) {
+	f := buildFixture()
+	ctx := context.Background()
+	cases := []string{
+		`MATCH (n) RETURN unbound_var`,
+		`START n=node:wrong_index('a: b') RETURN n`,
+		`START n=node:node_auto_index('((') RETURN n`,
+		`MATCH (n) RETURN n LIMIT -1`,
+		`MATCH (n) RETURN count(n) MATCH (m) RETURN m`,
+		`MATCH (n:function) WHERE count(n) > 1 RETURN n`,
+		`MATCH (n)`,
+	}
+	for _, q := range cases {
+		if _, err := Run(ctx, f.g, q); err == nil {
+			t.Errorf("Run(%q) succeeded, want error", q)
+		}
+	}
+}
+
+func TestStartByID(t *testing.T) {
+	f := buildFixture()
+	res := run(t, f.g, `START n=node(0) RETURN n.short_name`)
+	if res.Rows[0][0].Scalar.AsString() != "wakeup.elf" {
+		t.Fatalf("node 0 = %v", res.Rows[0][0])
+	}
+	// Out-of-range IDs are skipped, not errors (Neo4j behaviour differs,
+	// but queries over stale IDs shouldn't crash the service).
+	res = run(t, f.g, `START n=node(999999) RETURN n`)
+	if len(res.Rows) != 0 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+}
+
+func TestWithChainingAndWhere(t *testing.T) {
+	f := buildFixture()
+	res := run(t, f.g, `
+MATCH (n:function) -[r:calls]-> m
+WITH n, count(m) AS fanout
+WHERE fanout >= 2
+RETURN n.short_name AS s ORDER BY s`)
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %+v", res.Rows)
+	}
+	if res.Rows[0][0].Scalar.AsString() != "closure_a" || res.Rows[1][0].Scalar.AsString() != "sr_media_change" {
+		t.Fatalf("rows = %v %v", res.Rows[0][0], res.Rows[1][0])
+	}
+}
+
+func TestDistinctNonDistinctCounts(t *testing.T) {
+	f := buildFixture()
+	// Without distinct, figure 6's closure reports one row per path.
+	all := run(t, f.g, `
+START n=node:node_auto_index('short_name: pci_read_bases')
+MATCH n -[:calls*]-> m
+RETURN m`)
+	distinct := run(t, f.g, figure6Query)
+	if len(all.Rows) <= len(distinct.Rows) {
+		t.Fatalf("path rows %d should exceed distinct rows %d", len(all.Rows), len(distinct.Rows))
+	}
+	// pci: paths = ca, ca-cb, ca-cc, ca-cc-cb = 4; distinct = 3.
+	if len(all.Rows) != 4 || len(distinct.Rows) != 3 {
+		t.Fatalf("paths=%d distinct=%d, want 4 and 3", len(all.Rows), len(distinct.Rows))
+	}
+}
+
+func TestXorAndInOperators(t *testing.T) {
+	f := buildFixture()
+	res := run(t, f.g, `
+MATCH (n:function)
+WITH collect(n.short_name) AS names
+RETURN 'write_cmd' IN names, 'nope' IN names, true XOR false, true XOR true`)
+	row := res.Rows[0]
+	if !row[0].Scalar.AsBool() || row[1].Scalar.AsBool() {
+		t.Fatalf("IN = %v %v", row[0], row[1])
+	}
+	if !row[2].Scalar.AsBool() || row[3].Scalar.AsBool() {
+		t.Fatalf("XOR = %v %v", row[2], row[3])
+	}
+}
+
+func TestRegexLikeOperator(t *testing.T) {
+	f := buildFixture()
+	res := run(t, f.g, `
+MATCH (n:function)
+WHERE n.short_name =~ 'sr_*'
+RETURN count(n)`)
+	if res.Rows[0][0].Scalar.AsInt() < 2 {
+		t.Fatalf("wildcard matches = %v", res.Rows[0][0])
+	}
+}
+
+func TestCountDistinct(t *testing.T) {
+	f := buildFixture()
+	// Two fields named id exist; count vs count distinct over names.
+	res := run(t, f.g, `
+MATCH (n:field{short_name: 'id'})
+RETURN count(n.short_name), count(distinct n.short_name)`)
+	row := res.Rows[0]
+	if row[0].Scalar.AsInt() != 2 || row[1].Scalar.AsInt() != 1 {
+		t.Fatalf("counts = %v %v", row[0], row[1])
+	}
+}
+
+func TestWithSkipLimitOrder(t *testing.T) {
+	f := buildFixture()
+	res := run(t, f.g, `
+MATCH (n:function)
+WITH n.short_name AS s ORDER BY s SKIP 2 LIMIT 3
+RETURN collect(s)`)
+	got := res.Rows[0][0]
+	if got.Kind != ValList || len(got.List) != 3 {
+		t.Fatalf("collected = %v", got)
+	}
+	all := run(t, f.g, `MATCH (n:function) RETURN n.short_name AS s ORDER BY s`)
+	if got.List[0].Scalar.AsString() != all.Rows[2][0].Scalar.AsString() {
+		t.Fatalf("WITH SKIP mismatch: %v vs %v", got.List[0], all.Rows[2][0])
+	}
+}
+
+func TestArithmeticInReturn(t *testing.T) {
+	f := buildFixture()
+	res := run(t, f.g, `
+MATCH (n:function) -[r:calls{use_start_line: 236}]-> m
+RETURN r.use_start_line + 10, r.use_start_line % 100, -r.use_start_line`)
+	row := res.Rows[0]
+	if row[0].Scalar.AsInt() != 246 || row[1].Scalar.AsInt() != 36 || row[2].Scalar.AsInt() != -236 {
+		t.Fatalf("arithmetic = %v %v %v", row[0], row[1], row[2])
+	}
+}
+
+func TestStringConcatAndCase(t *testing.T) {
+	f := buildFixture()
+	res := run(t, f.g, `
+MATCH (n:module)
+RETURN toUpper(n.short_name), 'mod:' + n.short_name LIMIT 1`)
+	row := res.Rows[0]
+	if row[0].Scalar.AsString() != "WAKEUP.ELF" || row[1].Scalar.AsString() != "mod:wakeup.elf" {
+		t.Fatalf("strings = %v %v", row[0], row[1])
+	}
+}
+
+func TestStartNodeEndNode(t *testing.T) {
+	f := buildFixture()
+	res := run(t, f.g, `
+MATCH (n{short_name:'pci_read_bases'}) -[r:calls]-> m
+RETURN startNode(r), endNode(r)`)
+	row := res.Rows[0]
+	if row[0].Node != f.names["pci"] || row[1].Node != f.names["ca"] {
+		t.Fatalf("start/end = %v %v", row[0], row[1])
+	}
+}

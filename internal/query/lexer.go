@@ -1,0 +1,171 @@
+package query
+
+import "fmt"
+
+// lex tokenises a query. '<-' and '->' are joined only when the two
+// characters are adjacent, so `a < -1` still lexes as a comparison.
+func lex(src string) ([]token, error) {
+	var toks []token
+	i := 0
+	n := len(src)
+	for i < n {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '/' && i+1 < n && src[i+1] == '/':
+			for i < n && src[i] != '\n' {
+				i++
+			}
+		case isIdentStart(c):
+			start := i
+			for i < n && isIdentPart(src[i]) {
+				i++
+			}
+			toks = append(toks, token{tokIdent, src[start:i], start})
+		case c == '`': // escaped identifier
+			start := i
+			i++
+			idStart := i
+			for i < n && src[i] != '`' {
+				i++
+			}
+			if i >= n {
+				return nil, &Error{src, start, "unterminated escaped identifier"}
+			}
+			toks = append(toks, token{tokIdent, src[idStart:i], start})
+			i++
+		case c >= '0' && c <= '9':
+			start := i
+			for i < n && src[i] >= '0' && src[i] <= '9' {
+				i++
+			}
+			kind := tokInt
+			if i+1 < n && src[i] == '.' && src[i+1] >= '0' && src[i+1] <= '9' {
+				kind = tokFloat
+				i++
+				for i < n && src[i] >= '0' && src[i] <= '9' {
+					i++
+				}
+			}
+			toks = append(toks, token{kind, src[start:i], start})
+		case c == '\'' || c == '"':
+			start := i
+			i++
+			var buf []byte
+			for i < n && src[i] != c {
+				if src[i] == '\\' && i+1 < n {
+					i++
+					switch src[i] {
+					case 'n':
+						buf = append(buf, '\n')
+					case 't':
+						buf = append(buf, '\t')
+					default:
+						buf = append(buf, src[i])
+					}
+					i++
+					continue
+				}
+				buf = append(buf, src[i])
+				i++
+			}
+			if i >= n {
+				return nil, &Error{src, start, "unterminated string literal"}
+			}
+			i++
+			toks = append(toks, token{tokString, string(buf), start})
+		default:
+			start := i
+			two := ""
+			if i+1 < n {
+				two = src[i : i+2]
+			}
+			switch two {
+			case "<-":
+				toks = append(toks, token{tokLArrow, two, start})
+				i += 2
+				continue
+			case "->":
+				toks = append(toks, token{tokRArrow, two, start})
+				i += 2
+				continue
+			case "<>", "!=":
+				toks = append(toks, token{tokNe, two, start})
+				i += 2
+				continue
+			case "<=":
+				toks = append(toks, token{tokLe, two, start})
+				i += 2
+				continue
+			case ">=":
+				toks = append(toks, token{tokGe, two, start})
+				i += 2
+				continue
+			case "=~":
+				toks = append(toks, token{tokMatch, two, start})
+				i += 2
+				continue
+			case "..":
+				toks = append(toks, token{tokDotDot, two, start})
+				i += 2
+				continue
+			}
+			var kind tokenKind
+			switch c {
+			case '(':
+				kind = tokLParen
+			case ')':
+				kind = tokRParen
+			case '[':
+				kind = tokLBracket
+			case ']':
+				kind = tokRBracket
+			case '{':
+				kind = tokLBrace
+			case '}':
+				kind = tokRBrace
+			case ',':
+				kind = tokComma
+			case ':':
+				kind = tokColon
+			case ';':
+				kind = tokSemicolon
+			case '.':
+				kind = tokDot
+			case '|':
+				kind = tokPipe
+			case '*':
+				kind = tokStar
+			case '+':
+				kind = tokPlus
+			case '-':
+				kind = tokDash
+			case '/':
+				kind = tokSlash
+			case '%':
+				kind = tokPct
+			case '=':
+				kind = tokEq
+			case '<':
+				kind = tokLt
+			case '>':
+				kind = tokGt
+			default:
+				return nil, &Error{src, i, fmt.Sprintf("unexpected character %q", c)}
+			}
+			toks = append(toks, token{kind, src[i : i+1], start})
+			i++
+		}
+	}
+	toks = append(toks, token{tokEOF, "", n})
+	return toks, nil
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || ('a' <= c && c <= 'z') || ('A' <= c && c <= 'Z')
+}
+
+func isIdentPart(c byte) bool {
+	return isIdentStart(c) || ('0' <= c && c <= '9')
+}

@@ -1,0 +1,879 @@
+package query
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"frappe/internal/graph"
+)
+
+// Parse parses a Cypher query into its AST.
+func Parse(src string) (*Query, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{src: src, toks: toks}
+	q, err := p.parseQuery()
+	if err != nil {
+		return nil, err
+	}
+	return q, nil
+}
+
+type parser struct {
+	src  string
+	toks []token
+	pos  int
+}
+
+func (p *parser) cur() token  { return p.toks[p.pos] }
+func (p *parser) peek() token { return p.toks[min(p.pos+1, len(p.toks)-1)] }
+func (p *parser) next() token {
+	t := p.toks[p.pos]
+	if p.pos < len(p.toks)-1 {
+		p.pos++
+	}
+	return t
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func (p *parser) errf(pos int, format string, args ...any) error {
+	return &Error{Query: p.src, Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+// kw reports whether the current token is the given keyword.
+func (p *parser) kw(word string) bool {
+	t := p.cur()
+	return t.kind == tokIdent && strings.EqualFold(t.text, word)
+}
+
+// acceptKw consumes the keyword if present.
+func (p *parser) acceptKw(word string) bool {
+	if p.kw(word) {
+		p.next()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(kind tokenKind) (token, error) {
+	t := p.cur()
+	if t.kind != kind {
+		return t, p.errf(t.pos, "expected %s, found %s", tokenNames[kind], t)
+	}
+	return p.next(), nil
+}
+
+func (p *parser) expectKw(word string) error {
+	if !p.acceptKw(word) {
+		return p.errf(p.cur().pos, "expected %s, found %s", strings.ToUpper(word), p.cur())
+	}
+	return nil
+}
+
+func (p *parser) parseQuery() (*Query, error) {
+	q := &Query{Source: p.src}
+	for {
+		t := p.cur()
+		if t.kind == tokEOF {
+			break
+		}
+		if t.kind == tokSemicolon {
+			p.next()
+			continue
+		}
+		if t.kind != tokIdent {
+			return nil, p.errf(t.pos, "expected a clause keyword, found %s", t)
+		}
+		var c Clause
+		var err error
+		switch strings.ToUpper(t.text) {
+		case "START":
+			c, err = p.parseStart()
+		case "MATCH":
+			c, err = p.parseMatch(false)
+		case "OPTIONAL":
+			p.next()
+			if !p.kw("MATCH") {
+				return nil, p.errf(p.cur().pos, "expected MATCH after OPTIONAL")
+			}
+			c, err = p.parseMatch(true)
+		case "WHERE":
+			p.next()
+			cond, werr := p.parseExpr()
+			if werr != nil {
+				return nil, werr
+			}
+			c = &WhereClause{Cond: cond}
+		case "WITH":
+			c, err = p.parseProjection(false)
+		case "RETURN":
+			c, err = p.parseProjection(true)
+		default:
+			return nil, p.errf(t.pos, "unknown clause %q", t.text)
+		}
+		if err != nil {
+			return nil, err
+		}
+		q.Clauses = append(q.Clauses, c)
+	}
+	if len(q.Clauses) == 0 {
+		return nil, p.errf(0, "empty query")
+	}
+	return q, nil
+}
+
+// parseStart parses START var=node:index('query')[, ...].
+func (p *parser) parseStart() (Clause, error) {
+	p.next() // START
+	var items []StartItem
+	for {
+		v, err := p.expect(tokIdent)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokEq); err != nil {
+			return nil, err
+		}
+		if err := p.expectKw("node"); err != nil {
+			return nil, err
+		}
+		item := StartItem{Var: v.text}
+		switch p.cur().kind {
+		case tokColon:
+			p.next()
+			name, err := p.expect(tokIdent)
+			if err != nil {
+				return nil, err
+			}
+			item.IndexName = name.text
+			if _, err := p.expect(tokLParen); err != nil {
+				return nil, err
+			}
+			qs, err := p.expect(tokString)
+			if err != nil {
+				return nil, err
+			}
+			item.IndexQuery = qs.text
+			if _, err := p.expect(tokRParen); err != nil {
+				return nil, err
+			}
+		case tokLParen:
+			p.next()
+			if p.cur().kind == tokStar {
+				p.next()
+				item.All = true
+			} else {
+				for {
+					id, err := p.expect(tokInt)
+					if err != nil {
+						return nil, err
+					}
+					n, _ := strconv.ParseInt(id.text, 10, 64)
+					item.IDs = append(item.IDs, graph.NodeID(n))
+					if p.cur().kind != tokComma {
+						break
+					}
+					p.next()
+				}
+			}
+			if _, err := p.expect(tokRParen); err != nil {
+				return nil, err
+			}
+		default:
+			return nil, p.errf(p.cur().pos, "expected ':' or '(' after node in START")
+		}
+		items = append(items, item)
+		if p.cur().kind != tokComma {
+			break
+		}
+		p.next()
+	}
+	return &StartClause{Items: items}, nil
+}
+
+func (p *parser) parseMatch(optional bool) (Clause, error) {
+	p.next() // MATCH
+	var pats []*Pattern
+	for {
+		pat, err := p.parseMatchPattern()
+		if err != nil {
+			return nil, err
+		}
+		pats = append(pats, pat)
+		if p.cur().kind != tokComma {
+			break
+		}
+		p.next()
+	}
+	return &MatchClause{Patterns: pats, Optional: optional}, nil
+}
+
+// parseMatchPattern parses one MATCH entry: an optional `p =` path
+// binding, an optional shortestPath(...) / allShortestPaths(...)
+// wrapper, then the pattern chain.
+func (p *parser) parseMatchPattern() (*Pattern, error) {
+	pathVar := ""
+	if p.cur().kind == tokIdent && p.peek().kind == tokEq && !clauseKeyword(p.cur().text) {
+		pathVar = p.next().text
+		p.next() // '='
+	}
+	shortest, allShortest := false, false
+	if p.kw("shortestPath") || p.kw("allShortestPaths") {
+		allShortest = strings.EqualFold(p.cur().text, "allShortestPaths")
+		shortest = true
+		p.next()
+		if _, err := p.expect(tokLParen); err != nil {
+			return nil, err
+		}
+		pat, err := p.parsePattern()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokRParen); err != nil {
+			return nil, err
+		}
+		pat.PathVar = pathVar
+		pat.Shortest = shortest
+		pat.AllShortest = allShortest
+		if len(pat.Rels) != 1 {
+			return nil, p.errf(p.cur().pos, "shortestPath takes a single relationship pattern")
+		}
+		return pat, nil
+	}
+	pat, err := p.parsePattern()
+	if err != nil {
+		return nil, err
+	}
+	pat.PathVar = pathVar
+	return pat, nil
+}
+
+// clauseKeyword reports whether an identifier token starts a new clause.
+func clauseKeyword(text string) bool {
+	switch strings.ToUpper(text) {
+	case "START", "MATCH", "OPTIONAL", "WHERE", "WITH", "RETURN", "ORDER", "SKIP", "LIMIT":
+		return true
+	}
+	return false
+}
+
+// parsePattern parses node (rel node)*.
+func (p *parser) parsePattern() (*Pattern, error) {
+	pat := &Pattern{}
+	n, err := p.parseNodePattern()
+	if err != nil {
+		return nil, err
+	}
+	pat.Nodes = append(pat.Nodes, n)
+	for {
+		k := p.cur().kind
+		if k != tokDash && k != tokLArrow {
+			break
+		}
+		rel, err := p.parseRelPattern()
+		if err != nil {
+			return nil, err
+		}
+		n, err := p.parseNodePattern()
+		if err != nil {
+			return nil, err
+		}
+		pat.Rels = append(pat.Rels, rel)
+		pat.Nodes = append(pat.Nodes, n)
+	}
+	return pat, nil
+}
+
+func (p *parser) parseNodePattern() (*NodePattern, error) {
+	t := p.cur()
+	if t.kind == tokIdent {
+		if clauseKeyword(t.text) {
+			return nil, p.errf(t.pos, "expected a node pattern, found %s", t)
+		}
+		p.next()
+		return &NodePattern{Var: t.text}, nil
+	}
+	if t.kind != tokLParen {
+		return nil, p.errf(t.pos, "expected a node pattern, found %s", t)
+	}
+	p.next()
+	np := &NodePattern{}
+	if p.cur().kind == tokIdent {
+		np.Var = p.next().text
+	}
+	for p.cur().kind == tokColon {
+		p.next()
+		lbl, err := p.expect(tokIdent)
+		if err != nil {
+			return nil, err
+		}
+		np.Labels = append(np.Labels, lbl.text)
+	}
+	if p.cur().kind == tokLBrace {
+		props, err := p.parsePropMap()
+		if err != nil {
+			return nil, err
+		}
+		np.Props = props
+	}
+	if _, err := p.expect(tokRParen); err != nil {
+		return nil, err
+	}
+	return np, nil
+}
+
+// parseRelPattern parses -[...]->, <-[...]-, -[...]-, -->, <--, --.
+func (p *parser) parseRelPattern() (*RelPattern, error) {
+	rel := &RelPattern{MinHops: 1}
+	start := p.cur()
+	switch start.kind {
+	case tokLArrow:
+		rel.ToLeft = true
+		p.next()
+		if p.cur().kind == tokLBracket {
+			if err := p.parseRelDetail(rel); err != nil {
+				return nil, err
+			}
+		}
+		if _, err := p.expect(tokDash); err != nil {
+			return nil, err
+		}
+	case tokDash:
+		p.next()
+		if p.cur().kind == tokLBracket {
+			if err := p.parseRelDetail(rel); err != nil {
+				return nil, err
+			}
+		}
+		switch p.cur().kind {
+		case tokRArrow:
+			rel.ToRight = true
+			p.next()
+		case tokDash:
+			p.next() // undirected --
+		default:
+			return nil, p.errf(p.cur().pos, "expected '->' or '-' to close relationship pattern, found %s", p.cur())
+		}
+	default:
+		return nil, p.errf(start.pos, "expected a relationship pattern, found %s", start)
+	}
+	return rel, nil
+}
+
+func (p *parser) parseRelDetail(rel *RelPattern) error {
+	p.next() // [
+	if p.cur().kind == tokIdent {
+		rel.Var = p.next().text
+	}
+	if p.cur().kind == tokColon {
+		p.next()
+		t, err := p.expect(tokIdent)
+		if err != nil {
+			return err
+		}
+		rel.Types = append(rel.Types, t.text)
+		for p.cur().kind == tokPipe {
+			p.next()
+			if p.cur().kind == tokColon { // |:type form
+				p.next()
+			}
+			t, err := p.expect(tokIdent)
+			if err != nil {
+				return err
+			}
+			rel.Types = append(rel.Types, t.text)
+		}
+	}
+	if p.cur().kind == tokStar {
+		p.next()
+		rel.VarLen = true
+		rel.MinHops = 1
+		rel.MaxHops = 0
+		if p.cur().kind == tokInt {
+			n, _ := strconv.Atoi(p.next().text)
+			rel.MinHops = n
+			rel.MaxHops = n // *N means exactly N unless '..' follows
+		}
+		if p.cur().kind == tokDotDot {
+			p.next()
+			rel.MaxHops = 0
+			if p.cur().kind == tokInt {
+				m, _ := strconv.Atoi(p.next().text)
+				rel.MaxHops = m
+			}
+		}
+	}
+	if p.cur().kind == tokLBrace {
+		props, err := p.parsePropMap()
+		if err != nil {
+			return err
+		}
+		rel.Props = props
+	}
+	_, err := p.expect(tokRBracket)
+	return err
+}
+
+func (p *parser) parsePropMap() ([]PropMatch, error) {
+	p.next() // {
+	var out []PropMatch
+	for {
+		if p.cur().kind == tokRBrace {
+			break
+		}
+		key, err := p.expect(tokIdent)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokColon); err != nil {
+			return nil, err
+		}
+		val, err := p.parseLiteralValue()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, PropMatch{Key: key.text, Val: val})
+		if p.cur().kind != tokComma {
+			break
+		}
+		p.next()
+	}
+	if _, err := p.expect(tokRBrace); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func (p *parser) parseLiteralValue() (graph.Value, error) {
+	t := p.cur()
+	switch {
+	case t.kind == tokString:
+		p.next()
+		return graph.Str(t.text), nil
+	case t.kind == tokInt:
+		p.next()
+		n, _ := strconv.ParseInt(t.text, 10, 64)
+		return graph.Int(n), nil
+	case t.kind == tokDash && p.peek().kind == tokInt:
+		p.next()
+		n, _ := strconv.ParseInt(p.next().text, 10, 64)
+		return graph.Int(-n), nil
+	case t.kind == tokIdent && strings.EqualFold(t.text, "true"):
+		p.next()
+		return graph.Bool(true), nil
+	case t.kind == tokIdent && strings.EqualFold(t.text, "false"):
+		p.next()
+		return graph.Bool(false), nil
+	}
+	return graph.Value{}, p.errf(t.pos, "expected a literal value, found %s", t)
+}
+
+// parseProjection parses WITH/RETURN bodies.
+func (p *parser) parseProjection(isReturn bool) (Clause, error) {
+	p.next() // WITH or RETURN
+	distinct := p.acceptKw("DISTINCT")
+	var items []ReturnItem
+	for {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		item := ReturnItem{Expr: e, Alias: e.Text()}
+		if p.acceptKw("AS") {
+			a, err := p.expect(tokIdent)
+			if err != nil {
+				return nil, err
+			}
+			item.Alias = a.text
+		}
+		items = append(items, item)
+		if p.cur().kind != tokComma {
+			break
+		}
+		p.next()
+	}
+	var order []OrderKey
+	if p.kw("ORDER") {
+		p.next()
+		if err := p.expectKw("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			k := OrderKey{Expr: e}
+			if p.acceptKw("DESC") || p.acceptKw("DESCENDING") {
+				k.Desc = true
+			} else if p.acceptKw("ASC") || p.acceptKw("ASCENDING") {
+				k.Desc = false
+			}
+			order = append(order, k)
+			if p.cur().kind != tokComma {
+				break
+			}
+			p.next()
+		}
+	}
+	var skip, limit Expr
+	if p.acceptKw("SKIP") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		skip = e
+	}
+	if p.acceptKw("LIMIT") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		limit = e
+	}
+	if isReturn {
+		return &ReturnClause{Distinct: distinct, Items: items, OrderBy: order, Skip: skip, Limit: limit}, nil
+	}
+	return &WithClause{Distinct: distinct, Items: items, OrderBy: order, Skip: skip, Limit: limit}, nil
+}
+
+// --- expressions ---
+
+func (p *parser) parseExpr() (Expr, error) { return p.parseOr() }
+
+func (p *parser) parseOr() (Expr, error) {
+	l, err := p.parseXor()
+	if err != nil {
+		return nil, err
+	}
+	for p.kw("OR") {
+		pos := p.next().pos
+		r, err := p.parseXor()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinaryExpr{Op: "OR", L: l, R: r, OpPos: pos}
+	}
+	return l, nil
+}
+
+func (p *parser) parseXor() (Expr, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.kw("XOR") {
+		pos := p.next().pos
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinaryExpr{Op: "XOR", L: l, R: r, OpPos: pos}
+	}
+	return l, nil
+}
+
+func (p *parser) parseAnd() (Expr, error) {
+	l, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	for p.kw("AND") {
+		pos := p.next().pos
+		r, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinaryExpr{Op: "AND", L: l, R: r, OpPos: pos}
+	}
+	return l, nil
+}
+
+func (p *parser) parseNot() (Expr, error) {
+	if p.kw("NOT") {
+		p.next()
+		x, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return &UnaryExpr{Op: "NOT", X: x}, nil
+	}
+	return p.parseComparison()
+}
+
+func (p *parser) parseComparison() (Expr, error) {
+	l, err := p.parseAdditive()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var op string
+		switch p.cur().kind {
+		case tokEq:
+			op = "="
+		case tokNe:
+			op = "<>"
+		case tokLt:
+			op = "<"
+		case tokLe:
+			op = "<="
+		case tokGt:
+			op = ">"
+		case tokGe:
+			op = ">="
+		case tokMatch:
+			op = "=~"
+		default:
+			if p.kw("IN") {
+				op = "IN"
+			} else {
+				return l, nil
+			}
+		}
+		pos := p.next().pos
+		r, err := p.parseAdditive()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinaryExpr{Op: op, L: l, R: r, OpPos: pos}
+	}
+}
+
+func (p *parser) parseAdditive() (Expr, error) {
+	l, err := p.parseMultiplicative()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var op string
+		switch p.cur().kind {
+		case tokPlus:
+			op = "+"
+		case tokDash:
+			// Disambiguate subtraction from a pattern continuation like
+			// `direct -[:calls*]-> writer`: a '[' right after the dash (or
+			// a dash/arrow forming -->) means pattern, not arithmetic.
+			if k := p.peek().kind; k == tokLBracket || k == tokRArrow || k == tokDash {
+				return l, nil
+			}
+			op = "-"
+		default:
+			return l, nil
+		}
+		pos := p.next().pos
+		r, err := p.parseMultiplicative()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinaryExpr{Op: op, L: l, R: r, OpPos: pos}
+	}
+}
+
+func (p *parser) parseMultiplicative() (Expr, error) {
+	l, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var op string
+		switch p.cur().kind {
+		case tokStar:
+			op = "*"
+		case tokSlash:
+			op = "/"
+		case tokPct:
+			op = "%"
+		default:
+			return l, nil
+		}
+		pos := p.next().pos
+		r, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinaryExpr{Op: op, L: l, R: r, OpPos: pos}
+	}
+}
+
+func (p *parser) parseUnary() (Expr, error) {
+	if p.cur().kind == tokDash {
+		p.next()
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &UnaryExpr{Op: "-", X: x}, nil
+	}
+	return p.parsePostfix()
+}
+
+func (p *parser) parsePostfix() (Expr, error) {
+	e, err := p.parsePrimary()
+	if err != nil {
+		return nil, err
+	}
+	for p.cur().kind == tokDot {
+		p.next()
+		key, err := p.expect(tokIdent)
+		if err != nil {
+			return nil, err
+		}
+		e = &PropExpr{Base: e, Key: key.text}
+	}
+	return e, nil
+}
+
+// patternAhead reports whether the tokens starting at the current
+// position look like a pattern rather than an expression. Called with the
+// cursor on an identifier or '('.
+func (p *parser) patternAhead() bool {
+	// Walk past the first node pattern without consuming.
+	i := p.pos
+	toks := p.toks
+	switch toks[i].kind {
+	case tokIdent:
+		i++
+	case tokLParen:
+		depth := 0
+		for i < len(toks) {
+			switch toks[i].kind {
+			case tokLParen:
+				depth++
+			case tokRParen:
+				depth--
+			case tokEOF:
+				return false
+			}
+			i++
+			if depth == 0 {
+				break
+			}
+		}
+	default:
+		return false
+	}
+	// A pattern continues with -[, <-, -->, --, or -> (already lexed
+	// composites: tokDash tokLBracket / tokLArrow / tokDash tokRArrow /
+	// tokDash tokDash).
+	switch toks[i].kind {
+	case tokLArrow:
+		return true
+	case tokDash:
+		if i+1 < len(toks) {
+			switch toks[i+1].kind {
+			case tokLBracket, tokRArrow, tokDash:
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func (p *parser) parsePrimary() (Expr, error) {
+	t := p.cur()
+	switch t.kind {
+	case tokInt:
+		p.next()
+		n, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return nil, p.errf(t.pos, "bad integer %q", t.text)
+		}
+		return &LiteralExpr{Val: graph.Int(n)}, nil
+	case tokFloat:
+		// Floats are stored as integers of their truncation; the graph
+		// model has no float properties (Table 2), so this only appears in
+		// arithmetic, where truncation matches C semantics.
+		p.next()
+		f, err := strconv.ParseFloat(t.text, 64)
+		if err != nil {
+			return nil, p.errf(t.pos, "bad float %q", t.text)
+		}
+		return &LiteralExpr{Val: graph.Int(int64(f))}, nil
+	case tokString:
+		p.next()
+		return &LiteralExpr{Val: graph.Str(t.text)}, nil
+	case tokLParen:
+		if p.patternAhead() {
+			pat, err := p.parsePattern()
+			if err != nil {
+				return nil, err
+			}
+			return &PatternExpr{Pattern: pat}, nil
+		}
+		p.next()
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokRParen); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case tokIdent:
+		switch strings.ToUpper(t.text) {
+		case "NULL":
+			p.next()
+			return &LiteralExpr{Null: true}, nil
+		case "TRUE":
+			p.next()
+			return &LiteralExpr{Val: graph.Bool(true)}, nil
+		case "FALSE":
+			p.next()
+			return &LiteralExpr{Val: graph.Bool(false)}, nil
+		}
+		if p.peek().kind == tokLParen && !p.patternAhead() {
+			return p.parseCall()
+		}
+		if p.patternAhead() {
+			pat, err := p.parsePattern()
+			if err != nil {
+				return nil, err
+			}
+			return &PatternExpr{Pattern: pat}, nil
+		}
+		p.next()
+		return &VarExpr{Name: t.text}, nil
+	}
+	return nil, p.errf(t.pos, "expected an expression, found %s", t)
+}
+
+func (p *parser) parseCall() (Expr, error) {
+	name := p.next() // ident
+	p.next()         // (
+	call := &CallExpr{Name: strings.ToLower(name.text)}
+	if p.cur().kind == tokStar {
+		p.next()
+		call.Star = true
+	} else if p.cur().kind != tokRParen {
+		call.Distinct = p.acceptKw("DISTINCT")
+		for {
+			a, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			call.Args = append(call.Args, a)
+			if p.cur().kind != tokComma {
+				break
+			}
+			p.next()
+		}
+	}
+	if _, err := p.expect(tokRParen); err != nil {
+		return nil, err
+	}
+	if (call.Name == "has" || call.Name == "exists") && len(call.Args) == 1 {
+		if pe, ok := call.Args[0].(*PropExpr); ok {
+			return &HasExpr{Base: pe.Base, Key: pe.Key}, nil
+		}
+	}
+	return call, nil
+}

@@ -1,0 +1,321 @@
+package query
+
+import (
+	"strings"
+	"testing"
+
+	"frappe/internal/graph"
+)
+
+func mustParse(t *testing.T, src string) *Query {
+	t.Helper()
+	q, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", src, err)
+	}
+	return q
+}
+
+func TestParseFigure3(t *testing.T) {
+	q := mustParse(t, `
+START m=node:node_auto_index('short_name: wakeup.elf')
+MATCH m -[:compiled_from|linked_from*]-> f
+WITH distinct f
+MATCH f -[:file_contains]-> (n:field{short_name: 'id'})
+RETURN n`)
+	if len(q.Clauses) != 5 {
+		t.Fatalf("clauses = %d", len(q.Clauses))
+	}
+	st := q.Clauses[0].(*StartClause)
+	if st.Items[0].Var != "m" || st.Items[0].IndexQuery != "short_name: wakeup.elf" {
+		t.Fatalf("start = %+v", st.Items[0])
+	}
+	m1 := q.Clauses[1].(*MatchClause)
+	rel := m1.Patterns[0].Rels[0]
+	if !rel.VarLen || rel.MinHops != 1 || rel.MaxHops != 0 || !rel.ToRight {
+		t.Fatalf("rel = %+v", rel)
+	}
+	if len(rel.Types) != 2 || rel.Types[0] != "compiled_from" || rel.Types[1] != "linked_from" {
+		t.Fatalf("types = %v", rel.Types)
+	}
+	w := q.Clauses[2].(*WithClause)
+	if !w.Distinct || len(w.Items) != 1 || w.Items[0].Alias != "f" {
+		t.Fatalf("with = %+v", w)
+	}
+	m2 := q.Clauses[3].(*MatchClause)
+	np := m2.Patterns[0].Nodes[1]
+	if np.Var != "n" || len(np.Labels) != 1 || np.Labels[0] != "field" {
+		t.Fatalf("node pattern = %+v", np)
+	}
+	if len(np.Props) != 1 || np.Props[0].Key != "short_name" || np.Props[0].Val.AsString() != "id" {
+		t.Fatalf("props = %+v", np.Props)
+	}
+}
+
+func TestParseFigure4PatternPredicate(t *testing.T) {
+	q := mustParse(t, `
+START n=node:node_auto_index('short_name: id')
+WHERE (n) <-[{NAME_FILE_ID: 3, NAME_START_LINE: 104, NAME_START_COL: 16}]- ()
+RETURN n`)
+	wc := q.Clauses[1].(*WhereClause)
+	pe, ok := wc.Cond.(*PatternExpr)
+	if !ok {
+		t.Fatalf("cond = %T", wc.Cond)
+	}
+	rel := pe.Pattern.Rels[0]
+	if !rel.ToLeft || rel.VarLen {
+		t.Fatalf("rel = %+v", rel)
+	}
+	if len(rel.Props) != 3 || rel.Props[1].Key != "NAME_START_LINE" || rel.Props[1].Val.AsInt() != 104 {
+		t.Fatalf("rel props = %+v", rel.Props)
+	}
+	if pe.Pattern.Nodes[0].Var != "n" || pe.Pattern.Nodes[1].Var != "" {
+		t.Fatalf("nodes = %+v %+v", pe.Pattern.Nodes[0], pe.Pattern.Nodes[1])
+	}
+}
+
+func TestParseFigure5(t *testing.T) {
+	q := mustParse(t, `
+START from=node:node_auto_index('short_name: sr_media_change'),
+      to=node:node_auto_index('short_name: get_sectorsize'),
+      b=node:node_auto_index('short_name: packet_command')
+MATCH writer -[write:writes_member]-> ({SHORT_NAME:'cmd'}) <-[:contains]- b
+WITH to, from, writer, write
+MATCH direct <-[s:calls]- from -[r:calls{use_start_line: 236}]-> to
+WHERE r.use_start_line >= s.use_start_line AND direct -[:calls*]-> writer
+RETURN distinct writer, write.use_start_line`)
+	if len(q.Clauses) != 6 {
+		t.Fatalf("clauses = %d", len(q.Clauses))
+	}
+	st := q.Clauses[0].(*StartClause)
+	if len(st.Items) != 3 || st.Items[2].Var != "b" {
+		t.Fatalf("start items = %+v", st.Items)
+	}
+	m1 := q.Clauses[1].(*MatchClause)
+	pat := m1.Patterns[0]
+	if len(pat.Nodes) != 3 || len(pat.Rels) != 2 {
+		t.Fatalf("pattern shape: %d nodes %d rels", len(pat.Nodes), len(pat.Rels))
+	}
+	if pat.Rels[0].Var != "write" || !pat.Rels[0].ToRight {
+		t.Fatalf("rel0 = %+v", pat.Rels[0])
+	}
+	if !pat.Rels[1].ToLeft || pat.Rels[1].Types[0] != "contains" {
+		t.Fatalf("rel1 = %+v", pat.Rels[1])
+	}
+	wc := q.Clauses[4].(*WhereClause)
+	and, ok := wc.Cond.(*BinaryExpr)
+	if !ok || and.Op != "AND" {
+		t.Fatalf("where = %#v", wc.Cond)
+	}
+	if _, ok := and.L.(*BinaryExpr); !ok {
+		t.Fatalf("where left = %T", and.L)
+	}
+	if _, ok := and.R.(*PatternExpr); !ok {
+		t.Fatalf("where right = %T", and.R)
+	}
+	ret := q.Clauses[5].(*ReturnClause)
+	if !ret.Distinct || len(ret.Items) != 2 {
+		t.Fatalf("return = %+v", ret)
+	}
+	if _, ok := ret.Items[1].Expr.(*PropExpr); !ok {
+		t.Fatalf("return item 1 = %T", ret.Items[1].Expr)
+	}
+}
+
+func TestParseFigure6(t *testing.T) {
+	q := mustParse(t, `
+START n=node:node_auto_index('short_name: pci_read_bases')
+MATCH n -[:calls*]-> m
+RETURN distinct m`)
+	mc := q.Clauses[1].(*MatchClause)
+	rel := mc.Patterns[0].Rels[0]
+	if !rel.VarLen || len(rel.Types) != 1 || rel.Types[0] != "calls" {
+		t.Fatalf("rel = %+v", rel)
+	}
+}
+
+func TestParseTable6Cypher2(t *testing.T) {
+	q := mustParse(t, `MATCH (n:container:symbol{name: "foo"}) RETURN n`)
+	np := q.Clauses[0].(*MatchClause).Patterns[0].Nodes[0]
+	if np.Var != "n" || len(np.Labels) != 2 || np.Labels[0] != "container" || np.Labels[1] != "symbol" {
+		t.Fatalf("node = %+v", np)
+	}
+}
+
+func TestParseVarLengthBounds(t *testing.T) {
+	cases := []struct {
+		src      string
+		min, max int
+	}{
+		{"MATCH a -[*]-> b RETURN a", 1, 0},
+		{"MATCH a -[*3]-> b RETURN a", 3, 3},
+		{"MATCH a -[*2..5]-> b RETURN a", 2, 5},
+		{"MATCH a -[*..4]-> b RETURN a", 1, 4},
+		{"MATCH a -[*2..]-> b RETURN a", 2, 0},
+		{"MATCH a -[:calls*0..]-> b RETURN a", 0, 0},
+	}
+	for _, c := range cases {
+		q := mustParse(t, c.src)
+		rel := q.Clauses[0].(*MatchClause).Patterns[0].Rels[0]
+		if !rel.VarLen || rel.MinHops != c.min || rel.MaxHops != c.max {
+			t.Errorf("%q: rel = %+v, want min=%d max=%d", c.src, rel, c.min, c.max)
+		}
+	}
+}
+
+func TestParseDirections(t *testing.T) {
+	q := mustParse(t, "MATCH a --> b, c <-- d, e -- f RETURN a")
+	pats := q.Clauses[0].(*MatchClause).Patterns
+	if !pats[0].Rels[0].ToRight || pats[0].Rels[0].ToLeft {
+		t.Fatalf("--> parsed as %+v", pats[0].Rels[0])
+	}
+	if !pats[1].Rels[0].ToLeft || pats[1].Rels[0].ToRight {
+		t.Fatalf("<-- parsed as %+v", pats[1].Rels[0])
+	}
+	if pats[2].Rels[0].ToLeft || pats[2].Rels[0].ToRight {
+		t.Fatalf("-- parsed as %+v", pats[2].Rels[0])
+	}
+}
+
+func TestParseOrderSkipLimit(t *testing.T) {
+	q := mustParse(t, `MATCH (n:function) RETURN n.short_name AS name ORDER BY name DESC, n.name SKIP 2 LIMIT 10`)
+	ret := q.Clauses[1].(*ReturnClause)
+	if len(ret.OrderBy) != 2 || !ret.OrderBy[0].Desc || ret.OrderBy[1].Desc {
+		t.Fatalf("order = %+v", ret.OrderBy)
+	}
+	if ret.Skip == nil || ret.Limit == nil {
+		t.Fatal("missing skip/limit")
+	}
+	if ret.Items[0].Alias != "name" {
+		t.Fatalf("alias = %q", ret.Items[0].Alias)
+	}
+}
+
+func TestParseAggregates(t *testing.T) {
+	q := mustParse(t, `MATCH (n:function) RETURN count(*), count(distinct n), n.short_name`)
+	ret := q.Clauses[1].(*ReturnClause)
+	c0 := ret.Items[0].Expr.(*CallExpr)
+	if !c0.Star || c0.Name != "count" {
+		t.Fatalf("count(*) = %+v", c0)
+	}
+	c1 := ret.Items[1].Expr.(*CallExpr)
+	if !c1.Distinct || len(c1.Args) != 1 {
+		t.Fatalf("count(distinct n) = %+v", c1)
+	}
+	if !isAggregate(ret.Items[0].Expr) || isAggregate(ret.Items[2].Expr) {
+		t.Fatal("isAggregate misclassifies")
+	}
+}
+
+func TestParseSubtractionVsPattern(t *testing.T) {
+	// `a.x - b.y` is arithmetic; `a -[:t]-> b` is a pattern.
+	q := mustParse(t, "MATCH a --> b WHERE a.x - b.y > 3 RETURN a")
+	wc := q.Clauses[1].(*WhereClause)
+	cmp := wc.Cond.(*BinaryExpr)
+	if cmp.Op != ">" {
+		t.Fatalf("op = %q", cmp.Op)
+	}
+	sub := cmp.L.(*BinaryExpr)
+	if sub.Op != "-" {
+		t.Fatalf("left = %+v", sub)
+	}
+
+	q = mustParse(t, "MATCH a --> b WHERE a -[:calls]-> b RETURN a")
+	if _, ok := q.Clauses[1].(*WhereClause).Cond.(*PatternExpr); !ok {
+		t.Fatalf("want PatternExpr, got %T", q.Clauses[1].(*WhereClause).Cond)
+	}
+}
+
+func TestParseStartByIDAndAll(t *testing.T) {
+	q := mustParse(t, "START n=node(3, 5) RETURN n")
+	item := q.Clauses[0].(*StartClause).Items[0]
+	if len(item.IDs) != 2 || item.IDs[0] != 3 || item.IDs[1] != 5 {
+		t.Fatalf("ids = %v", item.IDs)
+	}
+	q = mustParse(t, "START n=node(*) RETURN n")
+	if !q.Clauses[0].(*StartClause).Items[0].All {
+		t.Fatal("All not set")
+	}
+}
+
+func TestParseOptionalMatch(t *testing.T) {
+	q := mustParse(t, "MATCH (n:function) OPTIONAL MATCH n -[:calls]-> m RETURN n, m")
+	mc := q.Clauses[1].(*MatchClause)
+	if !mc.Optional {
+		t.Fatal("Optional not set")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"FOO bar",
+		"MATCH RETURN n",
+		"MATCH (n RETURN n",
+		"MATCH (n) -[:x]- RETURN n",
+		"START n=node:idx(unquoted) RETURN n",
+		"START n = RETURN n",
+		"MATCH (n) RETURN",
+		"RETURN n LIMIT",
+		"MATCH (n:{x: 1}) RETURN n",
+		"MATCH (n) WHERE n. RETURN n",
+		"MATCH (n) RETURN n MATCH (m) RETURN m RETURN x", // RETURN not final
+	}
+	for _, src := range cases {
+		if _, err := Parse(src); err == nil {
+			// The multi-RETURN case fails at execution, not parse.
+			if !strings.Contains(src, "MATCH (m)") {
+				t.Errorf("Parse(%q) succeeded, want error", src)
+			}
+		}
+	}
+}
+
+func TestLexerStrings(t *testing.T) {
+	toks, err := lex(`'a\'b' "c\nd" ident 12 3.5`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].text != "a'b" || toks[1].text != "c\nd" {
+		t.Fatalf("strings = %q %q", toks[0].text, toks[1].text)
+	}
+	if toks[2].kind != tokIdent || toks[3].kind != tokInt || toks[4].kind != tokFloat {
+		t.Fatalf("kinds = %v %v %v", toks[2].kind, toks[3].kind, toks[4].kind)
+	}
+}
+
+func TestLexerComments(t *testing.T) {
+	toks, err := lex("MATCH // a comment\n (n) RETURN n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(toks) != 7 { // MATCH ( n ) RETURN n EOF
+		t.Fatalf("%d tokens", len(toks))
+	}
+}
+
+func TestLexerArrowAdjacency(t *testing.T) {
+	toks, _ := lex("a < -1")
+	// ident, '<', '-', int, EOF — '<' and '-' must not join across space.
+	if toks[1].kind != tokLt || toks[2].kind != tokDash {
+		t.Fatalf("tokens = %v %v", toks[1], toks[2])
+	}
+	toks, _ = lex("a<-b")
+	if toks[1].kind != tokLArrow {
+		t.Fatalf("adjacent <- lexed as %v", toks[1])
+	}
+}
+
+func TestParseLiteralValues(t *testing.T) {
+	q := mustParse(t, `MATCH (n{a: 'x', b: 3, c: true, d: false, e: -7}) RETURN n`)
+	props := q.Clauses[0].(*MatchClause).Patterns[0].Nodes[0].Props
+	if len(props) != 5 {
+		t.Fatalf("props = %+v", props)
+	}
+	if props[4].Val.AsInt() != -7 {
+		t.Fatalf("negative literal = %v", props[4].Val)
+	}
+	if props[2].Val.Kind() != graph.KindBool || !props[2].Val.AsBool() {
+		t.Fatalf("bool literal = %#v", props[2].Val)
+	}
+}

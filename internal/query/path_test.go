@@ -1,0 +1,182 @@
+package query
+
+import (
+	"context"
+	"testing"
+
+	"frappe/internal/graph"
+	"frappe/internal/model"
+)
+
+// pathFixture: a -> b -> d, a -> c -> d, a -> d (reads), plus d -> e.
+func pathFixture() (*graph.Graph, map[string]graph.NodeID) {
+	g := graph.New()
+	ids := map[string]graph.NodeID{}
+	for _, n := range []string{"a", "b", "c", "d", "e"} {
+		ids[n] = g.AddNode(model.NodeFunction, graph.P(model.PropShortName, n))
+	}
+	g.AddEdge(ids["a"], ids["b"], model.EdgeCalls, nil)
+	g.AddEdge(ids["b"], ids["d"], model.EdgeCalls, nil)
+	g.AddEdge(ids["a"], ids["c"], model.EdgeCalls, nil)
+	g.AddEdge(ids["c"], ids["d"], model.EdgeCalls, nil)
+	g.AddEdge(ids["a"], ids["d"], model.EdgeReads, nil)
+	g.AddEdge(ids["d"], ids["e"], model.EdgeCalls, nil)
+	return g, ids
+}
+
+func TestShortestPathQuery(t *testing.T) {
+	g, ids := pathFixture()
+	res := run(t, g, `
+START a=node:node_auto_index('short_name: a'), e=node:node_auto_index('short_name: e')
+MATCH p = shortestPath(a -[:calls*]-> e)
+RETURN length(p), nodes(p), relationships(p)`)
+	if res.Count() != 1 {
+		t.Fatalf("rows = %d", res.Count())
+	}
+	row := res.Rows[0]
+	if row[0].Scalar.AsInt() != 3 {
+		t.Fatalf("length = %v", row[0])
+	}
+	ns := row[1].List
+	if len(ns) != 4 || ns[0].Node != ids["a"] || ns[3].Node != ids["e"] {
+		t.Fatalf("nodes = %v", ns)
+	}
+	if len(row[2].List) != 3 {
+		t.Fatalf("relationships = %v", row[2])
+	}
+}
+
+func TestShortestPathRespectsTypes(t *testing.T) {
+	g, _ := pathFixture()
+	// Any type: a -reads-> d is 1 hop; calls-only is 2.
+	res := run(t, g, `
+START a=node:node_auto_index('short_name: a'), d=node:node_auto_index('short_name: d')
+MATCH p = shortestPath(a -[*]-> d)
+RETURN length(p)`)
+	if res.Rows[0][0].Scalar.AsInt() != 1 {
+		t.Fatalf("untyped length = %v", res.Rows[0][0])
+	}
+	res = run(t, g, `
+START a=node:node_auto_index('short_name: a'), d=node:node_auto_index('short_name: d')
+MATCH p = shortestPath(a -[:calls*]-> d)
+RETURN length(p)`)
+	if res.Rows[0][0].Scalar.AsInt() != 2 {
+		t.Fatalf("calls length = %v", res.Rows[0][0])
+	}
+}
+
+func TestAllShortestPaths(t *testing.T) {
+	g, _ := pathFixture()
+	res := run(t, g, `
+START a=node:node_auto_index('short_name: a'), d=node:node_auto_index('short_name: d')
+MATCH p = allShortestPaths(a -[:calls*]-> d)
+RETURN p`)
+	// Two 2-hop paths: via b and via c.
+	if res.Count() != 2 {
+		t.Fatalf("paths = %d", res.Count())
+	}
+	if res.Rows[0][0].Equal(res.Rows[1][0]) {
+		t.Fatal("duplicate shortest paths")
+	}
+}
+
+func TestShortestPathNoRoute(t *testing.T) {
+	g, _ := pathFixture()
+	res := run(t, g, `
+START e=node:node_auto_index('short_name: e'), a=node:node_auto_index('short_name: a')
+MATCH p = shortestPath(e -[:calls*]-> a)
+RETURN p`)
+	if res.Count() != 0 {
+		t.Fatalf("rows = %d, want 0", res.Count())
+	}
+}
+
+func TestShortestPathLeftArrow(t *testing.T) {
+	g, ids := pathFixture()
+	// e <-[:calls*]- a means the path runs a -> ... -> e.
+	res := run(t, g, `
+START e=node:node_auto_index('short_name: e'), a=node:node_auto_index('short_name: a')
+MATCH p = shortestPath(e <-[:calls*]- a)
+RETURN length(p), nodes(p)`)
+	if res.Count() != 1 || res.Rows[0][0].Scalar.AsInt() != 3 {
+		t.Fatalf("rows = %+v", res.Rows)
+	}
+	ns := res.Rows[0][1].List
+	if ns[0].Node != ids["a"] {
+		t.Fatalf("path should start at a, got %v", ns[0])
+	}
+}
+
+func TestGeneralPathBinding(t *testing.T) {
+	g, ids := pathFixture()
+	res := run(t, g, `
+START a=node:node_auto_index('short_name: a')
+MATCH p = a -[:calls]-> b -[:calls]-> (c{short_name: 'd'})
+RETURN p, length(p) ORDER BY length(p)`)
+	if res.Count() != 2 {
+		t.Fatalf("paths = %d", res.Count())
+	}
+	for _, row := range res.Rows {
+		v := row[0]
+		if v.Kind != ValPath || v.Path.Start != ids["a"] || v.Path.End() != ids["d"] || v.Path.Len() != 2 {
+			t.Fatalf("path = %+v", v)
+		}
+	}
+}
+
+func TestPathBindingWithVarLength(t *testing.T) {
+	g, ids := pathFixture()
+	res := run(t, g, `
+START a=node:node_auto_index('short_name: a')
+MATCH p = a -[:calls*]-> (x{short_name: 'e'})
+RETURN p`)
+	// Two routes to e (via b and via c), each 3 hops.
+	if res.Count() != 2 {
+		t.Fatalf("paths = %d", res.Count())
+	}
+	for _, row := range res.Rows {
+		if row[0].Path.End() != ids["e"] || row[0].Path.Len() != 3 {
+			t.Fatalf("path = %+v", row[0].Path)
+		}
+	}
+}
+
+func TestShortestPathErrors(t *testing.T) {
+	g, _ := pathFixture()
+	for _, q := range []string{
+		// Unbound endpoint.
+		`MATCH p = shortestPath((a) -[:calls*]-> (b{short_name:'d'})) RETURN p`,
+		// Two relationships inside shortestPath.
+		`START a=node:node_auto_index('short_name: a'), d=node:node_auto_index('short_name: d')
+		 MATCH p = shortestPath(a -[:calls]-> x -[:calls]-> d) RETURN p`,
+	} {
+		if _, err := Run(ctxBackground(), g, q); err == nil {
+			t.Errorf("Run(%q) succeeded, want error", q)
+		}
+	}
+}
+
+func TestPathFormatting(t *testing.T) {
+	g, _ := pathFixture()
+	res := run(t, g, `
+START a=node:node_auto_index('short_name: a'), e=node:node_auto_index('short_name: e')
+MATCH p = shortestPath(a -[:calls*]-> e)
+RETURN p`)
+	out := res.Format(g)
+	if !contains(out, "-[:calls]->") {
+		t.Fatalf("formatted = %q", out)
+	}
+}
+
+func contains(s, sub string) bool {
+	return len(s) >= len(sub) && (func() bool {
+		for i := 0; i+len(sub) <= len(s); i++ {
+			if s[i:i+len(sub)] == sub {
+				return true
+			}
+		}
+		return false
+	})()
+}
+
+func ctxBackground() context.Context { return context.Background() }

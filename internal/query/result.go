@@ -1,0 +1,77 @@
+package query
+
+import (
+	"strings"
+
+	"frappe/internal/graph"
+)
+
+// Format renders the result as an aligned text table, resolving node and
+// edge references against src for display.
+func (r *Result) Format(src graph.Source) string {
+	if len(r.Columns) == 0 {
+		return "(no columns)\n"
+	}
+	widths := make([]int, len(r.Columns))
+	for i, c := range r.Columns {
+		widths[i] = len(c)
+	}
+	cells := make([][]string, len(r.Rows))
+	for i, row := range r.Rows {
+		cells[i] = make([]string, len(row))
+		for j, v := range row {
+			s := v.Format(src)
+			cells[i][j] = s
+			if len(s) > widths[j] {
+				widths[j] = len(s)
+			}
+		}
+	}
+	var sb strings.Builder
+	writeRow := func(items []string) {
+		sb.WriteString("| ")
+		for j, s := range items {
+			sb.WriteString(s)
+			sb.WriteString(strings.Repeat(" ", widths[j]-len(s)))
+			sb.WriteString(" | ")
+		}
+		sb.WriteByte('\n')
+	}
+	writeRow(r.Columns)
+	sb.WriteString("|")
+	for _, w := range widths {
+		sb.WriteString(strings.Repeat("-", w+2))
+		sb.WriteString("|")
+	}
+	sb.WriteByte('\n')
+	for _, row := range cells {
+		writeRow(row)
+	}
+	return sb.String()
+}
+
+// Count returns the number of result rows, the quantity the paper reports
+// as "Result Count" in Table 5.
+func (r *Result) Count() int { return len(r.Rows) }
+
+// Column returns the index of a named column, or -1.
+func (r *Result) Column(name string) int {
+	for i, c := range r.Columns {
+		if c == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// NodeIDs extracts the node IDs of one column; non-node values are
+// skipped.
+func (r *Result) NodeIDs(col int) []graph.NodeID {
+	var out []graph.NodeID
+	for _, row := range r.Rows {
+		if col >= 0 && col < len(row) && row[col].Kind == ValNode {
+			out = append(out, row[col].Node)
+		}
+	}
+	return out
+}

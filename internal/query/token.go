@@ -1,0 +1,94 @@
+// Package query implements the Cypher subset Frappé uses as its query
+// language: the 1.x START/index syntax and the 2.x label syntax shown in
+// the paper's Figures 3-6 and Table 6, with MATCH patterns (including
+// variable-length and multi-type relationships and pattern predicates in
+// WHERE), WITH pipelines, aggregation, DISTINCT, ORDER BY, SKIP and LIMIT.
+//
+// The executor evaluates queries over any graph.Source. It retains
+// Cypher's variable-length-match semantics — paths are enumerated with
+// relationship uniqueness — which is what makes an unbounded transitive
+// closure explode combinatorially (the paper's §6.1 finding); callers
+// bound that with a context deadline.
+package query
+
+import "fmt"
+
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokInt
+	tokFloat
+	tokString // quoted
+	tokLParen
+	tokRParen
+	tokLBracket
+	tokRBracket
+	tokLBrace
+	tokRBrace
+	tokComma
+	tokColon
+	tokSemicolon
+	tokDot
+	tokDotDot
+	tokPipe
+	tokStar
+	tokPlus
+	tokDash   // '-'
+	tokSlash  // '/'
+	tokPct    // '%'
+	tokLArrow // '<-'
+	tokRArrow // '->'
+	tokEq     // '='
+	tokNe     // '<>' or '!='
+	tokLt
+	tokLe
+	tokGt
+	tokGe
+	tokMatch // '=~'
+)
+
+var tokenNames = map[tokenKind]string{
+	tokEOF: "end of query", tokIdent: "identifier", tokInt: "integer",
+	tokFloat: "float", tokString: "string", tokLParen: "'('",
+	tokRParen: "')'", tokLBracket: "'['", tokRBracket: "']'",
+	tokLBrace: "'{'", tokRBrace: "'}'", tokComma: "','", tokColon: "':'",
+	tokSemicolon: "';'", tokDot: "'.'", tokDotDot: "'..'", tokPipe: "'|'",
+	tokStar: "'*'", tokPlus: "'+'", tokDash: "'-'", tokSlash: "'/'",
+	tokPct: "'%'", tokLArrow: "'<-'", tokRArrow: "'->'", tokEq: "'='",
+	tokNe: "'<>'", tokLt: "'<'", tokLe: "'<='", tokGt: "'>'", tokGe: "'>='", tokMatch: "'=~'",
+}
+
+type token struct {
+	kind tokenKind
+	text string // identifier / literal text
+	pos  int    // byte offset in the query
+}
+
+func (t token) String() string {
+	if t.kind == tokIdent || t.kind == tokString || t.kind == tokInt || t.kind == tokFloat {
+		return fmt.Sprintf("%s %q", tokenNames[t.kind], t.text)
+	}
+	return tokenNames[t.kind]
+}
+
+// Error is a query parse or execution error with position context.
+type Error struct {
+	Query string
+	Pos   int
+	Msg   string
+}
+
+func (e *Error) Error() string {
+	line, col := 1, 1
+	for i := 0; i < e.Pos && i < len(e.Query); i++ {
+		if e.Query[i] == '\n' {
+			line++
+			col = 1
+		} else {
+			col++
+		}
+	}
+	return fmt.Sprintf("cypher: %s (line %d, column %d)", e.Msg, line, col)
+}

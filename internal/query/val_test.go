@@ -1,0 +1,69 @@
+package query
+
+import (
+	"testing"
+	"testing/quick"
+
+	"frappe/internal/graph"
+	"frappe/internal/traversal"
+)
+
+// Property: compareVals is a consistent (antisymmetric, transitive-ish)
+// ordering over a mixed value population, suitable for sorting.
+func TestCompareValsOrderingProperties(t *testing.T) {
+	pool := []Val{
+		nullVal,
+		ScalarVal(graph.Int(-3)), ScalarVal(graph.Int(0)), ScalarVal(graph.Int(7)),
+		ScalarVal(graph.Str("a")), ScalarVal(graph.Str("b")),
+		ScalarVal(graph.Bool(true)),
+		NodeVal(1), NodeVal(5), EdgeVal(2),
+		ListVal([]Val{ScalarVal(graph.Int(1))}),
+		ListVal([]Val{ScalarVal(graph.Int(1)), ScalarVal(graph.Int(2))}),
+	}
+	cfg := &quick.Config{MaxCount: 500}
+	err := quick.Check(func(i, j, k uint8) bool {
+		a := pool[int(i)%len(pool)]
+		b := pool[int(j)%len(pool)]
+		c := pool[int(k)%len(pool)]
+		ab := compareVals(a, b)
+		ba := compareVals(b, a)
+		// Antisymmetry of sign.
+		if ab > 0 && ba > 0 || ab < 0 && ba < 0 {
+			return false
+		}
+		// Reflexivity.
+		if compareVals(a, a) != 0 {
+			return false
+		}
+		// No strict cycles a<b<c<a.
+		bc := compareVals(b, c)
+		ca := compareVals(c, a)
+		if ab < 0 && bc < 0 && ca < 0 {
+			return false
+		}
+		return true
+	}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Key() is injective across the distinct pool values (DISTINCT
+// correctness depends on it).
+func TestValKeyInjective(t *testing.T) {
+	pool := []Val{
+		nullVal,
+		ScalarVal(graph.Int(1)), ScalarVal(graph.Str("1")), ScalarVal(graph.Bool(true)),
+		NodeVal(1), EdgeVal(1),
+		ListVal([]Val{NodeVal(1)}), ListVal([]Val{EdgeVal(1)}),
+		PathVal(traversal.Path{Start: 1}), PathVal(traversal.Path{Start: 2}),
+	}
+	seen := map[string]int{}
+	for i, v := range pool {
+		k := v.Key()
+		if j, dup := seen[k]; dup {
+			t.Fatalf("values %d and %d share key %q", j, i, k)
+		}
+		seen[k] = i
+	}
+}

@@ -1,0 +1,315 @@
+// Package server exposes a Frappé engine over HTTP — the integration
+// surface the paper's interface component implies (IDE plugins and the
+// map UI talk to a queryable service). JSON endpoints cover every §4 use
+// case, plus the rendered code map and a minimal query console.
+//
+//	GET  /                    query console (HTML)
+//	POST /api/query           {"query": "..."} → result table
+//	GET  /api/stats           Table 3 metrics + top-degree hubs
+//	GET  /api/search          ?pattern=&type=&label=&module=&dir=&limit=
+//	GET  /api/def             ?name=&file=&line=&col=
+//	GET  /api/refs            ?name=&type=
+//	GET  /api/slice           ?fn=&forward=&depth=
+//	GET  /map.svg             ?highlight=<function>
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"frappe/internal/codemap"
+	"frappe/internal/core"
+	"frappe/internal/graph"
+	"frappe/internal/model"
+	"frappe/internal/traversal"
+)
+
+// Server wraps an engine with HTTP handlers.
+type Server struct {
+	eng *core.Engine
+	mux *http.ServeMux
+	// QueryTimeout bounds each Cypher query (default 30s).
+	QueryTimeout time.Duration
+}
+
+// New creates a server over an opened engine.
+func New(eng *core.Engine) *Server {
+	s := &Server{eng: eng, mux: http.NewServeMux(), QueryTimeout: 30 * time.Second}
+	s.mux.HandleFunc("GET /{$}", s.handleIndex)
+	s.mux.HandleFunc("POST /api/query", s.handleQuery)
+	s.mux.HandleFunc("GET /api/stats", s.handleStats)
+	s.mux.HandleFunc("GET /api/search", s.handleSearch)
+	s.mux.HandleFunc("GET /api/def", s.handleDef)
+	s.mux.HandleFunc("GET /api/refs", s.handleRefs)
+	s.mux.HandleFunc("GET /api/slice", s.handleSlice)
+	s.mux.HandleFunc("GET /map.svg", s.handleMap)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+// --- endpoints ---
+
+type queryRequest struct {
+	Query string `json:"query"`
+}
+
+type queryResponse struct {
+	Columns []string   `json:"columns"`
+	Rows    [][]string `json:"rows"`
+	Count   int        `json:"count"`
+	Millis  float64    `json:"millis"`
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	var req queryRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	if req.Query == "" {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("empty query"))
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), s.QueryTimeout)
+	defer cancel()
+	start := time.Now()
+	res, err := s.eng.Query(ctx, req.Query)
+	if err != nil {
+		status := http.StatusBadRequest
+		if ctx.Err() != nil {
+			status = http.StatusGatewayTimeout
+		}
+		writeErr(w, status, err)
+		return
+	}
+	resp := queryResponse{
+		Columns: res.Columns,
+		Count:   res.Count(),
+		Millis:  float64(time.Since(start).Microseconds()) / 1000,
+	}
+	src := s.eng.Source()
+	for _, row := range res.Rows {
+		cells := make([]string, len(row))
+		for i, v := range row {
+			cells[i] = v.Format(src)
+		}
+		resp.Rows = append(resp.Rows, cells)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+type statsResponse struct {
+	Nodes   int64   `json:"nodes"`
+	Edges   int64   `json:"edges"`
+	Density float64 `json:"density"`
+	Hubs    []hub   `json:"hubs"`
+}
+
+type hub struct {
+	Type   string `json:"type"`
+	Name   string `json:"name"`
+	Degree int    `json:"degree"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	m := s.eng.Stats()
+	resp := statsResponse{Nodes: m.Nodes, Edges: m.Edges, Density: m.Density}
+	for _, h := range graph.TopDegreeNodes(s.eng.Source(), 10) {
+		resp.Hubs = append(resp.Hubs, hub{Type: string(h.Type), Name: h.Name, Degree: h.Degree})
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+type symbolJSON struct {
+	ID        int64  `json:"id"`
+	Type      string `json:"type"`
+	ShortName string `json:"shortName"`
+	Name      string `json:"name,omitempty"`
+	LongName  string `json:"longName,omitempty"`
+	File      string `json:"file,omitempty"`
+	Line      int    `json:"line,omitempty"`
+	Col       int    `json:"col,omitempty"`
+}
+
+func toSymbolJSON(s core.Symbol) symbolJSON {
+	return symbolJSON{
+		ID: int64(s.ID), Type: string(s.Type), ShortName: s.ShortName,
+		Name: s.Name, LongName: s.LongName, File: s.File, Line: s.Line, Col: s.Col,
+	}
+}
+
+func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	opts := core.SearchOptions{
+		Pattern: q.Get("pattern"),
+		Label:   q.Get("label"),
+		Module:  q.Get("module"),
+		Dir:     q.Get("dir"),
+		Limit:   100,
+	}
+	if t := q.Get("type"); t != "" {
+		opts.Types = []model.NodeType{model.NodeType(t)}
+	}
+	if l := q.Get("limit"); l != "" {
+		n, err := strconv.Atoi(l)
+		if err != nil || n < 0 {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("bad limit %q", l))
+			return
+		}
+		opts.Limit = n
+	}
+	syms, err := s.eng.Search(r.Context(), opts)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	out := make([]symbolJSON, len(syms))
+	for i, sym := range syms {
+		out[i] = toSymbolJSON(sym)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"results": out, "count": len(out)})
+}
+
+func (s *Server) handleDef(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	line, err1 := strconv.Atoi(q.Get("line"))
+	col, err2 := strconv.Atoi(q.Get("col"))
+	if q.Get("name") == "" || q.Get("file") == "" || err1 != nil || err2 != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("need name, file, line, col"))
+		return
+	}
+	sym, ok, err := s.eng.GoToDefinition(r.Context(), q.Get("name"), q.Get("file"), line, col)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	if !ok {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("no definition at %s:%d:%d", q.Get("file"), line, col))
+		return
+	}
+	writeJSON(w, http.StatusOK, toSymbolJSON(sym))
+}
+
+func (s *Server) handleRefs(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	id, err := s.eng.MustLookupOne(q.Get("name"), model.NodeType(q.Get("type")))
+	if err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	refs, err := s.eng.FindReferences(r.Context(), id)
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	type refJSON struct {
+		Kind string `json:"kind"`
+		File string `json:"file"`
+		Line int    `json:"line"`
+		Col  int    `json:"col"`
+		From string `json:"from"`
+	}
+	out := make([]refJSON, len(refs))
+	for i, ref := range refs {
+		out[i] = refJSON{Kind: string(ref.Kind), File: ref.File, Line: ref.Line, Col: ref.Col, From: ref.From.ShortName}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"references": out, "count": len(out)})
+}
+
+func (s *Server) handleSlice(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	id, err := s.eng.MustLookupOne(q.Get("fn"), model.NodeFunction)
+	if err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	depth := 0
+	if d := q.Get("depth"); d != "" {
+		if depth, err = strconv.Atoi(d); err != nil {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("bad depth %q", d))
+			return
+		}
+	}
+	var syms []core.Symbol
+	if q.Get("forward") == "true" || q.Get("forward") == "1" {
+		syms = s.eng.ForwardSlice(id, depth)
+	} else {
+		syms = s.eng.BackwardSlice(id, depth)
+	}
+	out := make([]symbolJSON, len(syms))
+	for i, sym := range syms {
+		out[i] = toSymbolJSON(sym)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"functions": out, "count": len(out)})
+}
+
+func (s *Server) handleMap(w http.ResponseWriter, r *http.Request) {
+	m := codemap.Build(s.eng.Source())
+	opts := codemap.RenderOptions{Width: 1280, Height: 900, Title: "Frappé code map"}
+	if h := r.URL.Query().Get("highlight"); h != "" {
+		id, err := s.eng.MustLookupOne(h, model.NodeFunction)
+		if err != nil {
+			writeErr(w, http.StatusNotFound, err)
+			return
+		}
+		opts.Highlight = append(traversal.TransitiveClosure(s.eng.Source(), id, traversal.Options{
+			Direction: traversal.Out,
+			Types:     traversal.Types(model.EdgeCalls),
+		}), id)
+		opts.Title = "Backward slice of " + h
+	}
+	w.Header().Set("Content-Type", "image/svg+xml")
+	fmt.Fprint(w, m.SVG(opts))
+}
+
+const consoleHTML = `<!DOCTYPE html>
+<html><head><title>Frappé</title><style>
+body { font-family: sans-serif; margin: 2em; max-width: 72em; }
+textarea { width: 100%%; height: 8em; font-family: monospace; }
+table { border-collapse: collapse; margin-top: 1em; }
+td, th { border: 1px solid #999; padding: 4px 8px; font-family: monospace; }
+.meta { color: #666; margin-top: .5em; }
+</style></head><body>
+<h1>Frappé query console</h1>
+<p>%d nodes, %d edges. Try:
+<code>START n=node:node_auto_index('short_name: pci_read_bases') MATCH n -[:calls]-> m RETURN m.short_name</code></p>
+<textarea id="q">MATCH (n:module) RETURN n.short_name</textarea><br>
+<button onclick="run()">Run</button>
+<div class="meta" id="meta"></div>
+<div id="out"></div>
+<script>
+async function run() {
+  const r = await fetch('/api/query', {method: 'POST',
+    body: JSON.stringify({query: document.getElementById('q').value})});
+  const j = await r.json();
+  const out = document.getElementById('out');
+  if (j.error) { out.textContent = j.error; return; }
+  document.getElementById('meta').textContent = j.count + ' rows in ' + j.millis + ' ms';
+  let html = '<table><tr>' + j.columns.map(c => '<th>'+c+'</th>').join('') + '</tr>';
+  for (const row of j.rows || [])
+    html += '<tr>' + row.map(c => '<td>'+c.replace(/</g,'&lt;')+'</td>').join('') + '</tr>';
+  out.innerHTML = html + '</table>';
+}
+</script></body></html>`
+
+func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
+	m := s.eng.Stats()
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	fmt.Fprintf(w, consoleHTML, m.Nodes, m.Edges)
+}

@@ -1,0 +1,175 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"frappe/internal/core"
+	"frappe/internal/kernelgen"
+)
+
+func testServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	w := kernelgen.Generate(kernelgen.Tiny())
+	eng, errs, err := core.Index(w.Build, w.ExtractOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(errs) > 0 {
+		t.Fatalf("extract: %v", errs[0])
+	}
+	ts := httptest.NewServer(New(eng))
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func getJSON(t *testing.T, url string, wantStatus int) map[string]any {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != wantStatus {
+		t.Fatalf("GET %s: status %d, want %d", url, resp.StatusCode, wantStatus)
+	}
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	return out
+}
+
+func TestQueryEndpoint(t *testing.T) {
+	ts := testServer(t)
+	body := strings.NewReader(`{"query": "MATCH (n:module) RETURN n.short_name ORDER BY n.short_name"}`)
+	resp, err := http.Post(ts.URL+"/api/query", "application/json", body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	var out queryResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Count < 3 || len(out.Rows) != out.Count {
+		t.Fatalf("response = %+v", out)
+	}
+	found := false
+	for _, row := range out.Rows {
+		if strings.Contains(row[0], "wakeup.elf") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("wakeup.elf missing from %v", out.Rows)
+	}
+}
+
+func TestQueryEndpointErrors(t *testing.T) {
+	ts := testServer(t)
+	resp, _ := http.Post(ts.URL+"/api/query", "application/json", strings.NewReader(`{"query": "MATCH ((("}`))
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad query status = %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+	resp, _ = http.Post(ts.URL+"/api/query", "application/json", strings.NewReader(`not json`))
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad body status = %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+}
+
+func TestStatsEndpoint(t *testing.T) {
+	ts := testServer(t)
+	out := getJSON(t, ts.URL+"/api/stats", http.StatusOK)
+	if out["nodes"].(float64) < 100 || out["edges"].(float64) < 400 {
+		t.Fatalf("stats = %v", out)
+	}
+	hubs := out["hubs"].([]any)
+	if hubs[0].(map[string]any)["name"] != "int" {
+		t.Fatalf("top hub = %v", hubs[0])
+	}
+}
+
+func TestSearchEndpoint(t *testing.T) {
+	ts := testServer(t)
+	out := getJSON(t, ts.URL+"/api/search?pattern=id&type=field&module=wakeup.elf", http.StatusOK)
+	if out["count"].(float64) != 2 {
+		t.Fatalf("search = %v", out)
+	}
+	// Bad limit rejected.
+	getJSON(t, ts.URL+"/api/search?pattern=x&limit=nope", http.StatusBadRequest)
+}
+
+func TestDefEndpoint(t *testing.T) {
+	ts := testServer(t)
+	out := getJSON(t, ts.URL+"/api/def?name=get_sectorsize&file=drivers/scsi/sr.c&line=236&col=9", http.StatusOK)
+	if out["shortName"] != "get_sectorsize" || out["type"] != "function" {
+		t.Fatalf("def = %v", out)
+	}
+	getJSON(t, ts.URL+"/api/def?name=get_sectorsize&file=drivers/scsi/sr.c&line=1&col=1", http.StatusNotFound)
+	getJSON(t, ts.URL+"/api/def?name=x", http.StatusBadRequest)
+}
+
+func TestRefsEndpoint(t *testing.T) {
+	ts := testServer(t)
+	out := getJSON(t, ts.URL+"/api/refs?name=get_sectorsize&type=function", http.StatusOK)
+	if out["count"].(float64) != 1 {
+		t.Fatalf("refs = %v", out)
+	}
+	getJSON(t, ts.URL+"/api/refs?name=definitely_missing", http.StatusNotFound)
+}
+
+func TestSliceEndpoint(t *testing.T) {
+	ts := testServer(t)
+	out := getJSON(t, ts.URL+"/api/slice?fn=pci_read_bases", http.StatusOK)
+	if out["count"].(float64) < 36 {
+		t.Fatalf("slice = %v", out["count"])
+	}
+	fwd := getJSON(t, ts.URL+"/api/slice?fn=printk&forward=true", http.StatusOK)
+	if fwd["count"].(float64) < 10 {
+		t.Fatalf("forward slice = %v", fwd["count"])
+	}
+	getJSON(t, ts.URL+"/api/slice?fn=pci_read_bases&depth=zzz", http.StatusBadRequest)
+}
+
+func TestMapEndpoint(t *testing.T) {
+	ts := testServer(t)
+	resp, err := http.Get(ts.URL + "/map.svg?highlight=pci_read_bases")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || resp.Header.Get("Content-Type") != "image/svg+xml" {
+		t.Fatalf("status %d, type %s", resp.StatusCode, resp.Header.Get("Content-Type"))
+	}
+	buf := make([]byte, 64)
+	n, _ := resp.Body.Read(buf)
+	if !strings.HasPrefix(string(buf[:n]), "<svg") {
+		t.Fatalf("body = %q", buf[:n])
+	}
+}
+
+func TestConsolePage(t *testing.T) {
+	ts := testServer(t)
+	resp, err := http.Get(ts.URL + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	buf := make([]byte, 4096)
+	n, _ := resp.Body.Read(buf)
+	if !strings.Contains(string(buf[:n]), "Frappé query console") {
+		t.Fatal("console HTML missing")
+	}
+}

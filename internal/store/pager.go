@@ -1,0 +1,172 @@
+package store
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"sync"
+)
+
+// DefaultPageSize is the page cache's page size. 8 KiB matches Neo4j's
+// page cache unit.
+const DefaultPageSize = 8192
+
+// DefaultCachePages bounds the per-file page cache; generous enough to
+// hold a warm working set for the benchmark-scale graph while still small
+// enough that DropCaches has meaning.
+const DefaultCachePages = 8192
+
+// CacheStats counts page cache traffic.
+type CacheStats struct {
+	Hits      int64
+	Misses    int64
+	Evictions int64
+}
+
+// pager serves random reads over one store file through an LRU page
+// cache. All store reads funnel through pagers, so dropping them models a
+// cold start.
+type pager struct {
+	mu       sync.Mutex
+	f        *os.File
+	size     int64
+	pageSize int
+	maxPages int
+	pages    map[int64]*pageEntry
+	lruHead  *pageEntry // most recent
+	lruTail  *pageEntry // least recent
+	stats    CacheStats
+}
+
+type pageEntry struct {
+	no         int64
+	buf        []byte
+	prev, next *pageEntry
+}
+
+func openPager(path string, pageSize, maxPages int) (*pager, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &pager{
+		f:        f,
+		size:     st.Size(),
+		pageSize: pageSize,
+		maxPages: maxPages,
+		pages:    make(map[int64]*pageEntry),
+	}, nil
+}
+
+func (p *pager) Close() error { return p.f.Close() }
+
+// Len returns the file size in bytes.
+func (p *pager) Len() int64 { return p.size }
+
+// ReadAt fills buf from the file at off, going through the page cache.
+// Reads past EOF return an error.
+func (p *pager) ReadAt(buf []byte, off int64) error {
+	if off < 0 || off+int64(len(buf)) > p.size {
+		return fmt.Errorf("store: read [%d,%d) out of bounds (file size %d)", off, off+int64(len(buf)), p.size)
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for n := 0; n < len(buf); {
+		pageNo := (off + int64(n)) / int64(p.pageSize)
+		pg, err := p.pageLocked(pageNo)
+		if err != nil {
+			return err
+		}
+		inPage := int((off + int64(n)) % int64(p.pageSize))
+		c := copy(buf[n:], pg.buf[inPage:])
+		n += c
+	}
+	return nil
+}
+
+func (p *pager) pageLocked(no int64) (*pageEntry, error) {
+	if pg, ok := p.pages[no]; ok {
+		p.stats.Hits++
+		p.touchLocked(pg)
+		return pg, nil
+	}
+	p.stats.Misses++
+	buf := make([]byte, p.pageSize)
+	n, err := p.f.ReadAt(buf, no*int64(p.pageSize))
+	if err != nil && err != io.EOF {
+		return nil, err
+	}
+	buf = buf[:p.pageSize]
+	_ = n
+	pg := &pageEntry{no: no, buf: buf}
+	p.pages[no] = pg
+	p.pushFrontLocked(pg)
+	if len(p.pages) > p.maxPages {
+		p.evictLocked()
+	}
+	return pg, nil
+}
+
+func (p *pager) touchLocked(pg *pageEntry) {
+	if p.lruHead == pg {
+		return
+	}
+	p.unlinkLocked(pg)
+	p.pushFrontLocked(pg)
+}
+
+func (p *pager) pushFrontLocked(pg *pageEntry) {
+	pg.prev = nil
+	pg.next = p.lruHead
+	if p.lruHead != nil {
+		p.lruHead.prev = pg
+	}
+	p.lruHead = pg
+	if p.lruTail == nil {
+		p.lruTail = pg
+	}
+}
+
+func (p *pager) unlinkLocked(pg *pageEntry) {
+	if pg.prev != nil {
+		pg.prev.next = pg.next
+	} else {
+		p.lruHead = pg.next
+	}
+	if pg.next != nil {
+		pg.next.prev = pg.prev
+	} else {
+		p.lruTail = pg.prev
+	}
+	pg.prev, pg.next = nil, nil
+}
+
+func (p *pager) evictLocked() {
+	victim := p.lruTail
+	if victim == nil {
+		return
+	}
+	p.unlinkLocked(victim)
+	delete(p.pages, victim.no)
+	p.stats.Evictions++
+}
+
+// Drop empties the cache (a "cold" start).
+func (p *pager) Drop() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.pages = make(map[int64]*pageEntry)
+	p.lruHead, p.lruTail = nil, nil
+}
+
+// Stats returns a snapshot of the cache counters.
+func (p *pager) Stats() CacheStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stats
+}

@@ -1,0 +1,62 @@
+package store
+
+import (
+	"os"
+	"path/filepath"
+)
+
+// SizeBreakdown reports the on-disk footprint of a store directory in the
+// categories of Table 4 of the paper: Properties (property records +
+// string store + token tables), Nodes, Relationships, Indexes, Total.
+// All values are bytes.
+type SizeBreakdown struct {
+	Properties    int64
+	Nodes         int64
+	Relationships int64
+	Indexes       int64
+	Total         int64
+}
+
+// MB converts bytes to mebibytes for paper-style reporting.
+func MB(bytes int64) float64 { return float64(bytes) / (1 << 20) }
+
+// Sizes stats the store files in dir and returns the Table 4 breakdown.
+func Sizes(dir string) (SizeBreakdown, error) {
+	var b SizeBreakdown
+	sz := func(name string) (int64, error) {
+		st, err := os.Stat(filepath.Join(dir, name))
+		if err != nil {
+			return 0, err
+		}
+		return st.Size(), nil
+	}
+	var err error
+	var n int64
+	if n, err = sz(PropFile); err != nil {
+		return b, err
+	}
+	b.Properties += n
+	if n, err = sz(StringFile); err != nil {
+		return b, err
+	}
+	b.Properties += n
+	if n, err = sz(KeyFile); err != nil {
+		return b, err
+	}
+	b.Properties += n
+	if b.Nodes, err = sz(NodeFile); err != nil {
+		return b, err
+	}
+	if b.Relationships, err = sz(RelFile); err != nil {
+		return b, err
+	}
+	if b.Indexes, err = sz(IndexFile); err != nil {
+		return b, err
+	}
+	meta, err := sz(MetaFile)
+	if err != nil {
+		return b, err
+	}
+	b.Total = b.Properties + b.Nodes + b.Relationships + b.Indexes + meta
+	return b, nil
+}

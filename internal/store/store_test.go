@@ -1,0 +1,344 @@
+package store
+
+import (
+	"math/rand"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"testing"
+
+	"frappe/internal/graph"
+	"frappe/internal/model"
+)
+
+// buildSampleGraph constructs a small graph exercising every value kind,
+// multiple edge types, parallel edges and shared strings.
+func buildSampleGraph() *graph.Graph {
+	g := graph.New()
+	file := g.AddNode(model.NodeFile, graph.P(
+		model.PropShortName, "foo.c",
+		model.PropName, "src/foo.c",
+	))
+	foo := g.AddNode(model.NodeFunction, graph.P(
+		model.PropShortName, "foo",
+		model.PropName, "foo",
+		model.PropLongName, "foo(int)",
+		model.PropVariadic, true,
+	))
+	bar := g.AddNode(model.NodeFunction, graph.P(
+		model.PropShortName, "bar",
+		model.PropName, "bar",
+	))
+	glob := g.AddNode(model.NodeGlobal, graph.P(
+		model.PropShortName, "counter",
+		model.PropValue, 42,
+	))
+	g.AddEdge(file, foo, model.EdgeFileContains, nil)
+	g.AddEdge(file, bar, model.EdgeFileContains, nil)
+	g.AddEdge(file, glob, model.EdgeFileContains, nil)
+	g.AddEdge(foo, bar, model.EdgeCalls, graph.P(
+		model.PropUseFileID, 1,
+		model.PropUseStartLine, 10,
+		model.PropUseStartCol, 4,
+	))
+	g.AddEdge(foo, bar, model.EdgeCalls, graph.P(model.PropUseStartLine, 20))
+	g.AddEdge(bar, glob, model.EdgeWrites, graph.P(model.PropUseStartLine, 30))
+	g.AddEdge(foo, glob, model.EdgeReads, nil)
+	return g
+}
+
+func writeAndOpen(t *testing.T, g *graph.Graph) *DB {
+	t.Helper()
+	dir := filepath.Join(t.TempDir(), "db")
+	if err := Write(dir, g); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	db, err := Open(dir)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	t.Cleanup(func() { db.Close() })
+	return db
+}
+
+// assertSourcesEqual compares every observable of two graph.Sources.
+func assertSourcesEqual(t *testing.T, want, got graph.Source) {
+	t.Helper()
+	if want.NodeCount() != got.NodeCount() || want.EdgeCount() != got.EdgeCount() {
+		t.Fatalf("counts: want (%d,%d), got (%d,%d)",
+			want.NodeCount(), want.EdgeCount(), got.NodeCount(), got.EdgeCount())
+	}
+	for id := graph.NodeID(0); id < graph.NodeID(want.NodeCount()); id++ {
+		if want.NodeType(id) != got.NodeType(id) {
+			t.Fatalf("node %d type: want %s, got %s", id, want.NodeType(id), got.NodeType(id))
+		}
+		wp := want.NodeProps(id).Sorted()
+		gp := got.NodeProps(id).Sorted()
+		if !propsEqual(wp, gp) {
+			t.Fatalf("node %d props: want %v, got %v", id, wp, gp)
+		}
+		if !reflect.DeepEqual(asInts(want.Out(id)), asInts(got.Out(id))) {
+			t.Fatalf("node %d out: want %v, got %v", id, want.Out(id), got.Out(id))
+		}
+		if !reflect.DeepEqual(asInts(want.In(id)), asInts(got.In(id))) {
+			t.Fatalf("node %d in: want %v, got %v", id, want.In(id), got.In(id))
+		}
+	}
+	for id := graph.EdgeID(0); id < graph.EdgeID(want.EdgeCount()); id++ {
+		wf, wt, wy := want.EdgeEnds(id)
+		gf, gt, gy := got.EdgeEnds(id)
+		if wf != gf || wt != gt || wy != gy {
+			t.Fatalf("edge %d: want (%d,%d,%s), got (%d,%d,%s)", id, wf, wt, wy, gf, gt, gy)
+		}
+		if !propsEqual(want.EdgeProps(id).Sorted(), got.EdgeProps(id).Sorted()) {
+			t.Fatalf("edge %d props: want %v, got %v", id, want.EdgeProps(id), got.EdgeProps(id))
+		}
+	}
+}
+
+func propsEqual(a, b graph.Props) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		// Key comparison is case-insensitive: the store canonicalises keys
+		// to upper case.
+		av, bv := a[i], b[i]
+		if !av.Val.Equal(bv.Val) {
+			return false
+		}
+		if got, want := av.Key, bv.Key; got != want {
+			la, lb := len(got), len(want)
+			if la != lb {
+				return false
+			}
+			for j := 0; j < la; j++ {
+				ca, cb := got[j]|0x20, want[j]|0x20
+				if ca != cb {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+func asInts(ids []graph.EdgeID) []int64 {
+	out := make([]int64, len(ids))
+	for i, id := range ids {
+		out[i] = int64(id)
+	}
+	return out
+}
+
+func TestRoundTripSmall(t *testing.T) {
+	g := buildSampleGraph()
+	db := writeAndOpen(t, g)
+	assertSourcesEqual(t, g, db)
+}
+
+func TestRoundTripRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	g := graph.New()
+	types := []model.NodeType{model.NodeFunction, model.NodeGlobal, model.NodeStruct, model.NodeField, model.NodeFile}
+	etypes := []model.EdgeType{model.EdgeCalls, model.EdgeReads, model.EdgeWrites, model.EdgeContains, model.EdgeIsaType}
+	const n = 300
+	for i := 0; i < n; i++ {
+		var ps graph.Props
+		if rng.Intn(4) > 0 {
+			ps = graph.P(model.PropShortName, names[rng.Intn(len(names))])
+		}
+		if rng.Intn(3) == 0 {
+			ps = append(ps, graph.Prop{Key: model.PropValue, Val: graph.Int(rng.Int63n(1000))})
+		}
+		g.AddNode(types[rng.Intn(len(types))], ps)
+	}
+	for i := 0; i < 5*n; i++ {
+		var ps graph.Props
+		if rng.Intn(2) == 0 {
+			ps = graph.P(model.PropUseStartLine, rng.Intn(5000), model.PropUseFileID, rng.Intn(40))
+		}
+		g.AddEdge(graph.NodeID(rng.Intn(n)), graph.NodeID(rng.Intn(n)), etypes[rng.Intn(len(etypes))], ps)
+	}
+	db := writeAndOpen(t, g)
+	assertSourcesEqual(t, g, db)
+}
+
+var names = []string{"alpha", "beta", "gamma", "delta", "epsilon", "zeta", "eta", "theta"}
+
+func TestLookupMatchesMemoryIndex(t *testing.T) {
+	g := buildSampleGraph()
+	db := writeAndOpen(t, g)
+	queries := []string{
+		"short_name: foo",
+		"short_name: f*",
+		"short_name: foo OR short_name: bar",
+		"TYPE: function AND NOT short_name: bar",
+		"name: src/foo.c",
+		"short_name: nothing_matches",
+		"(TYPE: function TYPE: global) AND short_name: c*",
+	}
+	for _, q := range queries {
+		want, err := g.Lookup(q)
+		if err != nil {
+			t.Fatalf("mem %q: %v", q, err)
+		}
+		got, err := db.Lookup(q)
+		if err != nil {
+			t.Fatalf("disk %q: %v", q, err)
+		}
+		if !reflect.DeepEqual(nodeInts(want), nodeInts(got)) {
+			t.Fatalf("Lookup(%q): mem %v, disk %v", q, want, got)
+		}
+	}
+}
+
+func nodeInts(ids []graph.NodeID) []int64 {
+	out := make([]int64, len(ids))
+	for i, id := range ids {
+		out[i] = int64(id)
+	}
+	return out
+}
+
+func TestLookupParseError(t *testing.T) {
+	db := writeAndOpen(t, buildSampleGraph())
+	if _, err := db.Lookup("((broken"); err == nil {
+		t.Fatal("want parse error")
+	}
+}
+
+func TestDropCachesColdWarm(t *testing.T) {
+	g := buildSampleGraph()
+	db := writeAndOpen(t, g)
+	// Warm up.
+	for id := graph.NodeID(0); id < graph.NodeID(g.NodeCount()); id++ {
+		db.NodeProps(id)
+		db.Out(id)
+	}
+	before := db.Stats()["nodes"]
+	// Warm reads should be pure hits.
+	db.NodeProps(0)
+	after := db.Stats()["nodes"]
+	if after.Misses != before.Misses {
+		t.Fatalf("warm read caused misses: %+v -> %+v", before, after)
+	}
+	db.DropCaches()
+	db.NodeProps(0)
+	cold := db.Stats()["nodes"]
+	if cold.Misses == after.Misses {
+		t.Fatal("cold read after DropCaches did not miss")
+	}
+	// Results identical either way.
+	assertSourcesEqual(t, g, db)
+}
+
+func TestCacheEviction(t *testing.T) {
+	g := graph.New()
+	for i := 0; i < 10000; i++ {
+		g.AddNode(model.NodeFunction, graph.P(model.PropShortName, "f"))
+	}
+	dir := filepath.Join(t.TempDir(), "db")
+	if err := Write(dir, g); err != nil {
+		t.Fatal(err)
+	}
+	// Tiny cache: 2 pages of 256 bytes over 10000*32B of node records.
+	db, err := OpenOptions(dir, Options{PageSize: 256, CachePages: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	for id := graph.NodeID(0); id < 10000; id++ {
+		if db.NodeType(id) != model.NodeFunction {
+			t.Fatalf("node %d wrong type", id)
+		}
+	}
+	st := db.Stats()["nodes"]
+	if st.Evictions == 0 {
+		t.Fatalf("expected evictions with tiny cache, got %+v", st)
+	}
+}
+
+func TestSizes(t *testing.T) {
+	g := buildSampleGraph()
+	dir := filepath.Join(t.TempDir(), "db")
+	if err := Write(dir, g); err != nil {
+		t.Fatal(err)
+	}
+	b, err := Sizes(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Nodes != g.NodeCount()*nodeRecordSize {
+		t.Fatalf("node store size = %d, want %d", b.Nodes, g.NodeCount()*nodeRecordSize)
+	}
+	if b.Relationships != g.EdgeCount()*relRecordSize {
+		t.Fatalf("rel store size = %d, want %d", b.Relationships, g.EdgeCount()*relRecordSize)
+	}
+	if b.Indexes == 0 || b.Properties == 0 {
+		t.Fatalf("breakdown has zero category: %+v", b)
+	}
+	if b.Total <= b.Nodes+b.Relationships {
+		t.Fatalf("total %d not cumulative: %+v", b.Total, b)
+	}
+	if MB(1<<20) != 1.0 {
+		t.Fatal("MB conversion wrong")
+	}
+}
+
+func TestStringDeduplication(t *testing.T) {
+	g := graph.New()
+	for i := 0; i < 1000; i++ {
+		g.AddNode(model.NodeFunction, graph.P(model.PropShortName, "same_name_every_time"))
+	}
+	dir := filepath.Join(t.TempDir(), "db")
+	if err := Write(dir, g); err != nil {
+		t.Fatal(err)
+	}
+	b, err := Sizes(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1000 copies of a 20-byte string must not appear 1000 times.
+	maxProps := int64(1000*propRecordSize) + 1024
+	if b.Properties > maxProps {
+		t.Fatalf("string store not deduplicated: properties = %d bytes", b.Properties)
+	}
+}
+
+func TestOpenErrors(t *testing.T) {
+	if _, err := Open(t.TempDir()); err == nil {
+		t.Fatal("Open on empty dir should fail")
+	}
+}
+
+// TestConcurrentReads hammers one DB from many goroutines; run with
+// -race to validate the page cache locking.
+func TestConcurrentReads(t *testing.T) {
+	g := buildSampleGraph()
+	db := writeAndOpen(t, g)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < 500; i++ {
+				id := graph.NodeID(rng.Intn(int(db.NodeCount())))
+				db.NodeProps(id)
+				db.Out(id)
+				db.In(id)
+				if i%50 == 0 {
+					if _, err := db.Lookup("short_name: foo"); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+				if i%97 == 0 {
+					db.DropCaches()
+				}
+			}
+		}(int64(w))
+	}
+	wg.Wait()
+}

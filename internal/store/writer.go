@@ -1,0 +1,360 @@
+package store
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"frappe/internal/graph"
+	"frappe/internal/model"
+)
+
+// Write persists g into dir, creating it if needed. Existing store files
+// in dir are replaced. The resulting store is opened with Open.
+func Write(dir string, g *graph.Graph) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	w := &writer{g: g, dir: dir}
+	return w.run()
+}
+
+type writer struct {
+	g   *graph.Graph
+	dir string
+
+	keyIDs   map[string]uint16 // canonical key -> id
+	keys     []string
+	nodeTyps map[model.NodeType]uint16
+	nodeTypL []string
+	edgeTyps map[model.EdgeType]uint16
+	edgeTypL []string
+
+	strOffs map[string]int64
+	strNext int64
+	strW    *bufio.Writer
+
+	propW    *bufio.Writer
+	propNext int64
+}
+
+func (w *writer) run() (err error) {
+	w.keyIDs = make(map[string]uint16)
+	w.nodeTyps = make(map[model.NodeType]uint16)
+	w.edgeTyps = make(map[model.EdgeType]uint16)
+	w.strOffs = make(map[string]int64)
+
+	strF, err := os.Create(filepath.Join(w.dir, StringFile))
+	if err != nil {
+		return err
+	}
+	defer strF.Close()
+	w.strW = bufio.NewWriter(strF)
+
+	propF, err := os.Create(filepath.Join(w.dir, PropFile))
+	if err != nil {
+		return err
+	}
+	defer propF.Close()
+	w.propW = bufio.NewWriter(propF)
+
+	if err := w.writeNodes(); err != nil {
+		return err
+	}
+	if err := w.writeRels(); err != nil {
+		return err
+	}
+	if err := w.propW.Flush(); err != nil {
+		return err
+	}
+	if err := w.strW.Flush(); err != nil {
+		return err
+	}
+	if err := w.writeKeys(); err != nil {
+		return err
+	}
+	if err := w.writeIndex(); err != nil {
+		return err
+	}
+	return w.writeMeta()
+}
+
+func (w *writer) keyID(key string) uint16 {
+	canon := strings.ToUpper(key)
+	if id, ok := w.keyIDs[canon]; ok {
+		return id
+	}
+	id := uint16(len(w.keys))
+	w.keyIDs[canon] = id
+	w.keys = append(w.keys, canon)
+	return id
+}
+
+func (w *writer) nodeTypeID(t model.NodeType) uint16 {
+	if id, ok := w.nodeTyps[t]; ok {
+		return id
+	}
+	id := uint16(len(w.nodeTypL))
+	w.nodeTyps[t] = id
+	w.nodeTypL = append(w.nodeTypL, string(t))
+	return id
+}
+
+func (w *writer) edgeTypeID(t model.EdgeType) uint16 {
+	if id, ok := w.edgeTyps[t]; ok {
+		return id
+	}
+	id := uint16(len(w.edgeTypL))
+	w.edgeTyps[t] = id
+	w.edgeTypL = append(w.edgeTypL, string(t))
+	return id
+}
+
+func (w *writer) internString(s string) (int64, error) {
+	if off, ok := w.strOffs[s]; ok {
+		return off, nil
+	}
+	off := w.strNext
+	n, err := w.strW.WriteString(s)
+	if err != nil {
+		return 0, err
+	}
+	w.strNext += int64(n)
+	w.strOffs[s] = off
+	return off, nil
+}
+
+// writeProps appends one property record per prop and returns the byte
+// offset of the first record.
+func (w *writer) writeProps(ps graph.Props) (off int64, count uint32, err error) {
+	off = w.propNext
+	var rec [propRecordSize]byte
+	for _, p := range ps {
+		binary.LittleEndian.PutUint16(rec[0:2], w.keyID(p.Key))
+		rec[3] = 0
+		var aux uint32
+		var payload uint64
+		switch p.Val.Kind() {
+		case graph.KindInt:
+			rec[2] = propKindInt
+			payload = uint64(p.Val.AsInt())
+		case graph.KindBool:
+			rec[2] = propKindBool
+			payload = uint64(p.Val.AsInt())
+		case graph.KindString:
+			rec[2] = propKindString
+			s := p.Val.AsString()
+			so, err := w.internString(s)
+			if err != nil {
+				return 0, 0, err
+			}
+			aux = uint32(len(s))
+			payload = uint64(so)
+		default:
+			continue // nil properties are not stored
+		}
+		binary.LittleEndian.PutUint32(rec[4:8], aux)
+		binary.LittleEndian.PutUint64(rec[8:16], payload)
+		if _, err := w.propW.Write(rec[:]); err != nil {
+			return 0, 0, err
+		}
+		w.propNext += propRecordSize
+		count++
+	}
+	return off, count, nil
+}
+
+func (w *writer) writeNodes() error {
+	f, err := os.Create(filepath.Join(w.dir, NodeFile))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	bw := bufio.NewWriter(f)
+	var rec [nodeRecordSize]byte
+	n := w.g.NodeCount()
+	for id := graph.NodeID(0); id < graph.NodeID(n); id++ {
+		off, cnt, err := w.writeProps(w.g.NodeProps(id))
+		if err != nil {
+			return err
+		}
+		binary.LittleEndian.PutUint16(rec[0:2], w.nodeTypeID(w.g.NodeType(id)))
+		binary.LittleEndian.PutUint16(rec[2:4], 0)
+		binary.LittleEndian.PutUint32(rec[4:8], cnt)
+		binary.LittleEndian.PutUint64(rec[8:16], uint64(off))
+		binary.LittleEndian.PutUint64(rec[16:24], chainHead(w.g.Out(id)))
+		binary.LittleEndian.PutUint64(rec[24:32], chainHead(w.g.In(id)))
+		if _, err := bw.Write(rec[:]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+func chainHead(edges []graph.EdgeID) uint64 {
+	if len(edges) == 0 {
+		return nilRef
+	}
+	return uint64(edges[0]) + 1
+}
+
+func (w *writer) writeRels() error {
+	// Adjacency is stored as linked chains threaded through relationship
+	// records (as in Neo4j): nextOut[e] is the edge after e in Out(from(e)).
+	e := w.g.EdgeCount()
+	nextOut := make([]uint64, e)
+	nextIn := make([]uint64, e)
+	n := w.g.NodeCount()
+	for id := graph.NodeID(0); id < graph.NodeID(n); id++ {
+		out := w.g.Out(id)
+		for i := 0; i+1 < len(out); i++ {
+			nextOut[out[i]] = uint64(out[i+1]) + 1
+		}
+		in := w.g.In(id)
+		for i := 0; i+1 < len(in); i++ {
+			nextIn[in[i]] = uint64(in[i+1]) + 1
+		}
+	}
+
+	f, err := os.Create(filepath.Join(w.dir, RelFile))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	bw := bufio.NewWriter(f)
+	var rec [relRecordSize]byte
+	for id := graph.EdgeID(0); id < graph.EdgeID(e); id++ {
+		from, to, typ := w.g.EdgeEnds(id)
+		off, cnt, err := w.writeProps(w.g.EdgeProps(id))
+		if err != nil {
+			return err
+		}
+		binary.LittleEndian.PutUint64(rec[0:8], uint64(from))
+		binary.LittleEndian.PutUint64(rec[8:16], uint64(to))
+		binary.LittleEndian.PutUint16(rec[16:18], w.edgeTypeID(typ))
+		binary.LittleEndian.PutUint16(rec[18:20], 0)
+		binary.LittleEndian.PutUint32(rec[20:24], cnt)
+		binary.LittleEndian.PutUint64(rec[24:32], uint64(off))
+		binary.LittleEndian.PutUint64(rec[32:40], nextOut[id])
+		binary.LittleEndian.PutUint64(rec[40:48], nextIn[id])
+		if _, err := bw.Write(rec[:]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+func writeStringTable(bw *bufio.Writer, items []string) error {
+	var u32 [4]byte
+	binary.LittleEndian.PutUint32(u32[:], uint32(len(items)))
+	if _, err := bw.Write(u32[:]); err != nil {
+		return err
+	}
+	var u16 [2]byte
+	for _, s := range items {
+		if len(s) > 0xFFFF {
+			return fmt.Errorf("store: name too long (%d bytes)", len(s))
+		}
+		binary.LittleEndian.PutUint16(u16[:], uint16(len(s)))
+		if _, err := bw.Write(u16[:]); err != nil {
+			return err
+		}
+		if _, err := bw.WriteString(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (w *writer) writeKeys() error {
+	f, err := os.Create(filepath.Join(w.dir, KeyFile))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	bw := bufio.NewWriter(f)
+	for _, tbl := range [][]string{w.keys, w.nodeTypL, w.edgeTypL} {
+		if err := writeStringTable(bw, tbl); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+func (w *writer) writeIndex() error {
+	type entry struct {
+		key, value string
+		ids        []graph.NodeID
+	}
+	var entries []entry
+	w.g.Index().Entries(func(key, value string, ids []graph.NodeID) {
+		entries = append(entries, entry{key, value, ids})
+	})
+	sort.Slice(entries, func(i, j int) bool {
+		if entries[i].key != entries[j].key {
+			return entries[i].key < entries[j].key
+		}
+		return entries[i].value < entries[j].value
+	})
+
+	// Compute offsets: header = magic(4) + count(4), then count*8 offsets.
+	headerSize := int64(8 + 8*len(entries))
+	offs := make([]int64, len(entries))
+	next := headerSize
+	for i, e := range entries {
+		offs[i] = next
+		next += 2 + int64(len(e.key)) + 2 + int64(len(e.value)) + 4 + 8*int64(len(e.ids))
+	}
+
+	f, err := os.Create(filepath.Join(w.dir, IndexFile))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	bw := bufio.NewWriter(f)
+	var u32 [4]byte
+	var u16 [2]byte
+	var u64 [8]byte
+	binary.LittleEndian.PutUint32(u32[:], indexMagic)
+	bw.Write(u32[:])
+	binary.LittleEndian.PutUint32(u32[:], uint32(len(entries)))
+	bw.Write(u32[:])
+	for _, o := range offs {
+		binary.LittleEndian.PutUint64(u64[:], uint64(o))
+		bw.Write(u64[:])
+	}
+	for _, e := range entries {
+		binary.LittleEndian.PutUint16(u16[:], uint16(len(e.key)))
+		bw.Write(u16[:])
+		bw.WriteString(e.key)
+		binary.LittleEndian.PutUint16(u16[:], uint16(len(e.value)))
+		bw.Write(u16[:])
+		bw.WriteString(e.value)
+		binary.LittleEndian.PutUint32(u32[:], uint32(len(e.ids)))
+		bw.Write(u32[:])
+		for _, id := range e.ids {
+			binary.LittleEndian.PutUint64(u64[:], uint64(id))
+			bw.Write(u64[:])
+		}
+	}
+	return bw.Flush()
+}
+
+func (w *writer) writeMeta() error {
+	f, err := os.Create(filepath.Join(w.dir, MetaFile))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	var buf [24]byte
+	binary.LittleEndian.PutUint32(buf[0:4], metaMagic)
+	binary.LittleEndian.PutUint32(buf[4:8], formatVer)
+	binary.LittleEndian.PutUint64(buf[8:16], uint64(w.g.NodeCount()))
+	binary.LittleEndian.PutUint64(buf[16:24], uint64(w.g.EdgeCount()))
+	_, err = f.Write(buf[:])
+	return err
+}

@@ -1,0 +1,400 @@
+// Package temporal addresses the paper's §6.3 challenge: storing and
+// querying the dependency graphs of an evolving codebase without
+// duplicating the (mostly unchanged) graph for every version, and
+// supporting cross-version queries — software change impact analysis.
+//
+// The design follows the LLAMA line of work the paper cites: entities
+// get stable identities across versions (type + qualified name +
+// defining file), version 0 stores the full canonical graph, and every
+// subsequent version stores a delta (nodes/edges added and removed).
+// Any version can be materialised back into a queryable graph.Graph, and
+// diffs between versions drive impact analysis: the functions whose
+// dependencies changed, plus everything that transitively calls them.
+package temporal
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"frappe/internal/graph"
+	"frappe/internal/model"
+	"frappe/internal/traversal"
+)
+
+// EntityKey is a node's stable cross-version identity.
+type EntityKey string
+
+// tripleKey identifies an edge structurally (endpoints + type); parallel
+// edges of one triple are tracked by count.
+type tripleKey struct {
+	from EntityKey
+	typ  model.EdgeType
+	to   EntityKey
+}
+
+// nodeRec is the canonical stored form of a node.
+type nodeRec struct {
+	typ   model.NodeType
+	props graph.Props
+}
+
+// snapshot is one version's full canonical graph (kept internally; the
+// delta representation is derived and is what StorageStats accounts).
+type snapshot struct {
+	label string
+	nodes map[EntityKey]nodeRec
+	edges map[tripleKey]int
+}
+
+// Delta is the difference between two versions.
+type Delta struct {
+	AddedNodes   []EntityKey
+	RemovedNodes []EntityKey
+	AddedEdges   []EdgeChange
+	RemovedEdges []EdgeChange
+}
+
+// EdgeChange is one structural edge change (with multiplicity).
+type EdgeChange struct {
+	From  EntityKey
+	Type  model.EdgeType
+	To    EntityKey
+	Count int
+}
+
+// Empty reports whether the delta contains no changes.
+func (d *Delta) Empty() bool {
+	return len(d.AddedNodes) == 0 && len(d.RemovedNodes) == 0 &&
+		len(d.AddedEdges) == 0 && len(d.RemovedEdges) == 0
+}
+
+// Store holds the version history.
+type Store struct {
+	snaps  []*snapshot
+	deltas []*Delta // deltas[i] transforms version i-1 into i; deltas[0] is vs empty
+	cache  map[int]*graph.Graph
+}
+
+// New returns an empty version store.
+func New() *Store {
+	return &Store{cache: map[int]*graph.Graph{}}
+}
+
+// KeyOf computes a node's stable identity: TYPE | qualified name |
+// defining file. Reference positions deliberately do not participate, so
+// pure line-shift edits do not churn identities.
+func KeyOf(s graph.Source, id graph.NodeID) EntityKey {
+	name := ""
+	if v, ok := s.NodeProp(id, model.PropName); ok {
+		name = v.AsString()
+	} else if v, ok := s.NodeProp(id, model.PropShortName); ok {
+		name = v.AsString()
+	}
+	file := ""
+	for _, eid := range s.In(id) {
+		from, _, t := s.EdgeEnds(eid)
+		if t == model.EdgeFileContains || t == model.EdgeDirContains {
+			if v, ok := s.NodeProp(from, model.PropName); ok {
+				file = v.AsString()
+			}
+			break
+		}
+	}
+	return EntityKey(string(s.NodeType(id)) + "\x00" + name + "\x00" + file)
+}
+
+// Describe renders an EntityKey for humans.
+func Describe(k EntityKey) string {
+	parts := strings.SplitN(string(k), "\x00", 3)
+	for len(parts) < 3 {
+		parts = append(parts, "")
+	}
+	if parts[2] == "" {
+		return fmt.Sprintf("%s %s", parts[0], parts[1])
+	}
+	return fmt.Sprintf("%s %s (%s)", parts[0], parts[1], parts[2])
+}
+
+// canonicalise converts a graph into its canonical snapshot form.
+// Colliding keys (rare: e.g. two anonymous entities) get an ordinal
+// suffix, keeping snapshots lossless in counts.
+func canonicalise(label string, src graph.Source) (*snapshot, map[graph.NodeID]EntityKey) {
+	snap := &snapshot{label: label, nodes: map[EntityKey]nodeRec{}, edges: map[tripleKey]int{}}
+	keys := make(map[graph.NodeID]EntityKey, src.NodeCount())
+	used := map[EntityKey]int{}
+	n := src.NodeCount()
+	for id := graph.NodeID(0); id < graph.NodeID(n); id++ {
+		k := KeyOf(src, id)
+		if c := used[k]; c > 0 {
+			k = EntityKey(fmt.Sprintf("%s\x00#%d", k, c))
+		}
+		used[KeyOf(src, id)]++
+		keys[id] = k
+		snap.nodes[k] = nodeRec{typ: src.NodeType(id), props: src.NodeProps(id)}
+	}
+	e := src.EdgeCount()
+	for eid := graph.EdgeID(0); eid < graph.EdgeID(e); eid++ {
+		from, to, t := src.EdgeEnds(eid)
+		snap.edges[tripleKey{from: keys[from], typ: t, to: keys[to]}]++
+	}
+	return snap, keys
+}
+
+// AddVersion appends a version and returns its delta against the
+// previous version (against the empty graph for the first).
+func (s *Store) AddVersion(label string, src graph.Source) *Delta {
+	snap, _ := canonicalise(label, src)
+	var prev *snapshot
+	if len(s.snaps) > 0 {
+		prev = s.snaps[len(s.snaps)-1]
+	} else {
+		prev = &snapshot{nodes: map[EntityKey]nodeRec{}, edges: map[tripleKey]int{}}
+	}
+	d := diffSnapshots(prev, snap)
+	s.snaps = append(s.snaps, snap)
+	s.deltas = append(s.deltas, d)
+	return d
+}
+
+// Versions lists version labels in order.
+func (s *Store) Versions() []string {
+	out := make([]string, len(s.snaps))
+	for i, sn := range s.snaps {
+		out[i] = sn.label
+	}
+	return out
+}
+
+// Len returns the number of stored versions.
+func (s *Store) Len() int { return len(s.snaps) }
+
+func diffSnapshots(a, b *snapshot) *Delta {
+	d := &Delta{}
+	for k := range b.nodes {
+		if _, ok := a.nodes[k]; !ok {
+			d.AddedNodes = append(d.AddedNodes, k)
+		}
+	}
+	for k := range a.nodes {
+		if _, ok := b.nodes[k]; !ok {
+			d.RemovedNodes = append(d.RemovedNodes, k)
+		}
+	}
+	for t, nb := range b.edges {
+		na := a.edges[t]
+		if nb > na {
+			d.AddedEdges = append(d.AddedEdges, EdgeChange{From: t.from, Type: t.typ, To: t.to, Count: nb - na})
+		}
+	}
+	for t, na := range a.edges {
+		nb := b.edges[t]
+		if na > nb {
+			d.RemovedEdges = append(d.RemovedEdges, EdgeChange{From: t.from, Type: t.typ, To: t.to, Count: na - nb})
+		}
+	}
+	sort.Slice(d.AddedNodes, func(i, j int) bool { return d.AddedNodes[i] < d.AddedNodes[j] })
+	sort.Slice(d.RemovedNodes, func(i, j int) bool { return d.RemovedNodes[i] < d.RemovedNodes[j] })
+	sortEdgeChanges(d.AddedEdges)
+	sortEdgeChanges(d.RemovedEdges)
+	return d
+}
+
+func sortEdgeChanges(cs []EdgeChange) {
+	sort.Slice(cs, func(i, j int) bool {
+		a, b := cs[i], cs[j]
+		if a.From != b.From {
+			return a.From < b.From
+		}
+		if a.Type != b.Type {
+			return a.Type < b.Type
+		}
+		return a.To < b.To
+	})
+}
+
+// Diff computes the delta from version a to version b (either order).
+func (s *Store) Diff(a, b int) (*Delta, error) {
+	if a < 0 || b < 0 || a >= len(s.snaps) || b >= len(s.snaps) {
+		return nil, fmt.Errorf("temporal: version out of range (have %d)", len(s.snaps))
+	}
+	return diffSnapshots(s.snaps[a], s.snaps[b]), nil
+}
+
+// Graph materialises version i as a queryable in-memory graph. Results
+// are cached per version.
+func (s *Store) Graph(i int) (*graph.Graph, error) {
+	if i < 0 || i >= len(s.snaps) {
+		return nil, fmt.Errorf("temporal: version %d out of range", i)
+	}
+	if g, ok := s.cache[i]; ok {
+		return g, nil
+	}
+	snap := s.snaps[i]
+	g := graph.New()
+	keys := make([]EntityKey, 0, len(snap.nodes))
+	for k := range snap.nodes {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(x, y int) bool { return keys[x] < keys[y] })
+	idOf := make(map[EntityKey]graph.NodeID, len(keys))
+	for _, k := range keys {
+		rec := snap.nodes[k]
+		idOf[k] = g.AddNode(rec.typ, rec.props.Clone())
+	}
+	triples := make([]tripleKey, 0, len(snap.edges))
+	for t := range snap.edges {
+		triples = append(triples, t)
+	}
+	sort.Slice(triples, func(x, y int) bool {
+		a, b := triples[x], triples[y]
+		if a.from != b.from {
+			return a.from < b.from
+		}
+		if a.typ != b.typ {
+			return a.typ < b.typ
+		}
+		return a.to < b.to
+	})
+	for _, t := range triples {
+		for c := 0; c < snap.edges[t]; c++ {
+			g.AddEdge(idOf[t.from], idOf[t.to], t.typ, nil)
+		}
+	}
+	s.cache[i] = g
+	return g, nil
+}
+
+// ChangedFunctions lists the functions whose own structure changed
+// between two versions: added/removed function nodes, and functions
+// whose outgoing dependency edges changed.
+func (s *Store) ChangedFunctions(a, b int) ([]EntityKey, error) {
+	d, err := s.Diff(a, b)
+	if err != nil {
+		return nil, err
+	}
+	set := map[EntityKey]bool{}
+	isFunc := func(k EntityKey) bool { return strings.HasPrefix(string(k), string(model.NodeFunction)+"\x00") }
+	for _, k := range d.AddedNodes {
+		if isFunc(k) {
+			set[k] = true
+		}
+	}
+	for _, k := range d.RemovedNodes {
+		if isFunc(k) {
+			set[k] = true
+		}
+	}
+	for _, c := range d.AddedEdges {
+		if isFunc(c.From) {
+			set[c.From] = true
+		}
+	}
+	for _, c := range d.RemovedEdges {
+		if isFunc(c.From) {
+			set[c.From] = true
+		}
+	}
+	out := make([]EntityKey, 0, len(set))
+	for k := range set {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out, nil
+}
+
+// ImpactOfChange performs software change impact analysis (the paper's
+// §6.3 motivation): every function in version b that is, or transitively
+// calls, a function changed between versions a and b.
+func (s *Store) ImpactOfChange(a, b int) ([]EntityKey, error) {
+	changed, err := s.ChangedFunctions(a, b)
+	if err != nil {
+		return nil, err
+	}
+	g, err := s.Graph(b)
+	if err != nil {
+		return nil, err
+	}
+	_, keys := canonicalise("", g)
+	byKey := make(map[EntityKey]graph.NodeID, len(keys))
+	for id, k := range keys {
+		byKey[k] = id
+	}
+	seen := map[EntityKey]bool{}
+	var out []EntityKey
+	add := func(k EntityKey) {
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, k)
+		}
+	}
+	for _, ck := range changed {
+		add(ck)
+		id, ok := byKey[ck]
+		if !ok {
+			continue // removed in b: no callers there
+		}
+		for _, up := range traversal.TransitiveClosure(g, id, traversal.Options{
+			Direction: traversal.In,
+			Types:     traversal.Types(model.EdgeCalls),
+		}) {
+			add(keys[up])
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out, nil
+}
+
+// StorageStats quantifies §6.3's storage argument: bytes to store every
+// version in full versus the delta chain (full first version + deltas).
+type StorageStats struct {
+	FullBytes  []int64 // per-version canonical size
+	DeltaBytes []int64 // per-version delta size
+	TotalFull  int64
+	TotalDelta int64
+}
+
+// Stats computes storage accounting over the stored history.
+func (s *Store) Stats() StorageStats {
+	var st StorageStats
+	for i, snap := range s.snaps {
+		full := snapshotBytes(snap)
+		delta := deltaBytes(s.deltas[i])
+		st.FullBytes = append(st.FullBytes, full)
+		st.DeltaBytes = append(st.DeltaBytes, delta)
+		st.TotalFull += full
+		st.TotalDelta += delta
+	}
+	return st
+}
+
+func snapshotBytes(sn *snapshot) int64 {
+	var b int64
+	for k, rec := range sn.nodes {
+		b += int64(len(k)) + 2
+		for _, p := range rec.props {
+			b += int64(len(p.Key)) + 9
+			if p.Val.Kind() == graph.KindString {
+				b += int64(len(p.Val.AsString()))
+			}
+		}
+	}
+	for t := range sn.edges {
+		b += int64(len(t.from)+len(t.to)+len(t.typ)) + 4
+	}
+	return b
+}
+
+func deltaBytes(d *Delta) int64 {
+	var b int64
+	for _, k := range d.AddedNodes {
+		b += int64(len(k)) + 2
+	}
+	for _, k := range d.RemovedNodes {
+		b += int64(len(k)) + 2
+	}
+	for _, c := range append(append([]EdgeChange(nil), d.AddedEdges...), d.RemovedEdges...) {
+		b += int64(len(c.From)+len(c.To)+len(c.Type)) + 4
+	}
+	return b
+}

@@ -1,0 +1,194 @@
+package temporal
+
+import (
+	"strings"
+	"testing"
+
+	"frappe/internal/graph"
+	"frappe/internal/kernelgen"
+	"frappe/internal/model"
+)
+
+// evolve produces version 2 of the tiny kernel: a new helper function in
+// sr.c called from sr_media_change's late path, and one removed call.
+func generateVersions(t *testing.T) (*graph.Graph, *graph.Graph) {
+	t.Helper()
+	w1 := kernelgen.Generate(kernelgen.Tiny())
+	r1, err := w1.Extract()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	w2 := kernelgen.Generate(kernelgen.Tiny())
+	src := w2.FS["drivers/scsi/sr.c"]
+	// Add a new function and call it from sr_late_check.
+	src = strings.Replace(src,
+		"static int sr_late_check(int dev)\n{",
+		"static int sr_flush_cache(int dev)\n{\n\treturn dev * 2;\n}\n\nstatic int sr_late_check(int dev)\n{\n\tdev += sr_flush_cache(dev);", 1)
+	w2.FS["drivers/scsi/sr.c"] = src
+	r2, err := w2.Extract()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r1.Graph, r2.Graph
+}
+
+func TestIdenticalVersionsEmptyDelta(t *testing.T) {
+	g, _ := generateVersions(t)
+	s := New()
+	s.AddVersion("v1", g)
+	d := s.AddVersion("v1-again", g)
+	if !d.Empty() {
+		t.Fatalf("identical versions produced a delta: +%d/-%d nodes, +%d/-%d edges",
+			len(d.AddedNodes), len(d.RemovedNodes), len(d.AddedEdges), len(d.RemovedEdges))
+	}
+}
+
+func TestDeltaCapturesChange(t *testing.T) {
+	g1, g2 := generateVersions(t)
+	s := New()
+	s.AddVersion("v1", g1)
+	d := s.AddVersion("v2", g2)
+	if d.Empty() {
+		t.Fatal("change produced empty delta")
+	}
+	foundNew := false
+	for _, k := range d.AddedNodes {
+		if strings.Contains(string(k), "sr_flush_cache") {
+			foundNew = true
+		}
+	}
+	if !foundNew {
+		t.Fatalf("added nodes missing sr_flush_cache: %v", d.AddedNodes)
+	}
+	foundCall := false
+	for _, c := range d.AddedEdges {
+		if c.Type == model.EdgeCalls && strings.Contains(string(c.To), "sr_flush_cache") {
+			foundCall = true
+		}
+	}
+	if !foundCall {
+		t.Fatal("added edges missing the new call")
+	}
+	// The delta must be far smaller than the full graph.
+	st := s.Stats()
+	if st.DeltaBytes[1]*10 > st.FullBytes[1] {
+		t.Fatalf("delta %d bytes vs full %d bytes — no sharing win", st.DeltaBytes[1], st.FullBytes[1])
+	}
+	if st.TotalDelta >= st.TotalFull {
+		t.Fatal("delta chain larger than full copies")
+	}
+}
+
+func TestMaterialiseVersions(t *testing.T) {
+	g1, g2 := generateVersions(t)
+	s := New()
+	s.AddVersion("v1", g1)
+	s.AddVersion("v2", g2)
+
+	m1, err := s.Graph(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := s.Graph(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m1.NodeCount() != g1.NodeCount() || m1.EdgeCount() != g1.EdgeCount() {
+		t.Fatalf("v1 materialisation: %d/%d vs %d/%d",
+			m1.NodeCount(), m1.EdgeCount(), g1.NodeCount(), g1.EdgeCount())
+	}
+	if m2.NodeCount() != g2.NodeCount() {
+		t.Fatalf("v2 nodes: %d vs %d", m2.NodeCount(), g2.NodeCount())
+	}
+	// The new function exists only in v2.
+	if ids, _ := m1.Lookup("short_name: sr_flush_cache"); len(ids) != 0 {
+		t.Fatal("sr_flush_cache leaked into v1")
+	}
+	if ids, _ := m2.Lookup("short_name: sr_flush_cache"); len(ids) != 1 {
+		t.Fatal("sr_flush_cache missing from v2")
+	}
+	// Caching returns the same graph.
+	again, _ := s.Graph(1)
+	if again != m2 {
+		t.Fatal("materialisation not cached")
+	}
+}
+
+func TestChangedFunctionsAndImpact(t *testing.T) {
+	g1, g2 := generateVersions(t)
+	s := New()
+	s.AddVersion("v1", g1)
+	s.AddVersion("v2", g2)
+
+	changed, err := s.ChangedFunctions(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := strings.Builder{}
+	for _, k := range changed {
+		names.WriteString(Describe(k))
+		names.WriteString("; ")
+	}
+	if !strings.Contains(names.String(), "sr_flush_cache") || !strings.Contains(names.String(), "sr_late_check") {
+		t.Fatalf("changed = %s", names.String())
+	}
+
+	impact, err := s.ImpactOfChange(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	joined := strings.Builder{}
+	for _, k := range impact {
+		joined.WriteString(Describe(k))
+		joined.WriteString("; ")
+	}
+	// sr_media_change calls sr_late_check, so it is impacted.
+	if !strings.Contains(joined.String(), "sr_media_change") {
+		t.Fatalf("impact misses sr_media_change: %s", joined.String())
+	}
+	if len(impact) <= len(changed) {
+		t.Fatalf("impact (%d) should exceed changed (%d)", len(impact), len(changed))
+	}
+}
+
+func TestDiffSymmetric(t *testing.T) {
+	g1, g2 := generateVersions(t)
+	s := New()
+	s.AddVersion("v1", g1)
+	s.AddVersion("v2", g2)
+	fwd, err := s.Diff(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rev, err := s.Diff(1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fwd.AddedNodes) != len(rev.RemovedNodes) || len(fwd.AddedEdges) != len(rev.RemovedEdges) {
+		t.Fatal("diff not symmetric")
+	}
+}
+
+func TestVersionErrors(t *testing.T) {
+	s := New()
+	if _, err := s.Diff(0, 1); err == nil {
+		t.Fatal("diff on empty store should fail")
+	}
+	if _, err := s.Graph(0); err == nil {
+		t.Fatal("graph on empty store should fail")
+	}
+	if len(s.Versions()) != 0 || s.Len() != 0 {
+		t.Fatal("empty store not empty")
+	}
+}
+
+func TestDescribe(t *testing.T) {
+	k := EntityKey("function\x00sr_media_change\x00drivers/scsi/sr.c")
+	if got := Describe(k); got != "function sr_media_change (drivers/scsi/sr.c)" {
+		t.Fatalf("Describe = %q", got)
+	}
+	if got := Describe(EntityKey("primitive\x00int\x00")); got != "primitive int" {
+		t.Fatalf("Describe = %q", got)
+	}
+}

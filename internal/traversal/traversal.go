@@ -1,0 +1,297 @@
+// Package traversal is Frappé's embedded traversal API: direct graph
+// walks over any graph.Source with visited-set semantics.
+//
+// It is the counterpart of Neo4j's Java embedded mode in the paper's §6.1:
+// the transitive closure that Cypher cannot finish (it enumerates paths)
+// completes in milliseconds here because each node is expanded once. The
+// code comprehension use case (Figure 6), the paper's program slices and
+// the shortest-path exploration all build on this package.
+package traversal
+
+import (
+	"frappe/internal/graph"
+	"frappe/internal/model"
+)
+
+// Direction selects which edges to follow from a node.
+type Direction int
+
+// Traversal directions.
+const (
+	Out  Direction = iota // follow outgoing edges
+	In                    // follow incoming edges
+	Both                  // follow both
+)
+
+// TypeSet is a set of edge types; a nil TypeSet admits every type.
+type TypeSet map[model.EdgeType]bool
+
+// Types builds a TypeSet.
+func Types(ts ...model.EdgeType) TypeSet {
+	s := make(TypeSet, len(ts))
+	for _, t := range ts {
+		s[t] = true
+	}
+	return s
+}
+
+// Options configure a traversal.
+type Options struct {
+	Direction Direction
+	// Types restricts followed edges; nil means all types.
+	Types TypeSet
+	// MaxDepth bounds the walk; 0 means unbounded.
+	MaxDepth int
+	// EdgeFilter, if set, must return true for an edge to be followed.
+	EdgeFilter func(graph.EdgeID) bool
+	// NodeFilter, if set, must return true for a node to be expanded and
+	// reported.
+	NodeFilter func(graph.NodeID) bool
+}
+
+// step yields the (edge, neighbour) pairs from id under opts.
+func step(s graph.Source, id graph.NodeID, opts Options, fn func(e graph.EdgeID, n graph.NodeID) bool) bool {
+	emit := func(edges []graph.EdgeID, outgoing bool) bool {
+		for _, e := range edges {
+			from, to, t := s.EdgeEnds(e)
+			if opts.Types != nil && !opts.Types[t] {
+				continue
+			}
+			if opts.EdgeFilter != nil && !opts.EdgeFilter(e) {
+				continue
+			}
+			n := to
+			if !outgoing {
+				n = from
+			}
+			if !fn(e, n) {
+				return false
+			}
+		}
+		return true
+	}
+	if opts.Direction == Out || opts.Direction == Both {
+		if !emit(s.Out(id), true) {
+			return false
+		}
+	}
+	if opts.Direction == In || opts.Direction == Both {
+		if !emit(s.In(id), false) {
+			return false
+		}
+	}
+	return true
+}
+
+// TransitiveClosure returns every node reachable from start (excluding
+// start itself unless it lies on a cycle), in breadth-first discovery
+// order. With Direction Out over calls edges this is the paper's backward
+// slice (Figure 6); with Direction In it is the forward slice.
+func TransitiveClosure(s graph.Source, start graph.NodeID, opts Options) []graph.NodeID {
+	var result []graph.NodeID
+	visited := map[graph.NodeID]bool{start: true}
+	reportedStart := false
+	frontier := []graph.NodeID{start}
+	depth := 0
+	for len(frontier) > 0 {
+		if opts.MaxDepth > 0 && depth >= opts.MaxDepth {
+			break
+		}
+		depth++
+		var next []graph.NodeID
+		for _, id := range frontier {
+			step(s, id, opts, func(_ graph.EdgeID, n graph.NodeID) bool {
+				if n == start && !reportedStart {
+					// start lies on a cycle: it is reachable via >= 1 hop
+					// and belongs to the closure, but is not re-expanded.
+					if opts.NodeFilter == nil || opts.NodeFilter(n) {
+						reportedStart = true
+						result = append(result, n)
+					}
+					return true
+				}
+				if visited[n] {
+					return true
+				}
+				if opts.NodeFilter != nil && !opts.NodeFilter(n) {
+					return true
+				}
+				visited[n] = true
+				result = append(result, n)
+				next = append(next, n)
+				return true
+			})
+		}
+		frontier = next
+	}
+	return result
+}
+
+// Reachable reports whether to is reachable from from under opts.
+func Reachable(s graph.Source, from, to graph.NodeID, opts Options) bool {
+	if from == to {
+		return true
+	}
+	found := false
+	visited := map[graph.NodeID]bool{from: true}
+	frontier := []graph.NodeID{from}
+	depth := 0
+	for len(frontier) > 0 && !found {
+		if opts.MaxDepth > 0 && depth >= opts.MaxDepth {
+			break
+		}
+		depth++
+		var next []graph.NodeID
+		for _, id := range frontier {
+			if !step(s, id, opts, func(_ graph.EdgeID, n graph.NodeID) bool {
+				if n == to {
+					found = true
+					return false
+				}
+				if !visited[n] {
+					visited[n] = true
+					next = append(next, n)
+				}
+				return true
+			}) {
+				break
+			}
+		}
+		frontier = next
+	}
+	return found
+}
+
+// Step is one hop of a path: the edge taken and the node arrived at.
+type Step struct {
+	Edge graph.EdgeID
+	Node graph.NodeID
+}
+
+// Path is a start node plus a sequence of steps.
+type Path struct {
+	Start graph.NodeID
+	Steps []Step
+}
+
+// End returns the final node of the path.
+func (p Path) End() graph.NodeID {
+	if len(p.Steps) == 0 {
+		return p.Start
+	}
+	return p.Steps[len(p.Steps)-1].Node
+}
+
+// Nodes returns all nodes on the path in order.
+func (p Path) Nodes() []graph.NodeID {
+	out := make([]graph.NodeID, 0, len(p.Steps)+1)
+	out = append(out, p.Start)
+	for _, st := range p.Steps {
+		out = append(out, st.Node)
+	}
+	return out
+}
+
+// Len returns the number of hops.
+func (p Path) Len() int { return len(p.Steps) }
+
+// ShortestPath returns a minimum-hop path from from to to under opts, and
+// whether one exists. BFS with parent pointers; ties break on discovery
+// order, which is deterministic given the store's edge ordering.
+func ShortestPath(s graph.Source, from, to graph.NodeID, opts Options) (Path, bool) {
+	if from == to {
+		return Path{Start: from}, true
+	}
+	type parent struct {
+		node graph.NodeID
+		edge graph.EdgeID
+	}
+	parents := map[graph.NodeID]parent{from: {node: graph.InvalidID}}
+	frontier := []graph.NodeID{from}
+	depth := 0
+	for len(frontier) > 0 {
+		if opts.MaxDepth > 0 && depth >= opts.MaxDepth {
+			return Path{}, false
+		}
+		depth++
+		var next []graph.NodeID
+		for _, id := range frontier {
+			done := !step(s, id, opts, func(e graph.EdgeID, n graph.NodeID) bool {
+				if _, seen := parents[n]; seen {
+					return true
+				}
+				if opts.NodeFilter != nil && n != to && !opts.NodeFilter(n) {
+					return true
+				}
+				parents[n] = parent{node: id, edge: e}
+				if n == to {
+					return false
+				}
+				next = append(next, n)
+				return true
+			})
+			if done {
+				// Reconstruct.
+				var rev []Step
+				cur := to
+				for cur != from {
+					p := parents[cur]
+					rev = append(rev, Step{Edge: p.edge, Node: cur})
+					cur = p.node
+				}
+				steps := make([]Step, len(rev))
+				for i := range rev {
+					steps[i] = rev[len(rev)-1-i]
+				}
+				return Path{Start: from, Steps: steps}, true
+			}
+		}
+		frontier = next
+	}
+	return Path{}, false
+}
+
+// AllPaths enumerates every simple path (relationship-unique, as Cypher
+// defines variable-length matches) from from to to with at most maxDepth
+// hops, calling fn for each. fn returning false stops the enumeration.
+// The cost is exponential in dense graphs — this is exactly the behaviour
+// that made the paper's Figure 6 Cypher query run beyond 15 minutes.
+func AllPaths(s graph.Source, from, to graph.NodeID, maxDepth int, opts Options, fn func(Path) bool) {
+	usedEdges := make(map[graph.EdgeID]bool)
+	var steps []Step
+	var rec func(cur graph.NodeID) bool
+	rec = func(cur graph.NodeID) bool {
+		if cur == to && len(steps) > 0 {
+			cp := make([]Step, len(steps))
+			copy(cp, steps)
+			if !fn(Path{Start: from, Steps: cp}) {
+				return false
+			}
+		}
+		if maxDepth > 0 && len(steps) >= maxDepth {
+			return true
+		}
+		return step(s, cur, opts, func(e graph.EdgeID, n graph.NodeID) bool {
+			if usedEdges[e] {
+				return true
+			}
+			usedEdges[e] = true
+			steps = append(steps, Step{Edge: e, Node: n})
+			ok := rec(n)
+			steps = steps[:len(steps)-1]
+			delete(usedEdges, e)
+			return ok
+		})
+	}
+	rec(from)
+}
+
+// Degrees computes, for every node, the number of distinct nodes in its
+// closure under opts — a building block for impact-analysis reports.
+func ClosureSizes(s graph.Source, starts []graph.NodeID, opts Options) map[graph.NodeID]int {
+	out := make(map[graph.NodeID]int, len(starts))
+	for _, id := range starts {
+		out[id] = len(TransitiveClosure(s, id, opts))
+	}
+	return out
+}
