@@ -12,6 +12,8 @@
 //	frappe slice   -db DIR -fn NAME [-forward] [-depth N]
 //	frappe stats   -db DIR
 //	frappe map     -db DIR -out FILE.svg [-highlight NAME]
+//	frappe verify  -db DIR                        fsck a store directory
+//	frappe serve   -db DIR [-addr HOST:PORT] [-max-concurrent N] ...
 package main
 
 import (
@@ -20,12 +22,13 @@ import (
 	"flag"
 	"fmt"
 	"io/fs"
+	"net"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
+	"syscall"
 	"time"
-
-	"net/http"
 
 	"frappe/internal/codemap"
 	"frappe/internal/core"
@@ -34,7 +37,9 @@ import (
 	"frappe/internal/graph"
 	"frappe/internal/kernelgen"
 	"frappe/internal/model"
+	"frappe/internal/query"
 	"frappe/internal/server"
+	"frappe/internal/store"
 	"frappe/internal/traversal"
 )
 
@@ -62,6 +67,8 @@ func main() {
 		err = cmdStats(args)
 	case "map":
 		err = cmdMap(args)
+	case "verify":
+		err = cmdVerify(args)
 	case "serve":
 		err = cmdServe(args)
 	case "help", "-h", "--help":
@@ -89,6 +96,7 @@ commands:
   slice    backward/forward program slice over the call graph
   stats    graph metrics and degree hubs
   map      render the cartographic code map as SVG
+  verify   check a store's checksums and structure (fsck)
   serve    HTTP API + query console over a store
 `)
 }
@@ -214,6 +222,8 @@ func cmdQuery(args []string) error {
 	fl := flag.NewFlagSet("query", flag.ExitOnError)
 	db := fl.String("db", "frappe.db", "store directory")
 	timeout := fl.Duration("timeout", 30*time.Second, "query deadline")
+	maxRows := fl.Int("max-rows", 0, "row budget (0 = unlimited)")
+	maxSteps := fl.Int64("max-steps", 0, "pattern-expansion budget (0 = unlimited)")
 	fl.Parse(args)
 	if fl.NArg() != 1 {
 		return fmt.Errorf("query needs exactly one Cypher string argument")
@@ -223,6 +233,7 @@ func cmdQuery(args []string) error {
 		return err
 	}
 	defer eng.Close()
+	eng.QueryLimits = query.Limits{MaxRows: *maxRows, MaxSteps: *maxSteps}
 	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
 	defer cancel()
 	start := time.Now()
@@ -363,18 +374,73 @@ func cmdStats(args []string) error {
 	return nil
 }
 
+func cmdVerify(args []string) error {
+	fl := flag.NewFlagSet("verify", flag.ExitOnError)
+	db := fl.String("db", "frappe.db", "store directory")
+	quiet := fl.Bool("q", false, "print problems only")
+	fl.Parse(args)
+	if *db == "" {
+		return fmt.Errorf("missing -db")
+	}
+	rep, err := store.Verify(*db)
+	if err != nil {
+		return err
+	}
+	if !*quiet {
+		fmt.Printf("store %s: format v%d, %d nodes, %d edges\n", rep.Dir, rep.FormatVersion, rep.Nodes, rep.Edges)
+		for _, fc := range rep.Files {
+			status := "ok"
+			if !fc.OK {
+				status = "CORRUPT"
+			}
+			fmt.Printf("  %-34s %10d bytes  %5d chunks  %s\n", fc.Name, fc.Bytes, fc.Chunks, status)
+		}
+	}
+	for _, p := range rep.Problems {
+		fmt.Fprintf(os.Stderr, "problem: %v\n", p)
+	}
+	if !rep.OK() {
+		return fmt.Errorf("%d problem(s) found in %s", len(rep.Problems), *db)
+	}
+	if !*quiet {
+		fmt.Println("store is clean")
+	}
+	return nil
+}
+
 func cmdServe(args []string) error {
 	fl := flag.NewFlagSet("serve", flag.ExitOnError)
 	db := fl.String("db", "frappe.db", "store directory")
 	addr := fl.String("addr", "127.0.0.1:7474", "listen address")
+	queryTimeout := fl.Duration("query-timeout", 30*time.Second, "per-query deadline")
+	maxConcurrent := fl.Int("max-concurrent", server.DefaultMaxConcurrent, "max in-flight requests before shedding with 503 (<0 disables)")
+	maxRows := fl.Int("max-rows", 1_000_000, "per-query row budget (0 = unlimited)")
+	maxSteps := fl.Int64("max-steps", 50_000_000, "per-query pattern-expansion budget (0 = unlimited)")
+	drain := fl.Duration("drain-timeout", server.DefaultDrainTimeout, "max time to drain in-flight requests on shutdown")
 	fl.Parse(args)
 	eng, err := openDB(*db)
 	if err != nil {
 		return err
 	}
 	defer eng.Close()
-	fmt.Printf("frappe: serving %s on http://%s\n", *db, *addr)
-	return http.ListenAndServe(*addr, server.New(eng))
+	eng.QueryLimits = query.Limits{MaxRows: *maxRows, MaxSteps: *maxSteps}
+
+	srv := server.New(eng)
+	srv.QueryTimeout = *queryTimeout
+	srv.MaxConcurrent = *maxConcurrent
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("frappe: serving %s on http://%s (SIGTERM drains for up to %v)\n", *db, ln.Addr(), *drain)
+	if err := server.Serve(ctx, ln, srv, *drain); err != nil {
+		return err
+	}
+	fmt.Println("frappe: drained, bye")
+	return nil
 }
 
 func cmdMap(args []string) error {

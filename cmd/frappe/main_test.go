@@ -110,3 +110,32 @@ func TestIndexAndQueryRealTree(t *testing.T) {
 		t.Fatalf("map.svg: %v", err)
 	}
 }
+
+// TestVerifyCommand runs the fsck subcommand against a freshly indexed
+// store (clean) and again after seeding corruption (must fail).
+func TestVerifyCommand(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"util.c": "int add(int a, int b) { return a + b; }\n",
+		"app.c":  "int add(int, int);\nint run(void) { return add(1, 2); }\n",
+	})
+	db := filepath.Join(root, "db")
+	if err := cmdIndex([]string{"-src", root, "-db", db}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdVerify([]string{"-db", db}); err != nil {
+		t.Fatalf("clean store failed verify: %v", err)
+	}
+
+	path := filepath.Join(db, "neostore.nodestore.db")
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)/2] ^= 0x08
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdVerify([]string{"-db", db, "-q"}); err == nil {
+		t.Fatal("verify passed a corrupted store")
+	}
+}

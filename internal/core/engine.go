@@ -28,6 +28,11 @@ type Engine struct {
 	g   *graph.Graph // non-nil when in-memory
 	db  *store.DB    // non-nil when disk-backed
 
+	// QueryLimits bounds every Query call (zero fields = unlimited).
+	// Long-lived servers set row/step budgets so one runaway expansion
+	// fails fast with query.ErrBudgetExceeded instead of eating memory.
+	QueryLimits query.Limits
+
 	fileIDByPath map[string]int64
 	fileNodeByID map[int64]graph.NodeID
 }
@@ -51,12 +56,25 @@ func fromGraph(g *graph.Graph) *Engine {
 	return e
 }
 
-// Open opens a previously saved Frappé store directory.
-func Open(dir string) (*Engine, error) {
+// Open opens a previously saved Frappé store directory. The store
+// signals corruption by panicking with a wrapped error (graph.Source has
+// no error returns); the file-map scan touches every node, so convert
+// such panics into ordinary errors here rather than crashing the caller.
+func Open(dir string) (eng *Engine, err error) {
 	db, err := store.Open(dir)
 	if err != nil {
 		return nil, err
 	}
+	defer func() {
+		if r := recover(); r != nil {
+			db.Close()
+			e, ok := r.(error)
+			if !ok {
+				panic(r)
+			}
+			eng, err = nil, fmt.Errorf("core: opening %s: %w", dir, e)
+		}
+	}()
 	e := &Engine{src: db, db: db}
 	e.buildFileMaps()
 	return e, nil
@@ -121,9 +139,10 @@ func (e *Engine) FileIDOf(path string) (int64, bool) {
 	return v, ok
 }
 
-// Query parses and runs a Cypher query against the engine's graph.
+// Query parses and runs a Cypher query against the engine's graph,
+// under the engine's QueryLimits.
 func (e *Engine) Query(ctx context.Context, text string) (*query.Result, error) {
-	return query.Run(ctx, e.src, text)
+	return query.RunLimits(ctx, e.src, text, e.QueryLimits)
 }
 
 // Symbol is a materialised view of a graph node for API consumers.

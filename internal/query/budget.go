@@ -1,0 +1,38 @@
+package query
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrBudgetExceeded marks a query aborted because it hit a resource
+// budget (rows materialised or pattern-expansion steps). Callers select
+// on it with errors.Is; the concrete BudgetError carries which budget
+// tripped.
+var ErrBudgetExceeded = errors.New("cypher: budget exceeded")
+
+// Limits bound a query's resource use. Zero values mean unlimited.
+// Cancellation via context is cooperative but unbounded queries can eat
+// arbitrary memory before a deadline fires; budgets fail them fast with
+// a typed error instead.
+type Limits struct {
+	// MaxRows caps the number of intermediate or result rows
+	// materialised at any point during execution.
+	MaxRows int
+	// MaxSteps caps pattern-expansion steps (edges considered during
+	// matching) — the budget a runaway variable-length expansion burns.
+	MaxSteps int64
+}
+
+// BudgetError reports which budget a query exceeded. It unwraps to
+// ErrBudgetExceeded.
+type BudgetError struct {
+	What  string // "rows" or "steps"
+	Limit int64
+}
+
+func (e *BudgetError) Error() string {
+	return fmt.Sprintf("cypher: query exceeded %s budget (%d)", e.What, e.Limit)
+}
+
+func (e *BudgetError) Unwrap() error { return ErrBudgetExceeded }

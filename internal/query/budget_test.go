@@ -1,0 +1,124 @@
+package query
+
+import (
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"frappe/internal/graph"
+	"frappe/internal/store"
+)
+
+// TestRowBudget: MaxRows caps materialised result rows with a typed
+// ErrBudgetExceeded, failing fast instead of building an oversized
+// result set.
+func TestRowBudget(t *testing.T) {
+	f := buildFixture()
+	q := "MATCH (n) RETURN n.short_name"
+	rows, err := RunLimits(context.Background(), f.g, q, Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows.Rows) < 3 {
+		t.Fatalf("fixture too small: %d rows", len(rows.Rows))
+	}
+
+	_, err = RunLimits(context.Background(), f.g, q, Limits{MaxRows: 2})
+	if !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatalf("want ErrBudgetExceeded, got %v", err)
+	}
+	var be *BudgetError
+	if !errors.As(err, &be) || be.What != "rows" || be.Limit != 2 {
+		t.Fatalf("budget error detail = %+v (err %v)", be, err)
+	}
+
+	// A budget at or above the natural result size must not trigger.
+	if _, err := RunLimits(context.Background(), f.g, q, Limits{MaxRows: len(rows.Rows)}); err != nil {
+		t.Fatalf("budget == result size should pass: %v", err)
+	}
+}
+
+// TestStepsBudget: MaxSteps caps traversal work for queries whose
+// intermediate exploration is large even when the final result is small.
+func TestStepsBudget(t *testing.T) {
+	f := buildFixture()
+	q := "MATCH (a)-->(b) RETURN a.short_name, b.short_name"
+	if _, err := RunLimits(context.Background(), f.g, q, Limits{}); err != nil {
+		t.Fatal(err)
+	}
+	_, err := RunLimits(context.Background(), f.g, q, Limits{MaxSteps: 3})
+	if !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatalf("want ErrBudgetExceeded, got %v", err)
+	}
+	var be *BudgetError
+	if !errors.As(err, &be) || be.What != "steps" {
+		t.Fatalf("budget error detail = %+v", be)
+	}
+}
+
+// TestExecuteRecoversCorruptionPanic: the store signals corruption by
+// panicking (graph.Source has no error returns); ExecuteLimits must
+// convert that into an error that still selects with errors.Is, so the
+// HTTP layer can answer 500 instead of crashing the process.
+func TestExecuteRecoversCorruptionPanic(t *testing.T) {
+	f := buildFixture()
+	dir := filepath.Join(t.TempDir(), "db")
+	if err := store.Write(dir, f.g); err != nil {
+		t.Fatal(err)
+	}
+	// Flip a byte in the node store so record reads fail verification.
+	path := filepath.Join(dir, store.NodeFile)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)/2] ^= 0x01
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	db, err := store.Open(dir)
+	if err != nil {
+		if errors.Is(err, store.ErrCorrupt) {
+			return // caught even earlier — also fine
+		}
+		t.Fatal(err)
+	}
+	defer db.Close()
+
+	_, err = RunLimits(context.Background(), db, "MATCH (n) RETURN n.short_name", Limits{})
+	if err == nil {
+		t.Fatal("query over corrupted store returned no error")
+	}
+	if !errors.Is(err, store.ErrCorrupt) {
+		t.Fatalf("recovered error lost its type: %v", err)
+	}
+}
+
+// TestExecuteRecoversArbitraryPanic: non-error panics (e.g. a slice
+// bound bug in an operator) also surface as errors, not crashes.
+func TestExecuteRecoversArbitraryPanic(t *testing.T) {
+	f := buildFixture()
+	_, err := ExecuteLimits(context.Background(), panickySource{f.g}, mustParseQ(t, "MATCH (n) RETURN n.short_name"), Limits{})
+	if err == nil {
+		t.Fatal("panic was not converted to an error")
+	}
+}
+
+type panickySource struct {
+	*graph.Graph
+}
+
+func (panickySource) NodeProp(graph.NodeID, string) (graph.Value, bool) {
+	panic("boom: index out of range")
+}
+
+func mustParseQ(t *testing.T, q string) *Query {
+	t.Helper()
+	parsed, err := Parse(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return parsed
+}

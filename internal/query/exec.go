@@ -2,6 +2,7 @@ package query
 
 import (
 	"context"
+	"fmt"
 	"sort"
 	"strings"
 
@@ -20,33 +21,70 @@ type Result struct {
 // deadline or cancellation aborts long-running pattern expansions (the
 // paper aborted its Figure 6 comprehension query after 15 minutes).
 func Execute(ctx context.Context, src graph.Source, q *Query) (*Result, error) {
-	ex := &exec{src: src, ctx: ctx}
+	return ExecuteLimits(ctx, src, q, Limits{})
+}
+
+// ExecuteLimits runs a parsed query under resource budgets. A panic
+// anywhere below (including typed corruption panics from a disk-backed
+// source) is recovered into the returned error, so one bad query or one
+// bad disk page cannot take down a serving process.
+func ExecuteLimits(ctx context.Context, src graph.Source, q *Query, lim Limits) (res *Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			if e, ok := r.(error); ok {
+				err = fmt.Errorf("cypher: query aborted: %w", e)
+			} else {
+				err = fmt.Errorf("cypher: query aborted: %v", r)
+			}
+			res = nil
+		}
+	}()
+	ex := &exec{src: src, ctx: ctx, limits: lim}
 	return ex.run(q)
 }
 
 // Run parses and executes a query text.
 func Run(ctx context.Context, src graph.Source, text string) (*Result, error) {
+	return RunLimits(ctx, src, text, Limits{})
+}
+
+// RunLimits parses and executes a query text under resource budgets.
+func RunLimits(ctx context.Context, src graph.Source, text string, lim Limits) (*Result, error) {
 	q, err := Parse(text)
 	if err != nil {
 		return nil, err
 	}
-	return Execute(ctx, src, q)
+	return ExecuteLimits(ctx, src, q, lim)
 }
 
 type exec struct {
-	src   graph.Source
-	ctx   context.Context
-	steps int64
+	src    graph.Source
+	ctx    context.Context
+	limits Limits
+	steps  int64
 }
 
-// tick periodically checks the context; it is called on every pattern
-// expansion so runaway variable-length matches stay abortable.
+// tick periodically checks the context and enforces the step budget; it
+// is called on every pattern expansion so runaway variable-length
+// matches stay abortable.
 func (ex *exec) tick() error {
 	ex.steps++
+	if ex.limits.MaxSteps > 0 && ex.steps > ex.limits.MaxSteps {
+		return &BudgetError{What: "steps", Limit: ex.limits.MaxSteps}
+	}
 	if ex.steps&1023 == 0 {
 		if err := ex.ctx.Err(); err != nil {
 			return err
 		}
+	}
+	return nil
+}
+
+// checkRows enforces the row budget at every point where rows are
+// materialised.
+func (ex *exec) checkRows(n int) error {
+	if ex.limits.MaxRows > 0 && n > ex.limits.MaxRows {
+		return &BudgetError{What: "rows", Limit: int64(ex.limits.MaxRows)}
 	}
 	return nil
 }
@@ -126,6 +164,9 @@ func (ex *exec) applyStart(rows []Row, sc *StartClause) ([]Row, error) {
 		var next []Row
 		for _, row := range rows {
 			for _, id := range ids {
+				if err := ex.checkRows(len(next) + 1); err != nil {
+					return nil, err
+				}
 				r := row.clone()
 				r[item.Var] = NodeVal(id)
 				next = append(next, r)
@@ -159,6 +200,9 @@ func (ex *exec) applyMatch(rows []Row, mc *MatchClause) ([]Row, error) {
 	for _, row := range rows {
 		matched := false
 		err := ex.matchPatterns(row, mc.Patterns, edgeSet{}, func(r Row) error {
+			if err := ex.checkRows(len(out) + 1); err != nil {
+				return err
+			}
 			matched = true
 			out = append(out, r)
 			return nil

@@ -1,0 +1,45 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"net"
+	"net/http"
+	"time"
+)
+
+// DefaultDrainTimeout bounds how long a draining server waits for
+// in-flight requests before forcing connections closed.
+const DefaultDrainTimeout = 30 * time.Second
+
+// Serve runs h on ln until ctx is cancelled (typically by SIGINT or
+// SIGTERM via signal.NotifyContext), then drains: if h is a *Server its
+// readiness probe starts failing immediately, no new connections are
+// accepted, and in-flight requests get up to drainTimeout to finish.
+// Returns nil on a clean drain, the shutdown error when the drain
+// deadline was hit, or the listener error if serving failed outright.
+func Serve(ctx context.Context, ln net.Listener, h http.Handler, drainTimeout time.Duration) error {
+	if drainTimeout <= 0 {
+		drainTimeout = DefaultDrainTimeout
+	}
+	hs := &http.Server{Handler: h}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	if s, ok := h.(*Server); ok {
+		s.SetReady(false)
+	}
+	shutCtx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	defer cancel()
+	if err := hs.Shutdown(shutCtx); err != nil {
+		return err
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
+}

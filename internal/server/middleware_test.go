@@ -1,0 +1,355 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"frappe/internal/core"
+	"frappe/internal/kernelgen"
+	"frappe/internal/query"
+)
+
+// newTestServer builds an engine over the tiny synthetic kernel and lets
+// the caller tune the *Server before its middleware chain freezes at the
+// first request.
+func newTestServer(t *testing.T, mutate func(*Server)) (*Server, *httptest.Server) {
+	t.Helper()
+	w := kernelgen.Generate(kernelgen.Tiny())
+	eng, errs, err := core.Index(w.Build, w.ExtractOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(errs) > 0 {
+		t.Fatalf("extract: %v", errs[0])
+	}
+	srv := New(eng)
+	srv.Logf = t.Logf
+	if mutate != nil {
+		mutate(srv)
+	}
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	return srv, ts
+}
+
+// TestPanicRecovery: acceptance criterion — a panicking handler returns
+// a 500 JSON error and the server keeps serving afterwards.
+func TestPanicRecovery(t *testing.T) {
+	srv, ts := newTestServer(t, func(s *Server) {
+		s.mux.HandleFunc("GET /boom", func(http.ResponseWriter, *http.Request) {
+			panic("kaboom")
+		})
+	})
+	resp, err := http.Get(ts.URL + "/boom")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("status = %d, want 500", resp.StatusCode)
+	}
+	var out map[string]string
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatalf("panic response is not JSON: %v", err)
+	}
+	if !strings.Contains(out["error"], "kaboom") || out["requestId"] == "" {
+		t.Fatalf("panic response = %v", out)
+	}
+	// The process must keep serving.
+	getJSON(t, ts.URL+"/api/stats", http.StatusOK)
+	if !srv.Ready() {
+		t.Fatal("server flipped to not-ready after a panic")
+	}
+}
+
+func TestRequestIDHeader(t *testing.T) {
+	_, ts := newTestServer(t, nil)
+	seen := map[string]bool{}
+	for i := 0; i < 3; i++ {
+		resp, err := http.Get(ts.URL + "/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		id := resp.Header.Get(requestIDHeader)
+		if id == "" || seen[id] {
+			t.Fatalf("request %d: id %q (seen: %v)", i, id, seen)
+		}
+		seen[id] = true
+	}
+}
+
+// TestConcurrencyLimitSheds: with a single admission slot held by a
+// stalled request, further API requests are shed with 503 + Retry-After
+// while health probes keep answering.
+func TestConcurrencyLimitSheds(t *testing.T) {
+	release := make(chan struct{})
+	entered := make(chan struct{})
+	srv, ts := newTestServer(t, func(s *Server) {
+		s.MaxConcurrent = 1
+		s.RetryAfterSeconds = 7
+		s.mux.HandleFunc("GET /stall", func(w http.ResponseWriter, r *http.Request) {
+			close(entered)
+			<-release
+			w.WriteHeader(http.StatusOK)
+		})
+	})
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		resp, err := http.Get(ts.URL + "/stall")
+		if err == nil {
+			resp.Body.Close()
+		}
+	}()
+	<-entered
+
+	resp, err := http.Get(ts.URL + "/api/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("saturated status = %d, want 503", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != "7" {
+		t.Fatalf("Retry-After = %q", ra)
+	}
+	if srv.ShedCount() < 1 {
+		t.Fatalf("ShedCount = %d", srv.ShedCount())
+	}
+	// Probes bypass the limiter.
+	getJSON(t, ts.URL+"/healthz", http.StatusOK)
+	getJSON(t, ts.URL+"/readyz", http.StatusOK)
+
+	close(release)
+	wg.Wait()
+	// Slot released: normal traffic resumes.
+	getJSON(t, ts.URL+"/api/stats", http.StatusOK)
+}
+
+func TestHealthAndReadiness(t *testing.T) {
+	srv, ts := newTestServer(t, nil)
+	getJSON(t, ts.URL+"/healthz", http.StatusOK)
+	out := getJSON(t, ts.URL+"/readyz", http.StatusOK)
+	if out["nodes"].(float64) < 100 {
+		t.Fatalf("readyz = %v", out)
+	}
+	srv.SetReady(false)
+	getJSON(t, ts.URL+"/readyz", http.StatusServiceUnavailable)
+	// Liveness is unaffected by draining.
+	getJSON(t, ts.URL+"/healthz", http.StatusOK)
+	srv.SetReady(true)
+	getJSON(t, ts.URL+"/readyz", http.StatusOK)
+}
+
+// TestGracefulServeDrains: acceptance criterion — cancelling the serve
+// context (the SIGTERM path) lets the in-flight request finish before
+// Serve returns.
+func TestGracefulServeDrains(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	h := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		close(entered)
+		<-release
+		io.WriteString(w, "drained ok")
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	served := make(chan error, 1)
+	go func() { served <- Serve(ctx, ln, h, 5*time.Second) }()
+
+	got := make(chan string, 1)
+	go func() {
+		resp, err := http.Get("http://" + ln.Addr().String() + "/slow")
+		if err != nil {
+			got <- "error: " + err.Error()
+			return
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		got <- string(b)
+	}()
+	<-entered
+
+	cancel() // SIGTERM arrives while the request is in flight
+	select {
+	case err := <-served:
+		t.Fatalf("Serve returned before drain: %v", err)
+	case <-time.After(100 * time.Millisecond):
+	}
+	close(release)
+	if body := <-got; body != "drained ok" {
+		t.Fatalf("in-flight request got %q", body)
+	}
+	if err := <-served; err != nil {
+		t.Fatalf("Serve = %v", err)
+	}
+}
+
+// TestGracefulServeFlipsReadiness: when the handler is a *Server, drain
+// start makes /readyz fail so load balancers stop routing.
+func TestGracefulServeFlipsReadiness(t *testing.T) {
+	srv, _ := newTestServer(t, nil)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	served := make(chan error, 1)
+	go func() { served <- Serve(ctx, ln, srv, time.Second) }()
+	getJSON(t, "http://"+ln.Addr().String()+"/readyz", http.StatusOK)
+	cancel()
+	if err := <-served; err != nil {
+		t.Fatalf("Serve = %v", err)
+	}
+	if srv.Ready() {
+		t.Fatal("drain did not flip readiness")
+	}
+}
+
+func TestSearchLimitCapped(t *testing.T) {
+	srv, ts := newTestServer(t, nil)
+	_ = srv
+	// Oversized limits are clamped, not errors.
+	getJSON(t, ts.URL+"/api/search?pattern=*&limit=999999", http.StatusOK)
+	// Non-positive limits are client errors.
+	getJSON(t, ts.URL+"/api/search?pattern=x&limit=0", http.StatusBadRequest)
+	getJSON(t, ts.URL+"/api/search?pattern=x&limit=-5", http.StatusBadRequest)
+}
+
+func TestSliceNegativeDepthRejected(t *testing.T) {
+	_, ts := newTestServer(t, nil)
+	getJSON(t, ts.URL+"/api/slice?fn=pci_read_bases&depth=-1", http.StatusBadRequest)
+}
+
+func TestQueryBudgetSurfacesAsClientError(t *testing.T) {
+	_, ts := newTestServer(t, func(s *Server) {
+		s.eng.QueryLimits = query.Limits{MaxRows: 1}
+	})
+	resp, err := http.Post(ts.URL+"/api/query", "application/json",
+		strings.NewReader(`{"query": "MATCH (n) RETURN n.short_name"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("budget-exceeded status = %d, want 400", resp.StatusCode)
+	}
+	var out map[string]string
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out["error"], "budget") {
+		t.Fatalf("error = %q", out["error"])
+	}
+}
+
+func TestConsoleEscapesCells(t *testing.T) {
+	_, ts := newTestServer(t, nil)
+	resp, err := http.Get(ts.URL + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, _ := io.ReadAll(resp.Body)
+	html := string(b)
+	// Both header and data cells must run through the escaper.
+	if !strings.Contains(html, "'<th>'+esc(c)+'</th>'") {
+		t.Fatal("column headers are not HTML-escaped")
+	}
+	if !strings.Contains(html, "'<td>'+esc(c)+'</td>'") {
+		t.Fatal("data cells are not HTML-escaped")
+	}
+}
+
+func TestCodeMapCached(t *testing.T) {
+	srv, ts := newTestServer(t, nil)
+	if a, b := srv.codeMap(), srv.codeMap(); a != b {
+		t.Fatal("codemap.Build ran more than once")
+	}
+	// And the endpoint still renders from the cache.
+	resp, err := http.Get(ts.URL + "/map.svg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("map status = %d", resp.StatusCode)
+	}
+}
+
+// TestCorruptStoreYieldsServerError: disk corruption discovered mid-query
+// maps to a 500 (server fault), and the process keeps serving health
+// probes — degraded, not dead.
+func TestCorruptStoreYieldsServerError(t *testing.T) {
+	w := kernelgen.Generate(kernelgen.Tiny())
+	eng, errs, err := core.Index(w.Build, w.ExtractOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(errs) > 0 {
+		t.Fatalf("extract: %v", errs[0])
+	}
+	dir := filepath.Join(t.TempDir(), "db")
+	if err := eng.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	deng, err := core.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { deng.Close() })
+
+	// Corrupt the node store on disk, then drop the page caches so the
+	// next query re-reads the bad bytes.
+	path := filepath.Join(dir, "neostore.nodestore.db")
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)/2] ^= 0x10
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	deng.DropCaches()
+
+	srv := New(deng)
+	srv.Logf = t.Logf
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+
+	resp, err := http.Post(ts.URL+"/api/query", "application/json",
+		strings.NewReader(`{"query": "MATCH (n) RETURN n.short_name"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("corrupt-store query status = %d, want 500", resp.StatusCode)
+	}
+	var out map[string]string
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out["error"], "checksum") && !strings.Contains(out["error"], "corrupt") {
+		t.Fatalf("error = %q", out["error"])
+	}
+	// Still alive.
+	getJSON(t, ts.URL+"/healthz", http.StatusOK)
+}

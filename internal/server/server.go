@@ -16,29 +16,68 @@ package server
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"strconv"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"frappe/internal/codemap"
 	"frappe/internal/core"
 	"frappe/internal/graph"
 	"frappe/internal/model"
+	"frappe/internal/store"
 	"frappe/internal/traversal"
 )
 
-// Server wraps an engine with HTTP handlers.
+// DefaultMaxConcurrent is the default concurrency-limiter admission cap.
+const DefaultMaxConcurrent = 64
+
+// MaxSearchLimit caps the ?limit= parameter of /api/search; larger
+// requests are clamped rather than allowed to materialise unbounded
+// result sets.
+const MaxSearchLimit = 10000
+
+// Server wraps an engine with HTTP handlers behind a hardened serving
+// path: request IDs, panic recovery, concurrency limiting with load
+// shedding, and liveness/readiness probes.
 type Server struct {
 	eng *core.Engine
 	mux *http.ServeMux
 	// QueryTimeout bounds each Cypher query (default 30s).
 	QueryTimeout time.Duration
+	// MaxConcurrent caps in-flight requests (default
+	// DefaultMaxConcurrent; set <0 before the first request to disable
+	// the limiter).
+	MaxConcurrent int
+	// RetryAfterSeconds is advertised on shed responses (default 1).
+	RetryAfterSeconds int
+	// Logf overrides the panic/error logger (default log.Printf).
+	Logf func(format string, args ...any)
+
+	chainOnce sync.Once
+	handler   http.Handler
+	sem       chan struct{}
+
+	reqCounter uint64
+	shedCount  int64
+	notReady   atomic.Bool
+
+	mapOnce   sync.Once
+	cachedMap *codemap.Map
 }
 
 // New creates a server over an opened engine.
 func New(eng *core.Engine) *Server {
-	s := &Server{eng: eng, mux: http.NewServeMux(), QueryTimeout: 30 * time.Second}
+	s := &Server{
+		eng:               eng,
+		mux:               http.NewServeMux(),
+		QueryTimeout:      30 * time.Second,
+		MaxConcurrent:     DefaultMaxConcurrent,
+		RetryAfterSeconds: 1,
+	}
 	s.mux.HandleFunc("GET /{$}", s.handleIndex)
 	s.mux.HandleFunc("POST /api/query", s.handleQuery)
 	s.mux.HandleFunc("GET /api/stats", s.handleStats)
@@ -47,11 +86,25 @@ func New(eng *core.Engine) *Server {
 	s.mux.HandleFunc("GET /api/refs", s.handleRefs)
 	s.mux.HandleFunc("GET /api/slice", s.handleSlice)
 	s.mux.HandleFunc("GET /map.svg", s.handleMap)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
 	return s
 }
 
-// ServeHTTP implements http.Handler.
-func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+// ServeHTTP implements http.Handler through the middleware chain, built
+// once from the Server's settings at the first request.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.chainOnce.Do(func() {
+		if s.MaxConcurrent == 0 {
+			s.MaxConcurrent = DefaultMaxConcurrent
+		}
+		if s.MaxConcurrent > 0 {
+			s.sem = make(chan struct{}, s.MaxConcurrent)
+		}
+		s.handler = s.withRequestID(s.withRecover(s.withConcurrencyLimit(s.mux)))
+	})
+	s.handler.ServeHTTP(w, r)
+}
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
@@ -92,8 +145,13 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	res, err := s.eng.Query(ctx, req.Query)
 	if err != nil {
 		status := http.StatusBadRequest
-		if ctx.Err() != nil {
+		switch {
+		case ctx.Err() != nil:
 			status = http.StatusGatewayTimeout
+		case errors.Is(err, store.ErrCorrupt) || errors.Is(err, store.ErrTruncated):
+			// Store corruption is a server-side fault: report it as such,
+			// never as a client error.
+			status = http.StatusInternalServerError
 		}
 		writeErr(w, status, err)
 		return
@@ -168,9 +226,12 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	}
 	if l := q.Get("limit"); l != "" {
 		n, err := strconv.Atoi(l)
-		if err != nil || n < 0 {
+		if err != nil || n < 1 {
 			writeErr(w, http.StatusBadRequest, fmt.Errorf("bad limit %q", l))
 			return
+		}
+		if n > MaxSearchLimit {
+			n = MaxSearchLimit
 		}
 		opts.Limit = n
 	}
@@ -241,7 +302,7 @@ func (s *Server) handleSlice(w http.ResponseWriter, r *http.Request) {
 	}
 	depth := 0
 	if d := q.Get("depth"); d != "" {
-		if depth, err = strconv.Atoi(d); err != nil {
+		if depth, err = strconv.Atoi(d); err != nil || depth < 0 {
 			writeErr(w, http.StatusBadRequest, fmt.Errorf("bad depth %q", d))
 			return
 		}
@@ -259,8 +320,17 @@ func (s *Server) handleSlice(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"functions": out, "count": len(out)})
 }
 
+// codeMap builds the code map once and caches it: the store is
+// read-only for the life of the process, so there is nothing to
+// invalidate, and rebuilding the full map per /map.svg request was pure
+// waste.
+func (s *Server) codeMap() *codemap.Map {
+	s.mapOnce.Do(func() { s.cachedMap = codemap.Build(s.eng.Source()) })
+	return s.cachedMap
+}
+
 func (s *Server) handleMap(w http.ResponseWriter, r *http.Request) {
-	m := codemap.Build(s.eng.Source())
+	m := s.codeMap()
 	opts := codemap.RenderOptions{Width: 1280, Height: 900, Title: "Frappé code map"}
 	if h := r.URL.Query().Get("highlight"); h != "" {
 		id, err := s.eng.MustLookupOne(h, model.NodeFunction)
@@ -301,9 +371,10 @@ async function run() {
   const out = document.getElementById('out');
   if (j.error) { out.textContent = j.error; return; }
   document.getElementById('meta').textContent = j.count + ' rows in ' + j.millis + ' ms';
-  let html = '<table><tr>' + j.columns.map(c => '<th>'+c+'</th>').join('') + '</tr>';
+  const esc = c => String(c).replace(/&/g,'&amp;').replace(/</g,'&lt;').replace(/>/g,'&gt;');
+  let html = '<table><tr>' + j.columns.map(c => '<th>'+esc(c)+'</th>').join('') + '</tr>';
   for (const row of j.rows || [])
-    html += '<tr>' + row.map(c => '<td>'+c.replace(/</g,'&lt;')+'</td>').join('') + '</tr>';
+    html += '<tr>' + row.map(c => '<td>'+esc(c)+'</td>').join('') + '</tr>';
   out.innerHTML = html + '</table>';
 }
 </script></body></html>`

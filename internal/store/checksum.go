@@ -1,0 +1,167 @@
+package store
+
+import (
+	"encoding/binary"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// Checksum sidecars. Every data file in a v2 store has a companion
+// "<name>.crc" recording a CRC32-C per fixed-size chunk of the data
+// file, so the pager can verify a page as it faults in without changing
+// the record offset math of the data files themselves.
+//
+// Sidecar layout (little-endian):
+//
+//	magic     u32  "FRCC"
+//	chunkSize u32  bytes covered by each checksum
+//	fileSize  u64  size of the data file when written
+//	count     u32  number of checksums = ceil(fileSize/chunkSize)
+//	sums      count * u32
+const (
+	crcMagic = 0x46524343 // "FRCC"
+
+	// ChecksumSuffix is appended to a data file name to form its
+	// checksum sidecar name.
+	ChecksumSuffix = ".crc"
+
+	// crcChunkSize is the span of one checksum. It matches
+	// DefaultPageSize so the common page fault verifies with zero extra
+	// I/O.
+	crcChunkSize = DefaultPageSize
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// crcTable is a loaded checksum sidecar.
+type crcTable struct {
+	chunkSize int
+	fileSize  int64
+	sums      []uint32
+}
+
+func (t *crcTable) chunks() int64 { return int64(len(t.sums)) }
+
+// chunkLen returns the number of data bytes chunk i covers (the last
+// chunk is usually partial).
+func (t *crcTable) chunkLen(i int64) int {
+	off := i * int64(t.chunkSize)
+	n := t.fileSize - off
+	if n > int64(t.chunkSize) {
+		n = int64(t.chunkSize)
+	}
+	if n < 0 {
+		n = 0
+	}
+	return int(n)
+}
+
+// verifyChunk checks data (the full contents of chunk i) against the
+// recorded sum.
+func (t *crcTable) verifyChunk(file string, i int64, data []byte) error {
+	if i < 0 || i >= t.chunks() {
+		return corruptf(file, i, "chunk out of range (have %d)", t.chunks())
+	}
+	if got := crc32.Checksum(data, castagnoli); got != t.sums[i] {
+		return corruptf(file, i, "checksum mismatch: computed %08x, recorded %08x", got, t.sums[i])
+	}
+	return nil
+}
+
+// checksumPath returns the sidecar path for a data file path.
+func checksumPath(dataPath string) string { return dataPath + ChecksumSuffix }
+
+// loadChecksums reads and validates the sidecar for dataPath. A missing
+// sidecar returns os.ErrNotExist (the caller decides whether that is
+// fatal: it is for v2 stores, tolerated for legacy v1).
+func loadChecksums(dataPath string) (*crcTable, error) {
+	name := filepath.Base(dataPath)
+	raw, err := os.ReadFile(checksumPath(dataPath))
+	if err != nil {
+		return nil, err
+	}
+	if len(raw) < 20 {
+		return nil, truncatedf(name+ChecksumSuffix, "sidecar too short (%d bytes)", len(raw))
+	}
+	if binary.LittleEndian.Uint32(raw[0:4]) != crcMagic {
+		return nil, &CorruptionError{File: name + ChecksumSuffix, Chunk: -1, Detail: "bad sidecar magic", Class: ErrBadMagic}
+	}
+	t := &crcTable{
+		chunkSize: int(binary.LittleEndian.Uint32(raw[4:8])),
+		fileSize:  int64(binary.LittleEndian.Uint64(raw[8:16])),
+	}
+	count := int(binary.LittleEndian.Uint32(raw[16:20]))
+	if t.chunkSize <= 0 {
+		return nil, corruptf(name+ChecksumSuffix, -1, "bad chunk size %d", t.chunkSize)
+	}
+	want := int((t.fileSize + int64(t.chunkSize) - 1) / int64(t.chunkSize))
+	if count != want {
+		return nil, corruptf(name+ChecksumSuffix, -1, "checksum count %d does not cover %d bytes (want %d)", count, t.fileSize, want)
+	}
+	if len(raw) != 20+4*count {
+		return nil, truncatedf(name+ChecksumSuffix, "sidecar is %d bytes, want %d", len(raw), 20+4*count)
+	}
+	t.sums = make([]uint32, count)
+	for i := range t.sums {
+		t.sums[i] = binary.LittleEndian.Uint32(raw[20+4*i : 24+4*i])
+	}
+	return t, nil
+}
+
+// writeChecksums computes the sidecar for dataPath by streaming the
+// data file, and writes it next to the file.
+func writeChecksums(dataPath string) error {
+	f, err := os.Open(dataPath)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return err
+	}
+	size := st.Size()
+	var sums []uint32
+	buf := make([]byte, crcChunkSize)
+	for off := int64(0); off < size; off += crcChunkSize {
+		n := size - off
+		if n > crcChunkSize {
+			n = crcChunkSize
+		}
+		if _, err := io.ReadFull(f, buf[:n]); err != nil {
+			return err
+		}
+		sums = append(sums, crc32.Checksum(buf[:n], castagnoli))
+	}
+	out := make([]byte, 20+4*len(sums))
+	binary.LittleEndian.PutUint32(out[0:4], crcMagic)
+	binary.LittleEndian.PutUint32(out[4:8], crcChunkSize)
+	binary.LittleEndian.PutUint64(out[8:16], uint64(size))
+	binary.LittleEndian.PutUint32(out[16:20], uint32(len(sums)))
+	for i, s := range sums {
+		binary.LittleEndian.PutUint32(out[20+4*i:24+4*i], s)
+	}
+	return os.WriteFile(checksumPath(dataPath), out, 0o644)
+}
+
+// verifyFileBytes checks fully loaded file contents against the file's
+// sidecar; used for the eagerly loaded key table.
+func verifyFileBytes(dataPath string, data []byte) error {
+	name := filepath.Base(dataPath)
+	t, err := loadChecksums(dataPath)
+	if err != nil {
+		return err
+	}
+	if int64(len(data)) != t.fileSize {
+		return truncatedf(name, "file is %d bytes, checksums cover %d", len(data), t.fileSize)
+	}
+	for i := int64(0); i < t.chunks(); i++ {
+		off := i * int64(t.chunkSize)
+		if err := t.verifyChunk(name, i, data[off:off+int64(t.chunkLen(i))]); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,9 +1,10 @@
 package store
 
 import (
-	"bufio"
+	"bytes"
 	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"os"
 	"path/filepath"
@@ -27,6 +28,8 @@ type DB struct {
 	strs  *pager
 	index *pager
 
+	formatVersion uint32 // on-disk format version (legacy v1 has no checksums)
+
 	// Token tables (tiny; loaded eagerly, as Neo4j loads token stores).
 	keys       []string
 	keyByLower map[string]uint16
@@ -40,6 +43,12 @@ type DB struct {
 type Options struct {
 	PageSize   int // bytes per page; default DefaultPageSize
 	CachePages int // pages cached per store file; default DefaultCachePages
+
+	// WrapReader, when non-nil, interposes on the raw reads of each
+	// store file — the fault-injection hook. It receives the file path
+	// and the real reader and returns the reader the page cache should
+	// use (return r unchanged, or nil, for no wrapping).
+	WrapReader func(path string, r io.ReaderAt) io.ReaderAt
 }
 
 // Open opens the store in dir for reading.
@@ -65,15 +74,28 @@ func OpenOptions(dir string, opt Options) (*DB, error) {
 	if err != nil {
 		return nil, err
 	}
-	if len(meta) < 24 || binary.LittleEndian.Uint32(meta[0:4]) != metaMagic {
-		return nil, fmt.Errorf("store: %s is not a frappe store", dir)
+	if len(meta) < metaSizeV1 || binary.LittleEndian.Uint32(meta[0:4]) != metaMagic {
+		return nil, fmt.Errorf("store: %s is not a frappe store: %w", dir, ErrBadMagic)
 	}
-	if v := binary.LittleEndian.Uint32(meta[4:8]); v != formatVer {
-		return nil, fmt.Errorf("store: unsupported format version %d", v)
+	switch v := binary.LittleEndian.Uint32(meta[4:8]); v {
+	case legacyFormatVer:
+		db.formatVersion = v
+	case formatVer:
+		db.formatVersion = v
+		if len(meta) < metaSizeV2 {
+			return nil, truncatedf(MetaFile, "meta file is %d bytes, want %d", len(meta), metaSizeV2)
+		}
+		want := binary.LittleEndian.Uint32(meta[24:28])
+		if got := crc32.Checksum(meta[:metaSizeV1], castagnoli); got != want {
+			return nil, corruptf(MetaFile, -1, "meta checksum mismatch: computed %08x, recorded %08x", got, want)
+		}
+	default:
+		return nil, fmt.Errorf("store: format version %d: %w", v, ErrBadVersion)
 	}
 	db.nodeCount = int64(binary.LittleEndian.Uint64(meta[8:16]))
 	db.edgeCount = int64(binary.LittleEndian.Uint64(meta[16:24]))
 
+	wantCRC := db.formatVersion >= formatVer
 	for _, p := range []struct {
 		name string
 		dst  **pager
@@ -84,11 +106,20 @@ func OpenOptions(dir string, opt Options) (*DB, error) {
 		{StringFile, &db.strs},
 		{IndexFile, &db.index},
 	} {
-		pg, err := openPager(filepath.Join(dir, p.name), opt.PageSize, opt.CachePages)
+		pg, err := openPager(filepath.Join(dir, p.name), opt.PageSize, opt.CachePages, wantCRC, opt.WrapReader)
 		if err != nil {
 			return nil, err
 		}
 		*p.dst = pg
+	}
+
+	if db.nodes.Len() < db.nodeCount*nodeRecordSize {
+		return nil, truncatedf(NodeFile, "file holds %d bytes, %d nodes need %d",
+			db.nodes.Len(), db.nodeCount, db.nodeCount*nodeRecordSize)
+	}
+	if db.rels.Len() < db.edgeCount*relRecordSize {
+		return nil, truncatedf(RelFile, "file holds %d bytes, %d relationships need %d",
+			db.rels.Len(), db.edgeCount, db.edgeCount*relRecordSize)
 	}
 
 	if err := db.loadKeys(); err != nil {
@@ -102,12 +133,19 @@ func OpenOptions(dir string, opt Options) (*DB, error) {
 }
 
 func (db *DB) loadKeys() error {
-	f, err := os.Open(filepath.Join(db.dir, KeyFile))
+	path := filepath.Join(db.dir, KeyFile)
+	raw, err := os.ReadFile(path)
 	if err != nil {
 		return err
 	}
-	defer f.Close()
-	br := bufio.NewReader(f)
+	// The key table is loaded eagerly rather than paged, so it is
+	// verified whole against its sidecar here.
+	if db.formatVersion >= formatVer {
+		if err := verifyFileBytes(path, raw); err != nil {
+			return err
+		}
+	}
+	br := bytes.NewReader(raw)
 	read := func() ([]string, error) {
 		var u32 [4]byte
 		if _, err := io.ReadFull(br, u32[:]); err != nil {
@@ -129,15 +167,15 @@ func (db *DB) loadKeys() error {
 		return out, nil
 	}
 	if db.keys, err = read(); err != nil {
-		return err
+		return corruptf(KeyFile, -1, "bad key table: %v", err)
 	}
 	nts, err := read()
 	if err != nil {
-		return err
+		return corruptf(KeyFile, -1, "bad node-type table: %v", err)
 	}
 	ets, err := read()
 	if err != nil {
-		return err
+		return corruptf(KeyFile, -1, "bad edge-type table: %v", err)
 	}
 	db.nodeTypes = make([]model.NodeType, len(nts))
 	for i, s := range nts {
@@ -160,7 +198,7 @@ func (db *DB) loadIndexHeader() error {
 		return err
 	}
 	if binary.LittleEndian.Uint32(hdr[0:4]) != indexMagic {
-		return fmt.Errorf("store: bad index magic in %s", db.dir)
+		return &CorruptionError{File: IndexFile, Chunk: -1, Detail: "bad index magic", Class: ErrBadMagic}
 	}
 	db.indexEntries = int(binary.LittleEndian.Uint32(hdr[4:8]))
 	return nil
@@ -218,7 +256,7 @@ type nodeRec struct {
 func (db *DB) readNode(id graph.NodeID) nodeRec {
 	var buf [nodeRecordSize]byte
 	if err := db.nodes.ReadAt(buf[:], int64(id)*nodeRecordSize); err != nil {
-		panic(fmt.Sprintf("store: node %d: %v", id, err))
+		panic(fmt.Errorf("store: node %d: %w", id, err))
 	}
 	return nodeRec{
 		typ:       binary.LittleEndian.Uint16(buf[0:2]),
@@ -241,7 +279,7 @@ type relRec struct {
 func (db *DB) readRel(id graph.EdgeID) relRec {
 	var buf [relRecordSize]byte
 	if err := db.rels.ReadAt(buf[:], int64(id)*relRecordSize); err != nil {
-		panic(fmt.Sprintf("store: relationship %d: %v", id, err))
+		panic(fmt.Errorf("store: relationship %d: %w", id, err))
 	}
 	return relRec{
 		from:      graph.NodeID(binary.LittleEndian.Uint64(buf[0:8])),
@@ -257,7 +295,7 @@ func (db *DB) readRel(id graph.EdgeID) relRec {
 func (db *DB) readString(off int64, n int) string {
 	b := make([]byte, n)
 	if err := db.strs.ReadAt(b, off); err != nil {
-		panic(fmt.Sprintf("store: string at %d: %v", off, err))
+		panic(fmt.Errorf("store: string at %d: %w", off, err))
 	}
 	return string(b)
 }
@@ -288,7 +326,7 @@ func (db *DB) findProp(off int64, count uint32, key string) (graph.Value, bool) 
 	var buf [propRecordSize]byte
 	for i := uint32(0); i < count; i++ {
 		if err := db.props.ReadAt(buf[:], off+int64(i)*propRecordSize); err != nil {
-			panic(fmt.Sprintf("store: property at %d: %v", off, err))
+			panic(fmt.Errorf("store: property at %d: %w", off, err))
 		}
 		if binary.LittleEndian.Uint16(buf[0:2]) == keyID {
 			_, v := db.readPropValue(buf[:])
@@ -306,7 +344,7 @@ func (db *DB) allProps(off int64, count uint32) graph.Props {
 	var buf [propRecordSize]byte
 	for i := uint32(0); i < count; i++ {
 		if err := db.props.ReadAt(buf[:], off+int64(i)*propRecordSize); err != nil {
-			panic(fmt.Sprintf("store: property at %d: %v", off, err))
+			panic(fmt.Errorf("store: property at %d: %w", off, err))
 		}
 		k, v := db.readPropValue(buf[:])
 		ps = append(ps, graph.Prop{Key: k, Val: v})
@@ -402,7 +440,7 @@ func (di *diskIndex) db() *DB { return (*DB)(di) }
 func (di *diskIndex) entryOffset(i int) int64 {
 	var u64 [8]byte
 	if err := di.db().index.ReadAt(u64[:], 8+int64(i)*8); err != nil {
-		panic(fmt.Sprintf("store: index offset %d: %v", i, err))
+		panic(fmt.Errorf("store: index offset %d: %w", i, err))
 	}
 	return int64(binary.LittleEndian.Uint64(u64[:]))
 }

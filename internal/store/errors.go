@@ -1,0 +1,57 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Typed error taxonomy for the store. Callers select on these with
+// errors.Is; the concrete error values carry file/offset detail.
+var (
+	// ErrCorrupt marks data whose checksum (or structure) does not match
+	// what the writer recorded: bit rot, torn writes, or tampering.
+	ErrCorrupt = errors.New("store: corrupt data")
+
+	// ErrTruncated marks a store file shorter than its metadata claims.
+	ErrTruncated = errors.New("store: truncated file")
+
+	// ErrBadMagic marks a file that is not a Frappé store file at all.
+	ErrBadMagic = errors.New("store: bad magic")
+
+	// ErrBadVersion marks a store written by an incompatible format
+	// version.
+	ErrBadVersion = errors.New("store: unsupported format version")
+)
+
+// CorruptionError reports a checksum or structural failure pinned to one
+// store file. It unwraps to ErrCorrupt (or ErrTruncated for size
+// mismatches) so callers can select on the class while logs keep the
+// location.
+type CorruptionError struct {
+	File   string // store file name (e.g. "neostore.nodestore.db")
+	Chunk  int64  // checksum chunk index, -1 when not chunk-scoped
+	Detail string
+	Class  error // ErrCorrupt or ErrTruncated
+}
+
+func (e *CorruptionError) Error() string {
+	if e.Chunk >= 0 {
+		return fmt.Sprintf("store: %s chunk %d: %s", e.File, e.Chunk, e.Detail)
+	}
+	return fmt.Sprintf("store: %s: %s", e.File, e.Detail)
+}
+
+func (e *CorruptionError) Unwrap() error {
+	if e.Class != nil {
+		return e.Class
+	}
+	return ErrCorrupt
+}
+
+func corruptf(file string, chunk int64, format string, args ...any) *CorruptionError {
+	return &CorruptionError{File: file, Chunk: chunk, Detail: fmt.Sprintf(format, args...), Class: ErrCorrupt}
+}
+
+func truncatedf(file string, format string, args ...any) *CorruptionError {
+	return &CorruptionError{File: file, Chunk: -1, Detail: fmt.Sprintf(format, args...), Class: ErrTruncated}
+}

@@ -1,0 +1,89 @@
+package store
+
+import (
+	"errors"
+	"io"
+	"math/rand"
+	"sync"
+)
+
+// ErrInjectedIO is the transient error produced by a FaultReader; tests
+// select on it to distinguish injected I/O failures from real ones.
+var ErrInjectedIO = errors.New("store: injected I/O error")
+
+// FaultConfig programs a FaultReader. Faults fire on a deterministic
+// read-counter schedule (every Nth ReadAt call) with the bit/byte
+// positions drawn from a seeded PRNG, so a failing test reproduces
+// exactly.
+type FaultConfig struct {
+	Seed int64
+	// BitFlipEvery flips one random bit of the returned data on every
+	// Nth read (0 disables).
+	BitFlipEvery int
+	// ShortReadEvery truncates every Nth read to half its length,
+	// returning io.ErrUnexpectedEOF (0 disables).
+	ShortReadEvery int
+	// ErrEvery fails every Nth read with ErrInjectedIO before touching
+	// the underlying reader (0 disables).
+	ErrEvery int
+}
+
+// FaultReader wraps an io.ReaderAt and injects read faults per a
+// FaultConfig. Install it under a DB with Options.WrapReader to prove
+// that corruption and I/O failure surface as typed errors rather than
+// silently wrong query results.
+type FaultReader struct {
+	r   io.ReaderAt
+	cfg FaultConfig
+
+	mu       sync.Mutex
+	rng      *rand.Rand
+	reads    int64
+	injected int64
+}
+
+// NewFaultReader wraps r with the given fault schedule.
+func NewFaultReader(r io.ReaderAt, cfg FaultConfig) *FaultReader {
+	return &FaultReader{r: r, cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+}
+
+// Injected reports how many faults have fired so far.
+func (f *FaultReader) Injected() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.injected
+}
+
+// ReadAt implements io.ReaderAt with fault injection.
+func (f *FaultReader) ReadAt(p []byte, off int64) (int, error) {
+	f.mu.Lock()
+	f.reads++
+	reads := f.reads
+	fireErr := f.cfg.ErrEvery > 0 && reads%int64(f.cfg.ErrEvery) == 0
+	fireShort := f.cfg.ShortReadEvery > 0 && reads%int64(f.cfg.ShortReadEvery) == 0
+	fireFlip := f.cfg.BitFlipEvery > 0 && reads%int64(f.cfg.BitFlipEvery) == 0
+	var flipByte int
+	var flipBit uint
+	if fireFlip && len(p) > 0 {
+		flipByte = f.rng.Intn(len(p))
+		flipBit = uint(f.rng.Intn(8))
+	}
+	if fireErr || fireShort || fireFlip {
+		f.injected++
+	}
+	f.mu.Unlock()
+
+	if fireErr {
+		return 0, ErrInjectedIO
+	}
+	n, err := f.r.ReadAt(p, off)
+	if fireShort && n > 1 && (err == nil || err == io.EOF) {
+		return n / 2, io.ErrUnexpectedEOF
+	}
+	if fireFlip && n > 0 {
+		// Clamp the drawn position to the bytes actually read so flips
+		// land even when the file is smaller than the read buffer.
+		p[flipByte%n] ^= 1 << flipBit
+	}
+	return n, err
+}

@@ -47,11 +47,17 @@ const (
 // Chain terminator: stored pointers are id+1 so that 0 means "none".
 const nilRef = 0
 
-// Magic numbers.
+// Magic numbers and format versions. Version 2 added per-chunk CRC32-C
+// checksum sidecars for every data file plus a self-checksum in the meta
+// file; version 1 stores (no checksums) are still readable.
 const (
-	metaMagic  = 0x46524150 // "FRAP"
-	indexMagic = 0x46524958 // "FRIX"
-	formatVer  = 1
+	metaMagic       = 0x46524150 // "FRAP"
+	indexMagic      = 0x46524958 // "FRIX"
+	formatVer       = 2
+	legacyFormatVer = 1
+
+	metaSizeV1 = 24 // magic u32, ver u32, nodeCount u64, edgeCount u64
+	metaSizeV2 = 28 // v1 fields + crc32c of them
 )
 
 // Property value kind tags in property records.

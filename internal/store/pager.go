@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"sync"
 )
 
@@ -21,17 +22,25 @@ type CacheStats struct {
 	Hits      int64
 	Misses    int64
 	Evictions int64
+	// ChecksumFailures counts cache misses whose page failed CRC
+	// verification.
+	ChecksumFailures int64
 }
 
 // pager serves random reads over one store file through an LRU page
 // cache. All store reads funnel through pagers, so dropping them models a
-// cold start.
+// cold start. When a checksum sidecar is loaded, every cache miss is
+// verified against it before the page enters the cache — a flipped bit on
+// disk surfaces as ErrCorrupt, never as silently wrong records.
 type pager struct {
 	mu       sync.Mutex
 	f        *os.File
+	r        io.ReaderAt // f, possibly wrapped by a fault injector
+	name     string      // base file name, for error messages
 	size     int64
 	pageSize int
 	maxPages int
+	crc      *crcTable // nil for legacy (v1) stores
 	pages    map[int64]*pageEntry
 	lruHead  *pageEntry // most recent
 	lruTail  *pageEntry // least recent
@@ -44,7 +53,10 @@ type pageEntry struct {
 	prev, next *pageEntry
 }
 
-func openPager(path string, pageSize, maxPages int) (*pager, error) {
+// openPager opens path for cached reads. wantCRC requires a checksum
+// sidecar (v2 stores); wrap, when non-nil, interposes on the underlying
+// reads (fault injection).
+func openPager(path string, pageSize, maxPages int, wantCRC bool, wrap func(path string, r io.ReaderAt) io.ReaderAt) (*pager, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
@@ -54,11 +66,37 @@ func openPager(path string, pageSize, maxPages int) (*pager, error) {
 		f.Close()
 		return nil, err
 	}
+	name := filepath.Base(path)
+	var crc *crcTable
+	if crc, err = loadChecksums(path); err != nil {
+		if !os.IsNotExist(err) {
+			f.Close()
+			return nil, err
+		}
+		if wantCRC {
+			f.Close()
+			return nil, corruptf(name, -1, "missing checksum sidecar %s", name+ChecksumSuffix)
+		}
+		crc = nil
+	}
+	if crc != nil && crc.fileSize != st.Size() {
+		f.Close()
+		return nil, truncatedf(name, "file is %d bytes, checksums cover %d", st.Size(), crc.fileSize)
+	}
+	var r io.ReaderAt = f
+	if wrap != nil {
+		if w := wrap(path, f); w != nil {
+			r = w
+		}
+	}
 	return &pager{
 		f:        f,
+		r:        r,
+		name:     name,
 		size:     st.Size(),
 		pageSize: pageSize,
 		maxPages: maxPages,
+		crc:      crc,
 		pages:    make(map[int64]*pageEntry),
 	}, nil
 }
@@ -72,7 +110,7 @@ func (p *pager) Len() int64 { return p.size }
 // Reads past EOF return an error.
 func (p *pager) ReadAt(buf []byte, off int64) error {
 	if off < 0 || off+int64(len(buf)) > p.size {
-		return fmt.Errorf("store: read [%d,%d) out of bounds (file size %d)", off, off+int64(len(buf)), p.size)
+		return truncatedf(p.name, "read [%d,%d) out of bounds (file size %d)", off, off+int64(len(buf)), p.size)
 	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
@@ -97,12 +135,18 @@ func (p *pager) pageLocked(no int64) (*pageEntry, error) {
 	}
 	p.stats.Misses++
 	buf := make([]byte, p.pageSize)
-	n, err := p.f.ReadAt(buf, no*int64(p.pageSize))
+	n, err := p.r.ReadAt(buf, no*int64(p.pageSize))
 	if err != nil && err != io.EOF {
-		return nil, err
+		return nil, &CorruptionError{File: p.name, Chunk: -1,
+			Detail: fmt.Sprintf("read of page %d failed: %v", no, err),
+			Class:  err}
 	}
 	buf = buf[:p.pageSize]
 	_ = n
+	if err := p.verifyPageLocked(no, buf); err != nil {
+		p.stats.ChecksumFailures++
+		return nil, err
+	}
 	pg := &pageEntry{no: no, buf: buf}
 	p.pages[no] = pg
 	p.pushFrontLocked(pg)
@@ -110,6 +154,45 @@ func (p *pager) pageLocked(no int64) (*pageEntry, error) {
 		p.evictLocked()
 	}
 	return pg, nil
+}
+
+// verifyPageLocked checks the freshly loaded page against the checksum
+// sidecar. In the common case (pageSize == chunkSize, aligned) the CRC
+// runs over the bytes already in hand; otherwise the covering chunks are
+// re-read from the file so the verification granularity stays the chunk
+// size the writer used.
+func (p *pager) verifyPageLocked(no int64, buf []byte) error {
+	if p.crc == nil {
+		return nil
+	}
+	pageOff := no * int64(p.pageSize)
+	valid := p.size - pageOff
+	if valid <= 0 {
+		return nil
+	}
+	if valid > int64(p.pageSize) {
+		valid = int64(p.pageSize)
+	}
+	if p.pageSize == p.crc.chunkSize {
+		return p.crc.verifyChunk(p.name, no, buf[:valid])
+	}
+	// Page and chunk granularities differ: verify every chunk the page
+	// overlaps, reading full chunks from the underlying file.
+	first := pageOff / int64(p.crc.chunkSize)
+	last := (pageOff + valid - 1) / int64(p.crc.chunkSize)
+	chunk := make([]byte, p.crc.chunkSize)
+	for i := first; i <= last; i++ {
+		n := p.crc.chunkLen(i)
+		cn, err := p.r.ReadAt(chunk[:n], i*int64(p.crc.chunkSize))
+		if err != nil && !(err == io.EOF && cn == n) {
+			return &CorruptionError{File: p.name, Chunk: i,
+				Detail: "verification read failed: " + err.Error(), Class: err}
+		}
+		if err := p.crc.verifyChunk(p.name, i, chunk[:n]); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 func (p *pager) touchLocked(pg *pageEntry) {

@@ -1,0 +1,361 @@
+package store
+
+import (
+	"errors"
+	"io"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"frappe/internal/graph"
+	"frappe/internal/model"
+)
+
+// allDataFiles are the checksummed store files (meta checks itself).
+var allDataFiles = []string{NodeFile, RelFile, PropFile, StringFile, KeyFile, IndexFile}
+
+// flipByte XORs one bit in the middle of the named store file.
+func flipByte(t *testing.T, dir, name string) {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(raw) == 0 {
+		t.Fatalf("%s is empty; cannot corrupt", name)
+	}
+	raw[len(raw)/2] ^= 0x40
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func writeStore(t *testing.T, g *graph.Graph) string {
+	t.Helper()
+	dir := filepath.Join(t.TempDir(), "db")
+	if err := Write(dir, g); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+// readEverything touches every node, edge, property, string and index
+// term, returning the first panic (corruption) as an error.
+func readEverything(db *DB) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			if e, ok := r.(error); ok {
+				err = e
+				return
+			}
+			panic(r)
+		}
+	}()
+	for id := graph.NodeID(0); id < graph.NodeID(db.NodeCount()); id++ {
+		db.NodeProps(id)
+		db.Out(id)
+		db.In(id)
+	}
+	for id := graph.EdgeID(0); id < graph.EdgeID(db.EdgeCount()); id++ {
+		db.EdgeEnds(id)
+		db.EdgeProps(id)
+	}
+	_, err = db.Lookup("short_name: f*")
+	return err
+}
+
+// TestCorruptionDetectedPerFile proves the acceptance criterion: a
+// flipped bit in ANY store file yields a typed ErrCorrupt (or
+// ErrTruncated / ErrBadMagic), never a silent wrong answer.
+func TestCorruptionDetectedPerFile(t *testing.T) {
+	for _, name := range allDataFiles {
+		t.Run(name, func(t *testing.T) {
+			dir := writeStore(t, buildSampleGraph())
+			flipByte(t, dir, name)
+			db, err := Open(dir)
+			if err == nil {
+				defer db.Close()
+				err = readEverything(db)
+			}
+			if err == nil {
+				t.Fatalf("corruption in %s went undetected", name)
+			}
+			if !errors.Is(err, ErrCorrupt) && !errors.Is(err, ErrTruncated) && !errors.Is(err, ErrBadMagic) {
+				t.Fatalf("corruption in %s produced untyped error: %v", name, err)
+			}
+		})
+	}
+}
+
+func TestCorruptMetaRejectedAtOpen(t *testing.T) {
+	dir := writeStore(t, buildSampleGraph())
+	flipByte(t, dir, MetaFile)
+	if _, err := Open(dir); err == nil || !(errors.Is(err, ErrCorrupt) || errors.Is(err, ErrBadMagic) || errors.Is(err, ErrBadVersion)) {
+		t.Fatalf("corrupt meta: Open err = %v", err)
+	}
+}
+
+// TestCorruptionDetectedWithSmallPages checks the slow verification
+// path where the cache page size differs from the checksum chunk size.
+func TestCorruptionDetectedWithSmallPages(t *testing.T) {
+	dir := writeStore(t, buildSampleGraph())
+	flipByte(t, dir, NodeFile)
+	db, err := OpenOptions(dir, Options{PageSize: 256, CachePages: 4})
+	if err != nil {
+		if errors.Is(err, ErrCorrupt) {
+			return
+		}
+		t.Fatal(err)
+	}
+	defer db.Close()
+	if err := readEverything(db); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("want ErrCorrupt, got %v", err)
+	}
+}
+
+func TestTruncatedFileRejectedAtOpen(t *testing.T) {
+	dir := writeStore(t, buildSampleGraph())
+	path := filepath.Join(dir, NodeFile)
+	st, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(path, st.Size()-1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("want ErrTruncated, got %v", err)
+	}
+}
+
+func TestMissingSidecarRejectedAtOpen(t *testing.T) {
+	dir := writeStore(t, buildSampleGraph())
+	if err := os.Remove(filepath.Join(dir, RelFile+ChecksumSuffix)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("want ErrCorrupt for missing sidecar, got %v", err)
+	}
+}
+
+// TestLegacyV1StoreStillOpens: a v1 store (no sidecars, 24-byte meta)
+// must remain readable, just without verification.
+func TestLegacyV1StoreStillOpens(t *testing.T) {
+	g := buildSampleGraph()
+	dir := writeStore(t, g)
+	for _, name := range allDataFiles {
+		if err := os.Remove(filepath.Join(dir, name+ChecksumSuffix)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	meta, err := os.ReadFile(filepath.Join(dir, MetaFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	meta = meta[:metaSizeV1]
+	meta[4] = legacyFormatVer // little-endian version field
+	if err := os.WriteFile(filepath.Join(dir, MetaFile), meta, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	db, err := Open(dir)
+	if err != nil {
+		t.Fatalf("legacy open: %v", err)
+	}
+	defer db.Close()
+	assertSourcesEqual(t, g, db)
+}
+
+// --- fault injection ---
+
+// wrapFile returns a WrapReader that wraps only the named store file.
+func wrapFile(name string, cfg FaultConfig) func(string, io.ReaderAt) io.ReaderAt {
+	return func(path string, r io.ReaderAt) io.ReaderAt {
+		if filepath.Base(path) == name {
+			return NewFaultReader(r, cfg)
+		}
+		return r
+	}
+}
+
+func TestFaultInjectionBitFlip(t *testing.T) {
+	for _, name := range []string{NodeFile, RelFile, PropFile, StringFile, IndexFile} {
+		t.Run(name, func(t *testing.T) {
+			dir := writeStore(t, buildSampleGraph())
+			db, err := OpenOptions(dir, Options{
+				WrapReader: wrapFile(name, FaultConfig{Seed: 42, BitFlipEvery: 1}),
+			})
+			if err == nil {
+				defer db.Close()
+				err = readEverything(db)
+			}
+			if !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("flipped bits on %s reads: want ErrCorrupt, got %v", name, err)
+			}
+		})
+	}
+}
+
+func TestFaultInjectionTransientError(t *testing.T) {
+	dir := writeStore(t, buildSampleGraph())
+	db, err := OpenOptions(dir, Options{
+		WrapReader: wrapFile(NodeFile, FaultConfig{Seed: 1, ErrEvery: 1}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	err = readEverything(db)
+	if !errors.Is(err, ErrInjectedIO) {
+		t.Fatalf("want ErrInjectedIO, got %v", err)
+	}
+	// A transient I/O failure is not corruption.
+	if errors.Is(err, ErrCorrupt) {
+		t.Fatalf("transient I/O error misclassified as corruption: %v", err)
+	}
+}
+
+func TestFaultInjectionShortRead(t *testing.T) {
+	dir := writeStore(t, buildSampleGraph())
+	db, err := OpenOptions(dir, Options{
+		WrapReader: wrapFile(NodeFile, FaultConfig{Seed: 1, ShortReadEvery: 1}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	if err := readEverything(db); err == nil {
+		t.Fatal("short reads went undetected")
+	}
+}
+
+func TestFaultInjectionDeterministic(t *testing.T) {
+	dir := writeStore(t, buildSampleGraph())
+	run := func() string {
+		db, err := OpenOptions(dir, Options{
+			WrapReader: wrapFile(NodeFile, FaultConfig{Seed: 99, BitFlipEvery: 3}),
+		})
+		if err != nil {
+			return "open: " + err.Error()
+		}
+		defer db.Close()
+		if err := readEverything(db); err != nil {
+			return err.Error()
+		}
+		return "ok"
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("same seed, different outcome:\n  %s\n  %s", a, b)
+	}
+}
+
+// --- verify (fsck) ---
+
+func TestVerifyCleanStore(t *testing.T) {
+	dir := writeStore(t, buildSampleGraph())
+	rep, err := Verify(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() {
+		t.Fatalf("clean store reported problems: %v", rep.Problems)
+	}
+	if rep.Nodes != 4 || len(rep.Files) != 7 {
+		t.Fatalf("report = %+v", rep)
+	}
+}
+
+func TestVerifyDetectsSeededCorruption(t *testing.T) {
+	files := append([]string{MetaFile}, allDataFiles...)
+	for _, name := range files {
+		t.Run(name, func(t *testing.T) {
+			dir := writeStore(t, buildSampleGraph())
+			flipByte(t, dir, name)
+			rep, err := Verify(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep.OK() {
+				t.Fatalf("verify missed corruption in %s", name)
+			}
+			found := false
+			for _, p := range rep.Problems {
+				if strings.Contains(p.Error(), name) {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("no problem names %s: %v", name, rep.Problems)
+			}
+		})
+	}
+}
+
+func TestVerifyDetectsTamperedSidecar(t *testing.T) {
+	dir := writeStore(t, buildSampleGraph())
+	flipByte(t, dir, NodeFile+ChecksumSuffix)
+	rep, err := Verify(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OK() {
+		t.Fatal("verify missed a tampered sidecar")
+	}
+}
+
+// TestConcurrentStress hammers one DB from many goroutines with mixed
+// reads, lookups, stats and cache drops over a larger random graph; run
+// under -race it validates all locking on the serving path.
+func TestConcurrentStress(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	g := graph.New()
+	const n = 500
+	types := []model.NodeType{model.NodeFunction, model.NodeGlobal, model.NodeStruct, model.NodeFile}
+	for i := 0; i < n; i++ {
+		g.AddNode(types[rng.Intn(len(types))], graph.P(
+			model.PropShortName, names[rng.Intn(len(names))],
+			model.PropValue, rng.Intn(1000),
+		))
+	}
+	for i := 0; i < 4*n; i++ {
+		g.AddEdge(graph.NodeID(rng.Intn(n)), graph.NodeID(rng.Intn(n)), model.EdgeCalls,
+			graph.P(model.PropUseStartLine, rng.Intn(5000)))
+	}
+	db := writeAndOpen(t, g)
+
+	var wg sync.WaitGroup
+	for w := 0; w < 16; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < 400; i++ {
+				switch rng.Intn(10) {
+				case 0:
+					if _, err := db.Lookup("short_name: " + names[rng.Intn(len(names))]); err != nil {
+						t.Error(err)
+						return
+					}
+				case 1:
+					db.DropCaches()
+				case 2:
+					db.Stats()
+				case 3:
+					id := graph.EdgeID(rng.Intn(int(db.EdgeCount())))
+					db.EdgeEnds(id)
+					db.EdgeProps(id)
+				default:
+					id := graph.NodeID(rng.Intn(int(db.NodeCount())))
+					db.NodeProps(id)
+					db.Out(id)
+					db.In(id)
+					db.NodeProp(id, model.PropShortName)
+				}
+			}
+		}(int64(w))
+	}
+	wg.Wait()
+}

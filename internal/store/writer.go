@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 	"os"
 	"path/filepath"
 	"sort"
@@ -80,7 +81,17 @@ func (w *writer) run() (err error) {
 	if err := w.writeIndex(); err != nil {
 		return err
 	}
-	return w.writeMeta()
+	if err := w.writeMeta(); err != nil {
+		return err
+	}
+	// Checksum sidecars last, once every data file is final. The meta
+	// file carries its own CRC instead of a sidecar.
+	for _, name := range []string{NodeFile, RelFile, PropFile, StringFile, KeyFile, IndexFile} {
+		if err := writeChecksums(filepath.Join(w.dir, name)); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 func (w *writer) keyID(key string) uint16 {
@@ -350,11 +361,12 @@ func (w *writer) writeMeta() error {
 		return err
 	}
 	defer f.Close()
-	var buf [24]byte
+	var buf [metaSizeV2]byte
 	binary.LittleEndian.PutUint32(buf[0:4], metaMagic)
 	binary.LittleEndian.PutUint32(buf[4:8], formatVer)
 	binary.LittleEndian.PutUint64(buf[8:16], uint64(w.g.NodeCount()))
 	binary.LittleEndian.PutUint64(buf[16:24], uint64(w.g.EdgeCount()))
+	binary.LittleEndian.PutUint32(buf[24:28], crc32.Checksum(buf[:metaSizeV1], castagnoli))
 	_, err = f.Write(buf[:])
 	return err
 }
