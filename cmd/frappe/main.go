@@ -5,6 +5,7 @@
 //
 //	frappe index   -gen [-scale N] -db DIR        index the synthetic kernel
 //	frappe index   -src DIR [-cc-log FILE] -db DIR  index a real C tree
+//	frappe update  -src DIR|-gen -db DIR          incrementally re-index changed files
 //	frappe query   -db DIR 'CYPHER...'            run a Cypher query
 //	frappe search  -db DIR -pattern P [-type T] [-module M] [-dir D]
 //	frappe def     -db DIR -name N -file F -line L -col C
@@ -12,8 +13,13 @@
 //	frappe slice   -db DIR -fn NAME [-forward] [-depth N]
 //	frappe stats   -db DIR
 //	frappe map     -db DIR -out FILE.svg [-highlight NAME]
-//	frappe verify  -db DIR                        fsck a store directory
-//	frappe serve   -db DIR [-addr HOST:PORT] [-max-concurrent N] ...
+//	frappe verify  -db DIR                        fsck a store directory + update journal
+//	frappe serve   -db DIR [-src DIR|-gen] [-addr HOST:PORT] ...
+//
+// serve with -src or -gen keeps the extraction session alive and
+// exposes POST /api/admin/update: the server re-extracts only dirty
+// translation units and swaps the new graph in atomically while
+// queries keep running.
 package main
 
 import (
@@ -33,6 +39,7 @@ import (
 	"frappe/internal/codemap"
 	"frappe/internal/core"
 	"frappe/internal/cpp"
+	"frappe/internal/delta"
 	"frappe/internal/extract"
 	"frappe/internal/graph"
 	"frappe/internal/kernelgen"
@@ -53,6 +60,8 @@ func main() {
 	switch cmd {
 	case "index":
 		err = cmdIndex(args)
+	case "update":
+		err = cmdUpdate(args)
 	case "query":
 		err = cmdQuery(args)
 	case "search":
@@ -89,6 +98,7 @@ func usage() {
 
 commands:
   index    build a graph store from source (or the synthetic kernel)
+  update   incrementally re-index only the files that changed
   query    run a Cypher query against a store
   search   code search by name/type/module/directory
   def      go to definition of a symbol reference
@@ -108,40 +118,47 @@ func openDB(db string) (*core.Engine, error) {
 	return core.Open(db)
 }
 
-func cmdIndex(args []string) error {
-	fl := flag.NewFlagSet("index", flag.ExitOnError)
-	gen := fl.Bool("gen", false, "index the synthetic Linux-shaped kernel instead of real sources")
-	scale := fl.Int("scale", 1, "synthetic kernel scale factor")
-	src := fl.String("src", "", "source tree root (real-code mode)")
-	ccLog := fl.String("cc-log", "", "frappe-cc build capture (JSON lines); default: compile every .c and link one module")
-	includes := fl.String("I", "include", "comma-separated include paths (relative to -src)")
-	db := fl.String("db", "frappe.db", "output store directory")
-	fl.Parse(args)
+// sourceFlags are the flags describing where source code comes from,
+// shared by index, update, and serve (live mode).
+type sourceFlags struct {
+	gen      *bool
+	scale    *int
+	src      *string
+	ccLog    *string
+	includes *string
+}
 
-	var build extract.Build
-	var opts extract.Options
-	start := time.Now()
+func addSourceFlags(fl *flag.FlagSet) *sourceFlags {
+	return &sourceFlags{
+		gen:      fl.Bool("gen", false, "use the synthetic Linux-shaped kernel instead of real sources"),
+		scale:    fl.Int("scale", 1, "synthetic kernel scale factor"),
+		src:      fl.String("src", "", "source tree root (real-code mode)"),
+		ccLog:    fl.String("cc-log", "", "frappe-cc build capture (JSON lines); default: compile every .c and link one module"),
+		includes: fl.String("I", "include", "comma-separated include paths (relative to -src)"),
+	}
+}
+
+// given reports whether any source was specified.
+func (sf *sourceFlags) given() bool { return *sf.gen || *sf.src != "" }
+
+// resolve materialises the build description and extraction options.
+// Called once per (re-)extraction so update and serve always see the
+// current tree (for -src the unit list is rescanned from disk).
+func (sf *sourceFlags) resolve() (extract.Build, extract.Options, error) {
 	switch {
-	case *gen:
-		w := kernelgen.Generate(kernelgen.Scaled(*scale))
-		build, opts = w.Build, w.ExtractOptions()
-		fmt.Printf("generated synthetic kernel: %d files, %d lines\n", len(w.FS), w.LineCount())
-	case *src != "":
-		fsys := cpp.DirFS{Root: *src}
-		opts = extract.Options{FS: fsys, IncludePaths: strings.Split(*includes, ",")}
-		var err error
-		build, err = buildFromTree(*src, *ccLog)
-		if err != nil {
-			return err
-		}
-	default:
-		return fmt.Errorf("index needs -gen or -src")
+	case *sf.gen:
+		w := kernelgen.Generate(kernelgen.Scaled(*sf.scale))
+		return w.Build, w.ExtractOptions(), nil
+	case *sf.src != "":
+		fsys := cpp.DirFS{Root: *sf.src}
+		opts := extract.Options{FS: fsys, IncludePaths: strings.Split(*sf.includes, ",")}
+		build, err := buildFromTree(*sf.src, *sf.ccLog)
+		return build, opts, err
 	}
+	return extract.Build{}, extract.Options{}, fmt.Errorf("needs -gen or -src")
+}
 
-	eng, errs, err := core.Index(build, opts)
-	if err != nil {
-		return err
-	}
+func printDiagnostics(errs []error) {
 	for i, e := range errs {
 		if i >= 10 {
 			fmt.Fprintf(os.Stderr, "... and %d more diagnostics\n", len(errs)-10)
@@ -149,12 +166,165 @@ func cmdIndex(args []string) error {
 		}
 		fmt.Fprintf(os.Stderr, "warning: %v\n", e)
 	}
+}
+
+func cmdIndex(args []string) error {
+	fl := flag.NewFlagSet("index", flag.ExitOnError)
+	sf := addSourceFlags(fl)
+	db := fl.String("db", "frappe.db", "output store directory")
+	fl.Parse(args)
+
+	start := time.Now()
+	build, opts, err := sf.resolve()
+	if err != nil {
+		return fmt.Errorf("index %w", err)
+	}
+	if *sf.gen {
+		w := kernelgen.Generate(kernelgen.Scaled(*sf.scale))
+		fmt.Printf("generated synthetic kernel: %d files, %d lines\n", len(w.FS), w.LineCount())
+	}
+
+	sess, res, err := delta.NewSession(build, opts)
+	if err != nil {
+		return err
+	}
+	printDiagnostics(res.Errors)
+	eng := core.FromGraph(res.Graph)
 	if err := eng.Save(*db); err != nil {
 		return err
 	}
+	// Persist the incremental-update state next to the store, and start
+	// the journal over: this store now describes a fresh extraction.
+	if err := sess.SaveState(*db); err != nil {
+		return err
+	}
+	os.Remove(filepath.Join(*db, delta.JournalFile))
 	m := eng.Stats()
+	if err := delta.AppendJournal(*db, delta.Record{
+		Epoch:            sess.Manifest().Epoch,
+		Time:             time.Now().UTC().Format(time.RFC3339),
+		FilesAdded:       len(sess.Manifest().Files),
+		UnitsReextracted: len(build.Units),
+		NodesAdded:       int(m.Nodes),
+		EdgesAdded:       int(m.Edges),
+		WallMillis:       float64(time.Since(start).Microseconds()) / 1000,
+		NodeCount:        m.Nodes,
+		EdgeCount:        m.Edges,
+	}); err != nil {
+		return err
+	}
 	fmt.Printf("indexed in %v: %d nodes, %d edges (%.2f edges/node) -> %s\n",
 		time.Since(start).Round(time.Millisecond), m.Nodes, m.Edges, m.Density, *db)
+	return nil
+}
+
+// recordOf converts an applied update into its journal record.
+func recordOf(up *delta.Update, now time.Time, wall time.Duration) delta.Record {
+	return delta.Record{
+		Epoch:            up.Epoch,
+		Time:             now.UTC().Format(time.RFC3339),
+		FilesAdded:       len(up.Plan.Added),
+		FilesModified:    len(up.Plan.Modified),
+		FilesRemoved:     len(up.Plan.Removed),
+		UnitsReextracted: up.Reextracted,
+		NodesAdded:       up.Diff.NodesAdded,
+		NodesRemoved:     up.Diff.NodesRemoved,
+		EdgesAdded:       up.Diff.EdgesAdded,
+		EdgesRemoved:     up.Diff.EdgesRemoved,
+		WallMillis:       float64(wall.Microseconds()) / 1000,
+		NodeCount:        up.Result.Graph.NodeCount(),
+		EdgeCount:        up.Result.Graph.EdgeCount(),
+	}
+}
+
+func summaryOf(rec delta.Record) *core.UpdateSummary {
+	return &core.UpdateSummary{
+		Epoch:            rec.Epoch,
+		Time:             rec.Time,
+		FilesAdded:       rec.FilesAdded,
+		FilesModified:    rec.FilesModified,
+		FilesRemoved:     rec.FilesRemoved,
+		UnitsReextracted: rec.UnitsReextracted,
+		NodesAdded:       rec.NodesAdded,
+		NodesRemoved:     rec.NodesRemoved,
+		EdgesAdded:       rec.EdgesAdded,
+		EdgesRemoved:     rec.EdgesRemoved,
+		WallMillis:       rec.WallMillis,
+	}
+}
+
+// persistUpdate writes everything an applied update changes — store
+// files, session state, journal — before anything is published.
+func persistUpdate(db string, sess *delta.Session, up *delta.Update, wall time.Duration) (delta.Record, error) {
+	if err := store.Write(db, up.Result.Graph); err != nil {
+		return delta.Record{}, err
+	}
+	if err := sess.SaveState(db); err != nil {
+		return delta.Record{}, err
+	}
+	rec := recordOf(up, time.Now(), wall)
+	if err := delta.AppendJournal(db, rec); err != nil {
+		return delta.Record{}, err
+	}
+	return rec, nil
+}
+
+// lastJournalSummary returns the most recent journalled update as an
+// engine summary, nil when there is no usable history.
+func lastJournalSummary(db string) *core.UpdateSummary {
+	recs, err := delta.LoadJournal(db)
+	if err != nil || len(recs) == 0 {
+		return nil
+	}
+	return summaryOf(recs[len(recs)-1])
+}
+
+func sourceName(sf *sourceFlags) string {
+	if *sf.gen {
+		return fmt.Sprintf("synthetic kernel (scale %d)", *sf.scale)
+	}
+	return *sf.src
+}
+
+func cmdUpdate(args []string) error {
+	fl := flag.NewFlagSet("update", flag.ExitOnError)
+	sf := addSourceFlags(fl)
+	db := fl.String("db", "frappe.db", "store directory to update")
+	fl.Parse(args)
+
+	build, opts, err := sf.resolve()
+	if err != nil {
+		return fmt.Errorf("update %w", err)
+	}
+	sess, err := delta.Resume(*db, opts)
+	if err != nil {
+		return fmt.Errorf("update: %s has no incremental state (re-run frappe index): %w", *db, err)
+	}
+	old, err := core.Open(*db)
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	up, err := sess.Update(build, old.Source())
+	old.Close()
+	if err != nil {
+		return err
+	}
+	if up.NoOp {
+		fmt.Printf("store %s is current at epoch %d; nothing to do\n", *db, up.Epoch)
+		return nil
+	}
+	printDiagnostics(up.Result.Errors)
+	wall := time.Since(start)
+	rec, err := persistUpdate(*db, sess, up, wall)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("updated to epoch %d in %v: re-extracted %d/%d units (+%d/-%d files changed), nodes +%d/-%d, edges +%d/-%d -> %d nodes, %d edges\n",
+		rec.Epoch, wall.Round(time.Millisecond), up.Reextracted, len(build.Units),
+		len(up.Plan.Added)+len(up.Plan.Modified), len(up.Plan.Removed),
+		rec.NodesAdded, rec.NodesRemoved, rec.EdgesAdded, rec.EdgesRemoved,
+		rec.NodeCount, rec.EdgeCount)
 	return nil
 }
 
@@ -396,11 +566,23 @@ func cmdVerify(args []string) error {
 			fmt.Printf("  %-34s %10d bytes  %5d chunks  %s\n", fc.Name, fc.Bytes, fc.Chunks, status)
 		}
 	}
+	// Audit the incremental-update history alongside the store files.
+	journalProblems := delta.AuditJournal(*db)
+	if !*quiet {
+		if recs, err := delta.LoadJournal(*db); err == nil && len(recs) > 0 {
+			last := recs[len(recs)-1]
+			fmt.Printf("  update journal: %d record(s), epoch %d, last at %s\n",
+				len(recs), last.Epoch, last.Time)
+		}
+	}
 	for _, p := range rep.Problems {
 		fmt.Fprintf(os.Stderr, "problem: %v\n", p)
 	}
-	if !rep.OK() {
-		return fmt.Errorf("%d problem(s) found in %s", len(rep.Problems), *db)
+	for _, p := range journalProblems {
+		fmt.Fprintf(os.Stderr, "problem: %v\n", p)
+	}
+	if n := len(rep.Problems) + len(journalProblems); !rep.OK() || len(journalProblems) > 0 {
+		return fmt.Errorf("%d problem(s) found in %s", n, *db)
 	}
 	if !*quiet {
 		fmt.Println("store is clean")
@@ -410,6 +592,7 @@ func cmdVerify(args []string) error {
 
 func cmdServe(args []string) error {
 	fl := flag.NewFlagSet("serve", flag.ExitOnError)
+	sf := addSourceFlags(fl)
 	db := fl.String("db", "frappe.db", "store directory")
 	addr := fl.String("addr", "127.0.0.1:7474", "listen address")
 	queryTimeout := fl.Duration("query-timeout", 30*time.Second, "per-query deadline")
@@ -418,14 +601,88 @@ func cmdServe(args []string) error {
 	maxSteps := fl.Int64("max-steps", 50_000_000, "per-query pattern-expansion budget (0 = unlimited)")
 	drain := fl.Duration("drain-timeout", server.DefaultDrainTimeout, "max time to drain in-flight requests on shutdown")
 	fl.Parse(args)
-	eng, err := openDB(*db)
-	if err != nil {
-		return err
+
+	var eng *core.Engine
+	var srv *server.Server
+	if sf.given() {
+		// Live mode: keep the extraction session in memory and expose
+		// POST /api/admin/update. The graph is served in-memory (assembled
+		// from the session's artifacts) so store files can be rewritten by
+		// an update while pinned snapshots keep serving.
+		build, opts, err := sf.resolve()
+		if err != nil {
+			return fmt.Errorf("serve %w", err)
+		}
+		sess, err := delta.Resume(*db, opts)
+		if err != nil {
+			// No incremental state yet: index from scratch now.
+			fmt.Printf("frappe: no incremental state in %s; extracting %s\n", *db, sourceName(sf))
+			var res *extract.Result
+			sess, res, err = delta.NewSession(build, opts)
+			if err != nil {
+				return err
+			}
+			printDiagnostics(res.Errors)
+			if err := store.Write(*db, res.Graph); err != nil {
+				return err
+			}
+			if err := sess.SaveState(*db); err != nil {
+				return err
+			}
+		}
+		res := sess.Assemble(build)
+		eng = core.FromGraph(res.Graph)
+		eng.SetEpoch(sess.Manifest().Epoch, lastJournalSummary(*db))
+		eng.QueryLimits = query.Limits{MaxRows: *maxRows, MaxSteps: *maxSteps}
+		srv = server.New(eng)
+		srv.Update = func(ctx context.Context) (server.UpdateResult, error) {
+			var result server.UpdateResult
+			_, err := eng.UpdateWith(func(old graph.Source) (*graph.Graph, int64, *core.UpdateSummary, error) {
+				start := time.Now()
+				b, _, err := sf.resolve()
+				if err != nil {
+					return nil, 0, nil, err
+				}
+				up, err := sess.Update(b, old)
+				if err != nil {
+					return nil, 0, nil, err
+				}
+				if up.NoOp {
+					result = server.UpdateResult{Applied: false, Epoch: up.Epoch}
+					return nil, 0, nil, nil
+				}
+				rec, err := persistUpdate(*db, sess, up, time.Since(start))
+				if err != nil {
+					return nil, 0, nil, err
+				}
+				sum := summaryOf(rec)
+				result = server.UpdateResult{Applied: true, Epoch: up.Epoch, Summary: sum}
+				return up.Result.Graph, up.Epoch, sum, nil
+			})
+			return result, err
+		}
+		// Catch up with any tree changes (or lost cache entries) since the
+		// last index before accepting traffic.
+		if catchUp, err := srv.Update(context.Background()); err != nil {
+			return fmt.Errorf("serve: initial catch-up update: %w", err)
+		} else if catchUp.Applied {
+			fmt.Printf("frappe: caught up to epoch %d (%d units re-extracted)\n",
+				catchUp.Epoch, catchUp.Summary.UnitsReextracted)
+		}
+	} else {
+		var err error
+		eng, err = openDB(*db)
+		if err != nil {
+			return err
+		}
+		eng.QueryLimits = query.Limits{MaxRows: *maxRows, MaxSteps: *maxSteps}
+		// A static store may still carry update history; surface it.
+		if m, err := delta.LoadManifest(*db); err == nil {
+			eng.SetEpoch(m.Epoch, lastJournalSummary(*db))
+		}
+		srv = server.New(eng)
 	}
 	defer eng.Close()
-	eng.QueryLimits = query.Limits{MaxRows: *maxRows, MaxSteps: *maxSteps}
-
-	srv := server.New(eng)
 	srv.QueryTimeout = *queryTimeout
 	srv.MaxConcurrent = *maxConcurrent
 

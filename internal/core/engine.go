@@ -5,12 +5,21 @@
 // search, cross-referencing (go-to-definition / find-references),
 // debugging path queries, and code comprehension (program slices over
 // the call graph, change impact, shortest paths).
+//
+// The engine serves a codebase that changes while it runs: the live
+// graph is one immutable Snapshot behind an atomic pointer. Queries
+// pin a snapshot for their whole execution; an incremental update
+// builds the next snapshot off to the side and publishes it with a
+// single pointer swap, so in-flight queries finish on the state they
+// started with and never observe a half-applied update.
 package core
 
 import (
 	"context"
 	"fmt"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"frappe/internal/cpp"
 	"frappe/internal/extract"
@@ -21,20 +30,80 @@ import (
 	"frappe/internal/traversal"
 )
 
-// Engine is an opened Frappé database. It wraps either a freshly
-// extracted in-memory graph or a disk-backed store.
-type Engine struct {
+// UpdateSummary records the last applied incremental update, surfaced
+// by /api/stats and /readyz.
+type UpdateSummary struct {
+	Epoch            int64   `json:"epoch"`
+	Time             string  `json:"time,omitempty"`
+	FilesAdded       int     `json:"filesAdded"`
+	FilesModified    int     `json:"filesModified"`
+	FilesRemoved     int     `json:"filesRemoved"`
+	UnitsReextracted int     `json:"unitsReextracted"`
+	NodesAdded       int     `json:"nodesAdded"`
+	NodesRemoved     int     `json:"nodesRemoved"`
+	EdgesAdded       int     `json:"edgesAdded"`
+	EdgesRemoved     int     `json:"edgesRemoved"`
+	WallMillis       float64 `json:"wallMillis"`
+}
+
+// Snapshot is one immutable published state of the graph: the source,
+// its file maps, the epoch it represents, and a lazily computed metrics
+// cache. All read operations live here so that a caller holding a
+// snapshot sees exactly one graph state no matter how many calls it
+// makes; Engine's methods are conveniences that pin the current
+// snapshot per call.
+type Snapshot struct {
 	src graph.Source
 	g   *graph.Graph // non-nil when in-memory
 	db  *store.DB    // non-nil when disk-backed
 
+	fileIDByPath map[string]int64
+	fileNodeByID map[int64]graph.NodeID
+
+	epoch int64
+	last  *UpdateSummary
+
+	stats *statsCache
+}
+
+// statsCache computes graph metrics at most once per snapshot.
+type statsCache struct {
+	once sync.Once
+	m    graph.Metrics
+}
+
+func newSnapshot(src graph.Source, g *graph.Graph, db *store.DB) *Snapshot {
+	s := &Snapshot{src: src, g: g, db: db, stats: &statsCache{}}
+	s.buildFileMaps()
+	return s
+}
+
+// Engine is an opened Frappé database. It wraps either a freshly
+// extracted in-memory graph or a disk-backed store, published as an
+// atomically swappable Snapshot.
+type Engine struct {
+	snap atomic.Pointer[Snapshot]
+
 	// QueryLimits bounds every Query call (zero fields = unlimited).
 	// Long-lived servers set row/step budgets so one runaway expansion
 	// fails fast with query.ErrBudgetExceeded instead of eating memory.
+	// Set at startup, before the engine serves concurrent traffic.
 	QueryLimits query.Limits
 
-	fileIDByPath map[string]int64
-	fileNodeByID map[int64]graph.NodeID
+	// updateMu serialises update application (plan → extract → persist →
+	// swap); queries never take it.
+	updateMu sync.Mutex
+
+	// retired holds disk-backed stores replaced by a swap. They stay
+	// open until Close because queries may still hold their snapshot.
+	mu      sync.Mutex
+	retired []*store.DB
+}
+
+func newEngine(s *Snapshot) *Engine {
+	e := &Engine{}
+	e.snap.Store(s)
+	return e
 }
 
 // Index runs the extractor over a build and returns an in-memory engine.
@@ -51,9 +120,7 @@ func Index(build extract.Build, opts extract.Options) (*Engine, []error, error) 
 func FromGraph(g *graph.Graph) *Engine { return fromGraph(g) }
 
 func fromGraph(g *graph.Graph) *Engine {
-	e := &Engine{src: g, g: g}
-	e.buildFileMaps()
-	return e
+	return newEngine(newSnapshot(g, g, nil))
 }
 
 // Open opens a previously saved Frappé store directory. The store
@@ -75,40 +142,133 @@ func Open(dir string) (eng *Engine, err error) {
 			eng, err = nil, fmt.Errorf("core: opening %s: %w", dir, e)
 		}
 	}()
-	e := &Engine{src: db, db: db}
-	e.buildFileMaps()
-	return e, nil
+	return newEngine(newSnapshot(db, nil, db)), nil
+}
+
+// Snapshot pins the engine's current state. Callers making several
+// dependent reads (a server request, a report) should grab one snapshot
+// and issue every read through it, so a concurrent update cannot change
+// the graph out from under them mid-request.
+func (e *Engine) Snapshot() *Snapshot { return e.snap.Load() }
+
+// SetEpoch stamps the live snapshot with an epoch and last-update
+// summary (used at startup, when an opened store carries update
+// history). Call before the engine serves concurrent traffic.
+func (e *Engine) SetEpoch(epoch int64, last *UpdateSummary) {
+	old := e.snap.Load()
+	next := &Snapshot{
+		src:          old.src,
+		g:            old.g,
+		db:           old.db,
+		fileIDByPath: old.fileIDByPath,
+		fileNodeByID: old.fileNodeByID,
+		epoch:        epoch,
+		last:         last,
+		stats:        old.stats,
+	}
+	e.snap.Store(next)
+}
+
+// Swap publishes g as the live snapshot at the given epoch. In-flight
+// queries holding the previous snapshot finish on it; new reads see g.
+// The previous snapshot's disk store (if any) is retired, not closed —
+// it may still back pinned snapshots until Close.
+func (e *Engine) Swap(g *graph.Graph, epoch int64, last *UpdateSummary) {
+	next := newSnapshot(g, g, nil)
+	next.epoch = epoch
+	next.last = last
+	old := e.snap.Swap(next)
+	if old != nil && old.db != nil {
+		e.mu.Lock()
+		e.retired = append(e.retired, old.db)
+		e.mu.Unlock()
+	}
+}
+
+// UpdateWith applies one update under the engine's update lock. fn
+// receives the live graph and returns the replacement graph, its epoch,
+// and a summary; fn must persist everything it needs (store files,
+// session state, journal) before returning, so nothing unpersisted is
+// ever published. A nil returned graph means no-op: nothing is swapped
+// and the epoch does not advance. Reports whether a swap happened.
+func (e *Engine) UpdateWith(fn func(old graph.Source) (*graph.Graph, int64, *UpdateSummary, error)) (bool, error) {
+	e.updateMu.Lock()
+	defer e.updateMu.Unlock()
+	g, epoch, last, err := fn(e.Snapshot().Source())
+	if err != nil {
+		return false, err
+	}
+	if g == nil {
+		return false, nil
+	}
+	e.Swap(g, epoch, last)
+	return true, nil
 }
 
 // Save persists an in-memory engine to dir (Neo4j-style store files).
 func (e *Engine) Save(dir string) error {
-	if e.g == nil {
+	s := e.Snapshot()
+	if s.g == nil {
 		return fmt.Errorf("core: engine is disk-backed; nothing to save")
 	}
-	return store.Write(dir, e.g)
+	return store.Write(dir, s.g)
 }
 
-// Close releases resources for disk-backed engines.
+// Close releases resources for disk-backed engines, including stores
+// retired by snapshot swaps.
 func (e *Engine) Close() error {
-	if e.db != nil {
-		return e.db.Close()
+	var first error
+	e.mu.Lock()
+	retired := e.retired
+	e.retired = nil
+	e.mu.Unlock()
+	for _, db := range retired {
+		if err := db.Close(); err != nil && first == nil {
+			first = err
+		}
 	}
-	return nil
+	if s := e.Snapshot(); s.db != nil {
+		if err := s.db.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
 }
 
-// Source exposes the underlying graph for traversal and query use.
-func (e *Engine) Source() graph.Source { return e.src }
+// Source exposes the current snapshot's graph for traversal and query
+// use. Prefer Snapshot when making multiple dependent reads.
+func (e *Engine) Source() graph.Source { return e.Snapshot().Source() }
+
+// Source exposes the snapshot's graph.
+func (e *Snapshot) Source() graph.Source { return e.src }
+
+// Graph returns the snapshot's in-memory graph (nil when disk-backed).
+func (e *Snapshot) Graph() *graph.Graph { return e.g }
+
+// Epoch reports which update generation this snapshot represents.
+func (e *Snapshot) Epoch() int64 { return e.epoch }
+
+// LastUpdate returns the summary of the update that produced this
+// snapshot (nil for the initial state).
+func (e *Snapshot) LastUpdate() *UpdateSummary { return e.last }
+
+// Epoch reports the live snapshot's update generation.
+func (e *Engine) Epoch() int64 { return e.Snapshot().Epoch() }
+
+// LastUpdate reports the live snapshot's last-update summary (nil when
+// no update has been applied or recorded).
+func (e *Engine) LastUpdate() *UpdateSummary { return e.Snapshot().LastUpdate() }
 
 // DropCaches empties the page caches of a disk-backed engine (cold-run
 // benchmarking); it is a no-op for in-memory engines.
 func (e *Engine) DropCaches() {
-	if e.db != nil {
-		e.db.DropCaches()
+	if s := e.Snapshot(); s.db != nil {
+		s.db.DropCaches()
 	}
 }
 
 // buildFileMaps indexes file nodes by path and FILE_ID.
-func (e *Engine) buildFileMaps() {
+func (e *Snapshot) buildFileMaps() {
 	e.fileIDByPath = map[string]int64{}
 	e.fileNodeByID = map[int64]graph.NodeID{}
 	n := e.src.NodeCount()
@@ -127,22 +287,37 @@ func (e *Engine) buildFileMaps() {
 }
 
 // FileNodeByID resolves a USE_FILE_ID/NAME_FILE_ID value to a file node.
-func (e *Engine) FileNodeByID(fid int64) (graph.NodeID, bool) {
+func (e *Snapshot) FileNodeByID(fid int64) (graph.NodeID, bool) {
 	n, ok := e.fileNodeByID[fid]
 	return n, ok
 }
 
+// FileNodeByID resolves a file ID against the live snapshot.
+func (e *Engine) FileNodeByID(fid int64) (graph.NodeID, bool) {
+	return e.Snapshot().FileNodeByID(fid)
+}
+
 // FileIDOf returns the extraction FILE_ID recorded for a path, for
 // building position-anchored queries like the paper's Figure 4.
-func (e *Engine) FileIDOf(path string) (int64, bool) {
+func (e *Snapshot) FileIDOf(path string) (int64, bool) {
 	v, ok := e.fileIDByPath[path]
 	return v, ok
 }
 
-// Query parses and runs a Cypher query against the engine's graph,
+// FileIDOf resolves a path against the live snapshot.
+func (e *Engine) FileIDOf(path string) (int64, bool) {
+	return e.Snapshot().FileIDOf(path)
+}
+
+// Query parses and runs a Cypher query against the snapshot's graph.
+func (e *Snapshot) Query(ctx context.Context, text string, limits query.Limits) (*query.Result, error) {
+	return query.RunLimits(ctx, e.src, text, limits)
+}
+
+// Query parses and runs a Cypher query against the engine's live graph,
 // under the engine's QueryLimits.
 func (e *Engine) Query(ctx context.Context, text string) (*query.Result, error) {
-	return query.RunLimits(ctx, e.src, text, e.QueryLimits)
+	return e.Snapshot().Query(ctx, text, e.QueryLimits)
 }
 
 // Symbol is a materialised view of a graph node for API consumers.
@@ -158,7 +333,7 @@ type Symbol struct {
 }
 
 // Symbol materialises a node.
-func (e *Engine) Symbol(id graph.NodeID) Symbol {
+func (e *Snapshot) Symbol(id graph.NodeID) Symbol {
 	s := Symbol{ID: id, Type: e.src.NodeType(id)}
 	if v, ok := e.src.NodeProp(id, model.PropShortName); ok {
 		s.ShortName = v.AsString()
@@ -189,14 +364,20 @@ func (e *Engine) Symbol(id graph.NodeID) Symbol {
 	return s
 }
 
+// Symbol materialises a node from the live snapshot.
+func (e *Engine) Symbol(id graph.NodeID) Symbol { return e.Snapshot().Symbol(id) }
+
 // Symbols materialises a node list.
-func (e *Engine) Symbols(ids []graph.NodeID) []Symbol {
+func (e *Snapshot) Symbols(ids []graph.NodeID) []Symbol {
 	out := make([]Symbol, len(ids))
 	for i, id := range ids {
 		out[i] = e.Symbol(id)
 	}
 	return out
 }
+
+// Symbols materialises a node list from the live snapshot.
+func (e *Engine) Symbols(ids []graph.NodeID) []Symbol { return e.Snapshot().Symbols(ids) }
 
 // --- §4.1 code search ---
 
@@ -218,7 +399,7 @@ type SearchOptions struct {
 }
 
 // Search implements the paper's code-search use case (§4.1).
-func (e *Engine) Search(ctx context.Context, opts SearchOptions) ([]Symbol, error) {
+func (e *Snapshot) Search(ctx context.Context, opts SearchOptions) ([]Symbol, error) {
 	if opts.Pattern == "" {
 		return nil, fmt.Errorf("core: empty search pattern")
 	}
@@ -280,9 +461,14 @@ func (e *Engine) Search(ctx context.Context, opts SearchOptions) ([]Symbol, erro
 	return out, nil
 }
 
+// Search runs a code search against the live snapshot.
+func (e *Engine) Search(ctx context.Context, opts SearchOptions) ([]Symbol, error) {
+	return e.Snapshot().Search(ctx, opts)
+}
+
 // moduleFiles computes the transitive closure of compiled_from and
 // linked_from edges from the named module (Figure 3's first MATCH).
-func (e *Engine) moduleFiles(name string) (map[graph.NodeID]bool, error) {
+func (e *Snapshot) moduleFiles(name string) (map[graph.NodeID]bool, error) {
 	mods, err := e.src.Lookup("short_name: \"" + name + "\"")
 	if err != nil {
 		return nil, err
@@ -306,7 +492,7 @@ func (e *Engine) moduleFiles(name string) (map[graph.NodeID]bool, error) {
 }
 
 // dirFiles collects files under a directory path via dir_contains.
-func (e *Engine) dirFiles(dir string) (map[graph.NodeID]bool, error) {
+func (e *Snapshot) dirFiles(dir string) (map[graph.NodeID]bool, error) {
 	var dn graph.NodeID = graph.InvalidID
 	n := e.src.NodeCount()
 	for id := graph.NodeID(0); id < graph.NodeID(n); id++ {
@@ -333,7 +519,7 @@ func (e *Engine) dirFiles(dir string) (map[graph.NodeID]bool, error) {
 	return files, nil
 }
 
-func (e *Engine) containedInAny(id graph.NodeID, files map[graph.NodeID]bool) bool {
+func (e *Snapshot) containedInAny(id graph.NodeID, files map[graph.NodeID]bool) bool {
 	for _, eid := range e.src.In(id) {
 		from, _, t := e.src.EdgeEnds(eid)
 		if t == model.EdgeFileContains && files[from] {
@@ -348,7 +534,7 @@ func (e *Engine) containedInAny(id graph.NodeID, files map[graph.NodeID]bool) bo
 // GoToDefinition resolves the symbol named name referenced at the given
 // source position to its definition (the paper's Figure 4 query, plus
 // declaration→definition resolution).
-func (e *Engine) GoToDefinition(ctx context.Context, name, file string, line, col int) (Symbol, bool, error) {
+func (e *Snapshot) GoToDefinition(ctx context.Context, name, file string, line, col int) (Symbol, bool, error) {
 	fid, ok := e.fileIDByPath[file]
 	if !ok {
 		return Symbol{}, false, fmt.Errorf("core: unknown file %q", file)
@@ -377,8 +563,13 @@ func (e *Engine) GoToDefinition(ctx context.Context, name, file string, line, co
 	return Symbol{}, false, nil
 }
 
+// GoToDefinition resolves against the live snapshot.
+func (e *Engine) GoToDefinition(ctx context.Context, name, file string, line, col int) (Symbol, bool, error) {
+	return e.Snapshot().GoToDefinition(ctx, name, file, line, col)
+}
+
 // resolveToDefinition follows declares/link_matches from a declaration.
-func (e *Engine) resolveToDefinition(id graph.NodeID) graph.NodeID {
+func (e *Snapshot) resolveToDefinition(id graph.NodeID) graph.NodeID {
 	if !model.IsDecl(e.src.NodeType(id)) {
 		return id
 	}
@@ -402,7 +593,7 @@ type Reference struct {
 
 // FindReferences lists every reference to the symbol (and to its
 // declarations), the paper's find-references action.
-func (e *Engine) FindReferences(ctx context.Context, id graph.NodeID) ([]Reference, error) {
+func (e *Snapshot) FindReferences(ctx context.Context, id graph.NodeID) ([]Reference, error) {
 	targets := []graph.NodeID{id}
 	// Include declaration nodes that resolve to this definition.
 	for _, eid := range e.src.In(id) {
@@ -441,11 +632,16 @@ func (e *Engine) FindReferences(ctx context.Context, id graph.NodeID) ([]Referen
 	return out, nil
 }
 
+// FindReferences lists references against the live snapshot.
+func (e *Engine) FindReferences(ctx context.Context, id graph.NodeID) ([]Reference, error) {
+	return e.Snapshot().FindReferences(ctx, id)
+}
+
 // --- §4.4 code comprehension ---
 
 // BackwardSlice returns every function the seed function transitively
 // calls (Figure 6: the code that can alter the seed's behaviour).
-func (e *Engine) BackwardSlice(seed graph.NodeID, maxDepth int) []Symbol {
+func (e *Snapshot) BackwardSlice(seed graph.NodeID, maxDepth int) []Symbol {
 	return e.Symbols(traversal.TransitiveClosure(e.src, seed, traversal.Options{
 		Direction: traversal.Out,
 		Types:     traversal.Types(model.EdgeCalls),
@@ -453,9 +649,14 @@ func (e *Engine) BackwardSlice(seed graph.NodeID, maxDepth int) []Symbol {
 	}))
 }
 
+// BackwardSlice slices against the live snapshot.
+func (e *Engine) BackwardSlice(seed graph.NodeID, maxDepth int) []Symbol {
+	return e.Snapshot().BackwardSlice(seed, maxDepth)
+}
+
 // ForwardSlice returns every function that transitively calls the seed
 // (the code affected if the seed changes).
-func (e *Engine) ForwardSlice(seed graph.NodeID, maxDepth int) []Symbol {
+func (e *Snapshot) ForwardSlice(seed graph.NodeID, maxDepth int) []Symbol {
 	return e.Symbols(traversal.TransitiveClosure(e.src, seed, traversal.Options{
 		Direction: traversal.In,
 		Types:     traversal.Types(model.EdgeCalls),
@@ -463,10 +664,15 @@ func (e *Engine) ForwardSlice(seed graph.NodeID, maxDepth int) []Symbol {
 	}))
 }
 
+// ForwardSlice slices against the live snapshot.
+func (e *Engine) ForwardSlice(seed graph.NodeID, maxDepth int) []Symbol {
+	return e.Snapshot().ForwardSlice(seed, maxDepth)
+}
+
 // MacroImpact answers "how much code could be affected if I change this
 // macro?": the functions and files that expand or interrogate it, plus
 // the transitive callers of those functions.
-func (e *Engine) MacroImpact(macro graph.NodeID) []Symbol {
+func (e *Snapshot) MacroImpact(macro graph.NodeID) []Symbol {
 	direct := map[graph.NodeID]bool{}
 	for _, eid := range e.src.In(macro) {
 		from, _, t := e.src.EdgeEnds(eid)
@@ -494,27 +700,42 @@ func (e *Engine) MacroImpact(macro graph.NodeID) []Symbol {
 	return e.Symbols(out)
 }
 
+// MacroImpact computes impact against the live snapshot.
+func (e *Engine) MacroImpact(macro graph.NodeID) []Symbol {
+	return e.Snapshot().MacroImpact(macro)
+}
+
 // IncludeImpact returns every file that transitively includes the given
 // file — the rebuild set when a header changes.
-func (e *Engine) IncludeImpact(file graph.NodeID) []Symbol {
+func (e *Snapshot) IncludeImpact(file graph.NodeID) []Symbol {
 	return e.Symbols(traversal.TransitiveClosure(e.src, file, traversal.Options{
 		Direction: traversal.In,
 		Types:     traversal.Types(model.EdgeIncludes),
 	}))
 }
 
+// IncludeImpact computes impact against the live snapshot.
+func (e *Engine) IncludeImpact(file graph.NodeID) []Symbol {
+	return e.Snapshot().IncludeImpact(file)
+}
+
 // CallPath finds a shortest calls path between two functions — the
 // "how might execution reach this code" exploration of §4.4.
-func (e *Engine) CallPath(from, to graph.NodeID) (traversal.Path, bool) {
+func (e *Snapshot) CallPath(from, to graph.NodeID) (traversal.Path, bool) {
 	return traversal.ShortestPath(e.src, from, to, traversal.Options{
 		Direction: traversal.Out,
 		Types:     traversal.Types(model.EdgeCalls),
 	})
 }
 
+// CallPath finds a path against the live snapshot.
+func (e *Engine) CallPath(from, to graph.NodeID) (traversal.Path, bool) {
+	return e.Snapshot().CallPath(from, to)
+}
+
 // LookupNamed finds nodes by SHORT_NAME (optionally filtered by type),
 // a convenience for examples and the CLI.
-func (e *Engine) LookupNamed(name string, typ model.NodeType) ([]graph.NodeID, error) {
+func (e *Snapshot) LookupNamed(name string, typ model.NodeType) ([]graph.NodeID, error) {
 	q := "short_name: \"" + name + "\""
 	if typ != "" {
 		q = "TYPE: " + string(typ) + " AND " + q
@@ -522,9 +743,14 @@ func (e *Engine) LookupNamed(name string, typ model.NodeType) ([]graph.NodeID, e
 	return e.src.Lookup(q)
 }
 
+// LookupNamed looks up against the live snapshot.
+func (e *Engine) LookupNamed(name string, typ model.NodeType) ([]graph.NodeID, error) {
+	return e.Snapshot().LookupNamed(name, typ)
+}
+
 // MustLookupOne returns the unique node with the given name/type or an
 // error naming the ambiguity.
-func (e *Engine) MustLookupOne(name string, typ model.NodeType) (graph.NodeID, error) {
+func (e *Snapshot) MustLookupOne(name string, typ model.NodeType) (graph.NodeID, error) {
 	ids, err := e.LookupNamed(name, typ)
 	if err != nil {
 		return graph.InvalidID, err
@@ -538,6 +764,11 @@ func (e *Engine) MustLookupOne(name string, typ model.NodeType) (graph.NodeID, e
 	return graph.InvalidID, fmt.Errorf("core: %d nodes named %q", len(ids), name)
 }
 
+// MustLookupOne looks up against the live snapshot.
+func (e *Engine) MustLookupOne(name string, typ model.NodeType) (graph.NodeID, error) {
+	return e.Snapshot().MustLookupOne(name, typ)
+}
+
 func orAny(t model.NodeType) string {
 	if t == "" {
 		return "node"
@@ -545,8 +776,17 @@ func orAny(t model.NodeType) string {
 	return string(t)
 }
 
-// Stats bundles the graph metrics of the paper's Table 3.
-func (e *Engine) Stats() graph.Metrics { return graph.ComputeMetrics(e.src) }
+// Stats bundles the graph metrics of the paper's Table 3, computed at
+// most once per snapshot: the graph is immutable once published, so the
+// first call caches and every later call (stats endpoints poll this) is
+// a map-free read.
+func (e *Snapshot) Stats() graph.Metrics {
+	e.stats.once.Do(func() { e.stats.m = graph.ComputeMetrics(e.src) })
+	return e.stats.m
+}
+
+// Stats returns the live snapshot's (cached) metrics.
+func (e *Engine) Stats() graph.Metrics { return e.Snapshot().Stats() }
 
 // FormatSymbol renders a symbol for terminal output.
 func FormatSymbol(s Symbol) string {
@@ -562,7 +802,7 @@ func FormatSymbol(s Symbol) string {
 }
 
 // FilePathOf resolves a FILE_ID to its path, "" when unknown.
-func (e *Engine) FilePathOf(fid cpp.FileID) string {
+func (e *Snapshot) FilePathOf(fid cpp.FileID) string {
 	if n, ok := e.fileNodeByID[int64(fid)]; ok {
 		if v, ok := e.src.NodeProp(n, model.PropName); ok {
 			return v.AsString()
@@ -570,6 +810,9 @@ func (e *Engine) FilePathOf(fid cpp.FileID) string {
 	}
 	return ""
 }
+
+// FilePathOf resolves against the live snapshot.
+func (e *Engine) FilePathOf(fid cpp.FileID) string { return e.Snapshot().FilePathOf(fid) }
 
 // DirOf trims a path to its directory for display grouping.
 func DirOf(p string) string {

@@ -329,13 +329,14 @@ func TestSymbolMaterialisation(t *testing.T) {
 
 func TestFileMapsAndIDs(t *testing.T) {
 	e := tinyEngine(t)
+	src := e.Source()
 	var found bool
-	n := e.src.NodeCount()
+	n := src.NodeCount()
 	for id := graph.NodeID(0); id < graph.NodeID(n); id++ {
-		if e.src.NodeType(id) != model.NodeFile {
+		if src.NodeType(id) != model.NodeFile {
 			continue
 		}
-		fid, ok := e.src.NodeProp(id, "FILE_ID")
+		fid, ok := src.NodeProp(id, "FILE_ID")
 		if !ok {
 			t.Fatalf("file node %d missing FILE_ID", id)
 		}

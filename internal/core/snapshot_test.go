@@ -1,0 +1,175 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"frappe/internal/extract"
+	"frappe/internal/graph"
+	"frappe/internal/kernelgen"
+)
+
+// twoGraphs extracts two structurally different graphs from generated
+// kernels so swap tests can tell snapshots apart by node count.
+func twoGraphs(t testing.TB) (*Engine, *extract.Result, *extract.Result) {
+	t.Helper()
+	a := kernelgen.Generate(kernelgen.Tiny())
+	resA, err := extract.Run(a.Build, a.ExtractOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := kernelgen.Tiny()
+	cfg.Subsystems++
+	b := kernelgen.Generate(cfg)
+	resB, err := extract.Run(b.Build, b.ExtractOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resA.Graph.NodeCount() == resB.Graph.NodeCount() {
+		t.Fatal("fixture graphs are indistinguishable by node count")
+	}
+	return FromGraph(resA.Graph), resA, resB
+}
+
+// TestSnapshotSwapConsistency is the concurrent-safety acceptance
+// criterion: readers pin a snapshot and must see exactly one graph —
+// epoch, node count, and cached stats all agreeing — while a writer
+// swaps back and forth between two graphs. Run under -race in CI.
+func TestSnapshotSwapConsistency(t *testing.T) {
+	eng, resA, resB := twoGraphs(t)
+	defer eng.Close()
+
+	countFor := map[int64]int64{}
+	sumFor := map[int64]int{}
+	// Even epochs serve graph A, odd serve graph B; the last-update
+	// summary carries a node delta matched to the epoch's graph.
+	countFor[0] = resA.Graph.NodeCount()
+	countFor[1] = resB.Graph.NodeCount()
+
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	errs := make(chan string, 16)
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !stop.Load() {
+				snap := eng.Snapshot()
+				epoch := snap.Epoch()
+				want := countFor[epoch%2]
+				if got := snap.Source().NodeCount(); got != want {
+					select {
+					case errs <- "snapshot mixes epochs: epoch/graph mismatch":
+					default:
+					}
+					return
+				}
+				// Stats are cached per snapshot and must describe this
+				// snapshot's graph, not whichever is currently live.
+				if got := snap.Stats().Nodes; got != want {
+					select {
+					case errs <- "snapshot stats describe a different graph":
+					default:
+					}
+					return
+				}
+				if last := snap.LastUpdate(); last != nil && int64(last.NodesAdded) != want {
+					select {
+					case errs <- "snapshot last-update summary from another epoch":
+					default:
+					}
+					return
+				}
+				_ = sumFor
+			}
+		}()
+	}
+	for epoch := int64(1); epoch <= 200; epoch++ {
+		g := resA.Graph
+		if epoch%2 == 1 {
+			g = resB.Graph
+		}
+		eng.Swap(g, epoch, &UpdateSummary{Epoch: epoch, NodesAdded: int(countFor[epoch%2])})
+	}
+	stop.Store(true)
+	wg.Wait()
+	select {
+	case msg := <-errs:
+		t.Fatal(msg)
+	default:
+	}
+	if got := eng.Epoch(); got != 200 {
+		t.Fatalf("final epoch %d, want 200", got)
+	}
+}
+
+// TestUpdateWithNoOp: a fn returning a nil graph must not swap — same
+// snapshot pointer, same epoch — while a returned graph swaps and bumps
+// the epoch. Stats must be recomputed for the new snapshot.
+func TestUpdateWithNoOp(t *testing.T) {
+	eng, resA, resB := twoGraphs(t)
+	defer eng.Close()
+	before := eng.Snapshot()
+	statsBefore := eng.Stats()
+	if statsBefore.Nodes != resA.Graph.NodeCount() {
+		t.Fatalf("baseline stats %d nodes, want %d", statsBefore.Nodes, resA.Graph.NodeCount())
+	}
+
+	swapped, err := eng.UpdateWith(func(old graph.Source) (*graph.Graph, int64, *UpdateSummary, error) {
+		if old.NodeCount() != resA.Graph.NodeCount() {
+			t.Errorf("fn saw stale graph")
+		}
+		return nil, 0, nil, nil
+	})
+	if err != nil || swapped {
+		t.Fatalf("no-op UpdateWith: swapped=%v err=%v", swapped, err)
+	}
+	if eng.Snapshot() != before {
+		t.Fatal("no-op update replaced the snapshot")
+	}
+
+	swapped, err = eng.UpdateWith(func(old graph.Source) (*graph.Graph, int64, *UpdateSummary, error) {
+		return resB.Graph, 1, &UpdateSummary{Epoch: 1}, nil
+	})
+	if err != nil || !swapped {
+		t.Fatalf("applied UpdateWith: swapped=%v err=%v", swapped, err)
+	}
+	if got := eng.Epoch(); got != 1 {
+		t.Fatalf("epoch %d after swap, want 1", got)
+	}
+	if got := eng.Stats().Nodes; got != resB.Graph.NodeCount() {
+		t.Fatalf("stats cache not invalidated on swap: %d nodes, want %d", got, resB.Graph.NodeCount())
+	}
+	// The pinned pre-swap snapshot still answers for the old graph.
+	if got := before.Stats().Nodes; got != resA.Graph.NodeCount() {
+		t.Fatalf("pinned snapshot stats changed after swap: %d", got)
+	}
+	if got := before.Epoch(); got != 0 {
+		t.Fatalf("pinned snapshot epoch changed: %d", got)
+	}
+}
+
+// TestStatsCachedPerSnapshot: repeated Stats on one snapshot returns
+// the same computed metrics without drifting, and SetEpoch preserves
+// the cache (it shares, not copies, the compute-once cell).
+func TestStatsCachedPerSnapshot(t *testing.T) {
+	eng, resA, _ := twoGraphs(t)
+	defer eng.Close()
+	snap := eng.Snapshot()
+	a := snap.Stats()
+	eng.SetEpoch(7, &UpdateSummary{Epoch: 7})
+	b := eng.Snapshot().Stats()
+	if a.Nodes != b.Nodes || a.Edges != b.Edges {
+		t.Fatalf("SetEpoch changed stats: %+v vs %+v", a, b)
+	}
+	if a.Nodes != resA.Graph.NodeCount() {
+		t.Fatalf("stats nodes %d, want %d", a.Nodes, resA.Graph.NodeCount())
+	}
+	if got := eng.Epoch(); got != 7 {
+		t.Fatalf("SetEpoch: epoch %d, want 7", got)
+	}
+	if last := eng.LastUpdate(); last == nil || last.Epoch != 7 {
+		t.Fatalf("SetEpoch: last update %+v", last)
+	}
+}

@@ -10,8 +10,10 @@ package cpp
 
 import (
 	"fmt"
+	"io/fs"
 	"os"
 	"path"
+	"path/filepath"
 	"sort"
 	"strings"
 )
@@ -52,6 +54,10 @@ func (m MapFS) Paths() []string {
 	return out
 }
 
+// ListFiles implements the optional enumeration interface incremental
+// planning uses to detect added files.
+func (m MapFS) ListFiles() ([]string, error) { return m.Paths(), nil }
+
 // DirFS reads from a directory on disk.
 type DirFS struct{ Root string }
 
@@ -68,6 +74,29 @@ func (d DirFS) ReadFile(p string) (string, error) {
 func (d DirFS) Exists(p string) bool {
 	st, err := os.Stat(path.Join(d.Root, p))
 	return err == nil && !st.IsDir()
+}
+
+// ListFiles enumerates every regular file under the root as a sorted,
+// slash-separated, root-relative path list (the enumeration interface
+// incremental planning uses to detect added files).
+func (d DirFS) ListFiles() ([]string, error) {
+	var out []string
+	err := filepath.WalkDir(d.Root, func(p string, de fs.DirEntry, err error) error {
+		if err != nil || de.IsDir() {
+			return err
+		}
+		rel, err := filepath.Rel(d.Root, p)
+		if err != nil {
+			return err
+		}
+		out = append(out, filepath.ToSlash(rel))
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(out)
+	return out, nil
 }
 
 // FileID identifies a source file within one extraction run; it is the

@@ -43,6 +43,12 @@ type Result struct {
 	Interrogations []InterrogationRecord
 	MacroDefs      []MacroDefRecord
 	Errors         []error
+	// Probes lists candidate include paths that were tested and did not
+	// exist — both outright include misses and the search-path slots
+	// probed before a hit. Incremental updates use them to tell when a
+	// newly added file would change this TU's include resolution (by
+	// satisfying a missing include or shadowing the one that was used).
+	Probes []string
 }
 
 // Preprocessor preprocesses translation units. Create one per extraction
@@ -59,6 +65,7 @@ type Preprocessor struct {
 	// per-run state
 	macros     map[string]*Macro
 	pragmaOnce map[FileID]bool
+	probeSeen  map[string]bool
 	res        *Result
 	maxDepth   int
 }
@@ -91,6 +98,7 @@ func (pp *Preprocessor) Preprocess(path string) (*Result, error) {
 		pp.macros[k] = v
 	}
 	pp.pragmaOnce = make(map[FileID]bool)
+	pp.probeSeen = make(map[string]bool)
 	pp.res = &Result{}
 	if err := pp.processFile(path, 0); err != nil {
 		return nil, err
@@ -478,20 +486,33 @@ func (pp *Preprocessor) handleInclude(st *fileState, d Token, path string, depth
 func (pp *Preprocessor) resolveInclude(target, from string, system bool) (string, bool) {
 	if !system {
 		cand := Join(Dir(from), target)
-		if pp.FS.Exists(cand) {
+		if pp.probe(cand) {
 			return cand, true
 		}
 	}
 	for _, dir := range pp.IncludePaths {
 		cand := Join(dir, target)
-		if pp.FS.Exists(cand) {
+		if pp.probe(cand) {
 			return cand, true
 		}
 	}
-	if pp.FS.Exists(target) {
+	if pp.probe(target) {
 		return target, true
 	}
 	return "", false
+}
+
+// probe tests one include candidate, recording misses in Result.Probes
+// (deduplicated per TU).
+func (pp *Preprocessor) probe(cand string) bool {
+	if pp.FS.Exists(cand) {
+		return true
+	}
+	if !pp.probeSeen[cand] {
+		pp.probeSeen[cand] = true
+		pp.res.Probes = append(pp.res.Probes, cand)
+	}
+	return false
 }
 
 func (pp *Preprocessor) evalCondition(kind string, line []Token, d Token) (bool, error) {

@@ -1,0 +1,513 @@
+package delta
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+
+	"frappe/internal/cpp"
+	"frappe/internal/extract"
+	"frappe/internal/graph"
+	"frappe/internal/kernelgen"
+	"frappe/internal/model"
+)
+
+// countingOptions wraps a workload's options with a frontend counter —
+// the proof that an update re-extracts only dirty units.
+func countingOptions(opts extract.Options, n *int) extract.Options {
+	opts.OnFrontend = func(string) { *n++ }
+	return opts
+}
+
+// sigsEqual asserts two graphs are identical by signature multiset and
+// reports a few differing signatures when not.
+func sigsEqual(t *testing.T, want, got graph.Source) {
+	t.Helper()
+	check := func(kind string, ws, gs []string) {
+		wm := countMultiset(ws)
+		gm := countMultiset(gs)
+		var missing, extra []string
+		for s, n := range wm {
+			if gm[s] < n {
+				missing = append(missing, s)
+			}
+		}
+		for s, n := range gm {
+			if wm[s] < n {
+				extra = append(extra, s)
+			}
+		}
+		sort.Strings(missing)
+		sort.Strings(extra)
+		trim := func(xs []string) []string {
+			if len(xs) > 5 {
+				return xs[:5]
+			}
+			return xs
+		}
+		if len(missing) > 0 || len(extra) > 0 {
+			t.Fatalf("%s mismatch: %d missing (e.g. %q), %d extra (e.g. %q)",
+				kind, len(missing), trim(missing), len(extra), trim(extra))
+		}
+	}
+	check("node", NodeSignatures(want), NodeSignatures(got))
+	check("edge", EdgeSignatures(want), EdgeSignatures(got))
+}
+
+// TestEmptyPlanIsNoOp: satellite criterion — planning against an
+// untouched tree yields an empty plan, and applying it re-extracts
+// nothing and does not bump the epoch.
+func TestEmptyPlanIsNoOp(t *testing.T) {
+	w := kernelgen.Generate(kernelgen.Tiny())
+	frontends := 0
+	sess, res, err := NewSession(w.Build, countingOptions(w.ExtractOptions(), &frontends))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if frontends != len(w.Build.Units) {
+		t.Fatalf("initial extraction ran %d frontends, want %d", frontends, len(w.Build.Units))
+	}
+	plan, err := sess.Plan(w.Build)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !plan.Empty() {
+		t.Fatalf("plan over untouched tree not empty: %+v", plan)
+	}
+	epochBefore := sess.Manifest().Epoch
+	frontends = 0
+	up, err := sess.Update(w.Build, res.Graph)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !up.NoOp {
+		t.Fatal("update over untouched tree was not a no-op")
+	}
+	if frontends != 0 {
+		t.Fatalf("no-op update ran %d frontends", frontends)
+	}
+	if up.Epoch != epochBefore || sess.Manifest().Epoch != epochBefore {
+		t.Fatalf("no-op update bumped epoch %d -> %d", epochBefore, up.Epoch)
+	}
+	if !up.Diff.Zero() {
+		t.Fatalf("no-op update reported diff %+v", up.Diff)
+	}
+}
+
+// TestIncrementalMatchesRebuild: the tentpole acceptance criterion.
+// Index a generated kernel tree, mutate under 5% of its files, update,
+// and require (a) the incremental graph equals a from-scratch rebuild
+// of the mutated tree by signature multiset, and (b) only dirty units
+// went through the frontend, proven by counting extractor invocations.
+func TestIncrementalMatchesRebuild(t *testing.T) {
+	w := kernelgen.Generate(kernelgen.Default())
+	frontends := 0
+	sess, res, err := NewSession(w.Build, countingOptions(w.ExtractOptions(), &frontends))
+	if err != nil {
+		t.Fatal(err)
+	}
+	totalUnits := len(w.Build.Units)
+	if frontends != totalUnits {
+		t.Fatalf("initial extraction ran %d frontends, want %d", frontends, totalUnits)
+	}
+
+	// Mutate ≤5% of the tree: pick a handful of .c files and append a new
+	// function to each.
+	var sources []string
+	for _, u := range w.Build.Units {
+		sources = append(sources, u.Source)
+	}
+	sort.Strings(sources)
+	budget := len(w.FS) / 20 // 5%
+	if budget > 5 {
+		budget = 5
+	}
+	if budget < 1 {
+		budget = 1
+	}
+	mutated := sources[:budget]
+	for i, src := range mutated {
+		w.FS[src] += fmt.Sprintf("\nint delta_added_%d(int x) { return x + %d; }\n", i, i)
+	}
+
+	frontends = 0
+	up, err := sess.Update(w.Build, res.Graph)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if up.NoOp {
+		t.Fatal("mutating files produced a no-op update")
+	}
+	if got, want := len(up.Plan.Modified), len(mutated); got != want {
+		t.Fatalf("plan found %d modified files, want %d: %v", got, want, up.Plan.Modified)
+	}
+	if frontends != len(mutated) {
+		t.Fatalf("update ran %d frontends, want exactly the %d dirty units (of %d total)",
+			frontends, len(mutated), totalUnits)
+	}
+	if up.Reextracted != frontends {
+		t.Fatalf("Reextracted = %d, frontend count = %d", up.Reextracted, frontends)
+	}
+	if up.Diff.NodesAdded == 0 || up.Diff.EdgesAdded == 0 {
+		t.Fatalf("adding functions reported diff %+v", up.Diff)
+	}
+
+	// From-scratch rebuild over the mutated tree must match exactly.
+	scratch, err := extract.Run(w.Build, w.ExtractOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sigsEqual(t, scratch.Graph, up.Result.Graph)
+
+	// And the incremental graph vs itself must show a zero diff.
+	if d := Compute(up.Result.Graph, scratch.Graph); !d.Zero() {
+		t.Fatalf("incremental vs rebuild diff not zero: %+v", d)
+	}
+}
+
+// relinkFixture is a two-unit program where b.c calls f through a
+// header prototype and a.c provides the definition.
+func relinkFixture() (cpp.MapFS, extract.Build) {
+	fs := cpp.MapFS{
+		"include/api.h": "int f(int x);\n",
+		"a.c":           "#include \"include/api.h\"\nint f(int x) { return x + 1; }\n",
+		"b.c":           "#include \"include/api.h\"\nint g(void) { return f(1); }\n",
+	}
+	build := extract.Build{
+		Units: []extract.CompileUnit{
+			{Source: "a.c", Object: "a.o"},
+			{Source: "b.c", Object: "b.o"},
+		},
+		Modules: []extract.Module{{Name: "m.elf", Objects: []string{"a.o", "b.o"}}},
+	}
+	return fs, build
+}
+
+// callTarget finds caller's single outgoing calls edge and returns the
+// callee node.
+func callTarget(t *testing.T, src graph.Source, caller string) (graph.NodeID, model.NodeType) {
+	t.Helper()
+	ids, err := src.Lookup("short_name: \"" + caller + "\"")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range ids {
+		if src.NodeType(id) != model.NodeFunction {
+			continue
+		}
+		for _, eid := range src.Out(id) {
+			_, to, et := src.EdgeEnds(eid)
+			if et == model.EdgeCalls {
+				return to, src.NodeType(to)
+			}
+		}
+	}
+	t.Fatalf("no calls edge out of %q", caller)
+	return 0, ""
+}
+
+// TestRemovedDefinitionDegradesToDecl: satellite criterion — deleting
+// the .c file that defines a function called elsewhere degrades the
+// call edge to an unresolved reference (the function_decl node, with no
+// declares/link_matches resolution), and re-adding the file restores
+// the direct call edge.
+func TestRemovedDefinitionDegradesToDecl(t *testing.T) {
+	fs, build := relinkFixture()
+	opts := extract.Options{FS: fs}
+	sess, res, err := NewSession(build, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if to, typ := callTarget(t, res.Graph, "g"); typ != model.NodeFunction {
+		t.Fatalf("baseline: g calls %v (node %d), want function", typ, to)
+	}
+
+	// Delete a.c: the file disappears and its unit drops out of the build.
+	delete(fs, "a.c")
+	removedBuild := extract.Build{
+		Units:   []extract.CompileUnit{{Source: "b.c", Object: "b.o"}},
+		Modules: []extract.Module{{Name: "m.elf", Objects: []string{"b.o"}}},
+	}
+	up, err := sess.Update(removedBuild, res.Graph)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if up.NoOp {
+		t.Fatal("removing a definition produced a no-op")
+	}
+	to, typ := callTarget(t, up.Result.Graph, "g")
+	if typ != model.NodeFunctionDecl {
+		t.Fatalf("after removal: g calls %v, want function_decl", typ)
+	}
+	// The decl must be unresolved: no declares/link_matches out-edge.
+	for _, eid := range up.Result.Graph.Out(to) {
+		_, _, et := up.Result.Graph.EdgeEnds(eid)
+		if et == model.EdgeDeclares || et == model.EdgeLinkMatches {
+			t.Fatalf("decl still resolves via %v after its definition was removed", et)
+		}
+	}
+	// Matches a from-scratch extraction of the shrunken tree.
+	scratch, err := extract.Run(removedBuild, extract.Options{FS: fs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sigsEqual(t, scratch.Graph, up.Result.Graph)
+
+	// Restore the file: the call edge goes back to the definition.
+	fs["a.c"] = "#include \"include/api.h\"\nint f(int x) { return x + 1; }\n"
+	up2, err := sess.Update(build, up.Result.Graph)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, typ := callTarget(t, up2.Result.Graph, "g"); typ != model.NodeFunction {
+		t.Fatalf("after restore: g calls %v, want function", typ)
+	}
+	if len(up2.Plan.Added) == 0 {
+		t.Fatalf("restoring a.c not classified as added: %+v", up2.Plan)
+	}
+}
+
+// TestAddedHeaderSatisfiesProbe: a unit with a missing include becomes
+// dirty when a file appears at a probed path.
+func TestAddedHeaderSatisfiesProbe(t *testing.T) {
+	fs := cpp.MapFS{
+		"c.c": "#include \"opt.h\"\nint h(void) { return 0; }\n",
+	}
+	build := extract.Build{
+		Units:   []extract.CompileUnit{{Source: "c.c", Object: "c.o"}},
+		Modules: []extract.Module{{Name: "m.elf", Objects: []string{"c.o"}}},
+	}
+	frontends := 0
+	sess, res, err := NewSession(build, countingOptions(extract.Options{FS: fs}, &frontends))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Errors) == 0 {
+		t.Fatal("missing include produced no diagnostic")
+	}
+	fs["opt.h"] = "#define OPT 1\n"
+	frontends = 0
+	up, err := sess.Update(build, res.Graph)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if up.NoOp || frontends != 1 {
+		t.Fatalf("adding probed header: noop=%v frontends=%d, want applied update re-extracting 1 unit", up.NoOp, frontends)
+	}
+	if len(up.Result.Errors) != 0 {
+		t.Fatalf("diagnostics after header added: %v", up.Result.Errors)
+	}
+}
+
+// TestSaveResume: session state round-trips through disk — a resumed
+// session plans empty against an untouched tree and re-extracts nothing,
+// and an update after resume still matches a from-scratch rebuild.
+func TestSaveResume(t *testing.T) {
+	dir := t.TempDir()
+	w := kernelgen.Generate(kernelgen.Tiny())
+	sess, res, err := NewSession(w.Build, w.ExtractOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.SaveState(dir); err != nil {
+		t.Fatal(err)
+	}
+
+	frontends := 0
+	resumed, err := Resume(dir, countingOptions(w.ExtractOptions(), &frontends))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resumed.NeedsRepair() {
+		t.Fatal("clean resume marked units force-dirty")
+	}
+	plan, err := resumed.Plan(w.Build)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !plan.Empty() {
+		t.Fatalf("resumed plan over untouched tree not empty: %+v", plan)
+	}
+	// The resumed session materialises the same graph without any
+	// frontend work.
+	re := resumed.Assemble(w.Build)
+	if frontends != 0 {
+		t.Fatalf("resume+assemble ran %d frontends", frontends)
+	}
+	sigsEqual(t, res.Graph, re.Graph)
+
+	// Mutate one file; the resumed session updates to the rebuild state.
+	src := w.Build.Units[0].Source
+	w.FS[src] += "\nint resumed_added(void) { return 7; }\n"
+	up, err := resumed.Update(w.Build, re.Graph)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if up.NoOp || frontends != 1 {
+		t.Fatalf("resumed update: noop=%v frontends=%d, want 1 re-extraction", up.NoOp, frontends)
+	}
+	scratch, err := extract.Run(w.Build, w.ExtractOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sigsEqual(t, scratch.Graph, up.Result.Graph)
+}
+
+// TestResumeLostCacheForcesReextract: a deleted cache entry degrades to
+// a forced re-extraction of just that unit, not a failure.
+func TestResumeLostCacheForcesReextract(t *testing.T) {
+	dir := t.TempDir()
+	w := kernelgen.Generate(kernelgen.Tiny())
+	sess, res, err := NewSession(w.Build, w.ExtractOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.SaveState(dir); err != nil {
+		t.Fatal(err)
+	}
+	victim := w.Build.Units[0].Source
+	if err := os.Remove(filepath.Join(dir, CacheDir, cacheName(victim))); err != nil {
+		t.Fatal(err)
+	}
+
+	frontends := 0
+	resumed, err := Resume(dir, countingOptions(w.ExtractOptions(), &frontends))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resumed.NeedsRepair() {
+		t.Fatal("lost cache entry not flagged for repair")
+	}
+	up, err := resumed.Update(w.Build, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if up.NoOp || frontends != 1 {
+		t.Fatalf("repair update: noop=%v frontends=%d, want 1", up.NoOp, frontends)
+	}
+	sigsEqual(t, res.Graph, up.Result.Graph)
+	// Epoch advanced (state changed on disk even though the graph is the
+	// same), and a second update is a clean no-op.
+	up2, err := resumed.Update(w.Build, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !up2.NoOp {
+		t.Fatal("second update after repair not a no-op")
+	}
+}
+
+// TestJournal: append/load round-trip plus the audit rules — strictly
+// increasing epochs and journal/manifest agreement.
+func TestJournal(t *testing.T) {
+	dir := t.TempDir()
+	if problems := AuditJournal(dir); len(problems) != 0 {
+		t.Fatalf("empty dir audit: %v", problems)
+	}
+	if err := AppendJournal(dir, Record{Epoch: 0, Time: "2026-08-05T00:00:00Z"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := AppendJournal(dir, Record{Epoch: 1, NodesAdded: 3}); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := LoadJournal(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 || recs[1].NodesAdded != 3 {
+		t.Fatalf("journal round-trip: %+v", recs)
+	}
+	// Journal without manifest is a problem.
+	if problems := AuditJournal(dir); len(problems) != 1 {
+		t.Fatalf("journal-without-manifest audit: %v", problems)
+	}
+	// Manifest at the journal's last epoch audits clean.
+	if err := SaveManifest(dir, &Manifest{Version: 1, Epoch: 1, Files: map[string]string{}}); err != nil {
+		t.Fatal(err)
+	}
+	if problems := AuditJournal(dir); len(problems) != 0 {
+		t.Fatalf("consistent audit: %v", problems)
+	}
+	// Epoch regression is caught.
+	if err := AppendJournal(dir, Record{Epoch: 1}); err != nil {
+		t.Fatal(err)
+	}
+	problems := AuditJournal(dir)
+	found := false
+	for _, p := range problems {
+		if strings.Contains(p.Error(), "not after") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("epoch regression not flagged: %v", problems)
+	}
+}
+
+// TestManifestVersionGate: an unsupported manifest version refuses to
+// load instead of misinterpreting state.
+func TestManifestVersionGate(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, ManifestFile), []byte(`{"version": 99}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadManifest(dir); err == nil || !strings.Contains(err.Error(), "unsupported version") {
+		t.Fatalf("version gate: %v", err)
+	}
+}
+
+// TestModuleChangeRelinks: changing only the link description dirties
+// no unit but still rebuilds (the linker model is graph-visible).
+func TestModuleChangeRelinks(t *testing.T) {
+	fs, build := relinkFixture()
+	frontends := 0
+	sess, res, err := NewSession(build, countingOptions(extract.Options{FS: fs}, &frontends))
+	if err != nil {
+		t.Fatal(err)
+	}
+	relinked := build
+	relinked.Modules = []extract.Module{{Name: "renamed.elf", Objects: []string{"a.o", "b.o"}}}
+	frontends = 0
+	up, err := sess.Update(relinked, res.Graph)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if up.NoOp {
+		t.Fatal("module rename produced a no-op")
+	}
+	if frontends != 0 {
+		t.Fatalf("module rename re-extracted %d units, want 0", frontends)
+	}
+	scratch, err := extract.Run(relinked, extract.Options{FS: fs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sigsEqual(t, scratch.Graph, up.Result.Graph)
+}
+
+// BenchmarkUpdate measures one incremental update that re-extracts a
+// single dirty unit of the default generated kernel.
+func BenchmarkUpdate(b *testing.B) {
+	w := kernelgen.Generate(kernelgen.Default())
+	sess, res, err := NewSession(w.Build, w.ExtractOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	src := w.Build.Units[0].Source
+	old := res.Graph
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.FS[src] += fmt.Sprintf("\nint bench_added_%d(void) { return %d; }\n", i, i)
+		up, err := sess.Update(w.Build, old)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if up.NoOp {
+			b.Fatal("benchmark update was a no-op")
+		}
+		old = up.Result.Graph
+	}
+}

@@ -1,0 +1,114 @@
+package delta
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// Record is one journal entry: the audit trail of an applied update.
+// Time is supplied by the caller (the subsystem takes no clock of its
+// own) in RFC 3339 form.
+type Record struct {
+	Epoch            int64   `json:"epoch"`
+	Time             string  `json:"time,omitempty"`
+	FilesAdded       int     `json:"filesAdded"`
+	FilesModified    int     `json:"filesModified"`
+	FilesRemoved     int     `json:"filesRemoved"`
+	UnitsReextracted int     `json:"unitsReextracted"`
+	NodesAdded       int     `json:"nodesAdded"`
+	NodesRemoved     int     `json:"nodesRemoved"`
+	EdgesAdded       int     `json:"edgesAdded"`
+	EdgesRemoved     int     `json:"edgesRemoved"`
+	WallMillis       float64 `json:"wallMillis"`
+	NodeCount        int64   `json:"nodeCount"`
+	EdgeCount        int64   `json:"edgeCount"`
+}
+
+// AppendJournal appends one record to dir's journal as a JSON line.
+func AppendJournal(dir string, r Record) error {
+	b, err := json.Marshal(r)
+	if err != nil {
+		return err
+	}
+	f, err := os.OpenFile(filepath.Join(dir, JournalFile), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if _, err := f.Write(append(b, '\n')); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// LoadJournal reads dir's journal. A missing journal is an empty
+// history, not an error.
+func LoadJournal(dir string) ([]Record, error) {
+	f, err := os.Open(filepath.Join(dir, JournalFile))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	defer f.Close()
+	var out []Record
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 64*1024), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var r Record
+		if err := json.Unmarshal(sc.Bytes(), &r); err != nil {
+			return out, fmt.Errorf("delta: %s line %d: %w", JournalFile, line, err)
+		}
+		out = append(out, r)
+	}
+	if err := sc.Err(); err != nil {
+		return out, err
+	}
+	return out, nil
+}
+
+// AuditJournal checks dir's update history for internal consistency:
+// parseable records, strictly increasing epochs, and agreement between
+// the last journalled epoch and the manifest. A store with neither
+// journal nor manifest (indexed before the incremental subsystem, or
+// never updated) audits clean.
+func AuditJournal(dir string) []error {
+	var problems []error
+	recs, err := LoadJournal(dir)
+	if err != nil {
+		problems = append(problems, err)
+	}
+	for i := 1; i < len(recs); i++ {
+		if recs[i].Epoch <= recs[i-1].Epoch {
+			problems = append(problems, fmt.Errorf(
+				"delta: %s record %d: epoch %d not after %d",
+				JournalFile, i+1, recs[i].Epoch, recs[i-1].Epoch))
+		}
+	}
+	m, err := LoadManifest(dir)
+	switch {
+	case err == nil:
+		if len(recs) > 0 && recs[len(recs)-1].Epoch != m.Epoch {
+			problems = append(problems, fmt.Errorf(
+				"delta: journal ends at epoch %d but manifest is at epoch %d",
+				recs[len(recs)-1].Epoch, m.Epoch))
+		}
+	case os.IsNotExist(err):
+		if len(recs) > 0 {
+			problems = append(problems, fmt.Errorf(
+				"delta: journal has %d records but no manifest exists", len(recs)))
+		}
+	default:
+		problems = append(problems, err)
+	}
+	return problems
+}

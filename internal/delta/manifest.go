@@ -1,0 +1,200 @@
+// Package delta is Frappé's incremental update subsystem. The paper
+// integrates extraction into the build so the dependency graph tracks a
+// codebase that changes daily without full rebuilds; this package is that
+// integration point for a long-running service:
+//
+//	manifest — per-file content hashes and per-TU include closures,
+//	           persisted alongside the store (delta.manifest.json);
+//	plan     — classify the current tree against the manifest into
+//	           added/modified/removed files and the dirty translation
+//	           units they imply;
+//	apply    — re-run the extraction frontend (preprocess + parse) for
+//	           only the dirty units, re-assemble the graph from cached
+//	           artifacts, and diff it against the live graph;
+//	journal  — an append-only record of every applied update
+//	           (delta.journal), audited by `frappe verify`;
+//	swap     — core.Engine publishes the new graph behind an atomic
+//	           pointer so in-flight queries finish on the old snapshot.
+package delta
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sort"
+
+	"frappe/internal/cpp"
+	"frappe/internal/extract"
+)
+
+// Store-directory entries owned by the delta subsystem.
+const (
+	// ManifestFile records file hashes and TU dependency closures.
+	ManifestFile = "delta.manifest.json"
+	// JournalFile is the append-only update history (JSON lines).
+	JournalFile = "delta.journal"
+	// CacheDir holds the per-TU frontend cache (gob) plus the file table.
+	CacheDir = "tucache"
+	// fileTableFile persists the run-wide FileID interning order.
+	fileTableFile = "filetable.json"
+)
+
+// manifestVersion guards the manifest JSON layout.
+const manifestVersion = 1
+
+// TUState is the manifest's record of one translation unit.
+type TUState struct {
+	Source string `json:"source"`
+	Object string `json:"object"`
+	// Deps is the unit's include closure — the root source plus every
+	// file the preprocessor folded in — sorted.
+	Deps []string `json:"deps"`
+	// Probes lists include candidates the unit tested and did not find;
+	// a file appearing at one of these paths changes the unit's include
+	// resolution, so it dirties the unit.
+	Probes []string `json:"probes,omitempty"`
+}
+
+// Manifest captures the source state a graph was extracted from. Plan
+// compares a manifest against the current tree to decide what must be
+// re-extracted.
+type Manifest struct {
+	Version int   `json:"version"`
+	Epoch   int64 `json:"epoch"`
+	// Files maps every path read during extraction to the hex SHA-256 of
+	// its content at extraction time.
+	Files map[string]string `json:"files"`
+	// TUs lists the build's translation units in build order.
+	TUs []TUState `json:"tus"`
+	// Modules is the build's link description; a change re-runs the
+	// linker model even when no file changed.
+	Modules []extract.Module `json:"modules"`
+}
+
+// HashBytes returns the manifest's content hash encoding (hex SHA-256).
+func HashBytes(b []byte) string {
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:])
+}
+
+// hashFile reads and hashes one path through the extraction file system;
+// ok is false when the file does not exist.
+func hashFile(fs cpp.FileProvider, path string) (string, bool) {
+	src, err := fs.ReadFile(path)
+	if err != nil {
+		return "", false
+	}
+	return HashBytes([]byte(src)), true
+}
+
+// SaveManifest writes m atomically (temp file + rename) into dir.
+func SaveManifest(dir string, m *Manifest) error {
+	b, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return err
+	}
+	return atomicWrite(filepath.Join(dir, ManifestFile), append(b, '\n'))
+}
+
+// LoadManifest reads dir's manifest. It returns os.ErrNotExist (wrapped)
+// when the store has no manifest — a legacy store indexed before the
+// incremental subsystem, or one whose state was removed.
+func LoadManifest(dir string) (*Manifest, error) {
+	b, err := os.ReadFile(filepath.Join(dir, ManifestFile))
+	if err != nil {
+		return nil, err
+	}
+	var m Manifest
+	if err := json.Unmarshal(b, &m); err != nil {
+		return nil, fmt.Errorf("delta: %s: %w", ManifestFile, err)
+	}
+	if m.Version != manifestVersion {
+		return nil, fmt.Errorf("delta: %s: unsupported version %d", ManifestFile, m.Version)
+	}
+	return &m, nil
+}
+
+// atomicWrite writes b to path via a temp file in the same directory.
+func atomicWrite(path string, b []byte) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".delta-*")
+	if err != nil {
+		return err
+	}
+	name := tmp.Name()
+	if _, err := tmp.Write(b); err != nil {
+		tmp.Close()
+		os.Remove(name)
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(name)
+		return err
+	}
+	return os.Rename(name, path)
+}
+
+// modulesEqual compares two link descriptions (order-sensitive, as link
+// order is graph-visible via LINK_ORDER).
+func modulesEqual(a, b []extract.Module) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	return reflect.DeepEqual(a, b)
+}
+
+// artifactDeps derives a sorted include-closure path list for one
+// artifact: the root source plus every include target.
+func artifactDeps(a *extract.UnitArtifact, files *cpp.FileTable) []string {
+	seen := map[string]bool{files.Path(a.RootFile): true}
+	for _, inc := range a.PP.Includes {
+		seen[files.Path(inc.To)] = true
+	}
+	deps := make([]string, 0, len(seen))
+	for p := range seen {
+		deps = append(deps, p)
+	}
+	sort.Strings(deps)
+	return deps
+}
+
+// buildManifest records the state of a completed (full or incremental)
+// extraction: build units in order, their dep closures and probes, and
+// the content hash of every file read.
+func buildManifest(build extract.Build, arts map[string]*extract.UnitArtifact, files *cpp.FileTable, fs cpp.FileProvider, epoch int64) *Manifest {
+	m := &Manifest{
+		Version: manifestVersion,
+		Epoch:   epoch,
+		Files:   map[string]string{},
+		Modules: build.Modules,
+	}
+	hashed := map[string]bool{}
+	record := func(p string) {
+		if hashed[p] {
+			return
+		}
+		hashed[p] = true
+		h, _ := hashFile(fs, p) // missing file hashes to ""; any later content differs
+		m.Files[p] = h
+	}
+	for _, u := range build.Units {
+		st := TUState{Source: u.Source, Object: u.Object}
+		if a := arts[u.Source]; a != nil {
+			st.Deps = artifactDeps(a, files)
+			st.Probes = append([]string(nil), a.PP.Probes...)
+			sort.Strings(st.Probes)
+		} else {
+			// Frontend failed for this unit: track just the root source so
+			// a content change retries it.
+			st.Deps = []string{u.Source}
+		}
+		for _, d := range st.Deps {
+			record(d)
+		}
+		m.TUs = append(m.TUs, st)
+	}
+	return m
+}

@@ -1,0 +1,155 @@
+package delta
+
+import (
+	"sort"
+
+	"frappe/internal/cpp"
+	"frappe/internal/extract"
+)
+
+// Plan is the classification of the current source state against a
+// manifest: which files changed and which translation units those
+// changes dirty. An empty plan means the graph is already current.
+type Plan struct {
+	// Added lists files that did not exist at the last extraction and
+	// now matter: new unit roots, and files satisfying (or shadowing) an
+	// include probe some unit previously missed.
+	Added []string
+	// Modified lists manifest files whose content hash changed.
+	Modified []string
+	// Removed lists manifest files that no longer exist.
+	Removed []string
+
+	// NewUnits, DirtyUnits and RemovedUnits partition the build's
+	// translation units (by source path): units to extract for the first
+	// time, units to re-extract, and units to drop.
+	NewUnits     []string
+	DirtyUnits   []string
+	RemovedUnits []string
+
+	// ModulesChanged reports a link-description change, which re-runs the
+	// linker model even with no dirty unit.
+	ModulesChanged bool
+}
+
+// Empty reports whether applying the plan would change nothing.
+func (p *Plan) Empty() bool {
+	return len(p.Added) == 0 && len(p.Modified) == 0 && len(p.Removed) == 0 &&
+		len(p.NewUnits) == 0 && len(p.DirtyUnits) == 0 && len(p.RemovedUnits) == 0 &&
+		!p.ModulesChanged
+}
+
+// Reextract returns the unit sources the plan sends through the
+// frontend, in the order build.Units lists them.
+func (p *Plan) Reextract() []string {
+	out := make([]string, 0, len(p.NewUnits)+len(p.DirtyUnits))
+	out = append(out, p.NewUnits...)
+	out = append(out, p.DirtyUnits...)
+	return out
+}
+
+// lister is the optional enumeration side of a cpp.FileProvider; without
+// it added-file detection degrades to probe misses never firing (a
+// modified or removed file is still always detected).
+type lister interface {
+	ListFiles() ([]string, error)
+}
+
+// planUpdate classifies build against manifest m over the tree fs.
+// forceDirty names units that must re-extract regardless of hashes (for
+// example because their cached artifact was lost).
+func planUpdate(m *Manifest, build extract.Build, fs cpp.FileProvider, forceDirty map[string]bool) (*Plan, error) {
+	p := &Plan{}
+
+	// File-level classification: hash every path the last extraction read.
+	modified := map[string]bool{}
+	removed := map[string]bool{}
+	for path, oldHash := range m.Files {
+		h, ok := hashFile(fs, path)
+		switch {
+		case !ok && oldHash == "":
+			// Was missing then, still missing: unchanged.
+		case !ok:
+			removed[path] = true
+		case h != oldHash:
+			modified[path] = true
+		}
+	}
+
+	// Added-file detection: anything on disk the manifest has never seen.
+	added := map[string]bool{}
+	if l, ok := fs.(lister); ok {
+		paths, err := l.ListFiles()
+		if err != nil {
+			return nil, err
+		}
+		for _, path := range paths {
+			if _, known := m.Files[path]; !known {
+				added[path] = true
+			}
+		}
+	}
+
+	// Unit-level classification.
+	inBuild := map[string]bool{}
+	for _, u := range build.Units {
+		inBuild[u.Source] = true
+	}
+	oldTU := map[string]*TUState{}
+	for i := range m.TUs {
+		oldTU[m.TUs[i].Source] = &m.TUs[i]
+		if !inBuild[m.TUs[i].Source] {
+			p.RemovedUnits = append(p.RemovedUnits, m.TUs[i].Source)
+		}
+	}
+	// addedMatters collects only the added files that influence some unit.
+	addedMatters := map[string]bool{}
+	for _, u := range build.Units {
+		st, known := oldTU[u.Source]
+		if !known {
+			p.NewUnits = append(p.NewUnits, u.Source)
+			if _, tracked := m.Files[u.Source]; !tracked {
+				addedMatters[u.Source] = true
+			}
+			continue
+		}
+		dirty := forceDirty[u.Source] || st.Object != u.Object
+		for _, d := range st.Deps {
+			if modified[d] || removed[d] {
+				dirty = true
+				break
+			}
+		}
+		if !dirty {
+			for _, probe := range st.Probes {
+				if added[probe] {
+					dirty = true
+					addedMatters[probe] = true
+					break
+				}
+			}
+		}
+		if dirty {
+			p.DirtyUnits = append(p.DirtyUnits, u.Source)
+		}
+	}
+
+	p.Added = sortedKeys(addedMatters)
+	p.Modified = sortedKeys(modified)
+	p.Removed = sortedKeys(removed)
+	sort.Strings(p.RemovedUnits)
+	p.ModulesChanged = !modulesEqual(m.Modules, build.Modules)
+	return p, nil
+}
+
+func sortedKeys(set map[string]bool) []string {
+	if len(set) == 0 {
+		return nil
+	}
+	out := make([]string, 0, len(set))
+	for k := range set {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,339 @@
+package delta
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/gob"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"frappe/internal/cparse"
+	"frappe/internal/cpp"
+	"frappe/internal/extract"
+	"frappe/internal/graph"
+)
+
+// Session owns the state an incremental extractor carries between
+// updates: the shared file table (so FileIDs stay stable across
+// updates), the frontend artifact of every live translation unit, and
+// the manifest describing the source state those artifacts were built
+// from. A Session is not safe for concurrent use; callers serialise
+// updates (core.Engine holds one update lock).
+type Session struct {
+	opts     extract.Options
+	files    *cpp.FileTable
+	arts     map[string]*extract.UnitArtifact
+	manifest *Manifest
+	// failed records units whose last frontend attempt hard-failed, so
+	// subsequent assembles keep reporting the error exactly as a
+	// from-scratch run would.
+	failed map[string]error
+	// forceDirty marks units whose cached artifact could not be restored
+	// and must re-extract on the next update regardless of hashes.
+	forceDirty map[string]bool
+}
+
+// NewSession runs a full extraction over build and returns the session
+// plus its result. Equivalent to extract.Run, but retaining the state
+// later Update calls need.
+func NewSession(build extract.Build, opts extract.Options) (*Session, *extract.Result, error) {
+	s := &Session{
+		opts:       opts,
+		files:      cpp.NewFileTable(),
+		arts:       map[string]*extract.UnitArtifact{},
+		failed:     map[string]error{},
+		forceDirty: map[string]bool{},
+	}
+	for _, u := range build.Units {
+		a, err := extract.Frontend(u, opts, s.files)
+		if err != nil {
+			s.failed[u.Source] = fmt.Errorf("extract: %s: %w", u.Source, err)
+			continue
+		}
+		s.arts[u.Source] = a
+	}
+	res := s.assemble(build)
+	s.manifest = buildManifest(build, s.arts, s.files, opts.FS, 0)
+	return s, res, nil
+}
+
+// Manifest returns the session's current manifest.
+func (s *Session) Manifest() *Manifest { return s.manifest }
+
+// Files returns the session's file table.
+func (s *Session) Files() *cpp.FileTable { return s.files }
+
+// Plan classifies the current tree against the session's manifest.
+func (s *Session) Plan(build extract.Build) (*Plan, error) {
+	return planUpdate(s.manifest, build, s.opts.FS, s.forceDirty)
+}
+
+// Update is the outcome of one incremental update.
+type Update struct {
+	Plan *Plan
+	// Result is the freshly assembled extraction (nil when NoOp).
+	Result *extract.Result
+	// Diff is the change against the old graph passed to Session.Update
+	// (zero when NoOp or when no old graph was supplied).
+	Diff Diff
+	// Epoch is the manifest epoch after the update.
+	Epoch int64
+	// Reextracted counts the translation units sent through the frontend.
+	Reextracted int
+	// NoOp reports that the plan was empty: nothing was re-extracted, no
+	// new graph was built, and the epoch did not advance.
+	NoOp bool
+}
+
+// Update plans against build, re-runs the frontend for only the dirty
+// units, re-assembles the graph from cached artifacts, and diffs it
+// against old (the live graph; nil skips the diff). An empty plan is a
+// no-op: the epoch does not advance and no graph is built.
+func (s *Session) Update(build extract.Build, old graph.Source) (*Update, error) {
+	plan, err := s.Plan(build)
+	if err != nil {
+		return nil, err
+	}
+	if plan.Empty() {
+		return &Update{Plan: plan, Epoch: s.manifest.Epoch, NoOp: true}, nil
+	}
+	for _, src := range plan.RemovedUnits {
+		delete(s.arts, src)
+		delete(s.failed, src)
+		delete(s.forceDirty, src)
+	}
+	unitBySource := make(map[string]extract.CompileUnit, len(build.Units))
+	for _, u := range build.Units {
+		unitBySource[u.Source] = u
+	}
+	reext := plan.Reextract()
+	for _, src := range reext {
+		u, ok := unitBySource[src]
+		if !ok {
+			return nil, fmt.Errorf("delta: plan names unit %q not in build", src)
+		}
+		delete(s.forceDirty, src)
+		a, err := extract.Frontend(u, s.opts, s.files)
+		if err != nil {
+			// Stale artifact must not survive a failed re-extraction.
+			delete(s.arts, src)
+			s.failed[src] = fmt.Errorf("extract: %s: %w", src, err)
+			continue
+		}
+		delete(s.failed, src)
+		s.arts[src] = a
+	}
+	res := s.assemble(build)
+	up := &Update{
+		Plan:        plan,
+		Result:      res,
+		Epoch:       s.manifest.Epoch + 1,
+		Reextracted: len(reext),
+	}
+	if old != nil {
+		up.Diff = Compute(old, res.Graph)
+	}
+	s.manifest = buildManifest(build, s.arts, s.files, s.opts.FS, up.Epoch)
+	return up, nil
+}
+
+// Assemble materialises the graph from the session's current artifacts
+// without planning or re-extraction — how a resumed server session
+// rebuilds the in-memory graph it will serve. Units whose artifact
+// could not be restored are absent until the next Update re-extracts
+// them (Resume marks them force-dirty).
+func (s *Session) Assemble(build extract.Build) *extract.Result {
+	return s.assemble(build)
+}
+
+// NeedsRepair reports whether any unit lost its cached artifact and
+// must be re-extracted before the assembled graph is complete.
+func (s *Session) NeedsRepair() bool { return len(s.forceDirty) > 0 }
+
+// assemble re-runs the emission phases over the session's artifacts in
+// build-unit order, prepending persistent frontend errors the way
+// extract.Run does.
+func (s *Session) assemble(build extract.Build) *extract.Result {
+	arts := make([]*extract.UnitArtifact, 0, len(s.arts))
+	var hard []error
+	for _, u := range build.Units {
+		if a := s.arts[u.Source]; a != nil {
+			arts = append(arts, a)
+		} else if err := s.failed[u.Source]; err != nil {
+			hard = append(hard, err)
+		}
+	}
+	res := extract.Assemble(arts, build.Modules, s.opts, s.files)
+	res.Errors = append(hard, res.Errors...)
+	return res
+}
+
+// cachedTU is the gob layout of one persisted frontend artifact. The
+// token stream is enough to rebuild the AST (cparse.Parse is cheap and
+// deterministic); hide sets on tokens are post-expansion bookkeeping and
+// need not survive.
+type cachedTU struct {
+	Source   string
+	Object   string
+	RootFile cpp.FileID
+
+	Tokens         []cpp.Token
+	Includes       []cpp.IncludeRecord
+	Expansions     []cpp.ExpansionRecord
+	Interrogations []cpp.InterrogationRecord
+	MacroDefs      []cpp.MacroDefRecord
+	Probes         []string
+	// PPDiags holds preprocessor diagnostics as strings (errors do not
+	// gob-encode); parser diagnostics are regenerated by the reparse.
+	PPDiags []string
+}
+
+// fileTableState is the JSON layout of the persisted file table: paths
+// in FileID order, so re-interning them in order restores every ID.
+type fileTableState struct {
+	Paths []string `json:"paths"`
+}
+
+// cacheName returns the tucache entry name for a unit source path.
+func cacheName(source string) string {
+	sum := sha256.Sum256([]byte(source))
+	return hex.EncodeToString(sum[:])[:20] + ".gob"
+}
+
+// SaveState persists the session next to the store in dir: the manifest,
+// the file table, and one gob per translation-unit artifact under
+// tucache/. Stale cache entries are removed.
+func (s *Session) SaveState(dir string) error {
+	cache := filepath.Join(dir, CacheDir)
+	if err := os.MkdirAll(cache, 0o755); err != nil {
+		return err
+	}
+	ft, err := json.Marshal(fileTableState{Paths: s.files.Paths()})
+	if err != nil {
+		return err
+	}
+	if err := atomicWrite(filepath.Join(cache, fileTableFile), append(ft, '\n')); err != nil {
+		return err
+	}
+	keep := map[string]bool{fileTableFile: true}
+	for src, a := range s.arts {
+		c := cachedTU{
+			Source:         a.Unit.Source,
+			Object:         a.Unit.Object,
+			RootFile:       a.RootFile,
+			Tokens:         a.PP.Tokens,
+			Includes:       a.PP.Includes,
+			Expansions:     a.PP.Expansions,
+			Interrogations: a.PP.Interrogations,
+			MacroDefs:      a.PP.MacroDefs,
+			Probes:         a.PP.Probes,
+		}
+		for _, e := range a.PP.Errors {
+			c.PPDiags = append(c.PPDiags, e.Error())
+		}
+		var buf bytes.Buffer
+		if err := gob.NewEncoder(&buf).Encode(&c); err != nil {
+			return fmt.Errorf("delta: encode %s: %w", src, err)
+		}
+		name := cacheName(src)
+		keep[name] = true
+		if err := atomicWrite(filepath.Join(cache, name), buf.Bytes()); err != nil {
+			return err
+		}
+	}
+	entries, err := os.ReadDir(cache)
+	if err != nil {
+		return err
+	}
+	for _, e := range entries {
+		if !keep[e.Name()] && filepath.Ext(e.Name()) == ".gob" {
+			os.Remove(filepath.Join(cache, e.Name()))
+		}
+	}
+	return SaveManifest(dir, s.manifest)
+}
+
+// Resume restores a session saved by SaveState. Artifacts whose cache
+// entry is missing or unreadable are marked force-dirty: the next Update
+// re-extracts them instead of failing. Returns os.ErrNotExist (wrapped)
+// when dir has no manifest.
+func Resume(dir string, opts extract.Options) (*Session, error) {
+	m, err := LoadManifest(dir)
+	if err != nil {
+		return nil, err
+	}
+	s := &Session{
+		opts:       opts,
+		files:      cpp.NewFileTable(),
+		arts:       map[string]*extract.UnitArtifact{},
+		failed:     map[string]error{},
+		forceDirty: map[string]bool{},
+		manifest:   m,
+	}
+	cache := filepath.Join(dir, CacheDir)
+	ftb, err := os.ReadFile(filepath.Join(cache, fileTableFile))
+	if err != nil {
+		return nil, fmt.Errorf("delta: %s: %w", fileTableFile, err)
+	}
+	var ft fileTableState
+	if err := json.Unmarshal(ftb, &ft); err != nil {
+		return nil, fmt.Errorf("delta: %s: %w", fileTableFile, err)
+	}
+	for _, p := range ft.Paths {
+		s.files.Intern(p)
+	}
+	for _, tu := range m.TUs {
+		a, err := loadArtifact(filepath.Join(cache, cacheName(tu.Source)), tu.Source, opts)
+		if err != nil {
+			// No cached frontend for this unit — either it hard-failed last
+			// time (never cached) or the entry is lost/corrupt. Force a
+			// re-extraction attempt on the next update.
+			s.forceDirty[tu.Source] = true
+			continue
+		}
+		s.arts[tu.Source] = a
+	}
+	return s, nil
+}
+
+// loadArtifact reads one tucache entry and rebuilds the artifact,
+// reparsing the AST from the cached token stream.
+func loadArtifact(path, source string, opts extract.Options) (*extract.UnitArtifact, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var c cachedTU
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&c); err != nil {
+		return nil, fmt.Errorf("delta: decode %s: %w", path, err)
+	}
+	if c.Source != source {
+		return nil, fmt.Errorf("delta: cache entry %s is for %q, want %q", path, c.Source, source)
+	}
+	pp := &cpp.Result{
+		Tokens:         c.Tokens,
+		Includes:       c.Includes,
+		Expansions:     c.Expansions,
+		Interrogations: c.Interrogations,
+		MacroDefs:      c.MacroDefs,
+		Probes:         c.Probes,
+	}
+	for _, d := range c.PPDiags {
+		pp.Errors = append(pp.Errors, errors.New(d))
+	}
+	ast := cparse.Parse(pp.Tokens, opts.Typedefs)
+	var diags []error
+	diags = append(diags, pp.Errors...)
+	diags = append(diags, ast.Errors...)
+	return &extract.UnitArtifact{
+		Unit:     extract.CompileUnit{Source: c.Source, Object: c.Object},
+		RootFile: c.RootFile,
+		PP:       pp,
+		AST:      ast,
+		Diags:    diags,
+	}, nil
+}

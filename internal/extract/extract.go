@@ -50,6 +50,12 @@ type Options struct {
 	IncludePaths []string
 	Defines      map[string]string // predefined macros (-D)
 	Typedefs     []string          // typedef names assumed from unmodelled headers
+
+	// OnFrontend, when non-nil, is invoked with the source path each time
+	// a translation unit goes through the frontend (preprocess + parse).
+	// The incremental-update tests count these calls to prove that only
+	// dirty units are re-extracted.
+	OnFrontend func(source string)
 }
 
 // Result is the extraction output.
@@ -62,21 +68,104 @@ type Result struct {
 	FileNodes map[cpp.FileID]graph.NodeID
 }
 
-// Run extracts the dependency graph of a build.
-func Run(build Build, opts Options) (*Result, error) {
+// UnitArtifact is the frontend output for one translation unit: the
+// preprocessed token stream with its bookkeeping records, and the parsed
+// AST. Artifacts are immutable once built — the emission phases only read
+// them — so an incremental update can cache the artifact of every clean
+// unit and re-run Frontend for just the dirty ones, as long as all
+// artifacts fed into one Assemble call share a single cpp.FileTable.
+type UnitArtifact struct {
+	Unit     CompileUnit
+	RootFile cpp.FileID
+	PP       *cpp.Result
+	AST      *cparse.TranslationUnit
+	// Diags holds the unit's preprocessor and parser diagnostics.
+	Diags []error
+}
+
+// Frontend preprocesses and parses one translation unit — the expensive,
+// per-file half of extraction (file IO, include resolution, macro
+// expansion, parsing). files interns paths to stable FileIDs and must be
+// shared across every unit of a build (nil allocates a throwaway table).
+func Frontend(u CompileUnit, opts Options, files *cpp.FileTable) (*UnitArtifact, error) {
+	if files == nil {
+		files = cpp.NewFileTable()
+	}
+	if opts.OnFrontend != nil {
+		opts.OnFrontend(u.Source)
+	}
+	pp := cpp.New(opts.FS, opts.IncludePaths, files)
+	keys := make([]string, 0, len(opts.Defines))
+	for k := range opts.Defines {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		pp.Define(k, opts.Defines[k])
+	}
+	res, err := pp.Preprocess(u.Source)
+	if err != nil {
+		return nil, err
+	}
+	ast := cparse.Parse(res.Tokens, opts.Typedefs)
+	var diags []error
+	diags = append(diags, res.Errors...)
+	diags = append(diags, ast.Errors...)
+	return &UnitArtifact{Unit: u, RootFile: files.Intern(u.Source), PP: res, AST: ast, Diags: diags}, nil
+}
+
+// Assemble runs the emission phases — entity registration, body walking,
+// the linker model, the directory tree — over pre-built artifacts. It is
+// the cheap, whole-program half of extraction: no file is read and no
+// token is produced here, so re-running it with mostly cached artifacts
+// is how an incremental update rebuilds the graph. files must be the
+// table the artifacts were built against.
+func Assemble(arts []*UnitArtifact, modules []Module, opts Options, files *cpp.FileTable) *Result {
+	if files == nil {
+		files = cpp.NewFileTable()
+	}
 	ex := newExtractor(opts)
-	for _, u := range build.Units {
-		if err := ex.loadUnit(u); err != nil {
-			ex.errs = append(ex.errs, fmt.Errorf("extract: %s: %w", u.Source, err))
-		}
+	ex.files = files
+	for _, a := range arts {
+		ex.errs = append(ex.errs, a.Diags...)
+		ex.tus = append(ex.tus, &tuData{
+			unit:              a.Unit,
+			rootFile:          a.RootFile,
+			ast:               a.AST,
+			pp:                a.PP,
+			statics:           map[string]*symInfo{},
+			declByName:        map[string]graph.NodeID{},
+			declTypes:         map[string]*cparse.Type{},
+			referencedExterns: map[string]graph.NodeID{},
+			definedNames:      map[string]bool{},
+		})
 	}
 	ex.registerEntities()
 	for _, tu := range ex.tus {
 		ex.walkUnit(tu)
 	}
-	ex.link(build.Modules)
+	ex.link(modules)
 	ex.buildDirectoryTree()
-	return &Result{Graph: ex.g, Files: ex.files, Errors: ex.errs, FileNodes: ex.fileNode}, nil
+	return &Result{Graph: ex.g, Files: ex.files, Errors: ex.errs, FileNodes: ex.fileNode}
+}
+
+// Run extracts the dependency graph of a build: Frontend over every unit,
+// then one Assemble.
+func Run(build Build, opts Options) (*Result, error) {
+	files := cpp.NewFileTable()
+	var arts []*UnitArtifact
+	var hard []error
+	for _, u := range build.Units {
+		a, err := Frontend(u, opts, files)
+		if err != nil {
+			hard = append(hard, fmt.Errorf("extract: %s: %w", u.Source, err))
+			continue
+		}
+		arts = append(arts, a)
+	}
+	res := Assemble(arts, build.Modules, opts, files)
+	res.Errors = append(hard, res.Errors...)
+	return res, nil
 }
 
 type symInfo struct {
@@ -181,7 +270,6 @@ func newExtractor(opts Options) *extractor {
 	return &extractor{
 		opts:        opts,
 		g:           graph.New(),
-		files:       cpp.NewFileTable(),
 		fileNode:    map[cpp.FileID]graph.NodeID{},
 		dirNode:     map[string]graph.NodeID{},
 		prim:        map[string]graph.NodeID{},
@@ -199,38 +287,6 @@ func newExtractor(opts Options) *extractor {
 		libNodes:    map[string]graph.NodeID{},
 		includeSeen: map[[2]cpp.FileID]bool{},
 	}
-}
-
-// loadUnit preprocesses and parses one TU.
-func (ex *extractor) loadUnit(u CompileUnit) error {
-	pp := cpp.New(ex.opts.FS, ex.opts.IncludePaths, ex.files)
-	keys := make([]string, 0, len(ex.opts.Defines))
-	for k := range ex.opts.Defines {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-	for _, k := range keys {
-		pp.Define(k, ex.opts.Defines[k])
-	}
-	res, err := pp.Preprocess(u.Source)
-	if err != nil {
-		return err
-	}
-	ex.errs = append(ex.errs, res.Errors...)
-	ast := cparse.Parse(res.Tokens, ex.opts.Typedefs)
-	ex.errs = append(ex.errs, ast.Errors...)
-	ex.tus = append(ex.tus, &tuData{
-		unit:              u,
-		rootFile:          ex.files.Intern(u.Source),
-		ast:               ast,
-		pp:                res,
-		statics:           map[string]*symInfo{},
-		declByName:        map[string]graph.NodeID{},
-		declTypes:         map[string]*cparse.Type{},
-		referencedExterns: map[string]graph.NodeID{},
-		definedNames:      map[string]bool{},
-	})
-	return nil
 }
 
 // --- node helpers ---

@@ -90,11 +90,17 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "draining"})
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
+	snap := s.eng.Snapshot()
+	resp := map[string]any{
 		"status": "ok",
-		"nodes":  s.eng.Source().NodeCount(),
-		"edges":  s.eng.Source().EdgeCount(),
-	})
+		"nodes":  snap.Source().NodeCount(),
+		"edges":  snap.Source().EdgeCount(),
+		"epoch":  snap.Epoch(),
+	}
+	if last := snap.LastUpdate(); last != nil {
+		resp["lastUpdate"] = last
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // SetReady flips the readiness gate; main flips it false on SIGTERM so

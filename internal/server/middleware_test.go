@@ -280,7 +280,8 @@ func TestConsoleEscapesCells(t *testing.T) {
 
 func TestCodeMapCached(t *testing.T) {
 	srv, ts := newTestServer(t, nil)
-	if a, b := srv.codeMap(), srv.codeMap(); a != b {
+	snap := srv.eng.Snapshot()
+	if a, b := srv.codeMap(snap), srv.codeMap(snap); a != b {
 		t.Fatal("codemap.Build ran more than once")
 	}
 	// And the endpoint still renders from the cache.

@@ -5,12 +5,17 @@
 //
 //	GET  /                    query console (HTML)
 //	POST /api/query           {"query": "..."} → result table
-//	GET  /api/stats           Table 3 metrics + top-degree hubs
+//	GET  /api/stats           Table 3 metrics + top-degree hubs + epoch
 //	GET  /api/search          ?pattern=&type=&label=&module=&dir=&limit=
 //	GET  /api/def             ?name=&file=&line=&col=
 //	GET  /api/refs            ?name=&type=
 //	GET  /api/slice           ?fn=&forward=&depth=
 //	GET  /map.svg             ?highlight=<function>
+//	POST /api/admin/update    apply an incremental update (when wired)
+//
+// Each handler pins one engine snapshot for its whole request, so a
+// live update swapping the graph mid-request can never make a handler
+// mix two graph states.
 package server
 
 import (
@@ -46,6 +51,11 @@ const MaxSearchLimit = 10000
 type Server struct {
 	eng *core.Engine
 	mux *http.ServeMux
+	// Update, when non-nil, backs POST /api/admin/update: it applies one
+	// incremental update against the engine (planning, re-extraction,
+	// persistence and the snapshot swap happen behind it) and returns the
+	// outcome. Wired by cmd/frappe serve when serving a live tree.
+	Update UpdateFunc
 	// QueryTimeout bounds each Cypher query (default 30s).
 	QueryTimeout time.Duration
 	// MaxConcurrent caps in-flight requests (default
@@ -65,9 +75,24 @@ type Server struct {
 	shedCount  int64
 	notReady   atomic.Bool
 
-	mapOnce   sync.Once
+	// The code map cache is keyed by snapshot: a swap invalidates it.
+	mapMu     sync.Mutex
+	mapSnap   *core.Snapshot
 	cachedMap *codemap.Map
 }
+
+// UpdateResult is the admin endpoint's report of one update attempt.
+type UpdateResult struct {
+	// Applied is false for a no-op (nothing changed on disk).
+	Applied bool `json:"applied"`
+	// Epoch is the live graph's epoch after the attempt.
+	Epoch int64 `json:"epoch"`
+	// Summary describes the applied update (nil when not applied).
+	Summary *core.UpdateSummary `json:"summary,omitempty"`
+}
+
+// UpdateFunc applies one incremental update; see Server.Update.
+type UpdateFunc func(ctx context.Context) (UpdateResult, error)
 
 // New creates a server over an opened engine.
 func New(eng *core.Engine) *Server {
@@ -86,6 +111,7 @@ func New(eng *core.Engine) *Server {
 	s.mux.HandleFunc("GET /api/refs", s.handleRefs)
 	s.mux.HandleFunc("GET /api/slice", s.handleSlice)
 	s.mux.HandleFunc("GET /map.svg", s.handleMap)
+	s.mux.HandleFunc("POST /api/admin/update", s.handleUpdate)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
 	return s
@@ -142,7 +168,8 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := context.WithTimeout(r.Context(), s.QueryTimeout)
 	defer cancel()
 	start := time.Now()
-	res, err := s.eng.Query(ctx, req.Query)
+	snap := s.eng.Snapshot()
+	res, err := snap.Query(ctx, req.Query, s.eng.QueryLimits)
 	if err != nil {
 		status := http.StatusBadRequest
 		switch {
@@ -161,7 +188,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		Count:   res.Count(),
 		Millis:  float64(time.Since(start).Microseconds()) / 1000,
 	}
-	src := s.eng.Source()
+	src := snap.Source()
 	for _, row := range res.Rows {
 		cells := make([]string, len(row))
 		for i, v := range row {
@@ -173,10 +200,12 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 }
 
 type statsResponse struct {
-	Nodes   int64   `json:"nodes"`
-	Edges   int64   `json:"edges"`
-	Density float64 `json:"density"`
-	Hubs    []hub   `json:"hubs"`
+	Nodes      int64               `json:"nodes"`
+	Edges      int64               `json:"edges"`
+	Density    float64             `json:"density"`
+	Epoch      int64               `json:"epoch"`
+	LastUpdate *core.UpdateSummary `json:"lastUpdate,omitempty"`
+	Hubs       []hub               `json:"hubs"`
 }
 
 type hub struct {
@@ -186,12 +215,29 @@ type hub struct {
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	m := s.eng.Stats()
-	resp := statsResponse{Nodes: m.Nodes, Edges: m.Edges, Density: m.Density}
-	for _, h := range graph.TopDegreeNodes(s.eng.Source(), 10) {
+	snap := s.eng.Snapshot()
+	m := snap.Stats()
+	resp := statsResponse{
+		Nodes: m.Nodes, Edges: m.Edges, Density: m.Density,
+		Epoch: snap.Epoch(), LastUpdate: snap.LastUpdate(),
+	}
+	for _, h := range graph.TopDegreeNodes(snap.Source(), 10) {
 		resp.Hubs = append(resp.Hubs, hub{Type: string(h.Type), Name: h.Name, Degree: h.Degree})
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
+	if s.Update == nil {
+		writeErr(w, http.StatusNotImplemented, fmt.Errorf("server has no update source (started from a static store)"))
+		return
+	}
+	res, err := s.Update(r.Context())
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
 }
 
 type symbolJSON struct {
@@ -235,7 +281,7 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		}
 		opts.Limit = n
 	}
-	syms, err := s.eng.Search(r.Context(), opts)
+	syms, err := s.eng.Snapshot().Search(r.Context(), opts)
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, err)
 		return
@@ -255,7 +301,7 @@ func (s *Server) handleDef(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, fmt.Errorf("need name, file, line, col"))
 		return
 	}
-	sym, ok, err := s.eng.GoToDefinition(r.Context(), q.Get("name"), q.Get("file"), line, col)
+	sym, ok, err := s.eng.Snapshot().GoToDefinition(r.Context(), q.Get("name"), q.Get("file"), line, col)
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, err)
 		return
@@ -269,12 +315,13 @@ func (s *Server) handleDef(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleRefs(w http.ResponseWriter, r *http.Request) {
 	q := r.URL.Query()
-	id, err := s.eng.MustLookupOne(q.Get("name"), model.NodeType(q.Get("type")))
+	snap := s.eng.Snapshot()
+	id, err := snap.MustLookupOne(q.Get("name"), model.NodeType(q.Get("type")))
 	if err != nil {
 		writeErr(w, http.StatusNotFound, err)
 		return
 	}
-	refs, err := s.eng.FindReferences(r.Context(), id)
+	refs, err := snap.FindReferences(r.Context(), id)
 	if err != nil {
 		writeErr(w, http.StatusInternalServerError, err)
 		return
@@ -295,7 +342,8 @@ func (s *Server) handleRefs(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleSlice(w http.ResponseWriter, r *http.Request) {
 	q := r.URL.Query()
-	id, err := s.eng.MustLookupOne(q.Get("fn"), model.NodeFunction)
+	snap := s.eng.Snapshot()
+	id, err := snap.MustLookupOne(q.Get("fn"), model.NodeFunction)
 	if err != nil {
 		writeErr(w, http.StatusNotFound, err)
 		return
@@ -309,9 +357,9 @@ func (s *Server) handleSlice(w http.ResponseWriter, r *http.Request) {
 	}
 	var syms []core.Symbol
 	if q.Get("forward") == "true" || q.Get("forward") == "1" {
-		syms = s.eng.ForwardSlice(id, depth)
+		syms = snap.ForwardSlice(id, depth)
 	} else {
-		syms = s.eng.BackwardSlice(id, depth)
+		syms = snap.BackwardSlice(id, depth)
 	}
 	out := make([]symbolJSON, len(syms))
 	for i, sym := range syms {
@@ -320,25 +368,30 @@ func (s *Server) handleSlice(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"functions": out, "count": len(out)})
 }
 
-// codeMap builds the code map once and caches it: the store is
-// read-only for the life of the process, so there is nothing to
-// invalidate, and rebuilding the full map per /map.svg request was pure
-// waste.
-func (s *Server) codeMap() *codemap.Map {
-	s.mapOnce.Do(func() { s.cachedMap = codemap.Build(s.eng.Source()) })
+// codeMap builds the code map for the given snapshot, caching it per
+// snapshot: each graph state is immutable, so the map only needs
+// rebuilding after an incremental update swaps the snapshot.
+func (s *Server) codeMap(snap *core.Snapshot) *codemap.Map {
+	s.mapMu.Lock()
+	defer s.mapMu.Unlock()
+	if s.mapSnap != snap {
+		s.cachedMap = codemap.Build(snap.Source())
+		s.mapSnap = snap
+	}
 	return s.cachedMap
 }
 
 func (s *Server) handleMap(w http.ResponseWriter, r *http.Request) {
-	m := s.codeMap()
+	snap := s.eng.Snapshot()
+	m := s.codeMap(snap)
 	opts := codemap.RenderOptions{Width: 1280, Height: 900, Title: "Frappé code map"}
 	if h := r.URL.Query().Get("highlight"); h != "" {
-		id, err := s.eng.MustLookupOne(h, model.NodeFunction)
+		id, err := snap.MustLookupOne(h, model.NodeFunction)
 		if err != nil {
 			writeErr(w, http.StatusNotFound, err)
 			return
 		}
-		opts.Highlight = append(traversal.TransitiveClosure(s.eng.Source(), id, traversal.Options{
+		opts.Highlight = append(traversal.TransitiveClosure(snap.Source(), id, traversal.Options{
 			Direction: traversal.Out,
 			Types:     traversal.Types(model.EdgeCalls),
 		}), id)

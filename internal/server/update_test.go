@@ -1,0 +1,137 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"frappe/internal/core"
+	"frappe/internal/delta"
+	"frappe/internal/graph"
+	"frappe/internal/kernelgen"
+)
+
+func postJSON(t *testing.T, url string, wantStatus int) map[string]any {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != wantStatus {
+		t.Fatalf("POST %s: status %d, want %d", url, resp.StatusCode, wantStatus)
+	}
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestAdminUpdateNotWired: a server started from a static store has no
+// update source and must answer 501, not 500.
+func TestAdminUpdateNotWired(t *testing.T) {
+	_, ts := newTestServer(t, nil)
+	out := postJSON(t, ts.URL+"/api/admin/update", http.StatusNotImplemented)
+	if out["error"] == nil {
+		t.Fatalf("501 body lacks error: %v", out)
+	}
+}
+
+// TestAdminUpdateFlow drives the full live-update loop over HTTP: a
+// no-op returns applied=false at the current epoch; after mutating the
+// tree the endpoint applies the update, and the new epoch plus summary
+// become visible in /api/stats and /readyz.
+func TestAdminUpdateFlow(t *testing.T) {
+	w := kernelgen.Generate(kernelgen.Tiny())
+	sess, res, err := delta.NewSession(w.Build, w.ExtractOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := core.FromGraph(res.Graph)
+	srv := New(eng)
+	srv.Logf = t.Logf
+	// Mirrors cmd/frappe's serve wiring, minus disk persistence.
+	srv.Update = func(ctx context.Context) (UpdateResult, error) {
+		var out UpdateResult
+		_, err := eng.UpdateWith(func(old graph.Source) (*graph.Graph, int64, *core.UpdateSummary, error) {
+			up, err := sess.Update(w.Build, old)
+			if err != nil {
+				return nil, 0, nil, err
+			}
+			out.Epoch = up.Epoch
+			if up.NoOp {
+				return nil, 0, nil, nil
+			}
+			sum := &core.UpdateSummary{
+				Epoch:            up.Epoch,
+				FilesModified:    len(up.Plan.Modified),
+				UnitsReextracted: up.Reextracted,
+				NodesAdded:       up.Diff.NodesAdded,
+				EdgesAdded:       up.Diff.EdgesAdded,
+			}
+			out.Applied = true
+			out.Summary = sum
+			return up.Result.Graph, up.Epoch, sum, nil
+		})
+		return out, err
+	}
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+
+	// Untouched tree: no-op, epoch stays 0.
+	out := postJSON(t, ts.URL+"/api/admin/update", http.StatusOK)
+	if out["applied"] != false || out["epoch"] != float64(0) {
+		t.Fatalf("no-op update response: %v", out)
+	}
+
+	// Mutate one file, update again: applied at epoch 1 with a summary.
+	src := w.Build.Units[0].Source
+	w.FS[src] += "\nint admin_added(void) { return 42; }\n"
+	out = postJSON(t, ts.URL+"/api/admin/update", http.StatusOK)
+	if out["applied"] != true || out["epoch"] != float64(1) {
+		t.Fatalf("applied update response: %v", out)
+	}
+	sum, ok := out["summary"].(map[string]any)
+	if !ok || sum["unitsReextracted"] != float64(1) {
+		t.Fatalf("update summary: %v", out["summary"])
+	}
+
+	// The new epoch and last-update summary surface in stats and readyz.
+	stats := getJSON(t, ts.URL+"/api/stats", http.StatusOK)
+	if stats["epoch"] != float64(1) {
+		t.Fatalf("stats epoch: %v", stats["epoch"])
+	}
+	if _, ok := stats["lastUpdate"].(map[string]any); !ok {
+		t.Fatalf("stats lastUpdate: %v", stats["lastUpdate"])
+	}
+	ready := getJSON(t, ts.URL+"/readyz", http.StatusOK)
+	if ready["epoch"] != float64(1) {
+		t.Fatalf("readyz epoch: %v", ready["epoch"])
+	}
+	if _, ok := ready["lastUpdate"].(map[string]any); !ok {
+		t.Fatalf("readyz lastUpdate: %v", ready["lastUpdate"])
+	}
+
+	// The update is query-visible: the added function resolves.
+	ids, err := eng.LookupNamed("admin_added", "function")
+	if err != nil || len(ids) != 1 {
+		t.Fatalf("added function not queryable: ids=%v err=%v", ids, err)
+	}
+}
+
+// TestAdminUpdateMethodGate: GET on the admin endpoint is rejected by
+// the method-scoped route.
+func TestAdminUpdateMethodGate(t *testing.T) {
+	_, ts := newTestServer(t, nil)
+	resp, err := http.Get(ts.URL + "/api/admin/update")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /api/admin/update: status %d, want 405", resp.StatusCode)
+	}
+}
