@@ -17,8 +17,10 @@ package frappe
 import (
 	"context"
 	"fmt"
+	"math/rand"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sync"
 	"testing"
 	"time"
@@ -420,6 +422,74 @@ func BenchmarkAblationPageCacheSweep(b *testing.B) {
 					b.Fatal(err)
 				}
 			}
+		})
+	}
+}
+
+// BenchmarkExtractParallel: the PR-3 tentpole on the extraction side —
+// the per-TU frontend fanned across a worker pool. Serial (jobs=1) vs
+// one worker per CPU over the default synthetic kernel; the merge is
+// deterministic, so the parallel graph is identical to the serial one.
+func BenchmarkExtractParallel(b *testing.B) {
+	w := kernelgen.Generate(kernelgen.Default())
+	// At least four workers, so single-core CI still exercises the pool
+	// machinery (queueing, ordered merge) rather than degenerating to
+	// the serial path.
+	par := runtime.GOMAXPROCS(0)
+	if par < 4 {
+		par = 4
+	}
+	for _, jobs := range []int{1, par} {
+		b.Run(fmt.Sprintf("jobs=%d", jobs), func(b *testing.B) {
+			opts := w.ExtractOptions()
+			opts.Jobs = jobs
+			for i := 0; i < b.N; i++ {
+				res, err := extract.Run(w.Build, opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(res.Errors) > 0 {
+					b.Fatal(res.Errors[0])
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkConcurrentWarmReads: the PR-3 tentpole on the read side —
+// warm page-cache reads from GOMAXPROCS goroutines against a
+// single-shard cache (the old single-mutex pager, reproduced exactly)
+// vs the default lock-striped one. The gap is pure lock contention:
+// both configurations serve every read from cache.
+func BenchmarkConcurrentWarmReads(b *testing.B) {
+	e := benchSetup(b)
+	for _, shards := range []int{1, store.DefaultCacheShards} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			db, err := store.OpenOptions(e.dir, store.Options{CacheShards: shards})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer db.Close()
+			// Warm the cache so the measured region never touches disk.
+			n := db.NodeCount()
+			for id := graph.NodeID(0); id < graph.NodeID(n); id++ {
+				db.NodeProps(id)
+				db.Out(id)
+			}
+			b.ResetTimer()
+			// ≥4 concurrent readers per P, so the contention comparison
+			// holds even on a single-core runner.
+			b.SetParallelism(4)
+			b.RunParallel(func(pb *testing.PB) {
+				rng := rand.New(rand.NewSource(1))
+				for pb.Next() {
+					id := graph.NodeID(rng.Intn(int(n)))
+					db.NodeProps(id)
+					for _, eid := range db.Out(id) {
+						db.EdgeProps(eid)
+					}
+				}
+			})
 		})
 	}
 }

@@ -12,15 +12,20 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"math/rand"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 
 	"frappe/internal/core"
+	"frappe/internal/extract"
 	"frappe/internal/graph"
 	"frappe/internal/kernelgen"
 	"frappe/internal/model"
@@ -34,8 +39,9 @@ var (
 	scale      = flag.Int("scale", 1, "synthetic kernel scale factor")
 	runs       = flag.Int("runs", 10, "cold and warm runs per query (paper: 10)")
 	timeout    = flag.Duration("timeout", 15*time.Second, "comprehension-query abort deadline (paper: 15 min)")
-	experiment = flag.String("experiment", "all", "comma list: table3,table4,table5,figure7,table6,ablations,temporal")
+	experiment = flag.String("experiment", "all", "comma list: table3,table4,table5,figure7,table6,ablations,temporal,smoke")
 	keep       = flag.String("db", "", "store directory to (re)use; default: temp dir")
+	out        = flag.String("out", "", "with -experiment smoke: also write the results as JSON to this file")
 )
 
 func main() {
@@ -97,6 +103,13 @@ func run() error {
 	}
 	if all || want["temporal"] {
 		if err := b.temporal(); err != nil {
+			return err
+		}
+	}
+	// The parallelism smoke runs only on request: it exists to record the
+	// PR-3 speedup evidence (BENCH_3.json), not to reproduce the paper.
+	if want["smoke"] {
+		if err := b.smoke(); err != nil {
 			return err
 		}
 	}
@@ -430,6 +443,139 @@ RETURN distinct m`); err != nil {
 			pages, ms(t.avg()), hits, misses, evict)
 	}
 	fmt.Println()
+	return nil
+}
+
+// --- Parallelism smoke (PR 3) ---
+
+// smokeResult is the JSON layout of BENCH_3.json: the speedup evidence
+// for the parallel extraction frontend and the lock-striped page cache.
+type smokeResult struct {
+	GOMAXPROCS int `json:"gomaxprocs"`
+	Extract    struct {
+		Jobs       int     `json:"jobs"`
+		SerialMS   float64 `json:"serial_ms"`
+		ParallelMS float64 `json:"parallel_ms"`
+		Speedup    float64 `json:"speedup"`
+	} `json:"extract"`
+	WarmReads struct {
+		Goroutines    int     `json:"goroutines"`
+		Shards        int     `json:"shards"`
+		OpsPerReader  int     `json:"ops_per_reader"`
+		SingleMutexMS float64 `json:"single_mutex_ms"`
+		ShardedMS     float64 `json:"sharded_ms"`
+		Speedup       float64 `json:"speedup"`
+	} `json:"warm_reads"`
+}
+
+// smoke measures the two PR-3 subjects directly: the frontend worker
+// pool against a serial run, and concurrent warm reads against a
+// single-shard (old single-mutex) page cache vs the striped default.
+// With -out, the result is also written as JSON.
+func (b *bench) smoke() error {
+	fmt.Println("== Parallelism smoke ==")
+	var r smokeResult
+	r.GOMAXPROCS = runtime.GOMAXPROCS(0)
+
+	// Extraction: best-of-3 serial vs best-of-3 parallel, same workload.
+	jobs := r.GOMAXPROCS
+	if jobs < 4 {
+		jobs = 4
+	}
+	measure := func(j int) (time.Duration, error) {
+		best := time.Duration(0)
+		opts := b.workload.ExtractOptions()
+		opts.Jobs = j
+		for i := 0; i < 3; i++ {
+			start := time.Now()
+			res, err := extract.Run(b.workload.Build, opts)
+			if err != nil {
+				return 0, err
+			}
+			if len(res.Errors) > 0 {
+				return 0, res.Errors[0]
+			}
+			if d := time.Since(start); i == 0 || d < best {
+				best = d
+			}
+		}
+		return best, nil
+	}
+	serial, err := measure(1)
+	if err != nil {
+		return err
+	}
+	parallel, err := measure(jobs)
+	if err != nil {
+		return err
+	}
+	r.Extract.Jobs = jobs
+	r.Extract.SerialMS = float64(serial.Microseconds()) / 1000
+	r.Extract.ParallelMS = float64(parallel.Microseconds()) / 1000
+	r.Extract.Speedup = float64(serial) / float64(parallel)
+	fmt.Printf("extract:    serial %s ms vs %d jobs %s ms (%.2fx)\n",
+		ms(serial), jobs, ms(parallel), r.Extract.Speedup)
+
+	// Warm reads: 8 goroutines hammering a fully warmed cache; the only
+	// variable between the two runs is the shard count.
+	const readers, opsPerReader = 8, 30000
+	readBench := func(shards int) (time.Duration, error) {
+		db, err := store.OpenOptions(b.dbDir, store.Options{CacheShards: shards})
+		if err != nil {
+			return 0, err
+		}
+		defer db.Close()
+		n := db.NodeCount()
+		for id := graph.NodeID(0); id < graph.NodeID(n); id++ {
+			db.NodeProps(id)
+			db.Out(id)
+		}
+		var wg sync.WaitGroup
+		start := time.Now()
+		for w := 0; w < readers; w++ {
+			wg.Add(1)
+			go func(seed int64) {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(seed))
+				for i := 0; i < opsPerReader; i++ {
+					id := graph.NodeID(rng.Intn(int(n)))
+					db.NodeProps(id)
+					for _, e := range db.Out(id) {
+						db.EdgeProps(e)
+					}
+				}
+			}(int64(w))
+		}
+		wg.Wait()
+		return time.Since(start), nil
+	}
+	single, err := readBench(1)
+	if err != nil {
+		return err
+	}
+	sharded, err := readBench(store.DefaultCacheShards)
+	if err != nil {
+		return err
+	}
+	r.WarmReads.Goroutines = readers
+	r.WarmReads.Shards = store.DefaultCacheShards
+	r.WarmReads.OpsPerReader = opsPerReader
+	r.WarmReads.SingleMutexMS = float64(single.Microseconds()) / 1000
+	r.WarmReads.ShardedMS = float64(sharded.Microseconds()) / 1000
+	r.WarmReads.Speedup = float64(single) / float64(sharded)
+	fmt.Printf("warm reads: 1 shard %s ms vs %d shards %s ms (%.2fx, %d goroutines)\n\n",
+		ms(single), store.DefaultCacheShards, ms(sharded), r.WarmReads.Speedup, readers)
+
+	if *out != "" {
+		buf, err := json.MarshalIndent(r, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*out, append(buf, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", *out)
+	}
 	return nil
 }
 

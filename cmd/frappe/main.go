@@ -126,6 +126,7 @@ type sourceFlags struct {
 	src      *string
 	ccLog    *string
 	includes *string
+	jobs     *int
 }
 
 func addSourceFlags(fl *flag.FlagSet) *sourceFlags {
@@ -135,6 +136,7 @@ func addSourceFlags(fl *flag.FlagSet) *sourceFlags {
 		src:      fl.String("src", "", "source tree root (real-code mode)"),
 		ccLog:    fl.String("cc-log", "", "frappe-cc build capture (JSON lines); default: compile every .c and link one module"),
 		includes: fl.String("I", "include", "comma-separated include paths (relative to -src)"),
+		jobs:     fl.Int("j", 0, "extraction frontend workers (0 = one per CPU, 1 = serial)"),
 	}
 }
 
@@ -148,14 +150,26 @@ func (sf *sourceFlags) resolve() (extract.Build, extract.Options, error) {
 	switch {
 	case *sf.gen:
 		w := kernelgen.Generate(kernelgen.Scaled(*sf.scale))
-		return w.Build, w.ExtractOptions(), nil
+		opts := w.ExtractOptions()
+		opts.Jobs = sf.jobsValue()
+		return w.Build, opts, nil
 	case *sf.src != "":
 		fsys := cpp.DirFS{Root: *sf.src}
-		opts := extract.Options{FS: fsys, IncludePaths: strings.Split(*sf.includes, ",")}
+		opts := extract.Options{FS: fsys, IncludePaths: strings.Split(*sf.includes, ","), Jobs: sf.jobsValue()}
 		build, err := buildFromTree(*sf.src, *sf.ccLog)
 		return build, opts, err
 	}
 	return extract.Build{}, extract.Options{}, fmt.Errorf("needs -gen or -src")
+}
+
+// jobsValue maps the -j flag onto extract.Options.Jobs: the flag's
+// 0-means-auto default becomes the extractor's negative one-per-CPU
+// sentinel.
+func (sf *sourceFlags) jobsValue() int {
+	if *sf.jobs <= 0 {
+		return -1
+	}
+	return *sf.jobs
 }
 
 func printDiagnostics(errs []error) {

@@ -106,8 +106,30 @@ func newEngine(s *Snapshot) *Engine {
 	return e
 }
 
+// Options tune an engine beyond the defaults: extraction parallelism
+// for engines built by indexing, and page-cache geometry for engines
+// opened over a store directory.
+type Options struct {
+	// Jobs bounds frontend parallelism when the engine extracts (see
+	// extract.Options.Jobs: 0/1 serial, n>1 workers, negative = one per
+	// CPU). Non-zero values override extract.Options.Jobs.
+	Jobs int
+	// Store tunes the page cache (PageSize, CachePages, CacheShards) of
+	// disk-backed engines.
+	Store store.Options
+}
+
 // Index runs the extractor over a build and returns an in-memory engine.
 func Index(build extract.Build, opts extract.Options) (*Engine, []error, error) {
+	return IndexOptions(build, opts, Options{})
+}
+
+// IndexOptions is Index with engine options; opt.Jobs, when non-zero,
+// sets the extraction fan-out.
+func IndexOptions(build extract.Build, opts extract.Options, opt Options) (*Engine, []error, error) {
+	if opt.Jobs != 0 {
+		opts.Jobs = opt.Jobs
+	}
 	res, err := extract.Run(build, opts)
 	if err != nil {
 		return nil, nil, err
@@ -127,8 +149,11 @@ func fromGraph(g *graph.Graph) *Engine {
 // signals corruption by panicking with a wrapped error (graph.Source has
 // no error returns); the file-map scan touches every node, so convert
 // such panics into ordinary errors here rather than crashing the caller.
-func Open(dir string) (eng *Engine, err error) {
-	db, err := store.Open(dir)
+func Open(dir string) (*Engine, error) { return OpenOptions(dir, Options{}) }
+
+// OpenOptions is Open with explicit page-cache settings (opt.Store).
+func OpenOptions(dir string, opt Options) (eng *Engine, err error) {
+	db, err := store.OpenOptions(dir, opt.Store)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,104 @@
+package delta
+
+import (
+	"reflect"
+	"testing"
+
+	"frappe/internal/extract"
+	"frappe/internal/kernelgen"
+)
+
+// TestParallelSessionMatchesSerial: a session running its frontends
+// across a worker pool must be indistinguishable from a serial one —
+// same file table, same graph, and the same behaviour through an
+// incremental update. Both sessions share one workload FS so the
+// comparison never depends on generator determinism.
+func TestParallelSessionMatchesSerial(t *testing.T) {
+	w := kernelgen.Generate(kernelgen.Tiny())
+
+	serialSess, serialRes, err := NewSession(w.Build, w.ExtractOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	popts := w.ExtractOptions()
+	popts.Jobs = 8
+	parSess, parRes, err := NewSession(w.Build, popts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if !reflect.DeepEqual(serialSess.Files().Paths(), parSess.Files().Paths()) {
+		t.Fatalf("file tables diverge after initial extraction:\nserial   %d paths\nparallel %d paths",
+			len(serialSess.Files().Paths()), len(parSess.Files().Paths()))
+	}
+	sigsEqual(t, serialRes.Graph, parRes.Graph)
+	if d := Compute(serialRes.Graph, parRes.Graph); !d.Zero() {
+		t.Fatalf("serial vs parallel initial graph diff not zero: %+v", d)
+	}
+
+	// Mutate one unit in the shared FS; both sessions must plan the same
+	// update, re-extract only that unit, and converge on the same graph.
+	src := w.Build.Units[0].Source
+	w.FS[src] += "\nint parallel_added(int x) { return x + 41; }\n"
+
+	upS, err := serialSess.Update(w.Build, serialRes.Graph)
+	if err != nil {
+		t.Fatal(err)
+	}
+	upP, err := parSess.Update(w.Build, parRes.Graph)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if upS.NoOp || upP.NoOp {
+		t.Fatalf("mutation was a no-op: serial=%v parallel=%v", upS.NoOp, upP.NoOp)
+	}
+	if upS.Reextracted != 1 || upP.Reextracted != 1 {
+		t.Fatalf("reextracted serial=%d parallel=%d, want 1 each", upS.Reextracted, upP.Reextracted)
+	}
+	sigsEqual(t, upS.Result.Graph, upP.Result.Graph)
+	if d := Compute(upS.Result.Graph, upP.Result.Graph); !d.Zero() {
+		t.Fatalf("serial vs parallel updated graph diff not zero: %+v", d)
+	}
+	if upS.Diff != upP.Diff {
+		t.Fatalf("update diffs diverge: serial %+v, parallel %+v", upS.Diff, upP.Diff)
+	}
+}
+
+// TestParallelSessionFailedUnit: a unit that hard-fails under a
+// parallel session must be retried and recovered by a later update,
+// exactly as the serial path does.
+func TestParallelSessionFailedUnit(t *testing.T) {
+	w := kernelgen.Generate(kernelgen.Tiny())
+	src := w.Build.Units[0].Source
+	good := w.FS[src]
+	w.FS[src] = "#include \"no_such_header_anywhere.h\"\n" + good
+
+	opts := w.ExtractOptions()
+	opts.Jobs = 4
+	sess, res, err := NewSession(w.Build, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Errors) == 0 {
+		t.Fatal("broken unit produced no extraction errors under a parallel session")
+	}
+
+	w.FS[src] = good
+	up, err := sess.Update(w.Build, res.Graph)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if up.NoOp {
+		t.Fatal("repairing the unit was a no-op")
+	}
+	if len(up.Result.Errors) != 0 {
+		t.Fatalf("errors survived the repair: %v", up.Result.Errors)
+	}
+
+	// The repaired session must match a from-scratch extraction.
+	scratch, err := extract.Run(w.Build, w.ExtractOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sigsEqual(t, scratch.Graph, up.Result.Graph)
+}

@@ -38,8 +38,8 @@ type Session struct {
 }
 
 // NewSession runs a full extraction over build and returns the session
-// plus its result. Equivalent to extract.Run, but retaining the state
-// later Update calls need.
+// plus its result. Equivalent to extract.Run (including its opts.Jobs
+// frontend fan-out), but retaining the state later Update calls need.
 func NewSession(build extract.Build, opts extract.Options) (*Session, *extract.Result, error) {
 	s := &Session{
 		opts:       opts,
@@ -48,14 +48,7 @@ func NewSession(build extract.Build, opts extract.Options) (*Session, *extract.R
 		failed:     map[string]error{},
 		forceDirty: map[string]bool{},
 	}
-	for _, u := range build.Units {
-		a, err := extract.Frontend(u, opts, s.files)
-		if err != nil {
-			s.failed[u.Source] = fmt.Errorf("extract: %s: %w", u.Source, err)
-			continue
-		}
-		s.arts[u.Source] = a
-	}
+	s.runFrontends(build.Units)
 	res := s.assemble(build)
 	s.manifest = buildManifest(build, s.arts, s.files, opts.FS, 0)
 	return s, res, nil
@@ -111,22 +104,16 @@ func (s *Session) Update(build extract.Build, old graph.Source) (*Update, error)
 		unitBySource[u.Source] = u
 	}
 	reext := plan.Reextract()
+	units := make([]extract.CompileUnit, 0, len(reext))
 	for _, src := range reext {
 		u, ok := unitBySource[src]
 		if !ok {
 			return nil, fmt.Errorf("delta: plan names unit %q not in build", src)
 		}
 		delete(s.forceDirty, src)
-		a, err := extract.Frontend(u, s.opts, s.files)
-		if err != nil {
-			// Stale artifact must not survive a failed re-extraction.
-			delete(s.arts, src)
-			s.failed[src] = fmt.Errorf("extract: %s: %w", src, err)
-			continue
-		}
-		delete(s.failed, src)
-		s.arts[src] = a
+		units = append(units, u)
 	}
+	s.runFrontends(units)
 	res := s.assemble(build)
 	up := &Update{
 		Plan:        plan,
@@ -139,6 +126,24 @@ func (s *Session) Update(build extract.Build, old graph.Source) (*Update, error)
 	}
 	s.manifest = buildManifest(build, s.arts, s.files, s.opts.FS, up.Epoch)
 	return up, nil
+}
+
+// runFrontends sends units through the extraction frontend — fanned out
+// per the session's opts.Jobs, with the deterministic in-order merge of
+// extract.Frontends so FileIDs stay identical to a serial run — and
+// folds the outcomes into the session's artifact/failure maps. A failed
+// unit's stale artifact must not survive the attempt.
+func (s *Session) runFrontends(units []extract.CompileUnit) {
+	arts, errs := extract.Frontends(units, s.opts, s.files)
+	for i, u := range units {
+		if a := arts[i]; a != nil {
+			delete(s.failed, u.Source)
+			s.arts[u.Source] = a
+			continue
+		}
+		delete(s.arts, u.Source)
+		s.failed[u.Source] = errs[u.Source]
+	}
 }
 
 // Assemble materialises the graph from the session's current artifacts

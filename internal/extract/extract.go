@@ -54,8 +54,16 @@ type Options struct {
 	// OnFrontend, when non-nil, is invoked with the source path each time
 	// a translation unit goes through the frontend (preprocess + parse).
 	// The incremental-update tests count these calls to prove that only
-	// dirty units are re-extracted.
+	// dirty units are re-extracted. Parallel runs fire it from a single
+	// goroutine, in build order, before the workers start.
 	OnFrontend func(source string)
+
+	// Jobs bounds frontend parallelism: 0 or 1 runs the frontend
+	// serially, n > 1 fans preprocessing and parsing across n workers,
+	// and any negative value uses one worker per CPU. Whatever the
+	// setting, the merge order is deterministic and the extracted graph
+	// is identical to a serial run's.
+	Jobs int
 }
 
 // Result is the extraction output.
@@ -94,15 +102,7 @@ func Frontend(u CompileUnit, opts Options, files *cpp.FileTable) (*UnitArtifact,
 	if opts.OnFrontend != nil {
 		opts.OnFrontend(u.Source)
 	}
-	pp := cpp.New(opts.FS, opts.IncludePaths, files)
-	keys := make([]string, 0, len(opts.Defines))
-	for k := range opts.Defines {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-	for _, k := range keys {
-		pp.Define(k, opts.Defines[k])
-	}
+	pp := newPreprocessor(opts, files)
 	res, err := pp.Preprocess(u.Source)
 	if err != nil {
 		return nil, err
@@ -112,6 +112,21 @@ func Frontend(u CompileUnit, opts Options, files *cpp.FileTable) (*UnitArtifact,
 	diags = append(diags, res.Errors...)
 	diags = append(diags, ast.Errors...)
 	return &UnitArtifact{Unit: u, RootFile: files.Intern(u.Source), PP: res, AST: ast, Diags: diags}, nil
+}
+
+// newPreprocessor builds a preprocessor with the options' predefined
+// macros applied in sorted (deterministic) order.
+func newPreprocessor(opts Options, files *cpp.FileTable) *cpp.Preprocessor {
+	pp := cpp.New(opts.FS, opts.IncludePaths, files)
+	keys := make([]string, 0, len(opts.Defines))
+	for k := range opts.Defines {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		pp.Define(k, opts.Defines[k])
+	}
+	return pp
 }
 
 // Assemble runs the emission phases — entity registration, body walking,
@@ -149,19 +164,19 @@ func Assemble(arts []*UnitArtifact, modules []Module, opts Options, files *cpp.F
 	return &Result{Graph: ex.g, Files: ex.files, Errors: ex.errs, FileNodes: ex.fileNode}
 }
 
-// Run extracts the dependency graph of a build: Frontend over every unit,
-// then one Assemble.
+// Run extracts the dependency graph of a build: Frontend over every unit
+// (fanned out per opts.Jobs), then one Assemble.
 func Run(build Build, opts Options) (*Result, error) {
 	files := cpp.NewFileTable()
+	unitArts, errs := Frontends(build.Units, opts, files)
 	var arts []*UnitArtifact
 	var hard []error
-	for _, u := range build.Units {
-		a, err := Frontend(u, opts, files)
-		if err != nil {
-			hard = append(hard, fmt.Errorf("extract: %s: %w", u.Source, err))
-			continue
+	for i, u := range build.Units {
+		if a := unitArts[i]; a != nil {
+			arts = append(arts, a)
+		} else if err := errs[u.Source]; err != nil {
+			hard = append(hard, err)
 		}
-		arts = append(arts, a)
 	}
 	res := Assemble(arts, build.Modules, opts, files)
 	res.Errors = append(hard, res.Errors...)

@@ -34,8 +34,10 @@ func (ex *extractor) link(modules []Module) {
 			seen[fn] = true
 			ex.g.AddEdge(obj, fn, model.EdgeCompiledFrom, nil)
 		}
-		for _, decl := range tu.referencedExterns {
-			ex.g.AddEdge(obj, decl, model.EdgeLinkDeclares, nil)
+		// Sorted-name order keeps the edge stream — and so the persisted
+		// store — identical from run to run.
+		for _, name := range sortedNames(tu.referencedExterns) {
+			ex.g.AddEdge(obj, tu.referencedExterns[name], model.EdgeLinkDeclares, nil)
 		}
 	}
 
@@ -63,7 +65,8 @@ func (ex *extractor) link(modules []Module) {
 			if tu == nil {
 				continue
 			}
-			for name, decl := range tu.referencedExterns {
+			for _, name := range sortedNames(tu.referencedExterns) {
+				decl := tu.referencedExterns[name]
 				var def *symInfo
 				if d, ok := ex.funcs[name]; ok {
 					def = d

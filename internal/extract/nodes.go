@@ -2,6 +2,7 @@ package extract
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 
 	"frappe/internal/cparse"
@@ -39,7 +40,11 @@ func (ex *extractor) registerEntities() {
 		ex.registerMacrosAndIncludes(tu)
 	}
 	// Pass D: declares edges from every declaration to its definition.
-	for name, decl := range ex.declByName {
+	// Iterate in sorted-name order: ranging over the map directly would
+	// emit these edges in a different order every run, breaking the
+	// byte-reproducibility of the persisted store.
+	for _, name := range sortedNames(ex.declByName) {
+		decl := ex.declByName[name]
 		if def, ok := ex.funcs[name]; ok {
 			ex.g.AddEdge(decl, def.node, model.EdgeDeclares, nil)
 			continue
@@ -48,6 +53,17 @@ func (ex *extractor) registerEntities() {
 			ex.g.AddEdge(decl, def.node, model.EdgeDeclares, nil)
 		}
 	}
+}
+
+// sortedNames returns m's keys in sorted order, for deterministic
+// edge-emission over name-keyed maps.
+func sortedNames(m map[string]graph.NodeID) []string {
+	names := make([]string, 0, len(m))
+	for name := range m {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
 }
 
 func (ex *extractor) registerTypes(tu *tuData) {

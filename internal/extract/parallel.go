@@ -1,0 +1,161 @@
+package extract
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"frappe/internal/cparse"
+	"frappe/internal/cpp"
+)
+
+// Frontends drives the frontend over units, serially for opts.Jobs <= 1
+// and across a bounded worker pool otherwise. The returned slice is
+// parallel to units (nil where a unit hard-failed); errs maps a failed
+// unit's source to its wrapped error.
+//
+// The parallel path is deterministic: every worker preprocesses against
+// a private file table, and a merge step then interns each unit's
+// discovered files into the shared table strictly in build order. A
+// unit's intern sequence depends only on its own source and the file
+// provider — never on table state — so the shared table ends up with
+// exactly the FileID assignment of a serial run, and the extracted
+// graph (and persisted store) is byte-identical no matter how workers
+// interleave. The only serial-run divergence is cosmetic: diagnostic
+// strings formatted during preprocessing may render private file IDs.
+//
+// opts.FS must be safe for concurrent reads (MapFS and DirFS are).
+func Frontends(units []CompileUnit, opts Options, files *cpp.FileTable) ([]*UnitArtifact, map[string]error) {
+	arts := make([]*UnitArtifact, len(units))
+	errs := map[string]error{}
+	jobs := opts.Jobs
+	if jobs < 0 {
+		jobs = runtime.GOMAXPROCS(0)
+	}
+	if jobs <= 1 || len(units) < 2 {
+		for i, u := range units {
+			a, err := Frontend(u, opts, files)
+			if err != nil {
+				errs[u.Source] = fmt.Errorf("extract: %s: %w", u.Source, err)
+				continue
+			}
+			arts[i] = a
+		}
+		return arts, errs
+	}
+
+	// The OnFrontend hook fires here, in build order, before any worker
+	// starts — one call per unit, exactly as many as a serial run makes —
+	// so callers counting invocations (the incremental-update tests) need
+	// neither locking nor order tolerance.
+	if opts.OnFrontend != nil {
+		for _, u := range units {
+			opts.OnFrontend(u.Source)
+		}
+	}
+	wopts := opts
+	wopts.OnFrontend = nil
+
+	// Stage 1 — parallel: preprocess every unit against a private file
+	// table. ready[i] closes when unit i's preprocessing lands.
+	pres := make([]preprocessed, len(units))
+	ready := make([]chan struct{}, len(units))
+	sem := make(chan struct{}, jobs)
+	for i := range units {
+		ready[i] = make(chan struct{})
+		go func(i int) {
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			pres[i] = preprocessUnit(units[i], wopts)
+			close(ready[i])
+		}(i)
+	}
+
+	// Stage 2 — ordered merge, parallel parse: consume units strictly in
+	// build order. Interning into the shared table is the only serialised
+	// work (it is just map lookups); rewriting the token stream to shared
+	// IDs and parsing fan back out to the pool.
+	var wg sync.WaitGroup
+	psem := make(chan struct{}, jobs)
+	for i := range units {
+		<-ready[i]
+		u := units[i]
+		pre := pres[i]
+		if pre.err != nil {
+			errs[u.Source] = fmt.Errorf("extract: %s: %w", u.Source, pre.err)
+			continue
+		}
+		remap := make([]cpp.FileID, pre.loc.Len())
+		for id, p := range pre.loc.Paths() {
+			remap[cpp.FileID(id)] = files.Intern(p)
+		}
+		root := files.Intern(u.Source)
+		wg.Add(1)
+		go func(i int, u CompileUnit, pre preprocessed, remap []cpp.FileID, root cpp.FileID) {
+			defer wg.Done()
+			psem <- struct{}{}
+			defer func() { <-psem }()
+			remapFileIDs(pre.pp, remap)
+			ast := cparse.Parse(pre.pp.Tokens, wopts.Typedefs)
+			var diags []error
+			diags = append(diags, pre.pp.Errors...)
+			diags = append(diags, ast.Errors...)
+			arts[i] = &UnitArtifact{Unit: u, RootFile: root, PP: pre.pp, AST: ast, Diags: diags}
+		}(i, u, pre, remap, root)
+	}
+	wg.Wait()
+	return arts, errs
+}
+
+// preprocessed is the stage-one output of a parallel frontend: one
+// unit's preprocessing result against its private file table.
+type preprocessed struct {
+	pp  *cpp.Result
+	loc *cpp.FileTable
+	err error
+}
+
+// preprocessUnit preprocesses one unit against a fresh private file
+// table; the caller later rewrites the result to shared FileIDs.
+func preprocessUnit(u CompileUnit, opts Options) preprocessed {
+	loc := cpp.NewFileTable()
+	pp := newPreprocessor(opts, loc)
+	res, err := pp.Preprocess(u.Source)
+	if err != nil {
+		return preprocessed{err: err}
+	}
+	return preprocessed{pp: res, loc: loc}
+}
+
+// remapFileIDs rewrites every FileID in a preprocessing result through
+// remap (private table ID → shared table ID), in place. It must run
+// before the token stream is parsed so AST positions carry shared IDs.
+func remapFileIDs(res *cpp.Result, remap []cpp.FileID) {
+	mp := func(id cpp.FileID) cpp.FileID {
+		if id < 0 || int(id) >= len(remap) {
+			return id // NoFile and other sentinel values pass through
+		}
+		return remap[id]
+	}
+	mpPos := func(p *cpp.Pos) { p.File = mp(p.File) }
+	mpRange := func(r *cpp.Range) { mpPos(&r.Start); mpPos(&r.End) }
+	for i := range res.Tokens {
+		mpPos(&res.Tokens[i].Pos)
+	}
+	for i := range res.Includes {
+		res.Includes[i].From = mp(res.Includes[i].From)
+		res.Includes[i].To = mp(res.Includes[i].To)
+		mpRange(&res.Includes[i].Use)
+	}
+	for i := range res.Expansions {
+		mpRange(&res.Expansions[i].Use)
+	}
+	for i := range res.Interrogations {
+		mpRange(&res.Interrogations[i].Use)
+	}
+	for i := range res.MacroDefs {
+		mpPos(&res.MacroDefs[i].Pos)
+		mpPos(&res.MacroDefs[i].End)
+		res.MacroDefs[i].File = mp(res.MacroDefs[i].File)
+	}
+}

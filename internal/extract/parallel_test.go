@@ -1,0 +1,156 @@
+package extract
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"frappe/internal/cpp"
+	"frappe/internal/graph"
+	"frappe/internal/store"
+)
+
+// parallelFixture builds n translation units sharing one common header
+// plus one private header each, so the order FileIDs are interned in
+// depends on which unit reaches the file table first — exactly the
+// nondeterminism the ordered merge in Frontends must mask.
+func parallelFixture(n int) (cpp.MapFS, Build) {
+	fs := cpp.MapFS{
+		"common.h": "#define BASE 7\nint shared_fn(int);\n",
+	}
+	var b Build
+	var objects []string
+	for i := 0; i < n; i++ {
+		h := fmt.Sprintf("priv%d.h", i)
+		c := fmt.Sprintf("unit%d.c", i)
+		o := fmt.Sprintf("unit%d.o", i)
+		fs[h] = fmt.Sprintf("#define SCALE_%d %d\nint helper_%d(int);\n", i, i+2, i)
+		fs[c] = fmt.Sprintf("#include \"common.h\"\n#include \"%s\"\n"+
+			"int helper_%d(int x) {\n\treturn x * SCALE_%d;\n}\n"+
+			"int unit_fn_%d(int x) {\n\treturn shared_fn(helper_%d(x + BASE));\n}\n",
+			h, i, i, i, i)
+		b.Units = append(b.Units, CompileUnit{Source: c, Object: o})
+		objects = append(objects, o)
+	}
+	fs["shared.c"] = "#include \"common.h\"\nint shared_fn(int x) {\n\treturn x;\n}\n"
+	b.Units = append(b.Units, CompileUnit{Source: "shared.c", Object: "shared.o"})
+	b.Modules = []Module{{Name: "prog", Objects: append(objects, "shared.o")}}
+	return fs, b
+}
+
+// storeBytes writes g to a fresh directory and returns every store file
+// keyed by name, for byte-level comparison of two extraction runs.
+func storeBytes(t *testing.T, dir string, g *graph.Graph) map[string][]byte {
+	t.Helper()
+	if err := store.Write(dir, g); err != nil {
+		t.Fatalf("store.Write: %v", err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := map[string][]byte{}
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		b, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[e.Name()] = b
+	}
+	return out
+}
+
+// TestParallelMatchesSerial is the tentpole acceptance criterion: a
+// parallel frontend run must produce a byte-identical store to a serial
+// run over the same build — same FileID assignment, same node and edge
+// order, same property bytes.
+func TestParallelMatchesSerial(t *testing.T) {
+	fs, build := parallelFixture(16)
+	serial := runExtract(t, fs, build)
+	want := storeBytes(t, filepath.Join(t.TempDir(), "serial"), serial.Graph)
+
+	for _, jobs := range []int{2, 8, -1} {
+		jobs := jobs
+		t.Run(fmt.Sprintf("jobs=%d", jobs), func(t *testing.T) {
+			par := runExtract(t, fs, build, func(o *Options) { o.Jobs = jobs })
+			if !reflect.DeepEqual(serial.Files.Paths(), par.Files.Paths()) {
+				t.Fatalf("file tables diverge:\nserial   %v\nparallel %v",
+					serial.Files.Paths(), par.Files.Paths())
+			}
+			got := storeBytes(t, filepath.Join(t.TempDir(), "par"), par.Graph)
+			if len(got) != len(want) {
+				t.Fatalf("store file sets differ: %d vs %d files", len(got), len(want))
+			}
+			for name, wb := range want {
+				gb, ok := got[name]
+				if !ok {
+					t.Fatalf("parallel store missing %s", name)
+				}
+				if !bytes.Equal(wb, gb) {
+					t.Fatalf("store file %s differs between serial and parallel runs", name)
+				}
+			}
+		})
+	}
+}
+
+// TestParallelErrorsMatchSerial: a unit that hard-fails the frontend
+// must surface the same error, against the same source, whether the
+// run was serial or fanned out.
+func TestParallelErrorsMatchSerial(t *testing.T) {
+	fs, build := parallelFixture(6)
+	fs["unit3.c"] = "#include \"missing_header.h\"\nint unit_fn_3(int x) { return x; }\n"
+
+	collect := func(jobs int) []string {
+		res, err := Run(build, Options{FS: fs, Jobs: jobs})
+		if err != nil {
+			t.Fatalf("Run(jobs=%d): %v", jobs, err)
+		}
+		var msgs []string
+		for _, e := range res.Errors {
+			msgs = append(msgs, e.Error())
+		}
+		return msgs
+	}
+	serial := collect(0)
+	parallel := collect(8)
+	if len(serial) == 0 {
+		t.Fatal("missing include produced no extraction errors")
+	}
+	if len(serial) != len(parallel) {
+		t.Fatalf("error counts diverge: serial %d, parallel %d\nserial: %v\nparallel: %v",
+			len(serial), len(parallel), serial, parallel)
+	}
+	for i := range serial {
+		if !strings.Contains(parallel[i], "unit3.c") && strings.Contains(serial[i], "unit3.c") {
+			t.Fatalf("parallel error %d lost its unit attribution: %q vs %q",
+				i, parallel[i], serial[i])
+		}
+	}
+}
+
+// TestParallelOnFrontendOrder: the OnFrontend hook fires once per unit,
+// in build order, from a single goroutine — parallel runs must not
+// change what incremental-update tests observe through it.
+func TestParallelOnFrontendOrder(t *testing.T) {
+	fs, build := parallelFixture(8)
+	var seen []string
+	opts := Options{FS: fs, Jobs: 4, OnFrontend: func(src string) { seen = append(seen, src) }}
+	if _, err := Run(build, opts); err != nil {
+		t.Fatal(err)
+	}
+	var want []string
+	for _, u := range build.Units {
+		want = append(want, u.Source)
+	}
+	if !reflect.DeepEqual(seen, want) {
+		t.Fatalf("OnFrontend order %v, want build order %v", seen, want)
+	}
+}

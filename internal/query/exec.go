@@ -909,9 +909,12 @@ func compareVals(a, b Val) int {
 		// cycles (int < bool numerically but string fallback in between).
 		return scalarRank(a.Scalar.Kind()) - scalarRank(b.Scalar.Kind())
 	case ValNode:
-		return int(a.Node - b.Node)
+		// Explicit comparison, not int(a-b): the subtraction overflows
+		// for IDs on opposite extremes (and truncates on 32-bit ints),
+		// flipping the sign and corrupting ORDER BY / DISTINCT order.
+		return compareIDs(int64(a.Node), int64(b.Node))
 	case ValEdge:
-		return int(a.Edge - b.Edge)
+		return compareIDs(int64(a.Edge), int64(b.Edge))
 	case ValList:
 		for i := 0; i < len(a.List) && i < len(b.List); i++ {
 			if c := compareVals(a.List[i], b.List[i]); c != 0 {
@@ -919,6 +922,17 @@ func compareVals(a, b Val) int {
 			}
 		}
 		return len(a.List) - len(b.List)
+	}
+	return 0
+}
+
+// compareIDs three-way-compares entity IDs without overflow.
+func compareIDs(a, b int64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
 	}
 	return 0
 }

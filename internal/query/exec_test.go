@@ -637,3 +637,33 @@ RETURN startNode(r), endNode(r)`)
 		t.Fatalf("start/end = %v %v", row[0], row[1])
 	}
 }
+
+// TestCompareValsExtremeIDs: ORDER BY comparison of entity IDs must not
+// go through int(a-b) — for IDs on opposite extremes the subtraction
+// overflows int64 (and truncates on 32-bit ints), flipping the sign and
+// corrupting sort order. Regression test for the explicit comparison.
+func TestCompareValsExtremeIDs(t *testing.T) {
+	loN := Val{Kind: ValNode, Node: graph.NodeID(-(int64(1) << 62))}
+	hiN := Val{Kind: ValNode, Node: graph.NodeID(int64(1) << 62)}
+	if c := compareVals(loN, hiN); c >= 0 {
+		t.Fatalf("compareVals(min node, max node) = %d, want < 0", c)
+	}
+	if c := compareVals(hiN, loN); c <= 0 {
+		t.Fatalf("compareVals(max node, min node) = %d, want > 0", c)
+	}
+	if c := compareVals(hiN, hiN); c != 0 {
+		t.Fatalf("compareVals(x, x) = %d, want 0", c)
+	}
+	// Same wrap for edges, plus a pair whose difference exceeds 32 bits
+	// but not 64 — the case int() truncation used to corrupt.
+	loE := Val{Kind: ValEdge, Edge: graph.EdgeID(-(int64(1) << 62))}
+	hiE := Val{Kind: ValEdge, Edge: graph.EdgeID(int64(1) << 62)}
+	if c := compareVals(loE, hiE); c >= 0 {
+		t.Fatalf("compareVals(min edge, max edge) = %d, want < 0", c)
+	}
+	a := Val{Kind: ValEdge, Edge: graph.EdgeID(0)}
+	b := Val{Kind: ValEdge, Edge: graph.EdgeID(int64(1) << 33)}
+	if c := compareVals(a, b); c >= 0 {
+		t.Fatalf("compareVals(0, 1<<33) = %d, want < 0", c)
+	}
+}

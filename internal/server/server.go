@@ -45,6 +45,15 @@ const DefaultMaxConcurrent = 64
 // result sets.
 const MaxSearchLimit = 10000
 
+// MaxSliceDepth caps the ?depth= parameter of /api/slice. Slices are
+// visited-set traversals, so depths beyond the graph's diameter add
+// nothing but let a single request walk the whole call graph from a
+// dense hub; anything larger than this documented bound is a client
+// error (400), mirroring how query budgets fail fast instead of
+// serving unbounded work. Depth 0 remains "unbounded up to the budget"
+// for compatibility.
+const MaxSliceDepth = 64
+
 // Server wraps an engine with HTTP handlers behind a hardened serving
 // path: request IDs, panic recovery, concurrency limiting with load
 // shedding, and liveness/readiness probes.
@@ -352,6 +361,10 @@ func (s *Server) handleSlice(w http.ResponseWriter, r *http.Request) {
 	if d := q.Get("depth"); d != "" {
 		if depth, err = strconv.Atoi(d); err != nil || depth < 0 {
 			writeErr(w, http.StatusBadRequest, fmt.Errorf("bad depth %q", d))
+			return
+		}
+		if depth > MaxSliceDepth {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("depth %d exceeds maximum %d", depth, MaxSliceDepth))
 			return
 		}
 	}

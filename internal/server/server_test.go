@@ -2,6 +2,7 @@ package server
 
 import (
 	"encoding/json"
+	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -172,4 +173,13 @@ func TestConsolePage(t *testing.T) {
 	if !strings.Contains(string(buf[:n]), "Frappé query console") {
 		t.Fatal("console HTML missing")
 	}
+}
+
+// TestSliceDepthLimit: depth beyond the documented maximum is a client
+// error, not an unbounded traversal; the boundary value still works.
+func TestSliceDepthLimit(t *testing.T) {
+	ts := testServer(t)
+	getJSON(t, fmt.Sprintf("%s/api/slice?fn=pci_read_bases&depth=%d", ts.URL, MaxSliceDepth), http.StatusOK)
+	getJSON(t, fmt.Sprintf("%s/api/slice?fn=pci_read_bases&depth=%d", ts.URL, MaxSliceDepth+1), http.StatusBadRequest)
+	getJSON(t, ts.URL+"/api/slice?fn=pci_read_bases&depth=-1", http.StatusBadRequest)
 }

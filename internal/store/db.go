@@ -44,6 +44,12 @@ type Options struct {
 	PageSize   int // bytes per page; default DefaultPageSize
 	CachePages int // pages cached per store file; default DefaultCachePages
 
+	// CacheShards sets the number of lock stripes per store file's page
+	// cache (default DefaultCacheShards; rounded up to a power of two).
+	// One shard reproduces the old single-mutex pager, useful as a
+	// contention baseline in benchmarks.
+	CacheShards int
+
 	// WrapReader, when non-nil, interposes on the raw reads of each
 	// store file — the fault-injection hook. It receives the file path
 	// and the real reader and returns the reader the page cache should
@@ -106,7 +112,7 @@ func OpenOptions(dir string, opt Options) (*DB, error) {
 		{StringFile, &db.strs},
 		{IndexFile, &db.index},
 	} {
-		pg, err := openPager(filepath.Join(dir, p.name), opt.PageSize, opt.CachePages, wantCRC, opt.WrapReader)
+		pg, err := openPager(filepath.Join(dir, p.name), opt.PageSize, opt.CachePages, opt.CacheShards, wantCRC, opt.WrapReader)
 		if err != nil {
 			return nil, err
 		}
@@ -226,7 +232,12 @@ func (db *DB) DropCaches() {
 	}
 }
 
-// Stats reports page-cache counters per store file.
+// Stats reports page-cache counters per store file. Safe to call while
+// other goroutines read through the caches: every counter is sampled
+// with an atomic load, so no value is ever torn. Counters are sampled
+// independently, so a read in flight at snapshot time may appear in
+// Misses before its eventual Hit shows up — sums converge once traffic
+// quiesces.
 func (db *DB) Stats() map[string]CacheStats {
 	return map[string]CacheStats{
 		"nodes":         db.nodes.Stats(),

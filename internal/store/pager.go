@@ -6,6 +6,7 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"sync/atomic"
 )
 
 // DefaultPageSize is the page cache's page size. 8 KiB matches Neo4j's
@@ -17,6 +18,13 @@ const DefaultPageSize = 8192
 // enough that DropCaches has meaning.
 const DefaultCachePages = 8192
 
+// DefaultCacheShards is the number of lock stripes per pager. Sixteen
+// shards keep lock hold times short under concurrent query traffic
+// without measurable overhead for single-threaded readers; the count
+// must be (and is rounded up to) a power of two so consecutive pages
+// spread round-robin across stripes by masking.
+const DefaultCacheShards = 16
+
 // CacheStats counts page cache traffic.
 type CacheStats struct {
 	Hits      int64
@@ -27,24 +35,63 @@ type CacheStats struct {
 	ChecksumFailures int64
 }
 
-// pager serves random reads over one store file through an LRU page
-// cache. All store reads funnel through pagers, so dropping them models a
-// cold start. When a checksum sidecar is loaded, every cache miss is
-// verified against it before the page enters the cache — a flipped bit on
-// disk surfaces as ErrCorrupt, never as silently wrong records.
+// cacheCounters is the pager's live, atomically updated form of
+// CacheStats. Each counter is read and written with atomic operations,
+// so a Stats snapshot taken during concurrent traffic never sees a torn
+// (half-written) counter value; the counters are sampled independently,
+// so Hits+Misses may lag a read that is in flight at snapshot time.
+type cacheCounters struct {
+	hits      atomic.Int64
+	misses    atomic.Int64
+	evictions atomic.Int64
+	checksum  atomic.Int64
+}
+
+func (c *cacheCounters) snapshot() CacheStats {
+	return CacheStats{
+		Hits:             c.hits.Load(),
+		Misses:           c.misses.Load(),
+		Evictions:        c.evictions.Load(),
+		ChecksumFailures: c.checksum.Load(),
+	}
+}
+
+// pager serves random reads over one store file through a lock-striped
+// LRU page cache. All store reads funnel through pagers, so dropping
+// them models a cold start. When a checksum sidecar is loaded, every
+// cache miss is verified against it before the page enters the cache — a
+// flipped bit on disk surfaces as ErrCorrupt, never as silently wrong
+// records.
+//
+// Concurrency model: the cache is split into power-of-two shards, each
+// owning a disjoint set of page numbers (pageNo & shardMask) with its
+// own mutex, page map and LRU list. A read takes exactly one shard lock
+// per page touched and never holds two shard locks at once, so there is
+// no lock ordering to get wrong and readers of different shards never
+// contend. Page buffers are immutable once loaded (eviction merely drops
+// the reference), which lets the byte copy into the caller's buffer
+// happen outside the shard lock.
 type pager struct {
-	mu       sync.Mutex
 	f        *os.File
 	r        io.ReaderAt // f, possibly wrapped by a fault injector
 	name     string      // base file name, for error messages
 	size     int64
 	pageSize int
-	maxPages int
 	crc      *crcTable // nil for legacy (v1) stores
+
+	shards    []pagerShard
+	shardMask int64
+	stats     cacheCounters
+}
+
+// pagerShard is one lock stripe: a page map plus an LRU list, evicting
+// independently once the shard exceeds its share of the page budget.
+type pagerShard struct {
+	mu       sync.Mutex
+	maxPages int
 	pages    map[int64]*pageEntry
 	lruHead  *pageEntry // most recent
 	lruTail  *pageEntry // least recent
-	stats    CacheStats
 }
 
 type pageEntry struct {
@@ -53,10 +100,24 @@ type pageEntry struct {
 	prev, next *pageEntry
 }
 
+// shardCount normalises a configured shard count: non-positive means the
+// default, anything else is rounded up to a power of two (the shard
+// picker masks rather than divides).
+func shardCount(n int) int {
+	if n <= 0 {
+		n = DefaultCacheShards
+	}
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
 // openPager opens path for cached reads. wantCRC requires a checksum
 // sidecar (v2 stores); wrap, when non-nil, interposes on the underlying
 // reads (fault injection).
-func openPager(path string, pageSize, maxPages int, wantCRC bool, wrap func(path string, r io.ReaderAt) io.ReaderAt) (*pager, error) {
+func openPager(path string, pageSize, maxPages, shards int, wantCRC bool, wrap func(path string, r io.ReaderAt) io.ReaderAt) (*pager, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
@@ -89,16 +150,26 @@ func openPager(path string, pageSize, maxPages int, wantCRC bool, wrap func(path
 			r = w
 		}
 	}
-	return &pager{
-		f:        f,
-		r:        r,
-		name:     name,
-		size:     st.Size(),
-		pageSize: pageSize,
-		maxPages: maxPages,
-		crc:      crc,
-		pages:    make(map[int64]*pageEntry),
-	}, nil
+	ns := shardCount(shards)
+	perShard := (maxPages + ns - 1) / ns
+	if perShard < 1 {
+		perShard = 1
+	}
+	p := &pager{
+		f:         f,
+		r:         r,
+		name:      name,
+		size:      st.Size(),
+		pageSize:  pageSize,
+		crc:       crc,
+		shards:    make([]pagerShard, ns),
+		shardMask: int64(ns - 1),
+	}
+	for i := range p.shards {
+		p.shards[i].maxPages = perShard
+		p.shards[i].pages = make(map[int64]*pageEntry)
+	}
+	return p, nil
 }
 
 func (p *pager) Close() error { return p.f.Close() }
@@ -106,62 +177,82 @@ func (p *pager) Close() error { return p.f.Close() }
 // Len returns the file size in bytes.
 func (p *pager) Len() int64 { return p.size }
 
+func (p *pager) shardFor(pageNo int64) *pagerShard {
+	return &p.shards[pageNo&p.shardMask]
+}
+
 // ReadAt fills buf from the file at off, going through the page cache.
 // Reads past EOF return an error.
 func (p *pager) ReadAt(buf []byte, off int64) error {
 	if off < 0 || off+int64(len(buf)) > p.size {
 		return truncatedf(p.name, "read [%d,%d) out of bounds (file size %d)", off, off+int64(len(buf)), p.size)
 	}
-	p.mu.Lock()
-	defer p.mu.Unlock()
 	for n := 0; n < len(buf); {
 		pageNo := (off + int64(n)) / int64(p.pageSize)
-		pg, err := p.pageLocked(pageNo)
+		pg, err := p.page(pageNo)
 		if err != nil {
 			return err
 		}
 		inPage := int((off + int64(n)) % int64(p.pageSize))
+		// pg.buf is immutable after load; copy outside the shard lock.
 		c := copy(buf[n:], pg.buf[inPage:])
 		n += c
 	}
 	return nil
 }
 
-func (p *pager) pageLocked(no int64) (*pageEntry, error) {
-	if pg, ok := p.pages[no]; ok {
-		p.stats.Hits++
-		p.touchLocked(pg)
+// page returns the entry for a page number, faulting it in (with CRC
+// verification) on miss. Only the page's shard is locked; a slow disk
+// read stalls at most 1/len(shards) of the cache.
+func (p *pager) page(no int64) (*pageEntry, error) {
+	sh := p.shardFor(no)
+	sh.mu.Lock()
+	if pg, ok := sh.pages[no]; ok {
+		sh.touchLocked(pg)
+		sh.mu.Unlock()
+		p.stats.hits.Add(1)
 		return pg, nil
 	}
-	p.stats.Misses++
+	pg, err := p.loadPageLocked(sh, no)
+	sh.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	p.stats.misses.Add(1)
+	return pg, nil
+}
+
+// loadPageLocked reads page no from disk into sh, which must be locked
+// and must not already hold the page.
+func (p *pager) loadPageLocked(sh *pagerShard, no int64) (*pageEntry, error) {
 	buf := make([]byte, p.pageSize)
-	n, err := p.r.ReadAt(buf, no*int64(p.pageSize))
+	_, err := p.r.ReadAt(buf, no*int64(p.pageSize))
 	if err != nil && err != io.EOF {
 		return nil, &CorruptionError{File: p.name, Chunk: -1,
 			Detail: fmt.Sprintf("read of page %d failed: %v", no, err),
 			Class:  err}
 	}
-	buf = buf[:p.pageSize]
-	_ = n
-	if err := p.verifyPageLocked(no, buf); err != nil {
-		p.stats.ChecksumFailures++
+	if err := p.verifyPage(no, buf); err != nil {
+		p.stats.checksum.Add(1)
 		return nil, err
 	}
 	pg := &pageEntry{no: no, buf: buf}
-	p.pages[no] = pg
-	p.pushFrontLocked(pg)
-	if len(p.pages) > p.maxPages {
-		p.evictLocked()
+	sh.pages[no] = pg
+	sh.pushFrontLocked(pg)
+	if len(sh.pages) > sh.maxPages {
+		sh.evictLocked()
+		p.stats.evictions.Add(1)
 	}
 	return pg, nil
 }
 
-// verifyPageLocked checks the freshly loaded page against the checksum
+// verifyPage checks the freshly loaded page against the checksum
 // sidecar. In the common case (pageSize == chunkSize, aligned) the CRC
 // runs over the bytes already in hand; otherwise the covering chunks are
 // re-read from the file so the verification granularity stays the chunk
-// size the writer used.
-func (p *pager) verifyPageLocked(no int64, buf []byte) error {
+// size the writer used. The crc table is immutable after open, so this
+// is safe from any shard.
+func (p *pager) verifyPage(no int64, buf []byte) error {
 	if p.crc == nil {
 		return nil
 	}
@@ -195,61 +286,63 @@ func (p *pager) verifyPageLocked(no int64, buf []byte) error {
 	return nil
 }
 
-func (p *pager) touchLocked(pg *pageEntry) {
-	if p.lruHead == pg {
+func (sh *pagerShard) touchLocked(pg *pageEntry) {
+	if sh.lruHead == pg {
 		return
 	}
-	p.unlinkLocked(pg)
-	p.pushFrontLocked(pg)
+	sh.unlinkLocked(pg)
+	sh.pushFrontLocked(pg)
 }
 
-func (p *pager) pushFrontLocked(pg *pageEntry) {
+func (sh *pagerShard) pushFrontLocked(pg *pageEntry) {
 	pg.prev = nil
-	pg.next = p.lruHead
-	if p.lruHead != nil {
-		p.lruHead.prev = pg
+	pg.next = sh.lruHead
+	if sh.lruHead != nil {
+		sh.lruHead.prev = pg
 	}
-	p.lruHead = pg
-	if p.lruTail == nil {
-		p.lruTail = pg
+	sh.lruHead = pg
+	if sh.lruTail == nil {
+		sh.lruTail = pg
 	}
 }
 
-func (p *pager) unlinkLocked(pg *pageEntry) {
+func (sh *pagerShard) unlinkLocked(pg *pageEntry) {
 	if pg.prev != nil {
 		pg.prev.next = pg.next
 	} else {
-		p.lruHead = pg.next
+		sh.lruHead = pg.next
 	}
 	if pg.next != nil {
 		pg.next.prev = pg.prev
 	} else {
-		p.lruTail = pg.prev
+		sh.lruTail = pg.prev
 	}
 	pg.prev, pg.next = nil, nil
 }
 
-func (p *pager) evictLocked() {
-	victim := p.lruTail
+func (sh *pagerShard) evictLocked() {
+	victim := sh.lruTail
 	if victim == nil {
 		return
 	}
-	p.unlinkLocked(victim)
-	delete(p.pages, victim.no)
-	p.stats.Evictions++
+	sh.unlinkLocked(victim)
+	delete(sh.pages, victim.no)
 }
 
-// Drop empties the cache (a "cold" start).
+// Drop empties the cache (a "cold" start). Shards are emptied one at a
+// time; reads racing a Drop may still hit pages in not-yet-dropped
+// shards, which is harmless — the cache is read-through and pages are
+// immutable.
 func (p *pager) Drop() {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	p.pages = make(map[int64]*pageEntry)
-	p.lruHead, p.lruTail = nil, nil
+	for i := range p.shards {
+		sh := &p.shards[i]
+		sh.mu.Lock()
+		sh.pages = make(map[int64]*pageEntry)
+		sh.lruHead, sh.lruTail = nil, nil
+		sh.mu.Unlock()
+	}
 }
 
-// Stats returns a snapshot of the cache counters.
-func (p *pager) Stats() CacheStats {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.stats
-}
+// Stats returns a snapshot of the cache counters. Safe to call
+// concurrently with reads; each counter is loaded atomically.
+func (p *pager) Stats() CacheStats { return p.stats.snapshot() }

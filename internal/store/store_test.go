@@ -1,6 +1,7 @@
 package store
 
 import (
+	"fmt"
 	"math/rand"
 	"path/filepath"
 	"reflect"
@@ -341,4 +342,100 @@ func TestConcurrentReads(t *testing.T) {
 		}(int64(w))
 	}
 	wg.Wait()
+}
+
+// TestShardedCacheStress drives warm reads, cache drops, and stats
+// sampling from many goroutines against single-shard (the old
+// single-mutex pager, reproduced exactly), lightly sharded, and
+// default-sharded page caches. Run with -race: this is the locking
+// acceptance test for the striped cache.
+func TestShardedCacheStress(t *testing.T) {
+	g := buildSampleGraph()
+	dir := filepath.Join(t.TempDir(), "db")
+	if err := Write(dir, g); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	for _, shards := range []int{1, 4, 16} {
+		shards := shards
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			// A tiny page budget forces eviction traffic through every shard.
+			db, err := OpenOptions(dir, Options{CacheShards: shards, CachePages: 8})
+			if err != nil {
+				t.Fatalf("OpenOptions: %v", err)
+			}
+			defer db.Close()
+
+			var readers, aux sync.WaitGroup
+			done := make(chan struct{})
+			for w := 0; w < 8; w++ {
+				readers.Add(1)
+				go func(seed int64) {
+					defer readers.Done()
+					rng := rand.New(rand.NewSource(seed))
+					for i := 0; i < 400; i++ {
+						id := graph.NodeID(rng.Intn(int(db.NodeCount())))
+						db.NodeProps(id)
+						for _, e := range db.Out(id) {
+							db.EdgeProps(e)
+						}
+						db.In(id)
+					}
+				}(int64(w))
+			}
+			// One goroutine drops every cache repeatedly mid-read.
+			aux.Add(1)
+			go func() {
+				defer aux.Done()
+				for {
+					select {
+					case <-done:
+						return
+					default:
+						db.DropCaches()
+					}
+				}
+			}()
+			// One goroutine samples stats; the atomic counters only ever
+			// grow, so a shrinking total means a torn or lost read.
+			aux.Add(1)
+			go func() {
+				defer aux.Done()
+				last := int64(0)
+				for {
+					select {
+					case <-done:
+						return
+					default:
+					}
+					total := int64(0)
+					for _, st := range db.Stats() {
+						if st.Hits < 0 || st.Misses < 0 || st.Evictions < 0 {
+							t.Error("negative cache counter")
+							return
+						}
+						total += st.Hits + st.Misses
+					}
+					if total < last {
+						t.Errorf("cache traffic went backwards: %d -> %d", last, total)
+						return
+					}
+					last = total
+				}
+			}()
+
+			// Run the dropper and sampler for as long as the readers do.
+			readers.Wait()
+			close(done)
+			aux.Wait()
+
+			var total CacheStats
+			for _, st := range db.Stats() {
+				total.Hits += st.Hits
+				total.Misses += st.Misses
+			}
+			if total.Hits+total.Misses == 0 {
+				t.Fatal("stress run recorded no cache traffic")
+			}
+		})
+	}
 }
