@@ -15,6 +15,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"math/rand"
 	"os"
 	"path/filepath"
@@ -29,6 +30,7 @@ import (
 	"frappe/internal/graph"
 	"frappe/internal/kernelgen"
 	"frappe/internal/model"
+	"frappe/internal/obs"
 	"frappe/internal/query"
 	"frappe/internal/store"
 	"frappe/internal/temporal"
@@ -466,6 +468,104 @@ type smokeResult struct {
 		ShardedMS     float64 `json:"sharded_ms"`
 		Speedup       float64 `json:"speedup"`
 	} `json:"warm_reads"`
+	// Observability records what the obs registry saw during this run:
+	// cold vs. warm page-cache hit ratios (the Table 5 story as counters
+	// rather than wall time) and latency histogram summaries.
+	Observability struct {
+		Cold             cacheRatio  `json:"cold"`
+		Warm             cacheRatio  `json:"warm"`
+		QueryDuration    histSummary `json:"query_duration_ms"`
+		FrontendDuration histSummary `json:"frontend_duration_ms"`
+	} `json:"observability"`
+}
+
+// cacheRatio is one query batch's page-cache outcome, aggregated over
+// every store file.
+type cacheRatio struct {
+	Hits     int64   `json:"hits"`
+	Misses   int64   `json:"misses"`
+	HitRatio float64 `json:"hit_ratio"`
+}
+
+// histSummary condenses a registry histogram for the JSON record.
+type histSummary struct {
+	Count int64   `json:"count"`
+	SumMS float64 `json:"sum_ms"`
+	P50MS float64 `json:"p50_ms"` // bucket upper bound containing the quantile
+	P95MS float64 `json:"p95_ms"`
+}
+
+// summarize reads a histogram family from the registry. Quantiles are
+// bucket upper bounds (the resolution Prometheus itself would give).
+func summarize(name string) histSummary {
+	f := obs.Find(obs.Default.Gather(), name)
+	if f == nil || len(f.Series) == 0 || f.Series[0].Hist == nil {
+		return histSummary{}
+	}
+	h := f.Series[0].Hist
+	quantile := func(q float64) float64 {
+		target := int64(math.Ceil(q * float64(h.Count)))
+		for i, c := range h.Cumulative {
+			if c >= target {
+				return h.Bounds[i]
+			}
+		}
+		if n := len(h.Bounds); n > 0 {
+			return h.Bounds[n-1] // +Inf bucket: clamp to the last bound
+		}
+		return 0
+	}
+	s := histSummary{Count: h.Count, SumMS: h.Sum}
+	if h.Count > 0 {
+		s.P50MS = quantile(0.50)
+		s.P95MS = quantile(0.95)
+	}
+	return s
+}
+
+// cacheDelta aggregates hits/misses across store files between two
+// Stats snapshots.
+func cacheDelta(before, after map[string]store.CacheStats) cacheRatio {
+	var r cacheRatio
+	for file, b := range before {
+		a := after[file]
+		r.Hits += a.Hits - b.Hits
+		r.Misses += a.Misses - b.Misses
+	}
+	if total := r.Hits + r.Misses; total > 0 {
+		r.HitRatio = float64(r.Hits) / float64(total)
+	}
+	return r
+}
+
+// observability runs the Figure 3 + Figure 5 queries against the disk
+// engine cold (caches dropped) and warm, recording the page-cache hit
+// ratios of each batch plus registry histogram summaries.
+func (b *bench) observability(r *smokeResult) error {
+	ctx := context.Background()
+	batch := func() error {
+		for _, q := range []string{figure3Query, figure5Query} {
+			if _, err := b.disk.Query(ctx, q); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	b.disk.DropCaches()
+	before := b.disk.CacheStats()
+	if err := batch(); err != nil {
+		return err
+	}
+	mid := b.disk.CacheStats()
+	if err := batch(); err != nil {
+		return err
+	}
+	after := b.disk.CacheStats()
+	r.Observability.Cold = cacheDelta(before, mid)
+	r.Observability.Warm = cacheDelta(mid, after)
+	r.Observability.QueryDuration = summarize("frappe_query_duration_ms")
+	r.Observability.FrontendDuration = summarize("frappe_extract_frontend_duration_ms")
+	return nil
 }
 
 // smoke measures the two PR-3 subjects directly: the frontend worker
@@ -565,6 +665,19 @@ func (b *bench) smoke() error {
 	r.WarmReads.Speedup = float64(single) / float64(sharded)
 	fmt.Printf("warm reads: 1 shard %s ms vs %d shards %s ms (%.2fx, %d goroutines)\n\n",
 		ms(single), store.DefaultCacheShards, ms(sharded), r.WarmReads.Speedup, readers)
+
+	if err := b.observability(&r); err != nil {
+		return err
+	}
+	fmt.Printf("cache: cold %d/%d hits (%.1f%%), warm %d/%d hits (%.1f%%)\n",
+		r.Observability.Cold.Hits, r.Observability.Cold.Hits+r.Observability.Cold.Misses,
+		100*r.Observability.Cold.HitRatio,
+		r.Observability.Warm.Hits, r.Observability.Warm.Hits+r.Observability.Warm.Misses,
+		100*r.Observability.Warm.HitRatio)
+	fmt.Printf("query latency: %d obs, p50 <= %.2f ms, p95 <= %.2f ms; frontend: %d obs, p50 <= %.2f ms\n\n",
+		r.Observability.QueryDuration.Count, r.Observability.QueryDuration.P50MS,
+		r.Observability.QueryDuration.P95MS,
+		r.Observability.FrontendDuration.Count, r.Observability.FrontendDuration.P50MS)
 
 	if *out != "" {
 		buf, err := json.MarshalIndent(r, "", "  ")

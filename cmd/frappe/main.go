@@ -408,6 +408,7 @@ func cmdQuery(args []string) error {
 	timeout := fl.Duration("timeout", 30*time.Second, "query deadline")
 	maxRows := fl.Int("max-rows", 0, "row budget (0 = unlimited)")
 	maxSteps := fl.Int64("max-steps", 0, "pattern-expansion budget (0 = unlimited)")
+	profile := fl.Bool("profile", false, "trace execution: per-operator rows, DB hits, wall time")
 	fl.Parse(args)
 	if fl.NArg() != 1 {
 		return fmt.Errorf("query needs exactly one Cypher string argument")
@@ -421,6 +422,20 @@ func cmdQuery(args []string) error {
 	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
 	defer cancel()
 	start := time.Now()
+	if *profile {
+		res, prof, err := eng.QueryProfile(ctx, fl.Arg(0))
+		if prof != nil {
+			// The trace survives an abort: show where the budget went even
+			// when the query failed.
+			fmt.Print(prof.Format())
+		}
+		if err != nil {
+			return err
+		}
+		fmt.Print(res.Format(eng.Source()))
+		fmt.Printf("%d rows in %v\n", res.Count(), time.Since(start).Round(time.Microsecond))
+		return nil
+	}
 	res, err := eng.Query(ctx, fl.Arg(0))
 	if err != nil {
 		return err
@@ -614,6 +629,8 @@ func cmdServe(args []string) error {
 	maxRows := fl.Int("max-rows", 1_000_000, "per-query row budget (0 = unlimited)")
 	maxSteps := fl.Int64("max-steps", 50_000_000, "per-query pattern-expansion budget (0 = unlimited)")
 	drain := fl.Duration("drain-timeout", server.DefaultDrainTimeout, "max time to drain in-flight requests on shutdown")
+	pprofOn := fl.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
+	slowMS := fl.Int64("slow-ms", server.DefaultSlowThreshold.Milliseconds(), "log requests slower than this many milliseconds (<0 disables)")
 	fl.Parse(args)
 
 	var eng *core.Engine
@@ -699,6 +716,15 @@ func cmdServe(args []string) error {
 	defer eng.Close()
 	srv.QueryTimeout = *queryTimeout
 	srv.MaxConcurrent = *maxConcurrent
+	if *slowMS < 0 {
+		srv.SlowThreshold = -1
+	} else if *slowMS > 0 {
+		srv.SlowThreshold = time.Duration(*slowMS) * time.Millisecond
+	}
+	if *pprofOn {
+		srv.EnablePprof()
+		fmt.Printf("frappe: pprof enabled at http://%s/debug/pprof/\n", *addr)
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

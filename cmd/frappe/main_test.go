@@ -106,6 +106,10 @@ func TestIndexAndQueryRealTree(t *testing.T) {
 		`MATCH (f:function) -[:calls]-> (g:function) RETURN f.short_name, g.short_name`}); err != nil {
 		t.Fatal(err)
 	}
+	if err := cmdQuery([]string{"-db", filepath.Join(root, "db"), "-profile",
+		`MATCH (f:function) -[:calls]-> (g:function) RETURN f.short_name, g.short_name`}); err != nil {
+		t.Fatal(err)
+	}
 	if err := cmdStats([]string{"-db", filepath.Join(root, "db")}); err != nil {
 		t.Fatal(err)
 	}

@@ -20,6 +20,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"frappe/internal/cpp"
 	"frappe/internal/extract"
@@ -192,6 +193,7 @@ func (e *Engine) SetEpoch(epoch int64, last *UpdateSummary) {
 		stats:        old.stats,
 	}
 	e.snap.Store(next)
+	mEpochGauge.Set(epoch)
 }
 
 // Swap publishes g as the live snapshot at the given epoch. In-flight
@@ -203,6 +205,8 @@ func (e *Engine) Swap(g *graph.Graph, epoch int64, last *UpdateSummary) {
 	next.epoch = epoch
 	next.last = last
 	old := e.snap.Swap(next)
+	mSwaps.Inc()
+	mEpochGauge.Set(epoch)
 	if old != nil && old.db != nil {
 		e.mu.Lock()
 		e.retired = append(e.retired, old.db)
@@ -219,14 +223,19 @@ func (e *Engine) Swap(g *graph.Graph, epoch int64, last *UpdateSummary) {
 func (e *Engine) UpdateWith(fn func(old graph.Source) (*graph.Graph, int64, *UpdateSummary, error)) (bool, error) {
 	e.updateMu.Lock()
 	defer e.updateMu.Unlock()
+	start := time.Now()
 	g, epoch, last, err := fn(e.Snapshot().Source())
+	mUpdateDuration.Observe(float64(time.Since(start)) / float64(time.Millisecond))
 	if err != nil {
+		mUpdatesFailed.Inc()
 		return false, err
 	}
 	if g == nil {
+		mUpdatesNoop.Inc()
 		return false, nil
 	}
 	e.Swap(g, epoch, last)
+	mUpdatesApplied.Inc()
 	return true, nil
 }
 
@@ -337,6 +346,19 @@ func (e *Engine) FileIDOf(path string) (int64, bool) {
 // Query parses and runs a Cypher query against the snapshot's graph.
 func (e *Snapshot) Query(ctx context.Context, text string, limits query.Limits) (*query.Result, error) {
 	return query.RunLimits(ctx, e.src, text, limits)
+}
+
+// QueryProfile runs a query with per-operator PROFILE tracing. The
+// profile is non-nil even when the query aborts mid-execution (budget,
+// timeout), covering the operators completed so far.
+func (e *Snapshot) QueryProfile(ctx context.Context, text string, limits query.Limits) (*query.Result, *query.Profile, error) {
+	return query.RunProfile(ctx, e.src, text, limits)
+}
+
+// QueryProfile runs a query with PROFILE tracing under the engine's
+// QueryLimits.
+func (e *Engine) QueryProfile(ctx context.Context, text string) (*query.Result, *query.Profile, error) {
+	return e.Snapshot().QueryProfile(ctx, text, e.QueryLimits)
 }
 
 // Query parses and runs a Cypher query against the engine's live graph,

@@ -1,0 +1,18 @@
+package delta
+
+import "frappe/internal/obs"
+
+// Incremental-update metrics. "Dirty" counts the units a plan sent back
+// through the frontend, "clean" the units whose cached artifacts were
+// reused — the ratio is the whole value proposition of the subsystem,
+// so it is the first thing worth graphing for a live server.
+var (
+	mUpdates = obs.Default.Counter("frappe_delta_updates_total",
+		"Incremental updates that produced a new graph.", nil)
+	mNoops = obs.Default.Counter("frappe_delta_update_noops_total",
+		"Incremental updates whose plan was empty (nothing changed).", nil)
+	mDirty = obs.Default.Counter("frappe_delta_units_dirty_total",
+		"Translation units re-extracted by incremental updates.", nil)
+	mClean = obs.Default.Counter("frappe_delta_units_clean_total",
+		"Translation units reused from cache by incremental updates.", nil)
+)

@@ -92,6 +92,7 @@ func (s *Session) Update(build extract.Build, old graph.Source) (*Update, error)
 		return nil, err
 	}
 	if plan.Empty() {
+		mNoops.Inc()
 		return &Update{Plan: plan, Epoch: s.manifest.Epoch, NoOp: true}, nil
 	}
 	for _, src := range plan.RemovedUnits {
@@ -125,6 +126,9 @@ func (s *Session) Update(build extract.Build, old graph.Source) (*Update, error)
 		up.Diff = Compute(old, res.Graph)
 	}
 	s.manifest = buildManifest(build, s.arts, s.files, s.opts.FS, up.Epoch)
+	mUpdates.Inc()
+	mDirty.Add(int64(len(reext)))
+	mClean.Add(int64(len(build.Units) - len(reext)))
 	return up, nil
 }
 

@@ -16,6 +16,7 @@ import (
 	"path"
 	"sort"
 	"strings"
+	"time"
 
 	"frappe/internal/cparse"
 	"frappe/internal/cpp"
@@ -95,13 +96,15 @@ type UnitArtifact struct {
 // per-file half of extraction (file IO, include resolution, macro
 // expansion, parsing). files interns paths to stable FileIDs and must be
 // shared across every unit of a build (nil allocates a throwaway table).
-func Frontend(u CompileUnit, opts Options, files *cpp.FileTable) (*UnitArtifact, error) {
+func Frontend(u CompileUnit, opts Options, files *cpp.FileTable) (art *UnitArtifact, err error) {
 	if files == nil {
 		files = cpp.NewFileTable()
 	}
 	if opts.OnFrontend != nil {
 		opts.OnFrontend(u.Source)
 	}
+	start := time.Now()
+	defer func() { recordFrontend(time.Since(start), err) }()
 	pp := newPreprocessor(opts, files)
 	res, err := pp.Preprocess(u.Source)
 	if err != nil {

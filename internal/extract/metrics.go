@@ -1,0 +1,27 @@
+package extract
+
+import (
+	"time"
+
+	"frappe/internal/obs"
+)
+
+// Frontend metrics: one observation per translation unit, recorded by
+// both the serial path (Frontend) and the parallel pool (Frontends), so
+// dirty-unit re-extraction cost shows up the same way whatever -j is.
+var (
+	mFrontendTotal = obs.Default.Counter("frappe_extract_frontend_total",
+		"Translation units run through the frontend (preprocess + parse).", nil)
+	mFrontendErrors = obs.Default.Counter("frappe_extract_frontend_errors_total",
+		"Translation units whose frontend hard-failed.", nil)
+	mFrontendDuration = obs.Default.Histogram("frappe_extract_frontend_duration_ms",
+		"Per-unit frontend wall time (preprocess + parse) in milliseconds.", nil, nil)
+)
+
+func recordFrontend(dur time.Duration, err error) {
+	mFrontendTotal.Inc()
+	mFrontendDuration.Observe(float64(dur) / float64(time.Millisecond))
+	if err != nil {
+		mFrontendErrors.Inc()
+	}
+}

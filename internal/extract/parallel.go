@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
 
 	"frappe/internal/cparse"
 	"frappe/internal/cpp"
@@ -83,6 +84,7 @@ func Frontends(units []CompileUnit, opts Options, files *cpp.FileTable) ([]*Unit
 		pre := pres[i]
 		if pre.err != nil {
 			errs[u.Source] = fmt.Errorf("extract: %s: %w", u.Source, pre.err)
+			recordFrontend(pre.dur, pre.err)
 			continue
 		}
 		remap := make([]cpp.FileID, pre.loc.Len())
@@ -95,12 +97,14 @@ func Frontends(units []CompileUnit, opts Options, files *cpp.FileTable) ([]*Unit
 			defer wg.Done()
 			psem <- struct{}{}
 			defer func() { <-psem }()
+			parseStart := time.Now()
 			remapFileIDs(pre.pp, remap)
 			ast := cparse.Parse(pre.pp.Tokens, wopts.Typedefs)
 			var diags []error
 			diags = append(diags, pre.pp.Errors...)
 			diags = append(diags, ast.Errors...)
 			arts[i] = &UnitArtifact{Unit: u, RootFile: root, PP: pre.pp, AST: ast, Diags: diags}
+			recordFrontend(pre.dur+time.Since(parseStart), nil)
 		}(i, u, pre, remap, root)
 	}
 	wg.Wait()
@@ -113,18 +117,20 @@ type preprocessed struct {
 	pp  *cpp.Result
 	loc *cpp.FileTable
 	err error
+	dur time.Duration // preprocess wall time, folded into the unit's frontend metric
 }
 
 // preprocessUnit preprocesses one unit against a fresh private file
 // table; the caller later rewrites the result to shared FileIDs.
 func preprocessUnit(u CompileUnit, opts Options) preprocessed {
+	start := time.Now()
 	loc := cpp.NewFileTable()
 	pp := newPreprocessor(opts, loc)
 	res, err := pp.Preprocess(u.Source)
 	if err != nil {
-		return preprocessed{err: err}
+		return preprocessed{err: err, dur: time.Since(start)}
 	}
-	return preprocessed{pp: res, loc: loc}
+	return preprocessed{pp: res, loc: loc, dur: time.Since(start)}
 }
 
 // remapFileIDs rewrites every FileID in a preprocessing result through

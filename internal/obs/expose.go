@@ -1,0 +1,113 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WriteText renders gathered families in the Prometheus text exposition
+// format (version 0.0.4): "# HELP"/"# TYPE" comments, one line per
+// series, histograms as cumulative _bucket{le=...} plus _sum and _count.
+func WriteText(w io.Writer, fams []Family) error {
+	for _, f := range fams {
+		if f.Help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", f.Name, escapeHelp(f.Help)); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.Name, f.Kind); err != nil {
+			return err
+		}
+		series := append([]Series(nil), f.Series...)
+		sort.Slice(series, func(i, j int) bool {
+			return labelKey(series[i].Labels) < labelKey(series[j].Labels)
+		})
+		for _, s := range series {
+			if f.Kind == KindHistogram && s.Hist != nil {
+				if err := writeHist(w, f.Name, s.Labels, s.Hist); err != nil {
+					return err
+				}
+				continue
+			}
+			if _, err := fmt.Fprintf(w, "%s%s %s\n", f.Name, renderLabels(s.Labels, "", ""), formatValue(s.Value)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func writeHist(w io.Writer, name string, ls Labels, h *HistSnapshot) error {
+	for i, b := range h.Bounds {
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", name, renderLabels(ls, "le", formatValue(b)), h.Cumulative[i]); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", name, renderLabels(ls, "le", "+Inf"), h.Count); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", name, renderLabels(ls, "", ""), formatValue(h.Sum)); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n", name, renderLabels(ls, "", ""), h.Count)
+	return err
+}
+
+// renderLabels renders {k="v",...} with an optional extra pair appended
+// (the histogram "le" bound). Returns "" when there is nothing to render.
+func renderLabels(ls Labels, extraKey, extraVal string) string {
+	if len(ls) == 0 && extraKey == "" {
+		return ""
+	}
+	keys := make([]string, 0, len(ls))
+	for k := range ls {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var sb strings.Builder
+	sb.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(k)
+		sb.WriteString(`="`)
+		sb.WriteString(escapeLabel(ls[k]))
+		sb.WriteByte('"')
+	}
+	if extraKey != "" {
+		if len(keys) > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(extraKey)
+		sb.WriteString(`="`)
+		sb.WriteString(escapeLabel(extraVal))
+		sb.WriteByte('"')
+	}
+	sb.WriteByte('}')
+	return sb.String()
+}
+
+// formatValue renders a float the way Prometheus clients do: integers
+// without a decimal point, everything else in shortest-round-trip form.
+func formatValue(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func escapeLabel(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, "\n", `\n`)
+	return strings.ReplaceAll(s, `"`, `\"`)
+}
+
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}

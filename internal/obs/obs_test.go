@@ -1,0 +1,208 @@
+package obs
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("frappe_test_total", "help", nil)
+	c.Inc()
+	c.Add(4)
+	c.Add(-7) // ignored: counters are monotonic
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if again := r.Counter("frappe_test_total", "help", nil); again != c {
+		t.Fatal("re-registration returned a different instrument")
+	}
+
+	g := r.Gauge("frappe_test_gauge", "help", nil)
+	g.Set(10)
+	g.Add(-3)
+	if got := g.Value(); got != 7 {
+		t.Fatalf("gauge = %d, want 7", got)
+	}
+}
+
+func TestLabelSeriesAreDistinct(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("frappe_reqs_total", "h", Labels{"route": "/api/query"})
+	b := r.Counter("frappe_reqs_total", "h", Labels{"route": "/api/search"})
+	if a == b {
+		t.Fatal("distinct labels mapped to one instrument")
+	}
+	a.Inc()
+	a.Inc()
+	b.Inc()
+	fams := r.Gather()
+	f := Find(fams, "frappe_reqs_total")
+	if f == nil || len(f.Series) != 2 {
+		t.Fatalf("want 2 series, got %+v", f)
+	}
+}
+
+func TestKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("frappe_x", "h", nil)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on kind mismatch")
+		}
+	}()
+	r.Gauge("frappe_x", "h", nil)
+}
+
+func TestHistogramBucketBoundaries(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("frappe_lat_ms", "h", nil, []float64{1, 5, 10})
+	// Prometheus buckets are inclusive of the upper bound: le="1" counts 1.0.
+	for _, v := range []float64{0.5, 1.0, 1.0001, 5.0, 9.99, 10.0, 10.01, 1e9} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	if want := []int64{2, 4, 6}; s.Cumulative[0] != want[0] || s.Cumulative[1] != want[1] || s.Cumulative[2] != want[2] {
+		t.Fatalf("cumulative = %v, want %v", s.Cumulative, want)
+	}
+	if s.Count != 8 {
+		t.Fatalf("count = %d, want 8", s.Count)
+	}
+	wantSum := 0.5 + 1.0 + 1.0001 + 5.0 + 9.99 + 10.0 + 10.01 + 1e9
+	if math.Abs(s.Sum-wantSum) > 1e-6 {
+		t.Fatalf("sum = %v, want %v", s.Sum, wantSum)
+	}
+}
+
+func TestConcurrentInstrumentsAndGather(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("frappe_conc_total", "h", nil)
+	g := r.Gauge("frappe_conc_gauge", "h", nil)
+	h := r.Histogram("frappe_conc_ms", "h", nil, []float64{1, 10, 100})
+
+	const workers, per = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(float64(i % 150))
+				if i%100 == 0 {
+					// Scrapes race with writers; must stay sane under -race.
+					r.Gather()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	if got := c.Value(); got != workers*per {
+		t.Fatalf("counter = %d, want %d", got, workers*per)
+	}
+	s := h.Snapshot()
+	if s.Count != workers*per {
+		t.Fatalf("hist count = %d, want %d", s.Count, workers*per)
+	}
+	// Sum of small integers: exact in float64, so strict equality holds.
+	var want float64
+	for i := 0; i < per; i++ {
+		want += float64(i % 150)
+	}
+	if s.Sum != want*workers {
+		t.Fatalf("hist sum = %v, want %v", s.Sum, want*workers)
+	}
+}
+
+func TestCollectorSampling(t *testing.T) {
+	r := NewRegistry()
+	hits := int64(41)
+	r.RegisterCollector(func(emit func(Sample)) {
+		emit(Sample{Name: "frappe_ext_hits_total", Help: "h", Kind: KindCounter, Labels: Labels{"file": "nodes"}, Value: float64(hits)})
+	})
+	hits++
+	f := Find(r.Gather(), "frappe_ext_hits_total")
+	if f == nil || len(f.Series) != 1 || f.Series[0].Value != 42 {
+		t.Fatalf("collector sample wrong: %+v", f)
+	}
+	// Extra collectors are per-Gather, not retained.
+	f = Find(r.Gather(func(emit func(Sample)) {
+		emit(Sample{Name: "frappe_extra", Kind: KindGauge, Value: 1})
+	}), "frappe_extra")
+	if f == nil {
+		t.Fatal("extra collector not gathered")
+	}
+	if Find(r.Gather(), "frappe_extra") != nil {
+		t.Fatal("extra collector leaked into registry")
+	}
+}
+
+func TestWriteTextFormat(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("frappe_b_total", "counts b", Labels{"route": "/api/query", "code": "200"}).Add(3)
+	r.Counter("frappe_b_total", "counts b", Labels{"route": "/api/search", "code": "200"}).Inc()
+	r.Gauge("frappe_a_gauge", `tricky "help"`+"\nline`", nil).Set(2)
+	h := r.Histogram("frappe_c_ms", "lat", nil, []float64{1, 10})
+	h.Observe(0.5)
+	h.Observe(7)
+	h.Observe(99)
+
+	var buf bytes.Buffer
+	if err := WriteText(&buf, r.Gather()); err != nil {
+		t.Fatal(err)
+	}
+	got := buf.String()
+	want := strings.Join([]string{
+		`# HELP frappe_a_gauge tricky "help"\nline` + "`",
+		`# TYPE frappe_a_gauge gauge`,
+		`frappe_a_gauge 2`,
+		`# HELP frappe_b_total counts b`,
+		`# TYPE frappe_b_total counter`,
+		`frappe_b_total{code="200",route="/api/query"} 3`,
+		`frappe_b_total{code="200",route="/api/search"} 1`,
+		`# HELP frappe_c_ms lat`,
+		`# TYPE frappe_c_ms histogram`,
+		`frappe_c_ms_bucket{le="1"} 1`,
+		`frappe_c_ms_bucket{le="10"} 2`,
+		`frappe_c_ms_bucket{le="+Inf"} 3`,
+		`frappe_c_ms_sum 106.5`,
+		`frappe_c_ms_count 3`,
+		``,
+	}, "\n")
+	if got != want {
+		t.Fatalf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+func TestLabelValueEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("frappe_esc_total", "", Labels{"path": `a\b"c` + "\nd"}).Inc()
+	var buf bytes.Buffer
+	if err := WriteText(&buf, r.Gather()); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `{path="a\\b\"c\nd"}`) {
+		t.Fatalf("escaping wrong: %q", buf.String())
+	}
+}
+
+func TestFormatValue(t *testing.T) {
+	cases := map[float64]string{
+		0:      "0",
+		3:      "3",
+		-7:     "-7",
+		0.25:   "0.25",
+		1e15:   "1e+15",
+		1234.5: "1234.5",
+	}
+	for in, want := range cases {
+		if got := formatValue(in); got != want {
+			t.Errorf("formatValue(%v) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"time"
 
 	"frappe/internal/graph"
 	"frappe/internal/model"
@@ -15,6 +16,9 @@ import (
 type Result struct {
 	Columns []string
 	Rows    [][]Val
+	// Steps is how many pattern-expansion steps the query performed —
+	// the same unit the MaxSteps budget is charged in.
+	Steps int64
 }
 
 // Execute runs a parsed query over src. The context bounds execution: a
@@ -28,7 +32,19 @@ func Execute(ctx context.Context, src graph.Source, q *Query) (*Result, error) {
 // anywhere below (including typed corruption panics from a disk-backed
 // source) is recovered into the returned error, so one bad query or one
 // bad disk page cannot take down a serving process.
-func ExecuteLimits(ctx context.Context, src graph.Source, q *Query, lim Limits) (res *Result, err error) {
+func ExecuteLimits(ctx context.Context, src graph.Source, q *Query, lim Limits) (*Result, error) {
+	res, _, err := executeLimits(ctx, src, q, lim, false)
+	return res, err
+}
+
+// executeLimits is the shared runner behind ExecuteLimits and
+// ExecuteProfileLimits: panic recovery, metrics, optional tracing.
+func executeLimits(ctx context.Context, src graph.Source, q *Query, lim Limits, profile bool) (res *Result, prof *Profile, err error) {
+	start := time.Now()
+	ex := &exec{src: src, ctx: ctx, limits: lim}
+	if profile {
+		ex.prof = &Profile{}
+	}
 	defer func() {
 		if r := recover(); r != nil {
 			if e, ok := r.(error); ok {
@@ -38,9 +54,22 @@ func ExecuteLimits(ctx context.Context, src graph.Source, q *Query, lim Limits) 
 			}
 			res = nil
 		}
+		millis := float64(time.Since(start)) / float64(time.Millisecond)
+		recordQueryMetrics(res, err, millis, ex.steps)
+		if ex.prof != nil {
+			ex.prof.Steps = ex.steps
+			ex.prof.Millis = millis
+			if res != nil {
+				ex.prof.Rows = int64(len(res.Rows))
+			}
+			prof = ex.prof
+		}
 	}()
-	ex := &exec{src: src, ctx: ctx, limits: lim}
-	return ex.run(q)
+	res, err = ex.run(q)
+	if res != nil {
+		res.Steps = ex.steps
+	}
+	return res, nil, err
 }
 
 // Run parses and executes a query text.
@@ -62,6 +91,7 @@ type exec struct {
 	ctx    context.Context
 	limits Limits
 	steps  int64
+	prof   *Profile // nil unless PROFILE requested; hot paths never touch it
 }
 
 // tick periodically checks the context and enforces the step budget; it
@@ -100,6 +130,11 @@ func (ex *exec) run(q *Query) (*Result, error) {
 			return nil, ex.errf("RETURN must be the final clause")
 		}
 		var err error
+		stepsBefore := ex.steps
+		var clauseStart time.Time
+		if ex.prof != nil {
+			clauseStart = time.Now()
+		}
 		switch t := c.(type) {
 		case *StartClause:
 			rows, err = ex.applyStart(rows, t)
@@ -123,6 +158,22 @@ func (ex *exec) run(q *Query) (*Result, error) {
 					result.Rows = append(result.Rows, vals)
 				}
 			}
+		}
+		if ex.prof != nil {
+			// Record the operator even when it errored: an aborted Match
+			// still shows which clause burned the budget.
+			op, detail := operatorInfo(c)
+			out := int64(len(rows))
+			if result != nil {
+				out = int64(len(result.Rows))
+			}
+			ex.prof.Ops = append(ex.prof.Ops, OpProfile{
+				Operator: op,
+				Detail:   detail,
+				Rows:     out,
+				DBHits:   ex.steps - stepsBefore,
+				Millis:   float64(time.Since(clauseStart)) / float64(time.Millisecond),
+			})
 		}
 		if err != nil {
 			return nil, err

@@ -1,0 +1,159 @@
+package server
+
+import (
+	"net/http"
+	"time"
+
+	"frappe/internal/obs"
+)
+
+// HTTP serving metrics. Per-route instruments are pre-created when the
+// middleware chain is built, so the per-request cost is two map reads
+// and a few atomic adds — the registry lock is never taken while
+// serving. Routes are a fixed vocabulary (everything else is "other"),
+// and status codes collapse to classes, so cardinality stays bounded
+// no matter what clients request.
+var (
+	mInFlight = obs.Default.Gauge("frappe_http_in_flight",
+		"Requests currently being served.", nil)
+	mPanics = obs.Default.Counter("frappe_http_panics_total",
+		"Handler panics converted to 500 responses.", nil)
+	mSlow = obs.Default.Counter("frappe_http_slow_requests_total",
+		"Requests slower than the server's slow threshold.", nil)
+)
+
+// metricRoutes is the route vocabulary for per-route series.
+var metricRoutes = []string{
+	"/", "/api/query", "/api/stats", "/api/search", "/api/def",
+	"/api/refs", "/api/slice", "/map.svg", "/api/admin/update",
+	"/healthz", "/readyz", "/metrics", "other",
+}
+
+// routeLabel collapses a request path into the bounded route vocabulary.
+func routeLabel(path string) string {
+	for _, r := range metricRoutes {
+		if path == r {
+			return r
+		}
+	}
+	return "other"
+}
+
+// codeClass collapses a status code to its class ("2xx", "4xx", ...).
+func codeClass(code int) string {
+	switch {
+	case code >= 500:
+		return "5xx"
+	case code >= 400:
+		return "4xx"
+	case code >= 300:
+		return "3xx"
+	default:
+		return "2xx"
+	}
+}
+
+var codeClasses = []string{"2xx", "3xx", "4xx", "5xx"}
+
+// routeInstruments holds the pre-created per-route series.
+type routeInstruments struct {
+	byCode   map[string]map[string]*obs.Counter // route → class → counter
+	duration map[string]*obs.Histogram          // route → latency histogram
+}
+
+func newRouteInstruments() *routeInstruments {
+	ri := &routeInstruments{
+		byCode:   map[string]map[string]*obs.Counter{},
+		duration: map[string]*obs.Histogram{},
+	}
+	for _, route := range metricRoutes {
+		ri.duration[route] = obs.Default.Histogram("frappe_http_request_duration_ms",
+			"Request wall time by route, in milliseconds.", obs.Labels{"route": route}, nil)
+		byClass := map[string]*obs.Counter{}
+		for _, class := range codeClasses {
+			byClass[class] = obs.Default.Counter("frappe_http_requests_total",
+				"Requests served by route and status class.", obs.Labels{"route": route, "code": class})
+		}
+		ri.byCode[route] = byClass
+	}
+	return ri
+}
+
+// statusRecorder captures the response status for metrics and slow logs.
+type statusRecorder struct {
+	http.ResponseWriter
+	code int
+}
+
+func (sr *statusRecorder) WriteHeader(code int) {
+	if sr.code == 0 {
+		sr.code = code
+	}
+	sr.ResponseWriter.WriteHeader(code)
+}
+
+func (sr *statusRecorder) Write(b []byte) (int, error) {
+	if sr.code == 0 {
+		sr.code = http.StatusOK
+	}
+	return sr.ResponseWriter.Write(b)
+}
+
+// DefaultSlowThreshold flags requests slower than this when the server
+// does not configure its own (see Server.SlowThreshold, -slow-ms).
+const DefaultSlowThreshold = time.Second
+
+// withMetrics observes every request: per-route count + latency, the
+// in-flight gauge, and the slow-request log line. It sits outside the
+// recover and concurrency middlewares, so panics (500) and shed
+// responses (503) are counted against their route too.
+func (s *Server) withMetrics(next http.Handler) http.Handler {
+	ri := newRouteInstruments()
+	slow := s.SlowThreshold
+	if slow == 0 {
+		slow = DefaultSlowThreshold
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		route := routeLabel(r.URL.Path)
+		rec := &statusRecorder{ResponseWriter: w}
+		start := time.Now()
+		mInFlight.Add(1)
+		next.ServeHTTP(rec, r)
+		mInFlight.Add(-1)
+		elapsed := time.Since(start)
+		code := rec.code
+		if code == 0 {
+			code = http.StatusOK
+		}
+		ri.byCode[route][codeClass(code)].Inc()
+		ri.duration[route].Observe(float64(elapsed) / float64(time.Millisecond))
+		if slow > 0 && elapsed >= slow {
+			mSlow.Inc()
+			s.logf("slow request: %s %s (%s) took %s (threshold %s), status %d",
+				r.Method, r.URL.Path, rec.Header().Get(requestIDHeader), elapsed, slow, code)
+		}
+	})
+}
+
+// handleMetrics renders the Prometheus text exposition: the process
+// registry plus this server's scrape-time samples (the engine's
+// page-cache counters and the shed count). Engine-backed samples ride
+// in as Gather extras so tests with several servers never cross wires.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	fams := obs.Default.Gather(s.eng.MetricsCollector(), s.shedCollector())
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = obs.WriteText(w, fams)
+}
+
+// shedCollector samples the concurrency limiter's existing atomic
+// counter at scrape time (no double-instrumentation on the shed path).
+func (s *Server) shedCollector() obs.Collector {
+	return func(emit func(obs.Sample)) {
+		emit(obs.Sample{
+			Name:  "frappe_http_shed_total",
+			Help:  "Requests shed by the concurrency limiter (503).",
+			Kind:  obs.KindCounter,
+			Value: float64(s.ShedCount()),
+		})
+	}
+}

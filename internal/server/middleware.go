@@ -36,6 +36,7 @@ func (s *Server) withRecover(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		defer func() {
 			if rec := recover(); rec != nil {
+				mPanics.Inc()
 				id := w.Header().Get(requestIDHeader)
 				s.logf("panic serving %s %s (%s): %v\n%s", r.Method, r.URL.Path, id, rec, debug.Stack())
 				writeJSON(w, http.StatusInternalServerError, map[string]string{
@@ -57,7 +58,7 @@ func (s *Server) withConcurrencyLimit(next http.Handler) http.Handler {
 		return next
 	}
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		if isHealthPath(r.URL.Path) {
+		if isOpsPath(r.URL.Path) {
 			next.ServeHTTP(w, r)
 			return
 		}
@@ -75,7 +76,10 @@ func (s *Server) withConcurrencyLimit(next http.Handler) http.Handler {
 	})
 }
 
-func isHealthPath(p string) bool { return p == "/healthz" || p == "/readyz" }
+// isOpsPath lists the operational endpoints that bypass the concurrency
+// limiter: probes must answer while the server sheds, and a scrape is
+// most valuable exactly when the server is saturated.
+func isOpsPath(p string) bool { return p == "/healthz" || p == "/readyz" || p == "/metrics" }
 
 // handleHealthz reports liveness: the process is up and serving HTTP.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {

@@ -12,6 +12,8 @@
 //	GET  /api/slice           ?fn=&forward=&depth=
 //	GET  /map.svg             ?highlight=<function>
 //	POST /api/admin/update    apply an incremental update (when wired)
+//	GET  /metrics             Prometheus text exposition
+//	GET  /debug/pprof/*       profiling (opt-in via EnablePprof / -pprof)
 //
 // Each handler pins one engine snapshot for its whole request, so a
 // live update swapping the graph mid-request can never make a handler
@@ -24,6 +26,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -33,6 +36,7 @@ import (
 	"frappe/internal/core"
 	"frappe/internal/graph"
 	"frappe/internal/model"
+	"frappe/internal/query"
 	"frappe/internal/store"
 	"frappe/internal/traversal"
 )
@@ -73,8 +77,13 @@ type Server struct {
 	MaxConcurrent int
 	// RetryAfterSeconds is advertised on shed responses (default 1).
 	RetryAfterSeconds int
-	// Logf overrides the panic/error logger (default log.Printf).
+	// Logf overrides the server's logger (default log.Printf). Every
+	// server log line — panics, slow requests — goes through it.
 	Logf func(format string, args ...any)
+	// SlowThreshold flags requests slower than this with a log line and
+	// the frappe_http_slow_requests_total counter (default
+	// DefaultSlowThreshold; set <0 before the first request to disable).
+	SlowThreshold time.Duration
 
 	chainOnce sync.Once
 	handler   http.Handler
@@ -123,7 +132,21 @@ func New(eng *core.Engine) *Server {
 	s.mux.HandleFunc("POST /api/admin/update", s.handleUpdate)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return s
+}
+
+// EnablePprof mounts net/http/pprof's handlers under /debug/pprof/.
+// Off by default — profiling endpoints expose internals and cost CPU —
+// and switched on by `frappe serve -pprof`. Call before the first
+// request.
+func (s *Server) EnablePprof() {
+	s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+	s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+	s.mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+	s.mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+	s.mux.HandleFunc("POST /debug/pprof/symbol", pprof.Symbol)
+	s.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
 }
 
 // ServeHTTP implements http.Handler through the middleware chain, built
@@ -136,7 +159,7 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		if s.MaxConcurrent > 0 {
 			s.sem = make(chan struct{}, s.MaxConcurrent)
 		}
-		s.handler = s.withRequestID(s.withRecover(s.withConcurrencyLimit(s.mux)))
+		s.handler = s.withRequestID(s.withMetrics(s.withRecover(s.withConcurrencyLimit(s.mux))))
 	})
 	s.handler.ServeHTTP(w, r)
 }
@@ -155,13 +178,16 @@ func writeErr(w http.ResponseWriter, status int, err error) {
 
 type queryRequest struct {
 	Query string `json:"query"`
+	// Profile requests per-operator PROFILE tracing alongside the result.
+	Profile bool `json:"profile,omitempty"`
 }
 
 type queryResponse struct {
-	Columns []string   `json:"columns"`
-	Rows    [][]string `json:"rows"`
-	Count   int        `json:"count"`
-	Millis  float64    `json:"millis"`
+	Columns []string       `json:"columns"`
+	Rows    [][]string     `json:"rows"`
+	Count   int            `json:"count"`
+	Millis  float64        `json:"millis"`
+	Profile *query.Profile `json:"profile,omitempty"`
 }
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
@@ -178,7 +204,14 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	defer cancel()
 	start := time.Now()
 	snap := s.eng.Snapshot()
-	res, err := snap.Query(ctx, req.Query, s.eng.QueryLimits)
+	var res *query.Result
+	var prof *query.Profile
+	var err error
+	if req.Profile {
+		res, prof, err = snap.QueryProfile(ctx, req.Query, s.eng.QueryLimits)
+	} else {
+		res, err = snap.Query(ctx, req.Query, s.eng.QueryLimits)
+	}
 	if err != nil {
 		status := http.StatusBadRequest
 		switch {
@@ -196,6 +229,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		Columns: res.Columns,
 		Count:   res.Count(),
 		Millis:  float64(time.Since(start).Microseconds()) / 1000,
+		Profile: prof,
 	}
 	src := snap.Source()
 	for _, row := range res.Rows {
@@ -215,6 +249,14 @@ type statsResponse struct {
 	Epoch      int64               `json:"epoch"`
 	LastUpdate *core.UpdateSummary `json:"lastUpdate,omitempty"`
 	Hubs       []hub               `json:"hubs"`
+	// Cache holds the page-cache counters by store file (absent for
+	// in-memory engines), so the console can show hit ratios without
+	// scraping /metrics.
+	Cache map[string]store.CacheStats `json:"cache,omitempty"`
+	// Query is the executor's counter snapshot (budget pressure, rows).
+	Query query.Counters `json:"query"`
+	// Shed counts requests dropped by the concurrency limiter.
+	Shed int64 `json:"shed"`
 }
 
 type hub struct {
@@ -229,6 +271,9 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	resp := statsResponse{
 		Nodes: m.Nodes, Edges: m.Edges, Density: m.Density,
 		Epoch: snap.Epoch(), LastUpdate: snap.LastUpdate(),
+		Cache: s.eng.CacheStats(),
+		Query: query.CountersSnapshot(),
+		Shed:  s.ShedCount(),
 	}
 	for _, h := range graph.TopDegreeNodes(snap.Source(), 10) {
 		resp.Hubs = append(resp.Hubs, hub{Type: string(h.Type), Name: h.Name, Degree: h.Degree})
