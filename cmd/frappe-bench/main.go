@@ -8,6 +8,13 @@
 //	frappe-bench -experiment table5   # one experiment
 //	frappe-bench -scale 4             # larger synthetic kernel
 //	frappe-bench -runs 10 -timeout 15s
+//
+// With -compare it acts as the CI regression gate instead: it reads two
+// smoke JSON files and fails when a tracked metric (warm-read
+// throughput, cache hit ratios, query-cache speedup) regressed beyond
+// the tolerance.
+//
+//	frappe-bench -compare old.json new.json -tolerance 0.25
 package main
 
 import (
@@ -21,6 +28,7 @@ import (
 	"path/filepath"
 	"runtime"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -31,6 +39,7 @@ import (
 	"frappe/internal/kernelgen"
 	"frappe/internal/model"
 	"frappe/internal/obs"
+	"frappe/internal/qcache"
 	"frappe/internal/query"
 	"frappe/internal/store"
 	"frappe/internal/temporal"
@@ -44,10 +53,19 @@ var (
 	experiment = flag.String("experiment", "all", "comma list: table3,table4,table5,figure7,table6,ablations,temporal,smoke")
 	keep       = flag.String("db", "", "store directory to (re)use; default: temp dir")
 	out        = flag.String("out", "", "with -experiment smoke: also write the results as JSON to this file")
+	compare    = flag.Bool("compare", false, "regression gate: compare two smoke JSON files instead of benchmarking")
+	tolerance  = flag.Float64("tolerance", 0.25, "with -compare: allowed relative regression per metric")
 )
 
 func main() {
 	flag.Parse()
+	if *compare {
+		if err := runCompare(flag.Args(), *tolerance); err != nil {
+			fmt.Fprintf(os.Stderr, "frappe-bench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if err := run(); err != nil {
 		fmt.Fprintf(os.Stderr, "frappe-bench: %v\n", err)
 		os.Exit(1)
@@ -477,6 +495,16 @@ type smokeResult struct {
 		QueryDuration    histSummary `json:"query_duration_ms"`
 		FrontendDuration histSummary `json:"frontend_duration_ms"`
 	} `json:"observability"`
+	// QCache is the PR-5 subject: the same warm repeated-query workload
+	// with the query cache off vs on.
+	QCache struct {
+		Iterations int     `json:"iterations"`
+		Queries    int     `json:"queries"`
+		NoCacheMS  float64 `json:"no_cache_ms"`
+		CachedMS   float64 `json:"cached_ms"`
+		Speedup    float64 `json:"speedup"`
+		HitRatio   float64 `json:"hit_ratio"`
+	} `json:"qcache"`
 }
 
 // cacheRatio is one query batch's page-cache outcome, aggregated over
@@ -669,6 +697,13 @@ func (b *bench) smoke() error {
 	if err := b.observability(&r); err != nil {
 		return err
 	}
+	if err := b.qcacheSmoke(&r); err != nil {
+		return err
+	}
+	fmt.Printf("query cache: %d x %d warm queries, no-cache %s ms vs cached %s ms (%.2fx, hit ratio %.1f%%)\n",
+		r.QCache.Iterations, r.QCache.Queries,
+		fmt.Sprintf("%.2f", r.QCache.NoCacheMS), fmt.Sprintf("%.2f", r.QCache.CachedMS),
+		r.QCache.Speedup, 100*r.QCache.HitRatio)
 	fmt.Printf("cache: cold %d/%d hits (%.1f%%), warm %d/%d hits (%.1f%%)\n",
 		r.Observability.Cold.Hits, r.Observability.Cold.Hits+r.Observability.Cold.Misses,
 		100*r.Observability.Cold.HitRatio,
@@ -689,6 +724,172 @@ func (b *bench) smoke() error {
 		}
 		fmt.Printf("wrote %s\n", *out)
 	}
+	return nil
+}
+
+// qcacheSmoke measures warm repeated-query throughput with the query
+// cache off vs on, against the same on-disk store. The page cache is
+// warmed by one pass in both runs, so the delta is purely the query
+// layer: parse + execute every time vs one execution and then result
+// reuse.
+func (b *bench) qcacheSmoke(r *smokeResult) error {
+	const iters = 300
+	queries := []string{figure3Query, figure5Query}
+	measure := func(withCache bool) (time.Duration, *qcache.Stats, error) {
+		eng, err := core.Open(b.dbDir)
+		if err != nil {
+			return 0, nil, err
+		}
+		defer eng.Close()
+		var qc *qcache.Cache
+		if withCache {
+			qc = qcache.New(qcache.Config{})
+			eng.SetQueryCache(qc)
+		}
+		ctx := context.Background()
+		for _, q := range queries { // warm the page cache (and the qcache)
+			if _, err := eng.Query(ctx, q); err != nil {
+				return 0, nil, err
+			}
+		}
+		start := time.Now()
+		for i := 0; i < iters; i++ {
+			for _, q := range queries {
+				if _, err := eng.Query(ctx, q); err != nil {
+					return 0, nil, err
+				}
+			}
+		}
+		elapsed := time.Since(start)
+		if qc != nil {
+			st := qc.Stats()
+			return elapsed, &st, nil
+		}
+		return elapsed, nil, nil
+	}
+	noCache, _, err := measure(false)
+	if err != nil {
+		return err
+	}
+	cached, st, err := measure(true)
+	if err != nil {
+		return err
+	}
+	r.QCache.Iterations = iters
+	r.QCache.Queries = len(queries)
+	r.QCache.NoCacheMS = float64(noCache.Microseconds()) / 1000
+	r.QCache.CachedMS = float64(cached.Microseconds()) / 1000
+	if cached > 0 {
+		r.QCache.Speedup = float64(noCache) / float64(cached)
+	}
+	if total := st.Hits + st.Misses + st.Shared; total > 0 {
+		r.QCache.HitRatio = float64(st.Hits) / float64(total)
+	}
+	return nil
+}
+
+// --- Regression gate (-compare) ---
+
+// compareFile is the subset of a smoke JSON the gate tracks. Older
+// BENCH files simply decode with zero values for sections they predate;
+// those metrics are skipped rather than failed.
+type compareFile struct {
+	WarmReads struct {
+		Goroutines   int     `json:"goroutines"`
+		OpsPerReader int     `json:"ops_per_reader"`
+		ShardedMS    float64 `json:"sharded_ms"`
+	} `json:"warm_reads"`
+	Observability struct {
+		Warm struct {
+			HitRatio float64 `json:"hit_ratio"`
+		} `json:"warm"`
+	} `json:"observability"`
+	QCache struct {
+		Speedup  float64 `json:"speedup"`
+		HitRatio float64 `json:"hit_ratio"`
+	} `json:"qcache"`
+}
+
+// warmThroughput converts the warm-read measurement into ops/ms so two
+// files with different op counts still compare.
+func (f *compareFile) warmThroughput() float64 {
+	if f.WarmReads.ShardedMS <= 0 {
+		return 0
+	}
+	return float64(f.WarmReads.Goroutines*f.WarmReads.OpsPerReader) / f.WarmReads.ShardedMS
+}
+
+// runCompare is the CI bench gate: higher-is-better metrics from the new
+// file must be at least (1 - tolerance) of the old file's.
+func runCompare(args []string, tol float64) error {
+	// The flag package stops at the first positional, so accept a
+	// trailing `-tolerance X` by hand: the documented
+	// `frappe-bench -compare old.json new.json -tolerance 0.25` works.
+	var files []string
+	for i := 0; i < len(args); i++ {
+		if args[i] == "-tolerance" || args[i] == "--tolerance" {
+			if i+1 >= len(args) {
+				return fmt.Errorf("-tolerance needs a value")
+			}
+			v, err := strconv.ParseFloat(args[i+1], 64)
+			if err != nil {
+				return fmt.Errorf("bad -tolerance %q: %w", args[i+1], err)
+			}
+			tol = v
+			i++
+			continue
+		}
+		files = append(files, args[i])
+	}
+	if len(files) != 2 {
+		return fmt.Errorf("usage: frappe-bench -compare old.json new.json [-tolerance 0.25]")
+	}
+	load := func(path string) (*compareFile, error) {
+		buf, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		var f compareFile
+		if err := json.Unmarshal(buf, &f); err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		return &f, nil
+	}
+	oldF, err := load(files[0])
+	if err != nil {
+		return err
+	}
+	newF, err := load(files[1])
+	if err != nil {
+		return err
+	}
+
+	metrics := []struct {
+		name     string
+		old, new float64
+	}{
+		{"warm_read_throughput_ops_per_ms", oldF.warmThroughput(), newF.warmThroughput()},
+		{"warm_page_cache_hit_ratio", oldF.Observability.Warm.HitRatio, newF.Observability.Warm.HitRatio},
+		{"qcache_speedup", oldF.QCache.Speedup, newF.QCache.Speedup},
+		{"qcache_hit_ratio", oldF.QCache.HitRatio, newF.QCache.HitRatio},
+	}
+	fmt.Printf("bench gate: %s -> %s (tolerance %.0f%%)\n", files[0], files[1], tol*100)
+	failed := 0
+	for _, m := range metrics {
+		switch {
+		case m.old <= 0:
+			fmt.Printf("  SKIP %-34s not present in %s\n", m.name, files[0])
+		case m.new >= m.old*(1-tol):
+			fmt.Printf("  PASS %-34s %.3f -> %.3f (%+.1f%%)\n", m.name, m.old, m.new, 100*(m.new/m.old-1))
+		default:
+			failed++
+			fmt.Printf("  FAIL %-34s %.3f -> %.3f (%+.1f%%)\n", m.name, m.old, m.new, 100*(m.new/m.old-1))
+		}
+	}
+	if failed > 0 {
+		return fmt.Errorf("%d metric(s) regressed beyond %.0f%%", failed, tol*100)
+	}
+	fmt.Println("bench gate ok")
 	return nil
 }
 

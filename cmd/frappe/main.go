@@ -44,6 +44,7 @@ import (
 	"frappe/internal/graph"
 	"frappe/internal/kernelgen"
 	"frappe/internal/model"
+	"frappe/internal/qcache"
 	"frappe/internal/query"
 	"frappe/internal/server"
 	"frappe/internal/store"
@@ -631,6 +632,8 @@ func cmdServe(args []string) error {
 	drain := fl.Duration("drain-timeout", server.DefaultDrainTimeout, "max time to drain in-flight requests on shutdown")
 	pprofOn := fl.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
 	slowMS := fl.Int64("slow-ms", server.DefaultSlowThreshold.Milliseconds(), "log requests slower than this many milliseconds (<0 disables)")
+	qcacheMB := fl.Int("qcache-mb", 64, "query result cache budget in MB (0 disables the cache)")
+	qcacheEntries := fl.Int("qcache-entries", qcache.DefaultMaxEntries, "query result cache entry cap")
 	fl.Parse(args)
 
 	var eng *core.Engine
@@ -714,6 +717,16 @@ func cmdServe(args []string) error {
 		srv = server.New(eng)
 	}
 	defer eng.Close()
+	// The query cache is installed before the listener opens: repeated
+	// queries skip parsing and execution, and concurrent identical
+	// queries coalesce into one executor slot. `frappe query` (one-shot
+	// CLI) never installs a cache.
+	if *qcacheMB > 0 {
+		eng.SetQueryCache(qcache.New(qcache.Config{
+			MaxBytes:   int64(*qcacheMB) << 20,
+			MaxEntries: *qcacheEntries,
+		}))
+	}
 	srv.QueryTimeout = *queryTimeout
 	srv.MaxConcurrent = *maxConcurrent
 	if *slowMS < 0 {

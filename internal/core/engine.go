@@ -26,6 +26,7 @@ import (
 	"frappe/internal/extract"
 	"frappe/internal/graph"
 	"frappe/internal/model"
+	"frappe/internal/qcache"
 	"frappe/internal/query"
 	"frappe/internal/store"
 	"frappe/internal/traversal"
@@ -90,6 +91,12 @@ type Engine struct {
 	// fails fast with query.ErrBudgetExceeded instead of eating memory.
 	// Set at startup, before the engine serves concurrent traffic.
 	QueryLimits query.Limits
+
+	// qc, when non-nil, caches parsed plans and finished result tables
+	// and coalesces concurrent identical queries (singleflight). Set via
+	// SetQueryCache at startup, before the engine serves concurrent
+	// traffic; every snapshot swap invalidates the result side.
+	qc *qcache.Cache
 
 	// updateMu serialises update application (plan → extract → persist →
 	// swap); queries never take it.
@@ -194,6 +201,9 @@ func (e *Engine) SetEpoch(epoch int64, last *UpdateSummary) {
 	}
 	e.snap.Store(next)
 	mEpochGauge.Set(epoch)
+	if e.qc != nil {
+		e.qc.Invalidate()
+	}
 }
 
 // Swap publishes g as the live snapshot at the given epoch. In-flight
@@ -207,6 +217,12 @@ func (e *Engine) Swap(g *graph.Graph, epoch int64, last *UpdateSummary) {
 	old := e.snap.Swap(next)
 	mSwaps.Inc()
 	mEpochGauge.Set(epoch)
+	// Drop every cached result: entries are epoch-keyed, but wholesale
+	// invalidation also protects against epoch reuse and caps the memory
+	// held for a graph nobody can query any more.
+	if e.qc != nil {
+		e.qc.Invalidate()
+	}
 	if old != nil && old.db != nil {
 		e.mu.Lock()
 		e.retired = append(e.retired, old.db)
@@ -361,10 +377,58 @@ func (e *Engine) QueryProfile(ctx context.Context, text string) (*query.Result, 
 	return e.Snapshot().QueryProfile(ctx, text, e.QueryLimits)
 }
 
+// SetQueryCache installs (or, with nil, removes) the engine's query
+// cache. Call at startup, before the engine serves concurrent traffic —
+// the field is read without synchronisation on the query hot path.
+func (e *Engine) SetQueryCache(c *qcache.Cache) { e.qc = c }
+
+// QueryCacheStats snapshots the query-cache counters, nil when no cache
+// is installed (surfaced by /api/stats).
+func (e *Engine) QueryCacheStats() *qcache.Stats {
+	if e.qc == nil {
+		return nil
+	}
+	st := e.qc.Stats()
+	return &st
+}
+
+// QueryCacheHits reports how many times the given query text has been
+// served warm against snapshot s under the engine's current limits.
+func (e *Engine) QueryCacheHits(s *Snapshot, text string) int64 {
+	if e.qc == nil {
+		return 0
+	}
+	return e.qc.EntryHits(qcache.Key{Epoch: s.Epoch(), Text: text, Limits: e.QueryLimits})
+}
+
+// CachedQuery runs text against the pinned snapshot s through the
+// engine's query cache: plan reuse, result reuse keyed by
+// (epoch, text, limits), and singleflight coalescing of concurrent
+// identical queries. With bypass (or no cache installed) it executes
+// directly, exactly like Snapshot.Query. Cached results are shared
+// between callers — treat them as read-only.
+func (e *Engine) CachedQuery(ctx context.Context, s *Snapshot, text string, bypass bool) (*query.Result, qcache.Outcome, error) {
+	qc := e.qc
+	if qc == nil || bypass {
+		res, err := s.Query(ctx, text, e.QueryLimits)
+		return res, qcache.Outcome{}, err
+	}
+	k := qcache.Key{Epoch: s.Epoch(), Text: text, Limits: e.QueryLimits}
+	return qc.Do(ctx, k, func() (*query.Result, error) {
+		q, err := qc.Plan(text)
+		if err != nil {
+			return nil, err
+		}
+		return query.ExecuteLimits(ctx, s.Source(), q, e.QueryLimits)
+	})
+}
+
 // Query parses and runs a Cypher query against the engine's live graph,
-// under the engine's QueryLimits.
+// under the engine's QueryLimits and through the query cache when one
+// is installed.
 func (e *Engine) Query(ctx context.Context, text string) (*query.Result, error) {
-	return e.Snapshot().Query(ctx, text, e.QueryLimits)
+	res, _, err := e.CachedQuery(ctx, e.Snapshot(), text, false)
+	return res, err
 }
 
 // Symbol is a materialised view of a graph node for API consumers.

@@ -1,0 +1,210 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"frappe/internal/graph"
+	"frappe/internal/qcache"
+	"frappe/internal/query"
+)
+
+const countQuery = `START n=node(*) RETURN count(*)`
+
+func cachedEngine(t testing.TB) (*Engine, *graph.Graph, *graph.Graph) {
+	t.Helper()
+	eng, resA, resB := twoGraphs(t)
+	eng.SetQueryCache(qcache.New(qcache.Config{}))
+	return eng, resA.Graph, resB.Graph
+}
+
+// TestQueryCacheSwapInvalidation: a cached result must not survive an
+// UpdateWith snapshot swap — the same query afterwards answers for the
+// new graph.
+func TestQueryCacheSwapInvalidation(t *testing.T) {
+	eng, gA, gB := cachedEngine(t)
+	defer eng.Close()
+
+	countOf := func() string {
+		res, err := eng.Query(ctx, countQuery)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Format(eng.Source())
+	}
+	before := countOf()
+	if got := countOf(); got != before {
+		t.Fatalf("repeat query disagrees: %q vs %q", got, before)
+	}
+	if st := eng.QueryCacheStats(); st.Hits != 1 || st.Misses != 1 {
+		t.Fatalf("warm-up stats: %+v", st)
+	}
+
+	swapped, err := eng.UpdateWith(func(old graph.Source) (*graph.Graph, int64, *UpdateSummary, error) {
+		return gB, 1, &UpdateSummary{Epoch: 1}, nil
+	})
+	if err != nil || !swapped {
+		t.Fatalf("UpdateWith: swapped=%v err=%v", swapped, err)
+	}
+	after := countOf()
+	if after == before {
+		t.Fatalf("post-swap query served pre-swap rows: %q", after)
+	}
+	if st := eng.QueryCacheStats(); st.Invalidations == 0 {
+		t.Fatalf("swap did not invalidate the result cache: %+v", st)
+	}
+
+	// Epoch reuse: swapping back to graph A under the SAME epoch must
+	// still flush — the epoch in the key alone would not catch this.
+	eng.Swap(gA, 1, &UpdateSummary{Epoch: 1})
+	if got := countOf(); got != before {
+		t.Fatalf("same-epoch swap served stale rows: %q, want %q", got, before)
+	}
+}
+
+// TestQueryCacheLimitsKey is the limits-poisoning regression: a success
+// cached under loose limits must not mask the budget error the same
+// query produces under tight limits.
+func TestQueryCacheLimitsKey(t *testing.T) {
+	eng, _, _ := cachedEngine(t)
+	defer eng.Close()
+
+	q := `START n=node(*) RETURN n`
+	if _, err := eng.Query(ctx, q); err != nil {
+		t.Fatal(err)
+	}
+	eng.QueryLimits = query.Limits{MaxRows: 1}
+	if _, err := eng.Query(ctx, q); !errors.Is(err, query.ErrBudgetExceeded) {
+		t.Fatalf("tight-limit rerun err = %v, want ErrBudgetExceeded (cached loose result must not apply)", err)
+	}
+	// And the error must not have displaced the loose entry.
+	eng.QueryLimits = query.Limits{}
+	res, out, err := eng.CachedQuery(ctx, eng.Snapshot(), q, false)
+	if err != nil || !out.Hit {
+		t.Fatalf("loose rerun: out=%+v err=%v", out, err)
+	}
+	if res.Count() <= 1 {
+		t.Fatalf("loose rerun rows = %d", res.Count())
+	}
+}
+
+// TestQueryCacheSingleflightStress: N concurrent identical queries on a
+// cold cache execute exactly once. Run under -race in CI.
+func TestQueryCacheSingleflightStress(t *testing.T) {
+	eng, _, _ := cachedEngine(t)
+	defer eng.Close()
+
+	const n = 16
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := eng.Query(ctx, countQuery); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+	st := eng.QueryCacheStats()
+	if st.Misses != 1 {
+		t.Fatalf("%d concurrent identical queries executed %d times, want 1", n, st.Misses)
+	}
+	if st.Hits+st.Shared != n-1 {
+		t.Fatalf("hits=%d shared=%d, want %d combined", st.Hits, st.Shared, n-1)
+	}
+}
+
+// TestQueryCacheEquivalence: across the paper's Figure 3–6 query
+// families, the bypassed execution, the caching execution, and the
+// cached replay must produce byte-identical formatted tables.
+func TestQueryCacheEquivalence(t *testing.T) {
+	eng := tinyEngine(t)
+	defer eng.Close()
+	eng.SetQueryCache(qcache.New(qcache.Config{}))
+
+	fid, ok := eng.FileIDOf("drivers/scsi/sr.c")
+	if !ok {
+		t.Fatal("sr.c has no FILE_ID")
+	}
+	cases := []struct {
+		name, text string
+	}{
+		{"fig3-build-scope", `
+START m=node:node_auto_index('short_name: wakeup.elf')
+MATCH m -[:compiled_from|linked_from*]-> f
+WITH distinct f
+MATCH f -[:file_contains]-> (n:field{short_name: 'id'})
+RETURN distinct n`},
+		{"fig4-xref", fmt.Sprintf(`
+START n=node:node_auto_index('short_name: get_sectorsize')
+WHERE (n) <-[{NAME_FILE_ID: %d, NAME_START_LINE: 236, NAME_START_COL: 9}]- ()
+RETURN n`, fid)},
+		{"fig5-interplay", `
+START from=node:node_auto_index('short_name: sr_media_change'),
+      to=node:node_auto_index('short_name: get_sectorsize'),
+      b=node:node_auto_index('short_name: packet_command')
+MATCH writer -[write:writes_member]-> ({SHORT_NAME:'cmd'}) <-[:contains]- b
+WITH to, from, writer, write
+MATCH direct <-[s:calls]- from -[r:calls{use_start_line: 236}]-> to
+WHERE r.use_start_line >= s.use_start_line AND direct -[:calls*]-> writer
+RETURN distinct writer, write.use_start_line`},
+		{"fig6-comprehension", `
+START n=node:node_auto_index('short_name: pci_read_bases')
+MATCH n -[:calls*..5]-> m
+RETURN distinct m`},
+		{"aggregate", countQuery},
+	}
+	snap := eng.Snapshot()
+	src := snap.Source()
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			direct, out, err := eng.CachedQuery(ctx, snap, tc.text, true)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if out.Hit || out.Shared {
+				t.Fatalf("bypass reported cache outcome %+v", out)
+			}
+			cold, out, err := eng.CachedQuery(ctx, snap, tc.text, false)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if out.Hit {
+				t.Fatal("first caching run reported a hit")
+			}
+			warm, out, err := eng.CachedQuery(ctx, snap, tc.text, false)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !out.Hit {
+				t.Fatal("second caching run missed")
+			}
+			want := direct.Format(src)
+			if got := cold.Format(src); got != want {
+				t.Fatalf("cold cached run differs from bypass:\n%s\nvs\n%s", got, want)
+			}
+			if got := warm.Format(src); got != want {
+				t.Fatalf("warm cached run differs from bypass:\n%s\nvs\n%s", got, want)
+			}
+		})
+	}
+}
+
+// TestQueryCacheDisabled: an engine without a cache behaves exactly as
+// before — Query works, stats are absent.
+func TestQueryCacheDisabled(t *testing.T) {
+	eng, _, _ := twoGraphs(t)
+	defer eng.Close()
+	if st := eng.QueryCacheStats(); st != nil {
+		t.Fatalf("no-cache engine reports stats: %+v", st)
+	}
+	if _, err := eng.Query(ctx, countQuery); err != nil {
+		t.Fatal(err)
+	}
+	if got := eng.QueryCacheHits(eng.Snapshot(), countQuery); got != 0 {
+		t.Fatalf("no-cache EntryHits = %d", got)
+	}
+}

@@ -36,6 +36,7 @@ import (
 	"frappe/internal/core"
 	"frappe/internal/graph"
 	"frappe/internal/model"
+	"frappe/internal/qcache"
 	"frappe/internal/query"
 	"frappe/internal/store"
 	"frappe/internal/traversal"
@@ -179,15 +180,26 @@ func writeErr(w http.ResponseWriter, status int, err error) {
 type queryRequest struct {
 	Query string `json:"query"`
 	// Profile requests per-operator PROFILE tracing alongside the result.
+	// PROFILE always bypasses the query cache (a trace of a cache hit
+	// would be empty) and instead reports how often this query has been
+	// served warm.
 	Profile bool `json:"profile,omitempty"`
+	// NoCache forces execution even when the result is cached.
+	NoCache bool `json:"noCache,omitempty"`
 }
 
 type queryResponse struct {
-	Columns []string       `json:"columns"`
-	Rows    [][]string     `json:"rows"`
-	Count   int            `json:"count"`
-	Millis  float64        `json:"millis"`
-	Profile *query.Profile `json:"profile,omitempty"`
+	Columns []string   `json:"columns"`
+	Rows    [][]string `json:"rows"`
+	Count   int        `json:"count"`
+	Millis  float64    `json:"millis"`
+	// Cached: served from the query result cache without executing.
+	Cached bool `json:"cached"`
+	// Shared: coalesced onto a concurrent identical execution.
+	Shared bool `json:"shared,omitempty"`
+	// CacheHits (PROFILE only): times this query has been served warm.
+	CacheHits *int64         `json:"cacheHits,omitempty"`
+	Profile   *query.Profile `json:"profile,omitempty"`
 }
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
@@ -206,11 +218,15 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	snap := s.eng.Snapshot()
 	var res *query.Result
 	var prof *query.Profile
+	var outcome qcache.Outcome
+	var cacheHits *int64
 	var err error
 	if req.Profile {
 		res, prof, err = snap.QueryProfile(ctx, req.Query, s.eng.QueryLimits)
+		hits := s.eng.QueryCacheHits(snap, req.Query)
+		cacheHits = &hits
 	} else {
-		res, err = snap.Query(ctx, req.Query, s.eng.QueryLimits)
+		res, outcome, err = s.eng.CachedQuery(ctx, snap, req.Query, req.NoCache)
 	}
 	if err != nil {
 		status := http.StatusBadRequest
@@ -226,10 +242,13 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	resp := queryResponse{
-		Columns: res.Columns,
-		Count:   res.Count(),
-		Millis:  float64(time.Since(start).Microseconds()) / 1000,
-		Profile: prof,
+		Columns:   res.Columns,
+		Count:     res.Count(),
+		Millis:    float64(time.Since(start).Microseconds()) / 1000,
+		Cached:    outcome.Hit,
+		Shared:    outcome.Shared,
+		CacheHits: cacheHits,
+		Profile:   prof,
 	}
 	src := snap.Source()
 	for _, row := range res.Rows {
@@ -255,6 +274,9 @@ type statsResponse struct {
 	Cache map[string]store.CacheStats `json:"cache,omitempty"`
 	// Query is the executor's counter snapshot (budget pressure, rows).
 	Query query.Counters `json:"query"`
+	// QCache is the query-cache counter snapshot (absent when the engine
+	// serves without a cache).
+	QCache *qcache.Stats `json:"qcache,omitempty"`
 	// Shed counts requests dropped by the concurrency limiter.
 	Shed int64 `json:"shed"`
 }
@@ -271,9 +293,10 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	resp := statsResponse{
 		Nodes: m.Nodes, Edges: m.Edges, Density: m.Density,
 		Epoch: snap.Epoch(), LastUpdate: snap.LastUpdate(),
-		Cache: s.eng.CacheStats(),
-		Query: query.CountersSnapshot(),
-		Shed:  s.ShedCount(),
+		Cache:  s.eng.CacheStats(),
+		Query:  query.CountersSnapshot(),
+		QCache: s.eng.QueryCacheStats(),
+		Shed:   s.ShedCount(),
 	}
 	for _, h := range graph.TopDegreeNodes(snap.Source(), 10) {
 		resp.Hubs = append(resp.Hubs, hub{Type: string(h.Type), Name: h.Name, Degree: h.Degree})

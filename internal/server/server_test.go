@@ -10,6 +10,7 @@ import (
 
 	"frappe/internal/core"
 	"frappe/internal/kernelgen"
+	"frappe/internal/qcache"
 )
 
 func testServer(t *testing.T) *httptest.Server {
@@ -172,6 +173,114 @@ func TestConsolePage(t *testing.T) {
 	n, _ := resp.Body.Read(buf)
 	if !strings.Contains(string(buf[:n]), "Frappé query console") {
 		t.Fatal("console HTML missing")
+	}
+}
+
+// cachedServer is testServer with the query cache installed, the way
+// `frappe serve` configures it by default.
+func cachedServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	w := kernelgen.Generate(kernelgen.Tiny())
+	eng, errs, err := core.Index(w.Build, w.ExtractOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(errs) > 0 {
+		t.Fatalf("extract: %v", errs[0])
+	}
+	eng.SetQueryCache(qcache.New(qcache.Config{}))
+	ts := httptest.NewServer(New(eng))
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func postQuery(t *testing.T, ts *httptest.Server, body string) map[string]any {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/api/query", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestQueryCaching: a repeated identical query is served from the
+// cache and says so; rows are identical either way.
+func TestQueryCaching(t *testing.T) {
+	ts := cachedServer(t)
+	const body = `{"query": "MATCH (n:module) RETURN n.short_name ORDER BY n.short_name"}`
+	first := postQuery(t, ts, body)
+	if first["cached"] != false {
+		t.Fatalf("cold query reported cached=%v", first["cached"])
+	}
+	second := postQuery(t, ts, body)
+	if second["cached"] != true {
+		t.Fatalf("warm query reported cached=%v", second["cached"])
+	}
+	a, _ := json.Marshal(first["rows"])
+	b, _ := json.Marshal(second["rows"])
+	if string(a) != string(b) {
+		t.Fatalf("cached rows differ:\n%s\nvs\n%s", a, b)
+	}
+	// /api/stats surfaces the cache counters.
+	stats := getJSON(t, ts.URL+"/api/stats", http.StatusOK)
+	qc, ok := stats["qcache"].(map[string]any)
+	if !ok {
+		t.Fatalf("stats missing qcache section: %v", stats)
+	}
+	if qc["hits"].(float64) < 1 || qc["misses"].(float64) < 1 {
+		t.Fatalf("qcache stats = %v", qc)
+	}
+}
+
+// TestQueryNoCacheFlag: "noCache" bypasses the result cache even when
+// a warm entry exists.
+func TestQueryNoCacheFlag(t *testing.T) {
+	ts := cachedServer(t)
+	const q = `"query": "MATCH (n:module) RETURN n.short_name"`
+	postQuery(t, ts, `{`+q+`}`) // warm the entry
+	out := postQuery(t, ts, `{`+q+`, "noCache": true}`)
+	if out["cached"] == true {
+		t.Fatal("noCache query was served from the cache")
+	}
+}
+
+// TestProfileBypassesCacheAndReportsHits: PROFILE always executes (a
+// cached row-replay would profile nothing) but reports how often the
+// query is normally served warm.
+func TestProfileBypassesCacheAndReportsHits(t *testing.T) {
+	ts := cachedServer(t)
+	const q = `"query": "MATCH (n:module) RETURN n.short_name"`
+	postQuery(t, ts, `{`+q+`}`) // miss: inserts the entry
+	postQuery(t, ts, `{`+q+`}`) // hit
+	out := postQuery(t, ts, `{`+q+`, "profile": true}`)
+	if out["profile"] == nil {
+		t.Fatal("profile requested but absent")
+	}
+	hits, ok := out["cacheHits"].(float64)
+	if !ok || hits < 1 {
+		t.Fatalf("profile cacheHits = %v, want >= 1", out["cacheHits"])
+	}
+	// The profile run itself must not have been a cache hit.
+	if out["cached"] == true {
+		t.Fatal("PROFILE was served from the result cache")
+	}
+}
+
+// TestStatsOmitsQCacheWhenDisabled: an engine without a cache keeps the
+// stats payload unchanged from earlier releases.
+func TestStatsOmitsQCacheWhenDisabled(t *testing.T) {
+	ts := testServer(t)
+	stats := getJSON(t, ts.URL+"/api/stats", http.StatusOK)
+	if _, ok := stats["qcache"]; ok {
+		t.Fatalf("no-cache server reports qcache stats: %v", stats["qcache"])
 	}
 }
 
