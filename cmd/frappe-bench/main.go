@@ -794,7 +794,11 @@ func (b *bench) qcacheSmoke(r *smokeResult) error {
 // BENCH files simply decode with zero values for sections they predate;
 // those metrics are skipped rather than failed.
 type compareFile struct {
-	WarmReads struct {
+	// GOMAXPROCS of the run that produced the file (0 in files that
+	// predate it). Wall-clock metrics from runs with different parallelism
+	// are not comparable and are skipped by the gate.
+	GOMAXPROCS int `json:"gomaxprocs"`
+	WarmReads  struct {
 		Goroutines   int     `json:"goroutines"`
 		OpsPerReader int     `json:"ops_per_reader"`
 		ShardedMS    float64 `json:"sharded_ms"`
@@ -864,19 +868,29 @@ func runCompare(args []string, tol float64) error {
 		return err
 	}
 
+	// Wall-clock metrics (throughput, speedups) measured under different
+	// GOMAXPROCS are apples to oranges: a laptop file vs a 4-core CI
+	// runner would gate on the hardware, not the code. Ratios survive.
+	procsDiffer := oldF.GOMAXPROCS != 0 && newF.GOMAXPROCS != 0 &&
+		oldF.GOMAXPROCS != newF.GOMAXPROCS
+
 	metrics := []struct {
-		name     string
-		old, new float64
+		name      string
+		old, new  float64
+		wallClock bool
 	}{
-		{"warm_read_throughput_ops_per_ms", oldF.warmThroughput(), newF.warmThroughput()},
-		{"warm_page_cache_hit_ratio", oldF.Observability.Warm.HitRatio, newF.Observability.Warm.HitRatio},
-		{"qcache_speedup", oldF.QCache.Speedup, newF.QCache.Speedup},
-		{"qcache_hit_ratio", oldF.QCache.HitRatio, newF.QCache.HitRatio},
+		{"warm_read_throughput_ops_per_ms", oldF.warmThroughput(), newF.warmThroughput(), true},
+		{"warm_page_cache_hit_ratio", oldF.Observability.Warm.HitRatio, newF.Observability.Warm.HitRatio, false},
+		{"qcache_speedup", oldF.QCache.Speedup, newF.QCache.Speedup, true},
+		{"qcache_hit_ratio", oldF.QCache.HitRatio, newF.QCache.HitRatio, false},
 	}
 	fmt.Printf("bench gate: %s -> %s (tolerance %.0f%%)\n", files[0], files[1], tol*100)
 	failed := 0
 	for _, m := range metrics {
 		switch {
+		case m.wallClock && procsDiffer:
+			fmt.Printf("  SKIP %-34s gomaxprocs differ (%d vs %d); wall-clock not comparable\n",
+				m.name, oldF.GOMAXPROCS, newF.GOMAXPROCS)
 		case m.old <= 0:
 			fmt.Printf("  SKIP %-34s not present in %s\n", m.name, files[0])
 		case m.new >= m.old*(1-tol):

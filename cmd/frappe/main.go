@@ -205,17 +205,11 @@ func cmdIndex(args []string) error {
 	}
 	printDiagnostics(res.Errors)
 	eng := core.FromGraph(res.Graph)
-	if err := eng.Save(*db); err != nil {
-		return err
-	}
-	// Persist the incremental-update state next to the store, and start
-	// the journal over: this store now describes a fresh extraction.
-	if err := sess.SaveState(*db); err != nil {
-		return err
-	}
-	os.Remove(filepath.Join(*db, delta.JournalFile))
 	m := eng.Stats()
-	if err := delta.AppendJournal(*db, delta.Record{
+	// Store files, incremental-update state and the restarted journal all
+	// land as one crash-consistent commit: a kill mid-index leaves either
+	// no store or a complete one, never a store without its state.
+	if err := delta.PersistIndex(*db, sess, res.Graph, delta.Record{
 		Epoch:            sess.Manifest().Epoch,
 		Time:             time.Now().UTC().Format(time.RFC3339),
 		FilesAdded:       len(sess.Manifest().Files),
@@ -269,16 +263,11 @@ func summaryOf(rec delta.Record) *core.UpdateSummary {
 }
 
 // persistUpdate writes everything an applied update changes — store
-// files, session state, journal — before anything is published.
+// files, session state, journal — as one crash-consistent commit, before
+// anything is published.
 func persistUpdate(db string, sess *delta.Session, up *delta.Update, wall time.Duration) (delta.Record, error) {
-	if err := store.Write(db, up.Result.Graph); err != nil {
-		return delta.Record{}, err
-	}
-	if err := sess.SaveState(db); err != nil {
-		return delta.Record{}, err
-	}
 	rec := recordOf(up, time.Now(), wall)
-	if err := delta.AppendJournal(db, rec); err != nil {
+	if err := delta.PersistUpdate(db, sess, up.Result.Graph, rec); err != nil {
 		return delta.Record{}, err
 	}
 	return rec, nil
@@ -634,6 +623,8 @@ func cmdServe(args []string) error {
 	slowMS := fl.Int64("slow-ms", server.DefaultSlowThreshold.Milliseconds(), "log requests slower than this many milliseconds (<0 disables)")
 	qcacheMB := fl.Int("qcache-mb", 64, "query result cache budget in MB (0 disables the cache)")
 	qcacheEntries := fl.Int("qcache-entries", qcache.DefaultMaxEntries, "query result cache entry cap")
+	updateRetries := fl.Int("update-retries", 3, "attempts per admin update before reporting failure (1 disables retry)")
+	updateRetryBackoff := fl.Duration("update-retry-backoff", 500*time.Millisecond, "initial backoff between update retries (doubles each attempt)")
 	fl.Parse(args)
 
 	var eng *core.Engine
@@ -657,10 +648,18 @@ func cmdServe(args []string) error {
 				return err
 			}
 			printDiagnostics(res.Errors)
-			if err := store.Write(*db, res.Graph); err != nil {
-				return err
-			}
-			if err := sess.SaveState(*db); err != nil {
+			// Same crash-consistent bundle as `frappe index`: store, state
+			// and a restarted journal land atomically or not at all.
+			if err := delta.PersistIndex(*db, sess, res.Graph, delta.Record{
+				Epoch:            sess.Manifest().Epoch,
+				Time:             time.Now().UTC().Format(time.RFC3339),
+				FilesAdded:       len(sess.Manifest().Files),
+				UnitsReextracted: len(build.Units),
+				NodesAdded:       int(res.Graph.NodeCount()),
+				EdgesAdded:       int(res.Graph.EdgeCount()),
+				NodeCount:        res.Graph.NodeCount(),
+				EdgeCount:        res.Graph.EdgeCount(),
+			}); err != nil {
 				return err
 			}
 		}
@@ -694,6 +693,13 @@ func cmdServe(args []string) error {
 				return up.Result.Graph, up.Epoch, sum, nil
 			})
 			return result, err
+		}
+		// Transient update failures (a full disk, a flaky filesystem) are
+		// retried with backoff; planning is idempotent and a failed persist
+		// never publishes, so a retry replans from the same inputs.
+		if *updateRetries > 1 {
+			srv.Update = server.WithRetry(srv.Update, *updateRetries, *updateRetryBackoff,
+				func(format string, args ...any) { fmt.Printf("frappe: "+format+"\n", args...) })
 		}
 		// Catch up with any tree changes (or lost cache entries) since the
 		// last index before accepting traffic.

@@ -1,0 +1,288 @@
+package atomicfile
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func readOrDie(t *testing.T, path string) string {
+	t.Helper()
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read %s: %v", path, err)
+	}
+	return string(b)
+}
+
+func TestWriteFileReplacesAtomically(t *testing.T) {
+	dir := t.TempDir()
+	p := filepath.Join(dir, "a.json")
+	if err := WriteFile(p, []byte("one"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFile(p, []byte("two"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if got := readOrDie(t, p); got != "two" {
+		t.Fatalf("got %q, want %q", got, "two")
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 1 {
+		t.Fatalf("temp files left behind: %v", ents)
+	}
+}
+
+func TestCommitPublishAndAbort(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "old.txt"), []byte("stale"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Abort: nothing visible changes.
+	c, err := NewCommit(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.WriteFile("new.txt", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	c.Abort()
+	if _, err := os.Stat(filepath.Join(dir, "new.txt")); !os.IsNotExist(err) {
+		t.Fatal("aborted commit published a file")
+	}
+	if _, err := os.Stat(filepath.Join(dir, StageDirName)); !os.IsNotExist(err) {
+		t.Fatal("abort left staging behind")
+	}
+
+	// Publish: rename + nested rename + delete + append, atomically.
+	c, err = NewCommit(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.WriteFile("new.txt", []byte("fresh")); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.WriteFile("sub/inner.gob", []byte("nested")); err != nil {
+		t.Fatal(err)
+	}
+	c.Delete("old.txt")
+	c.Append("journal", []byte("line1\n"))
+	c.Append("journal", []byte("line2\n"))
+	if err := c.Publish(); err != nil {
+		t.Fatal(err)
+	}
+	c.Abort() // must be a no-op after Publish
+
+	if got := readOrDie(t, filepath.Join(dir, "new.txt")); got != "fresh" {
+		t.Fatalf("new.txt = %q", got)
+	}
+	if got := readOrDie(t, filepath.Join(dir, "sub", "inner.gob")); got != "nested" {
+		t.Fatalf("sub/inner.gob = %q", got)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "old.txt")); !os.IsNotExist(err) {
+		t.Fatal("delete not applied")
+	}
+	if got := readOrDie(t, filepath.Join(dir, "journal")); got != "line1\nline2\n" {
+		t.Fatalf("journal = %q", got)
+	}
+	for _, leftover := range []string{StageDirName, IntentFile} {
+		if _, err := os.Stat(filepath.Join(dir, leftover)); !os.IsNotExist(err) {
+			t.Fatalf("publish left %s behind", leftover)
+		}
+	}
+}
+
+func TestRecoverDiscardsUncommittedStaging(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "keep.txt"), []byte("pre"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewCommit(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.WriteFile("keep.txt", []byte("post")); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a crash before the commit point: staging exists, no intent.
+	res, err := Recover(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Action != ActionDiscarded {
+		t.Fatalf("action = %s, want %s", res.Action, ActionDiscarded)
+	}
+	if got := readOrDie(t, filepath.Join(dir, "keep.txt")); got != "pre" {
+		t.Fatalf("keep.txt = %q, want pre-update bytes", got)
+	}
+	// Idempotent: a second recovery is a no-op.
+	res, err = Recover(dir)
+	if err != nil || res.Action != ActionNone {
+		t.Fatalf("second recover: %v %v", res, err)
+	}
+}
+
+func TestCrashAtEveryPointRecoversToPreOrPost(t *testing.T) {
+	// Enumerate the checkpoints of a representative commit with a trace
+	// run, then kill at each one and assert recovery lands on exactly
+	// the pre- or post-commit state.
+	run := func(dir string) error {
+		c, err := NewCommit(dir)
+		if err != nil {
+			return err
+		}
+		defer c.Abort()
+		if err := c.WriteFile("data.db", []byte("v2-data")); err != nil {
+			return err
+		}
+		if err := c.WriteFile("sub/cache.gob", []byte("v2-cache")); err != nil {
+			return err
+		}
+		c.Delete("stale.gob")
+		c.Append("journal", []byte(`{"epoch":2}`+"\n"))
+		return c.Publish()
+	}
+	seed := func(t *testing.T) string {
+		dir := t.TempDir()
+		for name, content := range map[string]string{
+			"data.db":   "v1-data",
+			"stale.gob": "stale",
+			"journal":   `{"epoch":1}` + "\n",
+		} {
+			if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return dir
+	}
+	state := func(t *testing.T, dir string) map[string]string {
+		t.Helper()
+		out := map[string]string{}
+		err := filepath.WalkDir(dir, func(p string, d os.DirEntry, err error) error {
+			if err != nil || d.IsDir() {
+				return err
+			}
+			rel, _ := filepath.Rel(dir, p)
+			out[filepath.ToSlash(rel)] = readOrDie(t, p)
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	equal := func(a, b map[string]string) bool {
+		if len(a) != len(b) {
+			return false
+		}
+		for k, v := range a {
+			if b[k] != v {
+				return false
+			}
+		}
+		return true
+	}
+
+	preDir := seed(t)
+	pre := state(t, preDir)
+	trace := &CrashPlan{}
+	SetCrashPlan(trace)
+	err := run(preDir)
+	ClearCrashPlan()
+	if err != nil {
+		t.Fatalf("trace run failed: %v", err)
+	}
+	post := state(t, preDir)
+	n := trace.Count()
+	if n < 8 {
+		t.Fatalf("suspiciously few crash points: %d (%v)", n, trace.Points())
+	}
+
+	for kill := 1; kill <= n; kill++ {
+		dir := seed(t)
+		plan := &CrashPlan{KillAt: kill}
+		SetCrashPlan(plan)
+		err := run(dir)
+		ClearCrashPlan()
+		var ce *CrashError
+		if !errors.As(err, &ce) {
+			t.Fatalf("kill %d: expected injected crash, got %v", kill, err)
+		}
+		if _, err := Recover(dir); err != nil {
+			t.Fatalf("kill %d (%s): recover: %v", kill, ce.Point, err)
+		}
+		got := state(t, dir)
+		if !equal(got, pre) && !equal(got, post) {
+			t.Fatalf("kill %d (%s): recovered state is neither pre nor post:\n got: %v\n pre: %v\npost: %v",
+				kill, ce.Point, got, pre, post)
+		}
+	}
+}
+
+func TestRecoverReplaysTornAppend(t *testing.T) {
+	// Trace one publish to find the ordinal of the commit point, then
+	// replay the same commit, kill right after the intent lands, tear
+	// the journal tail by hand (as a crashed partial append would), and
+	// check recovery repairs it.
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "journal"), []byte("a\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewCommit(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Append("journal", []byte("bbbb\n"))
+	trace := &CrashPlan{}
+	SetCrashPlan(trace)
+	if err := c.Publish(); err != nil {
+		ClearCrashPlan()
+		t.Fatalf("trace publish: %v", err)
+	}
+	ClearCrashPlan()
+	committedAt := 0
+	for i, p := range trace.Points() {
+		if p == "intent:committed" {
+			committedAt = i + 1
+		}
+	}
+	if committedAt == 0 {
+		t.Fatalf("no intent:committed point in %v", trace.Points())
+	}
+
+	dir2 := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir2, "journal"), []byte("a\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c2, err := NewCommit(dir2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2.Append("journal", []byte("bbbb\n"))
+	SetCrashPlan(&CrashPlan{KillAt: committedAt})
+	err = c2.Publish()
+	ClearCrashPlan()
+	var ce *CrashError
+	if !errors.As(err, &ce) || ce.Point != "intent:committed" {
+		t.Fatalf("expected crash at intent:committed, got %v", err)
+	}
+	// Tear: half the append landed.
+	if err := os.WriteFile(filepath.Join(dir2, "journal"), []byte("a\nbb"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	res, err := Recover(dir2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Action != ActionRolledForward || res.Appends != 1 {
+		t.Fatalf("recover = %+v", res)
+	}
+	if got := readOrDie(t, filepath.Join(dir2, "journal")); got != "a\nbbbb\n" {
+		t.Fatalf("journal = %q, want torn tail repaired", got)
+	}
+}

@@ -1,0 +1,372 @@
+package atomicfile
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// Names the commit protocol owns inside a managed directory.
+const (
+	// StageDirName holds staged file contents between NewCommit and
+	// Publish. Hidden so directory fingerprints and store scans skip it.
+	StageDirName = ".commit-stage"
+	// IntentFile is the commit record. Its atomic appearance is the
+	// commit point: present means the update is committed and recovery
+	// rolls it forward; absent means recovery discards any staging.
+	IntentFile = "commit.intent"
+)
+
+// intentVersion guards the intent record layout.
+const intentVersion = 1
+
+// intentRecord is the durable redo log of one commit: everything
+// Publish still has to do after the commit point, in replayable form.
+type intentRecord struct {
+	Version int            `json:"version"`
+	Renames []string       `json:"renames"`
+	Deletes []string       `json:"deletes,omitempty"`
+	Appends []intentAppend `json:"appends,omitempty"`
+}
+
+// intentAppend is one journal-style append: write Data at Offset
+// (the file's pre-commit size). Replaying truncates to Offset first, so
+// a torn or repeated append converges to the same bytes.
+type intentAppend struct {
+	Name   string `json:"name"`
+	Offset int64  `json:"offset"`
+	Data   []byte `json:"data"`
+}
+
+// Commit batches any number of file replacements, removals and appends
+// under one directory into a single atomic unit. Stage contents via
+// Path/WriteFile + Add, register removals with Delete and appends with
+// Append, then Publish. Until Publish writes the intent record, the
+// directory's visible contents are untouched; after it, recovery
+// guarantees completion. A Commit is single-goroutine, like the update
+// paths that use it.
+type Commit struct {
+	dir       string
+	stage     string
+	renames   []string
+	renameSet map[string]bool
+	deletes   []string
+	appends   []intentAppend
+	committed bool // intent record is on disk; recovery owns completion
+	published bool
+}
+
+// NewCommit opens a commit against dir, first recovering any commit a
+// previous process left unfinished there (so a crashed update can never
+// wedge the next one).
+func NewCommit(dir string) (*Commit, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	if _, err := Recover(dir); err != nil {
+		return nil, fmt.Errorf("atomicfile: recovering %s before commit: %w", dir, err)
+	}
+	stage := filepath.Join(dir, StageDirName)
+	if err := os.MkdirAll(stage, 0o755); err != nil {
+		return nil, err
+	}
+	return &Commit{dir: dir, stage: stage, renameSet: map[string]bool{}}, nil
+}
+
+// Dir returns the directory the commit publishes into.
+func (c *Commit) Dir() string { return c.dir }
+
+// Path returns the staging path for name (slash-relative to the commit
+// directory), creating parent directories so external writers can
+// os.Create it directly. The file only becomes part of the commit once
+// Add(name) is called.
+func (c *Commit) Path(name string) string {
+	p := filepath.Join(c.stage, filepath.FromSlash(name))
+	_ = os.MkdirAll(filepath.Dir(p), 0o755)
+	return p
+}
+
+// Add registers a staged file (previously written at Path(name)) to be
+// renamed into place at publish. Adding the same name twice is a no-op.
+func (c *Commit) Add(name string) {
+	if c.renameSet[name] {
+		return
+	}
+	c.renameSet[name] = true
+	c.renames = append(c.renames, name)
+}
+
+// WriteFile stages data as the new contents of name and Adds it.
+func (c *Commit) WriteFile(name string, data []byte) error {
+	if err := os.WriteFile(c.Path(name), data, 0o644); err != nil {
+		return err
+	}
+	c.Add(name)
+	return nil
+}
+
+// Delete registers name for removal at publish (idempotent; a missing
+// file at replay time is fine).
+func (c *Commit) Delete(name string) { c.deletes = append(c.deletes, name) }
+
+// Append registers data to be appended to name at publish. The append
+// offset is captured at publish time and recorded in the intent, so
+// recovery can replay it idempotently even over a torn tail.
+func (c *Commit) Append(name string, data []byte) {
+	c.appends = append(c.appends, intentAppend{Name: name, Data: data})
+}
+
+// Abort discards the staging area of a commit that has not reached its
+// commit point. Once the intent record is on disk the commit has
+// logically happened and recovery owns its completion, so Abort does
+// nothing — in particular, a caller's `defer c.Abort()` after a failed
+// Publish must not destroy staged files that roll-forward still needs.
+func (c *Commit) Abort() {
+	if c.published || c.committed {
+		return
+	}
+	os.RemoveAll(c.stage)
+}
+
+// Publish makes the commit durable and visible:
+//
+//	fsync every staged file → fsync staging dir     (staged bytes durable)
+//	write intent record atomically                  (THE commit point)
+//	rename staged files into place → fsync dirs
+//	remove deleted files
+//	apply appends with fsync
+//	fsync dirs → remove intent → drop staging
+//
+// A crash before the intent appears leaves the directory byte-identical
+// to its pre-commit state (recovery discards staging); a crash after it
+// is completed by Recover. Every step after the commit point is
+// idempotent.
+func (c *Commit) Publish() error {
+	if c.published {
+		return fmt.Errorf("atomicfile: commit already published")
+	}
+	if err := checkpoint("publish:start"); err != nil {
+		return err
+	}
+	// Make every staged byte durable before the commit point; the intent
+	// must never commit to renaming files whose contents could still be
+	// lost.
+	for _, name := range c.renames {
+		if err := fsyncPath(filepath.Join(c.stage, filepath.FromSlash(name))); err != nil {
+			return err
+		}
+		if err := checkpoint("sync:" + name); err != nil {
+			return err
+		}
+	}
+	if err := syncTree(c.stage); err != nil {
+		return err
+	}
+	if err := checkpoint("sync:stage-dir"); err != nil {
+		return err
+	}
+
+	// Capture append offsets so replay can truncate away a torn tail and
+	// re-append. Multiple appends to one file chain their offsets.
+	rec := intentRecord{Version: intentVersion, Renames: c.renames, Deletes: c.deletes}
+	nextOff := map[string]int64{}
+	for _, a := range c.appends {
+		off, seen := nextOff[a.Name]
+		if !seen {
+			if st, err := os.Stat(filepath.Join(c.dir, filepath.FromSlash(a.Name))); err == nil {
+				off = st.Size()
+			}
+		}
+		rec.Appends = append(rec.Appends, intentAppend{Name: a.Name, Offset: off, Data: a.Data})
+		nextOff[a.Name] = off + int64(len(a.Data))
+	}
+	b, err := json.Marshal(&rec)
+	if err != nil {
+		return err
+	}
+	// Intent staged (temp + fsync), then committed (rename + dir fsync).
+	intent := filepath.Join(c.dir, IntentFile)
+	tmp := intent + ".tmp"
+	if err := writeFileSync(tmp, b); err != nil {
+		return err
+	}
+	if err := checkpoint("intent:staged"); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, intent); err != nil {
+		return err
+	}
+	c.committed = true
+	if err := syncDir(c.dir); err != nil {
+		return err
+	}
+	if err := checkpoint("intent:committed"); err != nil {
+		return err
+	}
+
+	if err := applyIntent(c.dir, c.stage, &rec, checkpoint); err != nil {
+		return err
+	}
+	c.published = true
+	return nil
+}
+
+// applyIntent performs (or replays) the post-commit-point operations of
+// an intent record. Shared by Publish and Recover; every operation is
+// idempotent. cp is the crash-checkpoint hook (Recover passes a no-op:
+// recovery simulates the post-restart world where injection is off).
+func applyIntent(dir, stage string, rec *intentRecord, cp func(string) error) error {
+	// Renames: a staged file still present moves into place; one already
+	// renamed by a previous attempt is skipped.
+	touched := map[string]bool{dir: true}
+	for _, name := range rec.Renames {
+		sp := filepath.Join(stage, filepath.FromSlash(name))
+		tp := filepath.Join(dir, filepath.FromSlash(name))
+		if _, err := os.Stat(sp); err != nil {
+			if os.IsNotExist(err) {
+				continue
+			}
+			return err
+		}
+		if err := os.MkdirAll(filepath.Dir(tp), 0o755); err != nil {
+			return err
+		}
+		if err := os.Rename(sp, tp); err != nil {
+			return err
+		}
+		touched[filepath.Dir(tp)] = true
+		if err := cp("rename:" + name); err != nil {
+			return err
+		}
+	}
+	if err := syncDirs(touched); err != nil {
+		return err
+	}
+	if err := cp("renames-synced"); err != nil {
+		return err
+	}
+
+	for _, name := range rec.Deletes {
+		tp := filepath.Join(dir, filepath.FromSlash(name))
+		if err := os.Remove(tp); err != nil && !os.IsNotExist(err) {
+			return err
+		}
+		touched[filepath.Dir(tp)] = true
+		if err := cp("delete:" + name); err != nil {
+			return err
+		}
+	}
+
+	for _, a := range rec.Appends {
+		tp := filepath.Join(dir, filepath.FromSlash(a.Name))
+		if err := replayAppend(tp, a.Offset, a.Data); err != nil {
+			return err
+		}
+		touched[filepath.Dir(tp)] = true
+		if err := cp("append:" + a.Name); err != nil {
+			return err
+		}
+	}
+	if err := syncDirs(touched); err != nil {
+		return err
+	}
+	if err := cp("dirs-synced"); err != nil {
+		return err
+	}
+
+	if err := os.Remove(filepath.Join(dir, IntentFile)); err != nil && !os.IsNotExist(err) {
+		return err
+	}
+	if err := syncDir(dir); err != nil {
+		return err
+	}
+	if err := cp("intent:removed"); err != nil {
+		return err
+	}
+	return os.RemoveAll(stage)
+}
+
+// replayAppend writes data at off in path, truncating anything beyond
+// off first (a torn tail from a crashed append), then fsyncs.
+func replayAppend(path string, off int64, data []byte) error {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return err
+	}
+	if st.Size() > off {
+		if err := f.Truncate(off); err != nil {
+			return err
+		}
+	}
+	if _, err := f.WriteAt(data, off); err != nil {
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// writeFileSync writes data to path and fsyncs the file (no rename; the
+// caller owns atomicity).
+func writeFileSync(path string, data []byte) error {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// fsyncPath fsyncs one existing file.
+func fsyncPath(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return f.Sync()
+}
+
+// syncDirs fsyncs a set of directories in sorted order (determinism for
+// the crash-point sequence).
+func syncDirs(dirs map[string]bool) error {
+	sorted := make([]string, 0, len(dirs))
+	for d := range dirs {
+		sorted = append(sorted, d)
+	}
+	sort.Strings(sorted)
+	for _, d := range sorted {
+		if err := syncDir(d); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// syncTree fsyncs root and every subdirectory under it.
+func syncTree(root string) error {
+	return filepath.WalkDir(root, func(p string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			return syncDir(p)
+		}
+		return nil
+	})
+}

@@ -1,0 +1,96 @@
+package atomicfile
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// CrashPlan deterministically kills the commit protocol at one of its
+// registered points, in the spirit of store.FaultReader for reads. Each
+// durable side effect in WriteFile and Commit.Publish is followed by a
+// named checkpoint; a plan counts checkpoints as they are hit and, at
+// the KillAt'th one, fails it and every later atomicfile operation in
+// the process — simulating the process dying at that instant, with all
+// earlier side effects on disk and all later ones never happening.
+//
+// A plan with KillAt = 0 never kills; it just records the checkpoint
+// sequence, which a torture test uses to enumerate the kill points of a
+// given workload before replaying it N times.
+type CrashPlan struct {
+	// KillAt is the 1-based checkpoint ordinal to fail at (0 = trace
+	// only).
+	KillAt int
+
+	mu     sync.Mutex
+	count  int
+	dead   bool
+	points []string
+}
+
+// Points returns the checkpoint names hit so far, in order.
+func (p *CrashPlan) Points() []string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return append([]string(nil), p.points...)
+}
+
+// Count returns how many checkpoints have been hit.
+func (p *CrashPlan) Count() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.count
+}
+
+// Crashed reports whether the plan has fired.
+func (p *CrashPlan) Crashed() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.dead
+}
+
+// CrashError is the failure injected at a crash point. It satisfies
+// errors.As so tests can distinguish an injected crash from a real I/O
+// error.
+type CrashError struct {
+	Point string // checkpoint name the plan fired at (or was dead at)
+	Seq   int    // 1-based ordinal of that checkpoint
+}
+
+func (e *CrashError) Error() string {
+	return fmt.Sprintf("atomicfile: injected crash at point %d (%s)", e.Seq, e.Point)
+}
+
+// activePlan is the process-wide crash plan; nil (the default) costs
+// one atomic load per checkpoint.
+var activePlan atomic.Pointer[CrashPlan]
+
+// SetCrashPlan installs a crash plan for subsequent atomicfile
+// operations. Test-only by design: production code never calls it.
+func SetCrashPlan(p *CrashPlan) { activePlan.Store(p) }
+
+// ClearCrashPlan removes the active crash plan (the "process restart"
+// between a torture-test kill and its recovery phase).
+func ClearCrashPlan() { activePlan.Store(nil) }
+
+// checkpoint marks one durable side effect as complete. With no active
+// plan it is free; with one, it counts, optionally fires, and once
+// fired keeps failing until the plan is cleared.
+func checkpoint(name string) error {
+	p := activePlan.Load()
+	if p == nil {
+		return nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.dead {
+		return &CrashError{Point: name, Seq: p.count}
+	}
+	p.count++
+	p.points = append(p.points, name)
+	if p.KillAt > 0 && p.count == p.KillAt {
+		p.dead = true
+		return &CrashError{Point: name, Seq: p.count}
+	}
+	return nil
+}

@@ -1,0 +1,18 @@
+package atomicfile
+
+import "frappe/internal/obs"
+
+// Recovery metrics. Recovery runs at open time only, so these count
+// rare events; a non-zero rolled-forward or discarded count after a
+// restart is the operator's signal that a crash interrupted an update
+// and was repaired (see DESIGN.md "Failure model v2").
+var (
+	mRecoveryRolledForward = obs.Default.Counter("frappe_recovery_total",
+		"Startup recoveries by action.", obs.Labels{"action": "rolled_forward"})
+	mRecoveryDiscarded = obs.Default.Counter("frappe_recovery_total",
+		"Startup recoveries by action.", obs.Labels{"action": "discarded"})
+	mRecoveryRenames = obs.Default.Counter("frappe_recovery_repaired_files_total",
+		"Files renamed into place by roll-forward recovery.", nil)
+	mRecoveryAppends = obs.Default.Counter("frappe_recovery_replayed_appends_total",
+		"Journal appends replayed by roll-forward recovery.", nil)
+)

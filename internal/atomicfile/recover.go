@@ -1,0 +1,118 @@
+package atomicfile
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// Recovery actions, as reported by Recover and counted by the
+// frappe_recovery_total metric.
+const (
+	// ActionNone: the directory was clean; nothing to do.
+	ActionNone = "none"
+	// ActionDiscarded: an update died before its commit point; its
+	// staging leftovers were removed and the pre-update bytes stand.
+	ActionDiscarded = "discarded"
+	// ActionRolledForward: an update died after its commit point; the
+	// intent record was replayed to completion, so the post-update bytes
+	// stand.
+	ActionRolledForward = "rolled-forward"
+)
+
+// RecoverResult reports what startup recovery found and repaired.
+type RecoverResult struct {
+	Action  string // ActionNone | ActionDiscarded | ActionRolledForward
+	Renames int    // files renamed into place during roll-forward
+	Deletes int    // recorded deletions replayed
+	Appends int    // recorded appends replayed
+	// RenamedFiles lists the intent's rename set when rolling forward,
+	// so the caller can re-verify exactly the files the interrupted
+	// commit touched.
+	RenamedFiles []string
+}
+
+// Repaired reports whether recovery changed anything on disk.
+func (r *RecoverResult) Repaired() bool { return r.Action != ActionNone }
+
+func (r *RecoverResult) String() string {
+	switch r.Action {
+	case ActionRolledForward:
+		return fmt.Sprintf("rolled forward interrupted commit (%d renames, %d deletes, %d appends)",
+			r.Renames, r.Deletes, r.Appends)
+	case ActionDiscarded:
+		return "discarded staging of uncommitted update"
+	}
+	return "clean"
+}
+
+// Recover completes or discards a commit that a previous process left
+// unfinished in dir. It is idempotent and cheap when the directory is
+// clean (two stats), so every open path runs it unconditionally:
+//
+//	no intent record  → the commit never happened; staging (and a torn
+//	                    intent temp file) are discarded, pre-update
+//	                    bytes untouched;
+//	intent record     → the commit happened; its renames, deletes and
+//	                    appends are replayed (all idempotent), then the
+//	                    intent is retired.
+//
+// An unreadable intent record is a hard error: it can only mean the
+// record itself was corrupted after its atomic rename, which recovery
+// must surface, not guess around.
+func Recover(dir string) (*RecoverResult, error) {
+	res := &RecoverResult{Action: ActionNone}
+	intent := filepath.Join(dir, IntentFile)
+	stage := filepath.Join(dir, StageDirName)
+	// A torn intent temp file means the crash hit before the commit
+	// point; it is never replayable state.
+	os.Remove(intent + ".tmp")
+
+	b, err := os.ReadFile(intent)
+	if os.IsNotExist(err) {
+		if _, serr := os.Stat(stage); serr == nil {
+			if err := os.RemoveAll(stage); err != nil {
+				return nil, err
+			}
+			if err := syncDir(dir); err != nil {
+				return nil, err
+			}
+			res.Action = ActionDiscarded
+			mRecoveryDiscarded.Inc()
+		}
+		return res, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var rec intentRecord
+	if err := json.Unmarshal(b, &rec); err != nil {
+		return nil, fmt.Errorf("atomicfile: %s in %s is unreadable: %w", IntentFile, dir, err)
+	}
+	if rec.Version != intentVersion {
+		return nil, fmt.Errorf("atomicfile: %s in %s has unsupported version %d", IntentFile, dir, rec.Version)
+	}
+
+	// Count what replay will (re-)apply before applying it. Renames count
+	// only files still staged; deletes and appends are replayed
+	// unconditionally (idempotent).
+	for _, name := range rec.Renames {
+		if _, err := os.Stat(filepath.Join(stage, filepath.FromSlash(name))); err == nil {
+			res.Renames++
+		}
+	}
+	res.Deletes = len(rec.Deletes)
+	res.Appends = len(rec.Appends)
+	res.RenamedFiles = append([]string(nil), rec.Renames...)
+
+	noCrash := func(string) error { return nil }
+	if err := applyIntent(dir, stage, &rec, noCrash); err != nil {
+		return nil, fmt.Errorf("atomicfile: rolling forward %s: %w", dir, err)
+	}
+	res.Action = ActionRolledForward
+	mRecoveryRolledForward.Inc()
+	mRecoveryRenames.Add(int64(res.Renames))
+	mRecoveryAppends.Add(int64(res.Appends))
+	return res, nil
+}

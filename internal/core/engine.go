@@ -17,11 +17,13 @@ package core
 import (
 	"context"
 	"fmt"
+	"log"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"frappe/internal/atomicfile"
 	"frappe/internal/cpp"
 	"frappe/internal/extract"
 	"frappe/internal/graph"
@@ -160,7 +162,22 @@ func fromGraph(g *graph.Graph) *Engine {
 func Open(dir string) (*Engine, error) { return OpenOptions(dir, Options{}) }
 
 // OpenOptions is Open with explicit page-cache settings (opt.Store).
+// Before touching any store file it runs startup recovery: a commit left
+// unfinished by a crashed process is rolled forward (post-update state)
+// or discarded (pre-update state), and files a roll-forward renamed into
+// place are re-verified against their checksums so page caches never
+// warm up from bad bytes.
 func OpenOptions(dir string, opt Options) (eng *Engine, err error) {
+	rec, err := atomicfile.Recover(dir)
+	if err != nil {
+		return nil, fmt.Errorf("core: recovering %s: %w", dir, err)
+	}
+	if rec.Repaired() {
+		log.Printf("core: startup recovery in %s: %s", dir, rec)
+		if verrs := store.VerifyFiles(dir, rec.RenamedFiles); len(verrs) > 0 {
+			return nil, fmt.Errorf("core: %s failed verification after roll-forward: %w", dir, verrs[0])
+		}
+	}
 	db, err := store.OpenOptions(dir, opt.Store)
 	if err != nil {
 		return nil, err
@@ -315,6 +332,36 @@ func (e *Engine) DropCaches() {
 	if s := e.Snapshot(); s.db != nil {
 		s.db.DropCaches()
 	}
+}
+
+// Degraded reports whether the live snapshot's store has quarantined
+// pages: corruption was detected at read time and the engine is serving
+// every query that avoids the bad pages while failing the ones that need
+// them. Always false for in-memory engines.
+func (e *Engine) Degraded() bool {
+	if s := e.Snapshot(); s.db != nil {
+		return s.db.Degraded()
+	}
+	return false
+}
+
+// QuarantinedPages lists quarantined page numbers per store file (empty
+// map when healthy or in-memory).
+func (e *Engine) QuarantinedPages() map[string][]int64 {
+	if s := e.Snapshot(); s.db != nil {
+		return s.db.QuarantinedPages()
+	}
+	return map[string][]int64{}
+}
+
+// Heal retries every quarantined page of the live snapshot's store,
+// returning (healed, remaining). Pages recover only if the on-disk bytes
+// were repaired; the admin re-verify endpoint exposes this.
+func (e *Engine) Heal() (healed, remaining int) {
+	if s := e.Snapshot(); s.db != nil {
+		return s.db.Heal()
+	}
+	return 0, 0
 }
 
 // buildFileMaps indexes file nodes by path and FILE_ID.
@@ -753,11 +800,23 @@ func (e *Engine) FindReferences(ctx context.Context, id graph.NodeID) ([]Referen
 // BackwardSlice returns every function the seed function transitively
 // calls (Figure 6: the code that can alter the seed's behaviour).
 func (e *Snapshot) BackwardSlice(seed graph.NodeID, maxDepth int) []Symbol {
-	return e.Symbols(traversal.TransitiveClosure(e.src, seed, traversal.Options{
+	syms, _ := e.BackwardSliceCtx(context.Background(), seed, maxDepth)
+	return syms
+}
+
+// BackwardSliceCtx is BackwardSlice under a deadline: an expired context
+// aborts the walk with the context's error instead of returning a
+// silently truncated slice.
+func (e *Snapshot) BackwardSliceCtx(ctx context.Context, seed graph.NodeID, maxDepth int) ([]Symbol, error) {
+	ids, err := traversal.TransitiveClosureCtx(ctx, e.src, seed, traversal.Options{
 		Direction: traversal.Out,
 		Types:     traversal.Types(model.EdgeCalls),
 		MaxDepth:  maxDepth,
-	}))
+	})
+	if err != nil {
+		return nil, err
+	}
+	return e.Symbols(ids), nil
 }
 
 // BackwardSlice slices against the live snapshot.
@@ -768,11 +827,21 @@ func (e *Engine) BackwardSlice(seed graph.NodeID, maxDepth int) []Symbol {
 // ForwardSlice returns every function that transitively calls the seed
 // (the code affected if the seed changes).
 func (e *Snapshot) ForwardSlice(seed graph.NodeID, maxDepth int) []Symbol {
-	return e.Symbols(traversal.TransitiveClosure(e.src, seed, traversal.Options{
+	syms, _ := e.ForwardSliceCtx(context.Background(), seed, maxDepth)
+	return syms
+}
+
+// ForwardSliceCtx is ForwardSlice under a deadline; see BackwardSliceCtx.
+func (e *Snapshot) ForwardSliceCtx(ctx context.Context, seed graph.NodeID, maxDepth int) ([]Symbol, error) {
+	ids, err := traversal.TransitiveClosureCtx(ctx, e.src, seed, traversal.Options{
 		Direction: traversal.In,
 		Types:     traversal.Types(model.EdgeCalls),
 		MaxDepth:  maxDepth,
-	}))
+	})
+	if err != nil {
+		return nil, err
+	}
+	return e.Symbols(ids), nil
 }
 
 // ForwardSlice slices against the live snapshot.

@@ -51,6 +51,8 @@ func (e *Engine) MetricsCollector() obs.Collector {
 				Help: "Page-cache evictions by store file.", Kind: obs.KindCounter, Labels: ls, Value: float64(cs.Evictions)})
 			emit(obs.Sample{Name: "frappe_store_page_cache_checksum_failures_total",
 				Help: "CRC failures detected on page faults by store file.", Kind: obs.KindCounter, Labels: ls, Value: float64(cs.ChecksumFailures)})
+			emit(obs.Sample{Name: "frappe_store_quarantined_pages",
+				Help: "Pages currently quarantined after corruption-class read failures, by store file.", Kind: obs.KindGauge, Labels: ls, Value: float64(cs.Quarantined)})
 		}
 	}
 }

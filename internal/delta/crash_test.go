@@ -1,0 +1,190 @@
+package delta
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"frappe/internal/atomicfile"
+	"frappe/internal/kernelgen"
+	"frappe/internal/store"
+)
+
+// fingerprint maps every file under dir (relative slash path) to its
+// contents. Commit-protocol internals must be gone by the time it runs.
+func fingerprint(t *testing.T, dir string) map[string]string {
+	t.Helper()
+	out := map[string]string{}
+	err := filepath.WalkDir(dir, func(p string, d os.DirEntry, err error) error {
+		if err != nil || d.IsDir() {
+			return err
+		}
+		b, err := os.ReadFile(p)
+		if err != nil {
+			return err
+		}
+		rel, _ := filepath.Rel(dir, p)
+		out[filepath.ToSlash(rel)] = string(b)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func statesEqual(a, b map[string]string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if b[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// copyDir clones src into a fresh temp dir (regular files only — the
+// store dir holds nothing else).
+func copyDir(t *testing.T, src string) string {
+	t.Helper()
+	dst := t.TempDir()
+	err := filepath.WalkDir(src, func(p string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		rel, _ := filepath.Rel(src, p)
+		target := filepath.Join(dst, rel)
+		if d.IsDir() {
+			return os.MkdirAll(target, 0o755)
+		}
+		in, err := os.Open(p)
+		if err != nil {
+			return err
+		}
+		defer in.Close()
+		out, err := os.Create(target)
+		if err != nil {
+			return err
+		}
+		if _, err := io.Copy(out, in); err != nil {
+			out.Close()
+			return err
+		}
+		return out.Close()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dst
+}
+
+// TestUpdateCrashTorture is the tentpole acceptance test: kill a full
+// update persist (store files + manifest + file table + tucache + journal
+// append, all one commit) at EVERY registered crash point and require the
+// recovered directory to be byte-identical to either the pre-update or
+// the post-update state — never a mix — with the survivor passing both
+// the store fsck and the journal audit.
+func TestUpdateCrashTorture(t *testing.T) {
+	// Epoch 0: index a tiny workload and persist it as the pre-state.
+	w := kernelgen.Generate(kernelgen.Tiny())
+	sess, res, err := NewSession(w.Build, w.ExtractOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := filepath.Join(t.TempDir(), "db")
+	rec0 := Record{Epoch: 0, Time: "2026-08-08T00:00:00Z",
+		NodeCount: res.Graph.NodeCount(), EdgeCount: res.Graph.EdgeCount()}
+	if err := PersistIndex(base, sess, res.Graph, rec0); err != nil {
+		t.Fatal(err)
+	}
+	if rep, err := store.Verify(base); err != nil || !rep.OK() {
+		t.Fatalf("pre-state store does not verify: %v %v", err, rep.Problems)
+	}
+	pre := fingerprint(t, base)
+
+	// The update every run will replay: one mutated source file. Staging
+	// is deterministic (sorted sources, gob without maps, sorted JSON
+	// keys, fixed Record.Time), so every run stages identical bytes.
+	src := w.Build.Units[0].Source
+	w.FS[src] += "\nint crash_torture_added(void) { return 42; }\n"
+
+	// persistOnce resumes a copy of the pre-state, applies the update and
+	// persists it; the caller controls the crash plan.
+	persistOnce := func(dir string) error {
+		sess, err := Resume(dir, w.ExtractOptions())
+		if err != nil {
+			t.Fatalf("resume %s: %v", dir, err)
+		}
+		up, err := sess.Update(w.Build, nil)
+		if err != nil {
+			t.Fatalf("update: %v", err)
+		}
+		if up.NoOp {
+			t.Fatal("mutation produced a no-op update")
+		}
+		rec := Record{Epoch: up.Epoch, Time: "2026-08-08T00:01:00Z",
+			UnitsReextracted: up.Reextracted,
+			NodeCount:        up.Result.Graph.NodeCount(),
+			EdgeCount:        up.Result.Graph.EdgeCount()}
+		return PersistUpdate(dir, sess, up.Result.Graph, rec)
+	}
+
+	// Trace run: enumerate the kill schedule and capture the post-state.
+	traceDir := copyDir(t, base)
+	trace := &atomicfile.CrashPlan{}
+	atomicfile.SetCrashPlan(trace)
+	err = persistOnce(traceDir)
+	atomicfile.ClearCrashPlan()
+	if err != nil {
+		t.Fatalf("trace persist: %v", err)
+	}
+	post := fingerprint(t, traceDir)
+	if statesEqual(pre, post) {
+		t.Fatal("update did not change the directory; torture would prove nothing")
+	}
+	n := trace.Count()
+	if n < 20 {
+		t.Fatalf("suspiciously few crash points for a full update: %d (%v)", n, trace.Points())
+	}
+
+	for kill := 1; kill <= n; kill++ {
+		dir := copyDir(t, base)
+		plan := &atomicfile.CrashPlan{KillAt: kill}
+		atomicfile.SetCrashPlan(plan)
+		err := persistOnce(dir)
+		atomicfile.ClearCrashPlan()
+		var ce *atomicfile.CrashError
+		if !errors.As(err, &ce) {
+			t.Fatalf("kill %d: expected injected crash, got %v", kill, err)
+		}
+
+		// "Restart": recovery must land on exactly pre or post.
+		if _, err := atomicfile.Recover(dir); err != nil {
+			t.Fatalf("kill %d (%s): recover: %v", kill, ce.Point, err)
+		}
+		got := fingerprint(t, dir)
+		atPre := statesEqual(got, pre)
+		atPost := statesEqual(got, post)
+		if !atPre && !atPost {
+			t.Fatalf("kill %d (%s): recovered state is neither pre nor post (%d files)",
+				kill, ce.Point, len(got))
+		}
+
+		// The survivor must be fully servable: store fsck + journal audit.
+		rep, err := store.Verify(dir)
+		if err != nil {
+			t.Fatalf("kill %d (%s): verify: %v", kill, ce.Point, err)
+		}
+		if !rep.OK() {
+			t.Fatalf("kill %d (%s, at %s): store verify: %v", kill, ce.Point,
+				map[bool]string{true: "pre"}[atPre], rep.Problems)
+		}
+		if problems := AuditJournal(dir); len(problems) != 0 {
+			t.Fatalf("kill %d (%s): journal audit: %v", kill, ce.Point, problems)
+		}
+	}
+}

@@ -27,7 +27,10 @@ type Record struct {
 	EdgeCount        int64   `json:"edgeCount"`
 }
 
-// AppendJournal appends one record to dir's journal as a JSON line.
+// AppendJournal appends one record to dir's journal as a JSON line,
+// fsyncing before close so the audit trail survives a crash that follows
+// the append. Update paths that also persist the store should prefer
+// PersistUpdate, which bundles the append into the same atomic commit.
 func AppendJournal(dir string, r Record) error {
 	b, err := json.Marshal(r)
 	if err != nil {
@@ -39,6 +42,9 @@ func AppendJournal(dir string, r Record) error {
 	}
 	defer f.Close()
 	if _, err := f.Write(append(b, '\n')); err != nil {
+		return err
+	}
+	if err := f.Sync(); err != nil {
 		return err
 	}
 	return f.Close()

@@ -27,6 +27,7 @@ import (
 	"reflect"
 	"sort"
 
+	"frappe/internal/atomicfile"
 	"frappe/internal/cpp"
 	"frappe/internal/extract"
 )
@@ -118,23 +119,12 @@ func LoadManifest(dir string) (*Manifest, error) {
 	return &m, nil
 }
 
-// atomicWrite writes b to path via a temp file in the same directory.
+// atomicWrite writes b to path atomically AND durably (temp file, fsync,
+// rename, directory fsync — see internal/atomicfile). The previous
+// implementation renamed without syncing, so a power cut shortly after a
+// manifest save could surface an empty or missing manifest.
 func atomicWrite(path string, b []byte) error {
-	tmp, err := os.CreateTemp(filepath.Dir(path), ".delta-*")
-	if err != nil {
-		return err
-	}
-	name := tmp.Name()
-	if _, err := tmp.Write(b); err != nil {
-		tmp.Close()
-		os.Remove(name)
-		return err
-	}
-	if err := tmp.Close(); err != nil {
-		os.Remove(name)
-		return err
-	}
-	return os.Rename(name, path)
+	return atomicfile.WriteFile(path, b, 0o644)
 }
 
 // modulesEqual compares two link descriptions (order-sensitive, as link

@@ -1,0 +1,60 @@
+package delta
+
+import (
+	"encoding/json"
+
+	"frappe/internal/atomicfile"
+	"frappe/internal/graph"
+	"frappe/internal/store"
+)
+
+// PersistUpdate writes everything one applied update produces — the new
+// store files, the session's manifest/file-table/tucache state, and the
+// journal record — into dir as ONE crash-consistent commit. A crash at
+// any instant leaves the directory wholly at the previous epoch or
+// wholly at the new one; in particular the journal can never claim an
+// epoch whose store or manifest is missing, and vice versa.
+func PersistUpdate(dir string, s *Session, g *graph.Graph, rec Record) error {
+	c, err := atomicfile.NewCommit(dir)
+	if err != nil {
+		return err
+	}
+	defer c.Abort()
+	if err := store.StageTo(c, g); err != nil {
+		return err
+	}
+	if err := s.StageState(c); err != nil {
+		return err
+	}
+	line, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	c.Append(JournalFile, append(line, '\n'))
+	return c.Publish()
+}
+
+// PersistIndex is PersistUpdate for a from-scratch index: the same
+// atomic bundle, but the journal is replaced with just this record
+// (epoch history restarts with a fresh extraction).
+func PersistIndex(dir string, s *Session, g *graph.Graph, rec Record) error {
+	c, err := atomicfile.NewCommit(dir)
+	if err != nil {
+		return err
+	}
+	defer c.Abort()
+	if err := store.StageTo(c, g); err != nil {
+		return err
+	}
+	if err := s.StageState(c); err != nil {
+		return err
+	}
+	line, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	if err := c.WriteFile(JournalFile, append(line, '\n')); err != nil {
+		return err
+	}
+	return c.Publish()
+}

@@ -9,8 +9,11 @@ import (
 	"errors"
 	"fmt"
 	"os"
+	"path"
 	"path/filepath"
+	"sort"
 
+	"frappe/internal/atomicfile"
 	"frappe/internal/cparse"
 	"frappe/internal/cpp"
 	"frappe/internal/extract"
@@ -215,22 +218,43 @@ func cacheName(source string) string {
 
 // SaveState persists the session next to the store in dir: the manifest,
 // the file table, and one gob per translation-unit artifact under
-// tucache/. Stale cache entries are removed.
+// tucache/. Stale cache entries are removed. The whole save is one
+// crash-consistent commit: a crash leaves either the previous state or
+// the new one, never a mix.
 func (s *Session) SaveState(dir string) error {
-	cache := filepath.Join(dir, CacheDir)
-	if err := os.MkdirAll(cache, 0o755); err != nil {
+	c, err := atomicfile.NewCommit(dir)
+	if err != nil {
 		return err
 	}
+	defer c.Abort()
+	if err := s.StageState(c); err != nil {
+		return err
+	}
+	return c.Publish()
+}
+
+// StageState stages the session's persistent state — manifest, file
+// table, per-unit artifact gobs, and removals of stale cache entries —
+// into an open commit without publishing it, so callers can bundle the
+// session with the store files and a journal record into one atomic unit
+// (see PersistUpdate).
+func (s *Session) StageState(c *atomicfile.Commit) error {
 	ft, err := json.Marshal(fileTableState{Paths: s.files.Paths()})
 	if err != nil {
 		return err
 	}
-	if err := atomicWrite(filepath.Join(cache, fileTableFile), append(ft, '\n')); err != nil {
+	if err := c.WriteFile(path.Join(CacheDir, fileTableFile), append(ft, '\n')); err != nil {
 		return err
 	}
 	keep := map[string]bool{fileTableFile: true}
-	for src, a := range s.arts {
-		c := cachedTU{
+	sources := make([]string, 0, len(s.arts))
+	for src := range s.arts {
+		sources = append(sources, src)
+	}
+	sort.Strings(sources) // deterministic staging (and crash-point) order
+	for _, src := range sources {
+		a := s.arts[src]
+		ct := cachedTU{
 			Source:         a.Unit.Source,
 			Object:         a.Unit.Object,
 			RootFile:       a.RootFile,
@@ -242,28 +266,35 @@ func (s *Session) SaveState(dir string) error {
 			Probes:         a.PP.Probes,
 		}
 		for _, e := range a.PP.Errors {
-			c.PPDiags = append(c.PPDiags, e.Error())
+			ct.PPDiags = append(ct.PPDiags, e.Error())
 		}
 		var buf bytes.Buffer
-		if err := gob.NewEncoder(&buf).Encode(&c); err != nil {
+		if err := gob.NewEncoder(&buf).Encode(&ct); err != nil {
 			return fmt.Errorf("delta: encode %s: %w", src, err)
 		}
 		name := cacheName(src)
 		keep[name] = true
-		if err := atomicWrite(filepath.Join(cache, name), buf.Bytes()); err != nil {
+		if err := c.WriteFile(path.Join(CacheDir, name), buf.Bytes()); err != nil {
 			return err
 		}
 	}
-	entries, err := os.ReadDir(cache)
-	if err != nil {
+	// Stale entries present in the live cache dir are deleted as part of
+	// the commit (a missing file at replay time is fine).
+	entries, err := os.ReadDir(filepath.Join(c.Dir(), CacheDir))
+	if err != nil && !os.IsNotExist(err) {
 		return err
 	}
 	for _, e := range entries {
 		if !keep[e.Name()] && filepath.Ext(e.Name()) == ".gob" {
-			os.Remove(filepath.Join(cache, e.Name()))
+			c.Delete(path.Join(CacheDir, e.Name()))
 		}
 	}
-	return SaveManifest(dir, s.manifest)
+
+	mb, err := json.MarshalIndent(s.manifest, "", "  ")
+	if err != nil {
+		return err
+	}
+	return c.WriteFile(ManifestFile, append(mb, '\n'))
 }
 
 // Resume restores a session saved by SaveState. Artifacts whose cache
@@ -271,6 +302,12 @@ func (s *Session) SaveState(dir string) error {
 // re-extracts them instead of failing. Returns os.ErrNotExist (wrapped)
 // when dir has no manifest.
 func Resume(dir string, opts extract.Options) (*Session, error) {
+	// A previous process may have died mid-commit; finish or discard its
+	// work before reading any state, so manifest, tucache and journal are
+	// seen at a single consistent epoch. Idempotent and cheap when clean.
+	if _, err := atomicfile.Recover(dir); err != nil {
+		return nil, fmt.Errorf("delta: recovering %s: %w", dir, err)
+	}
 	m, err := LoadManifest(dir)
 	if err != nil {
 		return nil, err

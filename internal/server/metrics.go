@@ -20,13 +20,19 @@ var (
 		"Handler panics converted to 500 responses.", nil)
 	mSlow = obs.Default.Counter("frappe_http_slow_requests_total",
 		"Requests slower than the server's slow threshold.", nil)
+	mQueryTimeouts = obs.Default.Counter("frappe_query_timeouts_total",
+		"Queries aborted by the per-request deadline (504).", nil)
+	mUpdateConflicts = obs.Default.Counter("frappe_update_conflicts_total",
+		"Admin updates rejected with 409 because one was already in flight.", nil)
+	mUpdateRetries = obs.Default.Counter("frappe_update_retries_total",
+		"Transient update failures retried by the WithRetry wrapper.", nil)
 )
 
 // metricRoutes is the route vocabulary for per-route series.
 var metricRoutes = []string{
 	"/", "/api/query", "/api/stats", "/api/search", "/api/def",
 	"/api/refs", "/api/slice", "/map.svg", "/api/admin/update",
-	"/healthz", "/readyz", "/metrics", "other",
+	"/api/admin/verify", "/healthz", "/readyz", "/metrics", "other",
 }
 
 // routeLabel collapses a request path into the bounded route vocabulary.

@@ -104,6 +104,14 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	if last := snap.LastUpdate(); last != nil {
 		resp["lastUpdate"] = last
 	}
+	// Degraded is still ready (200): the server answers every query that
+	// avoids the quarantined pages, so pulling it from rotation would turn
+	// a partial failure into a total one. Probes and dashboards see the
+	// state; /api/admin/verify heals it.
+	if s.eng.Degraded() {
+		resp["status"] = "degraded"
+		resp["quarantinedPages"] = s.eng.QuarantinedPages()
+	}
 	writeJSON(w, http.StatusOK, resp)
 }
 

@@ -344,13 +344,22 @@ func TestCorruptStoreYieldsServerError(t *testing.T) {
 	if resp.StatusCode != http.StatusInternalServerError {
 		t.Fatalf("corrupt-store query status = %d, want 500", resp.StatusCode)
 	}
-	var out map[string]string
+	var out map[string]any
 	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
 		t.Fatal(err)
 	}
-	if !strings.Contains(out["error"], "checksum") && !strings.Contains(out["error"], "corrupt") {
-		t.Fatalf("error = %q", out["error"])
+	msg, _ := out["error"].(string)
+	if !strings.Contains(msg, "checksum") && !strings.Contains(msg, "corrupt") {
+		t.Fatalf("error = %q", msg)
 	}
-	// Still alive.
+	if out["degraded"] != true {
+		t.Fatalf("corrupt-store error should be flagged degraded, got %v", out)
+	}
+	// Still alive, and readiness reports the degraded state without
+	// pulling the server from rotation.
 	getJSON(t, ts.URL+"/healthz", http.StatusOK)
+	ready := getJSON(t, ts.URL+"/readyz", http.StatusOK)
+	if ready["status"] != "degraded" {
+		t.Fatalf("readyz status = %v, want degraded", ready["status"])
+	}
 }

@@ -1,0 +1,44 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"time"
+)
+
+// WithRetry wraps an UpdateFunc with bounded retry-on-transient-failure:
+// a failed attempt is retried up to attempts-1 times with exponential
+// backoff (backoff, 2*backoff, 4*backoff, ...). Updates are idempotent —
+// a failed persist leaves the old snapshot serving and the next attempt
+// replans from the same inputs — so retrying is always safe. Context
+// cancellation (the admin client gave up or the server is draining) stops
+// the retry loop immediately and is never retried itself.
+func WithRetry(fn UpdateFunc, attempts int, backoff time.Duration, logf func(format string, args ...any)) UpdateFunc {
+	if attempts < 1 {
+		attempts = 1
+	}
+	return func(ctx context.Context) (UpdateResult, error) {
+		var res UpdateResult
+		var err error
+		delay := backoff
+		for i := 1; ; i++ {
+			res, err = fn(ctx)
+			if err == nil || i >= attempts {
+				return res, err
+			}
+			if ctx.Err() != nil || errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+				return res, err
+			}
+			mUpdateRetries.Inc()
+			if logf != nil {
+				logf("update attempt %d/%d failed (retrying in %s): %v", i, attempts, delay, err)
+			}
+			select {
+			case <-time.After(delay):
+			case <-ctx.Done():
+				return res, ctx.Err()
+			}
+			delay *= 2
+		}
+	}
+}

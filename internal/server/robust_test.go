@@ -1,0 +1,285 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"frappe/internal/core"
+	"frappe/internal/kernelgen"
+	"frappe/internal/qcache"
+)
+
+// postStatus POSTs and returns (status, decoded body, Retry-After header).
+func postStatus(t *testing.T, url, body string) (int, map[string]any, string) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out map[string]any
+	_ = json.NewDecoder(resp.Body).Decode(&out)
+	return resp.StatusCode, out, resp.Header.Get("Retry-After")
+}
+
+// TestUpdateConflict409: while one admin update runs, a second POST is
+// rejected immediately with 409 + Retry-After, and ?wait=true queues for
+// its turn instead.
+func TestUpdateConflict409(t *testing.T) {
+	w := kernelgen.Generate(kernelgen.Tiny())
+	eng, _, err := core.Index(w.Build, w.ExtractOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	release := make(chan struct{})
+	started := make(chan struct{})
+	var calls int
+	var mu sync.Mutex
+	srv := New(eng)
+	srv.Update = func(ctx context.Context) (UpdateResult, error) {
+		mu.Lock()
+		calls++
+		first := calls == 1
+		mu.Unlock()
+		if first {
+			close(started)
+			<-release
+		}
+		return UpdateResult{Applied: false, Epoch: 0}, nil
+	}
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+
+	done := make(chan int)
+	go func() {
+		code, _, _ := postStatus(t, ts.URL+"/api/admin/update", "")
+		done <- code
+	}()
+	<-started
+
+	// Second update while the first holds the gate: immediate 409.
+	code, body, retryAfter := postStatus(t, ts.URL+"/api/admin/update", "")
+	if code != http.StatusConflict {
+		t.Fatalf("concurrent update status = %d, want 409", code)
+	}
+	if retryAfter == "" {
+		t.Fatal("409 response missing Retry-After header")
+	}
+	if msg, _ := body["error"].(string); !strings.Contains(msg, "in flight") {
+		t.Fatalf("409 error = %q", msg)
+	}
+
+	// ?wait=true queues behind the running update instead of failing.
+	waited := make(chan int)
+	go func() {
+		code, _, _ := postStatus(t, ts.URL+"/api/admin/update?wait=true", "")
+		waited <- code
+	}()
+	select {
+	case code := <-waited:
+		t.Fatalf("wait=true returned %d before the running update finished", code)
+	case <-time.After(50 * time.Millisecond):
+	}
+	close(release)
+	if code := <-done; code != http.StatusOK {
+		t.Fatalf("first update status = %d", code)
+	}
+	if code := <-waited; code != http.StatusOK {
+		t.Fatalf("queued update status = %d", code)
+	}
+}
+
+// TestFailedUpdateLeavesOldSnapshotServing: an update that fails must be
+// invisible to readers — the old snapshot keeps serving, warm query-cache
+// entries stay valid at the old epoch, and readiness stays green.
+func TestFailedUpdateLeavesOldSnapshotServing(t *testing.T) {
+	w := kernelgen.Generate(kernelgen.Tiny())
+	eng, _, err := core.Index(w.Build, w.ExtractOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.SetQueryCache(qcache.New(qcache.Config{}))
+	srv := New(eng)
+	srv.Update = func(ctx context.Context) (UpdateResult, error) {
+		return UpdateResult{}, fmt.Errorf("simulated persist failure: disk full")
+	}
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+
+	const q = `{"query": "MATCH (n:module) RETURN n.short_name ORDER BY n.short_name"}`
+	cold := postQuery(t, ts, q)
+	warm := postQuery(t, ts, q)
+	if warm["cached"] != true {
+		t.Fatalf("warm-up query not cached: %v", warm["cached"])
+	}
+	epochBefore := getJSON(t, ts.URL+"/api/stats", http.StatusOK)["epoch"]
+
+	code, body, _ := postStatus(t, ts.URL+"/api/admin/update", "")
+	if code != http.StatusInternalServerError {
+		t.Fatalf("failed update status = %d, want 500", code)
+	}
+	if msg, _ := body["error"].(string); !strings.Contains(msg, "disk full") {
+		t.Fatalf("failed update error = %q", msg)
+	}
+
+	// Old snapshot still serves, from the cache, at the old epoch.
+	after := postQuery(t, ts, q)
+	if after["cached"] != true {
+		t.Fatal("query cache was invalidated by a failed update")
+	}
+	a, _ := json.Marshal(cold["rows"])
+	b, _ := json.Marshal(after["rows"])
+	if string(a) != string(b) {
+		t.Fatalf("rows changed across a failed update:\n%s\nvs\n%s", a, b)
+	}
+	stats := getJSON(t, ts.URL+"/api/stats", http.StatusOK)
+	if stats["epoch"] != epochBefore {
+		t.Fatalf("epoch moved across a failed update: %v -> %v", epochBefore, stats["epoch"])
+	}
+	ready := getJSON(t, ts.URL+"/readyz", http.StatusOK)
+	if ready["status"] != "ok" {
+		t.Fatalf("readyz after failed update = %v, want ok", ready["status"])
+	}
+}
+
+// TestWithRetry: transient failures are retried with backoff; success
+// stops the loop; a cancelled context is never retried.
+func TestWithRetry(t *testing.T) {
+	calls := 0
+	fn := WithRetry(func(ctx context.Context) (UpdateResult, error) {
+		calls++
+		if calls < 3 {
+			return UpdateResult{}, fmt.Errorf("transient %d", calls)
+		}
+		return UpdateResult{Applied: true, Epoch: 7}, nil
+	}, 5, time.Millisecond, t.Logf)
+	res, err := fn(context.Background())
+	if err != nil || !res.Applied || calls != 3 {
+		t.Fatalf("retry: res=%+v err=%v calls=%d", res, err, calls)
+	}
+
+	// Attempts exhausted: the last error surfaces.
+	calls = 0
+	fn = WithRetry(func(ctx context.Context) (UpdateResult, error) {
+		calls++
+		return UpdateResult{}, fmt.Errorf("always broken")
+	}, 3, time.Millisecond, nil)
+	if _, err := fn(context.Background()); err == nil || calls != 3 {
+		t.Fatalf("exhausted retry: err=%v calls=%d", err, calls)
+	}
+
+	// Cancellation is terminal, not transient.
+	calls = 0
+	ctx, cancel := context.WithCancel(context.Background())
+	fn = WithRetry(func(ctx context.Context) (UpdateResult, error) {
+		calls++
+		cancel()
+		return UpdateResult{}, ctx.Err()
+	}, 5, time.Millisecond, nil)
+	if _, err := fn(ctx); !errors.Is(err, context.Canceled) || calls != 1 {
+		t.Fatalf("cancelled retry: err=%v calls=%d", err, calls)
+	}
+}
+
+// TestDegradedServingAndHeal is the end-to-end degraded-mode story: a
+// corrupt page in the relationship store fails only the queries that
+// touch it, surfaces as degraded in /api/stats and /readyz, resists a
+// heal while the bytes are still bad, and recovers through
+// /api/admin/verify once the file is repaired underneath the server.
+func TestDegradedServingAndHeal(t *testing.T) {
+	w := kernelgen.Generate(kernelgen.Tiny())
+	eng, _, err := core.Index(w.Build, w.ExtractOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Join(t.TempDir(), "db")
+	if err := eng.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	deng, err := core.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { deng.Close() })
+	srv := New(deng)
+	srv.Logf = t.Logf
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+
+	// Corrupt one byte in the LAST page of the relationship store: node
+	// and property pages stay intact, so queries that never expand edges
+	// keep working.
+	relPath := filepath.Join(dir, "neostore.relationshipstore.db")
+	raw, err := os.ReadFile(relPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	badOff := len(raw) - 10
+	orig := raw[badOff]
+	raw[badOff] ^= 0xFF
+	if err := os.WriteFile(relPath, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	deng.DropCaches()
+
+	const nodeQuery = `{"query": "MATCH (n:module) RETURN n.short_name"}`
+	const edgeQuery = `{"query": "MATCH n -[:calls]-> m RETURN m.short_name"}`
+
+	// The edge scan hits the bad page: 500 flagged degraded.
+	code, body, _ := postStatus(t, ts.URL+"/api/query", edgeQuery)
+	if code != http.StatusInternalServerError || body["degraded"] != true {
+		t.Fatalf("edge query on corrupt store: code=%d body=%v", code, body)
+	}
+
+	// Queries that avoid the quarantined page still succeed.
+	if out := postQuery(t, ts, nodeQuery); out["count"].(float64) < 3 {
+		t.Fatalf("node query while degraded = %v", out)
+	}
+
+	// Degraded state is visible everywhere it should be.
+	stats := getJSON(t, ts.URL+"/api/stats", http.StatusOK)
+	if stats["degraded"] != true {
+		t.Fatalf("stats.degraded = %v", stats["degraded"])
+	}
+	qp, _ := stats["quarantinedPages"].(map[string]any)
+	if len(qp["relationships"].([]any)) != 1 {
+		t.Fatalf("stats.quarantinedPages = %v", qp)
+	}
+	if ready := getJSON(t, ts.URL+"/readyz", http.StatusOK); ready["status"] != "degraded" {
+		t.Fatalf("readyz.status = %v", ready["status"])
+	}
+
+	// Heal with the bytes still bad: the page is re-quarantined.
+	code, body, _ = postStatus(t, ts.URL+"/api/admin/verify", "")
+	if code != http.StatusOK || body["healed"].(float64) != 0 || body["degraded"] != true {
+		t.Fatalf("verify on still-corrupt store: code=%d body=%v", code, body)
+	}
+
+	// Repair the file underneath the server, then heal for real.
+	raw[badOff] = orig
+	if err := os.WriteFile(relPath, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, body, _ = postStatus(t, ts.URL+"/api/admin/verify", "")
+	if code != http.StatusOK || body["healed"].(float64) != 1 || body["degraded"] != false {
+		t.Fatalf("verify after repair: code=%d body=%v", code, body)
+	}
+
+	// Fully healthy again: the edge scan works and readiness is ok.
+	if out := postQuery(t, ts, edgeQuery); out["count"].(float64) < 1 {
+		t.Fatalf("edge query after heal = %v", out)
+	}
+	if ready := getJSON(t, ts.URL+"/readyz", http.StatusOK); ready["status"] != "ok" {
+		t.Fatalf("readyz after heal = %v", ready["status"])
+	}
+}

@@ -90,6 +90,12 @@ type Server struct {
 	handler   http.Handler
 	sem       chan struct{}
 
+	// updateGate serialises admin updates at the HTTP layer: a second
+	// POST /api/admin/update while one runs gets 409 + Retry-After
+	// immediately (or blocks for its turn with ?wait=true) instead of
+	// queueing invisibly on the engine's update lock.
+	updateGate sync.Mutex
+
 	reqCounter uint64
 	shedCount  int64
 	notReady   atomic.Bool
@@ -131,6 +137,7 @@ func New(eng *core.Engine) *Server {
 	s.mux.HandleFunc("GET /api/slice", s.handleSlice)
 	s.mux.HandleFunc("GET /map.svg", s.handleMap)
 	s.mux.HandleFunc("POST /api/admin/update", s.handleUpdate)
+	s.mux.HandleFunc("POST /api/admin/verify", s.handleVerify)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -175,6 +182,32 @@ func writeErr(w http.ResponseWriter, status int, err error) {
 	writeJSON(w, status, map[string]string{"error": err.Error()})
 }
 
+// requestCtx derives the per-request context every query-shaped handler
+// runs under: the client's context (so disconnects cancel work) bounded
+// by the server's QueryTimeout.
+func (s *Server) requestCtx(r *http.Request) (context.Context, context.CancelFunc) {
+	return context.WithTimeout(r.Context(), s.QueryTimeout)
+}
+
+// writeQueryErr maps a read-path failure to its HTTP response: an
+// expired deadline is the server's fault (504 + timeout counter), store
+// corruption is a degraded-mode partial failure (500 + degraded flag),
+// anything else keeps the handler's fallback status.
+func writeQueryErr(w http.ResponseWriter, ctx context.Context, fallback int, err error) {
+	switch {
+	case ctx.Err() != nil:
+		mQueryTimeouts.Inc()
+		writeErr(w, http.StatusGatewayTimeout, err)
+	case errors.Is(err, store.ErrCorrupt) || errors.Is(err, store.ErrTruncated):
+		writeJSON(w, http.StatusInternalServerError, map[string]any{
+			"error":    err.Error(),
+			"degraded": true,
+		})
+	default:
+		writeErr(w, fallback, err)
+	}
+}
+
 // --- endpoints ---
 
 type queryRequest struct {
@@ -212,7 +245,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, fmt.Errorf("empty query"))
 		return
 	}
-	ctx, cancel := context.WithTimeout(r.Context(), s.QueryTimeout)
+	ctx, cancel := s.requestCtx(r)
 	defer cancel()
 	start := time.Now()
 	snap := s.eng.Snapshot()
@@ -229,16 +262,10 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		res, outcome, err = s.eng.CachedQuery(ctx, snap, req.Query, req.NoCache)
 	}
 	if err != nil {
-		status := http.StatusBadRequest
-		switch {
-		case ctx.Err() != nil:
-			status = http.StatusGatewayTimeout
-		case errors.Is(err, store.ErrCorrupt) || errors.Is(err, store.ErrTruncated):
-			// Store corruption is a server-side fault: report it as such,
-			// never as a client error.
-			status = http.StatusInternalServerError
-		}
-		writeErr(w, status, err)
+		// Store corruption is a server-side fault, never a client error:
+		// the query failed only because it touched a quarantined region,
+		// and writeQueryErr marks it as a degraded-mode partial failure.
+		writeQueryErr(w, ctx, http.StatusBadRequest, err)
 		return
 	}
 	resp := queryResponse{
@@ -279,6 +306,12 @@ type statsResponse struct {
 	QCache *qcache.Stats `json:"qcache,omitempty"`
 	// Shed counts requests dropped by the concurrency limiter.
 	Shed int64 `json:"shed"`
+	// Degraded reports quarantined store pages: the server answers
+	// queries that avoid them and fails the rest (see /api/admin/verify).
+	Degraded bool `json:"degraded,omitempty"`
+	// QuarantinedPages lists quarantined page numbers by store file
+	// (present only when degraded).
+	QuarantinedPages map[string][]int64 `json:"quarantinedPages,omitempty"`
 }
 
 type hub struct {
@@ -298,10 +331,32 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		QCache: s.eng.QueryCacheStats(),
 		Shed:   s.ShedCount(),
 	}
-	for _, h := range graph.TopDegreeNodes(snap.Source(), 10) {
-		resp.Hubs = append(resp.Hubs, hub{Type: string(h.Type), Name: h.Name, Degree: h.Degree})
+	if s.eng.Degraded() {
+		resp.Degraded = true
+		resp.QuarantinedPages = s.eng.QuarantinedPages()
 	}
+	resp.Hubs = safeHubs(snap.Source())
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// safeHubs computes the top-degree hubs best-effort: the full edge scan
+// behind it can hit a quarantined page, and stats must stay servable in
+// degraded mode, so corruption-class panics degrade to an empty hub list
+// while everything else still propagates.
+func safeHubs(src graph.Source) (hubs []hub) {
+	defer func() {
+		if r := recover(); r != nil {
+			err, ok := r.(error)
+			if !ok || (!errors.Is(err, store.ErrCorrupt) && !errors.Is(err, store.ErrTruncated)) {
+				panic(r)
+			}
+			hubs = nil
+		}
+	}()
+	for _, h := range graph.TopDegreeNodes(src, 10) {
+		hubs = append(hubs, hub{Type: string(h.Type), Name: h.Name, Degree: h.Degree})
+	}
+	return hubs
 }
 
 func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
@@ -309,12 +364,42 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusNotImplemented, fmt.Errorf("server has no update source (started from a static store)"))
 		return
 	}
+	wait := r.URL.Query().Get("wait") == "true" || r.URL.Query().Get("wait") == "1"
+	if wait {
+		s.updateGate.Lock()
+	} else if !s.updateGate.TryLock() {
+		mUpdateConflicts.Inc()
+		w.Header().Set("Retry-After", strconv.Itoa(s.RetryAfterSeconds))
+		writeJSON(w, http.StatusConflict, map[string]string{
+			"error": "an update is already in flight; retry later or pass ?wait=true",
+		})
+		return
+	}
+	defer s.updateGate.Unlock()
 	res, err := s.Update(r.Context())
 	if err != nil {
 		writeErr(w, http.StatusInternalServerError, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, res)
+}
+
+// handleVerify is the admin re-verify/heal endpoint for degraded mode:
+// it retries every quarantined page (pages recover only if the on-disk
+// bytes were repaired underneath the server) and reports the before and
+// after state.
+func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
+	before := 0
+	for _, pages := range s.eng.QuarantinedPages() {
+		before += len(pages)
+	}
+	healed, remaining := s.eng.Heal()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"quarantinedBefore": before,
+		"healed":            healed,
+		"quarantinedAfter":  remaining,
+		"degraded":          s.eng.Degraded(),
+	})
 }
 
 type symbolJSON struct {
@@ -358,9 +443,11 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		}
 		opts.Limit = n
 	}
-	syms, err := s.eng.Snapshot().Search(r.Context(), opts)
+	ctx, cancel := s.requestCtx(r)
+	defer cancel()
+	syms, err := s.eng.Snapshot().Search(ctx, opts)
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		writeQueryErr(w, ctx, http.StatusBadRequest, err)
 		return
 	}
 	out := make([]symbolJSON, len(syms))
@@ -378,9 +465,11 @@ func (s *Server) handleDef(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, fmt.Errorf("need name, file, line, col"))
 		return
 	}
-	sym, ok, err := s.eng.Snapshot().GoToDefinition(r.Context(), q.Get("name"), q.Get("file"), line, col)
+	ctx, cancel := s.requestCtx(r)
+	defer cancel()
+	sym, ok, err := s.eng.Snapshot().GoToDefinition(ctx, q.Get("name"), q.Get("file"), line, col)
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		writeQueryErr(w, ctx, http.StatusBadRequest, err)
 		return
 	}
 	if !ok {
@@ -398,9 +487,11 @@ func (s *Server) handleRefs(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusNotFound, err)
 		return
 	}
-	refs, err := snap.FindReferences(r.Context(), id)
+	ctx, cancel := s.requestCtx(r)
+	defer cancel()
+	refs, err := snap.FindReferences(ctx, id)
 	if err != nil {
-		writeErr(w, http.StatusInternalServerError, err)
+		writeQueryErr(w, ctx, http.StatusInternalServerError, err)
 		return
 	}
 	type refJSON struct {
@@ -436,11 +527,17 @@ func (s *Server) handleSlice(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	ctx, cancel := s.requestCtx(r)
+	defer cancel()
 	var syms []core.Symbol
 	if q.Get("forward") == "true" || q.Get("forward") == "1" {
-		syms = snap.ForwardSlice(id, depth)
+		syms, err = snap.ForwardSliceCtx(ctx, id, depth)
 	} else {
-		syms = snap.BackwardSlice(id, depth)
+		syms, err = snap.BackwardSliceCtx(ctx, id, depth)
+	}
+	if err != nil {
+		writeQueryErr(w, ctx, http.StatusInternalServerError, err)
+		return
 	}
 	out := make([]symbolJSON, len(syms))
 	for i, sym := range syms {

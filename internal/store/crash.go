@@ -1,0 +1,47 @@
+package store
+
+import "frappe/internal/atomicfile"
+
+// Deterministic crash-point injection over the store's persist paths,
+// re-exported from internal/atomicfile so torture tests can drive it
+// through the store API (in the spirit of FaultReader for reads). Every
+// fsync/rename/append boundary inside a commit is a numbered crash
+// point; a CrashPoints plan with KillAt = n makes the n-th point return
+// a CrashError and marks the plan dead, so all later atomic-file
+// operations in the doomed "process" keep failing until the plan is
+// cleared — the in-process analogue of SIGKILL.
+type CrashPoints = atomicfile.CrashPlan
+
+// CrashError is the injected failure raised at a crash point.
+type CrashError = atomicfile.CrashError
+
+// SetCrashPoints installs a crash plan for subsequent store/delta
+// persists. A plan with KillAt = 0 only traces (records the points it
+// passes), which is how tests enumerate the kill schedule.
+func SetCrashPoints(p *CrashPoints) { atomicfile.SetCrashPlan(p) }
+
+// ClearCrashPoints removes the active plan, ending the simulated crash.
+func ClearCrashPoints() { atomicfile.ClearCrashPlan() }
+
+// VerifyFiles re-checks the named store files (checksum sidecars, or the
+// meta self-checksum for MetaFile) and returns one error per file that
+// fails. Unknown names — sidecars, non-store artifacts that rode along
+// in the same commit — are skipped. Startup recovery calls this after a
+// roll-forward so an interrupted update cannot seed the page caches from
+// files whose replayed bytes are bad.
+func VerifyFiles(dir string, names []string) []error {
+	var errs []error
+	for _, name := range names {
+		switch name {
+		case NodeFile, RelFile, PropFile, StringFile, KeyFile, IndexFile:
+			if fc := verifyDataFile(dir, name, true); !fc.OK {
+				errs = append(errs, fc.Err)
+			}
+		case MetaFile:
+			if err := verifyMetaFile(dir); err != nil {
+				errs = append(errs, err)
+			}
+		}
+	}
+	return errs
+}

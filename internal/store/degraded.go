@@ -1,0 +1,54 @@
+package store
+
+// Degraded-mode introspection. A DB whose pagers have quarantined pages
+// still serves every read that avoids those pages; callers use Degraded
+// to surface the condition (readiness probes, stats) and Heal to retry
+// after the underlying files were repaired.
+
+// Degraded reports whether any store file currently has quarantined
+// pages.
+func (db *DB) Degraded() bool {
+	for _, p := range db.pagers() {
+		if p.quarCount.Load() > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// QuarantinedPages lists quarantined page numbers per store file, using
+// the same file keys as Stats. Files with no quarantined pages are
+// omitted; an empty map means the store is healthy.
+func (db *DB) QuarantinedPages() map[string][]int64 {
+	out := map[string][]int64{}
+	for key, p := range db.pagers() {
+		if pages := p.QuarantinedPages(); len(pages) > 0 {
+			out[key] = pages
+		}
+	}
+	return out
+}
+
+// Heal retries every quarantined page across all store files, returning
+// how many pages recovered and how many remain quarantined. Pages only
+// heal if the on-disk bytes changed (repair, restore); Heal itself never
+// writes.
+func (db *DB) Heal() (healed, remaining int) {
+	for _, p := range db.pagers() {
+		h, r := p.Heal()
+		healed += h
+		remaining += r
+	}
+	return healed, remaining
+}
+
+// pagers returns the per-file pagers under their Stats keys.
+func (db *DB) pagers() map[string]*pager {
+	return map[string]*pager{
+		"nodes":         db.nodes,
+		"relationships": db.rels,
+		"properties":    db.props,
+		"strings":       db.strs,
+		"index":         db.index,
+	}
+}

@@ -1,10 +1,12 @@
 package store
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"os"
 	"path/filepath"
+	"sort"
 	"sync"
 	"sync/atomic"
 )
@@ -33,6 +35,10 @@ type CacheStats struct {
 	// ChecksumFailures counts cache misses whose page failed CRC
 	// verification.
 	ChecksumFailures int64
+	// Quarantined is the number of pages currently quarantined after a
+	// corruption-class read failure (a gauge, not a counter; Heal can
+	// bring it back down).
+	Quarantined int64
 }
 
 // cacheCounters is the pager's live, atomically updated form of
@@ -54,6 +60,15 @@ func (c *cacheCounters) snapshot() CacheStats {
 		Evictions:        c.evictions.Load(),
 		ChecksumFailures: c.checksum.Load(),
 	}
+}
+
+// Stats returns a snapshot of the cache counters plus the current
+// quarantine size. Safe to call concurrently with reads; each counter is
+// loaded atomically.
+func (p *pager) Stats() CacheStats {
+	s := p.stats.snapshot()
+	s.Quarantined = p.quarCount.Load()
+	return s
 }
 
 // pager serves random reads over one store file through a lock-striped
@@ -82,6 +97,15 @@ type pager struct {
 	shards    []pagerShard
 	shardMask int64
 	stats     cacheCounters
+
+	// Quarantine: pages whose load failed with a corruption-class error.
+	// Later reads of a quarantined page fail fast (before any shard lock
+	// or disk I/O) with the recorded error, so one bad page degrades only
+	// the queries that touch it. quarCount mirrors len(quar) atomically so
+	// the common no-quarantine read path costs one atomic load.
+	quarMu    sync.Mutex
+	quar      map[int64]*CorruptionError
+	quarCount atomic.Int64
 }
 
 // pagerShard is one lock stripe: a page map plus an LRU list, evicting
@@ -203,8 +227,15 @@ func (p *pager) ReadAt(buf []byte, off int64) error {
 
 // page returns the entry for a page number, faulting it in (with CRC
 // verification) on miss. Only the page's shard is locked; a slow disk
-// read stalls at most 1/len(shards) of the cache.
+// read stalls at most 1/len(shards) of the cache. A page already
+// quarantined fails fast before any lock or I/O; a load failing with a
+// corruption-class error quarantines the page for later reads.
 func (p *pager) page(no int64) (*pageEntry, error) {
+	if p.quarCount.Load() > 0 {
+		if qerr := p.quarantinedErr(no); qerr != nil {
+			return nil, qerr
+		}
+	}
 	sh := p.shardFor(no)
 	sh.mu.Lock()
 	if pg, ok := sh.pages[no]; ok {
@@ -216,10 +247,81 @@ func (p *pager) page(no int64) (*pageEntry, error) {
 	pg, err := p.loadPageLocked(sh, no)
 	sh.mu.Unlock()
 	if err != nil {
+		p.maybeQuarantine(no, err)
 		return nil, err
 	}
 	p.stats.misses.Add(1)
 	return pg, nil
+}
+
+// quarantinedErr returns the recorded corruption error for a quarantined
+// page, nil otherwise.
+func (p *pager) quarantinedErr(no int64) error {
+	p.quarMu.Lock()
+	ce := p.quar[no]
+	p.quarMu.Unlock()
+	if ce == nil {
+		return nil
+	}
+	return ce
+}
+
+// maybeQuarantine records a failed page load, but only for
+// corruption-class failures (ErrCorrupt, ErrTruncated): those are disk
+// state, so retrying cannot help until the bytes change. Transient I/O
+// errors (including injected faults) are NOT quarantined — the next read
+// retries them. Called without any shard lock held.
+func (p *pager) maybeQuarantine(no int64, err error) {
+	if !errors.Is(err, ErrCorrupt) && !errors.Is(err, ErrTruncated) {
+		return
+	}
+	ce, ok := err.(*CorruptionError)
+	if !ok {
+		ce = &CorruptionError{File: p.name, Chunk: -1, Detail: err.Error(), Class: ErrCorrupt}
+	}
+	p.quarMu.Lock()
+	if p.quar == nil {
+		p.quar = make(map[int64]*CorruptionError)
+	}
+	if _, dup := p.quar[no]; !dup {
+		p.quar[no] = ce
+		p.quarCount.Store(int64(len(p.quar)))
+	}
+	p.quarMu.Unlock()
+}
+
+// QuarantinedPages returns the quarantined page numbers, sorted.
+func (p *pager) QuarantinedPages() []int64 {
+	p.quarMu.Lock()
+	out := make([]int64, 0, len(p.quar))
+	for no := range p.quar {
+		out = append(out, no)
+	}
+	p.quarMu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Heal retries every quarantined page. A page that now loads and
+// verifies cleanly (e.g. the file was repaired or restored from backup)
+// leaves quarantine and enters the cache; one that still fails stays
+// quarantined with the fresh error. Returns how many pages were healed
+// and how many remain quarantined.
+func (p *pager) Heal() (healed, remaining int) {
+	for _, no := range p.QuarantinedPages() {
+		p.quarMu.Lock()
+		delete(p.quar, no)
+		p.quarCount.Store(int64(len(p.quar)))
+		p.quarMu.Unlock()
+		if _, err := p.page(no); err != nil {
+			// page() re-quarantined it (or it failed transiently, in
+			// which case the next read retries anyway).
+			remaining++
+		} else {
+			healed++
+		}
+	}
+	return healed, remaining
 }
 
 // loadPageLocked reads page no from disk into sh, which must be locked
@@ -342,7 +444,3 @@ func (p *pager) Drop() {
 		sh.mu.Unlock()
 	}
 }
-
-// Stats returns a snapshot of the cache counters. Safe to call
-// concurrently with reads; each counter is loaded atomically.
-func (p *pager) Stats() CacheStats { return p.stats.snapshot() }

@@ -1,0 +1,151 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"frappe/internal/graph"
+	"frappe/internal/model"
+)
+
+// bigNodeGraph builds a graph whose node file spans several cache pages
+// (nodeRecordSize is 32, so 256 node records fill one default page).
+func bigNodeGraph(n int) *graph.Graph {
+	g := graph.New()
+	for i := 0; i < n; i++ {
+		g.AddNode(model.NodeFunction, graph.P(model.PropShortName, fmt.Sprintf("fn_%04d", i)))
+	}
+	for i := 1; i < n; i++ {
+		g.AddEdge(graph.NodeID(i-1), graph.NodeID(i), model.EdgeCalls, nil)
+	}
+	return g
+}
+
+// readNodeErr reads one node's properties, converting the store's
+// corruption panic into an error.
+func readNodeErr(db *DB, id graph.NodeID) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			if e, ok := r.(error); ok {
+				err = e
+				return
+			}
+			panic(r)
+		}
+	}()
+	db.NodeProps(id)
+	return nil
+}
+
+// TestQuarantineIsolatesCorruptPage proves degraded-mode serving at the
+// store layer: one corrupt page poisons only the reads that touch it,
+// the store reports itself degraded, and Heal recovers once (and only
+// once) the bytes are repaired.
+func TestQuarantineIsolatesCorruptPage(t *testing.T) {
+	const n = 600 // 600 nodes * 32 B = 3 pages of node records
+	dir := writeStore(t, bigNodeGraph(n))
+
+	// Corrupt one byte inside page 1 of the node file.
+	path := filepath.Join(dir, NodeFile)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	corruptOff := DefaultPageSize + 100
+	orig := raw[corruptOff]
+	raw[corruptOff] ^= 0x40
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	db, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+
+	// Pages 0 and 2 serve fine before, during and after the corruption
+	// is discovered.
+	goodIDs := []graph.NodeID{0, 255, 512, n - 1}
+	badID := graph.NodeID(300) // offset 9600, inside page 1
+	for _, id := range goodIDs {
+		if err := readNodeErr(db, id); err != nil {
+			t.Fatalf("node %d (healthy page): %v", id, err)
+		}
+	}
+	if db.Degraded() {
+		t.Fatal("store degraded before touching the corrupt page")
+	}
+
+	// First touch of the bad page: typed corruption error + quarantine.
+	if err := readNodeErr(db, badID); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("node %d on corrupt page: want ErrCorrupt, got %v", badID, err)
+	}
+	if !db.Degraded() {
+		t.Fatal("store not degraded after corruption surfaced")
+	}
+	if q := db.QuarantinedPages(); len(q["nodes"]) != 1 || q["nodes"][0] != 1 {
+		t.Fatalf("QuarantinedPages = %v, want nodes:[1]", q)
+	}
+	if got := db.Stats()["nodes"].Quarantined; got != 1 {
+		t.Fatalf("Stats quarantined = %d, want 1", got)
+	}
+
+	// Repeat read fails fast with the same class; healthy pages still serve.
+	if err := readNodeErr(db, badID); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("quarantined reread: want ErrCorrupt, got %v", err)
+	}
+	for _, id := range goodIDs {
+		if err := readNodeErr(db, id); err != nil {
+			t.Fatalf("node %d while degraded: %v", id, err)
+		}
+	}
+
+	// Heal without fixing the bytes: the page stays quarantined.
+	if healed, remaining := db.Heal(); healed != 0 || remaining != 1 {
+		t.Fatalf("Heal on still-corrupt page = (%d, %d), want (0, 1)", healed, remaining)
+	}
+	if !db.Degraded() {
+		t.Fatal("failed heal cleared degraded state")
+	}
+
+	// Repair the byte on disk; now Heal recovers the page.
+	raw[corruptOff] = orig
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if healed, remaining := db.Heal(); healed != 1 || remaining != 0 {
+		t.Fatalf("Heal after repair = (%d, %d), want (1, 0)", healed, remaining)
+	}
+	if db.Degraded() {
+		t.Fatal("store still degraded after successful heal")
+	}
+	if err := readNodeErr(db, badID); err != nil {
+		t.Fatalf("node %d after heal: %v", badID, err)
+	}
+}
+
+// TestTransientErrorsAreNotQuarantined: injected I/O failures must not
+// quarantine pages — only corruption-class (disk state) errors do.
+func TestTransientErrorsAreNotQuarantined(t *testing.T) {
+	dir := writeStore(t, buildSampleGraph())
+	db, err := OpenOptions(dir, Options{
+		WrapReader: wrapFile(NodeFile, FaultConfig{Seed: 1, ErrEvery: 1}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	if err := readNodeErr(db, 0); !errors.Is(err, ErrInjectedIO) {
+		t.Fatalf("want ErrInjectedIO, got %v", err)
+	}
+	if db.Degraded() {
+		t.Fatal("transient I/O error quarantined a page")
+	}
+	if got := db.Stats()["nodes"].Quarantined; got != 0 {
+		t.Fatalf("quarantined = %d, want 0", got)
+	}
+}

@@ -98,6 +98,32 @@ func Verify(dir string) (*VerifyReport, error) {
 	return r, nil
 }
 
+// verifyMetaFile checks the meta file's magic, version and (for v2)
+// self-checksum.
+func verifyMetaFile(dir string) error {
+	meta, err := os.ReadFile(filepath.Join(dir, MetaFile))
+	if err != nil {
+		return err
+	}
+	if len(meta) < metaSizeV1 || binary.LittleEndian.Uint32(meta[0:4]) != metaMagic {
+		return &CorruptionError{File: MetaFile, Chunk: -1, Detail: "bad magic", Class: ErrBadMagic}
+	}
+	switch v := binary.LittleEndian.Uint32(meta[4:8]); v {
+	case legacyFormatVer:
+		return nil
+	case formatVer:
+		if len(meta) < metaSizeV2 {
+			return truncatedf(MetaFile, "meta file is %d bytes, want %d", len(meta), metaSizeV2)
+		}
+		if got, want := crc32.Checksum(meta[:metaSizeV1], castagnoli), binary.LittleEndian.Uint32(meta[24:28]); got != want {
+			return corruptf(MetaFile, -1, "meta checksum mismatch: computed %08x, recorded %08x", got, want)
+		}
+		return nil
+	default:
+		return fmt.Errorf("format version %d: %w", binary.LittleEndian.Uint32(meta[4:8]), ErrBadVersion)
+	}
+}
+
 // verifyDataFile re-hashes every chunk of one data file against its
 // sidecar.
 func verifyDataFile(dir, name string, wantCRC bool) FileCheck {

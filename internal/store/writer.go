@@ -6,27 +6,55 @@ import (
 	"fmt"
 	"hash/crc32"
 	"os"
-	"path/filepath"
 	"sort"
 	"strings"
 
+	"frappe/internal/atomicfile"
 	"frappe/internal/graph"
 	"frappe/internal/model"
 )
 
 // Write persists g into dir, creating it if needed. Existing store files
-// in dir are replaced. The resulting store is opened with Open.
+// in dir are replaced in one crash-consistent commit: a crash at any
+// instant leaves dir either fully the old store or fully the new one
+// (see internal/atomicfile). The resulting store is opened with Open.
 func Write(dir string, g *graph.Graph) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
-	w := &writer{g: g, dir: dir}
-	return w.run()
+	c, err := atomicfile.NewCommit(dir)
+	if err != nil {
+		return err
+	}
+	defer c.Abort()
+	if err := StageTo(c, g); err != nil {
+		return err
+	}
+	return c.Publish()
+}
+
+// StageTo writes g's store files (plus checksum sidecars) into an open
+// commit without publishing, so callers can bundle the store with other
+// artifacts — delta session state, the update journal — into one atomic
+// unit (see delta.PersistUpdate).
+func StageTo(c *atomicfile.Commit, g *graph.Graph) error {
+	w := &writer{g: g, path: c.Path}
+	if err := w.run(); err != nil {
+		return err
+	}
+	c.Add(MetaFile)
+	for _, name := range []string{NodeFile, RelFile, PropFile, StringFile, KeyFile, IndexFile} {
+		c.Add(name)
+		c.Add(name + ChecksumSuffix)
+	}
+	return nil
 }
 
 type writer struct {
-	g   *graph.Graph
-	dir string
+	g *graph.Graph
+	// path resolves a store file name to the path it is written at (a
+	// commit's staging area).
+	path func(name string) string
 
 	keyIDs   map[string]uint16 // canonical key -> id
 	keys     []string
@@ -49,14 +77,14 @@ func (w *writer) run() (err error) {
 	w.edgeTyps = make(map[model.EdgeType]uint16)
 	w.strOffs = make(map[string]int64)
 
-	strF, err := os.Create(filepath.Join(w.dir, StringFile))
+	strF, err := os.Create(w.path(StringFile))
 	if err != nil {
 		return err
 	}
 	defer strF.Close()
 	w.strW = bufio.NewWriter(strF)
 
-	propF, err := os.Create(filepath.Join(w.dir, PropFile))
+	propF, err := os.Create(w.path(PropFile))
 	if err != nil {
 		return err
 	}
@@ -87,7 +115,7 @@ func (w *writer) run() (err error) {
 	// Checksum sidecars last, once every data file is final. The meta
 	// file carries its own CRC instead of a sidecar.
 	for _, name := range []string{NodeFile, RelFile, PropFile, StringFile, KeyFile, IndexFile} {
-		if err := writeChecksums(filepath.Join(w.dir, name)); err != nil {
+		if err := writeChecksums(w.path(name)); err != nil {
 			return err
 		}
 	}
@@ -180,7 +208,7 @@ func (w *writer) writeProps(ps graph.Props) (off int64, count uint32, err error)
 }
 
 func (w *writer) writeNodes() error {
-	f, err := os.Create(filepath.Join(w.dir, NodeFile))
+	f, err := os.Create(w.path(NodeFile))
 	if err != nil {
 		return err
 	}
@@ -231,7 +259,7 @@ func (w *writer) writeRels() error {
 		}
 	}
 
-	f, err := os.Create(filepath.Join(w.dir, RelFile))
+	f, err := os.Create(w.path(RelFile))
 	if err != nil {
 		return err
 	}
@@ -282,7 +310,7 @@ func writeStringTable(bw *bufio.Writer, items []string) error {
 }
 
 func (w *writer) writeKeys() error {
-	f, err := os.Create(filepath.Join(w.dir, KeyFile))
+	f, err := os.Create(w.path(KeyFile))
 	if err != nil {
 		return err
 	}
@@ -321,7 +349,7 @@ func (w *writer) writeIndex() error {
 		next += 2 + int64(len(e.key)) + 2 + int64(len(e.value)) + 4 + 8*int64(len(e.ids))
 	}
 
-	f, err := os.Create(filepath.Join(w.dir, IndexFile))
+	f, err := os.Create(w.path(IndexFile))
 	if err != nil {
 		return err
 	}
@@ -356,7 +384,7 @@ func (w *writer) writeIndex() error {
 }
 
 func (w *writer) writeMeta() error {
-	f, err := os.Create(filepath.Join(w.dir, MetaFile))
+	f, err := os.Create(w.path(MetaFile))
 	if err != nil {
 		return err
 	}

@@ -9,6 +9,8 @@
 package traversal
 
 import (
+	"context"
+
 	"frappe/internal/graph"
 	"frappe/internal/model"
 )
@@ -88,12 +90,25 @@ func step(s graph.Source, id graph.NodeID, opts Options, fn func(e graph.EdgeID,
 // order. With Direction Out over calls edges this is the paper's backward
 // slice (Figure 6); with Direction In it is the forward slice.
 func TransitiveClosure(s graph.Source, start graph.NodeID, opts Options) []graph.NodeID {
+	ids, _ := TransitiveClosureCtx(context.Background(), s, start, opts)
+	return ids
+}
+
+// TransitiveClosureCtx is TransitiveClosure with cooperative
+// cancellation: the context is checked once per BFS level (levels are
+// the natural yield points of the walk — cheap, yet bounding overrun to
+// one frontier expansion), and an expired deadline aborts the walk with
+// the context's error instead of silently returning a truncated closure.
+func TransitiveClosureCtx(ctx context.Context, s graph.Source, start graph.NodeID, opts Options) ([]graph.NodeID, error) {
 	var result []graph.NodeID
 	visited := map[graph.NodeID]bool{start: true}
 	reportedStart := false
 	frontier := []graph.NodeID{start}
 	depth := 0
 	for len(frontier) > 0 {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		if opts.MaxDepth > 0 && depth >= opts.MaxDepth {
 			break
 		}
@@ -124,7 +139,7 @@ func TransitiveClosure(s graph.Source, start graph.NodeID, opts Options) []graph
 		}
 		frontier = next
 	}
-	return result
+	return result, nil
 }
 
 // Reachable reports whether to is reachable from from under opts.
