@@ -11,8 +11,9 @@
 //
 // With -compare it acts as the CI regression gate instead: it reads two
 // smoke JSON files and fails when a tracked metric (warm-read
-// throughput, cache hit ratios, query-cache speedup) regressed beyond
-// the tolerance.
+// throughput, cache hit ratios, query-cache speedup, planned Figure-6
+// closure throughput) regressed beyond the tolerance, or when the
+// uncached planned closure exceeds its absolute wall-clock budget.
 //
 //	frappe-bench -compare old.json new.json -tolerance 0.25
 package main
@@ -20,6 +21,7 @@ package main
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"math"
@@ -39,6 +41,7 @@ import (
 	"frappe/internal/kernelgen"
 	"frappe/internal/model"
 	"frappe/internal/obs"
+	"frappe/internal/plan"
 	"frappe/internal/qcache"
 	"frappe/internal/query"
 	"frappe/internal/store"
@@ -50,9 +53,9 @@ var (
 	scale      = flag.Int("scale", 1, "synthetic kernel scale factor")
 	runs       = flag.Int("runs", 10, "cold and warm runs per query (paper: 10)")
 	timeout    = flag.Duration("timeout", 15*time.Second, "comprehension-query abort deadline (paper: 15 min)")
-	experiment = flag.String("experiment", "all", "comma list: table3,table4,table5,figure7,table6,ablations,temporal,smoke")
+	experiment = flag.String("experiment", "all", "comma list: table3,table4,table5,figure7,table6,ablations,temporal,planner,smoke")
 	keep       = flag.String("db", "", "store directory to (re)use; default: temp dir")
-	out        = flag.String("out", "", "with -experiment smoke: also write the results as JSON to this file")
+	out        = flag.String("out", "", "with -experiment smoke/planner: also write the results as JSON to this file")
 	compare    = flag.Bool("compare", false, "regression gate: compare two smoke JSON files instead of benchmarking")
 	tolerance  = flag.Float64("tolerance", 0.25, "with -compare: allowed relative regression per metric")
 )
@@ -126,12 +129,33 @@ func run() error {
 			return err
 		}
 	}
-	// The parallelism smoke runs only on request: it exists to record the
-	// PR-3 speedup evidence (BENCH_3.json), not to reproduce the paper.
+	// The smoke and planner experiments share one JSON record (*out):
+	// smoke runs only on request (it records PR-3 speedup evidence, not
+	// the paper), while planner is part of the default sweep because it
+	// reproduces the Figure-6 comprehension story.
+	var sr smokeResult
+	record := false
 	if want["smoke"] {
-		if err := b.smoke(); err != nil {
+		if err := b.smoke(&sr); err != nil {
 			return err
 		}
+		record = true
+	}
+	if all || want["planner"] {
+		if err := b.planner(&sr); err != nil {
+			return err
+		}
+		record = true
+	}
+	if record && *out != "" {
+		buf, err := json.MarshalIndent(sr, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*out, append(buf, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", *out)
 	}
 	return nil
 }
@@ -280,16 +304,28 @@ func (b *bench) table5() error {
 	}
 
 	// Comprehension via Cypher: expected to blow up; abort at -timeout.
+	// The engine's query path now runs through the cost-based planner,
+	// which rewrites this closure to a visited-set traversal, so the
+	// naive baseline calls the tree-walk interpreter directly.
 	b.disk.DropCaches()
 	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
 	start := time.Now()
-	_, err := b.disk.Query(ctx, figure6Query)
+	_, err := query.RunLimits(ctx, b.disk.Source(), figure6Query, query.Limits{})
 	cancel()
 	if err != nil {
 		fmt.Printf("%-22s > %v, aborted (Cypher path enumeration)\n", "Comprehension (Fig.6)", time.Since(start).Round(time.Millisecond))
 	} else {
 		fmt.Printf("%-22s completed in %v (graph too small to explode)\n", "Comprehension (Fig.6)", time.Since(start).Round(time.Millisecond))
 	}
+
+	// The same Cypher through the engine: the planner lowers the
+	// unbounded closure to the traversal API's visited-set walk.
+	plannedT, plannedN, err := b.runQuery(figure6Query, false)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-22s %s ms avg, %d results (planned: closure rewrite)\n",
+		"  ... planned", ms(plannedT.avg()), plannedN)
 
 	// The paper's footnote: the same closure via the embedded API.
 	ids, err := b.disk.Source().Lookup("TYPE: function AND short_name: pci_read_bases")
@@ -309,6 +345,81 @@ func (b *bench) table5() error {
 	}
 	fmt.Printf("%-22s %s ms avg, %d results (embedded traversal API)\n\n",
 		"  ... embedded", ms(t.avg()), n)
+	return nil
+}
+
+// planner is the PR-7 acceptance measurement: the Figure-6 closure
+// naive vs planned. The naive interpreter enumerates simple paths and
+// blows its step budget on any graph with real fan-out; the planner
+// rewrites the same query to a visited-set traversal and answers in
+// milliseconds. Neither path touches the query-result cache.
+func (b *bench) planner(r *smokeResult) error {
+	fmt.Println("== Planner: Fig.6 closure, naive vs planned (uncached) ==")
+	r.GOMAXPROCS = runtime.GOMAXPROCS(0)
+	src := b.disk.Source()
+	q, err := query.Parse(figure6Query)
+	if err != nil {
+		return err
+	}
+
+	// Naive: step-budgeted so the benchmark itself stays bounded; the
+	// -timeout deadline is the backstop.
+	const naiveBudget = 5_000_000
+	r.Planner.NaiveBudgetSteps = naiveBudget
+	b.disk.DropCaches()
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	start := time.Now()
+	_, nerr := query.ExecuteLimits(ctx, src, q, query.Limits{MaxSteps: naiveBudget})
+	cancel()
+	naive := time.Since(start)
+	r.Planner.NaiveMS = float64(naive.Microseconds()) / 1000
+	switch {
+	case nerr == nil:
+		fmt.Printf("naive interpreter: completed in %s ms (graph too small to explode)\n", ms(naive))
+	case errors.Is(nerr, query.ErrBudgetExceeded) || errors.Is(nerr, context.DeadlineExceeded):
+		r.Planner.NaiveAborted = true
+		fmt.Printf("naive interpreter: aborted after %s ms (%v)\n", ms(naive), nerr)
+	default:
+		return fmt.Errorf("naive figure-6: %w", nerr)
+	}
+
+	// Planned, cold: page cache dropped, plan compiled from scratch,
+	// same step budget the naive run died under.
+	lim := query.Limits{MaxSteps: naiveBudget}
+	b.disk.DropCaches()
+	start = time.Now()
+	p := plan.Compile(q, b.disk.GraphStats())
+	res, perr := p.Execute(context.Background(), src, lim)
+	if perr != nil {
+		return fmt.Errorf("planned figure-6: %w", perr)
+	}
+	cold := time.Since(start)
+
+	// Planned, warm: recompiled every run so the number reflects the
+	// full uncached path (cost model + rewrite + execution).
+	var warm timing
+	for i := 0; i < *runs; i++ {
+		start = time.Now()
+		pw := plan.Compile(q, b.disk.GraphStats())
+		if _, err := pw.Execute(context.Background(), src, lim); err != nil {
+			return fmt.Errorf("planned figure-6 (warm): %w", err)
+		}
+		warm.add(time.Since(start))
+	}
+
+	r.Planner.PlannedColdMS = float64(cold.Microseconds()) / 1000
+	r.Planner.PlannedWarmMS = float64(warm.avg().Microseconds()) / 1000
+	r.Planner.Rows = res.Count()
+	r.Planner.Rewrites = p.Rewrites
+	if r.Planner.PlannedWarmMS > 0 {
+		r.Planner.Speedup = r.Planner.NaiveMS / r.Planner.PlannedWarmMS
+	}
+	bound := ""
+	if r.Planner.NaiveAborted {
+		bound = ">= " // the naive run never finished; the ratio is a floor
+	}
+	fmt.Printf("planned (closure rewrite x%d): cold %s ms, warm %s ms avg, %d rows (%s%.0fx vs naive)\n\n",
+		p.Rewrites, ms(cold), ms(warm.avg()), res.Count(), bound, r.Planner.Speedup)
 	return nil
 }
 
@@ -505,6 +616,20 @@ type smokeResult struct {
 		Speedup    float64 `json:"speedup"`
 		HitRatio   float64 `json:"hit_ratio"`
 	} `json:"qcache"`
+	// Planner is the PR-7 subject: the Figure-6 comprehension closure
+	// through the naive tree-walk interpreter vs the cost-based
+	// planner's visited-set rewrite, both uncached. When the naive run
+	// aborts on its step budget, speedup is a lower bound.
+	Planner struct {
+		NaiveBudgetSteps int64   `json:"naive_budget_steps"`
+		NaiveMS          float64 `json:"naive_ms"`
+		NaiveAborted     bool    `json:"naive_aborted"`
+		PlannedColdMS    float64 `json:"planned_cold_ms"`
+		PlannedWarmMS    float64 `json:"planned_warm_ms"`
+		Rows             int     `json:"rows"`
+		Rewrites         int     `json:"rewrites"`
+		Speedup          float64 `json:"speedup"`
+	} `json:"planner"`
 }
 
 // cacheRatio is one query batch's page-cache outcome, aggregated over
@@ -600,9 +725,8 @@ func (b *bench) observability(r *smokeResult) error {
 // pool against a serial run, and concurrent warm reads against a
 // single-shard (old single-mutex) page cache vs the striped default.
 // With -out, the result is also written as JSON.
-func (b *bench) smoke() error {
+func (b *bench) smoke(r *smokeResult) error {
 	fmt.Println("== Parallelism smoke ==")
-	var r smokeResult
 	r.GOMAXPROCS = runtime.GOMAXPROCS(0)
 
 	// Extraction: best-of-3 serial vs best-of-3 parallel, same workload.
@@ -694,10 +818,10 @@ func (b *bench) smoke() error {
 	fmt.Printf("warm reads: 1 shard %s ms vs %d shards %s ms (%.2fx, %d goroutines)\n\n",
 		ms(single), store.DefaultCacheShards, ms(sharded), r.WarmReads.Speedup, readers)
 
-	if err := b.observability(&r); err != nil {
+	if err := b.observability(r); err != nil {
 		return err
 	}
-	if err := b.qcacheSmoke(&r); err != nil {
+	if err := b.qcacheSmoke(r); err != nil {
 		return err
 	}
 	fmt.Printf("query cache: %d x %d warm queries, no-cache %s ms vs cached %s ms (%.2fx, hit ratio %.1f%%)\n",
@@ -713,17 +837,6 @@ func (b *bench) smoke() error {
 		r.Observability.QueryDuration.Count, r.Observability.QueryDuration.P50MS,
 		r.Observability.QueryDuration.P95MS,
 		r.Observability.FrontendDuration.Count, r.Observability.FrontendDuration.P50MS)
-
-	if *out != "" {
-		buf, err := json.MarshalIndent(r, "", "  ")
-		if err != nil {
-			return err
-		}
-		if err := os.WriteFile(*out, append(buf, '\n'), 0o644); err != nil {
-			return err
-		}
-		fmt.Printf("wrote %s\n", *out)
-	}
 	return nil
 }
 
@@ -812,6 +925,10 @@ type compareFile struct {
 		Speedup  float64 `json:"speedup"`
 		HitRatio float64 `json:"hit_ratio"`
 	} `json:"qcache"`
+	Planner struct {
+		NaiveAborted  bool    `json:"naive_aborted"`
+		PlannedWarmMS float64 `json:"planned_warm_ms"`
+	} `json:"planner"`
 }
 
 // warmThroughput converts the warm-read measurement into ops/ms so two
@@ -821,6 +938,15 @@ func (f *compareFile) warmThroughput() float64 {
 		return 0
 	}
 	return float64(f.WarmReads.Goroutines*f.WarmReads.OpsPerReader) / f.WarmReads.ShardedMS
+}
+
+// plannerThroughput converts the planned Figure-6 closure latency into
+// queries/sec so higher-is-better holds like the other metrics.
+func (f *compareFile) plannerThroughput() float64 {
+	if f.Planner.PlannedWarmMS <= 0 {
+		return 0
+	}
+	return 1000 / f.Planner.PlannedWarmMS
 }
 
 // runCompare is the CI bench gate: higher-is-better metrics from the new
@@ -883,6 +1009,7 @@ func runCompare(args []string, tol float64) error {
 		{"warm_page_cache_hit_ratio", oldF.Observability.Warm.HitRatio, newF.Observability.Warm.HitRatio, false},
 		{"qcache_speedup", oldF.QCache.Speedup, newF.QCache.Speedup, true},
 		{"qcache_hit_ratio", oldF.QCache.HitRatio, newF.QCache.HitRatio, false},
+		{"planner_fig6_queries_per_s", oldF.plannerThroughput(), newF.plannerThroughput(), true},
 	}
 	fmt.Printf("bench gate: %s -> %s (tolerance %.0f%%)\n", files[0], files[1], tol*100)
 	failed := 0
@@ -898,6 +1025,19 @@ func runCompare(args []string, tol float64) error {
 		default:
 			failed++
 			fmt.Printf("  FAIL %-34s %.3f -> %.3f (%+.1f%%)\n", m.name, m.old, m.new, 100*(m.new/m.old-1))
+		}
+	}
+	// Absolute wall-clock budget on the uncached planned Figure-6
+	// closure: relative tolerance can't catch a planner regression that
+	// slipped into both files, and the acceptance story is precisely
+	// "milliseconds where the naive interpreter aborts".
+	const plannerBudgetMS = 1500
+	if w := newF.Planner.PlannedWarmMS; w > 0 {
+		if w <= plannerBudgetMS {
+			fmt.Printf("  PASS %-34s %.2f ms <= %d ms budget\n", "planner_fig6_wall_clock", w, plannerBudgetMS)
+		} else {
+			failed++
+			fmt.Printf("  FAIL %-34s %.2f ms > %d ms budget\n", "planner_fig6_wall_clock", w, plannerBudgetMS)
 		}
 	}
 	if failed > 0 {

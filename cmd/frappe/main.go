@@ -399,6 +399,7 @@ func cmdQuery(args []string) error {
 	maxRows := fl.Int("max-rows", 0, "row budget (0 = unlimited)")
 	maxSteps := fl.Int64("max-steps", 0, "pattern-expansion budget (0 = unlimited)")
 	profile := fl.Bool("profile", false, "trace execution: per-operator rows, DB hits, wall time")
+	explain := fl.Bool("explain", false, "print the query plan (anchors, closure rewrites) without executing")
 	fl.Parse(args)
 	if fl.NArg() != 1 {
 		return fmt.Errorf("query needs exactly one Cypher string argument")
@@ -409,6 +410,14 @@ func cmdQuery(args []string) error {
 	}
 	defer eng.Close()
 	eng.QueryLimits = query.Limits{MaxRows: *maxRows, MaxSteps: *maxSteps}
+	if *explain {
+		plan, err := eng.ExplainQuery(fl.Arg(0))
+		if err != nil {
+			return err
+		}
+		fmt.Print(plan)
+		return nil
+	}
 	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
 	defer cancel()
 	start := time.Now()

@@ -16,6 +16,7 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"log"
 	"strings"
@@ -27,7 +28,9 @@ import (
 	"frappe/internal/cpp"
 	"frappe/internal/extract"
 	"frappe/internal/graph"
+	"frappe/internal/gstats"
 	"frappe/internal/model"
+	"frappe/internal/plan"
 	"frappe/internal/qcache"
 	"frappe/internal/query"
 	"frappe/internal/store"
@@ -68,6 +71,7 @@ type Snapshot struct {
 	last  *UpdateSummary
 
 	stats *statsCache
+	gs    *gstatsCache
 }
 
 // statsCache computes graph metrics at most once per snapshot.
@@ -76,8 +80,16 @@ type statsCache struct {
 	m    graph.Metrics
 }
 
+// gstatsCache computes (or adopts preloaded) planner statistics at most
+// once per snapshot. st may be pre-seeded from the store directory's
+// gstats.json, in which case the once body keeps it.
+type gstatsCache struct {
+	once sync.Once
+	st   *gstats.Stats
+}
+
 func newSnapshot(src graph.Source, g *graph.Graph, db *store.DB) *Snapshot {
-	s := &Snapshot{src: src, g: g, db: db, stats: &statsCache{}}
+	s := &Snapshot{src: src, g: g, db: db, stats: &statsCache{}, gs: &gstatsCache{}}
 	s.buildFileMaps()
 	return s
 }
@@ -192,7 +204,15 @@ func OpenOptions(dir string, opt Options) (eng *Engine, err error) {
 			eng, err = nil, fmt.Errorf("core: opening %s: %w", dir, e)
 		}
 	}()
-	return newEngine(newSnapshot(db, nil, db)), nil
+	snap := newSnapshot(db, nil, db)
+	// Planner statistics persisted alongside the store (gstats.json) are
+	// adopted as-is, saving the full-graph collection pass on startup.
+	// Absence or corruption is not an error: the first query that needs
+	// them collects from the live graph instead.
+	if st, ok, err := gstats.Load(dir); err == nil && ok {
+		snap.gs.st = st
+	}
+	return newEngine(snap), nil
 }
 
 // Snapshot pins the engine's current state. Callers making several
@@ -215,6 +235,7 @@ func (e *Engine) SetEpoch(epoch int64, last *UpdateSummary) {
 		epoch:        epoch,
 		last:         last,
 		stats:        old.stats,
+		gs:           old.gs,
 	}
 	e.snap.Store(next)
 	mEpochGauge.Set(epoch)
@@ -406,16 +427,65 @@ func (e *Engine) FileIDOf(path string) (int64, bool) {
 	return e.Snapshot().FileIDOf(path)
 }
 
-// Query parses and runs a Cypher query against the snapshot's graph.
+// GraphStats returns the planner statistics for this snapshot,
+// computing them at most once. A snapshot opened from a store directory
+// adopts the persisted gstats.json; otherwise the first caller pays one
+// full-graph collection pass and everyone after reads the cached value.
+// Returns nil when collection hit quarantined store pages — statistics
+// are advisory cost inputs, and a degraded store must keep serving the
+// queries that avoid its bad pages.
+func (e *Snapshot) GraphStats() *gstats.Stats {
+	e.gs.once.Do(func() {
+		if e.gs.st == nil {
+			e.gs.st = collectStatsSafe(e.src)
+		}
+	})
+	return e.gs.st
+}
+
+// collectStatsSafe degrades corruption-class store panics during the
+// statistics scan to nil instead of failing the query that triggered
+// the lazy collection. Any other panic propagates.
+func collectStatsSafe(src graph.Source) (st *gstats.Stats) {
+	defer func() {
+		if r := recover(); r != nil {
+			err, ok := r.(error)
+			if !ok || (!errors.Is(err, store.ErrCorrupt) && !errors.Is(err, store.ErrTruncated)) {
+				panic(r)
+			}
+			st = nil
+		}
+	}()
+	return gstats.Collect(src)
+}
+
+// GraphStats returns the live snapshot's planner statistics.
+func (e *Engine) GraphStats() *gstats.Stats { return e.Snapshot().GraphStats() }
+
+// Query parses, plans, and runs a Cypher query against the snapshot's
+// graph. Planning consults the snapshot's statistics for anchor and
+// expansion-order choices and applies the closure rewrite where legal;
+// plan.Execute falls back to the interpreter for clause shapes the
+// compiled runner does not handle, so every query accepted before
+// planning existed still runs.
 func (e *Snapshot) Query(ctx context.Context, text string, limits query.Limits) (*query.Result, error) {
-	return query.RunLimits(ctx, e.src, text, limits)
+	q, err := query.Parse(text)
+	if err != nil {
+		return nil, err
+	}
+	return plan.Compile(q, e.GraphStats()).Execute(ctx, e.src, limits)
 }
 
 // QueryProfile runs a query with per-operator PROFILE tracing. The
 // profile is non-nil even when the query aborts mid-execution (budget,
-// timeout), covering the operators completed so far.
+// timeout), covering the operators completed so far, and carries the
+// plan's EXPLAIN rendering.
 func (e *Snapshot) QueryProfile(ctx context.Context, text string, limits query.Limits) (*query.Result, *query.Profile, error) {
-	return query.RunProfile(ctx, e.src, text, limits)
+	q, err := query.Parse(text)
+	if err != nil {
+		return nil, nil, err
+	}
+	return plan.Compile(q, e.GraphStats()).ExecuteProfile(ctx, e.src, limits)
 }
 
 // QueryProfile runs a query with PROFILE tracing under the engine's
@@ -462,12 +532,52 @@ func (e *Engine) CachedQuery(ctx context.Context, s *Snapshot, text string, bypa
 	}
 	k := qcache.Key{Epoch: s.Epoch(), Text: text, Limits: e.QueryLimits}
 	return qc.Do(ctx, k, func() (*query.Result, error) {
-		q, err := qc.Plan(text)
+		p, err := e.planFor(qc, s, text)
 		if err != nil {
 			return nil, err
 		}
-		return query.ExecuteLimits(ctx, s.Source(), q, e.QueryLimits)
+		return p.Execute(ctx, s.Source(), e.QueryLimits)
 	})
+}
+
+// planFor returns the compiled plan for text against snapshot s,
+// serving it from the query cache's generation-keyed compiled-plan slot
+// when the cache holds one built against s's current statistics. qc may
+// be nil (no cache installed): the plan is then built from scratch.
+func (e *Engine) planFor(qc *qcache.Cache, s *Snapshot, text string) (*plan.Plan, error) {
+	st := s.GraphStats()
+	if qc == nil {
+		q, err := query.Parse(text)
+		if err != nil {
+			return nil, err
+		}
+		return plan.Compile(q, st), nil
+	}
+	q, err := qc.Plan(text)
+	if err != nil {
+		return nil, err
+	}
+	var gen int64
+	if st != nil {
+		gen = st.Generation
+	}
+	v, err := qc.CompiledPlan(text, gen, func() (any, error) {
+		return plan.Compile(q, st), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.(*plan.Plan), nil
+}
+
+// ExplainQuery compiles text against the live snapshot's statistics and
+// returns the plan's EXPLAIN rendering without executing anything.
+func (e *Engine) ExplainQuery(text string) (string, error) {
+	p, err := e.planFor(e.qc, e.Snapshot(), text)
+	if err != nil {
+		return "", err
+	}
+	return p.Explain(), nil
 }
 
 // Query parses and runs a Cypher query against the engine's live graph,

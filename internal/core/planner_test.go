@@ -1,0 +1,110 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"frappe/internal/graph"
+	"frappe/internal/model"
+	"frappe/internal/qcache"
+)
+
+// skewed builds a function→global contains graph with nFunc functions
+// each containing every one of nGlob globals, so whichever side has the
+// smaller label count is the cheaper anchor.
+func skewed(nFunc, nGlob int) *graph.Graph {
+	g := graph.New()
+	globals := make([]graph.NodeID, nGlob)
+	for i := range globals {
+		globals[i] = g.AddNode(model.NodeGlobal, nil)
+	}
+	for i := 0; i < nFunc; i++ {
+		f := g.AddNode(model.NodeFunction, nil)
+		for _, v := range globals {
+			g.AddEdge(f, v, model.EdgeContains, nil)
+		}
+	}
+	return g
+}
+
+// TestSwapInvalidatesCompiledPlans is the regression test for the
+// compiled-plan staleness bug: a snapshot swap regenerates the graph
+// statistics, and the plan cache must stop serving plans whose cost
+// decisions were made against the retired graph. The two graphs invert
+// the label skew, so a correctly replanned query flips its anchor.
+func TestSwapInvalidatesCompiledPlans(t *testing.T) {
+	const text = `MATCH (f:function) -[:contains]-> (v:global) RETURN distinct f`
+
+	e := FromGraph(skewed(200, 3))
+	e.SetQueryCache(qcache.New(qcache.Config{}))
+
+	gen1 := e.GraphStats().Generation
+	explain1, err := e.ExplainQuery(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(explain1, "anchor (v:global) at position 1") {
+		t.Fatalf("skew A should anchor at the 3-node global side:\n%s", explain1)
+	}
+	// A repeat at the same generation is a compiled-plan cache hit.
+	if _, err := e.ExplainQuery(text); err != nil {
+		t.Fatal(err)
+	}
+	if st := e.QueryCacheStats(); st.CompiledHits != 1 {
+		t.Fatalf("compiled hits = %d, want 1\n%+v", st.CompiledHits, st)
+	}
+
+	e.Swap(skewed(3, 200), 2, nil)
+
+	gen2 := e.GraphStats().Generation
+	if gen2 == gen1 {
+		t.Fatalf("statistics generation did not advance across swap (%d)", gen2)
+	}
+	explain2, err := e.ExplainQuery(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(explain2, "anchor (v:global)") {
+		t.Fatalf("stale plan served after swap — skew B anchors at the 3-node function side:\n%s", explain2)
+	}
+	if !strings.Contains(explain2, "stats generation") || explain1 == explain2 {
+		t.Fatalf("plan not rebuilt against new statistics:\nbefore:\n%s\nafter:\n%s", explain1, explain2)
+	}
+	// And the rebuilt plan is itself cached at the new generation.
+	if _, err := e.ExplainQuery(text); err != nil {
+		t.Fatal(err)
+	}
+	if st := e.QueryCacheStats(); st.CompiledHits != 2 || st.CompiledMisses != 2 {
+		t.Fatalf("compiled hits/misses = %d/%d, want 2/2\n%+v", st.CompiledHits, st.CompiledMisses, st)
+	}
+}
+
+// TestPlannedQueryThroughEngine pins that the engine's cached query
+// path executes through the planner: a Figure-6-class unbounded closure
+// that would blow a naive step budget completes under it.
+func TestPlannedQueryThroughEngine(t *testing.T) {
+	// A 12-diamond chain has 2^12 enumerable paths but only 49 nodes.
+	g := graph.New()
+	cur := g.AddNode(model.NodeFunction, graph.P(model.PropShortName, "root"))
+	for i := 0; i < 12; i++ {
+		a := g.AddNode(model.NodeFunction, nil)
+		b := g.AddNode(model.NodeFunction, nil)
+		join := g.AddNode(model.NodeFunction, nil)
+		g.AddEdge(cur, a, model.EdgeCalls, nil)
+		g.AddEdge(cur, b, model.EdgeCalls, nil)
+		g.AddEdge(a, join, model.EdgeCalls, nil)
+		g.AddEdge(b, join, model.EdgeCalls, nil)
+		cur = join
+	}
+	e := FromGraph(g)
+	e.SetQueryCache(qcache.New(qcache.Config{}))
+	e.QueryLimits.MaxSteps = 1000 // far under the 2^12 path count
+
+	res, err := e.Query(ctx, `START n=node:node_auto_index('short_name: root') MATCH n -[:calls*]-> m RETURN count(distinct m)`)
+	if err != nil {
+		t.Fatalf("planned closure under tight budget: %v", err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0][0].Scalar.AsInt() != 36 {
+		t.Fatalf("unexpected result: %+v", res.Rows)
+	}
+}

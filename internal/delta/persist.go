@@ -5,6 +5,7 @@ import (
 
 	"frappe/internal/atomicfile"
 	"frappe/internal/graph"
+	"frappe/internal/gstats"
 	"frappe/internal/store"
 )
 
@@ -24,6 +25,13 @@ func PersistUpdate(dir string, s *Session, g *graph.Graph, rec Record) error {
 		return err
 	}
 	if err := s.StageState(c); err != nil {
+		return err
+	}
+	// Graph statistics ride in the same commit so the planner's cost
+	// inputs always describe the store files next to them. Collect is
+	// deterministic over the graph, so an incrementally built epoch and
+	// a from-scratch rebuild of it stage byte-identical statistics.
+	if err := gstats.Stage(c, gstats.Collect(g)); err != nil {
 		return err
 	}
 	line, err := json.Marshal(rec)
@@ -47,6 +55,13 @@ func PersistIndex(dir string, s *Session, g *graph.Graph, rec Record) error {
 		return err
 	}
 	if err := s.StageState(c); err != nil {
+		return err
+	}
+	// Graph statistics ride in the same commit so the planner's cost
+	// inputs always describe the store files next to them. Collect is
+	// deterministic over the graph, so an incrementally built epoch and
+	// a from-scratch rebuild of it stage byte-identical statistics.
+	if err := gstats.Stage(c, gstats.Collect(g)); err != nil {
 		return err
 	}
 	line, err := json.Marshal(rec)

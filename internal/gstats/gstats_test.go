@@ -1,0 +1,136 @@
+package gstats
+
+import (
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"frappe/internal/atomicfile"
+	"frappe/internal/graph"
+	"frappe/internal/model"
+)
+
+// starGraph builds a hub function calling n leaf functions, plus one
+// struct node with no edges.
+func starGraph(n int) *graph.Graph {
+	g := graph.New()
+	hub := g.AddNode(model.NodeFunction, graph.P(model.PropShortName, "hub"))
+	for i := 0; i < n; i++ {
+		leaf := g.AddNode(model.NodeFunction, nil)
+		g.AddEdge(hub, leaf, model.EdgeCalls, nil)
+	}
+	g.AddNode(model.NodeStruct, nil)
+	return g
+}
+
+func TestCollectCounts(t *testing.T) {
+	g := starGraph(8)
+	st := Collect(g)
+	if st.Nodes != 10 || st.Edges != 8 {
+		t.Fatalf("nodes=%d edges=%d, want 10/8", st.Nodes, st.Edges)
+	}
+	if st.NodesByType[string(model.NodeFunction)] != 9 {
+		t.Fatalf("function count = %d, want 9", st.NodesByType[string(model.NodeFunction)])
+	}
+	if st.NodesByType[string(model.NodeStruct)] != 1 {
+		t.Fatalf("struct count = %d, want 1", st.NodesByType[string(model.NodeStruct)])
+	}
+	if st.EdgesByType[string(model.EdgeCalls)] != 8 {
+		t.Fatalf("calls count = %d, want 8", st.EdgesByType[string(model.EdgeCalls)])
+	}
+	out := st.Degrees[DegreeKey(model.NodeFunction, model.EdgeCalls, true)]
+	if out == nil || out.Nodes != 1 || out.Edges != 8 || out.Max != 8 {
+		t.Fatalf("out summary = %+v, want 1 node / 8 edges / max 8", out)
+	}
+	in := st.Degrees[DegreeKey(model.NodeFunction, model.EdgeCalls, false)]
+	if in == nil || in.Nodes != 8 || in.Edges != 8 || in.Max != 1 {
+		t.Fatalf("in summary = %+v, want 8 nodes / 8 edges / max 1", in)
+	}
+	// 8 leaves at in-degree 1: p50 and p90 both land in bucket 0.
+	if in.P50 != 1 || in.P90 != 1 {
+		t.Fatalf("in p50=%d p90=%d, want 1/1", in.P50, in.P90)
+	}
+	if out.P50 != 8 || out.P90 != 8 {
+		t.Fatalf("out p50=%d p90=%d, want 8/8 (single node, capped at max)", out.P50, out.P90)
+	}
+}
+
+func TestGenerationsAdvance(t *testing.T) {
+	g := starGraph(2)
+	a, b := Collect(g), Collect(g)
+	if a.Generation == b.Generation {
+		t.Fatalf("two collections share generation %d", a.Generation)
+	}
+}
+
+func TestLabelCount(t *testing.T) {
+	st := Collect(starGraph(3))
+	if got := st.LabelCount(string(model.NodeFunction)); got != 4 {
+		t.Fatalf("LabelCount(function) = %d, want 4", got)
+	}
+	// Grouped label: functions are symbols, the struct node is not.
+	sym := st.LabelCount("symbol")
+	if sym != 4 {
+		t.Fatalf("LabelCount(symbol) = %d, want 4", sym)
+	}
+	if got := st.LabelCount("no_such_label"); got != st.Nodes {
+		t.Fatalf("LabelCount(unknown) = %d, want full scan %d", got, st.Nodes)
+	}
+}
+
+func TestAvgDegree(t *testing.T) {
+	st := Collect(starGraph(9)) // 10 functions, hub out-degree 9
+	got := st.AvgDegree(string(model.NodeFunction), model.EdgeCalls, true)
+	if got != 0.9 {
+		t.Fatalf("AvgDegree(function,calls,out) = %v, want 0.9", got)
+	}
+	if g := st.AvgDegree("", model.EdgeCalls, true); g <= 0 {
+		t.Fatalf("global AvgDegree = %v, want > 0", g)
+	}
+}
+
+func TestStageLoadRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	g := starGraph(5)
+	st := Collect(g)
+
+	c, err := atomicfile.NewCommit(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Stage(c, st); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Publish(); err != nil {
+		t.Fatal(err)
+	}
+
+	got, ok, err := Load(dir)
+	if err != nil || !ok {
+		t.Fatalf("Load: ok=%v err=%v", ok, err)
+	}
+	if got.Generation == st.Generation {
+		t.Fatalf("loaded stats reuse generation %d", st.Generation)
+	}
+	got.Generation = st.Generation
+	if !reflect.DeepEqual(got, st) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, st)
+	}
+}
+
+func TestLoadMissing(t *testing.T) {
+	st, ok, err := Load(t.TempDir())
+	if st != nil || ok || err != nil {
+		t.Fatalf("Load(empty) = %v, %v, %v; want nil,false,nil", st, ok, err)
+	}
+}
+
+func TestLoadCorrupt(t *testing.T) {
+	dir := t.TempDir()
+	if err := atomicfile.WriteFile(filepath.Join(dir, FileName), []byte("{nope"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Load(dir); err == nil {
+		t.Fatal("Load(corrupt) succeeded, want error")
+	}
+}

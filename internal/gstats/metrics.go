@@ -1,0 +1,12 @@
+package gstats
+
+import "frappe/internal/obs"
+
+// mStatsRebuilds counts full statistics collections (lazy rebuilds after
+// a snapshot swap, plus index/update-time collection). Named under the
+// planner's frappe_plan_* family because the planner is the consumer.
+var mStatsRebuilds = obs.Default.Counter(
+	"frappe_plan_stats_rebuilds_total",
+	"Full graph-statistics collections (snapshot swaps without persisted stats, plus index/update persists).",
+	nil,
+)

@@ -1,0 +1,188 @@
+package plan_test
+
+import (
+	"strings"
+	"testing"
+
+	"frappe/internal/graph"
+	"frappe/internal/gstats"
+	"frappe/internal/model"
+	"frappe/internal/plan"
+	"frappe/internal/query"
+)
+
+func mustParse(t *testing.T, text string) *query.Query {
+	t.Helper()
+	q, err := query.Parse(text)
+	if err != nil {
+		t.Fatalf("parse %q: %v", text, err)
+	}
+	return q
+}
+
+// TestClosureLegality is the legality table for the closure rewrite:
+// each case states whether the downstream-invariance proof must accept
+// or reject the variable-length expansion.
+func TestClosureLegality(t *testing.T) {
+	cases := []struct {
+		name    string
+		text    string
+		rewrite bool
+	}{
+		{"distinct node", `START n=node(0) MATCH n -[:calls*]-> m RETURN distinct m`, true},
+		{"distinct property", `START n=node(0) MATCH n -[:calls*]-> m RETURN distinct m.short_name`, true},
+		{"bounded depth", `START n=node(0) MATCH n -[:calls*..4]-> m RETURN distinct m`, true},
+		{"zero minimum", `START n=node(0) MATCH n -[:calls*0..]-> m RETURN distinct m`, true},
+		{"reverse direction", `START n=node(0) MATCH n <-[:calls*]- m RETURN distinct m`, true},
+		{"undirected zero minimum", `START n=node(0) MATCH n -[:calls*0..]- m RETURN distinct m`, true},
+		{"undirected start membership", `START n=node(0) MATCH n -[:calls*]- m RETURN distinct m`, false},
+		{"count distinct", `START n=node(0) MATCH n -[:calls*]-> m RETURN count(distinct m)`, true},
+		{"min max", `START n=node(0) MATCH n -[:calls*]-> m RETURN min(m.short_name), max(m.short_name)`, true},
+		{"collect distinct", `START n=node(0) MATCH n -[:calls*]-> m RETURN collect(distinct m.short_name)`, true},
+		{"where is transparent", `START n=node(0) MATCH n -[:calls*]-> m WHERE m.short_name = 'x' RETURN distinct m`, true},
+		{"with distinct then more", `START n=node(0) MATCH n -[:calls*]-> m WITH distinct m RETURN m.short_name ORDER BY m.short_name`, true},
+
+		{"non-distinct return", `START n=node(0) MATCH n -[:calls*]-> m RETURN m`, false},
+		{"count star", `START n=node(0) MATCH n -[:calls*]-> m RETURN count(*)`, false},
+		{"count without distinct", `START n=node(0) MATCH n -[:calls*]-> m RETURN count(m)`, false},
+		{"sum without distinct", `START n=node(0) MATCH n -[:calls*]-> m RETURN sum(m.use_start_line)`, false},
+		{"min hops two", `START n=node(0) MATCH n -[:calls*2..]-> m RETURN distinct m`, false},
+		{"rel variable observes paths", `START n=node(0) MATCH n -[r:calls*]-> m RETURN distinct m`, false},
+		{"path variable observes paths", `START n=node(0) MATCH p = n -[:calls*]-> m RETURN distinct m`, false},
+		{"limit selects by order", `START n=node(0) MATCH n -[:calls*]-> m RETURN distinct m LIMIT 5`, false},
+		{"skip selects by order", `START n=node(0) MATCH n -[:calls*]-> m RETURN distinct m SKIP 2`, false},
+		{"second match intervenes", `START n=node(0) MATCH n -[:calls*]-> m MATCH m -[:contains]-> k RETURN distinct k`, false},
+		{"multi-pattern match shares edge set", `START n=node(0) MATCH n -[:calls*]-> m, n -[:calls]-> k RETURN distinct m, k`, false},
+		{"single hop is not varlen", `START n=node(0) MATCH n -[:calls]-> m RETURN distinct m`, false},
+		{"shortest path has its own executor", `START n=node(0), m=node(1) MATCH p = shortestPath(n -[:calls*]-> m) RETURN distinct m`, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p := plan.Compile(mustParse(t, tc.text), nil)
+			if got := p.Rewrites > 0; got != tc.rewrite {
+				t.Fatalf("rewrite=%v, want %v\n%s", got, tc.rewrite, p.Explain())
+			}
+		})
+	}
+}
+
+// skewedGraph builds a graph where anchoring a (f:function)-[:contains]->(v:global)
+// pattern at the variable side is clearly cheaper: many functions, few
+// variables, and contains fan-out concentrated on the function side.
+func skewedGraph(t *testing.T) (*graph.Graph, *gstats.Stats) {
+	t.Helper()
+	g := graph.New()
+	vars := make([]graph.NodeID, 3)
+	for i := range vars {
+		vars[i] = g.AddNode(model.NodeGlobal, nil)
+	}
+	for i := 0; i < 200; i++ {
+		f := g.AddNode(model.NodeFunction, nil)
+		for _, v := range vars {
+			g.AddEdge(f, v, model.EdgeContains, nil)
+		}
+	}
+	return g, gstats.Collect(g)
+}
+
+func TestAnchorChoicePrefersSmallLabel(t *testing.T) {
+	_, st := skewedGraph(t)
+	q := mustParse(t, `MATCH (f:function) -[:contains]-> (v:global) RETURN distinct f`)
+	p := plan.Compile(q, st)
+	if len(p.Hints) != 1 || len(p.Hints[0]) != 1 {
+		t.Fatalf("expected one hint, got %+v", p.Hints)
+	}
+	if p.Hints[0][0].Anchor != 1 {
+		t.Fatalf("anchor = %d, want 1 (variable side)\n%s", p.Hints[0][0].Anchor, p.Explain())
+	}
+}
+
+func TestBoundVariableBeatsCostModel(t *testing.T) {
+	_, st := skewedGraph(t)
+	// f is bound by the START clause; the planner must not override a
+	// bound seed with a scan, however cheap.
+	q := mustParse(t, `START f=node(3) MATCH f -[:contains]-> (v:global) RETURN distinct v`)
+	p := plan.Compile(q, st)
+	if p.Hints[0][0].Anchor != 0 {
+		t.Fatalf("anchor = %d, want 0 (bound var wins)\n%s", p.Hints[0][0].Anchor, p.Explain())
+	}
+}
+
+func TestAnchorPrefersIndexLookup(t *testing.T) {
+	// 1:1 function→global shape: both label scans cost ~200, but the
+	// indexed property seed is near-constant with fan-out 1 behind it.
+	// (In skewedGraph the globals are high-in-degree hubs and a label
+	// scan legitimately beats expanding backwards from the index seed.)
+	g := graph.New()
+	for i := 0; i < 200; i++ {
+		f := g.AddNode(model.NodeFunction, nil)
+		v := g.AddNode(model.NodeGlobal, graph.P(model.PropShortName, "g"))
+		g.AddEdge(f, v, model.EdgeContains, nil)
+	}
+	st := gstats.Collect(g)
+	q := mustParse(t, `MATCH (f:function) -[:contains]-> (v:global{short_name: 'x'}) RETURN distinct f`)
+	p := plan.Compile(q, st)
+	if p.Hints[0][0].Anchor != 1 {
+		t.Fatalf("anchor = %d, want 1 (index lookup)\n%s", p.Hints[0][0].Anchor, p.Explain())
+	}
+	if !strings.Contains(p.Explain(), "index lookup") {
+		t.Fatalf("explain missing index-lookup note:\n%s", p.Explain())
+	}
+}
+
+func TestExplainContent(t *testing.T) {
+	_, st := skewedGraph(t)
+	p := plan.Compile(mustParse(t, `START n=node(0) MATCH n -[:calls*]-> m RETURN distinct m`), st)
+	out := p.Explain()
+	for _, want := range []string{
+		"Plan (stats generation",
+		"1 closure rewrite(s)",
+		"closure rewrite",
+		"visited-set BFS",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("EXPLAIN missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "interpreter fallback") {
+		t.Fatalf("unexpected fallback:\n%s", out)
+	}
+}
+
+func TestFallbackShapes(t *testing.T) {
+	for name, text := range map[string]string{
+		"missing return": `START n=node(0) MATCH n -[:calls]-> m`,
+		"return mid-pipeline": `START n=node(0)
+RETURN n
+UNION
+START m=node(1)
+RETURN m`,
+	} {
+		t.Run(name, func(t *testing.T) {
+			q, err := query.Parse(text)
+			if err != nil {
+				t.Skipf("parser rejects %q outright: %v", name, err)
+			}
+			p := plan.Compile(q, nil)
+			if !p.Fallback {
+				t.Fatalf("expected fallback for %q\n%s", text, p.Explain())
+			}
+			if !strings.Contains(p.Explain(), "interpreter fallback") {
+				t.Fatalf("EXPLAIN missing fallback marker:\n%s", p.Explain())
+			}
+		})
+	}
+}
+
+// TestGenerationStamped pins the plan-cache contract: the plan records
+// the generation of the statistics it was compiled against.
+func TestGenerationStamped(t *testing.T) {
+	_, st := skewedGraph(t)
+	p := plan.Compile(mustParse(t, `MATCH (f:function) RETURN distinct f`), st)
+	if p.Generation != st.Generation {
+		t.Fatalf("plan generation %d != stats generation %d", p.Generation, st.Generation)
+	}
+	if p0 := plan.Compile(mustParse(t, `MATCH (f:function) RETURN distinct f`), nil); p0.Generation != 0 {
+		t.Fatalf("nil-stats plan generation = %d, want 0", p0.Generation)
+	}
+}

@@ -26,4 +26,8 @@ var (
 		"Queries whose parsed plan was served from the plan cache.", nil)
 	mPlanMisses = obs.Default.Counter("frappe_qcache_plan_misses_total",
 		"Queries that had to be lexed and parsed.", nil)
+	mCompiledHits = obs.Default.Counter("frappe_qcache_compiled_hits_total",
+		"Queries whose compiled plan was served from the plan cache at a current statistics generation.", nil)
+	mCompiledMisses = obs.Default.Counter("frappe_qcache_compiled_misses_total",
+		"Queries whose compiled plan was (re)built — first sight or stale statistics generation.", nil)
 )

@@ -81,15 +81,17 @@ type Outcome struct {
 // Stats is a point-in-time snapshot of the cache's counters, surfaced
 // by /api/stats alongside the /metrics exposition.
 type Stats struct {
-	Hits          int64 `json:"hits"`
-	Misses        int64 `json:"misses"`
-	Shared        int64 `json:"shared"`
-	Evictions     int64 `json:"evictions"`
-	Invalidations int64 `json:"invalidations"`
-	Bytes         int64 `json:"bytes"`
-	Entries       int64 `json:"entries"`
-	PlanHits      int64 `json:"planHits"`
-	PlanMisses    int64 `json:"planMisses"`
+	Hits           int64 `json:"hits"`
+	Misses         int64 `json:"misses"`
+	Shared         int64 `json:"shared"`
+	Evictions      int64 `json:"evictions"`
+	Invalidations  int64 `json:"invalidations"`
+	Bytes          int64 `json:"bytes"`
+	Entries        int64 `json:"entries"`
+	PlanHits       int64 `json:"planHits"`
+	PlanMisses     int64 `json:"planMisses"`
+	CompiledHits   int64 `json:"compiledHits"`
+	CompiledMisses int64 `json:"compiledMisses"`
 }
 
 // Cache is a snapshot-keyed query cache: plan LRU + byte-budgeted
@@ -108,9 +110,10 @@ type Cache struct {
 	plans   map[string]*list.Element
 	planLRU *list.List // values are *planEntry
 
-	hits, misses, shared     atomic.Int64
-	evictions, invalidations atomic.Int64
-	planHits, planMisses     atomic.Int64
+	hits, misses, shared         atomic.Int64
+	evictions, invalidations     atomic.Int64
+	planHits, planMisses         atomic.Int64
+	compiledHits, compiledMisses atomic.Int64
 }
 
 type resultEntry struct {
@@ -123,6 +126,14 @@ type resultEntry struct {
 type planEntry struct {
 	text string
 	q    *query.Query
+	// Compiled plan built against one statistics generation. Unlike the
+	// parse, compilation reads graph statistics, so the cached value is
+	// only valid while its generation matches: a snapshot swap rebuilds
+	// statistics, and serving the old plan would keep anchor and
+	// expansion-order choices tuned to a graph that no longer exists.
+	// Stored opaquely so qcache does not import the planner.
+	compiled    any
+	compiledGen int64
 }
 
 // call is one in-flight leader execution followers can wait on.
@@ -189,6 +200,47 @@ func (c *Cache) Plan(text string) (*query.Query, error) {
 	}
 	c.mu.Unlock()
 	return q, nil
+}
+
+// CompiledPlan returns the compiled execution plan cached for text,
+// rebuilding it when the cached copy was compiled against a different
+// statistics generation than gen. This is the compiled analogue of
+// Plan: parsing is snapshot-independent and cached forever, but a
+// compiled plan bakes in cost decisions (anchor choice, expansion
+// order) read from the graph statistics, so it is only served while the
+// statistics that justified it are current. The value is opaque to the
+// cache (the planner imports qcache's caller, not vice versa). A build
+// error is returned and not cached. Texts never seen by Plan are built
+// but not cached — the plan LRU is populated by parsing, which every
+// caller does first.
+func (c *Cache) CompiledPlan(text string, gen int64, build func() (any, error)) (any, error) {
+	c.mu.Lock()
+	if e, ok := c.plans[text]; ok {
+		ent := e.Value.(*planEntry)
+		if ent.compiled != nil && ent.compiledGen == gen {
+			c.planLRU.MoveToFront(e)
+			compiled := ent.compiled
+			c.mu.Unlock()
+			c.compiledHits.Add(1)
+			mCompiledHits.Inc()
+			return compiled, nil
+		}
+	}
+	c.mu.Unlock()
+
+	c.compiledMisses.Add(1)
+	mCompiledMisses.Inc()
+	compiled, err := build()
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	if e, ok := c.plans[text]; ok {
+		ent := e.Value.(*planEntry)
+		ent.compiled, ent.compiledGen = compiled, gen
+	}
+	c.mu.Unlock()
+	return compiled, nil
 }
 
 // Do serves k from the result cache, or joins an in-flight identical
@@ -312,15 +364,17 @@ func (c *Cache) Stats() Stats {
 	bytes, entries := c.bytes, int64(len(c.results))
 	c.mu.Unlock()
 	return Stats{
-		Hits:          c.hits.Load(),
-		Misses:        c.misses.Load(),
-		Shared:        c.shared.Load(),
-		Evictions:     c.evictions.Load(),
-		Invalidations: c.invalidations.Load(),
-		Bytes:         bytes,
-		Entries:       entries,
-		PlanHits:      c.planHits.Load(),
-		PlanMisses:    c.planMisses.Load(),
+		Hits:           c.hits.Load(),
+		Misses:         c.misses.Load(),
+		Shared:         c.shared.Load(),
+		Evictions:      c.evictions.Load(),
+		Invalidations:  c.invalidations.Load(),
+		Bytes:          bytes,
+		Entries:        entries,
+		PlanHits:       c.planHits.Load(),
+		PlanMisses:     c.planMisses.Load(),
+		CompiledHits:   c.compiledHits.Load(),
+		CompiledMisses: c.compiledMisses.Load(),
 	}
 }
 

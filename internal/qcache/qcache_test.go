@@ -370,3 +370,71 @@ func TestLeaderPanicConvertedToError(t *testing.T) {
 		t.Fatalf("retry after panic: res=%v err=%v", res, err)
 	}
 }
+
+// TestCompiledPlanGenerationKeyed pins the invalidation contract: a
+// compiled plan is served only while the statistics generation it was
+// built against is current, and a generation change forces a rebuild
+// (the regression where a snapshot swap kept serving plans tuned to the
+// retired graph's degree distribution).
+func TestCompiledPlanGenerationKeyed(t *testing.T) {
+	c := New(Config{})
+	const text = `START n=node(0) RETURN n`
+	if _, err := c.Plan(text); err != nil {
+		t.Fatal(err)
+	}
+	var builds atomic.Int64
+	build := func() (any, error) {
+		return fmt.Sprintf("plan-%d", builds.Add(1)), nil
+	}
+
+	p1, err := c.CompiledPlan(text, 1, build)
+	if err != nil || p1 != "plan-1" {
+		t.Fatalf("first build: %v, %v", p1, err)
+	}
+	if p, _ := c.CompiledPlan(text, 1, build); p != "plan-1" {
+		t.Fatalf("same generation rebuilt: got %v", p)
+	}
+	if p, _ := c.CompiledPlan(text, 2, build); p != "plan-2" {
+		t.Fatalf("new generation must rebuild: got %v", p)
+	}
+	if p, _ := c.CompiledPlan(text, 2, build); p != "plan-2" {
+		t.Fatalf("rebuilt plan not cached: got %v", p)
+	}
+	// Going back to a stale generation must also rebuild — the cache
+	// keys on exact generation match, not monotonicity.
+	if p, _ := c.CompiledPlan(text, 1, build); p != "plan-3" {
+		t.Fatalf("stale generation served: got %v", p)
+	}
+	if got := c.Stats().CompiledHits; got != 2 {
+		t.Fatalf("compiled hits = %d, want 2", got)
+	}
+}
+
+func TestCompiledPlanBuildErrorNotCached(t *testing.T) {
+	c := New(Config{})
+	const text = `START n=node(0) RETURN n`
+	if _, err := c.Plan(text); err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("boom")
+	if _, err := c.CompiledPlan(text, 1, func() (any, error) { return nil, boom }); !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	p, err := c.CompiledPlan(text, 1, func() (any, error) { return "ok", nil })
+	if err != nil || p != "ok" {
+		t.Fatalf("after error: %v, %v", p, err)
+	}
+}
+
+func TestCompiledPlanUnparsedTextNotCached(t *testing.T) {
+	c := New(Config{})
+	var builds atomic.Int64
+	build := func() (any, error) { return builds.Add(1), nil }
+	// Text never seen by Plan: built every time, never cached.
+	if p, _ := c.CompiledPlan("unseen", 1, build); p != int64(1) {
+		t.Fatalf("got %v", p)
+	}
+	if p, _ := c.CompiledPlan("unseen", 1, build); p != int64(2) {
+		t.Fatalf("uncached path should rebuild, got %v", p)
+	}
+}

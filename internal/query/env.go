@@ -1,0 +1,135 @@
+package query
+
+import (
+	"context"
+	"fmt"
+
+	"frappe/internal/graph"
+)
+
+// PatternHint carries the planner's per-pattern execution decisions
+// into the match machinery. The zero value (Anchor 0 is only consulted
+// for unbound patterns, and position 0 is the naive default) means "no
+// hint"; the executor validates every field, so a stale or malformed
+// hint degrades to naive behaviour instead of wrong answers.
+type PatternHint struct {
+	// Anchor is the node position to seed an unbound pattern from
+	// (cheapest scan/lookup per the cost model). Ignored when any
+	// pattern variable is already bound — one seed beats any scan.
+	Anchor int
+	// LeftFirst expands the jobs left of the anchor before the ones to
+	// its right, when the left chain has the smaller estimated fan-out.
+	LeftFirst bool
+	// Closure marks relationship positions (by index into Pattern.Rels)
+	// to execute as a visited-set transitive closure instead of
+	// path enumeration. Only legal when the planner proved downstream
+	// clauses are multiplicity-invariant; the executor additionally
+	// refuses it for patterns that bind the relationship or path.
+	Closure []bool
+}
+
+// Env is one query run's execution environment: the interpreter's
+// clause primitives (START/MATCH/WHERE/projection), step/row budgets,
+// and optional PROFILE collection, exposed so the cost-based planner
+// (internal/plan) can compile clause pipelines that bypass run()'s
+// tree-walk while reusing the exact same operator semantics. An Env is
+// single-use and not safe for concurrent use; compiled plans create one
+// per execution.
+type Env struct{ ex *exec }
+
+// NewEnv builds an execution environment. With profile true, per-op
+// traces can be appended to Profile() and Steps()/FinishProfile fill in
+// the totals.
+func NewEnv(ctx context.Context, src graph.Source, lim Limits, profile bool) *Env {
+	ex := &exec{src: src, ctx: ctx, limits: lim}
+	if profile {
+		ex.prof = &Profile{}
+	}
+	return &Env{ex: ex}
+}
+
+// InitialRows is the unit input of a clause pipeline: one empty row.
+func (e *Env) InitialRows() []Row { return []Row{{}} }
+
+// SetFastPredicates enables the visited-set fast path for
+// reachability-shaped WHERE pattern predicates (see reachabilityHolds).
+// Planned execution turns it on; the naive interpreter never does.
+func (e *Env) SetFastPredicates(on bool) { e.ex.fastPred = on }
+
+// Start applies a START clause.
+func (e *Env) Start(rows []Row, sc *StartClause) ([]Row, error) {
+	return e.ex.applyStart(rows, sc)
+}
+
+// Match applies a MATCH clause under the planner's per-pattern hints
+// (nil = naive).
+func (e *Env) Match(rows []Row, mc *MatchClause, hints []PatternHint) ([]Row, error) {
+	return e.ex.applyMatchHints(rows, mc, hints)
+}
+
+// Where applies a WHERE clause.
+func (e *Env) Where(rows []Row, wc *WhereClause) ([]Row, error) {
+	return e.ex.applyWhere(rows, wc)
+}
+
+// Project applies a WITH/RETURN projection and returns the projected
+// rows plus the output column names.
+func (e *Env) Project(rows []Row, items []ReturnItem, distinct bool, order []OrderKey, skip, limit Expr) ([]Row, []string, error) {
+	return e.ex.applyProjection(rows, items, distinct, order, skip, limit)
+}
+
+// Steps reports the pattern-expansion steps charged so far.
+func (e *Env) Steps() int64 { return e.ex.steps }
+
+// Profile returns the in-progress PROFILE trace (nil unless the Env was
+// created with profile=true). Callers append OpProfile entries per
+// compiled operator.
+func (e *Env) Profile() *Profile { return e.ex.prof }
+
+// BuildResult assembles a Result from projected rows in column order
+// and stamps the step count, mirroring the interpreter's RETURN
+// handling.
+func (e *Env) BuildResult(rows []Row, cols []string) *Result {
+	res := &Result{Columns: cols, Steps: e.ex.steps}
+	for _, r := range rows {
+		vals := make([]Val, len(cols))
+		for j, c := range cols {
+			vals[j] = r[c]
+		}
+		res.Rows = append(res.Rows, vals)
+	}
+	return res
+}
+
+// AbortError converts a recovered panic value into the interpreter's
+// query-aborted error, so compiled execution reports panics identically
+// to executeLimits.
+func AbortError(r any) error {
+	if e, ok := r.(error); ok {
+		return fmt.Errorf("cypher: query aborted: %w", e)
+	}
+	return fmt.Errorf("cypher: query aborted: %v", r)
+}
+
+// RecordQueryMetrics feeds one finished execution into the
+// frappe_query_* instruments; compiled plans call it from the same
+// position executeLimits does.
+func RecordQueryMetrics(res *Result, err error, millis float64, steps int64) {
+	recordQueryMetrics(res, err, millis, steps)
+}
+
+// IsAggregate reports whether an expression contains an aggregate call
+// (exported for the planner's multiplicity-invariance analysis).
+func IsAggregate(e Expr) bool { return isAggregate(e) }
+
+// OperatorInfo renders a clause as PROFILE's (operator, detail) pair;
+// compiled plans reuse it so planned and interpreted traces line up.
+func OperatorInfo(c Clause) (op, detail string) { return operatorInfo(c) }
+
+// PatternText renders a pattern the way PROFILE details do (exported
+// for EXPLAIN output).
+func PatternText(p *Pattern) string { return patternText(p) }
+
+// NodePatternText renders one node pattern (exported for EXPLAIN
+// output).
+func NodePatternText(n *NodePattern) string { return nodePatternText(n) }

@@ -92,6 +92,12 @@ type exec struct {
 	limits Limits
 	steps  int64
 	prof   *Profile // nil unless PROFILE requested; hot paths never touch it
+	// fastPred enables the visited-set fast path for reachability-shaped
+	// WHERE pattern predicates. Only planned execution (internal/plan via
+	// Env) turns it on; the plain interpreter stays Cypher-naive so
+	// planned-vs-naive equivalence tests compare genuinely different
+	// execution strategies.
+	fastPred bool
 }
 
 // tick periodically checks the context and enforces the step budget; it
@@ -247,10 +253,16 @@ func (ex *exec) applyWhere(rows []Row, wc *WhereClause) ([]Row, error) {
 type edgeSet map[graph.EdgeID]bool
 
 func (ex *exec) applyMatch(rows []Row, mc *MatchClause) ([]Row, error) {
+	return ex.applyMatchHints(rows, mc, nil)
+}
+
+// applyMatchHints is applyMatch with optional planner hints, one per
+// pattern (nil or short slices mean "no hint": naive behaviour).
+func (ex *exec) applyMatchHints(rows []Row, mc *MatchClause, hints []PatternHint) ([]Row, error) {
 	var out []Row
 	for _, row := range rows {
 		matched := false
-		err := ex.matchPatterns(row, mc.Patterns, edgeSet{}, func(r Row) error {
+		err := ex.matchPatterns(row, mc.Patterns, hints, edgeSet{}, func(r Row) error {
 			if err := ex.checkRows(len(out) + 1); err != nil {
 				return err
 			}
@@ -292,19 +304,29 @@ func (ex *exec) applyMatch(rows []Row, mc *MatchClause) ([]Row, error) {
 
 // matchPatterns matches the pattern list in order, sharing relationship
 // uniqueness across patterns of the same MATCH (Cypher semantics).
-func (ex *exec) matchPatterns(row Row, pats []*Pattern, used edgeSet, emit func(Row) error) error {
+func (ex *exec) matchPatterns(row Row, pats []*Pattern, hints []PatternHint, used edgeSet, emit func(Row) error) error {
 	if len(pats) == 0 {
 		return emit(row)
 	}
-	return ex.matchOne(row, pats[0], used, func(r Row) error {
-		return ex.matchPatterns(r, pats[1:], used, emit)
+	var hint *PatternHint
+	var rest []PatternHint
+	if len(hints) > 0 {
+		hint, rest = &hints[0], hints[1:]
+	}
+	return ex.matchOne(row, pats[0], hint, used, func(r Row) error {
+		return ex.matchPatterns(r, pats[1:], rest, used, emit)
 	})
 }
 
 // patternHolds evaluates a pattern predicate (WHERE (n)<-[...]-()).
 func (ex *exec) patternHolds(pat *Pattern, row Row) (bool, error) {
+	if ex.fastPred {
+		if ok, handled, err := ex.reachabilityHolds(pat, row); handled {
+			return ok, err
+		}
+	}
 	found := false
-	err := ex.matchOne(row, pat, edgeSet{}, func(Row) error {
+	err := ex.matchOne(row, pat, nil, edgeSet{}, func(Row) error {
 		found = true
 		return errStopMatch
 	})
@@ -312,6 +334,143 @@ func (ex *exec) patternHolds(pat *Pattern, row Row) (bool, error) {
 		return false, err
 	}
 	return found, nil
+}
+
+// reachabilityHolds decides a reachability-shaped pattern predicate —
+// one variable-length relationship whose bindings cannot escape (no rel
+// or path variable) anchored at >= 1 bound endpoint — with an
+// early-exit visited-set BFS instead of path enumeration. An existence
+// check needs one witness, and a simple path exists iff a BFS walk
+// reaches the endpoint, so this is exact. handled is false when the
+// pattern is not of that shape and the enumerating fallback must
+// decide.
+func (ex *exec) reachabilityHolds(pat *Pattern, row Row) (ok, handled bool, err error) {
+	if pat.Shortest || pat.AllShortest || pat.PathVar != "" || len(pat.Rels) != 1 {
+		return false, false, nil
+	}
+	rel := pat.Rels[0]
+	if !rel.VarLen || rel.MinHops > 1 || rel.Var != "" {
+		return false, false, nil
+	}
+	// Undirected walks can re-reach the start node only by reusing an
+	// edge (s—x—s), which Cypher's relationship uniqueness forbids, so
+	// BFS would over-claim start-to-start reachability. Directed closed
+	// walks always contain a simple cycle through the start, and a
+	// zero-hop minimum admits the start unconditionally, so those stay.
+	if !rel.ToRight && !rel.ToLeft && rel.MinHops != 0 {
+		return false, false, nil
+	}
+	left, right := pat.Nodes[0], pat.Nodes[1]
+	leftID, leftBound, leftBad := boundNode(row, left)
+	rightID, rightBound, rightBad := boundNode(row, right)
+	if leftBad || rightBad {
+		// A pattern variable bound to a non-node can never match.
+		return false, true, nil
+	}
+	if !leftBound && !rightBound {
+		return false, false, nil
+	}
+
+	// Walk from a bound endpoint; when only the right end is bound the
+	// arrow directions flip because we traverse against them.
+	start, startNP, targNP := leftID, left, right
+	targID, targBound := rightID, rightBound
+	outgoing, incoming := true, true
+	if leftBound {
+		switch {
+		case rel.ToRight:
+			outgoing, incoming = true, false
+		case rel.ToLeft:
+			outgoing, incoming = false, true
+		}
+	} else {
+		start, startNP, targNP = rightID, right, left
+		targID, targBound = 0, false
+		switch {
+		case rel.ToRight:
+			outgoing, incoming = false, true
+		case rel.ToLeft:
+			outgoing, incoming = true, false
+		}
+	}
+	if !ex.nodeMatches(startNP, start) {
+		return false, true, nil
+	}
+	if targBound && !ex.nodeMatches(targNP, targID) {
+		return false, true, nil
+	}
+	if rel.MinHops == 0 {
+		if targBound {
+			if targID == start {
+				return true, true, nil
+			}
+		} else if ex.nodeMatches(targNP, start) {
+			return true, true, nil
+		}
+	}
+
+	opts := traversal.Options{MaxDepth: rel.MaxHops, Types: relTypeSet(rel)}
+	switch {
+	case outgoing && incoming:
+		opts.Direction = traversal.Both
+	case outgoing:
+		opts.Direction = traversal.Out
+	default:
+		opts.Direction = traversal.In
+	}
+	var budgetErr error
+	opts.EdgeFilter = func(e graph.EdgeID) bool {
+		if budgetErr != nil {
+			return false
+		}
+		if err := ex.tick(); err != nil {
+			budgetErr = err
+			return false
+		}
+		return ex.relPropsMatch(rel, e)
+	}
+	pred := func(n graph.NodeID) bool { return ex.nodeMatches(targNP, n) }
+	if targBound {
+		pred = func(n graph.NodeID) bool { return n == targID }
+	}
+	_, found, err := traversal.FindReachableCtx(ex.ctx, ex.src, start, opts, pred)
+	if budgetErr != nil {
+		return false, true, budgetErr
+	}
+	if err != nil {
+		return false, true, err
+	}
+	return found, true, nil
+}
+
+// boundNode resolves a node pattern's variable in row: (id, true, false)
+// when bound to a node, bad=true when bound to anything else (null
+// included), in which case the pattern cannot match at all.
+func boundNode(row Row, np *NodePattern) (id graph.NodeID, bound, bad bool) {
+	if np.Var == "" {
+		return 0, false, false
+	}
+	v, ok := row[np.Var]
+	if !ok {
+		return 0, false, false
+	}
+	if v.Kind != ValNode {
+		return 0, false, true
+	}
+	return v.Node, true, false
+}
+
+// relTypeSet lowers a relationship pattern's type alternatives to a
+// traversal type set (nil = all types).
+func relTypeSet(rel *RelPattern) traversal.TypeSet {
+	if len(rel.Types) == 0 {
+		return nil
+	}
+	ts := traversal.TypeSet{}
+	for _, t := range rel.Types {
+		ts[model.EdgeType(strings.ToLower(t))] = true
+	}
+	return ts
 }
 
 // errStopMatch aborts enumeration early (pattern predicates need only one
@@ -322,7 +481,7 @@ var errStopMatch = &Error{Msg: "stop"}
 // with row, calling emit for each. The used set enforces relationship
 // uniqueness; entries added along one solution path are removed on
 // backtrack.
-func (ex *exec) matchOne(row Row, pat *Pattern, used edgeSet, emit func(Row) error) error {
+func (ex *exec) matchOne(row Row, pat *Pattern, hint *PatternHint, used edgeSet, emit func(Row) error) error {
 	if pat.Shortest {
 		return ex.matchShortest(row, pat, emit)
 	}
@@ -338,7 +497,8 @@ func (ex *exec) matchOne(row Row, pat *Pattern, used edgeSet, emit func(Row) err
 		}
 	}
 
-	// Job order: expand rightward from the anchor, then leftward.
+	// Job order: expand rightward from the anchor, then leftward (or
+	// leftward first when the planner estimated that side cheaper).
 	type job struct {
 		relIdx   int
 		knownPos int
@@ -348,12 +508,28 @@ func (ex *exec) matchOne(row Row, pat *Pattern, used edgeSet, emit func(Row) err
 	a := anchor
 	if a < 0 {
 		a = 0
+		// Planner anchor hint: only meaningful when nothing is bound —
+		// a bound variable always wins (one seed beats any scan).
+		if hint != nil && hint.Anchor > 0 && hint.Anchor < len(pat.Nodes) {
+			a = hint.Anchor
+		}
 	}
-	for i := a; i < len(pat.Rels); i++ {
-		jobs = append(jobs, job{relIdx: i, knownPos: i, targPos: i + 1})
+	right := func() {
+		for i := a; i < len(pat.Rels); i++ {
+			jobs = append(jobs, job{relIdx: i, knownPos: i, targPos: i + 1})
+		}
 	}
-	for i := a - 1; i >= 0; i-- {
-		jobs = append(jobs, job{relIdx: i, knownPos: i + 1, targPos: i})
+	left := func() {
+		for i := a - 1; i >= 0; i-- {
+			jobs = append(jobs, job{relIdx: i, knownPos: i + 1, targPos: i})
+		}
+	}
+	if hint != nil && hint.LeftFirst {
+		left()
+		right()
+	} else {
+		right()
+		left()
 	}
 
 	// nodeAt tracks the concrete node at each pattern position for the
@@ -433,6 +609,61 @@ func (ex *exec) matchOne(row Row, pat *Pattern, used edgeSet, emit func(Row) err
 				delete(used, e)
 				return err
 			})
+		}
+
+		// Closure rewrite (planner hint): emit each reachable endpoint
+		// once via a visited-set BFS instead of enumerating every
+		// edge-unique path — the paper's embedded-traversal trick applied
+		// to Cypher execution. The planner only issues the hint when it
+		// proved downstream multiplicity-invariance (internal/plan), and
+		// the guards here keep it inert if a future caller hands a hint
+		// to a pattern whose bindings or shared edge set would observe
+		// the difference.
+		if hint != nil && jb.relIdx < len(hint.Closure) && hint.Closure[jb.relIdx] &&
+			rel.Var == "" && pat.PathVar == "" && len(used) == 0 &&
+			(rel.ToRight || rel.ToLeft || rel.MinHops == 0) {
+			if rel.MinHops == 0 {
+				if err := accept(nil, known, row); err != nil {
+					return err
+				}
+			}
+			opts := traversal.Options{MaxDepth: rel.MaxHops, Types: relTypeSet(rel)}
+			switch {
+			case outgoing && incoming:
+				opts.Direction = traversal.Both
+			case outgoing:
+				opts.Direction = traversal.Out
+			default:
+				opts.Direction = traversal.In
+			}
+			var budgetErr error
+			opts.EdgeFilter = func(e graph.EdgeID) bool {
+				if budgetErr != nil {
+					return false
+				}
+				if err := ex.tick(); err != nil {
+					budgetErr = err
+					return false
+				}
+				return ex.relPropsMatch(rel, e)
+			}
+			ids, err := traversal.TransitiveClosureCtx(ex.ctx, ex.src, known, opts)
+			if budgetErr != nil {
+				return budgetErr
+			}
+			if err != nil {
+				return err
+			}
+			for _, id := range ids {
+				if rel.MinHops == 0 && id == known {
+					// Already emitted by the zero-length match above.
+					continue
+				}
+				if err := accept(nil, id, row); err != nil {
+					return err
+				}
+			}
+			return nil
 		}
 
 		// Variable-length: depth-first path enumeration with relationship

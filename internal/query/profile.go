@@ -18,6 +18,9 @@ type Profile struct {
 	Steps  int64       `json:"steps"`  // total expansion steps (== sum of dbHits)
 	Rows   int64       `json:"rows"`   // result rows produced
 	Millis float64     `json:"millis"` // total wall time
+	// Plan is the planner's EXPLAIN rendering (anchor choices, closure
+	// rewrites, fallbacks). Empty when the naive interpreter ran.
+	Plan string `json:"plan,omitempty"`
 }
 
 // OpProfile is one operator's cost line.
@@ -74,6 +77,13 @@ func (p *Profile) Format() string {
 		}
 	}
 	fmt.Fprintf(&sb, "\nTotal: %d rows, %d db hits, %.3f ms\n", p.Rows, p.Steps, p.Millis)
+	if p.Plan != "" {
+		sb.WriteByte('\n')
+		sb.WriteString(p.Plan)
+		if !strings.HasSuffix(p.Plan, "\n") {
+			sb.WriteByte('\n')
+		}
+	}
 	return sb.String()
 }
 

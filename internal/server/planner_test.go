@@ -1,0 +1,70 @@
+package server
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestQueryExplainField: "explain":true returns the planner's EXPLAIN
+// rendering alongside the rows, without disturbing execution.
+func TestQueryExplainField(t *testing.T) {
+	ts := testServer(t)
+	out := postQuery(t, ts, `{"query": "START n=node:node_auto_index('short_name: pci_read_bases') MATCH n -[:calls*]-> m RETURN distinct m", "explain": true}`)
+	plan, _ := out["plan"].(string)
+	if !strings.Contains(plan, "Plan (stats generation") {
+		t.Fatalf("plan field missing or malformed: %q", plan)
+	}
+	if !strings.Contains(plan, "closure rewrite") {
+		t.Fatalf("figure-6-shaped query not rewritten:\n%s", plan)
+	}
+	if out["count"].(float64) == 0 {
+		t.Fatal("explain must not suppress rows")
+	}
+
+	// Without the flag the field is absent.
+	out = postQuery(t, ts, `{"query": "MATCH (n:module) RETURN distinct n"}`)
+	if _, ok := out["plan"]; ok {
+		t.Fatalf("plan field present without explain: %v", out["plan"])
+	}
+}
+
+// TestProfileCarriesPlan: PROFILE responses embed the EXPLAIN rendering
+// inside the profile rather than the top-level field.
+func TestProfileCarriesPlan(t *testing.T) {
+	ts := testServer(t)
+	out := postQuery(t, ts, `{"query": "MATCH (n:module) RETURN n.short_name", "profile": true}`)
+	prof, _ := out["profile"].(map[string]any)
+	if prof == nil {
+		t.Fatalf("no profile in %v", out)
+	}
+	if plan, _ := prof["plan"].(string); !strings.Contains(plan, "Plan (stats generation") {
+		t.Fatalf("profile.plan missing: %v", prof["plan"])
+	}
+}
+
+// TestStatsPlannerSections: /api/stats exposes the planner counters and
+// the per-snapshot graph statistics the cost model runs on.
+func TestStatsPlannerSections(t *testing.T) {
+	ts := testServer(t)
+	// Run one rewriteable query so the counters are provably non-zero.
+	postQuery(t, ts, `{"query": "START n=node:node_auto_index('short_name: pci_read_bases') MATCH n -[:calls*]-> m RETURN distinct m"}`)
+
+	stats := getJSON(t, ts.URL+"/api/stats", 200)
+	planner, _ := stats["planner"].(map[string]any)
+	if planner == nil {
+		t.Fatalf("no planner section in %v", stats)
+	}
+	if planner["rewrites"].(float64) < 1 {
+		t.Fatalf("planner.rewrites = %v, want >= 1", planner["rewrites"])
+	}
+	gs, _ := stats["graphStats"].(map[string]any)
+	if gs == nil {
+		t.Fatal("no graphStats section")
+	}
+	if gs["nodes"].(float64) != stats["nodes"].(float64) {
+		t.Fatalf("graphStats.nodes = %v, stats.nodes = %v", gs["nodes"], stats["nodes"])
+	}
+	if _, ok := gs["edgesByType"].(map[string]any)["calls"]; !ok {
+		t.Fatalf("graphStats.edgesByType missing calls: %v", gs["edgesByType"])
+	}
+}

@@ -35,7 +35,9 @@ import (
 	"frappe/internal/codemap"
 	"frappe/internal/core"
 	"frappe/internal/graph"
+	"frappe/internal/gstats"
 	"frappe/internal/model"
+	"frappe/internal/plan"
 	"frappe/internal/qcache"
 	"frappe/internal/query"
 	"frappe/internal/store"
@@ -219,6 +221,10 @@ type queryRequest struct {
 	Profile bool `json:"profile,omitempty"`
 	// NoCache forces execution even when the result is cached.
 	NoCache bool `json:"noCache,omitempty"`
+	// Explain includes the planner's EXPLAIN rendering in the response.
+	// Unlike Profile it costs nothing at execution time (the plan is
+	// compiled either way) and does not bypass the cache.
+	Explain bool `json:"explain,omitempty"`
 }
 
 type queryResponse struct {
@@ -233,6 +239,9 @@ type queryResponse struct {
 	// CacheHits (PROFILE only): times this query has been served warm.
 	CacheHits *int64         `json:"cacheHits,omitempty"`
 	Profile   *query.Profile `json:"profile,omitempty"`
+	// Plan is the EXPLAIN rendering (present when the request set
+	// explain; PROFILE responses carry it inside the profile instead).
+	Plan string `json:"plan,omitempty"`
 }
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
@@ -277,6 +286,11 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		CacheHits: cacheHits,
 		Profile:   prof,
 	}
+	if req.Explain && !req.Profile {
+		if plan, perr := s.eng.ExplainQuery(req.Query); perr == nil {
+			resp.Plan = plan
+		}
+	}
 	src := snap.Source()
 	for _, row := range res.Rows {
 		cells := make([]string, len(row))
@@ -304,6 +318,12 @@ type statsResponse struct {
 	// QCache is the query-cache counter snapshot (absent when the engine
 	// serves without a cache).
 	QCache *qcache.Stats `json:"qcache,omitempty"`
+	// Planner is the query planner's counter snapshot (closure rewrites,
+	// interpreter fallbacks, statistics rebuilds).
+	Planner plan.Counters `json:"planner"`
+	// GraphStats is the planner's per-snapshot statistics summary
+	// (absent when computing it would touch quarantined pages).
+	GraphStats *gstats.Stats `json:"graphStats,omitempty"`
 	// Shed counts requests dropped by the concurrency limiter.
 	Shed int64 `json:"shed"`
 	// Degraded reports quarantined store pages: the server answers
@@ -335,6 +355,12 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		resp.Degraded = true
 		resp.QuarantinedPages = s.eng.QuarantinedPages()
 	}
+	pc := plan.CountersSnapshot()
+	pc.StatsRebuilds = gstats.Rebuilds()
+	resp.Planner = pc
+	// GraphStats degrades to nil itself when collection would touch
+	// quarantined pages, so no recover guard is needed here.
+	resp.GraphStats = snap.GraphStats()
 	resp.Hubs = safeHubs(snap.Source())
 	writeJSON(w, http.StatusOK, resp)
 }

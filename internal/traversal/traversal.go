@@ -177,6 +177,62 @@ func Reachable(s graph.Source, from, to graph.NodeID, opts Options) bool {
 	return found
 }
 
+// FindReachableCtx walks breadth-first from start and returns the first
+// node reachable in >= 1 hop for which pred is true, stopping the
+// search as soon as one is found. start itself is only a candidate when
+// it is re-reached through a cycle. It is the existence-query analogue
+// of TransitiveClosureCtx: the query planner lowers reachability-shaped
+// pattern predicates onto it so a WHERE existence check never
+// enumerates paths (or even the full closure).
+func FindReachableCtx(ctx context.Context, s graph.Source, start graph.NodeID, opts Options, pred func(graph.NodeID) bool) (graph.NodeID, bool, error) {
+	var (
+		found   graph.NodeID
+		ok      bool
+		testedS bool
+	)
+	visited := map[graph.NodeID]bool{start: true}
+	frontier := []graph.NodeID{start}
+	depth := 0
+	for len(frontier) > 0 && !ok {
+		if err := ctx.Err(); err != nil {
+			return 0, false, err
+		}
+		if opts.MaxDepth > 0 && depth >= opts.MaxDepth {
+			break
+		}
+		depth++
+		var next []graph.NodeID
+		for _, id := range frontier {
+			if !step(s, id, opts, func(_ graph.EdgeID, n graph.NodeID) bool {
+				if n == start {
+					if !testedS {
+						testedS = true
+						if pred(n) {
+							found, ok = n, true
+							return false
+						}
+					}
+					return true
+				}
+				if visited[n] {
+					return true
+				}
+				visited[n] = true
+				if pred(n) {
+					found, ok = n, true
+					return false
+				}
+				next = append(next, n)
+				return true
+			}) {
+				break
+			}
+		}
+		frontier = next
+	}
+	return found, ok, nil
+}
+
 // Step is one hop of a path: the edge taken and the node arrived at.
 type Step struct {
 	Edge graph.EdgeID
