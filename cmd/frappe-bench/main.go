@@ -24,6 +24,8 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"hash"
+	"hash/fnv"
 	"math"
 	"math/rand"
 	"os"
@@ -53,7 +55,7 @@ var (
 	scale      = flag.Int("scale", 1, "synthetic kernel scale factor")
 	runs       = flag.Int("runs", 10, "cold and warm runs per query (paper: 10)")
 	timeout    = flag.Duration("timeout", 15*time.Second, "comprehension-query abort deadline (paper: 15 min)")
-	experiment = flag.String("experiment", "all", "comma list: table3,table4,table5,figure7,table6,ablations,temporal,planner,smoke")
+	experiment = flag.String("experiment", "all", "comma list: table3,table4,table5,figure7,table6,ablations,temporal,planner,stream,smoke")
 	keep       = flag.String("db", "", "store directory to (re)use; default: temp dir")
 	out        = flag.String("out", "", "with -experiment smoke/planner: also write the results as JSON to this file")
 	compare    = flag.Bool("compare", false, "regression gate: compare two smoke JSON files instead of benchmarking")
@@ -143,6 +145,12 @@ func run() error {
 	}
 	if all || want["planner"] {
 		if err := b.planner(&sr); err != nil {
+			return err
+		}
+		record = true
+	}
+	if all || want["stream"] {
+		if err := b.stream(&sr); err != nil {
 			return err
 		}
 		record = true
@@ -423,6 +431,218 @@ func (b *bench) planner(r *smokeResult) error {
 	return nil
 }
 
+// --- Streaming (PR 8) ---
+
+// streamBulkQuery enumerates every call edge with caller and callee
+// names: the largest result the synthetic kernel produces without
+// DISTINCT, so the materialized response grows with the row count while
+// the streamed path holds only the channel window.
+const streamBulkQuery = `
+MATCH (f:function) -[:calls]-> (g:function)
+RETURN f.short_name, g.short_name`
+
+// peakHeap runs f while sampling the live heap every couple of
+// milliseconds, returning the peak HeapAlloc delta over a GC'd
+// baseline. Engine-held memory (page caches, the graph) is in the
+// baseline and cancels out; what remains is what f itself kept live.
+func peakHeap(f func() error) (int64, error) {
+	runtime.GC()
+	var base runtime.MemStats
+	runtime.ReadMemStats(&base)
+	var peak int64
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		tick := time.NewTicker(2 * time.Millisecond)
+		defer tick.Stop()
+		for {
+			var ms runtime.MemStats
+			runtime.ReadMemStats(&ms)
+			if d := int64(ms.HeapAlloc) - int64(base.HeapAlloc); d > peak {
+				peak = d
+			}
+			select {
+			case <-stop:
+				return // one final sample taken above before exiting
+			case <-tick.C:
+			}
+		}
+	}()
+	err := f()
+	close(stop)
+	<-done
+	return peak, err
+}
+
+// rowDigest hashes one formatted row, order- and byte-sensitive.
+func rowDigest(h hash.Hash64, cells []string) {
+	for _, c := range cells {
+		h.Write([]byte(c))
+		h.Write([]byte{0})
+	}
+	h.Write([]byte{'\n'})
+}
+
+// materializedDigest executes q through the normal materialized path
+// and hashes the formatted rows in order.
+func materializedDigest(ctx context.Context, eng *core.Engine, q string) (uint64, int64, error) {
+	res, err := eng.Query(ctx, q)
+	if err != nil {
+		return 0, 0, err
+	}
+	src := eng.Source()
+	h := fnv.New64a()
+	for _, row := range res.Rows {
+		cells := make([]string, len(row))
+		for i, v := range row {
+			cells[i] = v.Format(src)
+		}
+		rowDigest(h, cells)
+	}
+	return h.Sum64(), int64(len(res.Rows)), nil
+}
+
+// streamedDigest executes q through the streaming path, hashing rows as
+// they arrive without retaining them.
+func streamedDigest(ctx context.Context, eng *core.Engine, q string) (uint64, int64, bool, error) {
+	snap := eng.Snapshot()
+	st, _, err := eng.StreamQuery(ctx, snap, q, 0)
+	if err != nil {
+		return 0, 0, false, err
+	}
+	if _, err := st.Columns(ctx); err != nil {
+		return 0, 0, false, err
+	}
+	src := snap.Source()
+	h := fnv.New64a()
+	var n int64
+	for row := range st.Rows() {
+		cells := make([]string, len(row))
+		for i, v := range row {
+			cells[i] = v.Format(src)
+		}
+		rowDigest(h, cells)
+		n++
+	}
+	if _, _, err := st.Wait(); err != nil {
+		return 0, 0, false, err
+	}
+	return h.Sum64(), n, st.Pipelined(), nil
+}
+
+// stream is the PR-8 acceptance measurement: the bulk call-edge scan
+// consumed materialized (hold every formatted row, the /api/query
+// shape) vs streamed (format and drop off the bounded channel, the
+// /api/query/stream shape), plus a byte-identity check across the
+// paper's figure queries.
+func (b *bench) stream(r *smokeResult) error {
+	fmt.Println("== Stream: bounded-memory result path vs materialized ==")
+	r.GOMAXPROCS = runtime.GOMAXPROCS(0)
+	eng := b.disk
+	src := eng.Source()
+	ctx := context.Background()
+
+	// Byte identity: every row, in order, must match between the two
+	// paths — SKIP/LIMIT/ORDER BY equivalence is covered by unit tests,
+	// this covers the paper's real queries at bench scale.
+	identical := true
+	for _, q := range []struct{ name, text string }{
+		{"figure3", figure3Query}, {"figure6", figure6Query}, {"bulk", streamBulkQuery},
+	} {
+		mh, mn, err := materializedDigest(ctx, eng, q.text)
+		if err != nil {
+			return fmt.Errorf("stream %s (materialized): %w", q.name, err)
+		}
+		sh, sn, _, err := streamedDigest(ctx, eng, q.text)
+		if err != nil {
+			return fmt.Errorf("stream %s (streamed): %w", q.name, err)
+		}
+		if mh != sh || mn != sn {
+			identical = false
+			fmt.Printf("MISMATCH %-8s materialized %d rows (%016x) vs streamed %d rows (%016x)\n",
+				q.name, mn, mh, sn, sh)
+		}
+	}
+	r.Stream.Identical = identical
+
+	// Memory: both paths warm (the identity pass above touched every
+	// page), so the peaks isolate result handling, not I/O.
+	var matHold [][]string
+	var matRows int64
+	start := time.Now()
+	matPeak, err := peakHeap(func() error {
+		res, err := eng.Query(ctx, streamBulkQuery)
+		if err != nil {
+			return err
+		}
+		matHold = make([][]string, len(res.Rows))
+		for i, row := range res.Rows {
+			cells := make([]string, len(row))
+			for j, v := range row {
+				cells[j] = v.Format(src)
+			}
+			matHold[i] = cells
+		}
+		matRows = int64(len(matHold))
+		return nil
+	})
+	matElapsed := time.Since(start)
+	if err != nil {
+		return fmt.Errorf("stream bulk (materialized): %w", err)
+	}
+	runtime.KeepAlive(matHold)
+	matHold = nil
+
+	var streamRows int64
+	pipelined := false
+	sink := fnv.New64a() // consume each row so formatting isn't elided
+	start = time.Now()
+	streamPeak, err := peakHeap(func() error {
+		snap := eng.Snapshot()
+		st, _, err := eng.StreamQuery(ctx, snap, streamBulkQuery, 0)
+		if err != nil {
+			return err
+		}
+		if _, err := st.Columns(ctx); err != nil {
+			return err
+		}
+		for row := range st.Rows() {
+			cells := make([]string, len(row))
+			for i, v := range row {
+				cells[i] = v.Format(src)
+			}
+			rowDigest(sink, cells)
+			streamRows++
+		}
+		_, _, werr := st.Wait()
+		pipelined = st.Pipelined()
+		return werr
+	})
+	streamElapsed := time.Since(start)
+	if err != nil {
+		return fmt.Errorf("stream bulk (streamed): %w", err)
+	}
+
+	r.Stream.Query = "bulk call-edge scan"
+	r.Stream.Rows = streamRows
+	r.Stream.Depth = query.DefaultStreamDepth
+	r.Stream.Pipelined = pipelined
+	r.Stream.MaterializedMS = float64(matElapsed.Microseconds()) / 1000
+	r.Stream.StreamedMS = float64(streamElapsed.Microseconds()) / 1000
+	r.Stream.MaterializedPeakBytes = matPeak
+	r.Stream.StreamedPeakBytes = streamPeak
+	if s := streamElapsed.Seconds(); s > 0 {
+		r.Stream.RowsPerSec = float64(streamRows) / s
+	}
+	fmt.Printf("bulk scan: %d rows (pipelined=%v, identical=%v, mat rows=%d)\n",
+		streamRows, pipelined, identical, matRows)
+	fmt.Printf("materialized: %s ms, peak %d KB live | streamed: %s ms, peak %d KB live (depth %d), %.0f rows/s\n\n",
+		ms(matElapsed), matPeak/1024, ms(streamElapsed), streamPeak/1024,
+		query.DefaultStreamDepth, r.Stream.RowsPerSec)
+	return nil
+}
+
 func (b *bench) figure4Query() string {
 	fid, _ := b.mem.FileIDOf("drivers/scsi/sr.c")
 	return fmt.Sprintf(`
@@ -630,6 +850,25 @@ type smokeResult struct {
 		Rewrites         int     `json:"rewrites"`
 		Speedup          float64 `json:"speedup"`
 	} `json:"planner"`
+	// Stream is the PR-8 subject: the same bulk result consumed through
+	// the materialized path (build the whole formatted response, like
+	// /api/query) vs the streaming path (format row-at-a-time off a
+	// bounded channel, like /api/query/stream). Peaks are live-heap
+	// deltas over a GC'd baseline; Identical confirms the two paths
+	// produced byte-identical rows for the bulk scan and the paper's
+	// Figure 3/6 queries.
+	Stream struct {
+		Query                 string  `json:"query"`
+		Rows                  int64   `json:"rows"`
+		Depth                 int     `json:"depth"`
+		Pipelined             bool    `json:"pipelined"`
+		Identical             bool    `json:"identical"`
+		MaterializedMS        float64 `json:"materialized_ms"`
+		StreamedMS            float64 `json:"streamed_ms"`
+		MaterializedPeakBytes int64   `json:"materialized_peak_bytes"`
+		StreamedPeakBytes     int64   `json:"streamed_peak_bytes"`
+		RowsPerSec            float64 `json:"rows_per_sec"`
+	} `json:"stream"`
 }
 
 // cacheRatio is one query batch's page-cache outcome, aggregated over
@@ -929,6 +1168,14 @@ type compareFile struct {
 		NaiveAborted  bool    `json:"naive_aborted"`
 		PlannedWarmMS float64 `json:"planned_warm_ms"`
 	} `json:"planner"`
+	Stream struct {
+		Rows                  int64   `json:"rows"`
+		Pipelined             bool    `json:"pipelined"`
+		Identical             bool    `json:"identical"`
+		MaterializedPeakBytes int64   `json:"materialized_peak_bytes"`
+		StreamedPeakBytes     int64   `json:"streamed_peak_bytes"`
+		RowsPerSec            float64 `json:"rows_per_sec"`
+	} `json:"stream"`
 }
 
 // warmThroughput converts the warm-read measurement into ops/ms so two
@@ -1010,6 +1257,7 @@ func runCompare(args []string, tol float64) error {
 		{"qcache_speedup", oldF.QCache.Speedup, newF.QCache.Speedup, true},
 		{"qcache_hit_ratio", oldF.QCache.HitRatio, newF.QCache.HitRatio, false},
 		{"planner_fig6_queries_per_s", oldF.plannerThroughput(), newF.plannerThroughput(), true},
+		{"stream_rows_per_sec", oldF.Stream.RowsPerSec, newF.Stream.RowsPerSec, true},
 	}
 	fmt.Printf("bench gate: %s -> %s (tolerance %.0f%%)\n", files[0], files[1], tol*100)
 	failed := 0
@@ -1038,6 +1286,27 @@ func runCompare(args []string, tol float64) error {
 		} else {
 			failed++
 			fmt.Printf("  FAIL %-34s %.2f ms > %d ms budget\n", "planner_fig6_wall_clock", w, plannerBudgetMS)
+		}
+	}
+	// Absolute stream checks (skipped for files that predate the stream
+	// experiment). Identity is exact: streamed rows must match the
+	// materialized path byte for byte. The memory check is deliberately
+	// loose — heap sampling is noisy — but a streamed peak at or above
+	// the materialized peak means the bounded channel is not bounding.
+	if s := newF.Stream; s.Rows > 0 {
+		if s.Identical {
+			fmt.Printf("  PASS %-34s streamed rows match materialized (%d rows)\n", "stream_identical", s.Rows)
+		} else {
+			failed++
+			fmt.Printf("  FAIL %-34s streamed rows differ from materialized\n", "stream_identical")
+		}
+		if s.StreamedPeakBytes < s.MaterializedPeakBytes {
+			fmt.Printf("  PASS %-34s streamed peak %d KB < materialized %d KB\n",
+				"stream_bounded_memory", s.StreamedPeakBytes/1024, s.MaterializedPeakBytes/1024)
+		} else {
+			failed++
+			fmt.Printf("  FAIL %-34s streamed peak %d KB >= materialized %d KB\n",
+				"stream_bounded_memory", s.StreamedPeakBytes/1024, s.MaterializedPeakBytes/1024)
 		}
 	}
 	if failed > 0 {

@@ -400,6 +400,7 @@ func cmdQuery(args []string) error {
 	maxSteps := fl.Int64("max-steps", 0, "pattern-expansion budget (0 = unlimited)")
 	profile := fl.Bool("profile", false, "trace execution: per-operator rows, DB hits, wall time")
 	explain := fl.Bool("explain", false, "print the query plan (anchors, closure rewrites) without executing")
+	streamOn := fl.Bool("stream", false, "print rows as they are produced instead of materialising the result (tab-separated)")
 	fl.Parse(args)
 	if fl.NArg() != 1 {
 		return fmt.Errorf("query needs exactly one Cypher string argument")
@@ -421,6 +422,35 @@ func cmdQuery(args []string) error {
 	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
 	defer cancel()
 	start := time.Now()
+	if *streamOn {
+		// Rows print as the executor produces them: memory stays bounded
+		// by the stream's channel depth, not the result size.
+		snap := eng.Snapshot()
+		st, _, err := eng.StreamQuery(ctx, snap, fl.Arg(0), 0)
+		if err != nil {
+			return err
+		}
+		cols, err := st.Columns(ctx)
+		if err != nil {
+			return err
+		}
+		fmt.Println(strings.Join(cols, "\t"))
+		src := snap.Source()
+		var n int64
+		for row := range st.Rows() {
+			cells := make([]string, len(row))
+			for i, v := range row {
+				cells[i] = v.Format(src)
+			}
+			fmt.Println(strings.Join(cells, "\t"))
+			n++
+		}
+		if _, _, err := st.Wait(); err != nil {
+			return err
+		}
+		fmt.Printf("%d rows in %v (streamed)\n", n, time.Since(start).Round(time.Microsecond))
+		return nil
+	}
 	if *profile {
 		res, prof, err := eng.QueryProfile(ctx, fl.Arg(0))
 		if prof != nil {
@@ -625,6 +655,7 @@ func cmdServe(args []string) error {
 	addr := fl.String("addr", "127.0.0.1:7474", "listen address")
 	queryTimeout := fl.Duration("query-timeout", 30*time.Second, "per-query deadline")
 	maxConcurrent := fl.Int("max-concurrent", server.DefaultMaxConcurrent, "max in-flight requests before shedding with 503 (<0 disables)")
+	maxBodyBytes := fl.Int64("max-body-bytes", server.DefaultMaxBodyBytes, "max request body size in bytes before 413 (<0 disables)")
 	maxRows := fl.Int("max-rows", 1_000_000, "per-query row budget (0 = unlimited)")
 	maxSteps := fl.Int64("max-steps", 50_000_000, "per-query pattern-expansion budget (0 = unlimited)")
 	drain := fl.Duration("drain-timeout", server.DefaultDrainTimeout, "max time to drain in-flight requests on shutdown")
@@ -744,6 +775,7 @@ func cmdServe(args []string) error {
 	}
 	srv.QueryTimeout = *queryTimeout
 	srv.MaxConcurrent = *maxConcurrent
+	srv.MaxBodyBytes = *maxBodyBytes
 	if *slowMS < 0 {
 		srv.SlowThreshold = -1
 	} else if *slowMS > 0 {

@@ -540,6 +540,35 @@ func (e *Engine) CachedQuery(ctx context.Context, s *Snapshot, text string, bypa
 	})
 }
 
+// StreamQuery runs text against the pinned snapshot s as a streaming
+// execution: rows arrive through the returned Stream's bounded channel
+// (depth <= 0 means query.DefaultStreamDepth) instead of a materialized
+// result. Parse and compile errors are returned synchronously so HTTP
+// callers can still answer 400 before committing to a streaming
+// response; execution errors surface through Stream.Wait.
+//
+// Cache interaction is deliberately asymmetric: a cached result is
+// served by replaying its rows (Outcome.Hit true), but a streamed miss
+// executes outside the cache and never inserts — rows leave the process
+// as they are produced, and buffering the whole result to cache it
+// would undo the bounded-memory point of streaming. Repeated hot
+// queries should use CachedQuery; streaming is for results too large to
+// hold.
+func (e *Engine) StreamQuery(ctx context.Context, s *Snapshot, text string, depth int) (*query.Stream, qcache.Outcome, error) {
+	qc := e.qc
+	if qc != nil {
+		k := qcache.Key{Epoch: s.Epoch(), Text: text, Limits: e.QueryLimits}
+		if res, ok := qc.Get(k); ok {
+			return query.ReplayStream(ctx, res, depth), qcache.Outcome{Hit: true}, nil
+		}
+	}
+	p, err := e.planFor(qc, s, text)
+	if err != nil {
+		return nil, qcache.Outcome{}, err
+	}
+	return p.Stream(ctx, s.Source(), e.QueryLimits, depth), qcache.Outcome{}, nil
+}
+
 // planFor returns the compiled plan for text against snapshot s,
 // serving it from the query cache's generation-keyed compiled-plan slot
 // when the cache holds one built against s's current statistics. qc may

@@ -1,0 +1,27 @@
+package plan
+
+import (
+	"context"
+
+	"frappe/internal/graph"
+	"frappe/internal/query"
+)
+
+// Stream runs the compiled plan as a streaming execution: rows arrive
+// through the returned Stream's bounded channel instead of a
+// materialized Result. Fully-pipelineable shapes (no ORDER BY, no
+// aggregation — see query.Streamable) run with memory bounded by the
+// channel depth and keep every planner decision, including the closure
+// rewrite (its legality proof is about downstream multiplicity
+// invariance, which a streaming DISTINCT preserves). Everything else —
+// interpreter fallbacks included — materializes through Execute and
+// replays its rows, so streamed and materialized rows are always
+// identical.
+func (p *Plan) Stream(ctx context.Context, src graph.Source, lim query.Limits, depth int) *query.Stream {
+	if !p.Fallback && query.Streamable(p.Query) {
+		return query.PipelinedStream(ctx, src, p.Query, lim, p.Hints, true, depth)
+	}
+	return query.MaterializedStream(ctx, depth, func() (*query.Result, error) {
+		return p.Execute(ctx, src, lim)
+	})
+}

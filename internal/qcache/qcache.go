@@ -280,6 +280,30 @@ func (c *Cache) Do(ctx context.Context, k Key, exec func() (*query.Result, error
 	return cl.res, Outcome{}, cl.err
 }
 
+// Get serves k from the result cache without executing anything and
+// without joining or starting a singleflight call. Streamed queries use
+// it for their cache interaction: a hit replays the cached rows through
+// the stream; a miss executes streaming-side and deliberately skips the
+// insert (the rows have already left the process, and buffering them
+// for the cache would undo the bounded-memory point of streaming).
+// Only hits are counted — a streamed miss never enters the cache
+// machinery, so counting it would skew the hit ratio of Do.
+func (c *Cache) Get(k Key) (*query.Result, bool) {
+	c.mu.Lock()
+	e, ok := c.results[k]
+	if !ok {
+		c.mu.Unlock()
+		return nil, false
+	}
+	ent := e.Value.(*resultEntry)
+	c.resList.MoveToFront(e)
+	ent.hits++
+	c.mu.Unlock()
+	c.hits.Add(1)
+	mHits.Inc()
+	return ent.res, true
+}
+
 // lead runs one execution as the singleflight leader and publishes the
 // outcome. A panic out of exec (the executor recovers its own, so this
 // is belt and braces) is converted to an error so followers are never

@@ -192,31 +192,37 @@ func (ex *exec) run(q *Query) (*Result, error) {
 	return result, nil
 }
 
+// startItemIDs resolves one START item to its seed node IDs.
+func (ex *exec) startItemIDs(item StartItem) ([]graph.NodeID, error) {
+	switch {
+	case item.All:
+		n := ex.src.NodeCount()
+		ids := make([]graph.NodeID, n)
+		for i := range ids {
+			ids[i] = graph.NodeID(i)
+		}
+		return ids, nil
+	case item.IndexName != "":
+		if !strings.EqualFold(item.IndexName, "node_auto_index") {
+			return nil, ex.errf("unknown index %q", item.IndexName)
+		}
+		return ex.src.Lookup(item.IndexQuery)
+	default:
+		var ids []graph.NodeID
+		for _, id := range item.IDs {
+			if id >= 0 && id < graph.NodeID(ex.src.NodeCount()) {
+				ids = append(ids, id)
+			}
+		}
+		return ids, nil
+	}
+}
+
 func (ex *exec) applyStart(rows []Row, sc *StartClause) ([]Row, error) {
 	for _, item := range sc.Items {
-		var ids []graph.NodeID
-		switch {
-		case item.All:
-			n := ex.src.NodeCount()
-			ids = make([]graph.NodeID, n)
-			for i := range ids {
-				ids[i] = graph.NodeID(i)
-			}
-		case item.IndexName != "":
-			if !strings.EqualFold(item.IndexName, "node_auto_index") {
-				return nil, ex.errf("unknown index %q", item.IndexName)
-			}
-			var err error
-			ids, err = ex.src.Lookup(item.IndexQuery)
-			if err != nil {
-				return nil, err
-			}
-		default:
-			for _, id := range item.IDs {
-				if id >= 0 && id < graph.NodeID(ex.src.NodeCount()) {
-					ids = append(ids, id)
-				}
-			}
+		ids, err := ex.startItemIDs(item)
+		if err != nil {
+			return nil, err
 		}
 		var next []Row
 		for _, row := range rows {

@@ -26,6 +26,17 @@ var (
 )
 
 func recordQueryMetrics(res *Result, err error, millis float64, steps int64) {
+	var rows int64
+	if res != nil {
+		rows = int64(len(res.Rows))
+	}
+	recordStreamMetrics(rows, err, millis, steps)
+}
+
+// recordStreamMetrics is recordQueryMetrics for executions that never
+// materialize a Result: the row count is the number of rows emitted to
+// the sink.
+func recordStreamMetrics(rows int64, err error, millis float64, steps int64) {
 	mQueries.Inc()
 	mStepsTotal.Add(steps)
 	mQueryDuration.Observe(millis)
@@ -36,7 +47,7 @@ func recordQueryMetrics(res *Result, err error, millis float64, steps int64) {
 		}
 		return
 	}
-	mRowsReturned.Add(int64(len(res.Rows)))
+	mRowsReturned.Add(rows)
 }
 
 // Counters is a point-in-time snapshot of the executor's counters,

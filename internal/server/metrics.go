@@ -26,11 +26,22 @@ var (
 		"Admin updates rejected with 409 because one was already in flight.", nil)
 	mUpdateRetries = obs.Default.Counter("frappe_update_retries_total",
 		"Transient update failures retried by the WithRetry wrapper.", nil)
+	mWriteErrors = obs.Default.Counter("frappe_http_write_errors_total",
+		"Response write/encode failures (typically the client disconnecting mid-response).", nil)
+	mStreamRows = obs.Default.Counter("frappe_stream_rows_total",
+		"Result rows streamed to clients over NDJSON.", nil)
+	mStreamBytes = obs.Default.Counter("frappe_stream_bytes_total",
+		"Bytes of NDJSON stream responses written to clients.", nil)
+	mStreamAborts = obs.Default.Counter("frappe_stream_aborts_total",
+		"NDJSON streams that ended early: execution error, budget, timeout, or client disconnect.", nil)
+	mStreamsInFlight = obs.Default.Gauge("frappe_stream_in_flight",
+		"NDJSON streams currently being served.", nil)
 )
 
 // metricRoutes is the route vocabulary for per-route series.
 var metricRoutes = []string{
-	"/", "/api/query", "/api/stats", "/api/search", "/api/def",
+	"/", "/api/query", "/api/query/stream", "/api/query/batch",
+	"/api/stats", "/api/search", "/api/def",
 	"/api/refs", "/api/slice", "/map.svg", "/api/admin/update",
 	"/api/admin/verify", "/healthz", "/readyz", "/metrics", "other",
 }
@@ -103,6 +114,19 @@ func (sr *statusRecorder) Write(b []byte) (int, error) {
 		sr.code = http.StatusOK
 	}
 	return sr.ResponseWriter.Write(b)
+}
+
+// Flush forwards http.Flusher through the middleware chain so NDJSON
+// streaming handlers can push each chunk to the client as it is
+// written; without this the recorder would hide the underlying
+// flusher and streamed rows would sit in the response buffer.
+func (sr *statusRecorder) Flush() {
+	if f, ok := sr.ResponseWriter.(http.Flusher); ok {
+		if sr.code == 0 {
+			sr.code = http.StatusOK
+		}
+		f.Flush()
+	}
 }
 
 // DefaultSlowThreshold flags requests slower than this when the server

@@ -39,7 +39,7 @@ func (s *Server) withRecover(next http.Handler) http.Handler {
 				mPanics.Inc()
 				id := w.Header().Get(requestIDHeader)
 				s.logf("panic serving %s %s (%s): %v\n%s", r.Method, r.URL.Path, id, rec, debug.Stack())
-				writeJSON(w, http.StatusInternalServerError, map[string]string{
+				s.writeJSON(w, http.StatusInternalServerError, map[string]string{
 					"error":     fmt.Sprintf("internal error: %v", rec),
 					"requestId": id,
 				})
@@ -69,7 +69,7 @@ func (s *Server) withConcurrencyLimit(next http.Handler) http.Handler {
 		default:
 			atomic.AddInt64(&s.shedCount, 1)
 			w.Header().Set("Retry-After", strconv.Itoa(s.RetryAfterSeconds))
-			writeJSON(w, http.StatusServiceUnavailable, map[string]string{
+			s.writeJSON(w, http.StatusServiceUnavailable, map[string]string{
 				"error": "server saturated; retry later",
 			})
 		}
@@ -83,7 +83,7 @@ func isOpsPath(p string) bool { return p == "/healthz" || p == "/readyz" || p ==
 
 // handleHealthz reports liveness: the process is up and serving HTTP.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{"status": "ok"})
+	s.writeJSON(w, http.StatusOK, map[string]any{"status": "ok"})
 }
 
 // handleReadyz reports readiness: the store is open and the server is
@@ -91,7 +91,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 // before the process exits.
 func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	if !s.Ready() {
-		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "draining"})
+		s.writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "draining"})
 		return
 	}
 	snap := s.eng.Snapshot()
@@ -112,7 +112,7 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 		resp["status"] = "degraded"
 		resp["quarantinedPages"] = s.eng.QuarantinedPages()
 	}
-	writeJSON(w, http.StatusOK, resp)
+	s.writeJSON(w, http.StatusOK, resp)
 }
 
 // SetReady flips the readiness gate; main flips it false on SIGTERM so

@@ -47,6 +47,20 @@ import (
 // DefaultMaxConcurrent is the default concurrency-limiter admission cap.
 const DefaultMaxConcurrent = 64
 
+// DefaultMaxBodyBytes caps POST request bodies (1 MiB). Query texts are
+// a few KB at the outside; anything near the cap is a mistake or abuse,
+// and an unbounded decode would buffer it all. Tunable via
+// Server.MaxBodyBytes (`frappe serve -max-body-bytes`).
+const DefaultMaxBodyBytes = 1 << 20
+
+// DefaultPageSize is the page length a cursor-paginated /api/query uses
+// when the request does not choose one.
+const DefaultPageSize = 1000
+
+// MaxBatchQueries caps how many queries one /api/query/batch request
+// may carry.
+const MaxBatchQueries = 64
+
 // MaxSearchLimit caps the ?limit= parameter of /api/search; larger
 // requests are clamped rather than allowed to materialise unbounded
 // result sets.
@@ -87,6 +101,9 @@ type Server struct {
 	// the frappe_http_slow_requests_total counter (default
 	// DefaultSlowThreshold; set <0 before the first request to disable).
 	SlowThreshold time.Duration
+	// MaxBodyBytes caps POST request bodies (default DefaultMaxBodyBytes;
+	// set <0 to disable the cap). Oversized bodies get 413.
+	MaxBodyBytes int64
 
 	chainOnce sync.Once
 	handler   http.Handler
@@ -132,6 +149,8 @@ func New(eng *core.Engine) *Server {
 	}
 	s.mux.HandleFunc("GET /{$}", s.handleIndex)
 	s.mux.HandleFunc("POST /api/query", s.handleQuery)
+	s.mux.HandleFunc("POST /api/query/stream", s.handleQueryStream)
+	s.mux.HandleFunc("POST /api/query/batch", s.handleQueryBatch)
 	s.mux.HandleFunc("GET /api/stats", s.handleStats)
 	s.mux.HandleFunc("GET /api/search", s.handleSearch)
 	s.mux.HandleFunc("GET /api/def", s.handleDef)
@@ -174,14 +193,45 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.handler.ServeHTTP(w, r)
 }
 
-func writeJSON(w http.ResponseWriter, status int, v any) {
+func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	_ = json.NewEncoder(w).Encode(v)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		// Almost always the client disconnecting mid-response. Count it
+		// and log at the same level as slow requests — silent drops made
+		// partial responses indistinguishable from delivered ones.
+		mWriteErrors.Inc()
+		s.logf("response write failed: %s %d (%s): %v",
+			w.Header().Get(requestIDHeader), status, http.StatusText(status), err)
+	}
 }
 
-func writeErr(w http.ResponseWriter, status int, err error) {
-	writeJSON(w, status, map[string]string{"error": err.Error()})
+func (s *Server) writeErr(w http.ResponseWriter, status int, err error) {
+	s.writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+// decodeBody decodes a JSON request body under the server's body-size
+// cap, answering 413 (oversize) or 400 (malformed) itself. Returns
+// false when the request has already been answered.
+func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	limit := s.MaxBodyBytes
+	if limit == 0 {
+		limit = DefaultMaxBodyBytes
+	}
+	if limit > 0 {
+		r.Body = http.MaxBytesReader(w, r.Body, limit)
+	}
+	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			s.writeErr(w, http.StatusRequestEntityTooLarge,
+				fmt.Errorf("request body exceeds %d bytes", tooBig.Limit))
+			return false
+		}
+		s.writeErr(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return false
+	}
+	return true
 }
 
 // requestCtx derives the per-request context every query-shaped handler
@@ -195,18 +245,18 @@ func (s *Server) requestCtx(r *http.Request) (context.Context, context.CancelFun
 // expired deadline is the server's fault (504 + timeout counter), store
 // corruption is a degraded-mode partial failure (500 + degraded flag),
 // anything else keeps the handler's fallback status.
-func writeQueryErr(w http.ResponseWriter, ctx context.Context, fallback int, err error) {
+func (s *Server) writeQueryErr(w http.ResponseWriter, ctx context.Context, fallback int, err error) {
 	switch {
 	case ctx.Err() != nil:
 		mQueryTimeouts.Inc()
-		writeErr(w, http.StatusGatewayTimeout, err)
+		s.writeErr(w, http.StatusGatewayTimeout, err)
 	case errors.Is(err, store.ErrCorrupt) || errors.Is(err, store.ErrTruncated):
-		writeJSON(w, http.StatusInternalServerError, map[string]any{
+		s.writeJSON(w, http.StatusInternalServerError, map[string]any{
 			"error":    err.Error(),
 			"degraded": true,
 		})
 	default:
-		writeErr(w, fallback, err)
+		s.writeErr(w, fallback, err)
 	}
 }
 
@@ -225,6 +275,16 @@ type queryRequest struct {
 	// Unlike Profile it costs nothing at execution time (the plan is
 	// compiled either way) and does not bypass the cache.
 	Explain bool `json:"explain,omitempty"`
+	// Cursor resumes a paginated query from where the previous page left
+	// off. The token is opaque to clients; it pins (epoch, query text,
+	// offset), and a request whose cursor epoch no longer matches the
+	// live snapshot gets 410 Gone (the result it was paging through is
+	// retired). With a cursor set, Query may be empty — the token carries
+	// the text.
+	Cursor string `json:"cursor,omitempty"`
+	// PageSize limits the rows returned per response and turns on
+	// pagination (default DefaultPageSize when only a cursor is set).
+	PageSize int `json:"pageSize,omitempty"`
 }
 
 type queryResponse struct {
@@ -242,22 +302,61 @@ type queryResponse struct {
 	// Plan is the EXPLAIN rendering (present when the request set
 	// explain; PROFILE responses carry it inside the profile instead).
 	Plan string `json:"plan,omitempty"`
+	// NextCursor resumes the next page of a paginated query (absent on
+	// the last page and on unpaginated requests). Count stays the full
+	// result's row count; Rows carries only the requested page.
+	NextCursor string `json:"nextCursor,omitempty"`
 }
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	var req queryRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+	if !s.decodeBody(w, r, &req) {
 		return
 	}
+	// Pagination: a cursor resumes (epoch, text, offset) against the
+	// pinned snapshot; any page size turns slicing on.
+	paginate := req.PageSize > 0 || req.Cursor != ""
+	offset := 0
+	var cur cursorToken
+	if req.Cursor != "" {
+		var err error
+		cur, err = decodeCursor(req.Cursor)
+		if err != nil {
+			s.writeErr(w, http.StatusBadRequest, fmt.Errorf("bad cursor: %w", err))
+			return
+		}
+		if req.Query != "" && req.Query != cur.Query {
+			s.writeErr(w, http.StatusBadRequest, fmt.Errorf("cursor was issued for a different query"))
+			return
+		}
+		req.Query, offset = cur.Query, cur.Offset
+	}
+	if req.PageSize < 0 {
+		s.writeErr(w, http.StatusBadRequest, fmt.Errorf("pageSize must be non-negative"))
+		return
+	}
+	pageSize := req.PageSize
+	if paginate && pageSize == 0 {
+		pageSize = DefaultPageSize
+	}
 	if req.Query == "" {
-		writeErr(w, http.StatusBadRequest, fmt.Errorf("empty query"))
+		s.writeErr(w, http.StatusBadRequest, fmt.Errorf("empty query"))
 		return
 	}
 	ctx, cancel := s.requestCtx(r)
 	defer cancel()
 	start := time.Now()
 	snap := s.eng.Snapshot()
+	if req.Cursor != "" && cur.Epoch != snap.Epoch() {
+		// The graph the cursor was paging through has been swapped out;
+		// resuming at a row offset against different data would silently
+		// mix epochs. 410, not 409: the token can never become valid again.
+		s.writeJSON(w, http.StatusGone, map[string]any{
+			"error": fmt.Sprintf("cursor epoch %d superseded by %d; restart pagination", cur.Epoch, snap.Epoch()),
+			"epoch": snap.Epoch(),
+		})
+		return
+	}
 	var res *query.Result
 	var prof *query.Profile
 	var outcome qcache.Outcome
@@ -274,7 +373,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		// Store corruption is a server-side fault, never a client error:
 		// the query failed only because it touched a quarantined region,
 		// and writeQueryErr marks it as a degraded-mode partial failure.
-		writeQueryErr(w, ctx, http.StatusBadRequest, err)
+		s.writeQueryErr(w, ctx, http.StatusBadRequest, err)
 		return
 	}
 	resp := queryResponse{
@@ -291,15 +390,29 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			resp.Plan = plan
 		}
 	}
+	rows := res.Rows
+	if paginate {
+		if offset > len(rows) {
+			offset = len(rows)
+		}
+		end := offset + pageSize
+		if end > len(rows) {
+			end = len(rows)
+		}
+		if end < len(rows) {
+			resp.NextCursor = encodeCursor(cursorToken{Epoch: snap.Epoch(), Query: req.Query, Offset: end})
+		}
+		rows = rows[offset:end]
+	}
 	src := snap.Source()
-	for _, row := range res.Rows {
+	for _, row := range rows {
 		cells := make([]string, len(row))
 		for i, v := range row {
 			cells[i] = v.Format(src)
 		}
 		resp.Rows = append(resp.Rows, cells)
 	}
-	writeJSON(w, http.StatusOK, resp)
+	s.writeJSON(w, http.StatusOK, resp)
 }
 
 type statsResponse struct {
@@ -362,7 +475,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	// quarantined pages, so no recover guard is needed here.
 	resp.GraphStats = snap.GraphStats()
 	resp.Hubs = safeHubs(snap.Source())
-	writeJSON(w, http.StatusOK, resp)
+	s.writeJSON(w, http.StatusOK, resp)
 }
 
 // safeHubs computes the top-degree hubs best-effort: the full edge scan
@@ -387,7 +500,7 @@ func safeHubs(src graph.Source) (hubs []hub) {
 
 func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 	if s.Update == nil {
-		writeErr(w, http.StatusNotImplemented, fmt.Errorf("server has no update source (started from a static store)"))
+		s.writeErr(w, http.StatusNotImplemented, fmt.Errorf("server has no update source (started from a static store)"))
 		return
 	}
 	wait := r.URL.Query().Get("wait") == "true" || r.URL.Query().Get("wait") == "1"
@@ -396,7 +509,7 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 	} else if !s.updateGate.TryLock() {
 		mUpdateConflicts.Inc()
 		w.Header().Set("Retry-After", strconv.Itoa(s.RetryAfterSeconds))
-		writeJSON(w, http.StatusConflict, map[string]string{
+		s.writeJSON(w, http.StatusConflict, map[string]string{
 			"error": "an update is already in flight; retry later or pass ?wait=true",
 		})
 		return
@@ -404,10 +517,10 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 	defer s.updateGate.Unlock()
 	res, err := s.Update(r.Context())
 	if err != nil {
-		writeErr(w, http.StatusInternalServerError, err)
+		s.writeErr(w, http.StatusInternalServerError, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, res)
+	s.writeJSON(w, http.StatusOK, res)
 }
 
 // handleVerify is the admin re-verify/heal endpoint for degraded mode:
@@ -420,7 +533,7 @@ func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
 		before += len(pages)
 	}
 	healed, remaining := s.eng.Heal()
-	writeJSON(w, http.StatusOK, map[string]any{
+	s.writeJSON(w, http.StatusOK, map[string]any{
 		"quarantinedBefore": before,
 		"healed":            healed,
 		"quarantinedAfter":  remaining,
@@ -461,7 +574,7 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	if l := q.Get("limit"); l != "" {
 		n, err := strconv.Atoi(l)
 		if err != nil || n < 1 {
-			writeErr(w, http.StatusBadRequest, fmt.Errorf("bad limit %q", l))
+			s.writeErr(w, http.StatusBadRequest, fmt.Errorf("bad limit %q", l))
 			return
 		}
 		if n > MaxSearchLimit {
@@ -473,14 +586,14 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	defer cancel()
 	syms, err := s.eng.Snapshot().Search(ctx, opts)
 	if err != nil {
-		writeQueryErr(w, ctx, http.StatusBadRequest, err)
+		s.writeQueryErr(w, ctx, http.StatusBadRequest, err)
 		return
 	}
 	out := make([]symbolJSON, len(syms))
 	for i, sym := range syms {
 		out[i] = toSymbolJSON(sym)
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"results": out, "count": len(out)})
+	s.writeJSON(w, http.StatusOK, map[string]any{"results": out, "count": len(out)})
 }
 
 func (s *Server) handleDef(w http.ResponseWriter, r *http.Request) {
@@ -488,21 +601,21 @@ func (s *Server) handleDef(w http.ResponseWriter, r *http.Request) {
 	line, err1 := strconv.Atoi(q.Get("line"))
 	col, err2 := strconv.Atoi(q.Get("col"))
 	if q.Get("name") == "" || q.Get("file") == "" || err1 != nil || err2 != nil {
-		writeErr(w, http.StatusBadRequest, fmt.Errorf("need name, file, line, col"))
+		s.writeErr(w, http.StatusBadRequest, fmt.Errorf("need name, file, line, col"))
 		return
 	}
 	ctx, cancel := s.requestCtx(r)
 	defer cancel()
 	sym, ok, err := s.eng.Snapshot().GoToDefinition(ctx, q.Get("name"), q.Get("file"), line, col)
 	if err != nil {
-		writeQueryErr(w, ctx, http.StatusBadRequest, err)
+		s.writeQueryErr(w, ctx, http.StatusBadRequest, err)
 		return
 	}
 	if !ok {
-		writeErr(w, http.StatusNotFound, fmt.Errorf("no definition at %s:%d:%d", q.Get("file"), line, col))
+		s.writeErr(w, http.StatusNotFound, fmt.Errorf("no definition at %s:%d:%d", q.Get("file"), line, col))
 		return
 	}
-	writeJSON(w, http.StatusOK, toSymbolJSON(sym))
+	s.writeJSON(w, http.StatusOK, toSymbolJSON(sym))
 }
 
 func (s *Server) handleRefs(w http.ResponseWriter, r *http.Request) {
@@ -510,14 +623,14 @@ func (s *Server) handleRefs(w http.ResponseWriter, r *http.Request) {
 	snap := s.eng.Snapshot()
 	id, err := snap.MustLookupOne(q.Get("name"), model.NodeType(q.Get("type")))
 	if err != nil {
-		writeErr(w, http.StatusNotFound, err)
+		s.writeErr(w, http.StatusNotFound, err)
 		return
 	}
 	ctx, cancel := s.requestCtx(r)
 	defer cancel()
 	refs, err := snap.FindReferences(ctx, id)
 	if err != nil {
-		writeQueryErr(w, ctx, http.StatusInternalServerError, err)
+		s.writeQueryErr(w, ctx, http.StatusInternalServerError, err)
 		return
 	}
 	type refJSON struct {
@@ -531,7 +644,7 @@ func (s *Server) handleRefs(w http.ResponseWriter, r *http.Request) {
 	for i, ref := range refs {
 		out[i] = refJSON{Kind: string(ref.Kind), File: ref.File, Line: ref.Line, Col: ref.Col, From: ref.From.ShortName}
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"references": out, "count": len(out)})
+	s.writeJSON(w, http.StatusOK, map[string]any{"references": out, "count": len(out)})
 }
 
 func (s *Server) handleSlice(w http.ResponseWriter, r *http.Request) {
@@ -539,17 +652,17 @@ func (s *Server) handleSlice(w http.ResponseWriter, r *http.Request) {
 	snap := s.eng.Snapshot()
 	id, err := snap.MustLookupOne(q.Get("fn"), model.NodeFunction)
 	if err != nil {
-		writeErr(w, http.StatusNotFound, err)
+		s.writeErr(w, http.StatusNotFound, err)
 		return
 	}
 	depth := 0
 	if d := q.Get("depth"); d != "" {
 		if depth, err = strconv.Atoi(d); err != nil || depth < 0 {
-			writeErr(w, http.StatusBadRequest, fmt.Errorf("bad depth %q", d))
+			s.writeErr(w, http.StatusBadRequest, fmt.Errorf("bad depth %q", d))
 			return
 		}
 		if depth > MaxSliceDepth {
-			writeErr(w, http.StatusBadRequest, fmt.Errorf("depth %d exceeds maximum %d", depth, MaxSliceDepth))
+			s.writeErr(w, http.StatusBadRequest, fmt.Errorf("depth %d exceeds maximum %d", depth, MaxSliceDepth))
 			return
 		}
 	}
@@ -562,14 +675,14 @@ func (s *Server) handleSlice(w http.ResponseWriter, r *http.Request) {
 		syms, err = snap.BackwardSliceCtx(ctx, id, depth)
 	}
 	if err != nil {
-		writeQueryErr(w, ctx, http.StatusInternalServerError, err)
+		s.writeQueryErr(w, ctx, http.StatusInternalServerError, err)
 		return
 	}
 	out := make([]symbolJSON, len(syms))
 	for i, sym := range syms {
 		out[i] = toSymbolJSON(sym)
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"functions": out, "count": len(out)})
+	s.writeJSON(w, http.StatusOK, map[string]any{"functions": out, "count": len(out)})
 }
 
 // codeMap builds the code map for the given snapshot, caching it per
@@ -592,7 +705,7 @@ func (s *Server) handleMap(w http.ResponseWriter, r *http.Request) {
 	if h := r.URL.Query().Get("highlight"); h != "" {
 		id, err := snap.MustLookupOne(h, model.NodeFunction)
 		if err != nil {
-			writeErr(w, http.StatusNotFound, err)
+			s.writeErr(w, http.StatusNotFound, err)
 			return
 		}
 		opts.Highlight = append(traversal.TransitiveClosure(snap.Source(), id, traversal.Options{

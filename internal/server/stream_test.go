@@ -1,0 +1,398 @@
+package server
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"frappe/internal/core"
+	"frappe/internal/kernelgen"
+	"frappe/internal/query"
+)
+
+// engineServer is testServer but also hands back the engine, for tests
+// that tweak limits or bump the epoch mid-flight.
+func engineServer(t *testing.T) (*core.Engine, *httptest.Server) {
+	t.Helper()
+	w := kernelgen.Generate(kernelgen.Tiny())
+	eng, errs, err := core.Index(w.Build, w.ExtractOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(errs) > 0 {
+		t.Fatalf("extract: %v", errs[0])
+	}
+	ts := httptest.NewServer(New(eng))
+	t.Cleanup(ts.Close)
+	return eng, ts
+}
+
+// streamLines POSTs to /api/query/stream and returns every NDJSON line
+// decoded, asserting the response is well-formed line-delimited JSON.
+func streamLines(t *testing.T, ts *httptest.Server, body string) []map[string]any {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/api/query/stream", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("content-type = %q", ct)
+	}
+	var lines []map[string]any
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		var obj map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &obj); err != nil {
+			t.Fatalf("line %d is not JSON: %q: %v", len(lines), sc.Text(), err)
+		}
+		lines = append(lines, obj)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return lines
+}
+
+// TestStreamEndpointShape: header object with columns, one object per
+// row, terminal object with the count — and the rows byte-identical to
+// the materialized /api/query response.
+func TestStreamEndpointShape(t *testing.T) {
+	ts := testServer(t)
+	body := `{"query": "MATCH (n:function) RETURN n.short_name"}`
+
+	lines := streamLines(t, ts, body)
+	if len(lines) < 2 {
+		t.Fatalf("only %d NDJSON lines", len(lines))
+	}
+	header, terminal := lines[0], lines[len(lines)-1]
+	cols, ok := header["columns"].([]any)
+	if !ok || len(cols) != 1 || cols[0] != "n.short_name" {
+		t.Fatalf("header = %v", header)
+	}
+	rowLines := lines[1 : len(lines)-1]
+	var streamed []string
+	for i, l := range rowLines {
+		cells, ok := l["row"].([]any)
+		if !ok {
+			t.Fatalf("line %d is not a row object: %v", i+1, l)
+		}
+		streamed = append(streamed, fmt.Sprint(cells))
+	}
+	if got := terminal["count"].(float64); int(got) != len(rowLines) {
+		t.Fatalf("terminal count %v, rows %d", got, len(rowLines))
+	}
+	if terminal["steps"].(float64) <= 0 {
+		t.Fatalf("terminal steps missing: %v", terminal)
+	}
+	if terminal["streamed"] != true {
+		t.Fatalf("expected pipelined streaming, terminal = %v", terminal)
+	}
+	if _, hasErr := terminal["error"]; hasErr {
+		t.Fatalf("unexpected terminal error: %v", terminal)
+	}
+
+	// The materialized endpoint must agree row for row, in order.
+	mat := postQuery(t, ts, body)
+	matRows := mat["rows"].([]any)
+	if len(matRows) != len(streamed) {
+		t.Fatalf("rows: streamed %d vs materialized %d", len(streamed), len(matRows))
+	}
+	for i, r := range matRows {
+		if fmt.Sprint(r.([]any)) != streamed[i] {
+			t.Fatalf("row %d: streamed %v vs materialized %v", i, streamed[i], r)
+		}
+	}
+}
+
+// TestStreamEndpointErrors: bad input fails with plain JSON status
+// codes before the response commits to NDJSON.
+func TestStreamEndpointErrors(t *testing.T) {
+	ts := testServer(t)
+	for _, body := range []string{
+		`{"query": ""}`,
+		`{"query": "MATCH (n RETURN"}`,
+		`not json`,
+	} {
+		resp, err := http.Post(ts.URL+"/api/query/stream", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("body %q: status = %d, want 400", body, resp.StatusCode)
+		}
+	}
+}
+
+// TestStreamBudgetErrorInTerminal: a mid-stream budget abort is
+// reported in the terminal NDJSON object — the rows already sent stay
+// sent, and the stream-abort counter increments.
+func TestStreamBudgetErrorInTerminal(t *testing.T) {
+	eng, ts := engineServer(t)
+	eng.QueryLimits = query.Limits{MaxRows: 2}
+	abortsBefore := mStreamAborts.Value()
+
+	lines := streamLines(t, ts, `{"query": "MATCH (n:function) RETURN n.short_name"}`)
+	terminal := lines[len(lines)-1]
+	msg, ok := terminal["error"].(string)
+	if !ok || !strings.Contains(msg, "budget") {
+		t.Fatalf("terminal error = %v, want budget error", terminal)
+	}
+	if mStreamAborts.Value() <= abortsBefore {
+		t.Fatal("stream abort counter did not increment")
+	}
+}
+
+// TestStreamClientDisconnect: a client that walks away mid-stream must
+// stop the executor promptly (the in-flight gauge drains) and increment
+// the write-error counter — not panic, not leak the producer goroutine
+// (the race detector covers the leak half when this runs under -race).
+func TestStreamClientDisconnect(t *testing.T) {
+	_, ts := engineServer(t)
+	writeErrsBefore := mWriteErrors.Value()
+
+	// Unbounded path enumeration produces far more rows than any socket
+	// buffer holds, so the handler is guaranteed to still be writing
+	// when the connection drops.
+	body := `{"query": "MATCH (f:function) -[:calls*]-> g RETURN f, g"}`
+	resp, err := http.Post(ts.URL+"/api/query/stream", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Read a little to be sure rows are flowing, then hang up.
+	if _, err := io.ReadAtLeast(resp.Body, make([]byte, 256), 256); err != nil {
+		t.Fatalf("no stream output before disconnect: %v", err)
+	}
+	resp.Body.Close()
+
+	deadline := time.Now().Add(10 * time.Second)
+	for mStreamsInFlight.Value() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("stream still in flight %ds after client disconnect", 10)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if mWriteErrors.Value() <= writeErrsBefore {
+		t.Fatal("write-error counter did not increment on client disconnect")
+	}
+}
+
+// TestStreamCacheInteraction: a streamed query never inserts into the
+// query-result cache (its rows leave the process as they are produced),
+// but a result already cached by the materialized path replays through
+// the stream with cached=true in the header.
+func TestStreamCacheInteraction(t *testing.T) {
+	ts := cachedServer(t)
+	body := `{"query": "MATCH (n:function) RETURN n.short_name"}`
+
+	// Stream first: the cache is cold and must stay empty afterwards.
+	lines := streamLines(t, ts, body)
+	if lines[0]["cached"] == true {
+		t.Fatal("cold stream claims cached")
+	}
+	stats := getJSON(t, ts.URL+"/api/stats", http.StatusOK)
+	qc := stats["qcache"].(map[string]any)
+	if n := qc["entries"].(float64); n != 0 {
+		t.Fatalf("streamed miss inserted into qcache: %v entries", n)
+	}
+
+	// Materialize once (populates the cache), then stream again: the
+	// header flags the replay and the rows still match.
+	mat := postQuery(t, ts, body)
+	lines = streamLines(t, ts, body)
+	if lines[0]["cached"] != true {
+		t.Fatalf("replayed stream header = %v, want cached", lines[0])
+	}
+	terminal := lines[len(lines)-1]
+	if terminal["streamed"] == true {
+		t.Fatal("cache replay must not claim pipelined streaming")
+	}
+	if int(terminal["count"].(float64)) != int(mat["count"].(float64)) {
+		t.Fatalf("replayed count %v vs materialized %v", terminal["count"], mat["count"])
+	}
+}
+
+// TestCursorPagination: pages walked via the opaque cursor reassemble
+// exactly the unpaginated result, and a snapshot swap mid-walk turns
+// the stale cursor into 410 Gone.
+func TestCursorPagination(t *testing.T) {
+	eng, ts := engineServer(t)
+	queryText := "MATCH (n:function) RETURN n.short_name"
+	full := postQuery(t, ts, fmt.Sprintf(`{"query": %q}`, queryText))
+	want := full["rows"].([]any)
+	if len(want) < 3 {
+		t.Fatalf("fixture too small for pagination: %d rows", len(want))
+	}
+
+	var pages []any
+	cursor := ""
+	body := fmt.Sprintf(`{"query": %q, "pageSize": 2}`, queryText)
+	for {
+		out := postQuery(t, ts, body)
+		rows := out["rows"].([]any)
+		if len(rows) > 2 {
+			t.Fatalf("page has %d rows, pageSize 2", len(rows))
+		}
+		// Count stays the full-result count on every page.
+		if int(out["count"].(float64)) != len(want) {
+			t.Fatalf("page count = %v, want %d", out["count"], len(want))
+		}
+		pages = append(pages, rows...)
+		next, _ := out["nextCursor"].(string)
+		if next == "" {
+			break
+		}
+		cursor = next
+		// The token carries (epoch, query, offset); page size is a
+		// per-request choice and is resent with each page.
+		body = fmt.Sprintf(`{"cursor": %q, "pageSize": 2}`, next)
+		if len(pages) > len(want) {
+			t.Fatal("pagination did not terminate")
+		}
+	}
+	if len(pages) != len(want) {
+		t.Fatalf("reassembled %d rows, want %d", len(pages), len(want))
+	}
+	for i := range want {
+		if fmt.Sprint(pages[i]) != fmt.Sprint(want[i]) {
+			t.Fatalf("row %d: paged %v vs full %v", i, pages[i], want[i])
+		}
+	}
+
+	// Bump the epoch: the last cursor is now stale and must 410.
+	eng.SetEpoch(999, nil)
+	resp, err := http.Post(ts.URL+"/api/query", "application/json",
+		strings.NewReader(fmt.Sprintf(`{"cursor": %q}`, cursor)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusGone {
+		t.Fatalf("stale cursor: status = %d, want 410", resp.StatusCode)
+	}
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out["error"].(string), "superseded") {
+		t.Fatalf("410 body = %v", out)
+	}
+}
+
+// TestCursorErrors: malformed cursors and query/cursor disagreement are
+// 400s, not silent resets.
+func TestCursorErrors(t *testing.T) {
+	ts := testServer(t)
+	for _, body := range []string{
+		`{"cursor": "@@not-base64@@"}`,
+		`{"cursor": "bm90LWpzb24"}`, // valid base64, not a token
+		`{"query": "MATCH (n) RETURN n", "pageSize": -1}`,
+	} {
+		resp, err := http.Post(ts.URL+"/api/query", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("body %q: status = %d, want 400", body, resp.StatusCode)
+		}
+	}
+}
+
+// TestBatchEndpoint: one round trip, one snapshot pin, and a failing
+// query poisons only its own entry.
+func TestBatchEndpoint(t *testing.T) {
+	ts := testServer(t)
+	resp, err := http.Post(ts.URL+"/api/query/batch", "application/json", strings.NewReader(`{
+		"queries": [
+			{"query": "MATCH (n:function) RETURN n.short_name"},
+			{"query": "MATCH (n RETURN syntax error"},
+			{"query": "MATCH (n:struct) RETURN n.short_name"}
+		]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	var out struct {
+		Epoch   int64        `json:"epoch"`
+		Results []batchEntry `json:"results"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Results) != 3 {
+		t.Fatalf("results = %d", len(out.Results))
+	}
+	if out.Results[0].Error != "" || out.Results[0].Count == 0 {
+		t.Fatalf("entry 0 = %+v", out.Results[0])
+	}
+	if out.Results[1].Error == "" {
+		t.Fatal("entry 1 should carry the parse error")
+	}
+	if out.Results[2].Error != "" || out.Results[2].Count == 0 {
+		t.Fatalf("entry 2 = %+v", out.Results[2])
+	}
+}
+
+// TestBatchEndpointLimits: empty and oversized batches are rejected.
+func TestBatchEndpointLimits(t *testing.T) {
+	ts := testServer(t)
+	var sb strings.Builder
+	sb.WriteString(`{"queries": [`)
+	for i := 0; i <= MaxBatchQueries; i++ {
+		if i > 0 {
+			sb.WriteString(",")
+		}
+		sb.WriteString(`{"query": "MATCH (n) RETURN n LIMIT 1"}`)
+	}
+	sb.WriteString(`]}`)
+	for _, body := range []string{`{"queries": []}`, sb.String()} {
+		resp, err := http.Post(ts.URL+"/api/query/batch", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("status = %d, want 400", resp.StatusCode)
+		}
+	}
+}
+
+// TestOversizedBody413: a request body over the limit is rejected with
+// a 413 JSON envelope instead of being read to the end (the PR-8
+// ingress regression test).
+func TestOversizedBody413(t *testing.T) {
+	ts := testServer(t)
+	huge := fmt.Sprintf(`{"query": %q}`, strings.Repeat("x", DefaultMaxBodyBytes+1024))
+	for _, path := range []string{"/api/query", "/api/query/stream", "/api/query/batch"} {
+		resp, err := http.Post(ts.URL+path, "application/json", strings.NewReader(huge))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out map[string]any
+		if derr := json.NewDecoder(resp.Body).Decode(&out); derr != nil {
+			t.Fatalf("%s: 413 body is not JSON: %v", path, derr)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusRequestEntityTooLarge {
+			t.Fatalf("%s: status = %d, want 413", path, resp.StatusCode)
+		}
+		if !strings.Contains(out["error"].(string), "exceeds") {
+			t.Fatalf("%s: error envelope = %v", path, out)
+		}
+	}
+}
