@@ -43,6 +43,7 @@ import (
 	"frappe/internal/kernelgen"
 	"frappe/internal/model"
 	"frappe/internal/obs"
+	"frappe/internal/obs/trace"
 	"frappe/internal/plan"
 	"frappe/internal/qcache"
 	"frappe/internal/query"
@@ -55,7 +56,7 @@ var (
 	scale      = flag.Int("scale", 1, "synthetic kernel scale factor")
 	runs       = flag.Int("runs", 10, "cold and warm runs per query (paper: 10)")
 	timeout    = flag.Duration("timeout", 15*time.Second, "comprehension-query abort deadline (paper: 15 min)")
-	experiment = flag.String("experiment", "all", "comma list: table3,table4,table5,figure7,table6,ablations,temporal,planner,stream,smoke")
+	experiment = flag.String("experiment", "all", "comma list: table3,table4,table5,figure7,table6,ablations,temporal,planner,stream,obs,smoke")
 	keep       = flag.String("db", "", "store directory to (re)use; default: temp dir")
 	out        = flag.String("out", "", "with -experiment smoke/planner: also write the results as JSON to this file")
 	compare    = flag.Bool("compare", false, "regression gate: compare two smoke JSON files instead of benchmarking")
@@ -149,6 +150,17 @@ func run() error {
 		}
 		record = true
 	}
+	if all || want["obs"] {
+		if err := b.traceOverhead(&sr); err != nil {
+			return err
+		}
+		record = true
+	}
+	// stream must stay the last dispatch that references b: its peak-heap
+	// measurement GCs a baseline and reads the delta, and any later use of
+	// b keeps b.mem (the ~20MB in-memory engine) statically live through
+	// the measurement, which shifts GC pacing and inflates the observed
+	// peak by roughly that much.
 	if all || want["stream"] {
 		if err := b.stream(&sr); err != nil {
 			return err
@@ -869,6 +881,19 @@ type smokeResult struct {
 		StreamedPeakBytes     int64   `json:"streamed_peak_bytes"`
 		RowsPerSec            float64 `json:"rows_per_sec"`
 	} `json:"stream"`
+	// Trace is the PR-9 subject: the warm Figure 3+5 query pair with
+	// request tracing off vs fully on (every trace retained, every span
+	// recorded), bounding the instrumentation overhead. The gate metric
+	// is the untraced throughput — tracing must never have slowed the
+	// untraced path, which is the production default for 90% of requests.
+	Trace struct {
+		Iterations            int     `json:"iterations"`
+		UntracedMS            float64 `json:"untraced_ms"`
+		TracedMS              float64 `json:"traced_ms"`
+		OverheadPct           float64 `json:"overhead_pct"`
+		SpansPerQuery         float64 `json:"spans_per_query"`
+		UntracedQueriesPerSec float64 `json:"untraced_queries_per_sec"`
+	} `json:"trace"`
 }
 
 // cacheRatio is one query batch's page-cache outcome, aggregated over
@@ -957,6 +982,71 @@ func (b *bench) observability(r *smokeResult) error {
 	r.Observability.Warm = cacheDelta(mid, after)
 	r.Observability.QueryDuration = summarize("frappe_query_duration_ms")
 	r.Observability.FrontendDuration = summarize("frappe_extract_frontend_duration_ms")
+	return nil
+}
+
+// traceSpanCount reads the trace package's span counter from the
+// registry (0 when the family has not been minted yet).
+func traceSpanCount() float64 {
+	f := obs.Find(obs.Default.Gather(), "frappe_trace_spans_total")
+	if f == nil || len(f.Series) == 0 {
+		return 0
+	}
+	return f.Series[0].Value
+}
+
+// traceOverhead measures what request tracing costs: the warm Figure
+// 3+5 query pair, untraced vs under a root span with SampleRate 1 (the
+// worst case — every span recorded, every trace retained and copied
+// into the ring). The untraced loop runs the exact code production runs
+// for unsampled requests, so its throughput is the regression gate.
+func (b *bench) traceOverhead(r *smokeResult) error {
+	fmt.Println("== Tracing overhead (PR 9) ==")
+	ctx := context.Background()
+	const iters = 30
+	pair := func(ctx context.Context) error {
+		for _, q := range []string{figure3Query, figure5Query} {
+			if _, err := b.disk.Query(ctx, q); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	// Warm the page cache so both loops measure execution, not I/O.
+	if err := pair(ctx); err != nil {
+		return err
+	}
+
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		if err := pair(ctx); err != nil {
+			return err
+		}
+	}
+	untraced := time.Since(start)
+
+	tr := trace.New(trace.Config{Capacity: 64, SampleRate: 1})
+	spansBefore := traceSpanCount()
+	start = time.Now()
+	for i := 0; i < iters; i++ {
+		sp := tr.StartRoot("bench.pair", trace.Parent{})
+		if err := pair(trace.ContextWith(ctx, sp)); err != nil {
+			return err
+		}
+		sp.End()
+	}
+	traced := time.Since(start)
+	spans := traceSpanCount() - spansBefore
+
+	r.Trace.Iterations = iters
+	r.Trace.UntracedMS = float64(untraced) / float64(time.Millisecond)
+	r.Trace.TracedMS = float64(traced) / float64(time.Millisecond)
+	r.Trace.OverheadPct = 100 * (r.Trace.TracedMS - r.Trace.UntracedMS) / r.Trace.UntracedMS
+	r.Trace.SpansPerQuery = spans / float64(iters*2)
+	r.Trace.UntracedQueriesPerSec = float64(iters*2) * 1000 / r.Trace.UntracedMS
+	fmt.Printf("%-28s %10s %10s %10s %10s\n", "", "untraced", "traced", "overhead", "spans/q")
+	fmt.Printf("%-28s %9.1fms %9.1fms %+9.1f%% %10.1f\n\n", "warm fig3+fig5 pair × 30",
+		r.Trace.UntracedMS, r.Trace.TracedMS, r.Trace.OverheadPct, r.Trace.SpansPerQuery)
 	return nil
 }
 
@@ -1176,6 +1266,9 @@ type compareFile struct {
 		StreamedPeakBytes     int64   `json:"streamed_peak_bytes"`
 		RowsPerSec            float64 `json:"rows_per_sec"`
 	} `json:"stream"`
+	Trace struct {
+		UntracedQueriesPerSec float64 `json:"untraced_queries_per_sec"`
+	} `json:"trace"`
 }
 
 // warmThroughput converts the warm-read measurement into ops/ms so two
@@ -1258,6 +1351,7 @@ func runCompare(args []string, tol float64) error {
 		{"qcache_hit_ratio", oldF.QCache.HitRatio, newF.QCache.HitRatio, false},
 		{"planner_fig6_queries_per_s", oldF.plannerThroughput(), newF.plannerThroughput(), true},
 		{"stream_rows_per_sec", oldF.Stream.RowsPerSec, newF.Stream.RowsPerSec, true},
+		{"untraced_queries_per_sec", oldF.Trace.UntracedQueriesPerSec, newF.Trace.UntracedQueriesPerSec, true},
 	}
 	fmt.Printf("bench gate: %s -> %s (tolerance %.0f%%)\n", files[0], files[1], tol*100)
 	failed := 0

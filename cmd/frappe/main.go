@@ -28,6 +28,7 @@ import (
 	"flag"
 	"fmt"
 	"io/fs"
+	"log/slog"
 	"net"
 	"os"
 	"os/signal"
@@ -44,12 +45,18 @@ import (
 	"frappe/internal/graph"
 	"frappe/internal/kernelgen"
 	"frappe/internal/model"
+	"frappe/internal/obs"
+	"frappe/internal/obs/trace"
 	"frappe/internal/qcache"
 	"frappe/internal/query"
 	"frappe/internal/server"
 	"frappe/internal/store"
 	"frappe/internal/traversal"
 )
+
+// version is stamped by the build (-ldflags "-X main.version=...");
+// it labels frappe_build_info so scrapes can tell deployments apart.
+var version = "dev"
 
 func main() {
 	if len(os.Args) < 2 {
@@ -665,7 +672,24 @@ func cmdServe(args []string) error {
 	qcacheEntries := fl.Int("qcache-entries", qcache.DefaultMaxEntries, "query result cache entry cap")
 	updateRetries := fl.Int("update-retries", 3, "attempts per admin update before reporting failure (1 disables retry)")
 	updateRetryBackoff := fl.Duration("update-retry-backoff", 500*time.Millisecond, "initial backoff between update retries (doubles each attempt)")
+	logFormat := fl.String("log-format", "text", "server log format: text or json")
+	traceSample := fl.Float64("trace-sample", trace.DefaultSampleRate, "fraction of unremarkable request traces to retain in [0,1]; slow/errored/degraded traces are always kept (<0 disables tracing)")
+	traceExport := fl.String("trace-export", "", "append every retained trace as JSON lines to this file (rotated)")
 	fl.Parse(args)
+
+	// Structured logging: every server log line (slow requests, panics,
+	// write failures, update retries) goes to stderr in the chosen
+	// format, carrying request and trace IDs. Built before engine wiring
+	// so the update-retry path logs structured too.
+	var logger *slog.Logger
+	switch *logFormat {
+	case "json":
+		logger = slog.New(slog.NewJSONHandler(os.Stderr, nil))
+	case "text":
+		logger = slog.New(slog.NewTextHandler(os.Stderr, nil))
+	default:
+		return fmt.Errorf("serve: -log-format must be \"text\" or \"json\", got %q", *logFormat)
+	}
 
 	var eng *core.Engine
 	var srv *server.Server
@@ -739,7 +763,7 @@ func cmdServe(args []string) error {
 		// never publishes, so a retry replans from the same inputs.
 		if *updateRetries > 1 {
 			srv.Update = server.WithRetry(srv.Update, *updateRetries, *updateRetryBackoff,
-				func(format string, args ...any) { fmt.Printf("frappe: "+format+"\n", args...) })
+				func(format string, args ...any) { logger.Warn(fmt.Sprintf(format, args...)) })
 		}
 		// Catch up with any tree changes (or lost cache entries) since the
 		// last index before accepting traffic.
@@ -786,6 +810,35 @@ func cmdServe(args []string) error {
 		fmt.Printf("frappe: pprof enabled at http://%s/debug/pprof/\n", *addr)
 	}
 
+	srv.Logger = logger
+	obs.RegisterRuntime(version)
+
+	// Request tracing: a lock-striped ring of recent traces with
+	// tail-based sampling. Slow requests use the same threshold the slow
+	// log uses, so every "slow request" log line has a retained trace.
+	if *traceSample >= 0 {
+		if *traceSample > 1 {
+			return fmt.Errorf("serve: -trace-sample must be in [0,1], got %v", *traceSample)
+		}
+		cfg := trace.Config{
+			Capacity:      256,
+			SampleRate:    *traceSample,
+			SlowThreshold: server.DefaultSlowThreshold,
+		}
+		if srv.SlowThreshold > 0 {
+			cfg.SlowThreshold = srv.SlowThreshold
+		}
+		if *traceExport != "" {
+			exp, err := trace.NewExporter(*traceExport, trace.DefaultExportMaxBytes)
+			if err != nil {
+				return fmt.Errorf("serve: -trace-export: %w", err)
+			}
+			defer exp.Close()
+			cfg.Export = exp
+		}
+		srv.Tracer = trace.New(cfg)
+	}
+
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	ln, err := net.Listen("tcp", *addr)
@@ -793,6 +846,12 @@ func cmdServe(args []string) error {
 		return err
 	}
 	fmt.Printf("frappe: serving %s on http://%s (SIGTERM drains for up to %v)\n", *db, ln.Addr(), *drain)
+	// The startup line also goes to the structured sink, so log
+	// pipelines see the process come up in the same stream as its
+	// requests.
+	srv.Logger.Info("serving", "db", *db, "addr", ln.Addr().String(),
+		"version", version, "epoch", eng.Snapshot().Epoch(),
+		"tracing", srv.Tracer != nil, "logFormat", *logFormat)
 	if err := server.Serve(ctx, ln, srv, *drain); err != nil {
 		return err
 	}

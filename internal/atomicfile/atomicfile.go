@@ -76,6 +76,11 @@ func WriteFile(path string, data []byte, perm os.FileMode) error {
 	return syncDir(dir)
 }
 
+// SyncDir fsyncs a directory so a completed rename/create/remove inside
+// it is durable — for callers (like the trace exporter's rotation) that
+// manage their own files but want this package's durability discipline.
+func SyncDir(dir string) error { return syncDir(dir) }
+
 // syncDir fsyncs a directory so a completed rename/create/remove inside
 // it is durable. Filesystems that reject directory fsync (rare, but
 // some CI overlays do) degrade to best-effort rather than failing the

@@ -30,6 +30,7 @@ import (
 	"frappe/internal/graph"
 	"frappe/internal/gstats"
 	"frappe/internal/model"
+	"frappe/internal/obs/trace"
 	"frappe/internal/plan"
 	"frappe/internal/qcache"
 	"frappe/internal/query"
@@ -473,7 +474,60 @@ func (e *Snapshot) Query(ctx context.Context, text string, limits query.Limits) 
 	if err != nil {
 		return nil, err
 	}
-	return plan.Compile(q, e.GraphStats()).Execute(ctx, e.src, limits)
+	t0 := time.Now()
+	p := plan.Compile(q, e.GraphStats())
+	planSpan(trace.FromContext(ctx), t0, p, false)
+	return p.Execute(ctx, e.src, limits)
+}
+
+// planSpan records one "plan.compile" span under sp: which rewrites the
+// planner took, whether it fell back to the interpreter, and whether
+// the compiled plan came from the generation-keyed cache.
+func planSpan(sp *trace.Span, start time.Time, p *plan.Plan, cachedPlan bool) {
+	if sp == nil {
+		return
+	}
+	c := sp.ChildSince("plan.compile", start,
+		trace.Bool("cachedPlan", cachedPlan),
+		trace.Bool("fallback", p.Fallback),
+		trace.Int("rewrites", int64(p.Rewrites)),
+		trace.Int("generation", p.Generation),
+	)
+	c.End()
+}
+
+// PagerSpan starts page-cache attribution for the traced query in ctx
+// against this snapshot's store: the returned func emits one
+// "store.pager" span whose attributes are the counter deltas (pages
+// faulted, cache hits, bytes, CRC failures) accumulated since the call.
+// The counters are process-wide, so under concurrent queries the delta
+// over-counts — the span carries approximate=true to say so. No-op (and
+// free) for in-memory snapshots or untraced contexts.
+func (s *Snapshot) PagerSpan(ctx context.Context) func() {
+	sp := trace.FromContext(ctx)
+	if sp == nil || s.db == nil {
+		return func() {}
+	}
+	before := s.db.Stats()
+	start := time.Now()
+	return func() {
+		after := s.db.Stats()
+		var hits, misses, crc int64
+		for name, a := range after {
+			b := before[name]
+			hits += a.Hits - b.Hits
+			misses += a.Misses - b.Misses
+			crc += a.ChecksumFailures - b.ChecksumFailures
+		}
+		c := sp.ChildSince("store.pager", start,
+			trace.Int("pagesRead", misses),
+			trace.Int("cacheHits", hits),
+			trace.Int("bytesRead", misses*int64(s.db.PageSize())),
+			trace.Int("checksumFailures", crc),
+			trace.Bool("approximate", true),
+		)
+		c.End()
+	}
 }
 
 // QueryProfile runs a query with per-operator PROFILE tracing. The
@@ -524,20 +578,49 @@ func (e *Engine) QueryCacheHits(s *Snapshot, text string) int64 {
 // identical queries. With bypass (or no cache installed) it executes
 // directly, exactly like Snapshot.Query. Cached results are shared
 // between callers — treat them as read-only.
-func (e *Engine) CachedQuery(ctx context.Context, s *Snapshot, text string, bypass bool) (*query.Result, qcache.Outcome, error) {
+func (e *Engine) CachedQuery(ctx context.Context, s *Snapshot, text string, bypass bool) (res *query.Result, out qcache.Outcome, err error) {
 	qc := e.qc
+	if eng := trace.FromContext(ctx).Child("engine.query", trace.Int("epoch", s.Epoch())); eng != nil {
+		ctx = trace.ContextWith(ctx, eng)
+		pager := s.PagerSpan(ctx)
+		defer func() {
+			pager()
+			eng.SetAttr(
+				trace.Bool("bypass", bypass || qc == nil),
+				trace.Bool("cacheHit", out.Hit),
+				trace.Bool("shared", out.Shared))
+			if err != nil {
+				eng.SetError(err)
+				markRetention(eng, err)
+			}
+			eng.End()
+		}()
+	}
 	if qc == nil || bypass {
-		res, err := s.Query(ctx, text, e.QueryLimits)
+		res, err = s.Query(ctx, text, e.QueryLimits)
 		return res, qcache.Outcome{}, err
 	}
 	k := qcache.Key{Epoch: s.Epoch(), Text: text, Limits: e.QueryLimits}
-	return qc.Do(ctx, k, func() (*query.Result, error) {
-		p, err := e.planFor(qc, s, text)
-		if err != nil {
-			return nil, err
+	res, out, err = qc.Do(ctx, k, func() (*query.Result, error) {
+		p, perr := e.planFor(ctx, qc, s, text)
+		if perr != nil {
+			return nil, perr
 		}
 		return p.Execute(ctx, s.Source(), e.QueryLimits)
 	})
+	return res, out, err
+}
+
+// markRetention forces trace retention for the outcome classes tail
+// sampling must never drop: degraded-store reads and budget aborts
+// (plain errors already retain via SetError).
+func markRetention(sp *trace.Span, err error) {
+	switch {
+	case errors.Is(err, store.ErrCorrupt) || errors.Is(err, store.ErrTruncated):
+		sp.Retain("degraded")
+	case errors.Is(err, query.ErrBudgetExceeded):
+		sp.Retain("budget")
+	}
 }
 
 // StreamQuery runs text against the pinned snapshot s as a streaming
@@ -562,7 +645,7 @@ func (e *Engine) StreamQuery(ctx context.Context, s *Snapshot, text string, dept
 			return query.ReplayStream(ctx, res, depth), qcache.Outcome{Hit: true}, nil
 		}
 	}
-	p, err := e.planFor(qc, s, text)
+	p, err := e.planFor(ctx, qc, s, text)
 	if err != nil {
 		return nil, qcache.Outcome{}, err
 	}
@@ -573,14 +656,17 @@ func (e *Engine) StreamQuery(ctx context.Context, s *Snapshot, text string, dept
 // serving it from the query cache's generation-keyed compiled-plan slot
 // when the cache holds one built against s's current statistics. qc may
 // be nil (no cache installed): the plan is then built from scratch.
-func (e *Engine) planFor(qc *qcache.Cache, s *Snapshot, text string) (*plan.Plan, error) {
+func (e *Engine) planFor(ctx context.Context, qc *qcache.Cache, s *Snapshot, text string) (*plan.Plan, error) {
 	st := s.GraphStats()
+	t0 := time.Now()
 	if qc == nil {
 		q, err := query.Parse(text)
 		if err != nil {
 			return nil, err
 		}
-		return plan.Compile(q, st), nil
+		p := plan.Compile(q, st)
+		planSpan(trace.FromContext(ctx), t0, p, false)
+		return p, nil
 	}
 	q, err := qc.Plan(text)
 	if err != nil {
@@ -590,19 +676,23 @@ func (e *Engine) planFor(qc *qcache.Cache, s *Snapshot, text string) (*plan.Plan
 	if st != nil {
 		gen = st.Generation
 	}
+	built := false
 	v, err := qc.CompiledPlan(text, gen, func() (any, error) {
+		built = true
 		return plan.Compile(q, st), nil
 	})
 	if err != nil {
 		return nil, err
 	}
-	return v.(*plan.Plan), nil
+	p := v.(*plan.Plan)
+	planSpan(trace.FromContext(ctx), t0, p, !built)
+	return p, nil
 }
 
 // ExplainQuery compiles text against the live snapshot's statistics and
 // returns the plan's EXPLAIN rendering without executing anything.
 func (e *Engine) ExplainQuery(text string) (string, error) {
-	p, err := e.planFor(e.qc, e.Snapshot(), text)
+	p, err := e.planFor(context.Background(), e.qc, e.Snapshot(), text)
 	if err != nil {
 		return "", err
 	}

@@ -1,0 +1,109 @@
+package obs
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+)
+
+// RuntimeCollector samples Go runtime and process state at scrape time:
+// build identity, uptime, goroutines, heap in use, and GC pause
+// quantiles from the runtime's own circular pause buffer. It is a
+// Collector (constraint 2 in the package doc): the runtime already
+// maintains these counters, so scrapes read them instead of the process
+// double-accounting on every allocation.
+func RuntimeCollector(version string, start time.Time) Collector {
+	goVersion := runtime.Version()
+	return func(emit func(Sample)) {
+		emit(Sample{
+			Name: "frappe_build_info",
+			Help: "Build identity; the value is always 1, the labels carry the versions.",
+			Kind: KindGauge,
+			Labels: Labels{
+				"version": version,
+				"go":      goVersion,
+			},
+			Value: 1,
+		})
+		emit(Sample{
+			Name:  "frappe_process_uptime_seconds",
+			Help:  "Seconds since the process started.",
+			Kind:  KindGauge,
+			Value: time.Since(start).Seconds(),
+		})
+		emit(Sample{
+			Name:  "frappe_go_goroutines",
+			Help:  "Live goroutines.",
+			Kind:  KindGauge,
+			Value: float64(runtime.NumGoroutine()),
+		})
+
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		emit(Sample{
+			Name:  "frappe_go_heap_inuse_bytes",
+			Help:  "Bytes in in-use heap spans.",
+			Kind:  KindGauge,
+			Value: float64(ms.HeapInuse),
+		})
+		emit(Sample{
+			Name:  "frappe_go_gc_cycles_total",
+			Help:  "Completed GC cycles.",
+			Kind:  KindCounter,
+			Value: float64(ms.NumGC),
+		})
+		for _, q := range gcPauseQuantiles(&ms) {
+			emit(Sample{
+				Name:   "frappe_go_gc_pause_seconds",
+				Help:   "GC stop-the-world pause quantiles over the runtime's recent-pause window.",
+				Kind:   KindGauge,
+				Labels: Labels{"quantile": q.name},
+				Value:  q.seconds,
+			})
+		}
+	}
+}
+
+type gcQuantile struct {
+	name    string
+	seconds float64
+}
+
+// gcPauseQuantiles computes pause quantiles over MemStats.PauseNs, the
+// runtime's circular buffer of the most recent 256 GC pauses. With no
+// completed GC the quantiles are all zero.
+func gcPauseQuantiles(ms *runtime.MemStats) []gcQuantile {
+	n := int(ms.NumGC)
+	if n > len(ms.PauseNs) {
+		n = len(ms.PauseNs)
+	}
+	out := []gcQuantile{{"0.5", 0}, {"0.9", 0}, {"0.99", 0}}
+	if n == 0 {
+		return out
+	}
+	pauses := make([]float64, n)
+	for i := 0; i < n; i++ {
+		pauses[i] = float64(ms.PauseNs[i]) / 1e9
+	}
+	sort.Float64s(pauses)
+	for i, q := range []float64{0.5, 0.9, 0.99} {
+		idx := int(q * float64(n))
+		if idx >= n {
+			idx = n - 1
+		}
+		out[i].seconds = pauses[idx]
+	}
+	return out
+}
+
+var registerRuntimeOnce sync.Once
+
+// RegisterRuntime installs the runtime collector on the Default
+// registry once per process (serve startup calls it; tests that gather
+// Default may too).
+func RegisterRuntime(version string) {
+	registerRuntimeOnce.Do(func() {
+		Default.RegisterCollector(RuntimeCollector(version, time.Now()))
+	})
+}

@@ -1,0 +1,89 @@
+package obs
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+func TestRuntimeCollector(t *testing.T) {
+	r := NewRegistry()
+	start := time.Now().Add(-3 * time.Second)
+	r.RegisterCollector(RuntimeCollector("v-test", start))
+	runtime.GC() // ensure at least one pause sample exists
+
+	fams := r.Gather()
+
+	build := Find(fams, "frappe_build_info")
+	if build == nil || len(build.Series) != 1 {
+		t.Fatalf("frappe_build_info missing: %+v", build)
+	}
+	s := build.Series[0]
+	if s.Value != 1 || s.Labels["version"] != "v-test" || s.Labels["go"] != runtime.Version() {
+		t.Fatalf("build info series = %+v", s)
+	}
+
+	up := Find(fams, "frappe_process_uptime_seconds")
+	if up == nil || up.Series[0].Value < 3 {
+		t.Fatalf("uptime = %+v, want >= 3s", up)
+	}
+
+	gor := Find(fams, "frappe_go_goroutines")
+	if gor == nil || gor.Series[0].Value < 1 {
+		t.Fatalf("goroutines = %+v", gor)
+	}
+	heap := Find(fams, "frappe_go_heap_inuse_bytes")
+	if heap == nil || heap.Series[0].Value <= 0 {
+		t.Fatalf("heap in use = %+v", heap)
+	}
+
+	pauses := Find(fams, "frappe_go_gc_pause_seconds")
+	if pauses == nil || len(pauses.Series) != 3 {
+		t.Fatalf("gc pause quantiles = %+v", pauses)
+	}
+	want := map[string]bool{"0.5": true, "0.9": true, "0.99": true}
+	var p50, p99 float64
+	for _, s := range pauses.Series {
+		q := s.Labels["quantile"]
+		if !want[q] {
+			t.Fatalf("unexpected quantile %q", q)
+		}
+		if s.Value < 0 {
+			t.Fatalf("negative pause quantile %q: %v", q, s.Value)
+		}
+		switch q {
+		case "0.5":
+			p50 = s.Value
+		case "0.99":
+			p99 = s.Value
+		}
+	}
+	if p99 < p50 {
+		t.Fatalf("p99 (%v) < p50 (%v)", p99, p50)
+	}
+}
+
+func TestGCPauseQuantilesEmpty(t *testing.T) {
+	var ms runtime.MemStats // NumGC == 0
+	for _, q := range gcPauseQuantiles(&ms) {
+		if q.seconds != 0 {
+			t.Fatalf("quantile %s = %v with zero GCs", q.name, q.seconds)
+		}
+	}
+}
+
+func TestRegisterRuntimeIdempotent(t *testing.T) {
+	RegisterRuntime("a")
+	RegisterRuntime("b") // must not add a second collector or series
+	fams := Default.Gather()
+	build := Find(fams, "frappe_build_info")
+	if build == nil {
+		t.Fatal("frappe_build_info absent from Default after RegisterRuntime")
+	}
+	if len(build.Series) != 1 {
+		t.Fatalf("RegisterRuntime registered twice: %d series", len(build.Series))
+	}
+	if build.Series[0].Labels["version"] != "a" {
+		t.Fatalf("first registration did not win: %+v", build.Series[0].Labels)
+	}
+}

@@ -1,0 +1,126 @@
+package trace
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"frappe/internal/atomicfile"
+)
+
+// DefaultExportMaxBytes is the rotation threshold for the JSON-lines
+// exporter: when the live file reaches it, it is rotated to "<path>.1"
+// (replacing any previous rotation) and a fresh file is started.
+const DefaultExportMaxBytes = 8 << 20
+
+// Exporter appends retained traces to a JSON-lines file, one span per
+// line, fsynced per trace. Rotation follows the atomicfile discipline:
+// the rename and the fresh file are made durable with a directory
+// fsync, so a crash leaves either the old log, the rotated pair, or
+// both — never a torn line at a rotation boundary.
+type Exporter struct {
+	path     string
+	maxBytes int64
+
+	mu   sync.Mutex
+	f    *os.File
+	size int64
+}
+
+// NewExporter opens (or creates, appending) the export file. maxBytes
+// <= 0 uses DefaultExportMaxBytes.
+func NewExporter(path string, maxBytes int64) (*Exporter, error) {
+	if maxBytes <= 0 {
+		maxBytes = DefaultExportMaxBytes
+	}
+	e := &Exporter{path: path, maxBytes: maxBytes}
+	if err := e.open(); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+func (e *Exporter) open() error {
+	f, err := os.OpenFile(e.path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	fi, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return err
+	}
+	e.f, e.size = f, fi.Size()
+	return atomicfile.SyncDir(filepath.Dir(e.path))
+}
+
+// export writes every span of one retained trace. Failures increment
+// frappe_trace_export_errors_total and drop the trace's spans — the
+// exporter never fails a request over its log file.
+func (e *Exporter) export(rec *Record) {
+	var buf []byte
+	for i := range rec.Spans {
+		line, err := json.Marshal(&rec.Spans[i])
+		if err != nil {
+			mExportErrors.Inc()
+			return
+		}
+		buf = append(buf, line...)
+		buf = append(buf, '\n')
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.f == nil {
+		mExportErrors.Inc()
+		return
+	}
+	if e.size+int64(len(buf)) > e.maxBytes && e.size > 0 {
+		if err := e.rotateLocked(); err != nil {
+			mExportErrors.Inc()
+			return
+		}
+	}
+	if _, err := e.f.Write(buf); err != nil {
+		mExportErrors.Inc()
+		return
+	}
+	if err := e.f.Sync(); err != nil {
+		mExportErrors.Inc()
+		return
+	}
+	e.size += int64(len(buf))
+	mExportedSpans.Add(int64(len(rec.Spans)))
+}
+
+// rotateLocked moves the live file to "<path>.1" and starts a fresh
+// one. Caller holds e.mu.
+func (e *Exporter) rotateLocked() error {
+	if err := e.f.Sync(); err != nil {
+		return err
+	}
+	if err := e.f.Close(); err != nil {
+		e.f = nil
+		return err
+	}
+	e.f = nil
+	if err := os.Rename(e.path, e.path+".1"); err != nil {
+		return err
+	}
+	return e.open()
+}
+
+// Close flushes and closes the export file.
+func (e *Exporter) Close() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.f == nil {
+		return nil
+	}
+	err := e.f.Sync()
+	if cerr := e.f.Close(); err == nil {
+		err = cerr
+	}
+	e.f = nil
+	return err
+}

@@ -1,0 +1,41 @@
+package trace
+
+import "frappe/internal/obs"
+
+// Tracer health metrics. Registered at package init so the
+// frappe_trace_* families appear on /metrics from the first scrape,
+// even before any request is traced.
+var (
+	mSpans = obs.Default.Counter("frappe_trace_spans_total",
+		"Spans recorded by the tracer.", nil)
+	mTraceDropped = obs.Default.Counter("frappe_trace_dropped_total",
+		"Completed traces discarded by tail sampling.", nil)
+	mExportedSpans = obs.Default.Counter("frappe_trace_exported_spans_total",
+		"Spans written by the JSON-lines exporter.", nil)
+	mExportErrors = obs.Default.Counter("frappe_trace_export_errors_total",
+		"Exporter write or rotation failures.", nil)
+
+	// Retention reasons are a closed vocabulary so the label space stays
+	// bounded; Retain() callers outside it land in "forced".
+	mRetained = map[string]*obs.Counter{
+		"slow":     retainedFor("slow"),
+		"error":    retainedFor("error"),
+		"sampled":  retainedFor("sampled"),
+		"budget":   retainedFor("budget"),
+		"degraded": retainedFor("degraded"),
+		"forced":   retainedFor("forced"),
+	}
+)
+
+func retainedFor(reason string) *obs.Counter {
+	return obs.Default.Counter("frappe_trace_retained_total",
+		"Traces retained by tail sampling, by reason.",
+		obs.Labels{"reason": reason})
+}
+
+func retainedCounter(reason string) *obs.Counter {
+	if c, ok := mRetained[reason]; ok {
+		return c
+	}
+	return mRetained["forced"]
+}

@@ -1,0 +1,69 @@
+package trace
+
+import "strings"
+
+// W3C trace-context (https://www.w3.org/TR/trace-context/) header name
+// and the version this implementation emits.
+const (
+	TraceparentHeader = "traceparent"
+	version           = "00"
+	flagSampled       = "01"
+)
+
+// ParseTraceparent decodes a W3C traceparent header value:
+// version "00", 32-hex trace ID, 16-hex span ID, 2-hex flags, all
+// lowercase and dash-separated. Malformed or all-zero values return an
+// invalid Parent — the caller starts a fresh trace, never fails the
+// request over a bad header.
+func ParseTraceparent(h string) Parent {
+	parts := strings.Split(strings.TrimSpace(h), "-")
+	if len(parts) != 4 || parts[0] != version || len(parts[3]) != 2 {
+		return Parent{}
+	}
+	// The spec mandates lowercase hex; hex.Decode would accept uppercase.
+	if !isLowerHex(parts[1]) {
+		return Parent{}
+	}
+	tid, ok := ParseTraceID(parts[1])
+	if !ok {
+		return Parent{}
+	}
+	if len(parts[2]) != 16 || !isLowerHex(parts[2]) || !isLowerHex(parts[3]) {
+		return Parent{}
+	}
+	var sid SpanID
+	for i := 0; i < 8; i++ {
+		sid[i] = unhex(parts[2][2*i])<<4 | unhex(parts[2][2*i+1])
+	}
+	if sid.IsZero() {
+		return Parent{}
+	}
+	return Parent{Trace: tid, Span: sid, Valid: true}
+}
+
+// Traceparent formats the span's context as an outgoing traceparent
+// value ("" for the nil span). Retention isn't knowable until the trace
+// ends, so the sampled flag is always set — tail sampling decides later.
+func (s *Span) Traceparent() string {
+	if s == nil {
+		return ""
+	}
+	return version + "-" + s.st.id.String() + "-" + s.id.String() + "-" + flagSampled
+}
+
+func isLowerHex(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+func unhex(c byte) byte {
+	if c <= '9' {
+		return c - '0'
+	}
+	return c - 'a' + 10
+}

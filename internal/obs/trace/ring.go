@@ -1,0 +1,230 @@
+package trace
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// DefaultSampleRate is the probability an unremarkable trace (not slow,
+// errored, or force-retained) survives tail sampling.
+const DefaultSampleRate = 0.10
+
+// Config sizes a Tracer. The zero value is usable: 256 retained traces
+// across 8 stripes, no probabilistic sampling (only slow/error/forced
+// traces are kept), no slow threshold, no exporter.
+type Config struct {
+	// Capacity is the total number of retained traces across all
+	// stripes (default 256). Oldest-in-stripe is evicted on overflow.
+	Capacity int
+	// Stripes is the number of independently locked rings (default 8,
+	// rounded up to a power of two). Traces map to stripes by trace-ID
+	// hash, so concurrent retention rarely contends. Use 1 in tests
+	// that need global eviction order.
+	Stripes int
+	// SampleRate is the retention probability for unremarkable traces,
+	// in [0, 1]. Zero keeps none of them — slow, errored, and forced
+	// traces are always kept regardless.
+	SampleRate float64
+	// SlowThreshold marks a root span slow when its wall time reaches
+	// it; slow traces are always retained. Zero disables the check.
+	SlowThreshold time.Duration
+	// Export, when non-nil, receives every retained trace.
+	Export *Exporter
+}
+
+// Summary is the list view of a retained trace (GET /api/debug/traces).
+type Summary struct {
+	TraceID string    `json:"traceId"`
+	Root    string    `json:"root"`
+	Start   time.Time `json:"start"`
+	Millis  float64   `json:"millis"`
+	Spans   int       `json:"spans"`
+	Reason  string    `json:"reason"`
+	Error   string    `json:"error,omitempty"`
+
+	seq uint64 // retention order, newest-first sort key
+}
+
+// Record is one retained trace: summary plus the full span tree.
+type Record struct {
+	Summary
+	// DroppedSpans counts spans beyond the per-trace cap; non-zero means
+	// the tree is truncated, not that work was lost.
+	DroppedSpans int          `json:"droppedSpans,omitempty"`
+	Spans        []SpanRecord `json:"spanTree"`
+}
+
+type stripe struct {
+	mu    sync.Mutex
+	slots []*Record // ring, oldest overwritten at next
+	next  int
+}
+
+// Tracer owns the retained-trace ring and makes the tail-sampling
+// decision when a root span ends. A nil *Tracer is valid and disables
+// tracing entirely (StartRoot returns the nil no-op span).
+type Tracer struct {
+	sampleRate float64
+	slow       time.Duration
+	exp        *Exporter
+	stripes    []*stripe
+	mask       uint64
+	seq        atomic.Uint64
+}
+
+// New builds a Tracer from cfg (see Config for defaults).
+func New(cfg Config) *Tracer {
+	capacity := cfg.Capacity
+	if capacity <= 0 {
+		capacity = 256
+	}
+	n := cfg.Stripes
+	if n <= 0 {
+		n = 8
+	}
+	// Power-of-two stripe count so stripeFor is a mask, not a modulo.
+	pow := 1
+	for pow < n {
+		pow <<= 1
+	}
+	n = pow
+	per := capacity / n
+	if per < 1 {
+		per = 1
+	}
+	t := &Tracer{
+		sampleRate: cfg.SampleRate,
+		slow:       cfg.SlowThreshold,
+		exp:        cfg.Export,
+		stripes:    make([]*stripe, n),
+		mask:       uint64(n - 1),
+	}
+	for i := range t.stripes {
+		t.stripes[i] = &stripe{slots: make([]*Record, per)}
+	}
+	return t
+}
+
+// Parent is an upstream trace context (a parsed traceparent header).
+type Parent struct {
+	Trace TraceID
+	Span  SpanID
+	Valid bool
+}
+
+// StartRoot begins a new trace (or continues parent's) with a root
+// span. Returns nil — the no-op span — when t is nil.
+func (t *Tracer) StartRoot(name string, parent Parent, attrs ...Attr) *Span {
+	if t == nil {
+		return nil
+	}
+	st := &state{}
+	sp := &Span{tr: t, st: st, id: newSpanID(), root: true, name: name, start: time.Now(), attrs: attrs}
+	if parent.Valid {
+		st.id = parent.Trace
+		sp.parent = parent.Span
+	} else {
+		st.id = newTraceID()
+	}
+	return sp
+}
+
+// finish runs the tail-sampling decision for a completed trace. root is
+// the root span's record, dur its wall time.
+func (t *Tracer) finish(st *state, root SpanRecord, dur time.Duration) {
+	st.mu.Lock()
+	st.done = true
+	errs, forced := st.errs, st.forced
+	spans, dropped := st.spans, st.dropped
+	st.mu.Unlock()
+
+	var reason string
+	switch {
+	case forced != "":
+		reason = forced
+	case errs > 0:
+		reason = "error"
+	case t.slow > 0 && dur >= t.slow:
+		reason = "slow"
+	case t.sampleRate > 0 && randFloat() < t.sampleRate:
+		reason = "sampled"
+	default:
+		mTraceDropped.Inc()
+		return
+	}
+	retainedCounter(reason).Inc()
+
+	rec := &Record{
+		Summary: Summary{
+			TraceID: root.TraceID,
+			Root:    root.Name,
+			Start:   root.Start,
+			Millis:  root.Millis,
+			Spans:   len(spans),
+			Reason:  reason,
+			Error:   root.Error,
+			seq:     t.seq.Add(1),
+		},
+		DroppedSpans: dropped,
+		Spans:        spans,
+	}
+	s := t.stripeFor(st.id)
+	s.mu.Lock()
+	s.slots[s.next] = rec
+	s.next = (s.next + 1) % len(s.slots)
+	s.mu.Unlock()
+
+	if t.exp != nil {
+		t.exp.export(rec)
+	}
+}
+
+func (t *Tracer) stripeFor(id TraceID) *stripe {
+	// The trace ID is already uniformly random (or an upstream's random
+	// ID); the low byte is as good a hash as any.
+	return t.stripes[uint64(id[15])&t.mask]
+}
+
+// Traces lists retained traces, newest retention first.
+func (t *Tracer) Traces() []Summary {
+	if t == nil {
+		return nil
+	}
+	var out []Summary
+	for _, s := range t.stripes {
+		s.mu.Lock()
+		for _, r := range s.slots {
+			if r != nil {
+				out = append(out, r.Summary)
+			}
+		}
+		s.mu.Unlock()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].seq > out[j].seq })
+	return out
+}
+
+// Get fetches a retained trace by its 32-hex-char ID. When the same
+// upstream trace ID was retained more than once, the newest wins.
+func (t *Tracer) Get(id string) (*Record, bool) {
+	if t == nil {
+		return nil, false
+	}
+	tid, ok := ParseTraceID(id)
+	if !ok {
+		return nil, false
+	}
+	want := tid.String()
+	s := t.stripeFor(tid)
+	var best *Record
+	s.mu.Lock()
+	for _, r := range s.slots {
+		if r != nil && r.TraceID == want && (best == nil || r.seq > best.seq) {
+			best = r
+		}
+	}
+	s.mu.Unlock()
+	return best, best != nil
+}

@@ -1,0 +1,349 @@
+// Package trace is Frappé's request-tracing layer: a stdlib-only span
+// model carried through context.Context, W3C traceparent ingestion at
+// the HTTP edge, and a lock-striped ring of recent traces retained by
+// tail-based sampling. It follows the obs registry's philosophy — no
+// dependencies, hot paths pay atomics, and everything it records is
+// inspectable from the running process (GET /api/debug/traces).
+//
+// A trace doubles as a per-request resource-attribution record: the
+// server, engine, planner, executor and store pager attach spans and
+// typed attributes (qcache hit/shared, plan rewrites, per-clause rows
+// and db-hits, page faults and bytes read), so "why was this request
+// slow" is answerable after the fact from the trace alone.
+//
+// Sampling is tail-based: the decision is made when the root span ends,
+// when the outcome is known. Error, budget-abort, degraded and
+// slow-over-threshold traces are always retained; unremarkable traces
+// are retained with Config.SampleRate probability. Disabled tracing
+// (nil *Tracer, or a context without a span) costs one pointer check
+// per instrumentation site: every Span method is nil-safe.
+package trace
+
+import (
+	"context"
+	cryptorand "crypto/rand"
+	"encoding/binary"
+	"encoding/hex"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// --- IDs ---
+
+// TraceID is a 16-byte W3C trace ID (32 hex chars in headers).
+type TraceID [16]byte
+
+// SpanID is an 8-byte W3C span ID (16 hex chars in headers).
+type SpanID [8]byte
+
+// IsZero reports the invalid all-zero trace ID.
+func (t TraceID) IsZero() bool { return t == TraceID{} }
+
+func (t TraceID) String() string { return hex.EncodeToString(t[:]) }
+
+// IsZero reports the invalid all-zero span ID.
+func (s SpanID) IsZero() bool { return s == SpanID{} }
+
+func (s SpanID) String() string { return hex.EncodeToString(s[:]) }
+
+// ParseTraceID decodes a 32-hex-char trace ID; the all-zero ID is
+// invalid per the W3C spec.
+func ParseTraceID(s string) (TraceID, bool) {
+	var t TraceID
+	if len(s) != 2*len(t) {
+		return TraceID{}, false
+	}
+	if _, err := hex.Decode(t[:], []byte(s)); err != nil {
+		return TraceID{}, false
+	}
+	return t, !t.IsZero()
+}
+
+// rngState drives ID generation and sampling decisions: splitmix64 over
+// an atomic counter seeded once from crypto/rand. Lock-free, unique per
+// call, and far cheaper than a crypto/rand read per span.
+var rngState atomic.Uint64
+
+func init() {
+	var seed [8]byte
+	if _, err := cryptorand.Read(seed[:]); err == nil {
+		rngState.Store(binary.LittleEndian.Uint64(seed[:]))
+	} else {
+		rngState.Store(uint64(time.Now().UnixNano()))
+	}
+}
+
+func nextRand() uint64 {
+	x := rngState.Add(0x9E3779B97F4A7C15)
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// randFloat returns a uniform value in [0, 1).
+func randFloat() float64 { return float64(nextRand()>>11) / (1 << 53) }
+
+func newTraceID() TraceID {
+	var t TraceID
+	for t.IsZero() {
+		binary.LittleEndian.PutUint64(t[0:8], nextRand())
+		binary.LittleEndian.PutUint64(t[8:16], nextRand())
+	}
+	return t
+}
+
+func newSpanID() SpanID {
+	var s SpanID
+	for s.IsZero() {
+		binary.LittleEndian.PutUint64(s[:], nextRand())
+	}
+	return s
+}
+
+// --- typed attributes ---
+
+type attrKind uint8
+
+const (
+	kindStr attrKind = iota
+	kindInt
+	kindFloat
+	kindBool
+)
+
+// Attr is one typed span attribute. Construct with Str/Int/Float/Bool;
+// the typed representation avoids boxing on the hot path (values are
+// only turned into interfaces at serialisation time).
+type Attr struct {
+	Key  string
+	kind attrKind
+	s    string
+	n    int64
+	f    float64
+	b    bool
+}
+
+// Str builds a string attribute.
+func Str(key, v string) Attr { return Attr{Key: key, kind: kindStr, s: v} }
+
+// Int builds an integer attribute.
+func Int(key string, v int64) Attr { return Attr{Key: key, kind: kindInt, n: v} }
+
+// Float builds a float attribute.
+func Float(key string, v float64) Attr { return Attr{Key: key, kind: kindFloat, f: v} }
+
+// Bool builds a boolean attribute.
+func Bool(key string, v bool) Attr { return Attr{Key: key, kind: kindBool, b: v} }
+
+// Value returns the attribute's value as an interface (serialisation).
+func (a Attr) Value() any {
+	switch a.kind {
+	case kindInt:
+		return a.n
+	case kindFloat:
+		return a.f
+	case kindBool:
+		return a.b
+	default:
+		return a.s
+	}
+}
+
+// --- span model ---
+
+// maxSpansPerTrace bounds one trace's span list so a pathological query
+// (or an instrumentation bug) cannot grow a trace without limit; spans
+// beyond the cap are counted in the record, not stored.
+const maxSpansPerTrace = 512
+
+// SpanRecord is one finished span, ready for JSON (the debug endpoint
+// and the JSON-lines exporter share this shape).
+type SpanRecord struct {
+	TraceID string         `json:"traceId"`
+	SpanID  string         `json:"spanId"`
+	Parent  string         `json:"parentId,omitempty"`
+	Name    string         `json:"name"`
+	Start   time.Time      `json:"start"`
+	Millis  float64        `json:"millis"`
+	Attrs   map[string]any `json:"attrs,omitempty"`
+	Error   string         `json:"error,omitempty"`
+}
+
+// state is the per-trace accumulator shared by every span of one trace.
+type state struct {
+	id TraceID
+
+	mu      sync.Mutex
+	spans   []SpanRecord
+	dropped int    // spans beyond maxSpansPerTrace
+	errs    int    // spans that ended with SetError
+	forced  string // first Retain reason, "" when none
+	done    bool   // root has ended; late spans are discarded
+}
+
+// Span is one timed operation within a trace. The zero of *Span (nil)
+// is a valid no-op span: every method checks the receiver, so
+// instrumentation sites never branch on "is tracing on".
+type Span struct {
+	tr     *Tracer
+	st     *state
+	id     SpanID
+	parent SpanID
+	root   bool
+	name   string
+	start  time.Time
+
+	mu     sync.Mutex
+	attrs  []Attr
+	errMsg string
+	ended  bool
+}
+
+// TraceID returns the span's trace ID as 32 hex chars ("" for nil).
+func (s *Span) TraceID() string {
+	if s == nil {
+		return ""
+	}
+	return s.st.id.String()
+}
+
+// SpanID returns the span's ID as 16 hex chars ("" for nil).
+func (s *Span) SpanID() string {
+	if s == nil {
+		return ""
+	}
+	return s.id.String()
+}
+
+// SetAttr appends attributes to the span.
+func (s *Span) SetAttr(attrs ...Attr) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.attrs = append(s.attrs, attrs...)
+	s.mu.Unlock()
+}
+
+// SetError marks the span failed. Any errored span makes the whole
+// trace retained by tail sampling (budget aborts and timeouts surface
+// as errors, so they are always kept).
+func (s *Span) SetError(err error) {
+	if s == nil || err == nil {
+		return
+	}
+	s.mu.Lock()
+	first := s.errMsg == ""
+	s.errMsg = err.Error()
+	s.mu.Unlock()
+	if first {
+		s.st.mu.Lock()
+		s.st.errs++
+		s.st.mu.Unlock()
+	}
+}
+
+// Retain forces the trace to be kept regardless of sampling, recording
+// why ("degraded", "budget", ...). The first reason wins.
+func (s *Span) Retain(reason string) {
+	if s == nil {
+		return
+	}
+	s.st.mu.Lock()
+	if s.st.forced == "" {
+		s.st.forced = reason
+	}
+	s.st.mu.Unlock()
+}
+
+// Child starts a sub-span under s, sharing its trace.
+func (s *Span) Child(name string, attrs ...Attr) *Span {
+	return s.ChildSince(name, time.Time{}, attrs...)
+}
+
+// ChildSince starts a sub-span whose clock began at start (zero means
+// now) — used by instrumentation that measures first and records after.
+func (s *Span) ChildSince(name string, start time.Time, attrs ...Attr) *Span {
+	if s == nil {
+		return nil
+	}
+	if start.IsZero() {
+		start = time.Now()
+	}
+	return &Span{tr: s.tr, st: s.st, id: newSpanID(), parent: s.id, name: name, start: start, attrs: attrs}
+}
+
+// End finishes the span, appending its record to the trace. Ending the
+// root span triggers the tail-sampling decision. End is idempotent.
+func (s *Span) End() { s.end(time.Now()) }
+
+func (s *Span) end(now time.Time) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.ended {
+		s.mu.Unlock()
+		return
+	}
+	s.ended = true
+	rec := SpanRecord{
+		TraceID: s.st.id.String(),
+		SpanID:  s.id.String(),
+		Name:    s.name,
+		Start:   s.start,
+		Millis:  float64(now.Sub(s.start).Microseconds()) / 1000,
+		Error:   s.errMsg,
+	}
+	if !s.parent.IsZero() {
+		rec.Parent = s.parent.String()
+	}
+	if len(s.attrs) > 0 {
+		rec.Attrs = make(map[string]any, len(s.attrs))
+		for _, a := range s.attrs {
+			rec.Attrs[a.Key] = a.Value()
+		}
+	}
+	s.mu.Unlock()
+
+	mSpans.Inc()
+	st := s.st
+	st.mu.Lock()
+	if st.done {
+		st.mu.Unlock()
+		return // late span after the root's decision: nowhere to go
+	}
+	if len(st.spans) < maxSpansPerTrace {
+		st.spans = append(st.spans, rec)
+	} else {
+		st.dropped++
+	}
+	st.mu.Unlock()
+
+	if s.root {
+		s.tr.finish(st, rec, now.Sub(s.start))
+	}
+}
+
+// --- context carriage ---
+
+type ctxKey struct{}
+
+// ContextWith returns ctx carrying s. A nil span returns ctx unchanged,
+// so callers can chain without branching.
+func ContextWith(ctx context.Context, s *Span) context.Context {
+	if s == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, ctxKey{}, s)
+}
+
+// FromContext returns the active span, nil when the request is
+// untraced. The nil result is itself a usable no-op span.
+func FromContext(ctx context.Context) *Span {
+	s, _ := ctx.Value(ctxKey{}).(*Span)
+	return s
+}

@@ -1,0 +1,363 @@
+package trace
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// endAfter finishes a span with a synthetic duration so tests can
+// classify slow vs. fast deterministically.
+func endAfter(s *Span, d time.Duration) { s.end(s.start.Add(d)) }
+
+func TestTraceparentRoundTrip(t *testing.T) {
+	tr := New(Config{SampleRate: 1})
+	sp := tr.StartRoot("root", Parent{})
+	hdr := sp.Traceparent()
+	p := ParseTraceparent(hdr)
+	if !p.Valid {
+		t.Fatalf("own traceparent %q did not parse", hdr)
+	}
+	if p.Trace.String() != sp.TraceID() || p.Span.String() != sp.SpanID() {
+		t.Fatalf("round trip mismatch: %q vs trace=%s span=%s", hdr, sp.TraceID(), sp.SpanID())
+	}
+	sp.End()
+
+	// A valid upstream header continues the trace and records the parent.
+	const up = "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01"
+	p = ParseTraceparent(up)
+	if !p.Valid {
+		t.Fatalf("spec example %q did not parse", up)
+	}
+	child := tr.StartRoot("root", p)
+	if child.TraceID() != "4bf92f3577b34da6a3ce929d0e0e4736" {
+		t.Fatalf("upstream trace ID not adopted: %s", child.TraceID())
+	}
+	child.End()
+	rec, ok := tr.Get("4bf92f3577b34da6a3ce929d0e0e4736")
+	if !ok {
+		t.Fatal("continued trace not retained")
+	}
+	if rec.Spans[0].Parent != "00f067aa0ba902b7" {
+		t.Fatalf("root span parent = %q, want upstream span ID", rec.Spans[0].Parent)
+	}
+}
+
+func TestTraceparentMalformed(t *testing.T) {
+	bad := []string{
+		"",
+		"garbage",
+		"00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7",      // 3 parts
+		"ff-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01",   // unknown version
+		"00-00000000000000000000000000000000-00f067aa0ba902b7-01",   // zero trace
+		"00-4bf92f3577b34da6a3ce929d0e0e4736-0000000000000000-01",   // zero span
+		"00-4BF92F3577B34DA6A3CE929D0E0E4736-00f067aa0ba902b7-01",   // uppercase
+		"00-4bf92f3577b34da6a3ce929d0e0e47-00f067aa0ba902b7-01",     // short trace
+		"00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7zz-01", // long span
+		"00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-0",    // short flags
+		"00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-xy",   // non-hex flags
+	}
+	for _, h := range bad {
+		if ParseTraceparent(h).Valid {
+			t.Errorf("ParseTraceparent(%q) = valid, want invalid", h)
+		}
+	}
+}
+
+func TestNilSpanIsNoOp(t *testing.T) {
+	var s *Span
+	s.SetAttr(Int("x", 1))
+	s.SetError(errors.New("boom"))
+	s.Retain("forced")
+	s.End()
+	if s.TraceID() != "" || s.Traceparent() != "" {
+		t.Fatal("nil span leaked identifiers")
+	}
+	if c := s.Child("sub"); c != nil {
+		t.Fatal("nil span produced a live child")
+	}
+	var tr *Tracer
+	if tr.StartRoot("x", Parent{}) != nil {
+		t.Fatal("nil tracer produced a live span")
+	}
+	if got := tr.Traces(); got != nil {
+		t.Fatalf("nil tracer listed traces: %v", got)
+	}
+	ctx := ContextWith(context.Background(), nil)
+	if FromContext(ctx) != nil {
+		t.Fatal("nil span stored in context")
+	}
+}
+
+func TestTailSamplingRetention(t *testing.T) {
+	tr := New(Config{Capacity: 64, Stripes: 1, SlowThreshold: 100 * time.Millisecond})
+
+	fast := tr.StartRoot("fast", Parent{})
+	endAfter(fast, time.Millisecond)
+	if _, ok := tr.Get(fast.TraceID()); ok {
+		t.Fatal("unremarkable trace retained at SampleRate 0")
+	}
+
+	slow := tr.StartRoot("slow", Parent{})
+	endAfter(slow, 150*time.Millisecond)
+	rec, ok := tr.Get(slow.TraceID())
+	if !ok || rec.Reason != "slow" {
+		t.Fatalf("slow trace: retained=%v reason=%v", ok, rec)
+	}
+
+	failed := tr.StartRoot("failed", Parent{})
+	failed.SetError(errors.New("boom"))
+	endAfter(failed, time.Millisecond)
+	rec, ok = tr.Get(failed.TraceID())
+	if !ok || rec.Reason != "error" || rec.Error != "boom" {
+		t.Fatalf("errored trace: retained=%v rec=%+v", ok, rec)
+	}
+
+	// An error on a child span retains the whole trace.
+	childErr := tr.StartRoot("child-err", Parent{})
+	c := childErr.Child("sub")
+	c.SetError(errors.New("inner"))
+	c.End()
+	endAfter(childErr, time.Millisecond)
+	if rec, ok = tr.Get(childErr.TraceID()); !ok || rec.Reason != "error" {
+		t.Fatalf("child error did not retain trace: %v %+v", ok, rec)
+	}
+
+	forced := tr.StartRoot("forced", Parent{})
+	forced.Retain("degraded")
+	endAfter(forced, time.Millisecond)
+	if rec, ok = tr.Get(forced.TraceID()); !ok || rec.Reason != "degraded" {
+		t.Fatalf("forced trace: retained=%v rec=%+v", ok, rec)
+	}
+
+	always := New(Config{Capacity: 8, Stripes: 1, SampleRate: 1})
+	s := always.StartRoot("sampled", Parent{})
+	endAfter(s, time.Microsecond)
+	if rec, ok = always.Get(s.TraceID()); !ok || rec.Reason != "sampled" {
+		t.Fatalf("SampleRate=1 trace: retained=%v rec=%+v", ok, rec)
+	}
+}
+
+func TestRingEvictionOrder(t *testing.T) {
+	// One stripe of 4 slots → global FIFO eviction, newest-first listing.
+	tr := New(Config{Capacity: 4, Stripes: 1, SampleRate: 1})
+	var ids []string
+	for i := 0; i < 7; i++ {
+		s := tr.StartRoot(fmt.Sprintf("q%d", i), Parent{})
+		s.End()
+		ids = append(ids, s.TraceID())
+	}
+	got := tr.Traces()
+	if len(got) != 4 {
+		t.Fatalf("retained %d traces, want ring capacity 4", len(got))
+	}
+	for i, want := range []string{"q6", "q5", "q4", "q3"} {
+		if got[i].Root != want {
+			t.Fatalf("listing[%d] = %s, want %s (newest first)", i, got[i].Root, want)
+		}
+	}
+	for _, id := range ids[:3] {
+		if _, ok := tr.Get(id); ok {
+			t.Fatalf("evicted trace %s still retrievable", id)
+		}
+	}
+	for _, id := range ids[3:] {
+		if _, ok := tr.Get(id); !ok {
+			t.Fatalf("recent trace %s missing", id)
+		}
+	}
+}
+
+// TestConcurrentTailSampling drives 32 goroutines through the tracer
+// under -race and asserts the tail-sampling invariant the issue pins:
+// 100% of error and slow traces are retained (capacity permitting),
+// and every retained unremarkable trace is one that actually completed.
+func TestConcurrentTailSampling(t *testing.T) {
+	const (
+		goroutines = 32
+		perG       = 40
+	)
+	// Capacity exceeds total traces so retention is decided purely by
+	// sampling, never by ring overflow.
+	tr := New(Config{Capacity: goroutines * perG * 2, Stripes: 8,
+		SlowThreshold: 50 * time.Millisecond})
+
+	var mu sync.Mutex
+	mustKeep := map[string]string{} // trace ID → expected reason
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				s := tr.StartRoot(fmt.Sprintf("g%d-%d", g, i), Parent{})
+				c := s.Child("sub", Int("i", int64(i)))
+				switch i % 4 {
+				case 0: // slow
+					c.End()
+					mu.Lock()
+					mustKeep[s.TraceID()] = "slow"
+					mu.Unlock()
+					endAfter(s, 60*time.Millisecond)
+				case 1: // error
+					c.SetError(errors.New("boom"))
+					c.End()
+					mu.Lock()
+					mustKeep[s.TraceID()] = "error"
+					mu.Unlock()
+					endAfter(s, time.Millisecond)
+				case 2: // forced
+					c.End()
+					s.Retain("budget")
+					mu.Lock()
+					mustKeep[s.TraceID()] = "budget"
+					mu.Unlock()
+					endAfter(s, time.Millisecond)
+				default: // unremarkable: dropped at SampleRate 0
+					c.End()
+					endAfter(s, time.Millisecond)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	for id, reason := range mustKeep {
+		rec, ok := tr.Get(id)
+		if !ok {
+			t.Fatalf("remarkable trace %s (%s) was not retained", id, reason)
+		}
+		if rec.Reason != reason {
+			t.Fatalf("trace %s retained for %q, want %q", id, rec.Reason, reason)
+		}
+		if rec.Spans[len(rec.Spans)-1].Name == "" {
+			t.Fatalf("trace %s has an empty span", id)
+		}
+	}
+	for _, sum := range tr.Traces() {
+		if _, ok := mustKeep[sum.TraceID]; !ok {
+			t.Fatalf("unremarkable trace %s retained at SampleRate 0", sum.TraceID)
+		}
+	}
+}
+
+func TestSpanTreeStructure(t *testing.T) {
+	tr := New(Config{Capacity: 8, Stripes: 1, SampleRate: 1})
+	root := tr.StartRoot("http POST /api/query", Parent{}, Str("route", "/api/query"))
+	eng := root.Child("engine.query", Int("epoch", 3))
+	pl := eng.Child("plan.compile")
+	pl.SetAttr(Bool("fallback", false))
+	pl.End()
+	ex := eng.Child("query.execute")
+	ex.SetAttr(Int("rows", 42))
+	ex.End()
+	eng.End()
+	root.End()
+
+	rec, ok := tr.Get(root.TraceID())
+	if !ok {
+		t.Fatal("trace not retained")
+	}
+	byName := map[string]SpanRecord{}
+	for _, s := range rec.Spans {
+		byName[s.Name] = s
+	}
+	if len(byName) != 4 {
+		t.Fatalf("got %d spans, want 4: %v", len(byName), rec.Spans)
+	}
+	if byName["plan.compile"].Parent != byName["engine.query"].SpanID ||
+		byName["query.execute"].Parent != byName["engine.query"].SpanID {
+		t.Fatal("executor spans not parented under engine.query")
+	}
+	if byName["engine.query"].Parent != byName["http POST /api/query"].SpanID {
+		t.Fatal("engine span not parented under root")
+	}
+	if byName["http POST /api/query"].Parent != "" {
+		t.Fatal("root span has a parent")
+	}
+	if v, _ := byName["query.execute"].Attrs["rows"].(int64); v != 42 {
+		t.Fatalf("rows attr = %v, want 42", byName["query.execute"].Attrs["rows"])
+	}
+}
+
+func TestSpanCapAndLateSpans(t *testing.T) {
+	tr := New(Config{Capacity: 8, Stripes: 1, SampleRate: 1})
+	root := tr.StartRoot("big", Parent{})
+	for i := 0; i < maxSpansPerTrace+10; i++ {
+		root.Child("c").End()
+	}
+	root.End()
+	rec, ok := tr.Get(root.TraceID())
+	if !ok {
+		t.Fatal("trace not retained")
+	}
+	if len(rec.Spans) != maxSpansPerTrace {
+		t.Fatalf("stored %d spans, want cap %d", len(rec.Spans), maxSpansPerTrace)
+	}
+	// +1: the root span itself also arrived after the cap.
+	if rec.DroppedSpans != 11 {
+		t.Fatalf("dropped = %d, want 11", rec.DroppedSpans)
+	}
+	// A span ended after the root's decision must not mutate the record.
+	late := root.Child("late")
+	late.End()
+	again, _ := tr.Get(root.TraceID())
+	if len(again.Spans) != maxSpansPerTrace || again.DroppedSpans != 11 {
+		t.Fatal("late span mutated a finished trace")
+	}
+}
+
+func TestExporterWritesAndRotates(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "spans.jsonl")
+	exp, err := NewExporter(path, 2048)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer exp.Close()
+	tr := New(Config{Capacity: 64, Stripes: 1, SampleRate: 1, Export: exp})
+
+	var last string
+	for i := 0; i < 40; i++ {
+		s := tr.StartRoot("q", Parent{}, Str("pad", strings.Repeat("x", 64)))
+		last = s.TraceID()
+		s.Child("sub").End()
+		s.End()
+	}
+	live, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rotated, err := os.ReadFile(path + ".1")
+	if err != nil {
+		t.Fatalf("no rotated file after writes past maxBytes: %v", err)
+	}
+	// Rotation keeps the live file plus one predecessor; every surviving
+	// line must be standalone JSON, the newest trace must be in the live
+	// file, and no file may exceed the rotation threshold by more than
+	// one trace's worth of spans.
+	all := append(rotated, live...)
+	var sawLast bool
+	for _, line := range strings.Split(strings.TrimSpace(string(all)), "\n") {
+		var rec SpanRecord
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("bad JSON line %q: %v", line, err)
+		}
+		if rec.TraceID == last {
+			sawLast = true
+		}
+	}
+	if !sawLast {
+		t.Fatal("newest trace's spans missing from export files")
+	}
+	if int64(len(rotated)) > 3*2048 {
+		t.Fatalf("rotated file grew to %d bytes, threshold 2048 not honored", len(rotated))
+	}
+}

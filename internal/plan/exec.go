@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"frappe/internal/graph"
+	"frappe/internal/obs/trace"
 	"frappe/internal/query"
 )
 
@@ -43,6 +44,7 @@ func (p *Plan) execute(ctx context.Context, src graph.Source, lim query.Limits, 
 	start := time.Now()
 	env := query.NewEnv(ctx, src, lim, profile)
 	env.SetFastPredicates(true)
+	sp := trace.FromContext(ctx).Child("query.execute", trace.Bool("interpreter", false))
 	defer func() {
 		if r := recover(); r != nil {
 			err = query.AbortError(r)
@@ -59,15 +61,37 @@ func (p *Plan) execute(ctx context.Context, src graph.Source, lim query.Limits, 
 			pr.Plan = p.Explain()
 			prof = pr
 		}
+		if sp != nil {
+			sp.SetAttr(trace.Int("steps", env.Steps()))
+			if res != nil {
+				sp.SetAttr(trace.Int("rows", int64(len(res.Rows))))
+			}
+			if err != nil {
+				sp.SetError(err)
+			}
+			sp.End()
+		}
 	}()
 
 	rows := env.InitialRows()
-	trace := func(c query.Clause, stepsBefore int64, t0 time.Time, out int64) {
+	// instrument gates the per-clause clock: PROFILE and tracing share it.
+	instrument := profile || sp != nil
+	record := func(c query.Clause, stepsBefore int64, t0 time.Time, out int64) {
 		pr := env.Profile()
-		if pr == nil {
+		if pr == nil && sp == nil {
 			return
 		}
 		op, detail := query.OperatorInfo(c)
+		if sp != nil {
+			cs := sp.ChildSince("clause."+op, t0,
+				trace.Str("detail", detail),
+				trace.Int("rows", out),
+				trace.Int("dbHits", env.Steps()-stepsBefore))
+			cs.End()
+		}
+		if pr == nil {
+			return
+		}
 		pr.Ops = append(pr.Ops, query.OpProfile{
 			Operator: op,
 			Detail:   detail,
@@ -79,7 +103,7 @@ func (p *Plan) execute(ctx context.Context, src graph.Source, lim query.Limits, 
 	for _, s := range p.steps {
 		stepsBefore := env.Steps()
 		var t0 time.Time
-		if profile {
+		if instrument {
 			t0 = time.Now()
 		}
 		switch t := s.clause.(type) {
@@ -92,7 +116,7 @@ func (p *Plan) execute(ctx context.Context, src graph.Source, lim query.Limits, 
 		case *query.WithClause:
 			rows, _, err = env.Project(rows, t.Items, t.Distinct, t.OrderBy, t.Skip, t.Limit)
 		}
-		trace(s.clause, stepsBefore, t0, int64(len(rows)))
+		record(s.clause, stepsBefore, t0, int64(len(rows)))
 		if err != nil {
 			return nil, nil, err
 		}
@@ -100,15 +124,15 @@ func (p *Plan) execute(ctx context.Context, src graph.Source, lim query.Limits, 
 
 	stepsBefore := env.Steps()
 	var t0 time.Time
-	if profile {
+	if instrument {
 		t0 = time.Now()
 	}
 	projected, cols, err := env.Project(rows, p.ret.Items, p.ret.Distinct, p.ret.OrderBy, p.ret.Skip, p.ret.Limit)
 	if err != nil {
-		trace(p.ret, stepsBefore, t0, 0)
+		record(p.ret, stepsBefore, t0, 0)
 		return nil, nil, err
 	}
 	res = env.BuildResult(projected, cols)
-	trace(p.ret, stepsBefore, t0, int64(len(res.Rows)))
+	record(p.ret, stepsBefore, t0, int64(len(res.Rows)))
 	return res, nil, nil
 }

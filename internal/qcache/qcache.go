@@ -40,6 +40,7 @@ import (
 	"sync/atomic"
 
 	"frappe/internal/graph"
+	"frappe/internal/obs/trace"
 	"frappe/internal/query"
 )
 
@@ -261,12 +262,19 @@ func (c *Cache) Do(ctx context.Context, k Key, exec func() (*query.Result, error
 	}
 	if cl, ok := c.flight[k]; ok {
 		c.mu.Unlock()
+		// The singleflight-follower wait is dead time from the caller's
+		// point of view; give it its own span so a trace distinguishes
+		// "my query was slow" from "I waited on someone else's".
+		wait := trace.FromContext(ctx).Child("qcache.wait")
 		select {
 		case <-cl.done:
+			wait.End()
 			c.shared.Add(1)
 			mShared.Inc()
 			return cl.res, Outcome{Shared: true}, cl.err
 		case <-ctx.Done():
+			wait.SetError(ctx.Err())
+			wait.End()
 			return nil, Outcome{}, ctx.Err()
 		}
 	}

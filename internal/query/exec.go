@@ -9,6 +9,7 @@ import (
 
 	"frappe/internal/graph"
 	"frappe/internal/model"
+	"frappe/internal/obs/trace"
 	"frappe/internal/traversal"
 )
 
@@ -42,6 +43,7 @@ func ExecuteLimits(ctx context.Context, src graph.Source, q *Query, lim Limits) 
 func executeLimits(ctx context.Context, src graph.Source, q *Query, lim Limits, profile bool) (res *Result, prof *Profile, err error) {
 	start := time.Now()
 	ex := &exec{src: src, ctx: ctx, limits: lim}
+	ex.span = trace.FromContext(ctx).Child("query.execute", trace.Bool("interpreter", true))
 	if profile {
 		ex.prof = &Profile{}
 	}
@@ -63,6 +65,16 @@ func executeLimits(ctx context.Context, src graph.Source, q *Query, lim Limits, 
 				ex.prof.Rows = int64(len(res.Rows))
 			}
 			prof = ex.prof
+		}
+		if ex.span != nil {
+			ex.span.SetAttr(trace.Int("steps", ex.steps))
+			if res != nil {
+				ex.span.SetAttr(trace.Int("rows", int64(len(res.Rows))))
+			}
+			if err != nil {
+				ex.span.SetError(err)
+			}
+			ex.span.End()
 		}
 	}()
 	res, err = ex.run(q)
@@ -92,6 +104,9 @@ type exec struct {
 	limits Limits
 	steps  int64
 	prof   *Profile // nil unless PROFILE requested; hot paths never touch it
+	// span is the executor's trace span (nil when the request is
+	// untraced); run() hangs per-clause child spans off it.
+	span *trace.Span
 	// fastPred enables the visited-set fast path for reachability-shaped
 	// WHERE pattern predicates. Only planned execution (internal/plan via
 	// Env) turns it on; the plain interpreter stays Cypher-naive so
@@ -138,7 +153,7 @@ func (ex *exec) run(q *Query) (*Result, error) {
 		var err error
 		stepsBefore := ex.steps
 		var clauseStart time.Time
-		if ex.prof != nil {
+		if ex.prof != nil || ex.span != nil {
 			clauseStart = time.Now()
 		}
 		switch t := c.(type) {
@@ -165,7 +180,7 @@ func (ex *exec) run(q *Query) (*Result, error) {
 				}
 			}
 		}
-		if ex.prof != nil {
+		if ex.prof != nil || ex.span != nil {
 			// Record the operator even when it errored: an aborted Match
 			// still shows which clause burned the budget.
 			op, detail := operatorInfo(c)
@@ -173,13 +188,25 @@ func (ex *exec) run(q *Query) (*Result, error) {
 			if result != nil {
 				out = int64(len(result.Rows))
 			}
-			ex.prof.Ops = append(ex.prof.Ops, OpProfile{
-				Operator: op,
-				Detail:   detail,
-				Rows:     out,
-				DBHits:   ex.steps - stepsBefore,
-				Millis:   float64(time.Since(clauseStart)) / float64(time.Millisecond),
-			})
+			if ex.span != nil {
+				cs := ex.span.ChildSince("clause."+op, clauseStart,
+					trace.Str("detail", detail),
+					trace.Int("rows", out),
+					trace.Int("dbHits", ex.steps-stepsBefore))
+				if err != nil {
+					cs.SetError(err)
+				}
+				cs.End()
+			}
+			if ex.prof != nil {
+				ex.prof.Ops = append(ex.prof.Ops, OpProfile{
+					Operator: op,
+					Detail:   detail,
+					Rows:     out,
+					DBHits:   ex.steps - stepsBefore,
+					Millis:   float64(time.Since(clauseStart)) / float64(time.Millisecond),
+				})
+			}
 		}
 		if err != nil {
 			return nil, err

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"frappe/internal/graph"
+	"frappe/internal/obs/trace"
 )
 
 // Streaming execution: the clause pipeline run push-based, one row at a
@@ -87,6 +88,7 @@ func streamableProjection(items []ReturnItem, order []OrderKey) bool {
 func ExecuteStreamFunc(ctx context.Context, src graph.Source, q *Query, lim Limits, hints [][]PatternHint, fastPred bool, onCols func([]string) error, sink RowSink) (steps int64, err error) {
 	start := time.Now()
 	ex := &exec{src: src, ctx: ctx, limits: lim, fastPred: fastPred}
+	sp := trace.FromContext(ctx).Child("query.stream", trace.Bool("pipelined", true))
 	var rows int64
 	defer func() {
 		if r := recover(); r != nil {
@@ -95,6 +97,13 @@ func ExecuteStreamFunc(ctx context.Context, src graph.Source, q *Query, lim Limi
 		millis := float64(time.Since(start)) / float64(time.Millisecond)
 		recordStreamMetrics(rows, err, millis, ex.steps)
 		steps = ex.steps
+		if sp != nil {
+			sp.SetAttr(trace.Int("rows", rows), trace.Int("steps", ex.steps))
+			if err != nil {
+				sp.SetError(err)
+			}
+			sp.End()
+		}
 	}()
 	err = ex.runStream(q, hints, onCols, func(row []Val) error {
 		rows++

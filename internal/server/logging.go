@@ -1,0 +1,86 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"os"
+	"strings"
+
+	"frappe/internal/obs/trace"
+)
+
+// Structured logging: every server log line goes through one
+// *slog.Logger, annotated with the request's correlation attributes
+// (request ID, trace ID, route, epoch) so a log line is a pivot into
+// /api/debug/traces rather than a dead end. There is deliberately no
+// bare log.Printf fallback anywhere in this package — a line that
+// bypassed the configured sink would be uncorrelated and invisible to
+// whoever set the sink up.
+
+// logger resolves the server's logger once: the Logger field when set,
+// the legacy Logf seam bridged through a slog handler, or a text
+// handler on stderr.
+func (s *Server) logger() *slog.Logger {
+	s.logOnce.Do(func() {
+		switch {
+		case s.Logger != nil:
+			s.slogger = s.Logger
+		case s.Logf != nil:
+			s.slogger = slog.New(&logfHandler{logf: s.Logf})
+		default:
+			s.slogger = slog.New(slog.NewTextHandler(os.Stderr, nil))
+		}
+	})
+	return s.slogger
+}
+
+// reqLog annotates the server's logger with one request's correlation
+// attributes. h is the response header map (it carries the minted
+// request ID and, when tracing is on, the trace ID header).
+func (s *Server) reqLog(r *http.Request, h http.Header) *slog.Logger {
+	lg := s.logger().With(
+		"requestId", h.Get(requestIDHeader),
+		"method", r.Method,
+		"route", routeLabel(r.URL.Path),
+		"epoch", s.eng.Snapshot().Epoch(),
+	)
+	if sp := trace.FromContext(r.Context()); sp != nil {
+		lg = lg.With("traceId", sp.TraceID())
+	}
+	return lg
+}
+
+// logfHandler bridges slog records onto the legacy Logf seam
+// (tests inject t.Logf or a line-capturing func there). Rendering is
+// "msg key=value ..." so substring assertions against messages and
+// attribute values keep working.
+type logfHandler struct {
+	logf  func(format string, args ...any)
+	attrs []slog.Attr
+}
+
+func (h *logfHandler) Enabled(context.Context, slog.Level) bool { return true }
+
+func (h *logfHandler) Handle(_ context.Context, r slog.Record) error {
+	var sb strings.Builder
+	sb.WriteString(r.Message)
+	emit := func(a slog.Attr) bool {
+		fmt.Fprintf(&sb, " %s=%v", a.Key, a.Value)
+		return true
+	}
+	for _, a := range h.attrs {
+		emit(a)
+	}
+	r.Attrs(emit)
+	h.logf("%s", sb.String())
+	return nil
+}
+
+func (h *logfHandler) WithAttrs(attrs []slog.Attr) slog.Handler {
+	merged := append(h.attrs[:len(h.attrs):len(h.attrs)], attrs...)
+	return &logfHandler{logf: h.logf, attrs: merged}
+}
+
+func (h *logfHandler) WithGroup(string) slog.Handler { return h }

@@ -2,6 +2,7 @@ package server
 
 import (
 	"net/http"
+	"strings"
 	"time"
 
 	"frappe/internal/obs"
@@ -43,7 +44,8 @@ var metricRoutes = []string{
 	"/", "/api/query", "/api/query/stream", "/api/query/batch",
 	"/api/stats", "/api/search", "/api/def",
 	"/api/refs", "/api/slice", "/map.svg", "/api/admin/update",
-	"/api/admin/verify", "/healthz", "/readyz", "/metrics", "other",
+	"/api/admin/verify", "/healthz", "/readyz", "/metrics",
+	"/api/debug/traces", "other",
 }
 
 // routeLabel collapses a request path into the bounded route vocabulary.
@@ -52,6 +54,11 @@ func routeLabel(path string) string {
 		if path == r {
 			return r
 		}
+	}
+	// Trace fetches carry the trace ID in the path; collapse them onto
+	// one route so client-chosen IDs cannot mint series.
+	if strings.HasPrefix(path, "/api/debug/traces/") {
+		return "/api/debug/traces"
 	}
 	return "other"
 }
@@ -159,8 +166,12 @@ func (s *Server) withMetrics(next http.Handler) http.Handler {
 		ri.duration[route].Observe(float64(elapsed) / float64(time.Millisecond))
 		if slow > 0 && elapsed >= slow {
 			mSlow.Inc()
-			s.logf("slow request: %s %s (%s) took %s (threshold %s), status %d",
-				r.Method, r.URL.Path, rec.Header().Get(requestIDHeader), elapsed, slow, code)
+			// The trace ID (from the tracing middleware's span on the
+			// request context, via reqLog) is the pivot: fetch
+			// /api/debug/traces/<id> to see where the time went.
+			s.reqLog(r, rec.Header()).Warn("slow request",
+				"path", r.URL.Path, "took", elapsed.String(),
+				"threshold", slow.String(), "status", code)
 		}
 	})
 }

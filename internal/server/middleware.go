@@ -2,7 +2,6 @@ package server
 
 import (
 	"fmt"
-	"log"
 	"net/http"
 	"runtime/debug"
 	"strconv"
@@ -38,7 +37,8 @@ func (s *Server) withRecover(next http.Handler) http.Handler {
 			if rec := recover(); rec != nil {
 				mPanics.Inc()
 				id := w.Header().Get(requestIDHeader)
-				s.logf("panic serving %s %s (%s): %v\n%s", r.Method, r.URL.Path, id, rec, debug.Stack())
+				s.reqLog(r, w.Header()).Error("panic serving request",
+					"panic", fmt.Sprint(rec), "stack", string(debug.Stack()))
 				s.writeJSON(w, http.StatusInternalServerError, map[string]string{
 					"error":     fmt.Sprintf("internal error: %v", rec),
 					"requestId": id,
@@ -124,11 +124,3 @@ func (s *Server) Ready() bool { return !s.notReady.Load() }
 
 // ShedCount reports how many requests the concurrency limiter has shed.
 func (s *Server) ShedCount() int64 { return atomic.LoadInt64(&s.shedCount) }
-
-func (s *Server) logf(format string, args ...any) {
-	if s.Logf != nil {
-		s.Logf(format, args...)
-		return
-	}
-	log.Printf(format, args...)
-}

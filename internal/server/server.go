@@ -25,6 +25,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"net/http/pprof"
 	"strconv"
@@ -37,6 +38,7 @@ import (
 	"frappe/internal/graph"
 	"frappe/internal/gstats"
 	"frappe/internal/model"
+	"frappe/internal/obs/trace"
 	"frappe/internal/plan"
 	"frappe/internal/qcache"
 	"frappe/internal/query"
@@ -94,9 +96,19 @@ type Server struct {
 	MaxConcurrent int
 	// RetryAfterSeconds is advertised on shed responses (default 1).
 	RetryAfterSeconds int
-	// Logf overrides the server's logger (default log.Printf). Every
-	// server log line — panics, slow requests — goes through it.
+	// Logf is the legacy printf-style log seam. When set (and Logger is
+	// not), every structured log line is rendered "msg key=value ..."
+	// through it. Prefer Logger for new code.
 	Logf func(format string, args ...any)
+	// Logger, when set, receives every server log line (panics, slow
+	// requests, write failures) as structured records carrying request
+	// and trace correlation attributes. Takes precedence over Logf;
+	// defaults to a text handler on stderr.
+	Logger *slog.Logger
+	// Tracer, when set, roots a trace for every API request and serves
+	// the retained ones on GET /api/debug/traces. Nil disables tracing
+	// (the middleware is skipped entirely).
+	Tracer *trace.Tracer
 	// SlowThreshold flags requests slower than this with a log line and
 	// the frappe_http_slow_requests_total counter (default
 	// DefaultSlowThreshold; set <0 before the first request to disable).
@@ -108,6 +120,8 @@ type Server struct {
 	chainOnce sync.Once
 	handler   http.Handler
 	sem       chan struct{}
+	logOnce   sync.Once
+	slogger   *slog.Logger
 
 	// updateGate serialises admin updates at the HTTP layer: a second
 	// POST /api/admin/update while one runs gets 409 + Retry-After
@@ -162,6 +176,8 @@ func New(eng *core.Engine) *Server {
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /api/debug/traces", s.handleTraceList)
+	s.mux.HandleFunc("GET /api/debug/traces/{id}", s.handleTraceGet)
 	return s
 }
 
@@ -188,7 +204,9 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		if s.MaxConcurrent > 0 {
 			s.sem = make(chan struct{}, s.MaxConcurrent)
 		}
-		s.handler = s.withRequestID(s.withMetrics(s.withRecover(s.withConcurrencyLimit(s.mux))))
+		// Tracing sits outside metrics so the slow-request log line can
+		// read the trace ID off the request context.
+		s.handler = s.withRequestID(s.withTracing(s.withMetrics(s.withRecover(s.withConcurrencyLimit(s.mux)))))
 	})
 	s.handler.ServeHTTP(w, r)
 }
@@ -201,8 +219,10 @@ func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
 		// and log at the same level as slow requests — silent drops made
 		// partial responses indistinguishable from delivered ones.
 		mWriteErrors.Inc()
-		s.logf("response write failed: %s %d (%s): %v",
-			w.Header().Get(requestIDHeader), status, http.StatusText(status), err)
+		s.logger().Warn("response write failed",
+			"requestId", w.Header().Get(requestIDHeader),
+			"traceId", w.Header().Get(TraceIDHeader),
+			"status", status, "err", err)
 	}
 }
 

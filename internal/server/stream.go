@@ -17,6 +17,8 @@ import (
 	"net/http"
 	"time"
 
+	"frappe/internal/obs/trace"
+	"frappe/internal/query"
 	"frappe/internal/store"
 )
 
@@ -77,6 +79,10 @@ type streamTerminal struct {
 	Streamed bool   `json:"streamed"`
 	Error    string `json:"error,omitempty"`
 	Degraded bool   `json:"degraded,omitempty"`
+	// TraceID keys the stream's retained trace in /api/debug/traces; an
+	// NDJSON consumer that saw a truncated stream can fetch the span tree
+	// without having captured the response headers.
+	TraceID string `json:"traceId,omitempty"`
 }
 
 // countingWriter feeds frappe_stream_bytes_total.
@@ -104,6 +110,10 @@ func (s *Server) handleQueryStream(w http.ResponseWriter, r *http.Request) {
 	defer cancel()
 	start := time.Now()
 	snap := s.eng.Snapshot()
+	// Pager attribution brackets the whole stream: the executor reads
+	// pages lazily, so the delta is only meaningful after st.Wait().
+	pager := snap.PagerSpan(ctx)
+	defer pager()
 	st, outcome, err := s.eng.StreamQuery(ctx, snap, req.Query, 0)
 	if err != nil {
 		// Parse/compile failures surface synchronously, before the
@@ -132,8 +142,8 @@ func (s *Server) handleQueryStream(w http.ResponseWriter, r *http.Request) {
 			// cancel the executor, and stop — there is nobody to tell.
 			mWriteErrors.Inc()
 			aborted = true
-			s.logf("stream write failed: %s (%s): %v",
-				r.URL.Path, w.Header().Get(requestIDHeader), err)
+			s.reqLog(r, w.Header()).Warn("stream write failed",
+				"path", r.URL.Path, "err", err)
 			cancel()
 			return false
 		}
@@ -170,12 +180,21 @@ func (s *Server) handleQueryStream(w http.ResponseWriter, r *http.Request) {
 		Millis:   float64(time.Since(start).Microseconds()) / 1000,
 		Cached:   outcome.Hit,
 		Streamed: st.Pipelined(),
+		TraceID:  trace.FromContext(ctx).TraceID(),
 	}
 	if execErr != nil {
 		aborted = true
 		term.Error = execErr.Error()
+		// The HTTP status is already 200 (the stream committed), so the
+		// root span never sees a 5xx; mark the failure on it here or the
+		// tail sampler would treat a truncated stream as unremarkable.
+		sp := trace.FromContext(ctx)
+		sp.SetError(execErr)
 		if errors.Is(execErr, store.ErrCorrupt) || errors.Is(execErr, store.ErrTruncated) {
 			term.Degraded = true
+			sp.Retain("degraded")
+		} else if errors.Is(execErr, query.ErrBudgetExceeded) {
+			sp.Retain("budget")
 		}
 		if ctx.Err() != nil && r.Context().Err() == nil {
 			// The server's own deadline expired (not a client disconnect):
@@ -207,6 +226,9 @@ type batchEntry struct {
 	Shared   bool       `json:"shared,omitempty"`
 	Error    string     `json:"error,omitempty"`
 	Degraded bool       `json:"degraded,omitempty"`
+	// TraceID keys the batch's retained trace (shared by every entry;
+	// each entry is a batch.entry child span indexed within it).
+	TraceID string `json:"traceId,omitempty"`
 }
 
 type batchResponse struct {
@@ -235,15 +257,25 @@ func (s *Server) handleQueryBatch(w http.ResponseWriter, r *http.Request) {
 	snap := s.eng.Snapshot() // one pin shared by every execution
 	src := snap.Source()
 	out := batchResponse{Epoch: snap.Epoch(), Results: make([]batchEntry, len(req.Queries))}
+	sp := trace.FromContext(ctx)
 	for i, q := range req.Queries {
 		ent := &out.Results[i]
+		ent.TraceID = sp.TraceID()
 		if q.Query == "" {
 			ent.Error = "empty query"
 			continue
 		}
+		// Each entry gets its own child span so a slow batch attributes
+		// its time to the query that spent it, not the batch as a whole.
+		esp := sp.Child("batch.entry", trace.Int("index", int64(i)))
+		entCtx := trace.ContextWith(ctx, esp)
 		start := time.Now()
-		res, outcome, err := s.eng.CachedQuery(ctx, snap, q.Query, q.NoCache)
+		res, outcome, err := s.eng.CachedQuery(entCtx, snap, q.Query, q.NoCache)
 		ent.Millis = float64(time.Since(start).Microseconds()) / 1000
+		if err != nil {
+			esp.SetError(err)
+		}
+		esp.End()
 		if err != nil {
 			// Per-query isolation: this entry reports its failure, the
 			// rest of the batch still runs (a timeout will fail the

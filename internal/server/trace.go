@@ -1,0 +1,82 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"strings"
+
+	"frappe/internal/obs/trace"
+)
+
+// TraceIDHeader echoes the request's trace ID on every traced response,
+// so any client error report carries the key into /api/debug/traces.
+const TraceIDHeader = "X-Trace-Id"
+
+// withTracing roots a trace for every API request: it adopts the W3C
+// traceparent header when a valid one arrives (malformed ones silently
+// start a fresh trace, never a 4xx), carries the root span in the
+// request context for the engine and executor to hang children off,
+// and echoes the trace ID + outgoing traceparent on the response.
+// The tail-sampling decision happens at End, when the status and
+// duration are known. Ops and debug endpoints are not traced: probes
+// and scrapes would drown the ring in unremarkable traces.
+func (s *Server) withTracing(next http.Handler) http.Handler {
+	if s.Tracer == nil {
+		return next
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		p := r.URL.Path
+		if isOpsPath(p) || strings.HasPrefix(p, "/debug/") || strings.HasPrefix(p, "/api/debug/") {
+			next.ServeHTTP(w, r)
+			return
+		}
+		route := routeLabel(p)
+		parent := trace.ParseTraceparent(r.Header.Get(trace.TraceparentHeader))
+		sp := s.Tracer.StartRoot("http "+r.Method+" "+route, parent,
+			trace.Str("method", r.Method),
+			trace.Str("route", route),
+			trace.Str("requestId", w.Header().Get(requestIDHeader)),
+			trace.Int("epoch", s.eng.Snapshot().Epoch()))
+		w.Header().Set(TraceIDHeader, sp.TraceID())
+		w.Header().Set("Traceparent", sp.Traceparent())
+		rec := &statusRecorder{ResponseWriter: w}
+		next.ServeHTTP(rec, r.WithContext(trace.ContextWith(r.Context(), sp)))
+		code := rec.code
+		if code == 0 {
+			code = http.StatusOK
+		}
+		sp.SetAttr(trace.Int("status", int64(code)))
+		if code >= 500 {
+			sp.SetError(fmt.Errorf("HTTP %d", code))
+		}
+		sp.End()
+	})
+}
+
+// handleTraceList serves GET /api/debug/traces: the retained-trace
+// summaries, newest retention first.
+func (s *Server) handleTraceList(w http.ResponseWriter, r *http.Request) {
+	sums := s.Tracer.Traces()
+	if sums == nil {
+		sums = []trace.Summary{}
+	}
+	s.writeJSON(w, http.StatusOK, map[string]any{
+		"enabled": s.Tracer != nil,
+		"count":   len(sums),
+		"traces":  sums,
+	})
+}
+
+// handleTraceGet serves GET /api/debug/traces/{id}: one retained
+// trace's full span tree. 404 covers both "never retained" and
+// "already evicted" — the ring holds recent traces, not history.
+func (s *Server) handleTraceGet(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	rec, ok := s.Tracer.Get(id)
+	if !ok {
+		s.writeErr(w, http.StatusNotFound,
+			fmt.Errorf("trace %q not retained (dropped by sampling, evicted, or never seen)", id))
+		return
+	}
+	s.writeJSON(w, http.StatusOK, rec)
+}

@@ -1,0 +1,380 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"frappe/internal/obs/trace"
+	"frappe/internal/qcache"
+)
+
+// tracedServer builds a test server whose tracer retains everything
+// (SampleRate 1) so assertions never race a sampling decision.
+func tracedServer(t *testing.T) (*Server, *httptest.Server) {
+	t.Helper()
+	return newTestServer(t, func(s *Server) {
+		s.eng.SetQueryCache(qcache.New(qcache.Config{}))
+		s.Tracer = trace.New(trace.Config{
+			Capacity:      64,
+			SampleRate:    1,
+			SlowThreshold: time.Hour,
+		})
+	})
+}
+
+func tracedPost(t *testing.T, ts *httptest.Server, path, body string, hdr map[string]string) *http.Response {
+	t.Helper()
+	req, err := http.NewRequest("POST", ts.URL+path, strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	for k, v := range hdr {
+		req.Header.Set(k, v)
+	}
+	resp, err := ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+// fetchTrace pulls one retained trace's span tree from the debug API.
+func fetchTrace(t *testing.T, ts *httptest.Server, id string) map[string]any {
+	t.Helper()
+	resp, err := ts.Client().Get(ts.URL + "/api/debug/traces/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET trace %s: status %d", id, resp.StatusCode)
+	}
+	var rec map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&rec); err != nil {
+		t.Fatal(err)
+	}
+	return rec
+}
+
+// spanNames extracts the span tree as name → span object, asserting
+// exactly one root and that every other span's parent is in the tree.
+func spanNames(t *testing.T, rec map[string]any) map[string]map[string]any {
+	t.Helper()
+	raw, ok := rec["spanTree"].([]any)
+	if !ok || len(raw) == 0 {
+		t.Fatalf("trace has no span tree: %v", rec)
+	}
+	ids := map[string]bool{}
+	byName := map[string]map[string]any{}
+	for _, s := range raw {
+		sp := s.(map[string]any)
+		ids[sp["spanId"].(string)] = true
+		byName[sp["name"].(string)] = sp
+	}
+	roots := 0
+	for _, s := range raw {
+		sp := s.(map[string]any)
+		parent, has := sp["parentId"].(string)
+		if !has || parent == "" || !ids[parent] {
+			// The root either has no parent or references an upstream
+			// span that was never in this process.
+			roots++
+		}
+	}
+	if roots != 1 {
+		t.Fatalf("span tree has %d roots, want 1", roots)
+	}
+	return byName
+}
+
+func traceSpanKeys(m map[string]map[string]any) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// TestTraceparentIngestionAndEcho: acceptance criterion — a request
+// carrying a W3C traceparent joins that trace, and the trace ID is
+// echoed on the response so the caller can correlate.
+func TestTraceparentIngestionAndEcho(t *testing.T) {
+	_, ts := tracedServer(t)
+	const upstream = "4bf92f3577b34da6a3ce929d0e0e4736"
+	resp := tracedPost(t, ts, "/api/query",
+		`{"query": "MATCH (n:module) RETURN n.short_name", "noCache": true}`,
+		map[string]string{"traceparent": "00-" + upstream + "-00f067aa0ba902b7-01"})
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if got := resp.Header.Get(TraceIDHeader); got != upstream {
+		t.Fatalf("X-Trace-Id = %q, want upstream trace %q", got, upstream)
+	}
+	tp := resp.Header.Get("Traceparent")
+	if !strings.HasPrefix(tp, "00-"+upstream+"-") || !strings.HasSuffix(tp, "-01") {
+		t.Fatalf("outgoing traceparent %q does not continue the trace", tp)
+	}
+
+	rec := fetchTrace(t, ts, upstream)
+	spans := spanNames(t, rec)
+	root, ok := spans["http POST /api/query"]
+	if !ok {
+		t.Fatalf("no http root span; have %v", traceSpanKeys(spans))
+	}
+	// The root's parent is the upstream caller's span, which never ran
+	// in this process.
+	if root["parentId"] != "00f067aa0ba902b7" {
+		t.Fatalf("root parent = %v, want upstream span ID", root["parentId"])
+	}
+}
+
+// TestTraceparentMalformedStartsFresh: a garbage traceparent must not
+// fail the request or be adopted — the server starts a fresh trace.
+func TestTraceparentMalformedStartsFresh(t *testing.T) {
+	_, ts := tracedServer(t)
+	resp := tracedPost(t, ts, "/api/query",
+		`{"query": "MATCH (n:module) RETURN n.short_name"}`,
+		map[string]string{"traceparent": "00-ZZZZ-bogus-01"})
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	id := resp.Header.Get(TraceIDHeader)
+	if len(id) != 32 {
+		t.Fatalf("fresh trace ID %q is not 32 hex chars", id)
+	}
+}
+
+// TestSpanTreeCachedVsUncachedVsStreamed: acceptance criterion — the
+// span tree explains where the time went in all three serving shapes.
+func TestSpanTreeCachedVsUncachedVsStreamed(t *testing.T) {
+	_, ts := tracedServer(t)
+	const q = `{"query": "MATCH (n:module) RETURN n.short_name"}`
+
+	// Uncached execution: the tree must show planner and executor work.
+	resp := tracedPost(t, ts, "/api/query", q, nil)
+	resp.Body.Close()
+	cold := fetchTrace(t, ts, resp.Header.Get(TraceIDHeader))
+	spans := spanNames(t, cold)
+	for _, want := range []string{"engine.query", "plan.compile", "query.execute"} {
+		if _, ok := spans[want]; !ok {
+			t.Fatalf("uncached trace lacks %q span; have %v", want, traceSpanKeys(spans))
+		}
+	}
+	hasClause := false
+	for name := range spans {
+		if strings.HasPrefix(name, "clause.") {
+			hasClause = true
+		}
+	}
+	if !hasClause {
+		t.Fatalf("uncached trace has no per-clause spans; have %v", traceSpanKeys(spans))
+	}
+	if spans["query.execute"]["attrs"].(map[string]any)["interpreter"] != false {
+		t.Fatal("compiled execution should record interpreter=false")
+	}
+
+	// Cache hit: engine.query records cacheHit=true and no executor ran.
+	resp = tracedPost(t, ts, "/api/query", q, nil)
+	resp.Body.Close()
+	warm := fetchTrace(t, ts, resp.Header.Get(TraceIDHeader))
+	spans = spanNames(t, warm)
+	eng, ok := spans["engine.query"]
+	if !ok {
+		t.Fatalf("cached trace lacks engine.query; have %v", traceSpanKeys(spans))
+	}
+	if eng["attrs"].(map[string]any)["cacheHit"] != true {
+		t.Fatalf("cached trace should record cacheHit=true: %v", eng["attrs"])
+	}
+	if _, ok := spans["query.execute"]; ok {
+		t.Fatal("cache hit must not carry an executor span")
+	}
+
+	// Streamed execution (fresh query text so the cache cannot replay
+	// it): the pipelined executor's stream span appears and the NDJSON
+	// terminal carries the trace ID.
+	sr := tracedPost(t, ts, "/api/query/stream",
+		`{"query": "MATCH (n:function) RETURN n.short_name"}`, nil)
+	streamID := sr.Header.Get(TraceIDHeader)
+	dec := json.NewDecoder(sr.Body)
+	var last map[string]any
+	n := 0
+	for dec.More() {
+		var obj map[string]any
+		if err := dec.Decode(&obj); err != nil {
+			t.Fatal(err)
+		}
+		last = obj
+		n++
+	}
+	sr.Body.Close()
+	if n < 2 {
+		t.Fatal("stream produced no terminal")
+	}
+	if last["traceId"] != streamID {
+		t.Fatalf("stream terminal traceId %v != header %s", last["traceId"], streamID)
+	}
+	streamed := fetchTrace(t, ts, streamID)
+	spans = spanNames(t, streamed)
+	if _, ok := spans["query.stream"]; !ok {
+		t.Fatalf("streamed trace lacks query.stream span; have %v", traceSpanKeys(spans))
+	}
+}
+
+// TestBatchEntrySpans: each batch entry is attributed its own child
+// span and reports the shared trace ID.
+func TestBatchEntrySpans(t *testing.T) {
+	_, ts := tracedServer(t)
+	resp := tracedPost(t, ts, "/api/query/batch",
+		`{"queries": [{"query": "MATCH (n:struct) RETURN n.short_name", "noCache": true},
+		              {"query": "this does not parse"}]}`, nil)
+	defer resp.Body.Close()
+	id := resp.Header.Get(TraceIDHeader)
+	var out struct {
+		Results []struct {
+			TraceID string `json:"traceId"`
+			Error   string `json:"error"`
+		} `json:"results"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Results) != 2 {
+		t.Fatalf("want 2 results, got %d", len(out.Results))
+	}
+	for i, r := range out.Results {
+		if r.TraceID != id {
+			t.Fatalf("entry %d traceId %q != response trace %q", i, r.TraceID, id)
+		}
+	}
+	if out.Results[1].Error == "" {
+		t.Fatal("bad query should report an error")
+	}
+	rec := fetchTrace(t, ts, id)
+	entries := 0
+	for _, s := range rec["spanTree"].([]any) {
+		if s.(map[string]any)["name"] == "batch.entry" {
+			entries++
+		}
+	}
+	if entries != 2 {
+		t.Fatalf("want 2 batch.entry spans, got %d", entries)
+	}
+}
+
+// TestDebugTracesList: the listing includes recent traces with a
+// retention reason, and unknown IDs 404.
+func TestDebugTracesList(t *testing.T) {
+	_, ts := tracedServer(t)
+	resp := tracedPost(t, ts, "/api/query",
+		`{"query": "MATCH (n:module) RETURN n.short_name"}`, nil)
+	resp.Body.Close()
+	id := resp.Header.Get(TraceIDHeader)
+
+	list, err := ts.Client().Get(ts.URL + "/api/debug/traces")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer list.Body.Close()
+	var out struct {
+		Enabled bool `json:"enabled"`
+		Traces  []struct {
+			TraceID string `json:"traceId"`
+			Reason  string `json:"reason"`
+		} `json:"traces"`
+	}
+	if err := json.NewDecoder(list.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if !out.Enabled {
+		t.Fatal("tracing should report enabled")
+	}
+	found := false
+	for _, tr := range out.Traces {
+		if tr.TraceID == id {
+			found = true
+			if tr.Reason == "" {
+				t.Fatal("retained trace lacks a reason")
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("trace %s missing from listing", id)
+	}
+
+	missing, err := ts.Client().Get(ts.URL + "/api/debug/traces/ffffffffffffffffffffffffffffffff")
+	if err != nil {
+		t.Fatal(err)
+	}
+	missing.Body.Close()
+	if missing.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown trace: status %d, want 404", missing.StatusCode)
+	}
+}
+
+// TestTracingDisabled: with no Tracer the debug API degrades cleanly
+// and responses carry no trace headers.
+func TestTracingDisabled(t *testing.T) {
+	_, ts := newTestServer(t, nil)
+	resp := tracedPost(t, ts, "/api/query",
+		`{"query": "MATCH (n:module) RETURN n.short_name"}`, nil)
+	resp.Body.Close()
+	if resp.Header.Get(TraceIDHeader) != "" {
+		t.Fatal("untraced response should not carry X-Trace-Id")
+	}
+	list, err := ts.Client().Get(ts.URL + "/api/debug/traces")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer list.Body.Close()
+	var out map[string]any
+	if err := json.NewDecoder(list.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out["enabled"] != false {
+		t.Fatalf("disabled tracing should report enabled=false: %v", out)
+	}
+}
+
+// TestSlowLogCarriesTraceID: the slow-request log line includes the
+// trace ID, completing the logs → traces pivot.
+func TestSlowLogCarriesTraceID(t *testing.T) {
+	var mu sync.Mutex
+	var lines []string
+	_, ts := newTestServer(t, func(s *Server) {
+		s.Tracer = trace.New(trace.Config{Capacity: 16, SampleRate: 1, SlowThreshold: time.Hour})
+		s.SlowThreshold = time.Nanosecond
+		s.Logf = func(format string, args ...any) {
+			mu.Lock()
+			defer mu.Unlock()
+			lines = append(lines, fmt.Sprintf(format, args...))
+		}
+	})
+	resp := tracedPost(t, ts, "/api/query",
+		`{"query": "MATCH (n:module) RETURN n.short_name"}`, nil)
+	resp.Body.Close()
+	id := resp.Header.Get(TraceIDHeader)
+	// The slow line is written after the handler returns; give the
+	// middleware a moment to finish behind the response.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		mu.Lock()
+		joined := strings.Join(lines, "\n")
+		mu.Unlock()
+		if strings.Contains(joined, "slow request") && strings.Contains(joined, "traceId="+id) {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("slow line lacks traceId=%s:\n%s", id, joined)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

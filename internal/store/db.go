@@ -248,6 +248,16 @@ func (db *DB) Stats() map[string]CacheStats {
 	}
 }
 
+// PageSize reports the page-cache page size in bytes — resource
+// attribution (trace spans) converts page faults into byte counts
+// with it.
+func (db *DB) PageSize() int {
+	if db == nil || db.nodes == nil {
+		return DefaultPageSize
+	}
+	return db.nodes.pageSize
+}
+
 // --- graph.Source implementation ---
 
 // NodeCount implements graph.Source.
