@@ -9,6 +9,12 @@
 //	frappe-bench -scale 4             # larger synthetic kernel
 //	frappe-bench -runs 10 -timeout 15s
 //
+// -experiment soak drives mixed traffic (concurrent query clients, a
+// live admin updater, a metrics scraper) through the full HTTP stack,
+// once unsharded and once through the shard coordinator; -soak-p99
+// turns it into a gate that fails on any 5xx or a query p99 above the
+// ceiling.
+//
 // With -compare it acts as the CI regression gate instead: it reads two
 // smoke JSON files and fails when a tracked metric (warm-read
 // throughput, cache hit ratios, query-cache speedup, planned Figure-6
@@ -26,8 +32,11 @@ import (
 	"fmt"
 	"hash"
 	"hash/fnv"
+	"io"
 	"math"
 	"math/rand"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"runtime"
@@ -35,9 +44,12 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"frappe/internal/coord"
 	"frappe/internal/core"
+	"frappe/internal/delta"
 	"frappe/internal/extract"
 	"frappe/internal/graph"
 	"frappe/internal/kernelgen"
@@ -47,6 +59,8 @@ import (
 	"frappe/internal/plan"
 	"frappe/internal/qcache"
 	"frappe/internal/query"
+	"frappe/internal/server"
+	"frappe/internal/shard"
 	"frappe/internal/store"
 	"frappe/internal/temporal"
 	"frappe/internal/traversal"
@@ -56,11 +70,13 @@ var (
 	scale      = flag.Int("scale", 1, "synthetic kernel scale factor")
 	runs       = flag.Int("runs", 10, "cold and warm runs per query (paper: 10)")
 	timeout    = flag.Duration("timeout", 15*time.Second, "comprehension-query abort deadline (paper: 15 min)")
-	experiment = flag.String("experiment", "all", "comma list: table3,table4,table5,figure7,table6,ablations,temporal,planner,stream,obs,smoke")
+	experiment = flag.String("experiment", "all", "comma list: table3,table4,table5,figure7,table6,ablations,temporal,planner,stream,obs,smoke,soak")
 	keep       = flag.String("db", "", "store directory to (re)use; default: temp dir")
 	out        = flag.String("out", "", "with -experiment smoke/planner: also write the results as JSON to this file")
 	compare    = flag.Bool("compare", false, "regression gate: compare two smoke JSON files instead of benchmarking")
 	tolerance  = flag.Float64("tolerance", 0.25, "with -compare: allowed relative regression per metric")
+	soakDur    = flag.Duration("soak-duration", 3*time.Second, "with -experiment soak: mixed-traffic duration per serving mode")
+	soakP99    = flag.Duration("soak-p99", 0, "with -experiment soak: fail when a mode's query p99 exceeds this or any request got a 5xx (0 = report only)")
 )
 
 func main() {
@@ -152,6 +168,14 @@ func run() error {
 	}
 	if all || want["obs"] {
 		if err := b.traceOverhead(&sr); err != nil {
+			return err
+		}
+		record = true
+	}
+	// soak builds its own serving stacks (it never touches b), so it can
+	// run here without keeping b.mem live through stream's heap baseline.
+	if want["soak"] {
+		if err := runSoak(&sr); err != nil {
 			return err
 		}
 		record = true
@@ -894,6 +918,35 @@ type smokeResult struct {
 		SpansPerQuery         float64 `json:"spans_per_query"`
 		UntracedQueriesPerSec float64 `json:"untraced_queries_per_sec"`
 	} `json:"trace"`
+	// Soak is the PR-10 subject: the full HTTP serving stack under mixed
+	// traffic — concurrent query clients, a live admin updater that
+	// re-extracts and republishes the store, and a metrics scraper — once
+	// against a plain single store (the pre-sharding stack) and once
+	// against the same graph partitioned behind the scatter-gather
+	// coordinator. No query cache is installed in either mode: the
+	// subject is the serving stack, not result reuse.
+	Soak struct {
+		DurationMS   float64  `json:"duration_ms"`
+		QueryClients int      `json:"query_clients"`
+		Shards       int      `json:"shards"`
+		Unsharded    soakMode `json:"unsharded"`
+		Sharded      soakMode `json:"sharded"`
+	} `json:"soak"`
+}
+
+// soakMode is one serving mode's outcome under the soak traffic mix.
+// ErrorRate counts every non-2xx response and transport failure across
+// all request kinds; HTTP5xx counts server-fault responses alone (the
+// CI gate requires it to be zero).
+type soakMode struct {
+	Queries       int64   `json:"queries"`
+	QueriesPerSec float64 `json:"queries_per_sec"`
+	P50MS         float64 `json:"p50_ms"`
+	P99MS         float64 `json:"p99_ms"`
+	ErrorRate     float64 `json:"error_rate"`
+	HTTP5xx       int64   `json:"http_5xx"`
+	Updates       int64   `json:"updates"`
+	Scrapes       int64   `json:"scrapes"`
 }
 
 // cacheRatio is one query batch's page-cache outcome, aggregated over
@@ -1230,6 +1283,365 @@ func (b *bench) qcacheSmoke(r *smokeResult) error {
 	return nil
 }
 
+// --- Sharded soak (PR 10) ---
+
+const (
+	soakShardCount   = 4
+	soakQueryClients = 2
+)
+
+// soakQueries is the round-robin query mix: two scatterable full scans
+// (the shape the coordinator fans out across every shard), one anchored
+// probe the router proves shard-local, and the Figure 3 pipeline (START
+// + WITH DISTINCT forces the direct path, so the mix also measures the
+// composite's plain execution overhead).
+var soakQueries = []string{
+	`MATCH (a:function) -[:calls]-> b WHERE b.short_name = 'get_sectorsize' RETURN a.short_name`,
+	`MATCH f -[r:calls]-> g WHERE r.use_start_line < 0 RETURN f.short_name`,
+	`MATCH (n:function{short_name: 'pci_read_bases'}) -[:calls]-> m RETURN m.short_name`,
+	figure3Query,
+}
+
+// runSoak drives the mixed-traffic soak against both serving modes and
+// records the comparison. With -soak-p99 it doubles as the CI gate:
+// any 5xx response or a query p99 above the ceiling fails the run.
+func runSoak(r *smokeResult) error {
+	fmt.Println("== Sharded serving soak (PR 10) ==")
+	if r.GOMAXPROCS == 0 {
+		r.GOMAXPROCS = runtime.GOMAXPROCS(0)
+	}
+	dur := *soakDur
+	r.Soak.DurationMS = float64(dur) / float64(time.Millisecond)
+	r.Soak.QueryClients = soakQueryClients
+	r.Soak.Shards = soakShardCount
+	fmt.Printf("mix: %d query clients + 1 admin updater + 1 metrics scraper, %v per mode, %d queries round-robin\n",
+		soakQueryClients, dur, len(soakQueries))
+	un, err := soakRun(1, dur)
+	if err != nil {
+		return fmt.Errorf("unsharded soak: %w", err)
+	}
+	sh, err := soakRun(soakShardCount, dur)
+	if err != nil {
+		return fmt.Errorf("sharded soak: %w", err)
+	}
+	r.Soak.Unsharded, r.Soak.Sharded = un, sh
+	fmt.Printf("%-12s %10s %10s %10s %10s %8s %8s %8s\n",
+		"", "queries/s", "p50", "p99", "err-rate", "5xx", "updates", "scrapes")
+	for _, row := range []struct {
+		name string
+		m    soakMode
+	}{{"unsharded", un}, {fmt.Sprintf("%d shards", soakShardCount), sh}} {
+		fmt.Printf("%-12s %10.1f %8.1fms %8.1fms %9.2f%% %8d %8d %8d\n",
+			row.name, row.m.QueriesPerSec, row.m.P50MS, row.m.P99MS,
+			100*row.m.ErrorRate, row.m.HTTP5xx, row.m.Updates, row.m.Scrapes)
+	}
+	if un.QueriesPerSec > 0 {
+		fmt.Printf("sharded/unsharded throughput: %.2fx\n\n", sh.QueriesPerSec/un.QueriesPerSec)
+	}
+	if *soakP99 > 0 {
+		ceiling := float64(*soakP99) / float64(time.Millisecond)
+		for _, row := range []struct {
+			name string
+			m    soakMode
+		}{{"unsharded", un}, {"sharded", sh}} {
+			if row.m.HTTP5xx > 0 {
+				return fmt.Errorf("soak gate: %s mode served %d 5xx responses, want 0", row.name, row.m.HTTP5xx)
+			}
+			if row.m.P99MS > ceiling {
+				return fmt.Errorf("soak gate: %s mode query p99 %.1f ms exceeds the %.0f ms ceiling", row.name, row.m.P99MS, ceiling)
+			}
+		}
+		fmt.Printf("soak gate ok: zero 5xx, query p99 within %v in both modes\n\n", *soakP99)
+	}
+	return nil
+}
+
+// soakRun builds one serving stack over a fresh synthetic kernel —
+// shards == 1 is the plain single-store server, shards > 1 the
+// coordinator over a partitioned store — and drives the mixed traffic
+// against it for dur. Admin updates are real end to end: each POST
+// appends a function to one compilation unit, re-extracts it through
+// the delta session, persists a full crash-consistent epoch, and
+// republishes while in-flight requests finish on their pinned state.
+func soakRun(shards int, dur time.Duration) (soakMode, error) {
+	var m soakMode
+	w := kernelgen.Generate(kernelgen.Scaled(*scale))
+	sess, res, err := delta.NewSession(w.Build, w.ExtractOptions())
+	if err != nil {
+		return m, err
+	}
+	tmp, err := os.MkdirTemp("", "frappe-soak-")
+	if err != nil {
+		return m, err
+	}
+	defer os.RemoveAll(tmp)
+	dir := filepath.Join(tmp, "db")
+	epoch := sess.Manifest().Epoch
+	rec := delta.Record{
+		Epoch:      epoch,
+		Time:       time.Now().UTC().Format(time.RFC3339),
+		FilesAdded: len(sess.Manifest().Files),
+		NodeCount:  res.Graph.NodeCount(),
+		EdgeCount:  res.Graph.EdgeCount(),
+	}
+	if shards > 1 {
+		err = delta.PersistIndexWith(dir, sess, res.Graph, rec, shard.Split(res.Graph, shards).Stage)
+	} else {
+		err = delta.PersistIndex(dir, sess, res.Graph, rec)
+	}
+	if err != nil {
+		return m, err
+	}
+
+	// mutate appends one fresh function to the first compilation unit and
+	// plans the incremental re-extraction against the live source.
+	seq := 0
+	mutate := func(old graph.Source) (*delta.Update, delta.Record, error) {
+		seq++
+		unit := w.Build.Units[0].Source
+		w.FS[unit] += fmt.Sprintf("\nint soak_added_%d(int v)\n{\n\treturn v + %d;\n}\n", seq, seq)
+		start := time.Now()
+		up, err := sess.Update(w.Build, old)
+		if err != nil {
+			return nil, delta.Record{}, err
+		}
+		urec := delta.Record{
+			Epoch:            up.Epoch,
+			Time:             time.Now().UTC().Format(time.RFC3339),
+			FilesModified:    1,
+			UnitsReextracted: up.Reextracted,
+			WallMillis:       float64(time.Since(start).Microseconds()) / 1000,
+		}
+		if up.Result != nil {
+			urec.NodeCount = up.Result.Graph.NodeCount()
+			urec.EdgeCount = up.Result.Graph.EdgeCount()
+		}
+		return up, urec, nil
+	}
+
+	var srv *server.Server
+	var teardown func() error
+	if shards > 1 {
+		crd, err := coord.Open(dir, 1, store.Options{})
+		if err != nil {
+			return m, err
+		}
+		crd.SetEpoch(epoch, nil)
+		srv = server.New(crd.Engine())
+		srv.Coord = crd
+		srv.Update = func(ctx context.Context) (server.UpdateResult, error) {
+			var result server.UpdateResult
+			_, err := crd.Update(func(old graph.Source) (*graph.Graph, int64, *core.UpdateSummary, error) {
+				up, urec, err := mutate(old)
+				if err != nil {
+					return nil, 0, nil, err
+				}
+				if up.NoOp {
+					result = server.UpdateResult{Applied: false, Epoch: up.Epoch}
+					return nil, 0, nil, nil
+				}
+				if err := delta.PersistUpdateWith(dir, sess, up.Result.Graph, urec, shard.Split(up.Result.Graph, shards).Stage); err != nil {
+					return nil, 0, nil, err
+				}
+				result = server.UpdateResult{Applied: true, Epoch: up.Epoch}
+				return up.Result.Graph, up.Epoch, nil, nil
+			})
+			return result, err
+		}
+		teardown = crd.Close
+	} else {
+		eng, err := core.Open(dir)
+		if err != nil {
+			return m, err
+		}
+		eng.SetEpoch(epoch, nil)
+		srv = server.New(eng)
+		// Updates reopen the committed store and swap the disk-backed
+		// source, so this mode keeps serving the same medium the sharded
+		// mode serves. Superseded stores stay open until teardown because
+		// pinned snapshots may still read them.
+		var upMu sync.Mutex
+		var retired []*store.DB
+		srv.Update = func(ctx context.Context) (server.UpdateResult, error) {
+			upMu.Lock()
+			defer upMu.Unlock()
+			old := eng.Snapshot().Source()
+			up, urec, err := mutate(old)
+			if err != nil {
+				return server.UpdateResult{}, err
+			}
+			if up.NoOp {
+				return server.UpdateResult{Applied: false, Epoch: up.Epoch}, nil
+			}
+			if err := delta.PersistUpdate(dir, sess, up.Result.Graph, urec); err != nil {
+				return server.UpdateResult{}, err
+			}
+			db, err := store.OpenOptions(dir, store.Options{})
+			if err != nil {
+				return server.UpdateResult{}, err
+			}
+			if odb, ok := old.(*store.DB); ok {
+				retired = append(retired, odb)
+			}
+			eng.SwapSource(db, up.Epoch, nil)
+			return server.UpdateResult{Applied: true, Epoch: up.Epoch}, nil
+		}
+		teardown = func() error {
+			// eng.Close handles the never-updated case (the snapshot still
+			// owns its store); after a swap the tolerant snapshots do not,
+			// so close the chain by hand.
+			err := eng.Close()
+			upMu.Lock()
+			defer upMu.Unlock()
+			if cur, ok := eng.Snapshot().Source().(*store.DB); ok && len(retired) > 0 {
+				cur.Close()
+			}
+			for _, d := range retired {
+				d.Close()
+			}
+			return err
+		}
+	}
+	srv.SlowThreshold = -1 // soak latencies are the measurement, not log noise
+
+	ts := httptest.NewServer(srv)
+	var (
+		wg                      sync.WaitGroup
+		queries, errs, fivexx   int64
+		updatesOK, updatesTried int64
+		scrapesOK, scrapesTried int64
+	)
+	stop := make(chan struct{})
+	latCh := make(chan []float64, soakQueryClients)
+	post := func(cl *http.Client, path, body string) (int, error) {
+		resp, err := cl.Post(ts.URL+path, "application/json", strings.NewReader(body))
+		if err != nil {
+			return 0, err
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode, nil
+	}
+	count := func(code int, err error) bool {
+		if code >= 500 {
+			atomic.AddInt64(&fivexx, 1)
+		}
+		if err != nil || code < 200 || code >= 300 {
+			atomic.AddInt64(&errs, 1)
+			return false
+		}
+		return true
+	}
+
+	for c := 0; c < soakQueryClients; c++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			cl := ts.Client()
+			lats := make([]float64, 0, 4096)
+			for i := worker; ; i++ {
+				select {
+				case <-stop:
+					latCh <- lats
+					return
+				default:
+				}
+				body, _ := json.Marshal(map[string]string{"query": soakQueries[i%len(soakQueries)]})
+				start := time.Now()
+				code, err := post(cl, "/api/query", string(body))
+				lats = append(lats, float64(time.Since(start).Microseconds())/1000)
+				atomic.AddInt64(&queries, 1)
+				count(code, err)
+			}
+		}(c)
+	}
+	wg.Add(1)
+	go func() { // admin updater: a real re-extract + republish every tick
+		defer wg.Done()
+		cl := ts.Client()
+		t := time.NewTicker(400 * time.Millisecond)
+		defer t.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-t.C:
+				atomic.AddInt64(&updatesTried, 1)
+				if count(post(cl, "/api/admin/update", "{}")) {
+					atomic.AddInt64(&updatesOK, 1)
+				}
+			}
+		}
+	}()
+	wg.Add(1)
+	go func() { // metrics scraper
+		defer wg.Done()
+		cl := ts.Client()
+		t := time.NewTicker(100 * time.Millisecond)
+		defer t.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-t.C:
+				atomic.AddInt64(&scrapesTried, 1)
+				resp, err := cl.Get(ts.URL + "/metrics")
+				code := 0
+				if err == nil {
+					io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+					code = resp.StatusCode
+				}
+				if count(code, err) {
+					atomic.AddInt64(&scrapesOK, 1)
+				}
+			}
+		}
+	}()
+
+	loadStart := time.Now()
+	time.Sleep(dur)
+	close(stop)
+	wg.Wait()
+	elapsed := time.Since(loadStart)
+	ts.Close()
+	if err := teardown(); err != nil {
+		return m, err
+	}
+
+	var lats []float64
+	for i := 0; i < soakQueryClients; i++ {
+		lats = append(lats, <-latCh...)
+	}
+	sort.Float64s(lats)
+	m.Queries = queries
+	m.QueriesPerSec = float64(queries) / elapsed.Seconds()
+	m.P50MS = soakPct(lats, 0.50)
+	m.P99MS = soakPct(lats, 0.99)
+	if total := queries + updatesTried + scrapesTried; total > 0 {
+		m.ErrorRate = float64(errs) / float64(total)
+	}
+	m.HTTP5xx = fivexx
+	m.Updates = updatesOK
+	m.Scrapes = scrapesOK
+	return m, nil
+}
+
+// soakPct reads a quantile from a sorted latency slice (nearest-rank).
+func soakPct(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}
+
 // --- Regression gate (-compare) ---
 
 // compareFile is the subset of a smoke JSON the gate tracks. Older
@@ -1269,6 +1681,10 @@ type compareFile struct {
 	Trace struct {
 		UntracedQueriesPerSec float64 `json:"untraced_queries_per_sec"`
 	} `json:"trace"`
+	Soak struct {
+		Unsharded soakMode `json:"unsharded"`
+		Sharded   soakMode `json:"sharded"`
+	} `json:"soak"`
 }
 
 // warmThroughput converts the warm-read measurement into ops/ms so two
@@ -1334,6 +1750,19 @@ func runCompare(args []string, tol float64) error {
 		return err
 	}
 
+	// Committed BENCH files and CI runs alike are produced under a pinned
+	// GOMAXPROCS >= 4 (the bench job exports GOMAXPROCS=4). A file below
+	// that means the wall-clock gates would silently skip or compare
+	// starved runs, so fail loudly instead of letting the gate rot.
+	for _, f := range []struct {
+		path string
+		f    *compareFile
+	}{{files[0], oldF}, {files[1], newF}} {
+		if f.f.GOMAXPROCS != 0 && f.f.GOMAXPROCS < 4 {
+			return fmt.Errorf("%s: recorded gomaxprocs %d < 4; wall-clock gates need a pinned >= 4-proc run (export GOMAXPROCS=4 and regenerate)",
+				f.path, f.f.GOMAXPROCS)
+		}
+	}
 	// Wall-clock metrics (throughput, speedups) measured under different
 	// GOMAXPROCS are apples to oranges: a laptop file vs a 4-core CI
 	// runner would gate on the hardware, not the code. Ratios survive.
@@ -1401,6 +1830,25 @@ func runCompare(args []string, tol float64) error {
 			failed++
 			fmt.Printf("  FAIL %-34s streamed peak %d KB >= materialized %d KB\n",
 				"stream_bounded_memory", s.StreamedPeakBytes/1024, s.MaterializedPeakBytes/1024)
+		}
+	}
+	// Soak checks (skipped for files that predate the soak experiment):
+	// the partitioned stack must hold its own against the single-store
+	// server on mixed traffic, and neither mode may have served a 5xx.
+	if sk := newF.Soak; sk.Sharded.Queries > 0 && sk.Unsharded.Queries > 0 {
+		if sk.Sharded.QueriesPerSec >= sk.Unsharded.QueriesPerSec*(1-tol) {
+			fmt.Printf("  PASS %-34s sharded %.1f q/s vs unsharded %.1f q/s\n",
+				"soak_sharded_throughput", sk.Sharded.QueriesPerSec, sk.Unsharded.QueriesPerSec)
+		} else {
+			failed++
+			fmt.Printf("  FAIL %-34s sharded %.1f q/s < unsharded %.1f q/s beyond tolerance\n",
+				"soak_sharded_throughput", sk.Sharded.QueriesPerSec, sk.Unsharded.QueriesPerSec)
+		}
+		if n := sk.Sharded.HTTP5xx + sk.Unsharded.HTTP5xx; n == 0 {
+			fmt.Printf("  PASS %-34s zero 5xx under mixed traffic\n", "soak_no_5xx")
+		} else {
+			failed++
+			fmt.Printf("  FAIL %-34s %d 5xx responses under mixed traffic\n", "soak_no_5xx", n)
 		}
 	}
 	if failed > 0 {

@@ -1,0 +1,520 @@
+// Package coord is the scatter-gather coordinator over a sharded store:
+// it opens the shard set (plus optional replicas — the store's immutable
+// files make replicas free), plans each query once, and picks the
+// cheapest correct execution:
+//
+//   - direct: run the compiled plan straight on the composite source.
+//     Used for shapes that cannot scatter (DISTINCT, SKIP, START,
+//     shortest-path, interpreter fallbacks — notably every closure
+//     rewrite, whose cross-shard correctness therefore rides on the
+//     composite's cut-edge adjacency) and for LIMIT queries under a
+//     step budget (workers racing past the merge's truncation point
+//     could trip a budget the single-engine run never reaches).
+//   - fast path: when the planner's seed probe resolves the anchor
+//     candidates through the auto-index and they all live on one
+//     shard, the query is shard-local — direct execution, no merge.
+//   - scatter: one worker per shard, all running the SAME compiled
+//     plan over the SAME global-ID composite with the first seed scan
+//     partitioned by shard ownership. Workers share one step/row
+//     budget, and a k-way merge by ascending anchor reassembles the
+//     exact single-engine row order through the bounded-channel
+//     streaming surface.
+//
+// Every request pins one coordinator state — shard set, replicas, and
+// the per-shard epoch vector — so a concurrent update swapping the
+// store can never make a request mix two epochs.
+package coord
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"frappe/internal/core"
+	"frappe/internal/graph"
+	"frappe/internal/gstats"
+	"frappe/internal/plan"
+	"frappe/internal/qcache"
+	"frappe/internal/query"
+	"frappe/internal/shard"
+	"frappe/internal/store"
+)
+
+// state is one immutable published coordinator state. Requests pin a
+// state for their whole lifetime; an update builds the next one off to
+// the side and publishes it with a single pointer swap.
+type state struct {
+	replicas []*shard.Set
+	epoch    int64
+	last     *core.UpdateSummary
+}
+
+func (st *state) primary() *shard.Set { return st.replicas[0] }
+
+// Coordinator routes queries across a sharded store. It owns a view
+// engine (core.Engine over the composite source) so the non-query
+// surfaces — search, go-to-definition, slices, the code map — work
+// unchanged, and intercepts the query surfaces to scatter.
+type Coordinator struct {
+	dir string
+	opt store.Options
+
+	// Limits bounds every query exactly like core.Engine.QueryLimits.
+	// Set at startup, before the coordinator serves concurrent traffic.
+	Limits query.Limits
+	// Hedge, when > 0 and at least two replicas are open, starts a
+	// second direct execution on another replica if the first has not
+	// answered within this delay; the first result wins. Replicas open
+	// the same immutable files, so either answer is byte-identical.
+	Hedge time.Duration
+	// ReadOnly marks a replica-of coordinator: it serves a store
+	// directory owned by another process and never applies updates.
+	ReadOnly bool
+
+	eng   *core.Engine
+	qc    *qcache.Cache
+	state atomic.Pointer[state]
+	rr    atomic.Uint64
+
+	updateMu sync.Mutex
+	mu       sync.Mutex
+	retired  []*shard.Set
+	closed   bool
+}
+
+// Open opens the sharded store at dir with the given replica count
+// (clamped to at least 1) and builds the view engine over replica 0.
+func Open(dir string, replicas int, opt store.Options) (*Coordinator, error) {
+	if replicas < 1 {
+		replicas = 1
+	}
+	c := &Coordinator{dir: dir, opt: opt}
+	sets, err := c.openReplicas(replicas)
+	if err != nil {
+		return nil, err
+	}
+	c.state.Store(&state{replicas: sets})
+	c.eng = core.FromSource(sets[0])
+	if st, ok, err := gstats.Load(dir); err == nil && ok {
+		c.eng.SeedGraphStats(st)
+	}
+	mShardCount.Set(int64(sets[0].Shards()))
+	mShardDown.Set(int64(len(sets[0].DownShards())))
+	return c, nil
+}
+
+func (c *Coordinator) openReplicas(n int) ([]*shard.Set, error) {
+	sets := make([]*shard.Set, 0, n)
+	for i := 0; i < n; i++ {
+		s, err := shard.Open(c.dir, c.opt)
+		if err != nil {
+			for _, prev := range sets {
+				prev.Close()
+			}
+			return nil, fmt.Errorf("coord: opening replica %d: %w", i, err)
+		}
+		sets = append(sets, s)
+	}
+	return sets, nil
+}
+
+// Engine is the coordinator's view engine over the composite source.
+// cmd/frappe hands it to server.New so every non-query endpoint works
+// unchanged; its snapshot swaps in lockstep with coordinator updates.
+func (c *Coordinator) Engine() *core.Engine { return c.eng }
+
+// SetQueryCache installs the coordinator's own query cache (same
+// public cache as the engine's, keyed by the coordinator epoch). Call
+// at startup, before concurrent traffic.
+func (c *Coordinator) SetQueryCache(qc *qcache.Cache) { c.qc = qc }
+
+// QueryCacheStats reports the coordinator cache's counters (nil when
+// no cache is installed).
+func (c *Coordinator) QueryCacheStats() *qcache.Stats {
+	if c.qc == nil {
+		return nil
+	}
+	s := c.qc.Stats()
+	return &s
+}
+
+// SetEpoch stamps the live state (used at startup when the opened
+// store carries update history). Call before serving traffic.
+func (c *Coordinator) SetEpoch(epoch int64, last *core.UpdateSummary) {
+	old := c.state.Load()
+	c.state.Store(&state{replicas: old.replicas, epoch: epoch, last: last})
+	c.eng.SetEpoch(epoch, last)
+	mShardEpoch.Set(epoch)
+}
+
+// Pinned is one request's pinned coordinator state: every call through
+// it sees the same shard set and epoch vector no matter how many
+// updates land concurrently.
+type Pinned struct {
+	c  *Coordinator
+	st *state
+}
+
+// Pin captures the current state for one request.
+func (c *Coordinator) Pin() Pinned { return Pinned{c: c, st: c.state.Load()} }
+
+// Epoch is the pinned store epoch.
+func (p Pinned) Epoch() int64 { return p.st.epoch }
+
+// Source is the pinned composite source (for formatting result values).
+func (p Pinned) Source() graph.Source { return p.st.primary() }
+
+// EpochVector is the pinned per-shard epoch vector. Shards commit
+// through one atomic bundle, so a healthy vector is uniform — the
+// vector shape is the API so mixed-epoch states (a future incremental
+// per-shard commit) surface visibly instead of silently.
+func (p Pinned) EpochVector() []int64 {
+	v := make([]int64, p.st.primary().Shards())
+	for i := range v {
+		v[i] = p.st.epoch
+	}
+	return v
+}
+
+// LastUpdate is the pinned last-update summary.
+func (p Pinned) LastUpdate() *core.UpdateSummary { return p.st.last }
+
+// planFor compiles text against the view engine's statistics through
+// the coordinator's cache (parse cache + generation-keyed compiled-plan
+// slot), mirroring core.Engine.planFor.
+func (c *Coordinator) planFor(text string) (*plan.Plan, error) {
+	gs := c.eng.GraphStats()
+	if c.qc == nil {
+		q, err := query.Parse(text)
+		if err != nil {
+			return nil, err
+		}
+		return plan.Compile(q, gs), nil
+	}
+	q, err := c.qc.Plan(text)
+	if err != nil {
+		return nil, err
+	}
+	var gen int64
+	if gs != nil {
+		gen = gs.Generation
+	}
+	v, err := c.qc.CompiledPlan(text, gen, func() (any, error) {
+		return plan.Compile(q, gs), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.(*plan.Plan), nil
+}
+
+// execMode is the coordinator's routing decision for one plan.
+type execMode int
+
+const (
+	modeDirect execMode = iota
+	modeFastpath
+	modeScatter
+)
+
+// routePlan decides how to execute p against the pinned state. The
+// comments on each branch are the correctness argument for why the
+// cheaper mode is safe there.
+func (p Pinned) routePlan(pl *plan.Plan) execMode {
+	set := p.st.primary()
+	if set.Shards() <= 1 {
+		return modeDirect
+	}
+	// Non-scatterable shapes (including every closure rewrite, which
+	// introduces DISTINCT) run once on the composite: the composite IS
+	// the whole graph at global IDs, so cross-shard closures are plain
+	// visited-set BFS crossing cut edges.
+	if pl.Fallback || !query.Scatterable(pl.Query) {
+		return modeDirect
+	}
+	// LIMIT + step budget: scattered workers keep expanding until the
+	// merge truncates, so the shared step counter can pass a budget the
+	// single-engine run (which stops at the limit) never reaches. Run
+	// direct to keep budget-abort behavior identical.
+	if _, hasLimit := query.ReturnLimit(pl.Query); hasLimit && p.c.Limits.MaxSteps > 0 {
+		return modeDirect
+	}
+	if ids, ok, err := query.ScatterProbe(set, pl.Query, pl.Hints); ok && err == nil {
+		owner := -1
+		local := true
+		for _, id := range ids {
+			o := set.Owner(id)
+			if owner == -1 {
+				owner = o
+			} else if o != owner {
+				local = false
+				break
+			}
+		}
+		if local {
+			// Every anchor candidate lives on one shard (or there are
+			// none): the scatter would have exactly one productive
+			// worker, so run its plan directly — identical semantics,
+			// no merge, no shared counters.
+			return modeFastpath
+		}
+	}
+	return modeScatter
+}
+
+// pick round-robins across replicas.
+func (p Pinned) pick() *shard.Set {
+	n := len(p.st.replicas)
+	if n == 1 {
+		return p.st.replicas[0]
+	}
+	return p.st.replicas[int(p.c.rr.Add(1))%n]
+}
+
+// CachedQuery is the coordinator's materialized query surface,
+// mirroring core.Engine.CachedQuery: result reuse keyed by
+// (epoch, text, limits), singleflight coalescing, bypass support.
+func (p Pinned) CachedQuery(ctx context.Context, text string, bypass bool) (*query.Result, qcache.Outcome, error) {
+	qc := p.c.qc
+	if qc == nil || bypass {
+		res, err := p.execute(ctx, text)
+		return res, qcache.Outcome{}, err
+	}
+	k := qcache.Key{Epoch: p.st.epoch, Text: text, Limits: p.c.Limits}
+	return qc.Do(ctx, k, func() (*query.Result, error) {
+		return p.execute(ctx, text)
+	})
+}
+
+func (p Pinned) execute(ctx context.Context, text string) (*query.Result, error) {
+	pl, err := p.c.planFor(text)
+	if err != nil {
+		return nil, err
+	}
+	switch p.routePlan(pl) {
+	case modeScatter:
+		mQueriesScatter.Inc()
+		return p.scatterExecute(ctx, pl)
+	case modeFastpath:
+		mQueriesFastpath.Inc()
+		return pl.Execute(ctx, p.pick(), p.c.Limits)
+	default:
+		mQueriesDirect.Inc()
+		return p.hedgedExecute(ctx, pl)
+	}
+}
+
+// hedgedExecute runs the plan directly on a replica, hedging onto a
+// second replica when the first is slow. Replicas serve the same
+// immutable files, so whichever answers first is correct.
+func (p Pinned) hedgedExecute(ctx context.Context, pl *plan.Plan) (*query.Result, error) {
+	if len(p.st.replicas) < 2 || p.c.Hedge <= 0 {
+		return pl.Execute(ctx, p.pick(), p.c.Limits)
+	}
+	// Captured here, on the caller's goroutine: the losing replica's
+	// goroutine outlives this call and must not touch coordinator fields.
+	lim := p.c.Limits
+	cctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	type outcome struct {
+		res    *query.Result
+		err    error
+		hedged bool
+	}
+	ch := make(chan outcome, 2)
+	run := func(set *shard.Set, hedged bool) {
+		go func() {
+			res, err := pl.Execute(cctx, set, lim)
+			ch <- outcome{res, err, hedged}
+		}()
+	}
+	first := int(p.c.rr.Add(1)) % len(p.st.replicas)
+	run(p.st.replicas[first], false)
+	outstanding := 1
+	timer := time.NewTimer(p.c.Hedge)
+	defer timer.Stop()
+	hedgeLaunched := false
+	var firstErr error
+	for {
+		select {
+		case o := <-ch:
+			if o.err == nil {
+				if o.hedged {
+					mHedgeWins.Inc()
+				}
+				return o.res, nil
+			}
+			if firstErr == nil {
+				firstErr = o.err
+			}
+			outstanding--
+			if outstanding == 0 {
+				return nil, firstErr
+			}
+		case <-timer.C:
+			if !hedgeLaunched {
+				hedgeLaunched = true
+				mHedgedReads.Inc()
+				run(p.st.replicas[(first+1)%len(p.st.replicas)], true)
+				outstanding++
+			}
+		}
+	}
+}
+
+// StreamQuery is the coordinator's streaming surface, mirroring
+// core.Engine.StreamQuery: cache hits replay, everything else streams —
+// scattered plans through the k-way merge, the rest straight off a
+// replica. Parse/compile errors return synchronously for plain 400s.
+func (p Pinned) StreamQuery(ctx context.Context, text string, depth int) (*query.Stream, qcache.Outcome, error) {
+	if qc := p.c.qc; qc != nil {
+		k := qcache.Key{Epoch: p.st.epoch, Text: text, Limits: p.c.Limits}
+		if res, ok := qc.Get(k); ok {
+			return query.ReplayStream(ctx, res, depth), qcache.Outcome{Hit: true}, nil
+		}
+	}
+	pl, err := p.c.planFor(text)
+	if err != nil {
+		return nil, qcache.Outcome{}, err
+	}
+	switch p.routePlan(pl) {
+	case modeScatter:
+		mQueriesScatter.Inc()
+		return query.FuncStream(ctx, depth, true, func(onCols func([]string) error, sink query.RowSink) (int64, error) {
+			return p.scatterMerge(ctx, pl, onCols, sink)
+		}), qcache.Outcome{}, nil
+	case modeFastpath:
+		mQueriesFastpath.Inc()
+	default:
+		mQueriesDirect.Inc()
+	}
+	return pl.Stream(ctx, p.pick(), p.c.Limits, depth), qcache.Outcome{}, nil
+}
+
+// CachedQuery through a fresh pin; see Pinned.CachedQuery.
+func (c *Coordinator) CachedQuery(ctx context.Context, text string, bypass bool) (*query.Result, qcache.Outcome, error) {
+	return c.Pin().CachedQuery(ctx, text, bypass)
+}
+
+// StreamQuery through a fresh pin; see Pinned.StreamQuery.
+func (c *Coordinator) StreamQuery(ctx context.Context, text string, depth int) (*query.Stream, qcache.Outcome, error) {
+	return c.Pin().StreamQuery(ctx, text, depth)
+}
+
+// Update applies one update stop-the-world: fn rebuilds and persists
+// the full sharded store (partitioning is cheap next to re-extraction),
+// then the coordinator reopens the shard set from disk and publishes
+// it. In-flight requests finish on their pinned state; the replaced
+// sets retire until Close because pinned requests may still read them.
+func (c *Coordinator) Update(fn func(old graph.Source) (*graph.Graph, int64, *core.UpdateSummary, error)) (bool, error) {
+	if c.ReadOnly {
+		return false, fmt.Errorf("coord: replica-of coordinator is read-only")
+	}
+	c.updateMu.Lock()
+	defer c.updateMu.Unlock()
+	st := c.state.Load()
+	g, epoch, last, err := fn(st.primary())
+	if err != nil {
+		return false, err
+	}
+	if g == nil {
+		return false, nil
+	}
+	next, err := c.openReplicas(len(st.replicas))
+	if err != nil {
+		return false, fmt.Errorf("coord: reopening after update: %w", err)
+	}
+	c.eng.SwapSource(next[0], epoch, last)
+	if gs, ok, err := gstats.Load(c.dir); err == nil && ok {
+		c.eng.SeedGraphStats(gs)
+	}
+	c.state.Store(&state{replicas: next, epoch: epoch, last: last})
+	if c.qc != nil {
+		c.qc.Invalidate()
+	}
+	mShardEpoch.Set(epoch)
+	mShardCount.Set(int64(next[0].Shards()))
+	mShardDown.Set(int64(len(next[0].DownShards())))
+	c.mu.Lock()
+	c.retired = append(c.retired, st.replicas...)
+	c.mu.Unlock()
+	return true, nil
+}
+
+// Shards is the active shard count.
+func (c *Coordinator) Shards() int { return c.state.Load().primary().Shards() }
+
+// Replicas is the open replica count.
+func (c *Coordinator) Replicas() int { return len(c.state.Load().replicas) }
+
+// DownShards lists quarantined shard indices (-1 = cut store).
+func (c *Coordinator) DownShards() []int { return c.state.Load().primary().DownShards() }
+
+// Degraded reports whether any replica's shard set has down shards or
+// quarantined pages.
+func (c *Coordinator) Degraded() bool {
+	for _, s := range c.state.Load().replicas {
+		if s.Degraded() {
+			return true
+		}
+	}
+	return false
+}
+
+// QuarantinedPages merges quarantined pages across replicas, keyed
+// "shard-NNN/<file>".
+func (c *Coordinator) QuarantinedPages() map[string][]int64 {
+	out := map[string][]int64{}
+	for _, s := range c.state.Load().replicas {
+		for k, v := range s.QuarantinedPages() {
+			if _, seen := out[k]; !seen {
+				out[k] = v
+			}
+		}
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}
+
+// Heal retries quarantined pages on every replica.
+func (c *Coordinator) Heal() (healed, remaining int) {
+	for _, s := range c.state.Load().replicas {
+		h, r := s.Heal()
+		healed += h
+		remaining += r
+	}
+	return healed, remaining
+}
+
+// Close closes every replica, retired sets included, and the view
+// engine. Callers must have drained in-flight requests.
+func (c *Coordinator) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	retired := c.retired
+	c.retired = nil
+	c.mu.Unlock()
+	var first error
+	for _, s := range c.state.Load().replicas {
+		if err := s.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	for _, s := range retired {
+		if err := s.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	if err := c.eng.Close(); err != nil && first == nil {
+		first = err
+	}
+	return first
+}

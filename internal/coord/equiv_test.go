@@ -1,0 +1,418 @@
+package coord_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"frappe/internal/coord"
+	"frappe/internal/graph"
+	"frappe/internal/gstats"
+	"frappe/internal/kernelgen"
+	"frappe/internal/model"
+	"frappe/internal/plan"
+	"frappe/internal/query"
+	"frappe/internal/shard"
+	"frappe/internal/store"
+)
+
+// The paper's figure queries (same text plan/equiv_test.go checks
+// against the naive interpreter; here they prove the sharded
+// coordinator equals the single unsharded engine).
+const (
+	figure3Query = `
+START m=node:node_auto_index('short_name: wakeup.elf')
+MATCH m -[:compiled_from|linked_from*]-> f
+WITH distinct f
+MATCH f -[:file_contains]-> (n:field{short_name: 'id'})
+RETURN distinct n`
+
+	figure5Query = `
+START from=node:node_auto_index('short_name: sr_media_change'),
+      to=node:node_auto_index('short_name: get_sectorsize'),
+      b=node:node_auto_index('short_name: packet_command')
+MATCH writer -[write:writes_member]-> ({SHORT_NAME:'cmd'}) <-[:contains]- b
+WITH to, from, writer, write
+MATCH direct <-[s:calls]- from -[r:calls{use_start_line: 236}]-> to
+WHERE r.use_start_line >= s.use_start_line AND direct -[:calls*]-> writer
+RETURN distinct writer, write.use_start_line`
+
+	figure6Query = `
+START n=node:node_auto_index('short_name: pci_read_bases')
+MATCH n -[:calls*]-> m
+RETURN distinct m`
+)
+
+var (
+	tinyOnce sync.Once
+	tinyG    *graph.Graph
+)
+
+func tinyGraph(t *testing.T) *graph.Graph {
+	t.Helper()
+	tinyOnce.Do(func() {
+		w := kernelgen.Generate(kernelgen.Tiny())
+		res, err := w.Extract()
+		if err != nil {
+			panic(err)
+		}
+		tinyG = res.Graph
+	})
+	return tinyG
+}
+
+// openCoord persists g as an n-shard store in a temp dir and opens a
+// coordinator over it — the full round trip every production query
+// takes (Split → atomic Write → Open → scatter/route).
+func openCoord(t *testing.T, g *graph.Graph, shards, replicas int, hedge time.Duration) *coord.Coordinator {
+	t.Helper()
+	dir := t.TempDir()
+	if err := shard.Write(dir, shard.Split(g, shards)); err != nil {
+		t.Fatalf("shard.Write: %v", err)
+	}
+	c, err := coord.Open(dir, replicas, store.Options{})
+	if err != nil {
+		t.Fatalf("coord.Open: %v", err)
+	}
+	c.Hedge = hedge
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+// render formats a result preserving row order: the scatter merge
+// reassembles the exact single-engine order, so coordinator results
+// must be byte-identical to the unsharded baseline, not merely
+// set-equal.
+func render(src graph.Source, cols []string, rows [][]query.Val) string {
+	var sb strings.Builder
+	sb.WriteString(strings.Join(cols, "\t"))
+	for _, row := range rows {
+		sb.WriteByte('\n')
+		cells := make([]string, len(row))
+		for i, v := range row {
+			cells[i] = v.Format(src)
+		}
+		sb.WriteString(strings.Join(cells, "\t"))
+	}
+	return sb.String()
+}
+
+// runEquiv compares the sharded coordinator against a single-engine
+// planned execution of the same text: byte-identical rows (materialized
+// AND streamed), matching error classes, and — when no LIMIT lets the
+// merge truncate early — identical step totals.
+func runEquiv(t *testing.T, g *graph.Graph, c *coord.Coordinator, text string, lim query.Limits) {
+	t.Helper()
+	ctx := context.Background()
+	c.Limits = lim
+
+	q, err := query.Parse(text)
+	if err != nil {
+		t.Fatalf("parse %q: %v", text, err)
+	}
+	pl := plan.Compile(q, gstats.Collect(g))
+	base, berr := pl.Execute(ctx, g, lim)
+
+	got, _, gerr := c.CachedQuery(ctx, text, true)
+	if (berr != nil) != (gerr != nil) {
+		t.Fatalf("error divergence for %q:\n single: %v\n coord:  %v", text, berr, gerr)
+	}
+	if berr != nil {
+		if errors.Is(berr, query.ErrBudgetExceeded) != errors.Is(gerr, query.ErrBudgetExceeded) {
+			t.Fatalf("budget class divergence for %q: single %v, coord %v", text, berr, gerr)
+		}
+		return
+	}
+	src := c.Pin().Source()
+	want := render(g, base.Columns, base.Rows)
+	if have := render(src, got.Columns, got.Rows); have != want {
+		t.Fatalf("materialized divergence for %q:\nsingle (%d rows):\n%s\ncoord (%d rows):\n%s",
+			text, len(base.Rows), want, len(got.Rows), have)
+	}
+	hasLimit := strings.Contains(strings.ToUpper(text), "LIMIT")
+	if !hasLimit && got.Steps != base.Steps {
+		t.Fatalf("step divergence for %q: single %d, coord %d", text, base.Steps, got.Steps)
+	}
+
+	st, _, serr := c.StreamQuery(ctx, text, 0)
+	if serr != nil {
+		t.Fatalf("StreamQuery(%q): %v", text, serr)
+	}
+	cols, err := st.Columns(ctx)
+	if err != nil {
+		t.Fatalf("stream columns for %q: %v", text, err)
+	}
+	var rows [][]query.Val
+	for row := range st.Rows() {
+		rows = append(rows, row)
+	}
+	if _, _, err := st.Wait(); err != nil {
+		t.Fatalf("stream for %q: %v", text, err)
+	}
+	if have := render(src, cols, rows); have != want {
+		t.Fatalf("streamed divergence for %q:\nsingle:\n%s\nstreamed (%d rows):\n%s", text, want, len(rows), have)
+	}
+}
+
+// tinyQueries covers every routing mode on the paper-shaped graph:
+// START/closure shapes run direct on the composite (cross-shard closure
+// over cut edges), indexed anchors take the fast path, unbound scans
+// scatter, and LIMIT exercises merge truncation.
+var tinyQueries = []struct {
+	name string
+	text string
+}{
+	{"figure3", figure3Query},
+	{"figure5", figure5Query},
+	{"figure6", figure6Query},
+	{"figure6bounded", strings.Replace(figure6Query, "-[:calls*]->", "-[:calls*..4]->", 1)},
+	{"scatter_scan", `MATCH (n:function) -[:calls]-> m RETURN n.short_name, m.short_name`},
+	{"scatter_files", `MATCH (f:file) -[:file_contains]-> (n:function) RETURN f.short_name, n.short_name`},
+	{"scatter_where", `MATCH (a:function) -[:calls]-> b WHERE b.short_name = 'pci_conf1_read' RETURN a.short_name`},
+	{"scatter_pipeline", `MATCH (f:function{short_name: 'pci_read_bases'}) -[:calls]-> g MATCH g -[:calls]-> h RETURN g.short_name, h.short_name`},
+	{"fastpath_reverse", `MATCH (f:function) -[:calls]-> (g:function{short_name: 'pci_conf1_read'}) RETURN f.short_name`},
+	{"fastpath_anchor", `MATCH (n:function{short_name: 'pci_read_bases'}) -[:calls]-> m RETURN m.short_name`},
+	{"limit", `MATCH (n:function) RETURN n.short_name LIMIT 7`},
+	{"limit_scan", `MATCH (n:function) -[:calls]-> m RETURN n.short_name, m.short_name LIMIT 3`},
+	{"distinct_direct", `MATCH (n:function) -[:calls]-> m RETURN distinct m.short_name ORDER BY m.short_name`},
+}
+
+func TestShardedFigureEquivalence(t *testing.T) {
+	g := tinyGraph(t)
+	for _, shards := range []int{2, 3, 7} {
+		c := openCoord(t, g, shards, 1, 0)
+		for _, tc := range tinyQueries {
+			t.Run(fmt.Sprintf("shards=%d/%s", shards, tc.name), func(t *testing.T) {
+				runEquiv(t, g, c, tc.text, query.Limits{MaxSteps: 10_000_000})
+			})
+		}
+	}
+}
+
+// TestReplicatedHedgedEquivalence runs the same table with two replicas
+// and an always-firing hedge: replicas serve the same immutable files,
+// so hedged direct reads and replica-spread scatter workers must not
+// change a byte of output.
+func TestReplicatedHedgedEquivalence(t *testing.T) {
+	g := tinyGraph(t)
+	c := openCoord(t, g, 3, 2, time.Nanosecond)
+	if c.Replicas() != 2 {
+		t.Fatalf("Replicas() = %d, want 2", c.Replicas())
+	}
+	for _, tc := range tinyQueries {
+		t.Run(tc.name, func(t *testing.T) {
+			runEquiv(t, g, c, tc.text, query.Limits{MaxSteps: 10_000_000})
+		})
+	}
+}
+
+// TestDiamondClosureAcrossShards is the cross-shard closure proof on a
+// worst-case path-multiplicity graph: a 12-diamond chain (2^12 paths,
+// 49 nodes) with a back edge, split so consecutive diamonds land on
+// different shards — every closure hop crosses a cut edge.
+func TestDiamondClosureAcrossShards(t *testing.T) {
+	g := graph.New()
+	cur := g.AddNode(model.NodeFunction, graph.P(model.PropShortName, "root"))
+	for i := 0; i < 12; i++ {
+		a := g.AddNode(model.NodeFunction, nil)
+		b := g.AddNode(model.NodeFunction, nil)
+		join := g.AddNode(model.NodeFunction, nil)
+		g.AddEdge(cur, a, model.EdgeCalls, nil)
+		g.AddEdge(cur, b, model.EdgeCalls, nil)
+		g.AddEdge(a, join, model.EdgeCalls, nil)
+		g.AddEdge(b, join, model.EdgeCalls, nil)
+		cur = join
+	}
+	g.AddEdge(cur, graph.NodeID(0), model.EdgeCalls, nil)
+
+	for _, shards := range []int{2, 3, 5} {
+		c := openCoord(t, g, shards, 1, 0)
+		for i, text := range []string{
+			`START n=node:node_auto_index('short_name: root') MATCH n -[:calls*]-> m RETURN distinct m`,
+			`START n=node:node_auto_index('short_name: root') MATCH n -[:calls*0..]-> m RETURN distinct m`,
+			`START n=node:node_auto_index('short_name: root') MATCH n -[:calls*..3]-> m RETURN count(distinct m)`,
+			`START n=node:node_auto_index('short_name: root') MATCH n <-[:calls*]- m RETURN distinct m`,
+			`MATCH (n:function) -[:calls]-> m RETURN n.short_name`,
+		} {
+			t.Run(fmt.Sprintf("shards=%d/q%d", shards, i), func(t *testing.T) {
+				runEquiv(t, g, c, text, query.Limits{})
+			})
+		}
+	}
+}
+
+// TestRandomizedShardedEquivalence fuzzes mixed scatter/direct shapes
+// over seeded random graphs whose call edges freely cross shard
+// boundaries (no file structure, so partitioning is pure hash — the
+// adversarial case for cut-edge adjacency).
+func TestRandomizedShardedEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	g := graph.New()
+	const n = 36
+	types := []model.NodeType{model.NodeFunction, model.NodeStruct, model.NodeField}
+	ids := make([]graph.NodeID, n)
+	for i := 0; i < n; i++ {
+		ids[i] = g.AddNode(types[rng.Intn(len(types))], graph.P(model.PropShortName, fmt.Sprintf("n%02d", i)))
+	}
+	etypes := []model.EdgeType{model.EdgeCalls, model.EdgeContains}
+	for i := 0; i < 48; i++ {
+		g.AddEdge(ids[rng.Intn(n)], ids[rng.Intn(n)], etypes[rng.Intn(len(etypes))], nil)
+	}
+
+	labels := []string{"", ":function", ":struct", ":field"}
+	rels := []string{"-[:calls*]->", "<-[:calls*]-", "-[:calls*..2]->", "-[:calls*0..3]->",
+		"-[:calls]->", "<-[:contains]-", "-[:calls|contains*..3]->"}
+	for _, shards := range []int{3, 5} {
+		c := openCoord(t, g, shards, 1, 0)
+		for i := 0; i < 60; i++ {
+			l1, l2 := labels[rng.Intn(len(labels))], labels[rng.Intn(len(labels))]
+			rel := rels[rng.Intn(len(rels))]
+			var sb strings.Builder
+			if rng.Intn(2) == 0 {
+				fmt.Fprintf(&sb, "START a=node:node_auto_index('short_name: n%02d') MATCH a %s (b%s)", rng.Intn(n), rel, l2)
+			} else {
+				fmt.Fprintf(&sb, "MATCH (a%s) %s (b%s)", l1, rel, l2)
+			}
+			switch rng.Intn(3) {
+			case 0:
+				sb.WriteString(" RETURN distinct b")
+			case 1:
+				sb.WriteString(" RETURN count(distinct b)")
+			case 2:
+				sb.WriteString(" RETURN a.short_name, b.short_name")
+			}
+			text := sb.String()
+			t.Run(fmt.Sprintf("shards=%d/r%03d", shards, i), func(t *testing.T) {
+				runEquiv(t, g, c, text, query.Limits{MaxSteps: 2_000_000})
+			})
+		}
+	}
+}
+
+// TestShardedBudgetParity: the scatter fleet's shared step/row budget
+// must abort exactly like the single engine, and cancellation must
+// surface as context.Canceled — for both scattered and direct shapes.
+func TestShardedBudgetParity(t *testing.T) {
+	g := tinyGraph(t)
+	c := openCoord(t, g, 3, 1, 0)
+	ctx := context.Background()
+	for _, text := range []string{
+		`MATCH (n:function) -[:calls]-> m RETURN n.short_name, m.short_name`, // scatter
+		figure6Query, // direct (closure rewrite)
+	} {
+		for _, lim := range []query.Limits{{MaxSteps: 1}, {MaxRows: 1}} {
+			c.Limits = lim
+			if _, _, err := c.CachedQuery(ctx, text, true); !errors.Is(err, query.ErrBudgetExceeded) {
+				t.Fatalf("limits %+v on %q: err %v, want budget abort", lim, text, err)
+			}
+			st, _, err := c.StreamQuery(ctx, text, 0)
+			if err != nil {
+				t.Fatalf("StreamQuery under %+v: %v", lim, err)
+			}
+			for range st.Rows() {
+			}
+			if _, _, err := st.Wait(); !errors.Is(err, query.ErrBudgetExceeded) {
+				t.Fatalf("streamed limits %+v on %q: err %v, want budget abort", lim, text, err)
+			}
+		}
+
+		c.Limits = query.Limits{}
+		cctx, cancel := context.WithCancel(ctx)
+		cancel()
+		if _, _, err := c.CachedQuery(cctx, text, true); !errors.Is(err, context.Canceled) {
+			t.Fatalf("cancelled ctx on %q: err %v, want context.Canceled", text, err)
+		}
+	}
+}
+
+// TestShardedBudgetMatchesSingleEngine pins the exact abort point: with
+// the budget set one step below what the query needs, both engines
+// abort; with the exact budget, both succeed. This is only true because
+// workers filter non-owned seeds BEFORE ticking and share one counter.
+func TestShardedBudgetMatchesSingleEngine(t *testing.T) {
+	g := tinyGraph(t)
+	c := openCoord(t, g, 3, 1, 0)
+	ctx := context.Background()
+	text := `MATCH (f:file) -[:file_contains]-> (n:function) RETURN f.short_name, n.short_name`
+
+	q, err := query.Parse(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl := plan.Compile(q, gstats.Collect(g))
+	base, err := pl.Execute(ctx, g, query.Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	c.Limits = query.Limits{MaxSteps: base.Steps}
+	if _, _, err := c.CachedQuery(ctx, text, true); err != nil {
+		t.Fatalf("exact budget %d: %v", base.Steps, err)
+	}
+	c.Limits = query.Limits{MaxSteps: base.Steps - 1}
+	if _, _, err := c.CachedQuery(ctx, text, true); !errors.Is(err, query.ErrBudgetExceeded) {
+		t.Fatalf("budget %d: err %v, want budget abort", base.Steps-1, err)
+	}
+}
+
+// TestConcurrentScatter hammers one coordinator from many goroutines:
+// the shared-state plumbing (scatter counters, round-robin, merge
+// channels) must be race-clean and every answer byte-identical.
+func TestConcurrentScatter(t *testing.T) {
+	g := tinyGraph(t)
+	c := openCoord(t, g, 3, 2, 0)
+	c.Limits = query.Limits{}
+	ctx := context.Background()
+	text := `MATCH (n:function) -[:calls]-> m RETURN n.short_name, m.short_name`
+	want, _, err := c.CachedQuery(ctx, text, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := c.Pin().Source()
+	wantS := render(src, want.Columns, want.Rows)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 5; j++ {
+				res, _, err := c.CachedQuery(ctx, text, true)
+				if err != nil {
+					t.Errorf("concurrent query: %v", err)
+					return
+				}
+				if got := render(src, res.Columns, res.Rows); got != wantS {
+					t.Errorf("concurrent divergence (%d rows, want %d)", len(res.Rows), len(want.Rows))
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestEpochVectorUniform: shards commit through one atomic bundle, so
+// the pinned epoch vector is uniform and shard-count-shaped.
+func TestEpochVectorUniform(t *testing.T) {
+	g := tinyGraph(t)
+	c := openCoord(t, g, 4, 1, 0)
+	c.SetEpoch(9, nil)
+	p := c.Pin()
+	v := p.EpochVector()
+	if len(v) != 4 {
+		t.Fatalf("epoch vector length %d, want 4", len(v))
+	}
+	for i, e := range v {
+		if e != 9 {
+			t.Fatalf("epoch vector[%d] = %d, want 9", i, e)
+		}
+	}
+	if p.Epoch() != 9 {
+		t.Fatalf("Epoch() = %d, want 9", p.Epoch())
+	}
+}

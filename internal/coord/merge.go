@@ -1,0 +1,205 @@
+package coord
+
+import (
+	"context"
+	"errors"
+	"sync"
+
+	"frappe/internal/graph"
+	"frappe/internal/obs/trace"
+	"frappe/internal/plan"
+	"frappe/internal/query"
+)
+
+// workerBuf is each scatter worker's bounded output-channel depth. The
+// merge consumes one worker at a time, so the others run at most this
+// far ahead; total buffered memory is O(shards × workerBuf) rows.
+const workerBuf = 64
+
+// mergeItem is one projected row tagged with the seed (anchor node) it
+// descends from — the merge key.
+type mergeItem struct {
+	anchor graph.NodeID
+	row    []query.Val
+}
+
+// scatterMerge runs one worker per shard over the pinned composite and
+// k-way-merges their outputs back into the single-engine row order.
+//
+// Why the merge reproduces that order exactly: each worker's anchors
+// ascend (the seed scan enumerates ascending and the domain filter only
+// drops candidates), worker domains are disjoint (so anchors never
+// tie), and all rows descending from one anchor are emitted
+// contiguously (the pipeline is depth-first per seed). Picking the
+// worker with the minimum pending anchor and draining that anchor's
+// contiguous run therefore interleaves the per-worker sequences into
+// exactly the ascending-anchor order the unsharded seed scan produces.
+func (p Pinned) scatterMerge(ctx context.Context, pl *plan.Plan, onCols func([]string) error, sink query.RowSink) (int64, error) {
+	set := p.st.primary()
+	k := set.Shards()
+	shared := query.NewScatterShared(len(pl.Query.Clauses))
+	limit, hasLimit := query.ReturnLimit(pl.Query)
+
+	wctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	chans := make([]chan mergeItem, k)
+	errs := make([]error, k)
+	steps := make([]int64, k)
+	var wg sync.WaitGroup
+	// Every worker announces identical columns (same plan); the first
+	// announcement wins so the consumer learns the shape even when the
+	// result is empty.
+	var colsOnce sync.Once
+	announce := func(cols []string) error {
+		colsOnce.Do(func() { onCols(cols) })
+		return nil
+	}
+
+	base := int(p.c.rr.Add(1))
+	for i := 0; i < k; i++ {
+		i := i
+		chans[i] = make(chan mergeItem, workerBuf)
+		// Workers spread across replicas: with R replicas each serves
+		// ~k/R workers' page traffic.
+		src := p.st.replicas[(base+i)%len(p.st.replicas)]
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer close(chans[i])
+			sp := trace.FromContext(ctx).Child("coord.shard", trace.Int("shard", int64(i)))
+			wc := wctx
+			if sp != nil {
+				wc = trace.ContextWith(wctx, sp)
+			}
+			var rows int64
+			domain := func(id graph.NodeID) bool { return set.Owner(id) == i }
+			steps[i], errs[i] = query.ExecuteScatterWorker(wc, src, pl.Query, p.c.Limits, pl.Hints, true,
+				domain, shared, announce,
+				func(anchor graph.NodeID, row []query.Val) error {
+					select {
+					case chans[i] <- mergeItem{anchor, row}:
+						rows++
+						return nil
+					case <-wc.Done():
+						return wc.Err()
+					}
+				})
+			workerRowsCounter(i).Add(rows)
+			if sp != nil {
+				sp.SetAttr(trace.Int("rows", rows))
+				if errs[i] != nil {
+					sp.SetError(errs[i])
+				}
+				sp.End()
+			}
+		}()
+	}
+
+	totalSteps := func() int64 {
+		var n int64
+		for _, s := range steps {
+			n += s
+		}
+		return n
+	}
+	// finish tears down the fleet after an early exit (limit reached,
+	// consumer gone, worker error): cancel, drain so blocked senders
+	// unblock, and wait so errs/steps are final.
+	finish := func() {
+		cancel()
+		for _, ch := range chans {
+			for range ch {
+			}
+		}
+		wg.Wait()
+	}
+
+	// next refills worker i's pending slot. A closed channel means the
+	// worker finished — its error is visible now (close happens after
+	// the assignment) and a failure dooms the whole result.
+	pending := make([]*mergeItem, k)
+	next := func(i int) error {
+		if it, ok := <-chans[i]; ok {
+			pending[i] = &it
+			return nil
+		}
+		pending[i] = nil
+		return errs[i]
+	}
+	for i := 0; i < k; i++ {
+		if err := next(i); err != nil {
+			finish()
+			return totalSteps(), err
+		}
+	}
+
+	var produced int64
+	for {
+		min := -1
+		for i, it := range pending {
+			if it != nil && (min < 0 || it.anchor < pending[min].anchor) {
+				min = i
+			}
+		}
+		if min < 0 {
+			break
+		}
+		a := pending[min].anchor
+		for pending[min] != nil && pending[min].anchor == a {
+			if err := sink(pending[min].row); err != nil {
+				finish()
+				return totalSteps(), err
+			}
+			produced++
+			mMergeRows.Inc()
+			if hasLimit && produced >= limit {
+				// The merge preserves the single-engine order, so the
+				// first `limit` merged rows are exactly its LIMIT
+				// prefix; the rest of the fleet is wasted work.
+				finish()
+				return totalSteps(), nil
+			}
+			if err := next(min); err != nil {
+				finish()
+				return totalSteps(), err
+			}
+		}
+	}
+	wg.Wait()
+	var firstErr error
+	for _, err := range errs {
+		if err == nil {
+			continue
+		}
+		// Prefer the substantive failure over secondary cancellations:
+		// once one worker aborts, the shared budget or our cancel makes
+		// the others fail with context errors that explain nothing.
+		if firstErr == nil || (isCtxErr(firstErr) && !isCtxErr(err)) {
+			firstErr = err
+		}
+	}
+	if firstErr != nil && isCtxErr(firstErr) && ctx.Err() != nil {
+		firstErr = ctx.Err()
+	}
+	return totalSteps(), firstErr
+}
+
+func isCtxErr(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// scatterExecute materializes a scattered execution: the same merge,
+// collected into a Result. Success-path rows, columns and (without
+// LIMIT) step totals are byte-identical to the single-engine Execute.
+func (p Pinned) scatterExecute(ctx context.Context, pl *plan.Plan) (*query.Result, error) {
+	res := &query.Result{}
+	steps, err := p.scatterMerge(ctx, pl,
+		func(cols []string) error { res.Columns = cols; return nil },
+		func(row []query.Val) error { res.Rows = append(res.Rows, row); return nil })
+	if err != nil {
+		return nil, err
+	}
+	res.Steps = steps
+	return res, nil
+}

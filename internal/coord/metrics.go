@@ -1,0 +1,50 @@
+package coord
+
+import (
+	"strconv"
+	"sync"
+
+	"frappe/internal/obs"
+)
+
+// The frappe_shard_* families: routing decisions, merge volume, hedged
+// reads, and the active store's shard topology.
+var (
+	mQueriesScatter = obs.Default.Counter("frappe_shard_queries_total",
+		"Coordinator queries by execution mode.", obs.Labels{"mode": "scatter"})
+	mQueriesFastpath = obs.Default.Counter("frappe_shard_queries_total",
+		"Coordinator queries by execution mode.", obs.Labels{"mode": "fastpath"})
+	mQueriesDirect = obs.Default.Counter("frappe_shard_queries_total",
+		"Coordinator queries by execution mode.", obs.Labels{"mode": "direct"})
+	mMergeRows = obs.Default.Counter("frappe_shard_merge_rows_total",
+		"Rows produced by the scatter-gather merge.", nil)
+	mHedgedReads = obs.Default.Counter("frappe_shard_hedged_reads_total",
+		"Direct executions that launched a hedge onto a second replica.", nil)
+	mHedgeWins = obs.Default.Counter("frappe_shard_hedge_wins_total",
+		"Hedged executions where the hedge answered first.", nil)
+	mShardCount = obs.Default.Gauge("frappe_shard_count",
+		"Shards in the active sharded store.", nil)
+	mShardDown = obs.Default.Gauge("frappe_shard_down",
+		"Down (unopenable) shards in the active sharded store.", nil)
+	mShardEpoch = obs.Default.Gauge("frappe_shard_epoch",
+		"Epoch of the active sharded store.", nil)
+)
+
+// workerRowsCounter returns the per-shard-labeled worker row counter,
+// memoized so the hot path never rebuilds label sets.
+var (
+	workerRowsMu sync.Mutex
+	workerRows   = map[int]*obs.Counter{}
+)
+
+func workerRowsCounter(i int) *obs.Counter {
+	workerRowsMu.Lock()
+	defer workerRowsMu.Unlock()
+	if c, ok := workerRows[i]; ok {
+		return c
+	}
+	c := obs.Default.Counter("frappe_shard_worker_rows_total",
+		"Rows emitted by scatter workers, by shard.", obs.Labels{"shard": strconv.Itoa(i)})
+	workerRows[i] = c
+	return c
+}

@@ -1,0 +1,167 @@
+package query
+
+import (
+	"context"
+	"sync/atomic"
+	"time"
+
+	"frappe/internal/graph"
+	"frappe/internal/obs/trace"
+)
+
+// Scatter-gather support: the hooks the shard coordinator uses to run
+// ONE compiled plan as K workers over the same composite source, each
+// owning a disjoint domain of the first seed scan's candidates. Every
+// worker sees the whole graph (patterns cross shard boundaries through
+// cut edges); only the seeding is partitioned, so the union of worker
+// outputs is exactly the single-engine result set, and merging worker
+// streams by ascending anchor reproduces its row order.
+
+// ScatterShared is the budget state shared by every worker of one
+// scattered execution: a global step counter and per-clause row
+// counters. With these, the workers collectively hit MaxSteps/MaxRows
+// at the same totals a single-engine run would.
+type ScatterShared struct {
+	steps atomic.Int64
+	rows  []atomic.Int64
+}
+
+// NewScatterShared sizes the shared state for a query with n clauses.
+func NewScatterShared(n int) *ScatterShared {
+	return &ScatterShared{rows: make([]atomic.Int64, n)}
+}
+
+// Steps reports the fleet-wide step total.
+func (s *ScatterShared) Steps() int64 { return s.steps.Load() }
+
+// Scatterable reports whether q can be scattered: partitioning the
+// first seed scan and unioning worker outputs provably yields the
+// single-engine result. It requires a streamable shape whose first
+// clause is a plain (non-OPTIONAL, non-shortest-path) MATCH — the
+// clause whose seed scan the domain filter partitions — and rejects the
+// constructs whose semantics are global across rows: DISTINCT and SKIP
+// anywhere, WITH ... LIMIT, and START (explicit seeds bypass the seed
+// scan entirely). RETURN ... LIMIT n is fine: each worker stops at n
+// rows and the coordinator's merge truncates the union at n, which
+// selects exactly the single-engine prefix because the merge preserves
+// its order.
+func Scatterable(q *Query) bool {
+	if !Streamable(q) {
+		return false
+	}
+	first, ok := q.Clauses[0].(*MatchClause)
+	if !ok || first.Optional || len(first.Patterns) == 0 || first.Patterns[0].Shortest {
+		return false
+	}
+	for _, c := range q.Clauses {
+		switch t := c.(type) {
+		case *StartClause:
+			return false
+		case *WithClause:
+			if t.Distinct || t.Skip != nil || t.Limit != nil {
+				return false
+			}
+		case *ReturnClause:
+			if t.Distinct || t.Skip != nil {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// ReturnLimit reports the final RETURN's LIMIT (0, false when absent or
+// non-constant). The coordinator uses it both for merge truncation and
+// to decline scattering LIMIT queries under a step budget (workers race
+// past the truncation point, so shared step totals could exceed the
+// single-engine count).
+func ReturnLimit(q *Query) (int64, bool) {
+	if len(q.Clauses) == 0 {
+		return 0, false
+	}
+	ret, ok := q.Clauses[len(q.Clauses)-1].(*ReturnClause)
+	if !ok || ret.Limit == nil {
+		return 0, false
+	}
+	ex := &exec{}
+	v, err := ex.evalIntConst(ret.Limit)
+	if err != nil {
+		return 0, false
+	}
+	return v, true
+}
+
+// ScatterProbe resolves the candidate set the first seed scan of q
+// would enumerate, when the auto-index can serve it (the same probe the
+// executor itself performs — same anchor choice, same index query). ok
+// is false when the scan would be a full node scan or q's shape is not
+// scatterable; the candidates come back in the executor's enumeration
+// order (ascending).
+func ScatterProbe(src graph.Source, q *Query, hints [][]PatternHint) (ids []graph.NodeID, ok bool, err error) {
+	if !Scatterable(q) {
+		return nil, false, nil
+	}
+	first := q.Clauses[0].(*MatchClause)
+	pat := first.Patterns[0]
+	// Anchor choice mirrors matchOne with an empty row: nothing is
+	// bound, so position 0 unless a planner hint overrides it.
+	a := 0
+	if len(hints) > 0 && len(hints[0]) > 0 {
+		if h := hints[0][0]; h.Anchor > 0 && h.Anchor < len(pat.Nodes) {
+			a = h.Anchor
+		}
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			err = AbortError(r)
+		}
+	}()
+	ex := &exec{src: src, ctx: context.Background()}
+	return ex.indexCandidates(pat.Nodes[a])
+}
+
+// ExecuteScatterWorker runs one worker of a scattered execution: the
+// full pipelined pipeline over src, with the first seed scan restricted
+// to domain and budgets accounted through shared. sink receives each
+// projected row tagged with the seed (anchor node) it descends from, so
+// the coordinator can k-way-merge worker outputs back into the
+// single-engine order. The caller must have checked Scatterable(q).
+func ExecuteScatterWorker(ctx context.Context, src graph.Source, q *Query, lim Limits, hints [][]PatternHint, fastPred bool, domain func(graph.NodeID) bool, shared *ScatterShared, onCols func([]string) error, sink func(anchor graph.NodeID, row []Val) error) (steps int64, err error) {
+	start := time.Now()
+	ex := &exec{
+		src: src, ctx: ctx, limits: lim, fastPred: fastPred,
+		domain: domain, shared: shared, curAnchor: graph.InvalidID,
+	}
+	sp := trace.FromContext(ctx).Child("query.scatter", trace.Bool("pipelined", true))
+	var rows int64
+	defer func() {
+		if r := recover(); r != nil {
+			err = AbortError(r)
+		}
+		millis := float64(time.Since(start)) / float64(time.Millisecond)
+		recordStreamMetrics(rows, err, millis, ex.steps)
+		steps = ex.steps
+		if sp != nil {
+			sp.SetAttr(trace.Int("rows", rows), trace.Int("steps", ex.steps))
+			if err != nil {
+				sp.SetError(err)
+			}
+			sp.End()
+		}
+	}()
+	err = ex.runStream(q, hints, onCols, func(row []Val) error {
+		rows++
+		return sink(ex.curAnchor, row)
+	})
+	return ex.steps, err
+}
+
+// FuncStream adapts an arbitrary producer to the Stream surface: fn
+// announces columns once and pushes rows through the bounded channel.
+// The coordinator's scatter-gather merge produces its output through
+// this, keeping the server's streaming path bounded-memory end to end.
+func FuncStream(ctx context.Context, depth int, pipelined bool, fn func(onCols func([]string) error, sink RowSink) (int64, error)) *Stream {
+	s := newStream(depth, pipelined)
+	s.run(ctx, fn)
+	return s
+}

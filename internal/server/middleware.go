@@ -108,9 +108,12 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	// avoids the quarantined pages, so pulling it from rotation would turn
 	// a partial failure into a total one. Probes and dashboards see the
 	// state; /api/admin/verify heals it.
-	if s.eng.Degraded() {
+	if s.degraded() {
 		resp["status"] = "degraded"
-		resp["quarantinedPages"] = s.eng.QuarantinedPages()
+		resp["quarantinedPages"] = s.quarantinedPages()
+	}
+	if s.Coord != nil {
+		resp["shards"] = s.Coord.Shards()
 	}
 	s.writeJSON(w, http.StatusOK, resp)
 }

@@ -17,7 +17,9 @@ import (
 	"net/http"
 	"time"
 
+	"frappe/internal/coord"
 	"frappe/internal/obs/trace"
+	"frappe/internal/qcache"
 	"frappe/internal/query"
 	"frappe/internal/store"
 )
@@ -110,11 +112,21 @@ func (s *Server) handleQueryStream(w http.ResponseWriter, r *http.Request) {
 	defer cancel()
 	start := time.Now()
 	snap := s.eng.Snapshot()
+	epoch, src := snap.Epoch(), snap.Source()
 	// Pager attribution brackets the whole stream: the executor reads
 	// pages lazily, so the delta is only meaningful after st.Wait().
 	pager := snap.PagerSpan(ctx)
 	defer pager()
-	st, outcome, err := s.eng.StreamQuery(ctx, snap, req.Query, 0)
+	var st *query.Stream
+	var outcome qcache.Outcome
+	var err error
+	if s.Coord != nil {
+		p := s.Coord.Pin()
+		epoch, src = p.Epoch(), p.Source()
+		st, outcome, err = p.StreamQuery(ctx, req.Query, 0)
+	} else {
+		st, outcome, err = s.eng.StreamQuery(ctx, snap, req.Query, 0)
+	}
 	if err != nil {
 		// Parse/compile failures surface synchronously, before the
 		// response commits to NDJSON, so clients still get a plain 400.
@@ -153,9 +165,8 @@ func (s *Server) handleQueryStream(w http.ResponseWriter, r *http.Request) {
 		return true
 	}
 
-	src := snap.Source()
 	var sent int64
-	if writeChunk(streamHeader{Columns: cols, Cached: outcome.Hit, Epoch: snap.Epoch()}) {
+	if writeChunk(streamHeader{Columns: cols, Cached: outcome.Hit, Epoch: epoch}) {
 		for row := range st.Rows() {
 			cells := make([]string, len(row))
 			for i, v := range row {
@@ -256,7 +267,13 @@ func (s *Server) handleQueryBatch(w http.ResponseWriter, r *http.Request) {
 	batchStart := time.Now()
 	snap := s.eng.Snapshot() // one pin shared by every execution
 	src := snap.Source()
-	out := batchResponse{Epoch: snap.Epoch(), Results: make([]batchEntry, len(req.Queries))}
+	epoch := snap.Epoch()
+	var pin *coord.Pinned
+	if s.Coord != nil {
+		p := s.Coord.Pin()
+		pin, epoch, src = &p, p.Epoch(), p.Source()
+	}
+	out := batchResponse{Epoch: epoch, Results: make([]batchEntry, len(req.Queries))}
 	sp := trace.FromContext(ctx)
 	for i, q := range req.Queries {
 		ent := &out.Results[i]
@@ -270,7 +287,14 @@ func (s *Server) handleQueryBatch(w http.ResponseWriter, r *http.Request) {
 		esp := sp.Child("batch.entry", trace.Int("index", int64(i)))
 		entCtx := trace.ContextWith(ctx, esp)
 		start := time.Now()
-		res, outcome, err := s.eng.CachedQuery(entCtx, snap, q.Query, q.NoCache)
+		var res *query.Result
+		var outcome qcache.Outcome
+		var err error
+		if pin != nil {
+			res, outcome, err = pin.CachedQuery(entCtx, q.Query, q.NoCache)
+		} else {
+			res, outcome, err = s.eng.CachedQuery(entCtx, snap, q.Query, q.NoCache)
+		}
 		ent.Millis = float64(time.Since(start).Microseconds()) / 1000
 		if err != nil {
 			esp.SetError(err)

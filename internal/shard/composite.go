@@ -1,0 +1,463 @@
+package shard
+
+import (
+	"fmt"
+	"sort"
+
+	"frappe/internal/atomicfile"
+	"frappe/internal/graph"
+	"frappe/internal/model"
+	"frappe/internal/store"
+)
+
+// Set is an opened sharded store: one store.DB per shard plus the cut
+// store, served through a composite graph.Source that reconstructs the
+// original global ID space exactly — node and edge IDs, adjacency
+// order, and Lookup order are byte-identical to the unsharded graph.
+//
+// Degradation is per shard: a shard whose store cannot be opened (or
+// whose adjacency chains are unreadable) is marked down, and reads
+// touching its nodes panic with an error wrapping store.ErrCorrupt —
+// the same idiom the store uses for quarantined pages — while reads
+// confined to healthy shards keep answering.
+type Set struct {
+	Dir string
+
+	dbs []*store.DB // per shard; nil when the shard failed to open
+	cut *store.DB   // nil when the cut store failed to open
+
+	nodeOwner []uint16
+	nodeLocal []graph.NodeID
+	edgeOwner []uint16
+	edgeLocal []graph.EdgeID // local edge id, or cut ordinal for cut edges
+
+	shardNodes [][]graph.NodeID // shard local node -> global (monotone)
+	cutNodes   []graph.NodeID
+	cutEnds    [][2]graph.NodeID
+	cutTypes   []model.EdgeType // preloaded; nil when cut store is down
+	cutEdges   []graph.EdgeID   // cut ordinal -> global edge id
+
+	out, in [][]graph.EdgeID // merged global adjacency
+
+	down    []bool // shard store unusable (open failure or count mismatch)
+	adjDown []bool // shard adjacency chains unreadable
+	cutDown bool
+}
+
+// Open opens the sharded store in dir, first running crash recovery on
+// the root commit (which covers every shard subdirectory — commits are
+// only ever made at the root). Individual shards failing to open do not
+// fail the Set: they are marked down and served degraded.
+func Open(dir string, opt store.Options) (*Set, error) {
+	if _, err := atomicfile.Recover(dir); err != nil {
+		return nil, fmt.Errorf("shard: recovering %s: %w", dir, err)
+	}
+	m, err := LoadManifest(dir)
+	if err != nil {
+		return nil, err
+	}
+	sm, err := loadMap(dir)
+	if err != nil {
+		return nil, err
+	}
+	if sm.shards != m.Shards || len(sm.nodeOwner) != int(m.Nodes) || len(sm.edgeOwner) != int(m.Edges) {
+		return nil, fmt.Errorf("shard: %s and %s disagree", ManifestFile, MapFile)
+	}
+	s := &Set{
+		Dir:       dir,
+		dbs:       make([]*store.DB, m.Shards),
+		nodeOwner: sm.nodeOwner,
+		edgeOwner: sm.edgeOwner,
+		cutNodes:  sm.cutNodes,
+		cutEnds:   sm.cutEnds,
+		down:      make([]bool, m.Shards),
+		adjDown:   make([]bool, m.Shards),
+	}
+
+	// Derive the per-shard local↔global tables from the ownership
+	// arrays: locals were assigned in ascending global order, so simply
+	// appending in global order reproduces them.
+	s.shardNodes = make([][]graph.NodeID, m.Shards)
+	s.nodeLocal = make([]graph.NodeID, len(sm.nodeOwner))
+	for gid, o := range sm.nodeOwner {
+		s.nodeLocal[gid] = graph.NodeID(len(s.shardNodes[o]))
+		s.shardNodes[o] = append(s.shardNodes[o], graph.NodeID(gid))
+	}
+	shardEdges := make([][]graph.EdgeID, m.Shards)
+	s.edgeLocal = make([]graph.EdgeID, len(sm.edgeOwner))
+	for gid, o := range sm.edgeOwner {
+		if o == CutOwner {
+			s.edgeLocal[gid] = graph.EdgeID(len(s.cutEdges))
+			s.cutEdges = append(s.cutEdges, graph.EdgeID(gid))
+			continue
+		}
+		s.edgeLocal[gid] = graph.EdgeID(len(shardEdges[o]))
+		shardEdges[o] = append(shardEdges[o], graph.EdgeID(gid))
+	}
+	if len(s.cutEdges) != len(sm.cutEnds) {
+		s.Close()
+		return nil, fmt.Errorf("shard: %s: %d cut edges in owner table, %d endpoint pairs", MapFile, len(s.cutEdges), len(sm.cutEnds))
+	}
+
+	for i := 0; i < m.Shards; i++ {
+		db, err := store.OpenOptions(shardPath(dir, i), opt)
+		if err != nil {
+			s.down[i], s.adjDown[i] = true, true
+			continue
+		}
+		if db.NodeCount() != int64(len(s.shardNodes[i])) || db.EdgeCount() != int64(len(shardEdges[i])) {
+			db.Close()
+			s.down[i], s.adjDown[i] = true, true
+			continue
+		}
+		s.dbs[i] = db
+	}
+	if cut, err := store.OpenOptions(shardPath(dir, -1), opt); err != nil || cut.EdgeCount() != int64(len(s.cutEdges)) {
+		if err == nil {
+			cut.Close()
+		}
+		s.cutDown = true
+	} else {
+		s.cut = cut
+		s.cutTypes = preloadCutTypes(cut)
+		if s.cutTypes == nil {
+			s.cutDown = true
+		}
+	}
+
+	s.buildAdjacency(shardEdges)
+	return s, nil
+}
+
+func shardPath(dir string, i int) string {
+	if i < 0 {
+		return dir + "/" + CutDir
+	}
+	return dir + "/" + ShardDir(i)
+}
+
+// preloadCutTypes reads every cut edge's type once at open so the hot
+// EdgeEnds path never touches the cut store. Returns nil when the cut
+// store's relationship records are unreadable.
+func preloadCutTypes(cut *store.DB) (types []model.EdgeType) {
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(error); !ok {
+				panic(r)
+			}
+			types = nil
+		}
+	}()
+	n := cut.EdgeCount()
+	types = make([]model.EdgeType, n)
+	for id := graph.EdgeID(0); id < graph.EdgeID(n); id++ {
+		_, _, types[id] = cut.EdgeEnds(id)
+	}
+	return types
+}
+
+// buildAdjacency precomputes the merged global out/in lists: each
+// shard's internal chains (remapped to global IDs) merged with the cut
+// edges from the sidecar. Both inputs ascend in global edge order, so a
+// two-list merge per node reproduces the original insertion order. A
+// shard whose chains are unreadable is marked adjDown; only its own
+// nodes lose adjacency (internal edges connect same-shard nodes).
+func (s *Set) buildAdjacency(shardEdges [][]graph.EdgeID) {
+	n := len(s.nodeOwner)
+	s.out = make([][]graph.EdgeID, n)
+	s.in = make([][]graph.EdgeID, n)
+	for i, db := range s.dbs {
+		if db == nil {
+			continue
+		}
+		if !s.scanShardAdjacency(i, db, shardEdges[i]) {
+			s.adjDown[i] = true
+		}
+	}
+	// Cut edges, ascending in global edge order: append-and-merge into
+	// each endpoint's lists.
+	for k, ends := range s.cutEnds {
+		gid := s.cutEdges[k]
+		s.out[ends[0]] = mergeInto(s.out[ends[0]], gid)
+		s.in[ends[1]] = mergeInto(s.in[ends[1]], gid)
+	}
+}
+
+// scanShardAdjacency walks one shard's relationship chains, reporting
+// false when a corruption-class panic interrupts the scan.
+func (s *Set) scanShardAdjacency(i int, db *store.DB, edges []graph.EdgeID) (ok bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			if _, isErr := r.(error); !isErr {
+				panic(r)
+			}
+			ok = false
+		}
+	}()
+	for j, gid := range s.shardNodes[i] {
+		lj := graph.NodeID(j)
+		if lo := db.Out(lj); len(lo) > 0 {
+			go2 := make([]graph.EdgeID, len(lo))
+			for k, le := range lo {
+				go2[k] = edges[le]
+			}
+			s.out[gid] = go2
+		}
+		if li := db.In(lj); len(li) > 0 {
+			gi := make([]graph.EdgeID, len(li))
+			for k, le := range li {
+				gi[k] = edges[le]
+			}
+			s.in[gid] = gi
+		}
+	}
+	return true
+}
+
+// mergeInto inserts gid into list keeping ascending order. Cut edges
+// arrive in ascending order themselves, so the insertion point is
+// almost always the tail; the backward scan handles interleaving with
+// shard-internal edges.
+func mergeInto(list []graph.EdgeID, gid graph.EdgeID) []graph.EdgeID {
+	i := len(list)
+	for i > 0 && list[i-1] > gid {
+		i--
+	}
+	list = append(list, 0)
+	copy(list[i+1:], list[i:])
+	list[i] = gid
+	return list
+}
+
+// corruptShard panics with the store's degraded-read idiom: an error
+// wrapping store.ErrCorrupt, converted to a query abort by the
+// executor's recover.
+func corruptShard(what string, i int) {
+	panic(fmt.Errorf("shard: %s %d unavailable: %w", what, i, store.ErrCorrupt))
+}
+
+func (s *Set) nodeDB(id graph.NodeID) (*store.DB, graph.NodeID) {
+	o := s.nodeOwner[id]
+	db := s.dbs[o]
+	if db == nil {
+		corruptShard("shard", int(o))
+	}
+	return db, s.nodeLocal[id]
+}
+
+// --- graph.Source ---
+
+func (s *Set) NodeCount() int64 { return int64(len(s.nodeOwner)) }
+func (s *Set) EdgeCount() int64 { return int64(len(s.edgeOwner)) }
+
+func (s *Set) NodeType(id graph.NodeID) model.NodeType {
+	db, l := s.nodeDB(id)
+	return db.NodeType(l)
+}
+
+func (s *Set) NodeHasLabel(id graph.NodeID, label string) bool {
+	db, l := s.nodeDB(id)
+	return db.NodeHasLabel(l, label)
+}
+
+func (s *Set) NodeProp(id graph.NodeID, key string) (graph.Value, bool) {
+	db, l := s.nodeDB(id)
+	return db.NodeProp(l, key)
+}
+
+func (s *Set) NodeProps(id graph.NodeID) graph.Props {
+	db, l := s.nodeDB(id)
+	return db.NodeProps(l)
+}
+
+func (s *Set) EdgeEnds(id graph.EdgeID) (graph.NodeID, graph.NodeID, model.EdgeType) {
+	o := s.edgeOwner[id]
+	if o == CutOwner {
+		k := s.edgeLocal[id]
+		if s.cutTypes == nil {
+			corruptShard("cut store", 0)
+		}
+		return s.cutEnds[k][0], s.cutEnds[k][1], s.cutTypes[k]
+	}
+	db := s.dbs[o]
+	if db == nil {
+		corruptShard("shard", int(o))
+	}
+	lf, lt, typ := db.EdgeEnds(s.edgeLocal[id])
+	return s.shardNodes[o][lf], s.shardNodes[o][lt], typ
+}
+
+func (s *Set) EdgeProp(id graph.EdgeID, key string) (graph.Value, bool) {
+	o := s.edgeOwner[id]
+	if o == CutOwner {
+		if s.cut == nil {
+			corruptShard("cut store", 0)
+		}
+		return s.cut.EdgeProp(s.edgeLocal[id], key)
+	}
+	db := s.dbs[o]
+	if db == nil {
+		corruptShard("shard", int(o))
+	}
+	return db.EdgeProp(s.edgeLocal[id], key)
+}
+
+func (s *Set) EdgeProps(id graph.EdgeID) graph.Props {
+	o := s.edgeOwner[id]
+	if o == CutOwner {
+		if s.cut == nil {
+			corruptShard("cut store", 0)
+		}
+		return s.cut.EdgeProps(s.edgeLocal[id])
+	}
+	db := s.dbs[o]
+	if db == nil {
+		corruptShard("shard", int(o))
+	}
+	return db.EdgeProps(s.edgeLocal[id])
+}
+
+func (s *Set) Out(id graph.NodeID) []graph.EdgeID {
+	if o := s.nodeOwner[id]; s.adjDown[o] {
+		corruptShard("shard", int(o))
+	}
+	return s.out[id]
+}
+
+func (s *Set) In(id graph.NodeID) []graph.EdgeID {
+	if o := s.nodeOwner[id]; s.adjDown[o] {
+		corruptShard("shard", int(o))
+	}
+	return s.in[id]
+}
+
+// Lookup evaluates the index query against every shard and merges the
+// (disjoint, locally ascending) result lists into one ascending global
+// list — exactly the order the unsharded index returns. A down shard
+// makes index coverage incomplete, so the read fails rather than
+// silently dropping its rows.
+func (s *Set) Lookup(q string) ([]graph.NodeID, error) {
+	var out []graph.NodeID
+	for i, db := range s.dbs {
+		if db == nil {
+			corruptShard("shard", i)
+		}
+		ids, err := db.Lookup(q)
+		if err != nil {
+			return nil, err
+		}
+		for _, l := range ids {
+			out = append(out, s.shardNodes[i][l])
+		}
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+	return out, nil
+}
+
+// --- management ---
+
+// Shards reports the shard count.
+func (s *Set) Shards() int { return len(s.dbs) }
+
+// Owner reports which shard owns a global node ID.
+func (s *Set) Owner(id graph.NodeID) int { return int(s.nodeOwner[id]) }
+
+// Down lists the shards currently unusable (open failure or unreadable
+// adjacency); -1 stands for the cut store.
+func (s *Set) DownShards() []int {
+	var out []int
+	for i := range s.dbs {
+		if s.down[i] || s.adjDown[i] {
+			out = append(out, i)
+		}
+	}
+	if s.cutDown {
+		out = append(out, -1)
+	}
+	return out
+}
+
+// Degraded reports whether any shard is down or serving with
+// quarantined pages.
+func (s *Set) Degraded() bool {
+	if s.cutDown || (s.cut != nil && s.cut.Degraded()) {
+		return true
+	}
+	for i, db := range s.dbs {
+		if s.down[i] || s.adjDown[i] {
+			return true
+		}
+		if db != nil && db.Degraded() {
+			return true
+		}
+	}
+	return false
+}
+
+// QuarantinedPages aggregates per-shard quarantine lists, keyed by
+// "shard-NNN/<file>" (and "cutstore/<file>").
+func (s *Set) QuarantinedPages() map[string][]int64 {
+	out := map[string][]int64{}
+	add := func(prefix string, db *store.DB) {
+		if db == nil {
+			return
+		}
+		for f, pages := range db.QuarantinedPages() {
+			out[prefix+"/"+f] = pages
+		}
+	}
+	for i, db := range s.dbs {
+		add(ShardDir(i), db)
+	}
+	add(CutDir, s.cut)
+	return out
+}
+
+// Heal retries every quarantined page across all shards.
+func (s *Set) Heal() (healed, remaining int) {
+	for _, db := range s.dbs {
+		if db == nil {
+			continue
+		}
+		h, r := db.Heal()
+		healed += h
+		remaining += r
+	}
+	if s.cut != nil {
+		h, r := s.cut.Heal()
+		healed += h
+		remaining += r
+	}
+	return healed, remaining
+}
+
+// DropCaches empties every shard's page caches.
+func (s *Set) DropCaches() {
+	for _, db := range s.dbs {
+		if db != nil {
+			db.DropCaches()
+		}
+	}
+	if s.cut != nil {
+		s.cut.DropCaches()
+	}
+}
+
+// Close closes every shard store.
+func (s *Set) Close() error {
+	var first error
+	for _, db := range s.dbs {
+		if db == nil {
+			continue
+		}
+		if err := db.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	if s.cut != nil {
+		if err := s.cut.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

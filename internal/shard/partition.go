@@ -1,0 +1,190 @@
+// Package shard splits a Frappé graph into N self-contained store
+// shards plus a cut-edge table, and serves the union back through a
+// composite graph.Source that preserves global node/edge IDs exactly.
+//
+// Partitioning is by subsystem directory: every node is assigned to the
+// shard owning its defining file's directory (first two path segments,
+// the kernel's subsystem granularity), with a stable FNV-1a hash as the
+// fallback for nodes with no file. Edges whose endpoints land in the
+// same shard become that shard's internal edges; edges crossing shards
+// go to the cut-edge table, stored as one more (tiny) store directory so
+// the existing writer, checksums, and verify machinery cover it too.
+//
+// The invariant everything else builds on: local IDs within a shard are
+// assigned in ascending global-ID order, so every local→global map is
+// monotone. Lookup results, adjacency lists, and scan order over the
+// composite are therefore byte-identical to the unsharded graph, which
+// is what lets the coordinator prove scatter-gather answers equal the
+// single-engine ones.
+package shard
+
+import (
+	"hash/fnv"
+	"strings"
+
+	"frappe/internal/graph"
+	"frappe/internal/model"
+)
+
+// CutOwner marks an edge owned by the cut-edge table rather than a
+// shard (its endpoints live in different shards).
+const CutOwner = 0xFFFF
+
+// MaxShards bounds the shard count so owners fit a uint16 with room for
+// the CutOwner sentinel.
+const MaxShards = 1024
+
+// Partition is the result of splitting one graph: per-shard subgraphs,
+// the cut-edge graph, and the ownership tables that reconstruct global
+// IDs.
+type Partition struct {
+	N      int
+	Shards []*graph.Graph
+	// Cut holds one node stub per cut-edge endpoint (ascending global
+	// order, no properties — node data lives in the owning shard) and
+	// every cross-shard edge with its full properties, in ascending
+	// global edge order.
+	Cut *graph.Graph
+	// CutNodes maps cut-store local node IDs to global IDs (ascending).
+	CutNodes []graph.NodeID
+	// NodeOwner[g] is the shard owning global node g.
+	NodeOwner []uint16
+	// EdgeOwner[g] is the shard owning global edge g, or CutOwner.
+	EdgeOwner []uint16
+}
+
+// Split partitions src into n shards. n is clamped to [1, MaxShards].
+// Deterministic: the same source and n always produce the same
+// partition.
+func Split(src graph.Source, n int) *Partition {
+	if n < 1 {
+		n = 1
+	}
+	if n > MaxShards {
+		n = MaxShards
+	}
+	nodes := src.NodeCount()
+	edges := src.EdgeCount()
+	p := &Partition{
+		N:         n,
+		Shards:    make([]*graph.Graph, n),
+		Cut:       graph.New(),
+		NodeOwner: make([]uint16, nodes),
+		EdgeOwner: make([]uint16, edges),
+	}
+	for i := range p.Shards {
+		p.Shards[i] = graph.New()
+	}
+
+	// Pass 1: assign nodes. A file node's key is its own directory;
+	// other nodes inherit their defining file's directory through the
+	// incoming file_contains edge; nodes with neither hash their name
+	// (or ID) directly. Assignment happens in global order so each
+	// shard's local IDs ascend with global IDs.
+	local := make([]graph.NodeID, nodes) // global -> local within owner
+	for id := graph.NodeID(0); id < graph.NodeID(nodes); id++ {
+		o := uint16(ownerOf(src, id, n))
+		p.NodeOwner[id] = o
+		local[id] = p.Shards[o].AddNode(src.NodeType(id), src.NodeProps(id))
+	}
+
+	// Pass 2: place edges. Internal edges are added immediately (global
+	// order in, ascending local order out); cut edges are collected
+	// first because the cut store needs its endpoint stubs added in
+	// ascending global-node order before any edge can reference them.
+	var cutEdges []graph.EdgeID
+	cutEndpoint := map[graph.NodeID]bool{}
+	for id := graph.EdgeID(0); id < graph.EdgeID(edges); id++ {
+		from, to, typ := src.EdgeEnds(id)
+		if of, ot := p.NodeOwner[from], p.NodeOwner[to]; of == ot {
+			p.EdgeOwner[id] = of
+			p.Shards[of].AddEdge(local[from], local[to], typ, src.EdgeProps(id))
+		} else {
+			p.EdgeOwner[id] = CutOwner
+			cutEdges = append(cutEdges, id)
+			cutEndpoint[from] = true
+			cutEndpoint[to] = true
+		}
+	}
+	p.CutNodes = make([]graph.NodeID, 0, len(cutEndpoint))
+	for id := graph.NodeID(0); id < graph.NodeID(nodes); id++ {
+		if cutEndpoint[id] {
+			p.CutNodes = append(p.CutNodes, id)
+		}
+	}
+	cutLocal := make(map[graph.NodeID]graph.NodeID, len(p.CutNodes))
+	for i, gid := range p.CutNodes {
+		cutLocal[gid] = graph.NodeID(i)
+		p.Cut.AddNode(src.NodeType(gid), nil)
+	}
+	for _, id := range cutEdges {
+		from, to, typ := src.EdgeEnds(id)
+		p.Cut.AddEdge(cutLocal[from], cutLocal[to], typ, src.EdgeProps(id))
+	}
+	return p
+}
+
+// ownerOf picks the shard for one node.
+func ownerOf(src graph.Source, id graph.NodeID, n int) int {
+	if key, ok := subsystemKey(src, id); ok {
+		return hashMod(key, n)
+	}
+	// Stable hash fallback: name when present, otherwise the (stable)
+	// global ID rendered as bytes.
+	if v, ok := src.NodeProp(id, model.PropName); ok && v.Kind() == graph.KindString {
+		return hashMod(v.AsString(), n)
+	}
+	var buf [8]byte
+	u := uint64(id)
+	for i := 0; i < 8; i++ {
+		buf[i] = byte(u >> (8 * i))
+	}
+	return hashMod(string(buf[:]), n)
+}
+
+// subsystemKey returns the subsystem-directory key for a node: the
+// first two path segments of its file's directory (e.g. "drivers/net").
+func subsystemKey(src graph.Source, id graph.NodeID) (string, bool) {
+	if src.NodeType(id) == model.NodeFile {
+		if v, ok := src.NodeProp(id, model.PropName); ok && v.Kind() == graph.KindString {
+			return subsystemOf(v.AsString()), true
+		}
+		return "", false
+	}
+	// The defining file is the source of the incoming file_contains
+	// edge (the same resolution Snapshot.Symbol uses).
+	for _, eid := range src.In(id) {
+		from, _, t := src.EdgeEnds(eid)
+		if t != model.EdgeFileContains {
+			continue
+		}
+		if v, ok := src.NodeProp(from, model.PropName); ok && v.Kind() == graph.KindString {
+			return subsystemOf(v.AsString()), true
+		}
+	}
+	return "", false
+}
+
+// subsystemOf maps a file path to its subsystem key: the directory part
+// truncated to its first two segments ("drivers/net/e1000/x.c" →
+// "drivers/net").
+func subsystemOf(path string) string {
+	dir := path
+	if i := strings.LastIndexByte(dir, '/'); i >= 0 {
+		dir = dir[:i]
+	} else {
+		dir = ""
+	}
+	dir = strings.TrimPrefix(dir, "/")
+	segs := strings.SplitN(dir, "/", 3)
+	if len(segs) > 2 {
+		return segs[0] + "/" + segs[1]
+	}
+	return dir
+}
+
+func hashMod(s string, n int) int {
+	h := fnv.New32a()
+	h.Write([]byte(s))
+	return int(h.Sum32() % uint32(n))
+}

@@ -1,0 +1,232 @@
+package shard
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+
+	"frappe/internal/atomicfile"
+	"frappe/internal/graph"
+	"frappe/internal/store"
+)
+
+// Layout of a sharded store directory:
+//
+//	shards.json      manifest: shard count + totals (presence marks the
+//	                 directory as sharded)
+//	shardmap.bin     node/edge ownership tables, cut-edge endpoints, and
+//	                 the cut-node ID list, CRC-protected
+//	shard-NNN/       one self-contained store per shard
+//	cutstore/        the cut-edge table, itself a store directory
+//
+// Everything is staged into ONE atomicfile commit at the root, so a
+// crash can never leave shards at mixed epochs.
+const (
+	ManifestFile = "shards.json"
+	MapFile      = "shardmap.bin"
+	CutDir       = "cutstore"
+)
+
+const (
+	mapMagic   = 0x4653484D // "FSHM"
+	mapVersion = 1
+)
+
+// ShardDir names shard i's store subdirectory.
+func ShardDir(i int) string { return fmt.Sprintf("shard-%03d", i) }
+
+// Manifest is the JSON layout of shards.json.
+type Manifest struct {
+	Version  int   `json:"version"`
+	Shards   int   `json:"shards"`
+	Nodes    int64 `json:"nodes"`
+	Edges    int64 `json:"edges"`
+	CutEdges int64 `json:"cutEdges"`
+}
+
+// IsSharded reports whether dir holds a sharded store (shards.json
+// present).
+func IsSharded(dir string) bool {
+	_, err := os.Stat(filepath.Join(dir, ManifestFile))
+	return err == nil
+}
+
+// LoadManifest reads dir's shards.json.
+func LoadManifest(dir string) (*Manifest, error) {
+	b, err := os.ReadFile(filepath.Join(dir, ManifestFile))
+	if err != nil {
+		return nil, err
+	}
+	var m Manifest
+	if err := json.Unmarshal(b, &m); err != nil {
+		return nil, fmt.Errorf("shard: %s: %w", ManifestFile, err)
+	}
+	if m.Version != 1 {
+		return nil, fmt.Errorf("shard: %s: unsupported version %d", ManifestFile, m.Version)
+	}
+	return &m, nil
+}
+
+// Stage writes the whole sharded layout — every shard store, the cut
+// store, the ownership map, and the manifest — into an open commit
+// without publishing it, so callers can bundle delta session state and
+// a journal record into the same atomic unit.
+func (p *Partition) Stage(c *atomicfile.Commit) error {
+	for i, sg := range p.Shards {
+		if err := store.StageSub(c, ShardDir(i), sg); err != nil {
+			return err
+		}
+	}
+	if err := store.StageSub(c, CutDir, p.Cut); err != nil {
+		return err
+	}
+	src, _ := p.cutEnds()
+	if err := c.WriteFile(MapFile, encodeMap(p, src)); err != nil {
+		return err
+	}
+	m := Manifest{
+		Version:  1,
+		Shards:   p.N,
+		Nodes:    int64(len(p.NodeOwner)),
+		Edges:    int64(len(p.EdgeOwner)),
+		CutEdges: p.Cut.EdgeCount(),
+	}
+	mb, err := json.MarshalIndent(&m, "", "  ")
+	if err != nil {
+		return err
+	}
+	return c.WriteFile(ManifestFile, append(mb, '\n'))
+}
+
+// cutEnds returns the global (from, to) endpoint pairs of every cut
+// edge in ascending global edge order, plus the count.
+func (p *Partition) cutEnds() ([][2]graph.NodeID, int) {
+	n := int(p.Cut.EdgeCount())
+	out := make([][2]graph.NodeID, 0, n)
+	for id := graph.EdgeID(0); id < graph.EdgeID(n); id++ {
+		from, to, _ := p.Cut.EdgeEnds(id)
+		out = append(out, [2]graph.NodeID{p.CutNodes[from], p.CutNodes[to]})
+	}
+	return out, n
+}
+
+// Write persists a partition into dir as one crash-consistent commit.
+func Write(dir string, p *Partition) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	c, err := atomicfile.NewCommit(dir)
+	if err != nil {
+		return err
+	}
+	defer c.Abort()
+	if err := p.Stage(c); err != nil {
+		return err
+	}
+	return c.Publish()
+}
+
+// shardMap is the decoded shardmap.bin: everything the composite needs
+// that is not derivable from the shard stores themselves.
+type shardMap struct {
+	shards    int
+	nodeOwner []uint16
+	edgeOwner []uint16
+	cutNodes  []graph.NodeID    // cut-store local node -> global, ascending
+	cutEnds   [][2]graph.NodeID // per cut edge: global (from, to)
+}
+
+// encodeMap serialises the ownership tables. Layout (little-endian):
+//
+//	magic u32 | version u32 | shards u32 | nodes u64 | edges u64 |
+//	cutNodes u64 | cutEdges u64 |
+//	nodeOwner u16 × nodes | edgeOwner u16 × edges |
+//	cutNode u64 × cutNodes | (from u64, to u64) × cutEdges |
+//	crc32c u32  (over everything before it)
+func encodeMap(p *Partition, cutEnds [][2]graph.NodeID) []byte {
+	nodes, edges := len(p.NodeOwner), len(p.EdgeOwner)
+	size := 4 + 4 + 4 + 8 + 8 + 8 + 8 + 2*nodes + 2*edges + 8*len(p.CutNodes) + 16*len(cutEnds) + 4
+	buf := make([]byte, size)
+	off := 0
+	pu32 := func(v uint32) { binary.LittleEndian.PutUint32(buf[off:], v); off += 4 }
+	pu64 := func(v uint64) { binary.LittleEndian.PutUint64(buf[off:], v); off += 8 }
+	pu32(mapMagic)
+	pu32(mapVersion)
+	pu32(uint32(p.N))
+	pu64(uint64(nodes))
+	pu64(uint64(edges))
+	pu64(uint64(len(p.CutNodes)))
+	pu64(uint64(len(cutEnds)))
+	for _, o := range p.NodeOwner {
+		binary.LittleEndian.PutUint16(buf[off:], o)
+		off += 2
+	}
+	for _, o := range p.EdgeOwner {
+		binary.LittleEndian.PutUint16(buf[off:], o)
+		off += 2
+	}
+	for _, id := range p.CutNodes {
+		pu64(uint64(id))
+	}
+	for _, e := range cutEnds {
+		pu64(uint64(e[0]))
+		pu64(uint64(e[1]))
+	}
+	binary.LittleEndian.PutUint32(buf[off:], crc32.Checksum(buf[:off], crcTable))
+	return buf
+}
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// loadMap reads and checks dir's shardmap.bin.
+func loadMap(dir string) (*shardMap, error) {
+	buf, err := os.ReadFile(filepath.Join(dir, MapFile))
+	if err != nil {
+		return nil, err
+	}
+	if len(buf) < 48 {
+		return nil, fmt.Errorf("shard: %s: truncated (%d bytes)", MapFile, len(buf))
+	}
+	if got, want := crc32.Checksum(buf[:len(buf)-4], crcTable), binary.LittleEndian.Uint32(buf[len(buf)-4:]); got != want {
+		return nil, fmt.Errorf("shard: %s: checksum mismatch (computed %08x, recorded %08x)", MapFile, got, want)
+	}
+	off := 0
+	gu32 := func() uint32 { v := binary.LittleEndian.Uint32(buf[off:]); off += 4; return v }
+	gu64 := func() uint64 { v := binary.LittleEndian.Uint64(buf[off:]); off += 8; return v }
+	if m := gu32(); m != mapMagic {
+		return nil, fmt.Errorf("shard: %s: bad magic %08x", MapFile, m)
+	}
+	if v := gu32(); v != mapVersion {
+		return nil, fmt.Errorf("shard: %s: unsupported version %d", MapFile, v)
+	}
+	sm := &shardMap{shards: int(gu32())}
+	nodes, edges := int(gu64()), int(gu64())
+	cutN, cutE := int(gu64()), int(gu64())
+	want := off + 2*nodes + 2*edges + 8*cutN + 16*cutE + 4
+	if len(buf) != want {
+		return nil, fmt.Errorf("shard: %s: %d bytes, header implies %d", MapFile, len(buf), want)
+	}
+	sm.nodeOwner = make([]uint16, nodes)
+	for i := range sm.nodeOwner {
+		sm.nodeOwner[i] = binary.LittleEndian.Uint16(buf[off:])
+		off += 2
+	}
+	sm.edgeOwner = make([]uint16, edges)
+	for i := range sm.edgeOwner {
+		sm.edgeOwner[i] = binary.LittleEndian.Uint16(buf[off:])
+		off += 2
+	}
+	sm.cutNodes = make([]graph.NodeID, cutN)
+	for i := range sm.cutNodes {
+		sm.cutNodes[i] = graph.NodeID(gu64())
+	}
+	sm.cutEnds = make([][2]graph.NodeID, cutE)
+	for i := range sm.cutEnds {
+		sm.cutEnds[i][0] = graph.NodeID(gu64())
+		sm.cutEnds[i][1] = graph.NodeID(gu64())
+	}
+	return sm, nil
+}

@@ -1,0 +1,226 @@
+package shard
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"frappe/internal/graph"
+	"frappe/internal/model"
+	"frappe/internal/store"
+)
+
+// buildGraph makes a deterministic pseudo-random graph shaped like an
+// extraction: directories of files containing functions, with calls
+// crossing subsystem boundaries (guaranteeing cut edges).
+func buildGraph(seed int64, files, funcsPerFile, calls int) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	g := graph.New()
+	var fns []graph.NodeID
+	for f := 0; f < files; f++ {
+		dir := fmt.Sprintf("sub%d/mod%d", f%3, f%5)
+		file := g.AddNode(model.NodeFile, graph.Props{}.
+			Set(model.PropName, graph.Str(fmt.Sprintf("%s/file%d.c", dir, f))).
+			Set("FILE_ID", graph.Int(int64(f))))
+		for k := 0; k < funcsPerFile; k++ {
+			fn := g.AddNode(model.NodeFunction, graph.Props{}.
+				Set(model.PropShortName, graph.Str(fmt.Sprintf("fn_%d_%d", f, k))).
+				Set(model.PropName, graph.Str(fmt.Sprintf("fn_%d_%d()", f, k))))
+			g.AddEdge(file, fn, model.EdgeFileContains, graph.Props{}.
+				Set(model.PropNameStartLine, graph.Int(int64(10*k+1))))
+			fns = append(fns, fn)
+		}
+	}
+	for c := 0; c < calls; c++ {
+		a := fns[rng.Intn(len(fns))]
+		b := fns[rng.Intn(len(fns))]
+		g.AddEdge(a, b, model.EdgeCalls, nil)
+	}
+	return g
+}
+
+func openRoundTrip(t *testing.T, g *graph.Graph, n int) *Set {
+	t.Helper()
+	dir := t.TempDir()
+	p := Split(g, n)
+	if err := Write(dir, p); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	s, err := Open(dir, store.Options{})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+// TestCompositeRoundTrip proves the composite source is byte-identical
+// to the original graph: every node, edge, adjacency list, and index
+// lookup.
+func TestCompositeRoundTrip(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 7} {
+		t.Run(fmt.Sprintf("shards=%d", n), func(t *testing.T) {
+			g := buildGraph(42, 12, 4, 120)
+			s := openRoundTrip(t, g, n)
+
+			if s.NodeCount() != g.NodeCount() || s.EdgeCount() != g.EdgeCount() {
+				t.Fatalf("counts: got (%d,%d) want (%d,%d)", s.NodeCount(), s.EdgeCount(), g.NodeCount(), g.EdgeCount())
+			}
+			for id := graph.NodeID(0); id < graph.NodeID(g.NodeCount()); id++ {
+				if s.NodeType(id) != g.NodeType(id) {
+					t.Fatalf("node %d type: got %s want %s", id, s.NodeType(id), g.NodeType(id))
+				}
+				want := g.NodeProps(id)
+				got := s.NodeProps(id)
+				if len(got) != len(want) {
+					t.Fatalf("node %d props: got %d want %d", id, len(got), len(want))
+				}
+				for _, p := range want {
+					gv, ok := s.NodeProp(id, p.Key)
+					if !ok || gv.String() != p.Val.String() {
+						t.Fatalf("node %d prop %s: got %v,%v want %v", id, p.Key, gv, ok, p.Val)
+					}
+				}
+				if !equalEdges(s.Out(id), g.Out(id)) {
+					t.Fatalf("node %d out: got %v want %v", id, s.Out(id), g.Out(id))
+				}
+				if !equalEdges(s.In(id), g.In(id)) {
+					t.Fatalf("node %d in: got %v want %v", id, s.In(id), g.In(id))
+				}
+			}
+			for id := graph.EdgeID(0); id < graph.EdgeID(g.EdgeCount()); id++ {
+				gf, gt, gtyp := g.EdgeEnds(id)
+				sf, st, styp := s.EdgeEnds(id)
+				if gf != sf || gt != st || gtyp != styp {
+					t.Fatalf("edge %d: got (%d,%d,%s) want (%d,%d,%s)", id, sf, st, styp, gf, gt, gtyp)
+				}
+				want := g.EdgeProps(id)
+				for _, p := range want {
+					gv, ok := s.EdgeProp(id, p.Key)
+					if !ok || gv.String() != p.Val.String() {
+						t.Fatalf("edge %d prop %s: got %v,%v want %v", id, p.Key, gv, ok, p.Val)
+					}
+				}
+			}
+			for _, q := range []string{
+				"short_name: fn_0_0",
+				"type: \"function\"",
+				"type: \"file\"",
+				"name: \"fn_3_1()\"",
+			} {
+				want, werr := g.Lookup(q)
+				got, gerr := s.Lookup(q)
+				if (werr == nil) != (gerr == nil) {
+					t.Fatalf("Lookup(%q) err: got %v want %v", q, gerr, werr)
+				}
+				if fmt.Sprint(got) != fmt.Sprint(want) {
+					t.Fatalf("Lookup(%q): got %v want %v", q, got, want)
+				}
+			}
+		})
+	}
+}
+
+func equalEdges(a, b []graph.EdgeID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestSplitDeterministic: same input, same shard count, same partition.
+func TestSplitDeterministic(t *testing.T) {
+	g := buildGraph(7, 8, 3, 60)
+	a := Split(g, 4)
+	b := Split(g, 4)
+	for i := range a.NodeOwner {
+		if a.NodeOwner[i] != b.NodeOwner[i] {
+			t.Fatalf("node %d: owner %d vs %d", i, a.NodeOwner[i], b.NodeOwner[i])
+		}
+	}
+}
+
+// TestSubsystemCohesion: nodes of the same subsystem directory land on
+// the same shard.
+func TestSubsystemCohesion(t *testing.T) {
+	g := buildGraph(7, 9, 2, 0)
+	p := Split(g, 5)
+	bySubsystem := map[string]uint16{}
+	for id := graph.NodeID(0); id < graph.NodeID(g.NodeCount()); id++ {
+		key, ok := subsystemKey(g, id)
+		if !ok {
+			continue
+		}
+		if o, seen := bySubsystem[key]; seen && o != p.NodeOwner[id] {
+			t.Fatalf("subsystem %q split across shards %d and %d", key, o, p.NodeOwner[id])
+		} else if !seen {
+			bySubsystem[key] = p.NodeOwner[id]
+		}
+	}
+	if len(bySubsystem) < 2 {
+		t.Fatalf("fixture produced %d subsystems, want several", len(bySubsystem))
+	}
+}
+
+// TestDegradedShard corrupts one shard's node store and checks that
+// reads inside healthy shards keep answering while reads touching the
+// corrupt shard fail with a corruption-class panic.
+func TestDegradedShard(t *testing.T) {
+	g := buildGraph(11, 12, 4, 80)
+	dir := t.TempDir()
+	p := Split(g, 3)
+	if err := Write(dir, p); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+
+	// Flip a byte mid-way through shard 0's node store.
+	victim := filepath.Join(dir, ShardDir(0), store.NodeFile)
+	b, err := os.ReadFile(victim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b) == 0 {
+		t.Skip("shard 0 empty in this partition")
+	}
+	b[len(b)/2] ^= 0xFF
+	if err := os.WriteFile(victim, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s, err := Open(dir, store.Options{})
+	if err != nil {
+		t.Fatalf("Open on a page-corrupt shard must succeed (degraded), got %v", err)
+	}
+	defer s.Close()
+
+	healthy, corrupt := 0, 0
+	for id := graph.NodeID(0); id < graph.NodeID(g.NodeCount()); id++ {
+		id := id
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					corrupt++
+				}
+			}()
+			if s.NodeType(id) == g.NodeType(id) {
+				healthy++
+			}
+		}()
+	}
+	if healthy == 0 {
+		t.Fatal("no healthy reads on a 3-shard store with one corrupt shard")
+	}
+	if corrupt == 0 {
+		t.Fatal("corrupt shard reads did not fail")
+	}
+	if !s.Degraded() {
+		t.Fatal("Set.Degraded() = false with a corrupt shard")
+	}
+}
